@@ -1,0 +1,44 @@
+//! Appendix D.2: partition-level vs. row-level sampling variance of the
+//! Horvitz–Thompson SUM estimator, on each dataset's default layout and a
+//! random layout.
+
+use ps3_bench::report::{print_header, Table};
+use ps3_bench::variance::variance_ratio;
+use ps3_data::{DatasetConfig, DatasetKind, ScaleProfile};
+use ps3_storage::Layout;
+
+fn main() {
+    let scale = ScaleProfile::from_env();
+    print_header(
+        "Appendix D.2: partition-level / row-level HT variance ratio for SUM",
+        &format!("scale={scale:?}, sampling rate p = 10%"),
+    );
+    let mut t = Table::new(&["Dataset", "column", "default layout", "random layout"]);
+    let target_col = |kind: DatasetKind| match kind {
+        DatasetKind::TpcH => "l_extendedprice",
+        DatasetKind::TpcDs => "cs_net_profit",
+        DatasetKind::Aria => "records_received_count",
+        DatasetKind::Kdd => "src_bytes",
+    };
+    for kind in DatasetKind::ALL {
+        let sorted = DatasetConfig::new(kind, scale).build(42);
+        let random = DatasetConfig::new(kind, scale)
+            .with_layout("random", Layout::Random { seed: 7 })
+            .build(42);
+        let col_name = target_col(kind);
+        let col = sorted.pt.table().schema().expect_col(col_name);
+        t.row(vec![
+            kind.label().to_string(),
+            col_name.to_string(),
+            format!("{:.1}", variance_ratio(&sorted.pt, col, 0.1)),
+            format!("{:.1}", variance_ratio(&random.pt, col, 0.1)),
+        ]);
+    }
+    t.print();
+    println!(
+        "\n  Expectation from the paper's analysis (Eq. 5): partition-level \
+         sampling has strictly larger variance than row-level at equal \
+         fraction; the gap grows when same-partition tuples correlate \
+         (sorted layouts) and approaches the rows-per-partition factor."
+    );
+}

@@ -1,0 +1,65 @@
+//! Figure 10 (Appendix C.2): effect of the budget decay rate α on KDD,
+//! with learned regressors vs. an oracle with perfect precision/recall.
+
+use ps3_bench::harness::{Experiment, BUDGETS};
+use ps3_bench::report::{print_header, Table};
+use ps3_core::Ps3Config;
+use ps3_data::{DatasetConfig, DatasetKind, ScaleProfile};
+use ps3_query::metrics::ErrorMetrics;
+
+const ALPHAS: [f64; 5] = [1.0, 2.0, 3.0, 4.0, 5.0];
+
+fn main() {
+    let scale = ScaleProfile::from_env();
+    print_header(
+        "Figure 10: impact of the sampling decay rate alpha (KDD)",
+        &format!("scale={scale:?}, alpha in {ALPHAS:?}"),
+    );
+    let ds = DatasetConfig::new(DatasetKind::Kdd, scale).build(42);
+    let mut exp = Experiment::prepare(ds, Ps3Config::default().with_seed(42));
+    // The figure plots budgets up to 50%.
+    let budgets: Vec<f64> = BUDGETS.iter().copied().filter(|&b| b <= 0.5).collect();
+
+    for (mode, oracle) in [("learned", false), ("oracle", true)] {
+        println!("--- {mode} ---");
+        let mut headers = vec!["data read".to_string()];
+        headers.extend(ALPHAS.iter().map(|a| format!("alpha={a}")));
+        let mut t = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+        let mut curves: Vec<Vec<f64>> = Vec::new();
+        for &alpha in &ALPHAS {
+            exp.system.trained.config.alpha = alpha;
+            let mut curve = Vec::with_capacity(budgets.len());
+            for &b in &budgets {
+                let mut all = Vec::new();
+                for qi in 0..exp.cache.len() {
+                    if exp.cache[qi].truth.groups.is_empty() {
+                        continue;
+                    }
+                    let m = if oracle {
+                        exp.evaluate_query_oracle(qi, b)
+                    } else {
+                        exp.evaluate_query(qi, ps3_core::Method::Ps3, b)
+                    };
+                    all.push(m);
+                }
+                curve.push(ErrorMetrics::mean(&all).avg_rel_err);
+            }
+            curves.push(curve);
+        }
+        exp.system.trained.config.alpha = 2.0;
+        for (i, b) in budgets.iter().enumerate() {
+            let mut row = vec![format!("{:.0}%", b * 100.0)];
+            for c in &curves {
+                row.push(format!("{:.4}", c[i]));
+            }
+            t.row(row);
+        }
+        t.print();
+        println!();
+    }
+    println!(
+        "  Expectation from the paper: larger alpha helps with diminishing \
+         returns; the oracle beats the learned models and benefits more from \
+         large alpha."
+    );
+}

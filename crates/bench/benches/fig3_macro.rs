@@ -1,0 +1,48 @@
+//! Figure 3: error vs. sampling budget on the four datasets, comparing
+//! Random, Random+Filter, LSS and PS3 across the three §5.1.4 error metrics.
+//!
+//! Run `cargo bench --bench fig3_macro`; set `PS3_FULL=1` for the larger
+//! scale.
+
+use ps3_bench::harness::{default_runs, Experiment, BUDGETS};
+use ps3_bench::report::{print_header, print_metric_table};
+use ps3_core::{Method, Ps3Config};
+use ps3_data::{DatasetConfig, DatasetKind, ScaleProfile};
+
+fn main() {
+    let scale = ScaleProfile::from_env();
+    let runs = default_runs();
+    print_header(
+        "Figure 3: comparison of error under varying sampling budget",
+        &format!("scale={scale:?}, runs per stochastic method={runs}"),
+    );
+    for kind in DatasetKind::ALL {
+        let ds = DatasetConfig::new(kind, scale).build(42);
+        let name = ds.name.clone();
+        let mut exp = Experiment::prepare(ds, Ps3Config::default().with_seed(42));
+        println!("--- {name} ---");
+        let series: Vec<(String, Vec<_>)> = Method::ALL
+            .iter()
+            .map(|&m| (m.label().to_string(), exp.error_curve(m, &BUDGETS, runs)))
+            .collect();
+        print_metric_table(&BUDGETS, &series);
+
+        // The headline claim: data-read reduction vs. uniform sampling at
+        // PS3's achievable error.
+        let ps3 = &series[3].1;
+        let rand = &series[0].1;
+        let target = ps3[2].avg_rel_err.max(1e-4); // PS3 error at 5%
+        let rand_budget = BUDGETS
+            .iter()
+            .zip(rand)
+            .find(|(_, m)| m.avg_rel_err <= target)
+            .map_or(1.0, |(&b, _)| b);
+        println!(
+            "  PS3 @5% budget reaches avg rel err {:.4}; random needs ~{:.0}% of data \
+             => {:.1}x data-read reduction\n",
+            target,
+            rand_budget * 100.0,
+            rand_budget / 0.05
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! Figure 4: lesion study (PS3 minus one component) and factor analysis
+//! (random + one component at a time) on the Aria dataset.
+//!
+//! The component toggles act at pick time, so one trained system serves
+//! every variant.
+
+use ps3_bench::harness::{default_runs, Experiment, BUDGETS};
+use ps3_bench::report::{print_header, Table};
+use ps3_core::{Method, Ps3Config};
+use ps3_data::{DatasetConfig, DatasetKind, ScaleProfile};
+
+/// Evaluate PS3's avg-rel-err curve under modified picker toggles.
+fn ps3_curve(
+    exp: &mut Experiment,
+    runs: usize,
+    tweak: impl Fn(&mut Ps3Config),
+) -> Vec<f64> {
+    let saved = exp.system.trained.config.clone();
+    tweak(&mut exp.system.trained.config);
+    let curve = exp
+        .error_curve(Method::Ps3, &BUDGETS, runs)
+        .into_iter()
+        .map(|m| m.avg_rel_err)
+        .collect();
+    exp.system.trained.config = saved;
+    curve
+}
+
+fn main() {
+    let scale = ScaleProfile::from_env();
+    let runs = default_runs();
+    print_header(
+        "Figure 4: lesion study and factor analysis (Aria)",
+        &format!("scale={scale:?}, runs={runs}"),
+    );
+    let ds = DatasetConfig::new(DatasetKind::Aria, scale).build(42);
+    let mut exp = Experiment::prepare(ds, Ps3Config::default().with_seed(42));
+
+    // --- Lesion: disable one component at a time, keep the rest. ---
+    let lesion: Vec<(String, Vec<f64>)> = vec![
+        ("PS3".into(), ps3_curve(&mut exp, runs, |_| {})),
+        ("w/o cluster".into(), ps3_curve(&mut exp, runs, |c| c.use_clustering = false)),
+        ("w/o outlier".into(), ps3_curve(&mut exp, runs, |c| c.use_outliers = false)),
+        ("w/o regressor".into(), ps3_curve(&mut exp, runs, |c| c.use_regressors = false)),
+    ];
+    println!("[Lesion study: avg relative error]");
+    print_rows(&lesion);
+
+    // --- Factor analysis: random, then the filter plus exactly one
+    // component (not cumulative). ---
+    let factor: Vec<(String, Vec<f64>)> = vec![
+        (
+            "random".into(),
+            exp.error_curve(Method::Random, &BUDGETS, runs)
+                .into_iter()
+                .map(|m| m.avg_rel_err)
+                .collect(),
+        ),
+        (
+            "+filter".into(),
+            exp.error_curve(Method::RandomFilter, &BUDGETS, runs)
+                .into_iter()
+                .map(|m| m.avg_rel_err)
+                .collect(),
+        ),
+        (
+            "+outlier".into(),
+            ps3_curve(&mut exp, runs, |c| {
+                c.use_clustering = false;
+                c.use_regressors = false;
+            }),
+        ),
+        (
+            "+regressor".into(),
+            ps3_curve(&mut exp, runs, |c| {
+                c.use_clustering = false;
+                c.use_outliers = false;
+            }),
+        ),
+        (
+            "+cluster".into(),
+            ps3_curve(&mut exp, runs, |c| {
+                c.use_outliers = false;
+                c.use_regressors = false;
+            }),
+        ),
+    ];
+    println!("\n[Factor analysis: avg relative error]");
+    print_rows(&factor);
+    println!(
+        "\n  Expectation from the paper: every lesion hurts; in the factor \
+         analysis +cluster contributes the most and +outlier the least."
+    );
+}
+
+fn print_rows(series: &[(String, Vec<f64>)]) {
+    let mut headers = vec!["data read".to_string()];
+    headers.extend(series.iter().map(|(n, _)| n.clone()));
+    let mut t = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+    for (i, b) in BUDGETS.iter().enumerate() {
+        let mut row = vec![format!("{:.0}%", b * 100.0)];
+        for (_, v) in series {
+            row.push(format!("{:.4}", v[i]));
+        }
+        t.row(row);
+    }
+    t.print();
+}

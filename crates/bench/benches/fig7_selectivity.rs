@@ -1,0 +1,61 @@
+//! Figure 7: performance breakdown by true query selectivity on TPC-H*.
+//! Selective queries gain from the filter; non-selective ones from
+//! importance + clustering.
+
+use ps3_bench::harness::{default_runs, Experiment, BUDGETS};
+use ps3_bench::report::{print_header, Table};
+use ps3_core::{Method, Ps3Config};
+use ps3_data::{DatasetConfig, DatasetKind, ScaleProfile};
+use ps3_query::metrics::ErrorMetrics;
+
+fn main() {
+    let scale = ScaleProfile::from_env();
+    let runs = default_runs();
+    print_header(
+        "Figure 7: error breakdown by query selectivity (TPC-H*)",
+        &format!("scale={scale:?}, buckets: <0.2, 0.2-0.8, >0.8"),
+    );
+    let ds = DatasetConfig::new(DatasetKind::TpcH, scale).build(42);
+    let mut exp = Experiment::prepare(ds, Ps3Config::default().with_seed(42));
+
+    type Bucket<'a> = (&'a str, Box<dyn Fn(f64) -> bool>);
+    let buckets: [Bucket<'_>; 3] = [
+        ("selectivity < 0.2", Box::new(|s| s < 0.2)),
+        ("0.2 <= selectivity <= 0.8", Box::new(|s| (0.2..=0.8).contains(&s))),
+        ("selectivity > 0.8", Box::new(|s| s > 0.8)),
+    ];
+    for (name, pred) in buckets {
+        let qis: Vec<usize> = (0..exp.cache.len())
+            .filter(|&i| pred(exp.cache[i].selectivity) && !exp.cache[i].truth.groups.is_empty())
+            .collect();
+        println!("--- {name}: {} queries ---", qis.len());
+        if qis.is_empty() {
+            continue;
+        }
+        let methods = [Method::Random, Method::RandomFilter, Method::Ps3];
+        let mut headers = vec!["data read".to_string()];
+        headers.extend(methods.iter().map(|m| m.label().to_string()));
+        let mut t = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+        for &b in &BUDGETS {
+            let mut row = vec![format!("{:.0}%", b * 100.0)];
+            for &m in &methods {
+                let r = if m == Method::Ps3 { 1 } else { runs };
+                let mut all = Vec::new();
+                for &qi in &qis {
+                    for _ in 0..r {
+                        all.push(exp.evaluate_query(qi, m, b));
+                    }
+                }
+                row.push(format!("{:.4}", ErrorMetrics::mean(&all).avg_rel_err));
+            }
+            t.row(row);
+        }
+        t.print();
+        println!();
+    }
+    println!(
+        "  Expectation from the paper: vs plain random, PS3 helps most on \
+         selective queries (the filter); vs random+filter, most on \
+         non-selective queries."
+    );
+}

@@ -1,0 +1,77 @@
+//! Figure 8: TPC-H* (sf=1 analogue) under (a) a random layout, (b) the
+//! ship-date layout, and (c) the ship-date layout with 10× as many
+//! partitions — random+filter vs PS3.
+//!
+//! The 10× run keeps the paper's observation target (skippable fraction
+//! grows with partition count) while trimming the budget grid: at thousands
+//! of partitions and near-100% budgets the k≈n clustering step is pure
+//! overhead with no information left to exploit.
+
+use ps3_bench::harness::{default_runs, Experiment, BUDGETS};
+use ps3_bench::report::{print_header, Table};
+use ps3_core::{Method, Ps3Config};
+use ps3_data::{DatasetConfig, DatasetKind, ScaleProfile};
+use ps3_storage::Layout;
+
+fn run(label: &str, cfg: DatasetConfig, ps3_cfg: Ps3Config, budgets: &[f64], runs: usize) {
+    let ds = cfg.build(42);
+    let mut exp = Experiment::prepare(ds, ps3_cfg);
+    println!("--- {label} ---");
+    let mut t = Table::new(&["data read", "random+filter", "PS3"]);
+    for &b in budgets {
+        let rf = exp.evaluate(Method::RandomFilter, b, runs);
+        let ps3 = exp.evaluate(Method::Ps3, b, 1);
+        t.row(vec![
+            format!("{:.1}%", b * 100.0),
+            format!("{:.4}", rf.avg_rel_err),
+            format!("{:.4}", ps3.avg_rel_err),
+        ]);
+    }
+    t.print();
+    println!();
+}
+
+fn main() {
+    let scale = ScaleProfile::from_env();
+    let runs = default_runs();
+    print_header(
+        "Figure 8: TPC-H* under random layout and varying partition counts",
+        &format!("scale={scale:?}"),
+    );
+    let (_, base_parts, _, _) = scale.dims();
+    let base_cfg = Ps3Config::default().with_seed(42);
+    run(
+        &format!("random layout, {base_parts} partitions"),
+        DatasetConfig::new(DatasetKind::TpcH, scale)
+            .with_layout("random", Layout::Random { seed: 0xC0FFEE }),
+        base_cfg.clone(),
+        &BUDGETS,
+        runs,
+    );
+    run(
+        &format!("L_SHIPDATE layout, {base_parts} partitions"),
+        DatasetConfig::new(DatasetKind::TpcH, scale),
+        base_cfg.clone(),
+        &BUDGETS,
+        runs,
+    );
+    // 10x partitions: training cost scales with partitions × features, so
+    // use the lighter learned configuration and the small-budget half of
+    // the grid where the partition-count effect lives.
+    let mut light = base_cfg;
+    light.feature_selection = false;
+    light.gbdt.n_trees = 15;
+    light.gbdt.colsample = 0.3;
+    run(
+        &format!("L_SHIPDATE layout, {} partitions", base_parts * 10),
+        DatasetConfig::new(DatasetKind::TpcH, scale).with_partitions(base_parts * 10),
+        light,
+        &BUDGETS[..5],
+        runs,
+    );
+    println!(
+        "  Expectation from the paper: on the random layout PS3 ≈ random (or \
+         slightly worse); on sorted layouts PS3 wins, and 10x partitions \
+         lowers error at equal fractions."
+    );
+}

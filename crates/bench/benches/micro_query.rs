@@ -1,0 +1,55 @@
+//! Criterion microbenchmarks for per-partition query execution and the
+//! picker's clustering stage — the two hot paths at query time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ps3_cluster::{cluster, ClusterAlgo};
+use ps3_core::Ps3Config;
+use ps3_data::{DatasetConfig, DatasetKind, ScaleProfile};
+use ps3_query::execute_partition;
+use ps3_stats::QueryFeatures;
+use ps3_storage::PartitionId;
+
+fn bench_query_paths(c: &mut Criterion) {
+    let ds = DatasetConfig::new(DatasetKind::Kdd, ScaleProfile::Tiny).build(1);
+    let query = ds.sample_test_query(0);
+
+    let mut g = c.benchmark_group("query_time");
+    g.sample_size(30);
+    g.bench_function("execute_one_partition", |b| {
+        b.iter(|| execute_partition(ds.pt.table(), ds.pt.rows(PartitionId(0)), &query))
+    });
+    g.bench_function("query_features", |b| {
+        b.iter(|| QueryFeatures::compute(&ds.stats, ds.pt.table(), &query))
+    });
+
+    // Clustering 64 partitions' feature rows into 8 clusters.
+    let feats = QueryFeatures::compute(&ds.stats, ds.pt.table(), &query);
+    let points: Vec<Vec<f64>> = feats.rows.clone();
+    g.bench_function("kmeans_64x8", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            cluster(&points, 8, ClusterAlgo::KMeans, &mut rng)
+        })
+    });
+    g.bench_function("hac_ward_64x8", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            cluster(&points, 8, ClusterAlgo::HacWard, &mut rng)
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("picker");
+    g.sample_size(10);
+    let mut system = ds.train_system(Ps3Config::default().with_seed(1).minimal());
+    g.bench_function("full_pick_25pct", |b| {
+        b.iter(|| system.pick_outcome(&query, 0.25))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_query_paths);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion microbenchmarks backing Table 1: sketch construction is O(R)
+//! (measures, AKMV, heavy hitters) or O(R log R) (equi-depth histogram),
+//! with small constants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ps3_sketch::hash::hash_f64;
+use ps3_sketch::{Akmv, EquiDepthHistogram, HeavyHitters, Measures};
+
+fn data(n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(1);
+    (0..n).map(|_| rng.gen_range(0.0..1e6)).collect()
+}
+
+fn bench_sketches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sketch_construction");
+    g.sample_size(20);
+    for &n in &[10_000usize, 100_000] {
+        let values = data(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("measures", n), &values, |b, v| {
+            b.iter(|| Measures::from_values(v))
+        });
+        g.bench_with_input(BenchmarkId::new("histogram", n), &values, |b, v| {
+            b.iter(|| EquiDepthHistogram::from_values(v, 10))
+        });
+        g.bench_with_input(BenchmarkId::new("akmv", n), &values, |b, v| {
+            b.iter(|| Akmv::from_hashes(v.iter().map(|&x| hash_f64(x)), 128))
+        });
+        g.bench_with_input(BenchmarkId::new("heavy_hitters", n), &values, |b, v| {
+            b.iter(|| HeavyHitters::from_keys(v.iter().map(|&x| x.to_bits())))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sketches);
+criterion_main!(benches);

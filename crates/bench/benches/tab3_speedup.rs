@@ -1,0 +1,19 @@
+//! Table 3: query latency and total compute-time speedups at 1/5/10%
+//! sampling rates, from the cluster cost model (see
+//! `ps3_bench::cluster_model` for the substitution rationale).
+
+use ps3_bench::cluster_model::print_table3;
+use ps3_bench::report::print_header;
+
+fn main() {
+    print_header(
+        "Table 3: average speedups under different sampling rates (TPC-H*)",
+        "cluster cost model: 64 workers, 30s/partition, lognormal stragglers",
+    );
+    // The paper's TPC-H* has 2844 partitions at sf=1000.
+    print_table3(2844, 7);
+    println!(
+        "\n  Expectation from the paper: compute speedup near-linear \
+         (105.3x/19.6x/11.4x), latency sublinear (4.7x/1.6x/1.5x)."
+    );
+}

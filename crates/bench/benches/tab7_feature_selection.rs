@@ -1,0 +1,79 @@
+//! Table 7 (Appendix B.1): impact of Algorithm-3 feature selection on
+//! clustering AUC, for HAC(ward) and KMeans. Also prints the selected
+//! exclusions per dataset (the appendix's per-dataset feature lists).
+
+use ps3_bench::harness::BUDGETS;
+use ps3_bench::report::{print_header, Table};
+use ps3_cluster::ClusterAlgo;
+use ps3_core::feature_selection::{clustering_error, select_features};
+use ps3_core::{Ps3Config, TrainingData};
+use ps3_data::{DatasetConfig, DatasetKind, ScaleProfile};
+use ps3_stats::Normalizer;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = ScaleProfile::from_env();
+    print_header(
+        "Table 7: AUC (x100) with and without feature selection; smaller is better",
+        &format!("scale={scale:?}"),
+    );
+    let mut t = Table::new(&[
+        "Dataset",
+        "HAC(ward)",
+        "+feat sel",
+        "KMeans",
+        "+feat sel",
+    ]);
+    for kind in [DatasetKind::TpcDs, DatasetKind::Aria, DatasetKind::Kdd] {
+        let ds = DatasetConfig::new(kind, scale).build(42);
+        let td = TrainingData::compute(&ds.pt, &ds.stats, &ds.train_queries, 0);
+        let schema = *ds.stats.feature_schema();
+        let normalizer = Normalizer::fit(schema, td.features.iter().map(|f| &f.rows));
+        let normalized: Vec<Vec<Vec<f64>>> = td
+            .features
+            .iter()
+            .map(|f| {
+                let mut m = f.rows.clone();
+                normalizer.apply_matrix(&mut m);
+                m
+            })
+            .collect();
+        let eval_qs: Vec<usize> =
+            (0..td.queries.len()).filter(|&q| !td.totals[q].groups.is_empty()).take(16).collect();
+        let mut row = vec![kind.label().to_string()];
+        let mut excluded_report = String::new();
+        for algo in [ClusterAlgo::HacWard, ClusterAlgo::KMeans] {
+            let mut cfg = Ps3Config::default().with_seed(42);
+            cfg.cluster_algo = algo;
+            let excluded = select_features(&td, &normalized, &cfg);
+            let mut rng = StdRng::seed_from_u64(42);
+            let auc_of = |excl: &[ps3_stats::features::FeatureType],
+                          rng: &mut StdRng| {
+                let errs: Vec<f64> = BUDGETS
+                    .iter()
+                    .map(|&b| {
+                        clustering_error(&td, &normalized, &eval_qs, excl, &[b], &cfg, rng)
+                    })
+                    .collect();
+                100.0 * ps3_bench::auc(&BUDGETS, &errs)
+            };
+            let before = auc_of(&[], &mut rng);
+            let after = auc_of(&excluded, &mut rng);
+            row.push(format!("{before:.2}"));
+            row.push(format!("{after:.2}"));
+            if algo == ClusterAlgo::KMeans {
+                let names: Vec<&str> = excluded.iter().map(|f| f.label()).collect();
+                excluded_report = format!("excluded: [{}]", names.join(", "));
+            }
+        }
+        t.row(row);
+        println!("  {}: {excluded_report}", kind.label());
+    }
+    t.print();
+    println!(
+        "\n  Expectation from the paper: feature selection consistently \
+         reduces AUC (by 0.5-15%), and only a few feature types survive per \
+         dataset while all four sketch families appear across datasets."
+    );
+}

@@ -1,0 +1,161 @@
+//! The Table-3 cluster cost model.
+//!
+//! The paper measures wall-clock on SCOPE clusters with tens of thousands of
+//! nodes; we substitute an analytical model that makes the paper's point —
+//! *fraction of data read is a reliable proxy for total compute* — explicit:
+//!
+//! * **Total compute time** is proportional to rows scanned, so reading an
+//!   `f` fraction of partitions gives a ≈ `1/f` speedup (Table 3 reports
+//!   105×/19.6×/11.4× at 1%/5%/10%, i.e. near-linear with a small constant
+//!   overhead).
+//! * **Query latency** is the makespan of per-partition tasks placed on `W`
+//!   parallel workers, with a lognormal straggler multiplier and a fixed
+//!   job-startup cost — which is why the paper's latency speedups (4.7×,
+//!   1.6×, 1.5×) are far below linear.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::report::Table;
+use ps3_data::dist::lognormal;
+
+/// Model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterModel {
+    /// Parallel workers available to the query.
+    pub workers: usize,
+    /// Seconds of compute per partition scan (before stragglers).
+    pub seconds_per_partition: f64,
+    /// Fixed job startup/teardown seconds (scheduling, compilation).
+    pub startup_seconds: f64,
+    /// Straggler multiplier: lognormal sigma (0 = deterministic).
+    pub straggler_sigma: f64,
+}
+
+impl Default for ClusterModel {
+    fn default() -> Self {
+        Self {
+            workers: 64,
+            seconds_per_partition: 30.0,
+            startup_seconds: 20.0,
+            straggler_sigma: 0.35,
+        }
+    }
+}
+
+/// Simulated execution of a query that reads `partitions` partitions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimulatedRun {
+    /// Sum of task compute seconds (the cluster's billed cost).
+    pub total_compute_seconds: f64,
+    /// Wall-clock makespan seconds including startup.
+    pub latency_seconds: f64,
+}
+
+impl ClusterModel {
+    /// Simulate one run reading `partitions` partitions.
+    pub fn simulate(&self, partitions: usize, rng: &mut StdRng) -> SimulatedRun {
+        // Task durations with stragglers.
+        let tasks: Vec<f64> = (0..partitions)
+            .map(|_| {
+                self.seconds_per_partition
+                    * lognormal(rng, 0.0, self.straggler_sigma).max(0.2)
+            })
+            .collect();
+        let total: f64 = tasks.iter().sum();
+        // Greedy longest-processing-time placement onto workers.
+        let mut sorted = tasks;
+        sorted.sort_by(|a, b| b.total_cmp(a));
+        let mut loads = vec![0.0f64; self.workers.max(1)];
+        for t in sorted {
+            let min = loads
+                .iter_mut()
+                .min_by(|a, b| a.total_cmp(b))
+                .expect("workers > 0");
+            *min += t;
+        }
+        let makespan = loads.iter().fold(0.0f64, |a, &b| a.max(b));
+        SimulatedRun {
+            total_compute_seconds: total,
+            latency_seconds: makespan + self.startup_seconds,
+        }
+    }
+
+    /// Average speedups of reading `frac` of `n_partitions` vs. all of them.
+    pub fn speedups(&self, n_partitions: usize, frac: f64, runs: usize, seed: u64) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let k = ((frac * n_partitions as f64).round() as usize).max(1);
+        let (mut lat, mut comp) = (0.0, 0.0);
+        for _ in 0..runs.max(1) {
+            let full = self.simulate(n_partitions, &mut rng);
+            let sampled = self.simulate(k, &mut rng);
+            lat += full.latency_seconds / sampled.latency_seconds;
+            comp += full.total_compute_seconds / sampled.total_compute_seconds;
+        }
+        (lat / runs as f64, comp / runs as f64)
+    }
+}
+
+/// Print the Table-3 analogue for the given partition count.
+pub fn print_table3(n_partitions: usize, seed: u64) {
+    let model = ClusterModel::default();
+    let mut t = Table::new(&["", "1%", "5%", "10%", "100%"]);
+    let fracs = [0.01, 0.05, 0.10];
+    let mut lat_row = vec!["Query Latency".to_string()];
+    let mut comp_row = vec!["Total Compute Time".to_string()];
+    for &f in &fracs {
+        let (lat, comp) = model.speedups(n_partitions, f, 20, seed);
+        lat_row.push(format!("{lat:.1}x"));
+        comp_row.push(format!("{comp:.1}x"));
+    }
+    lat_row.push("-".into());
+    comp_row.push("-".into());
+    t.row(lat_row);
+    t.row(comp_row);
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_speedup_is_near_linear() {
+        let model = ClusterModel::default();
+        let (_, comp) = model.speedups(1000, 0.01, 10, 1);
+        assert!(
+            (60.0..160.0).contains(&comp),
+            "1% read should give ~100x compute speedup, got {comp}"
+        );
+        let (_, comp10) = model.speedups(1000, 0.1, 10, 2);
+        assert!((7.0..14.0).contains(&comp10), "10% → ~10x, got {comp10}");
+    }
+
+    #[test]
+    fn latency_speedup_is_sublinear() {
+        let model = ClusterModel::default();
+        let (lat, comp) = model.speedups(1000, 0.01, 10, 3);
+        assert!(lat < comp * 0.5, "latency speedup {lat} should lag compute {comp}");
+        assert!(lat > 1.0, "sampling must still be faster: {lat}");
+    }
+
+    #[test]
+    fn makespan_at_least_longest_task() {
+        let model = ClusterModel { straggler_sigma: 0.0, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(4);
+        let run = model.simulate(10, &mut rng);
+        assert!(run.latency_seconds >= model.seconds_per_partition + model.startup_seconds - 1e-9);
+        assert!((run.total_compute_seconds - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_workers_cut_latency_not_compute() {
+        let few = ClusterModel { workers: 4, straggler_sigma: 0.0, ..Default::default() };
+        let many = ClusterModel { workers: 64, straggler_sigma: 0.0, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = few.simulate(256, &mut rng);
+        let b = many.simulate(256, &mut rng);
+        assert!(b.latency_seconds < a.latency_seconds);
+        assert!((a.total_compute_seconds - b.total_compute_seconds).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,216 @@
+//! Experiment preparation and cached evaluation.
+
+use ps3_core::{Method, Ps3Config, Ps3System};
+use ps3_data::Dataset;
+use ps3_query::metrics::ErrorMetrics;
+use ps3_query::predicate::eval_predicate;
+use ps3_query::{execute_partition, PartialAnswer, Query, QueryAnswer, WeightedPart};
+use ps3_stats::QueryFeatures;
+use ps3_storage::PartitionId;
+
+/// The budget grid (fractions of partitions read) used across experiments.
+pub const BUDGETS: [f64; 8] = [0.01, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75];
+
+/// Everything cached for one test query so method evaluation is pure
+/// arithmetic: raw features, per-partition partials, the exact answer, and
+/// the predicate's true selectivity.
+pub struct QueryCache {
+    /// The query.
+    pub query: Query,
+    /// Raw masked features (selectivity filled).
+    pub features: QueryFeatures,
+    /// Exact per-partition partial answers.
+    pub partials: Vec<PartialAnswer>,
+    /// Exact full answer.
+    pub truth: QueryAnswer,
+    /// True fraction of rows satisfying the predicate (1.0 if none).
+    pub selectivity: f64,
+    /// True per-partition contributions (for the Figure-10 oracle).
+    pub contributions: Vec<f64>,
+}
+
+/// A prepared experiment: dataset + trained system + test-query caches.
+pub struct Experiment {
+    /// The dataset.
+    pub ds: Dataset,
+    /// The trained system (all methods).
+    pub system: Ps3System,
+    /// One cache per test query.
+    pub cache: Vec<QueryCache>,
+}
+
+impl Experiment {
+    /// Train the system and cache every test query's per-partition answers.
+    pub fn prepare(ds: Dataset, cfg: Ps3Config) -> Self {
+        let system = ds.train_system(cfg);
+        let cache = build_cache(&ds, &ds.test_queries);
+        Self { ds, system, cache }
+    }
+
+    /// Prepare with an explicit test-query list (generalization test).
+    pub fn prepare_with_tests(ds: Dataset, cfg: Ps3Config, tests: &[Query]) -> Self {
+        let system = ds.train_system(cfg);
+        let cache = build_cache(&ds, tests);
+        Self { ds, system, cache }
+    }
+
+    /// Evaluate `method` at budget `frac` on one cached query; the answer is
+    /// assembled from cached partials (no data re-read).
+    pub fn evaluate_query(&mut self, qi: usize, method: Method, frac: f64) -> ErrorMetrics {
+        let qc = &self.cache[qi];
+        let (selection, _) =
+            self.system
+                .select_with_features(&qc.query, &qc.features, method, frac, None);
+        metrics_for(qc, &selection)
+    }
+
+    /// Like [`Self::evaluate_query`] but with the oracle importance source
+    /// (true contributions) instead of the learned models.
+    pub fn evaluate_query_oracle(&mut self, qi: usize, frac: f64) -> ErrorMetrics {
+        let qc = &self.cache[qi];
+        let contributions = qc.contributions.clone();
+        let (selection, _) = self.system.select_with_features(
+            &qc.query,
+            &qc.features,
+            Method::Ps3,
+            frac,
+            Some(&contributions),
+        );
+        metrics_for(&self.cache[qi], &selection)
+    }
+
+    /// Mean metrics over all cached queries; `runs` averages the stochastic
+    /// methods (the paper reports the average of 10 runs). PS3's clustering
+    /// is randomized through k-means++ seeding, so it is averaged too.
+    pub fn evaluate(&mut self, method: Method, frac: f64, runs: usize) -> ErrorMetrics {
+        let runs = runs.max(1);
+        let mut all = Vec::with_capacity(self.cache.len() * runs);
+        for qi in 0..self.cache.len() {
+            if self.cache[qi].truth.groups.is_empty() {
+                continue;
+            }
+            for _ in 0..runs {
+                all.push(self.evaluate_query(qi, method, frac));
+            }
+        }
+        ErrorMetrics::mean(&all)
+    }
+
+    /// Error curve across the budget grid.
+    pub fn error_curve(&mut self, method: Method, budgets: &[f64], runs: usize) -> Vec<ErrorMetrics> {
+        budgets.iter().map(|&b| self.evaluate(method, b, runs)).collect()
+    }
+}
+
+/// Combine a weighted selection against one query cache and score it.
+pub fn metrics_for(qc: &QueryCache, selection: &[WeightedPart]) -> ErrorMetrics {
+    let mut acc = PartialAnswer::empty(&qc.query);
+    for wp in selection {
+        acc.add_weighted(&qc.partials[wp.partition.index()], wp.weight);
+    }
+    ErrorMetrics::compute(&qc.truth, &acc.finalize(&qc.query))
+}
+
+/// Execute and cache a set of queries (parallel over queries).
+pub fn build_cache(ds: &Dataset, queries: &[Query]) -> Vec<QueryCache> {
+    let pt = &ds.pt;
+    let stats = &ds.stats;
+    let threads = std::thread::available_parallelism()
+        .map_or(4, usize::from)
+        .clamp(1, queries.len().max(1));
+    let chunk = queries.len().div_ceil(threads);
+    let mut out: Vec<QueryCache> = Vec::with_capacity(queries.len());
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = queries
+            .chunks(chunk.max(1))
+            .map(|qs| {
+                s.spawn(move |_| {
+                    qs.iter()
+                        .map(|q| {
+                            let partials: Vec<PartialAnswer> = (0..pt.num_partitions())
+                                .map(|p| {
+                                    execute_partition(pt.table(), pt.rows(PartitionId(p)), q)
+                                })
+                                .collect();
+                            let mut total = PartialAnswer::empty(q);
+                            for part in &partials {
+                                total.add_weighted(part, 1.0);
+                            }
+                            let contributions =
+                                ps3_core::train::contributions_for(&partials, &total);
+                            let truth = total.finalize(q);
+                            let features = QueryFeatures::compute(stats, pt.table(), q);
+                            let selectivity = match &q.predicate {
+                                None => 1.0,
+                                Some(p) => {
+                                    let hits = eval_predicate(
+                                        pt.table(),
+                                        0..pt.table().num_rows(),
+                                        p,
+                                    )
+                                    .iter()
+                                    .filter(|&&b| b)
+                                    .count();
+                                    hits as f64 / pt.table().num_rows() as f64
+                                }
+                            };
+                            QueryCache {
+                                query: q.clone(),
+                                features,
+                                partials,
+                                truth,
+                                selectivity,
+                                contributions,
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("cache worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    out
+}
+
+/// Trapezoidal area under an error curve over the budget axis — the metric
+/// of Tables 6 and 7 (scaled ×100 there, matching the paper's magnitudes).
+pub fn auc(budgets: &[f64], errors: &[f64]) -> f64 {
+    assert_eq!(budgets.len(), errors.len());
+    let mut area = 0.0;
+    for i in 1..budgets.len() {
+        area += 0.5 * (errors[i] + errors[i - 1]) * (budgets[i] - budgets[i - 1]);
+    }
+    area
+}
+
+/// Number of runs to average for stochastic methods (paper: 10).
+pub fn default_runs() -> usize {
+    if std::env::var("PS3_FULL").is_ok_and(|v| v == "1") {
+        8
+    } else {
+        3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auc_of_constant_curve() {
+        let b = [0.0, 0.5, 1.0];
+        let e = [0.2, 0.2, 0.2];
+        assert!((auc(&b, &e) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_monotone_in_error() {
+        let b = [0.1, 0.3, 0.6];
+        let low = [0.1, 0.05, 0.01];
+        let high = [0.3, 0.2, 0.1];
+        assert!(auc(&b, &low) < auc(&b, &high));
+    }
+}

@@ -1,0 +1,122 @@
+//! Fixed-width text tables for experiment output — every bench prints the
+//! same rows/series the corresponding paper table or figure reports.
+
+use ps3_query::metrics::ErrorMetrics;
+
+/// Print a prominent experiment header.
+pub fn print_header(title: &str, detail: &str) {
+    println!();
+    println!("=== {title} ===");
+    if !detail.is_empty() {
+        println!("{detail}");
+    }
+    println!();
+}
+
+/// A simple fixed-width table builder.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append one row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let parts: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            println!("  {}", parts.join("  "));
+        };
+        line(&self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        println!("  {}", "-".repeat(total));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Print error-metric series for several methods over a budget grid — the
+/// standard "figure" output (one block per error metric, §5.1.4).
+pub fn print_metric_table(budgets: &[f64], series: &[(String, Vec<ErrorMetrics>)]) {
+    for (metric_name, extract) in [
+        ("missed groups (%)", 0usize),
+        ("avg relative error", 1),
+        ("abs error over true", 2),
+    ] {
+        println!("  [{metric_name}]");
+        let mut headers = vec!["data read".to_string()];
+        headers.extend(series.iter().map(|(n, _)| n.clone()));
+        let mut t = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+        for (i, &b) in budgets.iter().enumerate() {
+            let mut row = vec![format!("{:.0}%", b * 100.0)];
+            for (_, ms) in series {
+                let m = ms[i];
+                let v = match extract {
+                    0 => m.missed_groups * 100.0,
+                    1 => m.avg_rel_err,
+                    _ => m.abs_over_true,
+                };
+                row.push(format!("{v:.4}"));
+            }
+            t.row(row);
+        }
+        t.print();
+        println!();
+    }
+}
+
+/// Format a float with 1 decimal (ms, KB, speedups).
+pub fn fmt1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+/// Format a float with 4 decimals (errors).
+pub fn fmt4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rejects_mismatched_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn wrong_arity_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt1(3.16), "3.2");
+        assert_eq!(fmt4(0.123456), "0.1235");
+    }
+}

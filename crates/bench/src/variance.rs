@@ -1,0 +1,87 @@
+//! Appendix D.2: variance estimators for partition-level vs. row-level
+//! Bernoulli sampling of a SUM aggregate.
+//!
+//! With per-unit inclusion probability `p`, the Horvitz–Thompson variance
+//! estimate is `Σ (1/p² − 1/p)·v²` over sampled units (Eq. 3/4). Partition
+//! sampling pays an extra cross-term for tuples sharing a partition (Eq. 5):
+//! under clustered layouts it is strictly worse than row sampling at equal
+//! sampling fraction — the motivation for weighted selection.
+
+use ps3_storage::{ColId, PartitionedTable};
+
+/// Exact population variance of the HT estimator for *row-level* Bernoulli
+/// sampling at rate `p` of `SUM(col)` (Eq. 1 specialized: Σ (1/p − 1)·t²).
+pub fn row_level_variance(pt: &PartitionedTable, col: ColId, p: f64) -> f64 {
+    assert!(p > 0.0 && p <= 1.0);
+    let values = pt.table().numeric(col);
+    values.iter().map(|&t| (1.0 / p - 1.0) * t * t).sum()
+}
+
+/// Exact population variance of the HT estimator for *partition-level*
+/// Bernoulli sampling at rate `p`: Σ_i (1/p − 1)·y_i² with y_i the partition
+/// totals (Eq. 5 aggregated).
+pub fn partition_level_variance(pt: &PartitionedTable, col: ColId, p: f64) -> f64 {
+    assert!(p > 0.0 && p <= 1.0);
+    let values = pt.table().numeric(col);
+    pt.partitioning()
+        .ids()
+        .map(|pid| {
+            let y: f64 = values[pt.rows(pid)].iter().sum();
+            (1.0 / p - 1.0) * y * y
+        })
+        .sum()
+}
+
+/// The variance ratio partition/row — ≥ 1 whenever same-partition tuples
+/// correlate positively, ≈ rows-per-partition for constant columns.
+pub fn variance_ratio(pt: &PartitionedTable, col: ColId, p: f64) -> f64 {
+    let row = row_level_variance(pt, col, p);
+    if row == 0.0 {
+        return 1.0;
+    }
+    partition_level_variance(pt, col, p) / row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps3_storage::{ColumnData, ColumnMeta, ColumnType, Schema, Table};
+
+    fn pt(values: Vec<f64>, parts: usize) -> PartitionedTable {
+        let t = Table::new(
+            Schema::new(vec![ColumnMeta::new("v", ColumnType::Numeric)]),
+            vec![ColumnData::Numeric(values)],
+        );
+        PartitionedTable::with_equal_partitions(t, parts)
+    }
+
+    #[test]
+    fn constant_column_ratio_equals_partition_size() {
+        // 100 rows of 1.0 in partitions of 10: y_i = 10, so partition
+        // variance = 10 × 100×(1/p−1) while row variance = 100×(1/p−1).
+        let t = pt(vec![1.0; 100], 10);
+        let ratio = variance_ratio(&t, ColId(0), 0.1);
+        assert!((ratio - 10.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn alternating_signs_can_help_partitioning() {
+        // +1/−1 pairs inside each partition cancel: partition totals are 0,
+        // so partition-level sampling has zero variance (every partition
+        // contributes the same nothing).
+        let values: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let t = pt(values, 50);
+        assert_eq!(partition_level_variance(&t, ColId(0), 0.5), 0.0);
+        assert!(row_level_variance(&t, ColId(0), 0.5) > 0.0);
+    }
+
+    #[test]
+    fn variance_decreases_with_sampling_rate() {
+        let values: Vec<f64> = (0..60).map(f64::from).collect();
+        let t = pt(values, 6);
+        let hi = partition_level_variance(&t, ColId(0), 0.1);
+        let lo = partition_level_variance(&t, ColId(0), 0.9);
+        assert!(lo < hi);
+        assert_eq!(partition_level_variance(&t, ColId(0), 1.0), 0.0);
+    }
+}

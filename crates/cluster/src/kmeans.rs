@@ -1,0 +1,164 @@
+//! Lloyd's k-means with k-means++ seeding.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::dist_sq;
+
+/// Cluster `points` into `k` groups; returns member-index lists (non-empty
+/// clusters only — k-means++ on distinct points rarely loses one, but ties
+/// can).
+///
+/// # Panics
+/// Panics when `k == 0` or there are fewer points than `k` (the [`crate::cluster`]
+/// wrapper handles those cases).
+pub fn kmeans(points: &[Vec<f64>], k: usize, rng: &mut StdRng, max_iter: usize) -> Vec<Vec<usize>> {
+    assert!(k > 0 && points.len() >= k);
+    let mut centers = kmeans_pp_init(points, k, rng);
+    let mut assignment = vec![0usize; points.len()];
+
+    for _ in 0..max_iter {
+        // Assign.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, center) in centers.iter().enumerate() {
+                let d = dist_sq(p, center);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+
+        // Update.
+        let dim = points[0].len();
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            let c = assignment[i];
+            counts[c] += 1;
+            for (s, &x) in sums[c].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at the point farthest from its
+                // current center — the standard fix to keep k clusters alive.
+                let far = (0..points.len())
+                    .max_by(|&a, &b| {
+                        dist_sq(&points[a], &centers[assignment[a]])
+                            .total_cmp(&dist_sq(&points[b], &centers[assignment[b]]))
+                    })
+                    .expect("non-empty points");
+                centers[c] = points[far].clone();
+                changed = true;
+            } else {
+                for (ctr, s) in centers[c].iter_mut().zip(&sums[c]) {
+                    *ctr = s / counts[c] as f64;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut clusters = vec![Vec::new(); k];
+    for (i, &c) in assignment.iter().enumerate() {
+        clusters[c].push(i);
+    }
+    clusters.retain(|c| !c.is_empty());
+    clusters
+}
+
+/// k-means++ seeding: each new center is drawn with probability proportional
+/// to its squared distance from the nearest existing center.
+fn kmeans_pp_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centers.push(points[rng.gen_range(0..points.len())].clone());
+    let mut d2: Vec<f64> = points.iter().map(|p| dist_sq(p, &centers[0])).collect();
+    while centers.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All remaining points coincide with a center; pick uniformly.
+            rng.gen_range(0..points.len())
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut idx = 0usize;
+            for (i, &d) in d2.iter().enumerate() {
+                if target < d {
+                    idx = i;
+                    break;
+                }
+                target -= d;
+                idx = i;
+            }
+            idx
+        };
+        centers.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            let d = dist_sq(p, centers.last().expect("non-empty"));
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+    centers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn separates_three_obvious_blobs() {
+        let mut pts = Vec::new();
+        for i in 0..15 {
+            let j = f64::from(i % 5) * 0.1;
+            pts.push(vec![f64::from(i / 5) * 100.0 + j]);
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        let clusters = kmeans(&pts, 3, &mut rng, 50);
+        assert_eq!(clusters.len(), 3);
+        for c in &clusters {
+            assert_eq!(c.len(), 5);
+            let blob: std::collections::HashSet<usize> = c.iter().map(|&i| i / 5).collect();
+            assert_eq!(blob.len(), 1);
+        }
+    }
+
+    #[test]
+    fn identical_points_still_produce_k_or_fewer() {
+        let pts = vec![vec![1.0, 1.0]; 12];
+        let mut rng = StdRng::seed_from_u64(0);
+        let clusters = kmeans(&pts, 3, &mut rng, 10);
+        let total: usize = clusters.iter().map(Vec::len).sum();
+        assert_eq!(total, 12);
+        assert!(clusters.len() <= 3);
+    }
+
+    proptest! {
+        #[test]
+        fn partitions_every_point(n in 5usize..60, k in 1usize..5, seed in 0u64..20) {
+            let k = k.min(n);
+            let pts: Vec<Vec<f64>> = (0..n)
+                .map(|i| vec![f64::from(i as u32), f64::from((i * 7 % 13) as u32)])
+                .collect();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let clusters = kmeans(&pts, k, &mut rng, 20);
+            let mut all: Vec<usize> = clusters.iter().flatten().copied().collect();
+            all.sort_unstable();
+            prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+            prop_assert!(clusters.len() <= k);
+        }
+    }
+}

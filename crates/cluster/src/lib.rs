@@ -1,0 +1,129 @@
+//! Clustering for PS3's similarity-aware sample selection (§4.2, §5.5.5).
+//!
+//! The paper samples by clustering partition feature vectors into as many
+//! clusters as the sampling budget and reading one *exemplar* per cluster
+//! with weight = cluster size. Two algorithm families are evaluated:
+//!
+//! * [`mod@kmeans`] — Lloyd's algorithm with k-means++ seeding,
+//! * [`mod@hac`] — hierarchical agglomerative clustering via the nearest-neighbor
+//!   chain algorithm, with *single* and *Ward* linkage (Table 6).
+//!
+//! [`exemplar`] implements both estimators of Appendix D: the biased
+//! median-nearest exemplar and the unbiased uniform-random exemplar.
+
+pub mod exemplar;
+pub mod hac;
+pub mod kmeans;
+
+pub use exemplar::{median_exemplar, random_exemplar};
+pub use hac::{hac, Linkage};
+pub use kmeans::kmeans;
+
+use rand::rngs::StdRng;
+
+/// Which clustering algorithm to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterAlgo {
+    /// Lloyd's k-means with k-means++ seeding.
+    KMeans,
+    /// Agglomerative, single linkage.
+    HacSingle,
+    /// Agglomerative, Ward linkage.
+    HacWard,
+}
+
+impl ClusterAlgo {
+    /// Display label matching the paper's tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ClusterAlgo::KMeans => "KMeans",
+            ClusterAlgo::HacSingle => "HAC(single)",
+            ClusterAlgo::HacWard => "HAC(ward)",
+        }
+    }
+}
+
+/// Cluster `points` into (at most) `k` clusters; returns member-index lists.
+///
+/// Fewer than `k` clusters come back when there are fewer points.
+pub fn cluster(
+    points: &[Vec<f64>],
+    k: usize,
+    algo: ClusterAlgo,
+    rng: &mut StdRng,
+) -> Vec<Vec<usize>> {
+    if points.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    if points.len() <= k {
+        return (0..points.len()).map(|i| vec![i]).collect();
+    }
+    match algo {
+        ClusterAlgo::KMeans => {
+            // Lloyd's cost per iteration is n·k·dim; on very large problems
+            // (thousands of partitions at high budgets, Figure 8) cap the
+            // iteration count — assignments stabilize long before 25 rounds
+            // and the picker only needs approximate strata.
+            let max_iter = if points.len() * k > 250_000 { 8 } else { 25 };
+            kmeans(points, k, rng, max_iter)
+        }
+        ClusterAlgo::HacSingle => hac(points, k, Linkage::Single),
+        ClusterAlgo::HacWard => hac(points, k, Linkage::Ward),
+    }
+}
+
+/// Squared Euclidean distance.
+#[inline]
+pub(crate) fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![0.0 + f64::from(i) * 0.01, 0.0]);
+            pts.push(vec![10.0 + f64::from(i) * 0.01, 10.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn every_algo_partitions_all_points() {
+        let pts = two_blobs();
+        for algo in [ClusterAlgo::KMeans, ClusterAlgo::HacSingle, ClusterAlgo::HacWard] {
+            let mut rng = StdRng::seed_from_u64(1);
+            let clusters = cluster(&pts, 2, algo, &mut rng);
+            assert_eq!(clusters.len(), 2, "{algo:?}");
+            let mut seen: Vec<usize> = clusters.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..20).collect::<Vec<_>>(), "{algo:?}");
+            // Blobs are well separated: each cluster holds one parity class.
+            for c in &clusters {
+                let parities: std::collections::HashSet<usize> =
+                    c.iter().map(|&i| i % 2).collect();
+                assert_eq!(parities.len(), 1, "{algo:?} mixed the blobs");
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_points_gives_singletons() {
+        let pts = vec![vec![1.0], vec![2.0]];
+        let mut rng = StdRng::seed_from_u64(0);
+        let clusters = cluster(&pts, 10, ClusterAlgo::KMeans, &mut rng);
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(cluster(&[], 3, ClusterAlgo::KMeans, &mut rng).is_empty());
+        assert!(cluster(&[vec![1.0]], 0, ClusterAlgo::HacWard, &mut rng).is_empty());
+    }
+}

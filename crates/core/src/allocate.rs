@@ -1,0 +1,154 @@
+//! Budget allocation across importance groups (§4.3): the sampling *rate*
+//! decays by α from the most important group downwards; we solve for the
+//! base rate that spends exactly the remaining budget, then round with
+//! largest remainders.
+
+/// Allocate `budget` samples over groups with the given `sizes`, ordered
+/// least→most important, with rate ratio `alpha` between adjacent groups.
+///
+/// Returns per-group sample counts `n_i ≤ sizes[i]` with `Σ n_i =
+/// min(budget, Σ sizes)`.
+pub fn allocate_samples(sizes: &[usize], budget: usize, alpha: f64) -> Vec<usize> {
+    assert!(alpha >= 1.0, "alpha must be >= 1");
+    let m = sizes.len();
+    if m == 0 || budget == 0 {
+        return vec![0; m];
+    }
+    let total: usize = sizes.iter().sum();
+    if budget >= total {
+        return sizes.to_vec();
+    }
+
+    // Rate of group i is min(1, r·α^i); find r with Σ rate_i·s_i = budget by
+    // bisection (the left side is monotone in r).
+    let weights: Vec<f64> = (0..m).map(|i| alpha.powi(i as i32)).collect();
+    let spend = |r: f64| -> f64 {
+        sizes
+            .iter()
+            .zip(&weights)
+            .map(|(&s, &w)| (r * w).min(1.0) * s as f64)
+            .sum()
+    };
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if spend(mid) < budget as f64 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let r = 0.5 * (lo + hi);
+
+    // Round: floor everything, then hand out the remainder to the largest
+    // fractional parts (most-important groups win ties).
+    let exact: Vec<f64> = sizes
+        .iter()
+        .zip(&weights)
+        .map(|(&s, &w)| (r * w).min(1.0) * s as f64)
+        .collect();
+    let mut out: Vec<usize> = exact
+        .iter()
+        .zip(sizes)
+        .map(|(&e, &s)| (e.floor() as usize).min(s))
+        .collect();
+    let mut assigned: usize = out.iter().sum();
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| {
+        let fa = exact[a] - exact[a].floor();
+        let fb = exact[b] - exact[b].floor();
+        fb.total_cmp(&fa).then(b.cmp(&a))
+    });
+    let mut cursor = 0usize;
+    while assigned < budget {
+        let i = order[cursor % m];
+        if out[i] < sizes[i] {
+            out[i] += 1;
+            assigned += 1;
+        }
+        cursor += 1;
+        if cursor > 4 * m * (budget + 1) {
+            break; // all groups saturated
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn spends_exact_budget() {
+        let n = allocate_samples(&[100, 100, 100, 100], 40, 2.0);
+        assert_eq!(n.iter().sum::<usize>(), 40);
+        // Rates increase with importance.
+        for w in n.windows(2) {
+            assert!(w[1] >= w[0], "{n:?}");
+        }
+    }
+
+    #[test]
+    fn alpha_two_doubles_rates() {
+        let n = allocate_samples(&[80, 80, 80], 70, 2.0);
+        assert_eq!(n.iter().sum::<usize>(), 70);
+        // Expected exact rates r, 2r, 4r with 7r·80 = 70 → r = 1/8:
+        // 10, 20, 40.
+        assert_eq!(n, vec![10, 20, 40]);
+    }
+
+    #[test]
+    fn rates_cap_at_one() {
+        // Most important group saturates; remainder flows down.
+        let n = allocate_samples(&[100, 10], 60, 8.0);
+        assert_eq!(n.iter().sum::<usize>(), 60);
+        assert_eq!(n[1], 10, "important group fully sampled: {n:?}");
+        assert_eq!(n[0], 50);
+    }
+
+    #[test]
+    fn budget_exceeding_total_takes_everything() {
+        let n = allocate_samples(&[5, 3], 100, 2.0);
+        assert_eq!(n, vec![5, 3]);
+    }
+
+    #[test]
+    fn alpha_one_is_uniform() {
+        let n = allocate_samples(&[50, 50], 20, 1.0);
+        assert_eq!(n, vec![10, 10]);
+    }
+
+    #[test]
+    fn empty_and_zero_cases() {
+        assert!(allocate_samples(&[], 10, 2.0).is_empty());
+        assert_eq!(allocate_samples(&[10, 10], 0, 2.0), vec![0, 0]);
+        assert_eq!(allocate_samples(&[0, 10], 5, 2.0), vec![0, 5]);
+    }
+
+    proptest! {
+        #[test]
+        fn conserves_budget(sizes in prop::collection::vec(0usize..200, 1..6),
+                            budget in 0usize..300,
+                            alpha in 1.0f64..4.0) {
+            let n = allocate_samples(&sizes, budget, alpha);
+            let total: usize = sizes.iter().sum();
+            prop_assert_eq!(n.iter().sum::<usize>(), budget.min(total));
+            for (ni, si) in n.iter().zip(&sizes) {
+                prop_assert!(ni <= si);
+            }
+        }
+
+        #[test]
+        fn more_important_groups_sample_at_higher_rate(
+            budget in 1usize..150, alpha in 1.5f64..4.0) {
+            let sizes = vec![60usize, 60, 60];
+            let n = allocate_samples(&sizes, budget, alpha);
+            // Rates n_i/s_i must be non-decreasing in importance (allowing
+            // rounding slack of one sample).
+            for w in n.windows(2) {
+                prop_assert!(w[1] + 1 >= w[0], "{:?}", n);
+            }
+        }
+    }
+}

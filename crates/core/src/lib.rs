@@ -1,0 +1,39 @@
+//! The PS3 partition picker (§4) and the evaluation baselines.
+//!
+//! Given a query, a sampling budget and the per-partition summary statistics
+//! of [`ps3_stats`], the picker returns a weighted set of partitions whose
+//! combined partial answers approximate the full answer (§2.4). The picker
+//! composes four ideas:
+//!
+//! 1. **Selectivity filter** — partitions with `selectivity_upper == 0`
+//!    provably contain no qualifying rows and are dropped (perfect recall).
+//! 2. **Outliers** (§4.4, [`outlier`]) — partitions whose heavy-hitter
+//!    occurrence bitmaps mark rare group distributions are read exactly,
+//!    with weight 1, from a reserved budget slice.
+//! 3. **Learned importance** (§4.3, [`importance`]) — k gradient-boosted
+//!    regressors sort the remaining partitions into importance groups
+//!    through a funnel (Algorithm 2); the budget decays by α across groups
+//!    ([`allocate`]).
+//! 4. **Clustering** (§4.2) — within each group, similar partitions are
+//!    clustered and one exemplar represents each cluster with weight equal
+//!    to the cluster size; feature selection (Algorithm 3,
+//!    [`feature_selection`]) prunes feature types that hurt clustering.
+//!
+//! [`baselines`] implements uniform random sampling, filtered random
+//! sampling, and the modified Learned Stratified Sampling of Appendix C.1.
+//! [`system`] wires everything into the [`Ps3System`] facade.
+
+pub mod allocate;
+pub mod baselines;
+pub mod config;
+pub mod feature_selection;
+pub mod importance;
+pub mod outlier;
+pub mod picker;
+pub mod system;
+pub mod train;
+
+pub use config::{ExemplarRule, Ps3Config};
+pub use picker::{PickOutcome, Picker};
+pub use system::{AnswerOutcome, Method, Ps3System, LSS_BUDGET_GRID};
+pub use train::{TrainedPs3, TrainingData};

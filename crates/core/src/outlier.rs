@@ -1,0 +1,110 @@
+//! Outlier partitions (§4.4): partitions containing a *rare distribution of
+//! groups* for the query's GROUP BY columns.
+//!
+//! Partitions are grouped by the concatenation of their heavy-hitter
+//! occurrence bitmaps over the group-by columns. A bitmap group is outlying
+//! when it is small both absolutely (< 10 partitions) and relatively (< 10%
+//! of the largest group) — the paper's two-sided test prevents declaring
+//! everything an outlier when *all* groups are small.
+
+use std::collections::HashMap;
+
+use ps3_stats::TableStats;
+use ps3_storage::ColId;
+
+/// Find outlier partitions among `candidates`, ordered so that members of
+/// the *smallest* bitmap groups come first (budget caps truncate fairly).
+pub fn find_outliers(
+    stats: &TableStats,
+    group_by: &[ColId],
+    candidates: &[usize],
+    abs_limit: usize,
+    rel_limit: f64,
+) -> Vec<usize> {
+    if group_by.is_empty() || candidates.len() < 2 {
+        return Vec::new();
+    }
+    // Key: the concatenated bitmaps of the group-by columns.
+    let mut groups: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+    for &p in candidates {
+        let key: Vec<u32> = group_by.iter().map(|&c| stats.bitmap(c, p)).collect();
+        groups.entry(key).or_default().push(p);
+    }
+    let largest = groups.values().map(Vec::len).max().unwrap_or(0);
+    let mut outlying: Vec<&Vec<usize>> = groups
+        .values()
+        .filter(|g| g.len() < abs_limit && (g.len() as f64) < rel_limit * largest as f64)
+        .collect();
+    outlying.sort_by_key(|g| (g.len(), g[0]));
+    outlying.into_iter().flatten().copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps3_stats::StatsConfig;
+    use ps3_storage::table::TableBuilder;
+    use ps3_storage::{ColumnMeta, ColumnType, PartitionedTable, Schema};
+
+    /// 20 partitions of 100 rows. Partitions 0..18 are dominated by groups
+    /// "a"/"b"; partition 19 holds the rare group "z".
+    fn fixture() -> (PartitionedTable, TableStats) {
+        let schema = Schema::new(vec![
+            ColumnMeta::new("x", ColumnType::Numeric),
+            ColumnMeta::new("g", ColumnType::Categorical),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for p in 0..20 {
+            for i in 0..100 {
+                let g = if p == 19 { "z" } else if i % 2 == 0 { "a" } else { "b" };
+                b.push_row(&[f64::from(p * 100 + i)], &[g]);
+            }
+        }
+        let pt = PartitionedTable::with_equal_partitions(b.finish(), 20);
+        let stats = ps3_stats::TableStats::build(&pt, &StatsConfig::default());
+        (pt, stats)
+    }
+
+    #[test]
+    fn rare_group_partition_is_outlying() {
+        let (_, stats) = fixture();
+        let candidates: Vec<usize> = (0..20).collect();
+        let out = find_outliers(&stats, &[ColId(1)], &candidates, 10, 0.1);
+        assert_eq!(out, vec![19]);
+    }
+
+    #[test]
+    fn no_group_by_means_no_outliers() {
+        let (_, stats) = fixture();
+        let candidates: Vec<usize> = (0..20).collect();
+        assert!(find_outliers(&stats, &[], &candidates, 10, 0.1).is_empty());
+    }
+
+    #[test]
+    fn relative_test_blocks_uniformly_small_groups() {
+        // All partitions distinct bitmap groups of size 1: the largest group
+        // is also 1, so nothing is < 10% of it.
+        let (_, stats) = fixture();
+        // Simulate via candidates from a single partition each: with one
+        // candidate per call, the guard returns empty.
+        assert!(find_outliers(&stats, &[ColId(1)], &[3], 10, 0.1).is_empty());
+    }
+
+    #[test]
+    fn respects_candidate_subset() {
+        let (_, stats) = fixture();
+        // Partition 19 not among candidates → no outliers to find.
+        let candidates: Vec<usize> = (0..19).collect();
+        let out = find_outliers(&stats, &[ColId(1)], &candidates, 10, 0.1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn absolute_limit_applies() {
+        let (_, stats) = fixture();
+        let candidates: Vec<usize> = (0..20).collect();
+        // abs_limit 1 means even the size-1 rare group fails `size < 1`.
+        let out = find_outliers(&stats, &[ColId(1)], &candidates, 1, 0.9);
+        assert!(out.is_empty());
+    }
+}

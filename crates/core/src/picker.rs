@@ -1,0 +1,289 @@
+//! Algorithm 1: the full partition picker.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+use ps3_cluster::{cluster, median_exemplar, random_exemplar, ClusterAlgo};
+use ps3_query::{Query, WeightedPart};
+use ps3_stats::{QueryFeatures, TableStats};
+use ps3_storage::{PartitionId, PartitionedTable};
+
+use crate::allocate::allocate_samples;
+use crate::config::ExemplarRule;
+use crate::importance::{importance_groups, ImportanceSource};
+use crate::outlier::find_outliers;
+use crate::train::TrainedPs3;
+
+/// The picker's output: the weighted selection plus diagnostics the
+/// evaluation (Tables 5, Figure 4) reads.
+#[derive(Debug, Clone)]
+pub struct PickOutcome {
+    /// Weighted partition choices; weights of exemplars equal their cluster
+    /// sizes, outliers carry weight 1.
+    pub selection: Vec<WeightedPart>,
+    /// Total picker latency in milliseconds.
+    pub total_ms: f64,
+    /// Time spent clustering, in milliseconds (Table 5 breaks this out).
+    pub clustering_ms: f64,
+    /// Importance-group sizes, least important first.
+    pub group_sizes: Vec<usize>,
+    /// How many outlier partitions were selected.
+    pub num_outliers: usize,
+}
+
+/// The query-time picker: borrows the trained state and the statistics.
+pub struct Picker<'a> {
+    /// Trained models + normalizer + config.
+    pub trained: &'a TrainedPs3,
+    /// Table statistics (bitmaps for outlier detection).
+    pub stats: &'a TableStats,
+    /// The partitioned table (schema + dictionaries for selectivity).
+    pub pt: &'a PartitionedTable,
+}
+
+impl Picker<'_> {
+    /// Run Algorithm 1 end to end, computing features internally.
+    pub fn pick(&self, query: &Query, budget: usize, rng: &mut StdRng) -> PickOutcome {
+        let features = QueryFeatures::compute(self.stats, self.pt.table(), query);
+        self.pick_with_features(query, &features, budget, rng, None)
+    }
+
+    /// Run Algorithm 1 with precomputed raw features. `oracle` substitutes
+    /// true contributions for the learned models (Appendix C.2).
+    pub fn pick_with_features(
+        &self,
+        query: &Query,
+        features: &QueryFeatures,
+        budget: usize,
+        rng: &mut StdRng,
+        oracle: Option<&[f64]>,
+    ) -> PickOutcome {
+        let start = Instant::now();
+        let cfg = &self.trained.config;
+        let n_parts = features.num_partitions();
+        let budget = budget.min(n_parts);
+
+        // Selectivity filter: perfect recall, so dropping upper == 0 is safe.
+        let candidates: Vec<usize> = if cfg.use_filter {
+            (0..n_parts).filter(|&p| features.selectivity_upper(p) > 0.0).collect()
+        } else {
+            (0..n_parts).collect()
+        };
+
+        let mut selection: Vec<WeightedPart> = Vec::with_capacity(budget);
+
+        // Outliers (§4.4): weight 1, capped at outlier_budget_frac · budget.
+        let mut chosen_outliers: Vec<usize> = Vec::new();
+        if cfg.use_outliers && !query.group_by.is_empty() && budget > 0 {
+            let cap = (cfg.outlier_budget_frac * budget as f64).floor() as usize;
+            if cap > 0 {
+                let outliers = find_outliers(
+                    self.stats,
+                    &query.group_by,
+                    &candidates,
+                    cfg.outlier_abs_limit,
+                    cfg.outlier_rel_limit,
+                );
+                chosen_outliers = outliers.into_iter().take(cap).collect();
+                for &p in &chosen_outliers {
+                    selection.push(WeightedPart { partition: PartitionId(p), weight: 1.0 });
+                }
+            }
+        }
+        let taken: HashSet<usize> = chosen_outliers.iter().copied().collect();
+        let inliers: Vec<usize> =
+            candidates.iter().copied().filter(|p| !taken.contains(p)).collect();
+        let rest_budget = budget - chosen_outliers.len();
+
+        // Normalize feature rows once; the funnel and clustering share them.
+        let mut rows = features.rows.clone();
+        self.trained.normalizer.apply_matrix(&mut rows);
+
+        // Importance funnel (Algorithm 2).
+        let groups: Vec<Vec<usize>> = if cfg.use_regressors {
+            let source = match oracle {
+                Some(contributions) => ImportanceSource::Oracle {
+                    contributions,
+                    thresholds: &self.trained.thresholds,
+                },
+                None => ImportanceSource::Learned(&self.trained.models),
+            };
+            importance_groups(&inliers, &rows, &source)
+        } else {
+            vec![inliers]
+        };
+        let group_sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+        let alloc = allocate_samples(&group_sizes, rest_budget, cfg.alpha);
+
+        // Clustering fallback: very complex predicates make the features
+        // unrepresentative (Appendix B.1).
+        let clause_count = query.predicate.as_ref().map_or(0, |p| p.clause_count());
+        let cluster_ok = cfg.use_clustering && clause_count <= cfg.fallback_clause_limit;
+
+        // Zero the Algorithm-3 excluded feature types before clustering
+        // (after the funnel, which wants the full vectors).
+        if cluster_ok && !self.trained.excluded.is_empty() {
+            let schema = &features.schema;
+            for ft in &self.trained.excluded {
+                for idx in schema.indices_of(*ft) {
+                    for row in rows.iter_mut() {
+                        row[idx] = 0.0;
+                    }
+                }
+            }
+        }
+
+        let mut clustering_ms = 0.0;
+        for (group, &k) in groups.iter().zip(&alloc) {
+            if k == 0 || group.is_empty() {
+                continue;
+            }
+            if k >= group.len() {
+                for &p in group {
+                    selection.push(WeightedPart { partition: PartitionId(p), weight: 1.0 });
+                }
+            } else if cluster_ok {
+                let t = Instant::now();
+                let picks = cluster_select(
+                    group,
+                    &rows,
+                    k,
+                    cfg.cluster_algo,
+                    cfg.estimator,
+                    rng,
+                );
+                clustering_ms += t.elapsed().as_secs_f64() * 1e3;
+                selection.extend(picks);
+            } else {
+                let mut pool = group.clone();
+                pool.shuffle(rng);
+                pool.truncate(k);
+                let w = group.len() as f64 / k as f64;
+                for p in pool {
+                    selection.push(WeightedPart { partition: PartitionId(p), weight: w });
+                }
+            }
+        }
+
+        PickOutcome {
+            selection,
+            total_ms: start.elapsed().as_secs_f64() * 1e3,
+            clustering_ms,
+            group_sizes,
+            num_outliers: chosen_outliers.len(),
+        }
+    }
+}
+
+/// Cluster one importance group into `k` clusters and emit one weighted
+/// exemplar per cluster (§4.2).
+///
+/// Projects away dimensions that are zero across the whole group first —
+/// the query mask zeroes most columns, so this cuts the distance cost by an
+/// order of magnitude without changing any distance.
+pub fn cluster_select(
+    group: &[usize],
+    rows: &[Vec<f64>],
+    k: usize,
+    algo: ClusterAlgo,
+    estimator: ExemplarRule,
+    rng: &mut StdRng,
+) -> Vec<WeightedPart> {
+    let dim = rows.first().map_or(0, Vec::len);
+    let live_dims: Vec<usize> = (0..dim)
+        .filter(|&d| group.iter().any(|&p| rows[p][d] != 0.0))
+        .collect();
+    let points: Vec<Vec<f64>> = group
+        .iter()
+        .map(|&p| live_dims.iter().map(|&d| rows[p][d]).collect())
+        .collect();
+    let clusters = cluster(&points, k, algo, rng);
+    clusters
+        .iter()
+        .map(|members| {
+            let local = match estimator {
+                ExemplarRule::Median => median_exemplar(&points, members),
+                ExemplarRule::Random => random_exemplar(members, rng),
+            };
+            WeightedPart {
+                partition: PartitionId(group[local]),
+                weight: members.len() as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cluster_select_weights_sum_to_group_size() {
+        // 12 partitions in two obvious feature blobs.
+        let rows: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![if i < 6 { 0.0 } else { 100.0 }, f64::from(i % 6) * 0.01, 0.0])
+            .collect();
+        let group: Vec<usize> = (0..12).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let picks = cluster_select(
+            &group,
+            &rows,
+            2,
+            ClusterAlgo::KMeans,
+            ExemplarRule::Median,
+            &mut rng,
+        );
+        assert_eq!(picks.len(), 2);
+        let total: f64 = picks.iter().map(|p| p.weight).sum();
+        assert_eq!(total, 12.0);
+        // One exemplar from each blob.
+        let sides: HashSet<bool> =
+            picks.iter().map(|p| p.partition.index() < 6).collect();
+        assert_eq!(sides.len(), 2);
+    }
+
+    #[test]
+    fn cluster_select_on_subset_of_partitions() {
+        let rows: Vec<Vec<f64>> =
+            (0..10).map(|i| vec![f64::from(i)]).collect();
+        let group = vec![2, 3, 8, 9];
+        let mut rng = StdRng::seed_from_u64(0);
+        let picks = cluster_select(
+            &group,
+            &rows,
+            2,
+            ClusterAlgo::HacWard,
+            ExemplarRule::Median,
+            &mut rng,
+        );
+        // Exemplars must come from the group.
+        for p in &picks {
+            assert!(group.contains(&p.partition.index()));
+        }
+        let total: f64 = picks.iter().map(|p| p.weight).sum();
+        assert_eq!(total, 4.0);
+    }
+
+    #[test]
+    fn random_estimator_picks_members() {
+        let rows: Vec<Vec<f64>> = (0..6).map(|i| vec![f64::from(i)]).collect();
+        let group: Vec<usize> = (0..6).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        let picks = cluster_select(
+            &group,
+            &rows,
+            3,
+            ClusterAlgo::KMeans,
+            ExemplarRule::Random,
+            &mut rng,
+        );
+        assert_eq!(picks.len(), 3);
+        for p in &picks {
+            assert!(p.partition.index() < 6);
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! The top-level facade: train once per (dataset, layout, workload), then
+//! answer queries under any method and budget.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ps3_query::{execute_partitions, execute_table, Query, QueryAnswer, WeightedPart};
+use ps3_stats::{QueryFeatures, TableStats};
+use ps3_storage::PartitionedTable;
+
+use crate::baselines::{random_filter_selection, random_selection, LssModel};
+use crate::config::Ps3Config;
+use crate::picker::{PickOutcome, Picker};
+use crate::train::{TrainedPs3, TrainingData};
+
+/// The sampling methods compared throughout the evaluation (§5.1.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Uniform partition sampling.
+    Random,
+    /// Uniform sampling over partitions passing the selectivity filter.
+    RandomFilter,
+    /// Modified Learned Stratified Sampling (Appendix C.1).
+    Lss,
+    /// The full PS3 picker.
+    Ps3,
+}
+
+impl Method {
+    /// All methods in plot order.
+    pub const ALL: [Method; 4] = [Method::Random, Method::RandomFilter, Method::Lss, Method::Ps3];
+
+    /// Display label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::Random => "random",
+            Method::RandomFilter => "random+filter",
+            Method::Lss => "LSS",
+            Method::Ps3 => "PS3",
+        }
+    }
+}
+
+/// One approximate answer plus how it was produced.
+#[derive(Debug, Clone)]
+pub struct AnswerOutcome {
+    /// The combined approximate answer.
+    pub answer: QueryAnswer,
+    /// The weighted partitions that were read.
+    pub selection: Vec<WeightedPart>,
+    /// Picker latency (ms); 0 for the trivial baselines.
+    pub picker_ms: f64,
+}
+
+/// A trained PS3 deployment over one partitioned table.
+pub struct Ps3System {
+    /// The data.
+    pub pt: Arc<PartitionedTable>,
+    /// Its summary statistics.
+    pub stats: Arc<TableStats>,
+    /// Trained picker state.
+    pub trained: TrainedPs3,
+    /// Trained LSS baseline.
+    pub lss: LssModel,
+    /// Cached training-workload execution (reused by the benches).
+    pub training: TrainingData,
+    rng: StdRng,
+}
+
+/// Budget fractions the LSS strata sweep is trained at (the harness grid).
+pub const LSS_BUDGET_GRID: [f64; 6] = [0.02, 0.05, 0.1, 0.2, 0.35, 0.5];
+
+impl Ps3System {
+    /// Train every learned component on `train_queries`.
+    pub fn train(
+        pt: Arc<PartitionedTable>,
+        stats: Arc<TableStats>,
+        train_queries: &[Query],
+        cfg: Ps3Config,
+    ) -> Self {
+        let training = TrainingData::compute(&pt, &stats, train_queries, cfg.threads);
+        let trained = TrainedPs3::train(&training, cfg.clone());
+        let normalized: Vec<Vec<Vec<f64>>> = training
+            .features
+            .iter()
+            .map(|f| {
+                let mut m = f.rows.clone();
+                trained.normalizer.apply_matrix(&mut m);
+                m
+            })
+            .collect();
+        let lss = LssModel::train(
+            &training,
+            &normalized,
+            &cfg.gbdt,
+            &LSS_BUDGET_GRID,
+            cfg.fs_eval_queries,
+            cfg.seed,
+        );
+        let rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0xA75));
+        Self { pt, stats, trained, lss, training, rng }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.pt.num_partitions()
+    }
+
+    /// Convert a budget fraction into a partition count (≥ 1).
+    pub fn budget_partitions(&self, frac: f64) -> usize {
+        ((frac * self.num_partitions() as f64).round() as usize)
+            .clamp(1, self.num_partitions())
+    }
+
+    /// The exact answer (reads everything).
+    pub fn exact_answer(&self, query: &Query) -> QueryAnswer {
+        execute_table(&self.pt, query)
+    }
+
+    /// Select partitions for `query` under `method` at `frac` of the data.
+    ///
+    /// `features` must be the raw [`QueryFeatures`] of this query (callers
+    /// that sweep budgets should compute them once); `oracle` optionally
+    /// substitutes true contributions for the learned funnel.
+    pub fn select_with_features(
+        &mut self,
+        query: &Query,
+        features: &QueryFeatures,
+        method: Method,
+        frac: f64,
+        oracle: Option<&[f64]>,
+    ) -> (Vec<WeightedPart>, f64) {
+        let budget = self.budget_partitions(frac);
+        let n = self.num_partitions();
+        match method {
+            Method::Random => (random_selection(n, budget, &mut self.rng), 0.0),
+            Method::RandomFilter => {
+                let candidates: Vec<usize> =
+                    (0..n).filter(|&p| features.selectivity_upper(p) > 0.0).collect();
+                (random_filter_selection(&candidates, budget, &mut self.rng), 0.0)
+            }
+            Method::Lss => {
+                let candidates: Vec<usize> =
+                    (0..n).filter(|&p| features.selectivity_upper(p) > 0.0).collect();
+                let mut rows = features.rows.clone();
+                self.trained.normalizer.apply_matrix(&mut rows);
+                let sel = self.lss.pick(&rows, &candidates, budget, frac, &mut self.rng);
+                (sel, 0.0)
+            }
+            Method::Ps3 => {
+                let picker = Picker { trained: &self.trained, stats: &self.stats, pt: &self.pt };
+                let out =
+                    picker.pick_with_features(query, features, budget, &mut self.rng, oracle);
+                (out.selection, out.total_ms)
+            }
+        }
+    }
+
+    /// Full pick diagnostics for PS3 (Table 5 timing, Figure 4 lesion).
+    pub fn pick_outcome(&mut self, query: &Query, frac: f64) -> PickOutcome {
+        let features = QueryFeatures::compute(&self.stats, self.pt.table(), query);
+        let budget = self.budget_partitions(frac);
+        let picker = Picker { trained: &self.trained, stats: &self.stats, pt: &self.pt };
+        picker.pick_with_features(query, &features, budget, &mut self.rng, None)
+    }
+
+    /// Answer `query` approximately: select partitions, execute them, and
+    /// combine the weighted partial answers (§2.4).
+    pub fn answer(&mut self, query: &Query, method: Method, frac: f64) -> AnswerOutcome {
+        let features = QueryFeatures::compute(&self.stats, self.pt.table(), query);
+        let (selection, picker_ms) =
+            self.select_with_features(query, &features, method, frac, None);
+        let answer = execute_partitions(&self.pt, query, &selection);
+        AnswerOutcome { answer, selection, picker_ms }
+    }
+
+    /// Reset the internal RNG (keeps repeated experiment runs independent
+    /// but reproducible).
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps3_query::AggExpr;
+    use ps3_stats::StatsConfig;
+    use ps3_storage::table::TableBuilder;
+    use ps3_storage::{ColumnMeta, ColumnType, Schema};
+
+    #[test]
+    fn method_labels() {
+        assert_eq!(Method::Ps3.label(), "PS3");
+        assert_eq!(Method::ALL.len(), 4);
+    }
+
+    fn tiny_system() -> Ps3System {
+        let schema = Schema::new(vec![
+            ColumnMeta::new("x", ColumnType::Numeric),
+            ColumnMeta::new("g", ColumnType::Categorical),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..160 {
+            b.push_row(&[f64::from(i)], &[["a", "b"][(i / 80) as usize % 2]]);
+        }
+        let pt = std::sync::Arc::new(PartitionedTable::with_equal_partitions(b.finish(), 16));
+        let stats =
+            std::sync::Arc::new(ps3_stats::TableStats::build(&pt, &StatsConfig::default()));
+        let queries = vec![
+            Query::new(
+                vec![AggExpr::sum(ps3_query::ScalarExpr::col(ps3_storage::ColId(0)))],
+                None,
+                vec![ps3_storage::ColId(1)],
+            ),
+            Query::new(vec![AggExpr::count()], None, vec![]),
+        ];
+        let mut cfg = Ps3Config::default().with_seed(5);
+        cfg.gbdt.n_trees = 4;
+        cfg.feature_selection = false;
+        Ps3System::train(pt, stats, &queries, cfg)
+    }
+
+    #[test]
+    fn budget_partitions_clamps() {
+        let sys = tiny_system();
+        assert_eq!(sys.budget_partitions(0.0), 1);
+        assert_eq!(sys.budget_partitions(0.5), 8);
+        assert_eq!(sys.budget_partitions(1.0), 16);
+        assert_eq!(sys.budget_partitions(5.0), 16);
+    }
+
+    #[test]
+    fn reseed_restores_stochastic_behavior() {
+        let mut sys = tiny_system();
+        let q = Query::new(vec![AggExpr::count()], None, vec![]);
+        sys.reseed(77);
+        let a = sys.answer(&q, Method::Random, 0.25);
+        sys.reseed(77);
+        let b = sys.answer(&q, Method::Random, 0.25);
+        let ka: Vec<usize> = a.selection.iter().map(|w| w.partition.index()).collect();
+        let kb: Vec<usize> = b.selection.iter().map(|w| w.partition.index()).collect();
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn lss_grid_covers_training_budgets() {
+        let sys = tiny_system();
+        assert_eq!(sys.lss.strata_by_budget.len(), LSS_BUDGET_GRID.len());
+        // Lookup picks the nearest swept budget.
+        let s = sys.lss.strata_size_for(0.04);
+        assert_eq!(s, sys.lss.strata_by_budget[1].1);
+    }
+
+    #[test]
+    fn answer_outcome_reports_selection() {
+        let mut sys = tiny_system();
+        let q = Query::new(vec![AggExpr::count()], None, vec![]);
+        let out = sys.answer(&q, Method::Ps3, 0.25);
+        assert!(!out.selection.is_empty());
+        assert!(out.picker_ms >= 0.0);
+        // COUNT(*) estimate should be near 160 at a 25% budget with weights.
+        let est = out.answer.global(0).unwrap();
+        assert!((est - 160.0).abs() < 80.0, "count estimate {est}");
+    }
+}

@@ -1,0 +1,233 @@
+//! Offline training (§2.3.2, §4.3): execute the training workload per
+//! partition, derive partition contributions, train the k importance models,
+//! fit the feature normalizer, and run feature selection.
+
+use ps3_learn::{choose_thresholds, make_labels, Gbdt};
+use ps3_query::{execute_partition, PartialAnswer, Query};
+use ps3_stats::features::FeatureType;
+use ps3_stats::{Normalizer, QueryFeatures, TableStats};
+use ps3_storage::{PartitionId, PartitionedTable};
+
+use crate::config::Ps3Config;
+use crate::feature_selection::select_features;
+
+/// Everything computed once per (dataset, layout, workload): per-query,
+/// per-partition answers, feature matrices and contributions. Reused by
+/// model training, LSS strata sweeps, feature selection and the experiment
+/// harness.
+#[derive(Debug)]
+pub struct TrainingData {
+    /// The training queries.
+    pub queries: Vec<Query>,
+    /// `partials[q][p]` = partition p's exact partial answer to query q.
+    pub partials: Vec<Vec<PartialAnswer>>,
+    /// `totals[q]` = the exact combined answer (all partitions, weight 1).
+    pub totals: Vec<PartialAnswer>,
+    /// Raw (unnormalized, masked) feature matrices per query.
+    pub features: Vec<QueryFeatures>,
+    /// `contributions[q][p]` in \[0,1\]: partition p's §4.3 contribution to q.
+    pub contributions: Vec<Vec<f64>>,
+}
+
+impl TrainingData {
+    /// Execute every query on every partition (parallel over queries) and
+    /// derive features and contributions.
+    pub fn compute(
+        pt: &PartitionedTable,
+        stats: &TableStats,
+        queries: &[Query],
+        threads: usize,
+    ) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(4, usize::from)
+        } else {
+            threads
+        }
+        .clamp(1, queries.len().max(1));
+
+        let mut per_query: Vec<(Vec<PartialAnswer>, PartialAnswer, QueryFeatures)> =
+            Vec::with_capacity(queries.len());
+        crossbeam::thread::scope(|s| {
+            let chunk = queries.len().div_ceil(threads);
+            let handles: Vec<_> = queries
+                .chunks(chunk.max(1))
+                .map(|qs| {
+                    s.spawn(move |_| {
+                        qs.iter()
+                            .map(|q| {
+                                let partials: Vec<PartialAnswer> = (0..pt.num_partitions())
+                                    .map(|p| {
+                                        execute_partition(
+                                            pt.table(),
+                                            pt.rows(PartitionId(p)),
+                                            q,
+                                        )
+                                    })
+                                    .collect();
+                                let mut total = PartialAnswer::empty(q);
+                                for part in &partials {
+                                    total.add_weighted(part, 1.0);
+                                }
+                                let feats = QueryFeatures::compute(stats, pt.table(), q);
+                                (partials, total, feats)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                per_query.extend(h.join().expect("training worker panicked"));
+            }
+        })
+        .expect("crossbeam scope");
+
+        let mut partials = Vec::with_capacity(queries.len());
+        let mut totals = Vec::with_capacity(queries.len());
+        let mut features = Vec::with_capacity(queries.len());
+        let mut contributions = Vec::with_capacity(queries.len());
+        for (p, t, f) in per_query {
+            contributions.push(contributions_for(&p, &t));
+            partials.push(p);
+            totals.push(t);
+            features.push(f);
+        }
+        Self { queries: queries.to_vec(), partials, totals, features, contributions }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partials.first().map_or(0, Vec::len)
+    }
+}
+
+/// Partition contribution (§4.3): the max over groups and aggregate slots of
+/// `|A_{g,i}| / |A_g|`, clamped to \[0,1\]. Zero-magnitude totals are skipped.
+pub fn contributions_for(partials: &[PartialAnswer], total: &PartialAnswer) -> Vec<f64> {
+    partials
+        .iter()
+        .map(|part| {
+            let mut best = 0.0f64;
+            for (key, vals) in &part.groups {
+                let Some(tvals) = total.groups.get(key) else { continue };
+                for (&v, &t) in vals.iter().zip(tvals) {
+                    if t.abs() > 1e-9 {
+                        best = best.max((v / t).abs());
+                    }
+                }
+            }
+            best.clamp(0.0, 1.0)
+        })
+        .collect()
+}
+
+/// The trained picker state: k models, their thresholds, the normalizer and
+/// the clustering feature exclusions.
+pub struct TrainedPs3 {
+    /// The k importance regressors, least restrictive first.
+    pub models: Vec<Gbdt>,
+    /// The contribution thresholds the models were trained against.
+    pub thresholds: Vec<f64>,
+    /// Appendix-B feature normalization fitted on the training workload.
+    pub normalizer: Normalizer,
+    /// Feature types excluded from clustering by Algorithm 3.
+    pub excluded: Vec<FeatureType>,
+    /// The configuration used.
+    pub config: Ps3Config,
+}
+
+impl TrainedPs3 {
+    /// Train the full picker from precomputed [`TrainingData`].
+    pub fn train(td: &TrainingData, config: Ps3Config) -> Self {
+        let schema = *td
+            .features
+            .first()
+            .map(|f| &f.schema)
+            .expect("need at least one training query");
+        let normalizer = Normalizer::fit(schema, td.features.iter().map(|f| &f.rows));
+
+        // Normalized training matrices, flattened to (query, partition) rows.
+        let normalized: Vec<Vec<Vec<f64>>> = td
+            .features
+            .iter()
+            .map(|f| {
+                let mut m = f.rows.clone();
+                normalizer.apply_matrix(&mut m);
+                m
+            })
+            .collect();
+
+        // Exponentially spaced thresholds from the pooled contributions.
+        let pooled: Vec<f64> = td.contributions.iter().flatten().copied().collect();
+        let thresholds = choose_thresholds(&pooled, config.k_models);
+
+        let mut flat_rows: Vec<Vec<f64>> = Vec::with_capacity(pooled.len());
+        for m in &normalized {
+            flat_rows.extend(m.iter().cloned());
+        }
+        let mut models = Vec::with_capacity(config.k_models);
+        for (i, &t) in thresholds.iter().enumerate() {
+            let mut labels: Vec<f64> = Vec::with_capacity(pooled.len());
+            for contribs in &td.contributions {
+                labels.extend(make_labels(contribs, t));
+            }
+            let mut params = config.gbdt;
+            params.seed = config.gbdt.seed.wrapping_add(i as u64);
+            models.push(Gbdt::train(&flat_rows, &labels, &params));
+        }
+
+        let excluded = if config.feature_selection {
+            select_features(td, &normalized, &config)
+        } else {
+            Vec::new()
+        };
+
+        Self { models, thresholds, normalizer, excluded, config }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps3_query::GroupKey;
+    use std::collections::HashMap;
+
+    fn partial(entries: &[(&[u64], &[f64])]) -> PartialAnswer {
+        let mut groups = HashMap::new();
+        for (k, v) in entries {
+            groups.insert(GroupKey(k.to_vec().into_boxed_slice()), v.to_vec());
+        }
+        PartialAnswer { groups, slots: entries.first().map_or(1, |e| e.1.len()) }
+    }
+
+    #[test]
+    fn contribution_is_max_share() {
+        let total = partial(&[(&[1], &[100.0, 10.0]), (&[2], &[50.0, 5.0])]);
+        // Partition holds 10% of group 1's first slot but 40% of group 2's
+        // second slot → contribution 0.4.
+        let p = partial(&[(&[1], &[10.0, 1.0]), (&[2], &[5.0, 2.0])]);
+        let c = contributions_for(&[p], &total);
+        assert!((c[0] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_partition_contributes_zero() {
+        let total = partial(&[(&[1], &[100.0])]);
+        let p = PartialAnswer { groups: HashMap::new(), slots: 1 };
+        assert_eq!(contributions_for(&[p], &total), vec![0.0]);
+    }
+
+    #[test]
+    fn zero_totals_are_skipped() {
+        let total = partial(&[(&[1], &[0.0])]);
+        let p = partial(&[(&[1], &[5.0])]);
+        assert_eq!(contributions_for(&[p], &total), vec![0.0]);
+    }
+
+    #[test]
+    fn contribution_clamped_to_one() {
+        // Negative cancellation: a partition can exceed the total.
+        let total = partial(&[(&[1], &[10.0])]);
+        let p = partial(&[(&[1], &[25.0])]);
+        assert_eq!(contributions_for(&[p], &total), vec![1.0]);
+    }
+}

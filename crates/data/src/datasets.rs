@@ -1,0 +1,266 @@
+//! Dataset assembly: generator → layout → partitioning → statistics →
+//! workload → train/test query split.
+
+use std::sync::Arc;
+
+use ps3_core::{Ps3Config, Ps3System};
+use ps3_query::Query;
+use ps3_stats::{StatsConfig, TableStats};
+use ps3_storage::{Layout, PartitionedTable, Table};
+
+use crate::workload::{generate_distinct, WorkloadSpec};
+use crate::{aria, kdd, tpcds, tpch};
+
+/// Which of the four evaluation datasets to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// Denormalized, Zipf-skewed TPC-H lineitem (sorted by ship date).
+    TpcH,
+    /// Denormalized TPC-DS catalog_sales (sorted by year/month/day).
+    TpcDs,
+    /// Microsoft Aria-style telemetry (sorted by tenant).
+    Aria,
+    /// KDD Cup'99-style intrusion log (sorted by `count`).
+    Kdd,
+}
+
+impl DatasetKind {
+    /// All four, in the paper's presentation order.
+    pub const ALL: [DatasetKind; 4] =
+        [DatasetKind::TpcH, DatasetKind::TpcDs, DatasetKind::Aria, DatasetKind::Kdd];
+
+    /// Display name matching the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            DatasetKind::TpcH => "TPC-H*",
+            DatasetKind::TpcDs => "TPC-DS*",
+            DatasetKind::Aria => "Aria",
+            DatasetKind::Kdd => "KDD",
+        }
+    }
+}
+
+/// Experiment scale knobs. The paper's full scale (6B rows) is out of reach
+/// for a single-machine reproduction; these profiles keep the structural
+/// properties while scaling row counts (DESIGN.md §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleProfile {
+    /// Unit tests and doc examples: 6.4k rows, 64 partitions, 40/10 queries.
+    Tiny,
+    /// Bench default: 48k rows, 160 partitions, 120/40 queries.
+    Default,
+    /// `PS3_FULL=1`: 160k rows, 320 partitions, 300/80 queries.
+    Full,
+}
+
+impl ScaleProfile {
+    /// From the `PS3_FULL` environment variable.
+    pub fn from_env() -> Self {
+        if std::env::var("PS3_FULL").is_ok_and(|v| v == "1") {
+            ScaleProfile::Full
+        } else {
+            ScaleProfile::Default
+        }
+    }
+
+    /// `(rows, partitions, train queries, test queries)`.
+    pub fn dims(self) -> (usize, usize, usize, usize) {
+        match self {
+            ScaleProfile::Tiny => (6_400, 64, 40, 10),
+            ScaleProfile::Default => (48_000, 160, 120, 40),
+            ScaleProfile::Full => (160_000, 320, 300, 80),
+        }
+    }
+}
+
+/// Configuration for building one dataset instance.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Which dataset.
+    pub kind: DatasetKind,
+    /// Scale profile.
+    pub scale: ScaleProfile,
+    /// Layout override (`None` = the dataset's paper-default sort).
+    pub layout: Option<(String, Layout)>,
+    /// Partition-count override.
+    pub partitions: Option<usize>,
+    /// Row-count override.
+    pub rows: Option<usize>,
+}
+
+impl DatasetConfig {
+    /// A dataset at the given scale with its default layout.
+    pub fn new(kind: DatasetKind, scale: ScaleProfile) -> Self {
+        Self { kind, scale, layout: None, partitions: None, rows: None }
+    }
+
+    /// Override the layout (Figures 6 and 8).
+    pub fn with_layout(mut self, name: impl Into<String>, layout: Layout) -> Self {
+        self.layout = Some((name.into(), layout));
+        self
+    }
+
+    /// Override the partition count (Figure 8's 1k vs 10k study).
+    pub fn with_partitions(mut self, partitions: usize) -> Self {
+        self.partitions = Some(partitions);
+        self
+    }
+
+    /// Override the row count.
+    pub fn with_rows(mut self, rows: usize) -> Self {
+        self.rows = Some(rows);
+        self
+    }
+
+    /// The generator's alternate layouts for this dataset kind (Figure 6).
+    pub fn alt_layouts(kind: DatasetKind, table: &Table) -> Vec<(String, Layout)> {
+        match kind {
+            DatasetKind::TpcH => tpch::alt_layouts(table),
+            DatasetKind::TpcDs => tpcds::alt_layouts(table),
+            DatasetKind::Aria => aria::alt_layouts(table),
+            DatasetKind::Kdd => kdd::alt_layouts(table),
+        }
+    }
+
+    /// Generate data, apply the layout, partition, build statistics and
+    /// sample the train/test workloads.
+    pub fn build(&self, seed: u64) -> Dataset {
+        let (rows_default, parts_default, n_train, n_test) = self.scale.dims();
+        let rows = self.rows.unwrap_or(rows_default);
+        let partitions = self.partitions.unwrap_or(parts_default);
+
+        let base = match self.kind {
+            DatasetKind::TpcH => tpch::generate(rows, seed),
+            DatasetKind::TpcDs => tpcds::generate(rows, seed),
+            DatasetKind::Aria => aria::generate(rows, seed),
+            DatasetKind::Kdd => kdd::generate(rows, seed),
+        };
+        let (layout_name, layout) = match &self.layout {
+            Some((name, l)) => (name.clone(), l.clone()),
+            None => {
+                let l = match self.kind {
+                    DatasetKind::TpcH => tpch::default_layout(&base),
+                    DatasetKind::TpcDs => tpcds::default_layout(&base),
+                    DatasetKind::Aria => aria::default_layout(&base),
+                    DatasetKind::Kdd => kdd::default_layout(&base),
+                };
+                (l.label(&base), l)
+            }
+        };
+        let table = layout.apply(&base);
+        let pt = PartitionedTable::with_equal_partitions(table, partitions);
+        let stats = TableStats::build(&pt, &StatsConfig::default());
+
+        let spec = match self.kind {
+            DatasetKind::TpcH => tpch::workload_spec(pt.table(), seed ^ 0x11),
+            DatasetKind::TpcDs => tpcds::workload_spec(pt.table(), seed ^ 0x11),
+            DatasetKind::Aria => aria::workload_spec(pt.table(), seed ^ 0x11),
+            DatasetKind::Kdd => kdd::workload_spec(pt.table(), seed ^ 0x11),
+        };
+        // One pool, disjoint halves: §5.1.2 requires test ∩ train = ∅.
+        let all = generate_distinct(&spec, pt.table(), n_train + n_test, seed ^ 0x5A5A);
+        let (train, test) = all.split_at(all.len().saturating_sub(n_test));
+
+        Dataset {
+            name: format!("{} [{layout_name}]", self.kind.label()),
+            kind: self.kind,
+            pt: Arc::new(pt),
+            stats: Arc::new(stats),
+            spec,
+            train_queries: train.to_vec(),
+            test_queries: test.to_vec(),
+        }
+    }
+}
+
+/// A fully-built dataset: data + statistics + workload.
+pub struct Dataset {
+    /// Display name including the layout.
+    pub name: String,
+    /// Which dataset this is.
+    pub kind: DatasetKind,
+    /// The partitioned data.
+    pub pt: Arc<PartitionedTable>,
+    /// Its summary statistics.
+    pub stats: Arc<TableStats>,
+    /// The workload specification.
+    pub spec: WorkloadSpec,
+    /// Training workload.
+    pub train_queries: Vec<Query>,
+    /// Held-out test workload.
+    pub test_queries: Vec<Query>,
+}
+
+impl Dataset {
+    /// Train a [`Ps3System`] on this dataset's training workload.
+    pub fn train_system(&self, cfg: Ps3Config) -> Ps3System {
+        Ps3System::train(self.pt.clone(), self.stats.clone(), &self.train_queries, cfg)
+    }
+
+    /// The i-th held-out test query (wraps around).
+    pub fn sample_test_query(&self, i: usize) -> Query {
+        self.test_queries[i % self.test_queries.len()].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_dataset_builds_end_to_end() {
+        let ds = DatasetConfig::new(DatasetKind::Aria, ScaleProfile::Tiny).build(1);
+        assert_eq!(ds.pt.num_partitions(), 64);
+        assert_eq!(ds.pt.table().num_rows(), 6_400);
+        assert_eq!(ds.stats.num_partitions(), 64);
+        assert_eq!(ds.train_queries.len() + ds.test_queries.len(), 50);
+        assert!(ds.name.contains("Aria"));
+    }
+
+    #[test]
+    fn train_test_split_is_disjoint() {
+        let ds = DatasetConfig::new(DatasetKind::Kdd, ScaleProfile::Tiny).build(2);
+        let train: std::collections::HashSet<String> = ds
+            .train_queries
+            .iter()
+            .map(|q| q.display(ds.pt.table().schema()).to_string())
+            .collect();
+        for q in &ds.test_queries {
+            let key = q.display(ds.pt.table().schema()).to_string();
+            assert!(!train.contains(&key), "leaked test query: {key}");
+        }
+    }
+
+    #[test]
+    fn layout_override_changes_name_and_order() {
+        let base = DatasetConfig::new(DatasetKind::TpcDs, ScaleProfile::Tiny);
+        let ds_default = base.clone().build(3);
+        let ds_random = base
+            .with_layout("random", Layout::Random { seed: 1 })
+            .build(3);
+        assert_ne!(ds_default.name, ds_random.name);
+        let col = ds_default.pt.table().schema().expect_col("d_year");
+        assert_ne!(
+            ds_default.pt.table().numeric(col)[..100],
+            ds_random.pt.table().numeric(col)[..100]
+        );
+    }
+
+    #[test]
+    fn partition_override() {
+        let ds = DatasetConfig::new(DatasetKind::TpcH, ScaleProfile::Tiny)
+            .with_partitions(32)
+            .build(4);
+        assert_eq!(ds.pt.num_partitions(), 32);
+    }
+
+    #[test]
+    fn alt_layouts_exist_for_all_kinds() {
+        for kind in DatasetKind::ALL {
+            let cfg = DatasetConfig::new(kind, ScaleProfile::Tiny).with_rows(1000).with_partitions(10);
+            let ds = cfg.build(5);
+            let alts = DatasetConfig::alt_layouts(kind, ds.pt.table());
+            assert!(!alts.is_empty(), "{kind:?}");
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Small sampling utilities: Zipf, log-normal and exponential draws built on
+//! plain uniform randomness (no extra crates).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A Zipf(θ) distribution over `{0, …, n−1}` with a precomputed CDF.
+///
+/// The TPC-H* dataset uses θ = 1 skew (citation 7 of the paper); sampling is a binary search over
+/// the CDF, O(log n) per draw.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the distribution (O(n)).
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty domain");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one rank (0 = most likely).
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of rank `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+/// A standard normal draw via Box–Muller.
+pub fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Log-normal draw with the given log-space mean and standard deviation —
+/// used for heavy-tailed byte counts and payload sizes.
+pub fn lognormal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * normal(rng)).exp()
+}
+
+/// Exponential draw with the given mean.
+pub fn exponential(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_head_dominates() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 mass for Zipf(1, 100) is 1/H_100 ≈ 0.193.
+        let head = counts[0] as f64 / 20_000.0;
+        assert!((head - 0.193).abs() < 0.02, "head mass {head}");
+        // Monotone-ish decay across the top ranks.
+        assert!(counts[0] > counts[4]);
+        assert!(counts[4] > counts[40]);
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(50, 1.2);
+        let total: f64 = (0..50).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.n(), 50);
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for i in 0..10 {
+            assert!((z.pmf(i) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 50_000;
+        let draws: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let draws: Vec<f64> = (0..10_000).map(|_| lognormal(&mut rng, 3.0, 1.5)).collect();
+        assert!(draws.iter().all(|&x| x > 0.0));
+        let mean = draws.iter().sum::<f64>() / 10_000.0;
+        let median = {
+            let mut d = draws.clone();
+            d.sort_by(f64::total_cmp);
+            d[5000]
+        };
+        assert!(mean > 1.5 * median, "no heavy tail: mean {mean} median {median}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mean = (0..20_000).map(|_| exponential(&mut rng, 5.0)).sum::<f64>() / 20_000.0;
+        assert!((mean - 5.0).abs() < 0.2, "mean {mean}");
+    }
+}

@@ -1,0 +1,307 @@
+//! KDD* (§5.1.1): a synthetic stand-in for the KDD Cup'99 network-intrusion
+//! dataset (citation 17 of the paper). Traffic is generated in *bursts* sharing a latent
+//! connection class (normal / DoS / probe / R2L), which reproduces the
+//! original's bursty attack structure: DoS floods dominate `count`/
+//! `srv_count` and error rates, probes sweep many services, and normal
+//! traffic is low-rate. Sorted by `count` by default (as in the paper).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use ps3_query::{AggExpr, ScalarExpr};
+use ps3_storage::table::TableBuilder;
+use ps3_storage::{ColumnMeta, ColumnType, Layout, Schema, Table};
+
+use crate::dist::{exponential, lognormal, Zipf};
+use crate::workload::WorkloadSpec;
+
+const PROTOCOLS: [&str; 3] = ["icmp", "tcp", "udp"];
+const SERVICES: [&str; 20] = [
+    "http", "smtp", "ftp", "ftp_data", "telnet", "domain_u", "ecr_i", "eco_i", "finger",
+    "auth", "pop_3", "imap4", "ssh", "time", "private", "other", "irc", "x11", "nntp",
+    "whois",
+];
+const FLAGS: [&str; 8] = ["SF", "S0", "REJ", "RSTO", "RSTR", "S1", "S2", "SH"];
+
+/// Latent connection classes driving the burst structure.
+#[derive(Clone, Copy)]
+enum Class {
+    Normal,
+    Dos,
+    Probe,
+    R2l,
+}
+
+/// Generate the intrusion log in capture order (bursty).
+pub fn generate(rows: usize, seed: u64) -> Table {
+    let schema = Schema::new(vec![
+        ColumnMeta::new("duration", ColumnType::Numeric),
+        ColumnMeta::new("src_bytes", ColumnType::Numeric),
+        ColumnMeta::new("dst_bytes", ColumnType::Numeric),
+        ColumnMeta::new("wrong_fragment", ColumnType::Numeric),
+        ColumnMeta::new("urgent", ColumnType::Numeric),
+        ColumnMeta::new("hot", ColumnType::Numeric),
+        ColumnMeta::new("num_failed_logins", ColumnType::Numeric),
+        ColumnMeta::new("count", ColumnType::Numeric),
+        ColumnMeta::new("srv_count", ColumnType::Numeric),
+        ColumnMeta::new("serror_rate", ColumnType::Numeric),
+        ColumnMeta::new("rerror_rate", ColumnType::Numeric),
+        ColumnMeta::new("same_srv_rate", ColumnType::Numeric),
+        ColumnMeta::new("diff_srv_rate", ColumnType::Numeric),
+        ColumnMeta::new("dst_host_count", ColumnType::Numeric),
+        ColumnMeta::new("dst_host_srv_count", ColumnType::Numeric),
+        ColumnMeta::new("protocol_type", ColumnType::Categorical),
+        ColumnMeta::new("service", ColumnType::Categorical),
+        ColumnMeta::new("flag", ColumnType::Categorical),
+        ColumnMeta::new("land", ColumnType::Categorical),
+        ColumnMeta::new("logged_in", ColumnType::Categorical),
+        ColumnMeta::new("is_guest_login", ColumnType::Categorical),
+    ]);
+    let mut b = TableBuilder::new(schema);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let z_service = Zipf::new(SERVICES.len(), 1.1);
+
+    let mut remaining = rows;
+    while remaining > 0 {
+        // Draw a burst: DoS bursts are long (flood), others short.
+        let class = match rng.gen_range(0..100u32) {
+            0..=54 => Class::Normal,
+            55..=84 => Class::Dos,
+            85..=94 => Class::Probe,
+            _ => Class::R2l,
+        };
+        let burst = match class {
+            Class::Normal => rng.gen_range(5..40),
+            Class::Dos => rng.gen_range(50..400),
+            Class::Probe => rng.gen_range(20..120),
+            Class::R2l => rng.gen_range(1..10),
+        }
+        .min(remaining);
+        let burst_service = z_service.sample(&mut rng);
+        for _ in 0..burst {
+            let (dur, src, dst, cnt, srv, serr, rerr, same, diff, service, flag, proto);
+            match class {
+                Class::Normal => {
+                    dur = exponential(&mut rng, 15.0);
+                    src = lognormal(&mut rng, 5.5, 1.5);
+                    dst = lognormal(&mut rng, 6.5, 1.8);
+                    cnt = rng.gen_range(1.0..30.0);
+                    srv = cnt * rng.gen_range(0.5..1.0);
+                    serr = rng.gen_range(0.0..0.05);
+                    rerr = rng.gen_range(0.0..0.05);
+                    same = rng.gen_range(0.7..1.0);
+                    diff = 1.0 - same;
+                    service = burst_service;
+                    flag = 0; // SF
+                    proto = 1; // tcp
+                }
+                Class::Dos => {
+                    dur = 0.0;
+                    src = lognormal(&mut rng, 4.0, 0.3);
+                    dst = 0.0;
+                    cnt = rng.gen_range(200.0..511.0);
+                    srv = cnt * rng.gen_range(0.9..1.0);
+                    serr = rng.gen_range(0.7..1.0);
+                    rerr = rng.gen_range(0.0..0.1);
+                    same = rng.gen_range(0.9..1.0);
+                    diff = 1.0 - same;
+                    service = 6; // ecr_i
+                    flag = 1; // S0
+                    proto = 0; // icmp
+                }
+                Class::Probe => {
+                    dur = exponential(&mut rng, 2.0);
+                    src = lognormal(&mut rng, 3.0, 0.8);
+                    dst = lognormal(&mut rng, 2.0, 1.0);
+                    cnt = rng.gen_range(50.0..300.0);
+                    srv = rng.gen_range(1.0..20.0);
+                    serr = rng.gen_range(0.0..0.3);
+                    rerr = rng.gen_range(0.3..0.9);
+                    same = rng.gen_range(0.0..0.2);
+                    diff = rng.gen_range(0.6..1.0);
+                    service = rng.gen_range(0..SERVICES.len());
+                    flag = 2; // REJ
+                    proto = rng.gen_range(0..3);
+                }
+                Class::R2l => {
+                    dur = exponential(&mut rng, 60.0);
+                    src = lognormal(&mut rng, 4.5, 1.0);
+                    dst = lognormal(&mut rng, 5.0, 1.2);
+                    cnt = rng.gen_range(1.0..5.0);
+                    srv = cnt;
+                    serr = 0.0;
+                    rerr = rng.gen_range(0.0..0.4);
+                    same = rng.gen_range(0.5..1.0);
+                    diff = 1.0 - same;
+                    service = [2, 4, 12][rng.gen_range(0..3)]; // ftp/telnet/ssh
+                    flag = rng.gen_range(0..2);
+                    proto = 1;
+                }
+            }
+            let logged_in = matches!(class, Class::Normal | Class::R2l) && rng.gen_bool(0.8);
+            b.push_row(
+                &[
+                    dur,
+                    src,
+                    dst,
+                    f64::from(u32::from(matches!(class, Class::Dos) && rng.gen_bool(0.1))),
+                    0.0,
+                    f64::from(u32::from(matches!(class, Class::R2l)) * rng.gen_range(0..5)),
+                    f64::from(u32::from(matches!(class, Class::R2l)) * rng.gen_range(0..4)),
+                    cnt,
+                    srv,
+                    serr,
+                    rerr,
+                    same,
+                    diff,
+                    rng.gen_range(1.0..256.0),
+                    rng.gen_range(1.0..256.0),
+                ],
+                &[
+                    PROTOCOLS[proto],
+                    SERVICES[service],
+                    FLAGS[flag],
+                    if rng.gen_bool(0.001) { "1" } else { "0" },
+                    if logged_in { "1" } else { "0" },
+                    if matches!(class, Class::R2l) && rng.gen_bool(0.3) { "1" } else { "0" },
+                ],
+            );
+        }
+        remaining -= burst;
+    }
+    b.finish()
+}
+
+/// The §5.1.2 workload specification for KDD*.
+pub fn workload_spec(table: &Table, seed: u64) -> WorkloadSpec {
+    let s = table.schema();
+    let col = |n: &str| s.expect_col(n);
+    let src = ScalarExpr::col(col("src_bytes"));
+    let dst = ScalarExpr::col(col("dst_bytes"));
+    let aggregates = vec![
+        AggExpr::sum(src.clone()),
+        AggExpr::sum(dst.clone()),
+        AggExpr::sum(src.add(dst)),
+        AggExpr::count(),
+        AggExpr::avg(ScalarExpr::col(col("count"))),
+        AggExpr::avg(ScalarExpr::col(col("serror_rate"))),
+        AggExpr::sum(ScalarExpr::col(col("duration"))),
+        AggExpr::avg(ScalarExpr::col(col("same_srv_rate"))),
+    ];
+    let group_by_columnsets = vec![
+        vec![col("protocol_type")],
+        vec![col("service")],
+        vec![col("flag")],
+        vec![col("protocol_type"), col("flag")],
+        vec![col("logged_in")],
+        vec![col("service"), col("flag")],
+    ];
+    let pred_cols = [
+        "duration",
+        "src_bytes",
+        "dst_bytes",
+        "count",
+        "srv_count",
+        "serror_rate",
+        "rerror_rate",
+        "same_srv_rate",
+        "diff_srv_rate",
+        "dst_host_count",
+        "protocol_type",
+        "service",
+        "flag",
+        "logged_in",
+    ]
+    .map(col);
+    WorkloadSpec::build(table, aggregates, group_by_columnsets, &pred_cols, seed)
+}
+
+/// Paper default: sorted by the numeric column `count`.
+pub fn default_layout(table: &Table) -> Layout {
+    Layout::sorted(table.schema().expect_col("count"))
+}
+
+/// Figure-6 alternates: sorted by `(service, flag)` and by
+/// `(src_bytes, dst_bytes)`.
+pub fn alt_layouts(table: &Table) -> Vec<(String, Layout)> {
+    let s = table.schema();
+    vec![
+        (
+            "service,flag".to_owned(),
+            Layout::SortedBy(vec![s.expect_col("service"), s.expect_col("flag")]),
+        ),
+        (
+            "src_bytes,dst_bytes".to_owned(),
+            Layout::SortedBy(vec![s.expect_col("src_bytes"), s.expect_col("dst_bytes")]),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_exact_row_count() {
+        let t = generate(1234, 1);
+        assert_eq!(t.num_rows(), 1234);
+        assert_eq!(t.schema().len(), 21);
+    }
+
+    #[test]
+    fn dos_floods_have_high_counts_and_serror() {
+        let t = generate(5000, 2);
+        let s = t.schema();
+        let count = t.numeric(s.expect_col("count"));
+        let serr = t.numeric(s.expect_col("serror_rate"));
+        // Rows with count > 200 should be overwhelmingly high-serror (DoS).
+        let mut dos_rows = 0;
+        let mut high_serr = 0;
+        for i in 0..5000 {
+            if count[i] > 200.0 {
+                dos_rows += 1;
+                if serr[i] > 0.5 {
+                    high_serr += 1;
+                }
+            }
+        }
+        assert!(dos_rows > 500, "no DoS bursts generated");
+        assert!(high_serr as f64 > 0.9 * dos_rows as f64);
+    }
+
+    #[test]
+    fn rates_are_probabilities() {
+        let t = generate(2000, 3);
+        let s = t.schema();
+        for name in ["serror_rate", "rerror_rate", "same_srv_rate", "diff_srv_rate"] {
+            let v = t.numeric(s.expect_col(name));
+            assert!(v.iter().all(|&x| (0.0..=1.0).contains(&x)), "{name} out of range");
+        }
+    }
+
+    #[test]
+    fn service_distribution_is_skewed() {
+        let t = generate(8000, 4);
+        let (codes, _) = t.categorical(t.schema().expect_col("service"));
+        let mut counts = std::collections::HashMap::new();
+        for &c in codes {
+            *counts.entry(c).or_insert(0usize) += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        assert!(max > 8000 / 10, "service max {max}");
+    }
+
+    #[test]
+    fn spec_and_layouts_build() {
+        let t = generate(500, 5);
+        let spec = workload_spec(&t, 1);
+        assert!(spec.aggregates.len() >= 6);
+        assert_eq!(alt_layouts(&t).len(), 2);
+        let sorted = default_layout(&t).apply(&t);
+        let count = sorted.numeric(sorted.schema().expect_col("count"));
+        for w in count.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Synthetic versions of the paper's four evaluation datasets, the §5.1.2
+//! random workload generator, and the TPC-H query templates used by the
+//! generalization test (§5.5.4).
+//!
+//! The originals are either proprietary (Aria), download-gated (KDD Cup'99)
+//! or far beyond a single machine (TPC-H sf=1000). Each generator reproduces
+//! the *structural properties the algorithms see*: schemas with the same
+//! column roles, heavy skew (Zipf θ=1 for TPC-H*, a dominant
+//! `AppInfo_Version` for Aria, bursty attacks for KDD), and the sorted
+//! ingest layouts the paper evaluates. See DESIGN.md §4 for the substitution
+//! rationale.
+
+pub mod aria;
+pub mod datasets;
+pub mod dist;
+pub mod kdd;
+pub mod tpcds;
+pub mod tpch;
+pub mod tpch_queries;
+pub mod workload;
+
+pub use datasets::{Dataset, DatasetConfig, DatasetKind, ScaleProfile};
+pub use workload::{QueryGenerator, WorkloadSpec};

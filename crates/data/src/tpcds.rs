@@ -1,0 +1,237 @@
+//! TPC-DS* (§5.1.1): `catalog_sales` denormalized against `item`,
+//! `date_dim`, `promotion` and `customer_demographics`. Sorted by
+//! `(d_year, d_moy, d_dom)` by default; the Figure-6 alternates sort by
+//! `p_promo_sk` (clustered promos) and `cs_net_profit` (near-uniform).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use ps3_query::{AggExpr, ScalarExpr};
+use ps3_storage::table::TableBuilder;
+use ps3_storage::{ColumnMeta, ColumnType, Layout, Schema, Table};
+
+use crate::dist::{lognormal, Zipf};
+use crate::workload::WorkloadSpec;
+
+const CATEGORIES: [&str; 10] = [
+    "Books", "Children", "Electronics", "Home", "Jewelry", "Men", "Music", "Shoes", "Sports",
+    "Women",
+];
+const GENDERS: [&str; 2] = ["M", "F"];
+const MARITAL: [&str; 5] = ["D", "M", "S", "U", "W"];
+const EDUCATION: [&str; 7] = [
+    "2 yr Degree",
+    "4 yr Degree",
+    "Advanced Degree",
+    "College",
+    "Primary",
+    "Secondary",
+    "Unknown",
+];
+const DAY_NAMES: [&str; 7] =
+    ["Sunday", "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday"];
+const YES_NO: [&str; 2] = ["N", "Y"];
+
+/// Generate the denormalized catalog-sales table in sale order.
+pub fn generate(rows: usize, seed: u64) -> Table {
+    let schema = Schema::new(vec![
+        ColumnMeta::new("cs_quantity", ColumnType::Numeric),
+        ColumnMeta::new("cs_list_price", ColumnType::Numeric),
+        ColumnMeta::new("cs_sales_price", ColumnType::Numeric),
+        ColumnMeta::new("cs_wholesale_cost", ColumnType::Numeric),
+        ColumnMeta::new("cs_ext_discount_amt", ColumnType::Numeric),
+        ColumnMeta::new("cs_coupon_amt", ColumnType::Numeric),
+        ColumnMeta::new("cs_net_profit", ColumnType::Numeric),
+        ColumnMeta::new("i_current_price", ColumnType::Numeric),
+        ColumnMeta::new("p_promo_sk", ColumnType::Numeric),
+        ColumnMeta::new("d_year", ColumnType::Numeric),
+        ColumnMeta::new("d_moy", ColumnType::Numeric),
+        ColumnMeta::new("d_dom", ColumnType::Numeric),
+        ColumnMeta::new("cd_dep_count", ColumnType::Numeric),
+        ColumnMeta::new("i_category", ColumnType::Categorical),
+        ColumnMeta::new("i_class", ColumnType::Categorical),
+        ColumnMeta::new("i_brand", ColumnType::Categorical),
+        ColumnMeta::new("cd_gender", ColumnType::Categorical),
+        ColumnMeta::new("cd_marital_status", ColumnType::Categorical),
+        ColumnMeta::new("cd_education_status", ColumnType::Categorical),
+        ColumnMeta::new("p_channel_email", ColumnType::Categorical),
+        ColumnMeta::new("p_channel_tv", ColumnType::Categorical),
+        ColumnMeta::new("d_day_name", ColumnType::Categorical),
+    ]);
+    let mut b = TableBuilder::new(schema);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let z_item = Zipf::new(400, 0.8);
+    let z_promo = Zipf::new(120, 1.0);
+
+    // Sales arrive in date order: 3 years of days.
+    let mut day_ids: Vec<u32> = (0..rows).map(|_| rng.gen_range(0..(3 * 365))).collect();
+    day_ids.sort_unstable();
+
+    for &day in &day_ids {
+        let year = 1998.0 + f64::from(day / 365);
+        let moy = f64::from((day % 365) / 31 + 1).min(12.0);
+        let dom = f64::from(day % 31 + 1);
+        let item = z_item.sample(&mut rng);
+        let promo = z_promo.sample(&mut rng) as f64 + 1.0;
+        let list = 10.0 + (item as f64 * 7.3) % 290.0;
+        let qty = f64::from(rng.gen_range(1..=100u32));
+        let sales = list * rng.gen_range(0.3..1.0);
+        let wholesale = list * rng.gen_range(0.25..0.8);
+        let discount = (list - sales).max(0.0) * qty;
+        let coupon = if rng.gen_bool(0.15) { lognormal(&mut rng, 3.0, 1.0) } else { 0.0 };
+        // Net profit can be negative, like the real column.
+        let profit = (sales - wholesale) * qty - coupon;
+        b.push_row(
+            &[
+                qty,
+                list,
+                sales,
+                wholesale,
+                discount,
+                coupon,
+                profit,
+                list * rng.gen_range(0.9..1.15),
+                promo,
+                year,
+                moy,
+                dom,
+                f64::from(rng.gen_range(0..=6u32)),
+            ],
+            &[
+                CATEGORIES[item % 10],
+                &format!("class{:02}", item % 50),
+                &format!("brand{:03}", item % 100),
+                GENDERS[rng.gen_range(0..2)],
+                MARITAL[rng.gen_range(0..5)],
+                EDUCATION[rng.gen_range(0..7)],
+                YES_NO[usize::from((promo as usize).is_multiple_of(3))],
+                YES_NO[usize::from((promo as usize).is_multiple_of(2))],
+                DAY_NAMES[(day % 7) as usize],
+            ],
+        );
+    }
+    b.finish()
+}
+
+/// The §5.1.2 workload specification for TPC-DS*.
+pub fn workload_spec(table: &Table, seed: u64) -> WorkloadSpec {
+    let s = table.schema();
+    let col = |n: &str| s.expect_col(n);
+    let qty = ScalarExpr::col(col("cs_quantity"));
+    let sales = ScalarExpr::col(col("cs_sales_price"));
+    let profit = ScalarExpr::col(col("cs_net_profit"));
+    let aggregates = vec![
+        AggExpr::sum(sales.clone().mul(qty.clone())),
+        AggExpr::sum(profit.clone()),
+        AggExpr::sum(qty.clone()),
+        AggExpr::count(),
+        AggExpr::avg(sales),
+        AggExpr::avg(profit),
+        AggExpr::sum(ScalarExpr::col(col("cs_ext_discount_amt"))),
+        AggExpr::avg(ScalarExpr::col(col("cs_coupon_amt"))),
+    ];
+    let group_by_columnsets = vec![
+        vec![col("i_category")],
+        vec![col("d_year")],
+        vec![col("d_year"), col("d_moy")],
+        vec![col("cd_gender"), col("cd_marital_status")],
+        vec![col("cd_education_status")],
+        vec![col("i_category"), col("d_year")],
+        vec![col("d_day_name")],
+    ];
+    let pred_cols = [
+        "cs_quantity",
+        "cs_list_price",
+        "cs_sales_price",
+        "cs_net_profit",
+        "cs_wholesale_cost",
+        "p_promo_sk",
+        "d_year",
+        "d_moy",
+        "d_dom",
+        "i_category",
+        "i_class",
+        "i_brand",
+        "cd_gender",
+        "cd_marital_status",
+        "cd_education_status",
+        "p_channel_email",
+    ]
+    .map(col);
+    WorkloadSpec::build(table, aggregates, group_by_columnsets, &pred_cols, seed)
+}
+
+/// Paper default: sorted by `(year, month, day)`.
+pub fn default_layout(table: &Table) -> Layout {
+    let s = table.schema();
+    Layout::SortedBy(vec![
+        s.expect_col("d_year"),
+        s.expect_col("d_moy"),
+        s.expect_col("d_dom"),
+    ])
+}
+
+/// Figure-6 alternates: sorted by promo key and by net profit.
+pub fn alt_layouts(table: &Table) -> Vec<(String, Layout)> {
+    let s = table.schema();
+    vec![
+        ("p_promo_sk".to_owned(), Layout::sorted(s.expect_col("p_promo_sk"))),
+        ("cs_net_profit".to_owned(), Layout::sorted(s.expect_col("cs_net_profit"))),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_negative_profit() {
+        let t = generate(2000, 1);
+        assert_eq!(t.schema().len(), 22);
+        let profit = t.numeric(t.schema().expect_col("cs_net_profit"));
+        assert!(profit.iter().any(|&p| p < 0.0), "profit never negative");
+        assert!(profit.iter().any(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn date_dims_in_range() {
+        let t = generate(500, 2);
+        let s = t.schema();
+        let year = t.numeric(s.expect_col("d_year"));
+        let moy = t.numeric(s.expect_col("d_moy"));
+        let dom = t.numeric(s.expect_col("d_dom"));
+        for i in 0..500 {
+            assert!((1998.0..=2000.0).contains(&year[i]));
+            assert!((1.0..=12.0).contains(&moy[i]));
+            assert!((1.0..=31.0).contains(&dom[i]));
+        }
+    }
+
+    #[test]
+    fn promo_keys_are_skewed() {
+        let t = generate(3000, 3);
+        let promo = t.numeric(t.schema().expect_col("p_promo_sk"));
+        let ones = promo.iter().filter(|&&p| p == 1.0).count();
+        assert!(ones > 3000 / 20, "promo 1 count {ones}");
+    }
+
+    #[test]
+    fn layouts_build() {
+        let t = generate(300, 4);
+        let sorted = default_layout(&t).apply(&t);
+        let year = sorted.numeric(sorted.schema().expect_col("d_year"));
+        for w in year.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(alt_layouts(&t).len(), 2);
+    }
+
+    #[test]
+    fn workload_spec_builds() {
+        let t = generate(400, 5);
+        let spec = workload_spec(&t, 6);
+        assert!(spec.aggregates.len() >= 6);
+        assert!(!spec.group_by_columnsets.is_empty());
+    }
+}

@@ -1,0 +1,316 @@
+//! TPC-H* (§5.1.1): a denormalized lineitem table generated with Zipf(θ=1)
+//! skew, following the skewed generator (citation 7 of the paper). Sorted by `l_shipdate` by
+//! default.
+//!
+//! Dates are days since 1992-01-01 (the TPC-H epoch); `l_year`/`o_year` are
+//! the derived year columns of Appendix A.1, and the cross-column date
+//! comparisons of Q12 are supported through the derived difference columns
+//! `receipt_commit_delta` and `commit_ship_delta` (§2.2 footnote 3).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use ps3_query::{AggExpr, ScalarExpr};
+use ps3_storage::table::TableBuilder;
+use ps3_storage::{ColumnMeta, ColumnType, Layout, Schema, Table};
+
+use crate::dist::Zipf;
+use crate::workload::WorkloadSpec;
+
+/// Nations (index/5 = region), mirroring TPC-H's 25 nations / 5 regions.
+pub const NATIONS: [&str; 25] = [
+    "ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE", // AFRICA
+    "ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES", // AMERICA
+    "INDIA", "INDONESIA", "JAPAN", "CHINA", "VIETNAM", // ASIA
+    "FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM", // EUROPE
+    "EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA", // MIDDLE EAST
+];
+
+/// The five regions.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+const SHIP_MODES: [&str; 7] = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
+const SHIP_INSTRUCT: [&str; 4] =
+    ["COLLECT COD", "DELIVER IN PERSON", "NONE", "TAKE BACK RETURN"];
+const MKT_SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const TYPE_SYLL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+const TYPE_SYLL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+const TYPE_SYLL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+const CONTAINER1: [&str; 5] = ["SM", "MED", "LG", "JUMBO", "WRAP"];
+const CONTAINER2: [&str; 8] = ["BAG", "BOX", "CAN", "CASE", "DRUM", "JAR", "PACK", "PKG"];
+
+/// Days per (synthetic) year; dates span 1992-01-01 + 7 years like TPC-H.
+pub const DAYS_PER_YEAR: f64 = 365.0;
+/// First order year.
+pub const BASE_YEAR: f64 = 1992.0;
+
+/// Generate the denormalized TPC-H* table in orderdate ingest order.
+pub fn generate(rows: usize, seed: u64) -> Table {
+    let schema = Schema::new(vec![
+        ColumnMeta::new("l_quantity", ColumnType::Numeric),
+        ColumnMeta::new("l_extendedprice", ColumnType::Numeric),
+        ColumnMeta::new("l_discount", ColumnType::Numeric),
+        ColumnMeta::new("l_tax", ColumnType::Numeric),
+        ColumnMeta::new("l_shipdate", ColumnType::Date),
+        ColumnMeta::new("l_commitdate", ColumnType::Date),
+        ColumnMeta::new("l_receiptdate", ColumnType::Date),
+        ColumnMeta::new("o_orderdate", ColumnType::Date),
+        ColumnMeta::new("o_totalprice", ColumnType::Numeric),
+        ColumnMeta::new("p_size", ColumnType::Numeric),
+        ColumnMeta::new("p_retailprice", ColumnType::Numeric),
+        ColumnMeta::new("ps_supplycost", ColumnType::Numeric),
+        ColumnMeta::new("l_year", ColumnType::Numeric),
+        ColumnMeta::new("o_year", ColumnType::Numeric),
+        ColumnMeta::new("receipt_commit_delta", ColumnType::Numeric),
+        ColumnMeta::new("commit_ship_delta", ColumnType::Numeric),
+        ColumnMeta::new("l_returnflag", ColumnType::Categorical),
+        ColumnMeta::new("l_linestatus", ColumnType::Categorical),
+        ColumnMeta::new("l_shipmode", ColumnType::Categorical),
+        ColumnMeta::new("l_shipinstruct", ColumnType::Categorical),
+        ColumnMeta::new("p_type", ColumnType::Categorical),
+        ColumnMeta::new("p_brand", ColumnType::Categorical),
+        ColumnMeta::new("p_container", ColumnType::Categorical),
+        ColumnMeta::new("c_mktsegment", ColumnType::Categorical),
+        ColumnMeta::new("o_orderpriority", ColumnType::Categorical),
+        ColumnMeta::new("n1_name", ColumnType::Categorical),
+        ColumnMeta::new("n2_name", ColumnType::Categorical),
+        ColumnMeta::new("r1_name", ColumnType::Categorical),
+        ColumnMeta::new("r2_name", ColumnType::Categorical),
+    ]);
+    let mut b = TableBuilder::new(schema);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Zipf skew on the "entity" choices, as in the Microsoft skewed dbgen.
+    let z_part = Zipf::new(200, 1.0);
+    let z_nation = Zipf::new(25, 1.0);
+    let z_qty = Zipf::new(50, 1.0);
+
+    // Orders arrive in date order (append-only log), so generate sorted
+    // order dates as ingest order.
+    let mut order_dates: Vec<f64> =
+        (0..rows).map(|_| rng.gen_range(0.0..7.0 * DAYS_PER_YEAR)).collect();
+    order_dates.sort_by(f64::total_cmp);
+
+    for &o_orderdate in &order_dates {
+        let part = z_part.sample(&mut rng);
+        let qty = (z_qty.sample(&mut rng) + 1) as f64;
+        let retail = 900.0 + (part as f64 * 13.7) % 1200.0;
+        let price = qty * retail * rng.gen_range(0.9..1.1);
+        let discount = f64::from(rng.gen_range(0..=10u32)) / 100.0;
+        let tax = f64::from(rng.gen_range(0..=8u32)) / 100.0;
+        let ship_lag = rng.gen_range(1.0..121.0);
+        let l_shipdate = o_orderdate + ship_lag;
+        let l_commitdate = o_orderdate + rng.gen_range(30.0..90.0);
+        let l_receiptdate = l_shipdate + rng.gen_range(1.0..30.0);
+        let n1 = z_nation.sample(&mut rng);
+        let n2 = z_nation.sample(&mut rng);
+        let o_year = BASE_YEAR + (o_orderdate / DAYS_PER_YEAR).floor();
+        let l_year = BASE_YEAR + (l_shipdate / DAYS_PER_YEAR).floor();
+        // Return flag correlates with ship date age, like real TPC-H.
+        let returnflag = if l_receiptdate < 3.5 * DAYS_PER_YEAR {
+            if rng.gen_bool(0.5) {
+                "R"
+            } else {
+                "A"
+            }
+        } else {
+            "N"
+        };
+        let linestatus = if l_shipdate > 6.3 * DAYS_PER_YEAR { "O" } else { "F" };
+        let p_type = format!(
+            "{} {} {}",
+            TYPE_SYLL1[part % 6],
+            TYPE_SYLL2[(part / 6) % 5],
+            TYPE_SYLL3[(part / 30) % 5]
+        );
+        let p_brand = format!("Brand#{}{}", part % 5 + 1, (part / 5) % 5 + 1);
+        let p_container =
+            format!("{} {}", CONTAINER1[part % 5], CONTAINER2[(part / 5) % 8]);
+        b.push_row(
+            &[
+                qty,
+                price,
+                discount,
+                tax,
+                l_shipdate,
+                l_commitdate,
+                l_receiptdate,
+                o_orderdate,
+                price * rng.gen_range(1.0..4.0),
+                (part % 50 + 1) as f64,
+                retail,
+                retail * rng.gen_range(0.3..0.7),
+                l_year,
+                o_year,
+                l_receiptdate - l_commitdate,
+                l_commitdate - l_shipdate,
+            ],
+            &[
+                returnflag,
+                linestatus,
+                SHIP_MODES[rng.gen_range(0..7)],
+                SHIP_INSTRUCT[rng.gen_range(0..4)],
+                &p_type,
+                &p_brand,
+                &p_container,
+                MKT_SEGMENTS[rng.gen_range(0..5)],
+                PRIORITIES[z_nation.sample(&mut rng) % 5],
+                NATIONS[n1],
+                NATIONS[n2],
+                REGIONS[n1 / 5],
+                REGIONS[n2 / 5],
+            ],
+        );
+    }
+    b.finish()
+}
+
+/// The §5.1.2 workload specification for TPC-H*.
+pub fn workload_spec(table: &Table, seed: u64) -> WorkloadSpec {
+    let s = table.schema();
+    let col = |n: &str| s.expect_col(n);
+    let qty = ScalarExpr::col(col("l_quantity"));
+    let price = ScalarExpr::col(col("l_extendedprice"));
+    let disc = ScalarExpr::col(col("l_discount"));
+    let tax = ScalarExpr::col(col("l_tax"));
+    let volume = price.clone().mul(ScalarExpr::Literal(1.0).sub(disc.clone()));
+    let aggregates = vec![
+        AggExpr::sum(price.clone()),
+        AggExpr::sum(qty.clone()),
+        AggExpr::count(),
+        AggExpr::avg(price.clone()),
+        AggExpr::avg(disc.clone()),
+        AggExpr::sum(volume.clone()),
+        AggExpr::sum(volume.mul(ScalarExpr::Literal(1.0).add(tax))),
+        AggExpr::sum(price.mul(ScalarExpr::col(col("l_tax")))),
+        AggExpr::avg(ScalarExpr::col(col("o_totalprice"))),
+    ];
+    let group_by_columnsets = vec![
+        vec![col("l_returnflag"), col("l_linestatus")],
+        vec![col("l_shipmode")],
+        vec![col("n1_name")],
+        vec![col("n2_name"), col("o_year")],
+        vec![col("o_year")],
+        vec![col("c_mktsegment")],
+        vec![col("o_orderpriority")],
+        vec![col("r1_name")],
+        vec![col("l_year")],
+    ];
+    let pred_cols = [
+        "l_shipdate",
+        "l_commitdate",
+        "l_receiptdate",
+        "o_orderdate",
+        "l_quantity",
+        "l_discount",
+        "p_size",
+        "p_retailprice",
+        "p_type",
+        "p_brand",
+        "p_container",
+        "l_shipmode",
+        "l_shipinstruct",
+        "c_mktsegment",
+        "n1_name",
+        "r1_name",
+        "r2_name",
+        "o_orderpriority",
+    ]
+    .map(col);
+    WorkloadSpec::build(table, aggregates, group_by_columnsets, &pred_cols, seed)
+}
+
+/// Paper default: sorted by `l_shipdate`.
+pub fn default_layout(table: &Table) -> Layout {
+    Layout::sorted(table.schema().expect_col("l_shipdate"))
+}
+
+/// The §5.5.1/§5.5.3 alternates: a fully random layout.
+pub fn alt_layouts(_table: &Table) -> Vec<(String, Layout)> {
+    vec![("random".to_owned(), Layout::Random { seed: 0xC0FFEE })]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_and_skew() {
+        let t = generate(2000, 1);
+        assert_eq!(t.num_rows(), 2000);
+        assert_eq!(t.schema().len(), 29);
+        // Zipf nations: the top nation should dominate.
+        let (codes, dict) = t.categorical(t.schema().expect_col("n1_name"));
+        let mut counts = std::collections::HashMap::new();
+        for &c in codes {
+            *counts.entry(c).or_insert(0usize) += 1;
+        }
+        let max = counts.values().max().copied().unwrap_or(0);
+        assert!(max > 2000 / 10, "no skew: max nation count {max}");
+        assert!(dict.len() <= 25);
+    }
+
+    #[test]
+    fn dates_are_consistent() {
+        let t = generate(500, 2);
+        let s = t.schema();
+        let ship = t.numeric(s.expect_col("l_shipdate"));
+        let order = t.numeric(s.expect_col("o_orderdate"));
+        let receipt = t.numeric(s.expect_col("l_receiptdate"));
+        for i in 0..500 {
+            assert!(ship[i] > order[i]);
+            assert!(receipt[i] > ship[i]);
+        }
+        // Derived delta column matches.
+        let commit = t.numeric(s.expect_col("l_commitdate"));
+        let delta = t.numeric(s.expect_col("receipt_commit_delta"));
+        for i in 0..500 {
+            assert!((delta[i] - (receipt[i] - commit[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn region_derives_from_nation() {
+        let t = generate(300, 3);
+        let s = t.schema();
+        let (n_codes, n_dict) = t.categorical(s.expect_col("n1_name"));
+        let (r_codes, r_dict) = t.categorical(s.expect_col("r1_name"));
+        for i in 0..300 {
+            let nation = n_dict.value(n_codes[i]);
+            let region = r_dict.value(r_codes[i]);
+            let n_idx = NATIONS.iter().position(|&n| n == nation).unwrap();
+            assert_eq!(REGIONS[n_idx / 5], region);
+        }
+    }
+
+    #[test]
+    fn workload_spec_builds() {
+        let t = generate(500, 4);
+        let spec = workload_spec(&t, 5);
+        assert!(spec.aggregates.len() >= 5);
+        assert!(spec.group_by_columnsets.len() >= 5);
+        assert!(spec.predicate_columns.len() >= 10);
+    }
+
+    #[test]
+    fn default_layout_sorts_by_shipdate() {
+        let t = generate(300, 5);
+        let sorted = default_layout(&t).apply(&t);
+        let ship = sorted.numeric(sorted.schema().expect_col("l_shipdate"));
+        for w in ship.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate(100, 9);
+        let b = generate(100, 9);
+        assert_eq!(
+            a.numeric(a.schema().expect_col("l_extendedprice")),
+            b.numeric(b.schema().expect_col("l_extendedprice"))
+        );
+    }
+}

@@ -1,0 +1,382 @@
+//! The ten TPC-H-derived query templates of the generalization test
+//! (§5.5.4, Figure 11): Q1, Q5, Q6, Q7, Q8, Q9, Q12, Q14, Q17, Q19,
+//! expressed over the denormalized TPC-H* table within the §2.2 scope.
+//!
+//! Each template carries the query *shape* (aggregates, group-by, predicate
+//! structure); parameters (dates, nations, brands, quantities) are sampled
+//! per instantiation, giving the 20 random test queries per template that
+//! §5.5.4 uses. Rewrites follow the paper:
+//!
+//! * Q8/Q14's `CASE` aggregates become aggregates over a predicate.
+//! * Q12's cross-column date comparisons use the derived delta columns.
+//! * Q19's predicate has 3 disjuncts × ~5 clauses (> 10 clauses), so PS3
+//!   deliberately falls back to random sampling inside groups (App. B.1).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+use ps3_query::{AggExpr, Clause, CmpOp, Predicate, Query, ScalarExpr};
+use ps3_storage::Schema;
+
+use crate::tpch::{DAYS_PER_YEAR, NATIONS, REGIONS};
+
+/// The template identifiers, in Figure-11 order.
+pub const TEMPLATES: [&str; 10] =
+    ["Q1", "Q5", "Q6", "Q7", "Q8", "Q9", "Q12", "Q14", "Q17", "Q19"];
+
+/// Instantiate template `name` with random parameters.
+///
+/// # Panics
+/// Panics on an unknown template name or a schema that is not TPC-H*.
+pub fn instantiate(name: &str, schema: &Schema, rng: &mut StdRng) -> Query {
+    let col = |n: &str| schema.expect_col(n);
+    let qty = || ScalarExpr::col(col("l_quantity"));
+    let price = || ScalarExpr::col(col("l_extendedprice"));
+    let disc = || ScalarExpr::col(col("l_discount"));
+    let tax = || ScalarExpr::col(col("l_tax"));
+    let volume = || price().mul(ScalarExpr::Literal(1.0).sub(disc()));
+    let year_start = |y: f64| (y - 1992.0) * DAYS_PER_YEAR;
+
+    match name {
+        // Pricing summary report: all lineitems shipped before a cutoff.
+        "Q1" => {
+            let cutoff = rng.gen_range(6.4..7.0) * DAYS_PER_YEAR;
+            Query::new(
+                vec![
+                    AggExpr::sum(qty()),
+                    AggExpr::sum(price()),
+                    AggExpr::sum(volume()),
+                    AggExpr::sum(volume().mul(ScalarExpr::Literal(1.0).add(tax()))),
+                    AggExpr::avg(qty()),
+                    AggExpr::count(),
+                ],
+                Some(Predicate::Clause(Clause::Cmp {
+                    col: col("l_shipdate"),
+                    op: CmpOp::Le,
+                    value: cutoff,
+                })),
+                vec![col("l_returnflag"), col("l_linestatus")],
+            )
+        }
+        // Local supplier volume: one region, one order year.
+        "Q5" => {
+            let region = REGIONS[rng.gen_range(0..5)];
+            let y = rng.gen_range(1993..=1997) as f64;
+            Query::new(
+                vec![AggExpr::sum(volume())],
+                Some(Predicate::all(vec![
+                    Clause::str_eq(col("r1_name"), region),
+                    Clause::Cmp {
+                        col: col("o_orderdate"),
+                        op: CmpOp::Ge,
+                        value: year_start(y),
+                    },
+                    Clause::Cmp {
+                        col: col("o_orderdate"),
+                        op: CmpOp::Lt,
+                        value: year_start(y + 1.0),
+                    },
+                ])),
+                vec![col("n1_name")],
+            )
+        }
+        // Forecasting revenue change: a tight range predicate, no groups.
+        "Q6" => {
+            let y = rng.gen_range(1993..=1997) as f64;
+            let d = rng.gen_range(2..=9) as f64 / 100.0;
+            let q = rng.gen_range(24..=25) as f64;
+            Query::new(
+                vec![AggExpr::sum(price().mul(disc()))],
+                Some(Predicate::all(vec![
+                    Clause::Cmp { col: col("l_shipdate"), op: CmpOp::Ge, value: year_start(y) },
+                    Clause::Cmp {
+                        col: col("l_shipdate"),
+                        op: CmpOp::Lt,
+                        value: year_start(y + 1.0),
+                    },
+                    Clause::Cmp { col: col("l_discount"), op: CmpOp::Ge, value: d - 0.011 },
+                    Clause::Cmp { col: col("l_discount"), op: CmpOp::Le, value: d + 0.011 },
+                    Clause::Cmp { col: col("l_quantity"), op: CmpOp::Lt, value: q },
+                ])),
+                vec![],
+            )
+        }
+        // Volume shipping between two nations.
+        "Q7" => {
+            let a = NATIONS[rng.gen_range(0..25)];
+            let mut b = NATIONS[rng.gen_range(0..25)];
+            while b == a {
+                b = NATIONS[rng.gen_range(0..25)];
+            }
+            Query::new(
+                vec![AggExpr::sum(volume())],
+                Some(Predicate::And(vec![
+                    Predicate::Or(vec![
+                        Predicate::all(vec![
+                            Clause::str_eq(col("n1_name"), a),
+                            Clause::str_eq(col("n2_name"), b),
+                        ]),
+                        Predicate::all(vec![
+                            Clause::str_eq(col("n1_name"), b),
+                            Clause::str_eq(col("n2_name"), a),
+                        ]),
+                    ]),
+                    Predicate::Clause(Clause::Cmp {
+                        col: col("l_shipdate"),
+                        op: CmpOp::Ge,
+                        value: year_start(1995.0),
+                    }),
+                    Predicate::Clause(Clause::Cmp {
+                        col: col("l_shipdate"),
+                        op: CmpOp::Le,
+                        value: year_start(1997.0),
+                    }),
+                ])),
+                vec![col("l_year")],
+            )
+        }
+        // National market share: CASE rewritten as aggregate-over-predicate.
+        "Q8" => {
+            let nation = NATIONS[rng.gen_range(0..25)];
+            let region = REGIONS[NATIONS.iter().position(|&n| n == nation).unwrap() / 5];
+            let t3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"][rng.gen_range(0..5)];
+            Query::new(
+                vec![
+                    AggExpr::sum(volume()).filtered(Predicate::Clause(Clause::str_eq(
+                        col("n2_name"),
+                        nation,
+                    ))),
+                    AggExpr::sum(volume()),
+                ],
+                Some(Predicate::all(vec![
+                    Clause::str_eq(col("r1_name"), region),
+                    Clause::Contains { col: col("p_type"), needle: t3.into(), negated: false },
+                    Clause::Cmp {
+                        col: col("o_orderdate"),
+                        op: CmpOp::Ge,
+                        value: year_start(1995.0),
+                    },
+                    Clause::Cmp {
+                        col: col("o_orderdate"),
+                        op: CmpOp::Le,
+                        value: year_start(1997.0),
+                    },
+                ])),
+                vec![col("o_year")],
+            )
+        }
+        // Product type profit measure.
+        "Q9" => {
+            let syll = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+                [rng.gen_range(0..6)];
+            let amount = volume()
+                .sub(ScalarExpr::col(col("ps_supplycost")).mul(qty()));
+            Query::new(
+                vec![AggExpr::sum(amount)],
+                Some(Predicate::Clause(Clause::Contains {
+                    col: col("p_type"),
+                    needle: syll.into(),
+                    negated: false,
+                })),
+                vec![col("n2_name"), col("o_year")],
+            )
+        }
+        // Shipping modes and order priority; cross-column dates via deltas.
+        "Q12" => {
+            let modes = ["MAIL", "SHIP", "RAIL", "AIR", "TRUCK", "FOB"];
+            let m1 = modes[rng.gen_range(0..6)];
+            let mut m2 = modes[rng.gen_range(0..6)];
+            while m2 == m1 {
+                m2 = modes[rng.gen_range(0..6)];
+            }
+            let y = rng.gen_range(1993..=1997) as f64;
+            let urgent = Predicate::Clause(Clause::In {
+                col: col("o_orderpriority"),
+                values: vec!["1-URGENT".into(), "2-HIGH".into()],
+                negated: false,
+            });
+            Query::new(
+                vec![
+                    AggExpr::count().filtered(urgent.clone()),
+                    AggExpr::count().filtered(Predicate::Not(Box::new(urgent))),
+                ],
+                Some(Predicate::all(vec![
+                    Clause::In {
+                        col: col("l_shipmode"),
+                        values: vec![m1.into(), m2.into()],
+                        negated: false,
+                    },
+                    // l_commitdate < l_receiptdate ∧ l_shipdate < l_commitdate
+                    Clause::Cmp {
+                        col: col("receipt_commit_delta"),
+                        op: CmpOp::Gt,
+                        value: 0.0,
+                    },
+                    Clause::Cmp { col: col("commit_ship_delta"), op: CmpOp::Gt, value: 0.0 },
+                    Clause::Cmp {
+                        col: col("l_receiptdate"),
+                        op: CmpOp::Ge,
+                        value: year_start(y),
+                    },
+                    Clause::Cmp {
+                        col: col("l_receiptdate"),
+                        op: CmpOp::Lt,
+                        value: year_start(y + 1.0),
+                    },
+                ])),
+                vec![col("l_shipmode")],
+            )
+        }
+        // Promotion effect: CASE → aggregate over a substring predicate.
+        "Q14" => {
+            let start = rng.gen_range(1.0..6.5) * DAYS_PER_YEAR;
+            Query::new(
+                vec![
+                    AggExpr::sum(volume()).filtered(Predicate::Clause(Clause::Contains {
+                        col: col("p_type"),
+                        needle: "PROMO".into(),
+                        negated: false,
+                    })),
+                    AggExpr::sum(volume()),
+                ],
+                Some(Predicate::all(vec![
+                    Clause::Cmp { col: col("l_shipdate"), op: CmpOp::Ge, value: start },
+                    Clause::Cmp { col: col("l_shipdate"), op: CmpOp::Lt, value: start + 30.0 },
+                ])),
+                vec![],
+            )
+        }
+        // Small-quantity-order revenue for one brand/container.
+        "Q17" => {
+            let brand = format!("Brand#{}{}", rng.gen_range(1..=5), rng.gen_range(1..=5));
+            let c1 = ["SM", "MED", "LG", "JUMBO", "WRAP"][rng.gen_range(0..5)];
+            let c2 = ["BAG", "BOX", "CAN", "CASE", "DRUM", "JAR", "PACK", "PKG"]
+                [rng.gen_range(0..8)];
+            Query::new(
+                vec![AggExpr::sum(price()), AggExpr::count()],
+                Some(Predicate::all(vec![
+                    Clause::str_eq(col("p_brand"), brand),
+                    Clause::str_eq(col("p_container"), format!("{c1} {c2}")),
+                    Clause::Cmp {
+                        col: col("l_quantity"),
+                        op: CmpOp::Lt,
+                        value: rng.gen_range(2..=8) as f64,
+                    },
+                ])),
+                vec![],
+            )
+        }
+        // Discounted revenue: three disjuncts of many clauses (> 10 total),
+        // which exercises the clustering fallback.
+        "Q19" => {
+            let q1 = rng.gen_range(1..=10) as f64;
+            let q2 = rng.gen_range(10..=20) as f64;
+            let q3 = rng.gen_range(20..=30) as f64;
+            let containers: [&str; 3] = std::array::from_fn(|_| {
+                ["BAG", "BOX", "PACK", "PKG"][rng.gen_range(0..4)]
+            });
+            let disjunct = |c1: &str, c2: &str, qlo: f64, sz: f64| {
+                Predicate::all(vec![
+                    Clause::str_eq(col("p_container"), format!("{c1} {c2}")),
+                    Clause::Cmp { col: col("l_quantity"), op: CmpOp::Ge, value: qlo },
+                    Clause::Cmp { col: col("l_quantity"), op: CmpOp::Le, value: qlo + 10.0 },
+                    Clause::Cmp { col: col("p_size"), op: CmpOp::Ge, value: 1.0 },
+                    Clause::Cmp { col: col("p_size"), op: CmpOp::Le, value: sz },
+                ])
+            };
+            Query::new(
+                vec![AggExpr::sum(volume())],
+                Some(Predicate::Or(vec![
+                    disjunct("SM", containers[0], q1, 5.0),
+                    disjunct("MED", containers[1], q2, 10.0),
+                    disjunct("LG", containers[2], q3, 15.0),
+                ])),
+                vec![],
+            )
+        }
+        other => panic!("unknown TPC-H template {other:?}"),
+    }
+}
+
+/// Instantiate `per_template` random copies of every template.
+pub fn generalization_suite(
+    schema: &Schema,
+    per_template: usize,
+    seed: u64,
+) -> Vec<(&'static str, Vec<Query>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    TEMPLATES
+        .iter()
+        .map(|&name| {
+            let qs = (0..per_template)
+                .map(|_| instantiate(name, schema, &mut rng))
+                .collect();
+            (name, qs)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpch;
+
+    #[test]
+    fn all_templates_instantiate() {
+        let t = tpch::generate(500, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for name in TEMPLATES {
+            let q = instantiate(name, t.schema(), &mut rng);
+            assert!(!q.aggregates.is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn q19_triggers_clustering_fallback() {
+        let t = tpch::generate(200, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let q = instantiate("Q19", t.schema(), &mut rng);
+        assert!(q.predicate.as_ref().unwrap().clause_count() > 10);
+    }
+
+    #[test]
+    fn q1_groups_by_flag_and_status() {
+        let t = tpch::generate(200, 1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let q = instantiate("Q1", t.schema(), &mut rng);
+        assert_eq!(q.group_by.len(), 2);
+        assert_eq!(q.aggregates.len(), 6);
+    }
+
+    #[test]
+    fn templates_execute_on_generated_data() {
+        use ps3_query::execute_table;
+        use ps3_storage::PartitionedTable;
+        let t = tpch::generate(3000, 7);
+        let pt = PartitionedTable::with_equal_partitions(t, 10);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut nonempty = 0;
+        for name in TEMPLATES {
+            let q = instantiate(name, pt.table().schema(), &mut rng);
+            let ans = execute_table(&pt, &q);
+            // Q1 must never be empty; niche templates (Q17) may be at this
+            // scale.
+            if ans.num_groups() > 0 {
+                nonempty += 1;
+            }
+            if name == "Q1" {
+                assert!(ans.num_groups() >= 3, "Q1 groups missing");
+            }
+        }
+        assert!(nonempty >= 7, "only {nonempty}/10 templates returned rows");
+    }
+
+    #[test]
+    fn suite_shape() {
+        let t = tpch::generate(200, 1);
+        let suite = generalization_suite(t.schema(), 5, 9);
+        assert_eq!(suite.len(), 10);
+        assert!(suite.iter().all(|(_, qs)| qs.len() == 5));
+    }
+}

@@ -1,0 +1,307 @@
+//! The workload specification and random query generator of §5.1.2.
+//!
+//! A workload is specified as (aggregate pool, group-by columnsets, predicate
+//! columns); a query samples
+//!
+//! * 0 or 1 group-by columnset,
+//! * 0–5 predicate clauses (columns, operators and constants at random,
+//!   combined by AND with an occasional OR block),
+//! * 1–3 aggregates.
+//!
+//! Constants are drawn from actual column values so predicates hit real
+//! data, matching the "substantial entropy" requirement of §5.1.2.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+use ps3_query::{AggExpr, Clause, CmpOp, Predicate, Query};
+use ps3_storage::{ColId, ColumnType, Table};
+
+/// A predicate-eligible column plus sampled constants.
+#[derive(Debug, Clone)]
+pub enum PredColumn {
+    /// Numeric or date column with a pool of observed values.
+    Numeric {
+        /// The column.
+        col: ColId,
+        /// Sampled values used as clause constants.
+        values: Vec<f64>,
+    },
+    /// Categorical column with a pool of observed strings.
+    Categorical {
+        /// The column.
+        col: ColId,
+        /// Sampled distinct strings used in `IN` lists.
+        values: Vec<String>,
+    },
+}
+
+impl PredColumn {
+    /// The underlying column.
+    pub fn col(&self) -> ColId {
+        match self {
+            PredColumn::Numeric { col, .. } | PredColumn::Categorical { col, .. } => *col,
+        }
+    }
+}
+
+/// The workload specification the picker is trained against (§2.3.2).
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Aggregate expression pool.
+    pub aggregates: Vec<AggExpr>,
+    /// Candidate GROUP BY columnsets (moderate distinctness only, §2.2).
+    pub group_by_columnsets: Vec<Vec<ColId>>,
+    /// Predicate-eligible columns with constant pools.
+    pub predicate_columns: Vec<PredColumn>,
+}
+
+impl WorkloadSpec {
+    /// Sample constant pools for `pred_cols` from the table's actual values.
+    pub fn build(
+        table: &Table,
+        aggregates: Vec<AggExpr>,
+        group_by_columnsets: Vec<Vec<ColId>>,
+        pred_cols: &[ColId],
+        seed: u64,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = table.num_rows();
+        let predicate_columns = pred_cols
+            .iter()
+            .map(|&col| match table.schema().col(col).ctype {
+                ColumnType::Numeric | ColumnType::Date => {
+                    let data = table.numeric(col);
+                    let values: Vec<f64> =
+                        (0..64).map(|_| data[rng.gen_range(0..n)]).collect();
+                    PredColumn::Numeric { col, values }
+                }
+                ColumnType::Categorical => {
+                    let (_, dict) = table.categorical(col);
+                    let mut values: Vec<String> =
+                        dict.iter().map(|(_, v)| v.to_owned()).collect();
+                    values.shuffle(&mut rng);
+                    values.truncate(64);
+                    PredColumn::Categorical { col, values }
+                }
+            })
+            .collect();
+        Self { aggregates, group_by_columnsets, predicate_columns }
+    }
+}
+
+/// Samples random queries from a [`WorkloadSpec`].
+pub struct QueryGenerator<'a> {
+    spec: &'a WorkloadSpec,
+    rng: StdRng,
+    /// Maximum predicate clauses (paper: 5).
+    pub max_clauses: usize,
+    /// Maximum aggregates (paper: 3).
+    pub max_aggregates: usize,
+}
+
+impl<'a> QueryGenerator<'a> {
+    /// A generator over `spec` with the paper's §5.1.2 shape parameters.
+    pub fn new(spec: &'a WorkloadSpec, seed: u64) -> Self {
+        Self { spec, rng: StdRng::seed_from_u64(seed), max_clauses: 5, max_aggregates: 3 }
+    }
+
+    /// Sample one random query.
+    pub fn generate(&mut self) -> Query {
+        let rng = &mut self.rng;
+
+        // Aggregates: 1..=3 distinct picks from the pool.
+        let n_aggs = rng.gen_range(1..=self.max_aggregates.min(self.spec.aggregates.len()));
+        let mut agg_idx: Vec<usize> = (0..self.spec.aggregates.len()).collect();
+        agg_idx.shuffle(rng);
+        let aggregates: Vec<AggExpr> = agg_idx
+            .into_iter()
+            .take(n_aggs)
+            .map(|i| self.spec.aggregates[i].clone())
+            .collect();
+
+        // Group by: 0 or 1 columnset from the spec (§2.3.2).
+        let group_by = if self.spec.group_by_columnsets.is_empty() || rng.gen_bool(0.25) {
+            Vec::new()
+        } else {
+            self.spec.group_by_columnsets
+                [rng.gen_range(0..self.spec.group_by_columnsets.len())]
+            .clone()
+        };
+
+        // Predicate: 0..=5 clauses.
+        let n_clauses = rng.gen_range(0..=self.max_clauses);
+        let predicate = if n_clauses == 0 || self.spec.predicate_columns.is_empty() {
+            None
+        } else {
+            let clauses: Vec<Clause> =
+                (0..n_clauses).map(|_| self.random_clause()).collect();
+            Some(combine_clauses(clauses, &mut self.rng))
+        };
+
+        Query::new(aggregates, predicate, group_by)
+    }
+
+    fn random_clause(&mut self) -> Clause {
+        let rng = &mut self.rng;
+        let pc = &self.spec.predicate_columns
+            [rng.gen_range(0..self.spec.predicate_columns.len())];
+        match pc {
+            PredColumn::Numeric { col, values } => {
+                let value = values[rng.gen_range(0..values.len())];
+                let op = *[CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq]
+                    .choose(rng)
+                    .expect("non-empty");
+                Clause::Cmp { col: *col, op, value }
+            }
+            PredColumn::Categorical { col, values } => {
+                let k = rng.gen_range(1..=3usize.min(values.len()));
+                let mut pool = values.clone();
+                pool.shuffle(rng);
+                pool.truncate(k);
+                let negated = rng.gen_bool(0.15);
+                Clause::In { col: *col, values: pool, negated }
+            }
+        }
+    }
+}
+
+/// Combine clauses into a predicate: usually a conjunction, sometimes with a
+/// disjunctive block (so ORs and negations show up in training, per §2.2).
+fn combine_clauses(mut clauses: Vec<Clause>, rng: &mut StdRng) -> Predicate {
+    if clauses.len() == 1 {
+        return Predicate::Clause(clauses.pop().expect("one clause"));
+    }
+    if clauses.len() >= 3 && rng.gen_bool(0.3) {
+        // First two clauses form an OR block, the rest stay conjunctive.
+        let rest: Vec<Predicate> =
+            clauses.split_off(2).into_iter().map(Predicate::Clause).collect();
+        let or_block = Predicate::Or(clauses.into_iter().map(Predicate::Clause).collect());
+        let mut parts = vec![or_block];
+        parts.extend(rest);
+        Predicate::And(parts)
+    } else if rng.gen_bool(0.2) {
+        Predicate::Or(clauses.into_iter().map(Predicate::Clause).collect())
+    } else {
+        Predicate::And(clauses.into_iter().map(Predicate::Clause).collect())
+    }
+}
+
+/// Generate `n` distinct queries (by display form) from a spec.
+pub fn generate_distinct(
+    spec: &WorkloadSpec,
+    table: &Table,
+    n: usize,
+    seed: u64,
+) -> Vec<Query> {
+    let mut gen = QueryGenerator::new(spec, seed);
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(n);
+    let mut guard = 0;
+    while out.len() < n && guard < 50 * n {
+        guard += 1;
+        let q = gen.generate();
+        let key = q.display(table.schema()).to_string();
+        if seen.insert(key) {
+            out.push(q);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps3_query::ScalarExpr;
+    use ps3_storage::table::TableBuilder;
+    use ps3_storage::{ColumnMeta, Schema};
+
+    fn fixture() -> (Table, WorkloadSpec) {
+        let schema = Schema::new(vec![
+            ColumnMeta::new("x", ColumnType::Numeric),
+            ColumnMeta::new("y", ColumnType::Numeric),
+            ColumnMeta::new("tag", ColumnType::Categorical),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..200 {
+            b.push_row(&[i as f64, (i % 7) as f64], &[["a", "b", "c"][i % 3]]);
+        }
+        let table = b.finish();
+        let spec = WorkloadSpec::build(
+            &table,
+            vec![
+                AggExpr::sum(ScalarExpr::col(ColId(0))),
+                AggExpr::count(),
+                AggExpr::avg(ScalarExpr::col(ColId(1))),
+            ],
+            vec![vec![ColId(2)]],
+            &[ColId(0), ColId(1), ColId(2)],
+            7,
+        );
+        (table, spec)
+    }
+
+    #[test]
+    fn constants_come_from_real_values() {
+        let (_, spec) = fixture();
+        for pc in &spec.predicate_columns {
+            match pc {
+                PredColumn::Numeric { values, .. } => {
+                    assert!(!values.is_empty());
+                    assert!(values.iter().all(|&v| (0.0..200.0).contains(&v)));
+                }
+                PredColumn::Categorical { values, .. } => {
+                    assert!(values.iter().all(|v| ["a", "b", "c"].contains(&v.as_str())));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generated_queries_stay_in_scope() {
+        let (_, spec) = fixture();
+        let mut gen = QueryGenerator::new(&spec, 3);
+        for _ in 0..100 {
+            let q = gen.generate();
+            assert!(!q.aggregates.is_empty() && q.aggregates.len() <= 3);
+            assert!(q.group_by.len() <= 1);
+            if let Some(p) = &q.predicate {
+                assert!(p.clause_count() <= 5);
+            }
+        }
+    }
+
+    #[test]
+    fn workload_has_entropy() {
+        let (table, spec) = fixture();
+        let qs = generate_distinct(&spec, &table, 50, 11);
+        assert_eq!(qs.len(), 50);
+        let with_pred = qs.iter().filter(|q| q.predicate.is_some()).count();
+        let with_gb = qs.iter().filter(|q| !q.group_by.is_empty()).count();
+        assert!(with_pred > 25, "only {with_pred} queries have predicates");
+        assert!(with_gb > 20, "only {with_gb} queries group");
+    }
+
+    #[test]
+    fn distinct_generation_deduplicates() {
+        let (table, spec) = fixture();
+        let qs = generate_distinct(&spec, &table, 30, 5);
+        let mut keys: Vec<String> =
+            qs.iter().map(|q| q.display(table.schema()).to_string()).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 30);
+    }
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let (_, spec) = fixture();
+        let mut a = QueryGenerator::new(&spec, 42);
+        let mut b = QueryGenerator::new(&spec, 42);
+        for _ in 0..10 {
+            assert_eq!(a.generate(), b.generate());
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Algorithm 4 (training-label generation) and the §4.3 threshold schedule.
+//!
+//! Each of the k models is a binary decision "contribution > tᵢ" trained as a
+//! *regressor* so that per-query class imbalance can be rebalanced through
+//! label magnitudes: positives get `+√(1/P)` and negatives `−√(1/(n−P))`
+//! where `P` is the query's positive count — every query then contributes
+//! equal squared label mass for each class, and the natural decision rule at
+//! test time is `prediction > 0`.
+
+/// Generate Algorithm-4 labels for one query.
+///
+/// `contributions[j]` is partition j's contribution (§4.3) to this query;
+/// the label is positive iff `contribution > threshold`.
+pub fn make_labels(contributions: &[f64], threshold: f64) -> Vec<f64> {
+    let n = contributions.len();
+    let positive = contributions.iter().filter(|&&c| c > threshold).count();
+    let pos_mag = if positive > 0 { (1.0 / positive as f64).sqrt() } else { 0.0 };
+    let neg = n - positive;
+    let neg_mag = if neg > 0 { (1.0 / neg as f64).sqrt() } else { 0.0 };
+    contributions
+        .iter()
+        .map(|&c| if c > threshold { pos_mag } else { -neg_mag })
+        .collect()
+}
+
+/// Choose the k model thresholds from pooled training contributions.
+///
+/// §4.3: bin boundaries are exponentially spaced — the number of partitions
+/// satisfying model i shrinks geometrically from "all with non-zero
+/// contribution" (model 1, t₁ = 0) down to "top 1%" (model k). We realize
+/// this by picking pass-fractions `fᵢ = f₁·(f_k/f₁)^((i−1)/(k−1))` with
+/// `f₁ = P(c > 0)` and `f_k = min(1%, f₁)`, then reading thresholds off the
+/// pooled contribution distribution.
+pub fn choose_thresholds(pooled: &[f64], k: usize) -> Vec<f64> {
+    assert!(k >= 1, "need at least one model");
+    let n = pooled.len();
+    if n == 0 {
+        return vec![0.0; k];
+    }
+    let mut sorted: Vec<f64> = pooled.to_vec();
+    sorted.sort_by(|a, b| b.total_cmp(a)); // descending
+    let f1 = sorted.iter().filter(|&&c| c > 0.0).count() as f64 / n as f64;
+    if f1 == 0.0 {
+        return vec![0.0; k];
+    }
+    let fk = f1.min(0.01);
+    let mut out = Vec::with_capacity(k);
+    for i in 0..k {
+        let frac = if k == 1 {
+            f1
+        } else {
+            f1 * (fk / f1).powf(i as f64 / (k - 1) as f64)
+        };
+        if i == 0 {
+            // Model 1 is exactly "non-zero contribution".
+            out.push(0.0);
+            continue;
+        }
+        // The threshold admitting the top `frac` of the pool.
+        let idx = ((frac * n as f64).ceil() as usize).clamp(1, n) - 1;
+        let t = sorted[idx].max(0.0);
+        // Keep thresholds non-decreasing even on lumpy distributions.
+        let prev = *out.last().expect("non-empty");
+        out.push(t.max(prev));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn labels_balance_squared_mass() {
+        let contributions = [0.9, 0.8, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let y = make_labels(&contributions, 0.5);
+        let pos_mass: f64 = y.iter().filter(|&&v| v > 0.0).map(|v| v * v).sum();
+        let neg_mass: f64 = y.iter().filter(|&&v| v < 0.0).map(|v| v * v).sum();
+        assert!((pos_mass - 1.0).abs() < 1e-12);
+        assert!((neg_mass - 1.0).abs() < 1e-12);
+        assert_eq!(y.iter().filter(|&&v| v > 0.0).count(), 2);
+    }
+
+    #[test]
+    fn all_negative_query() {
+        let y = make_labels(&[0.0, 0.0, 0.0], 0.0);
+        assert!(y.iter().all(|&v| v < 0.0));
+    }
+
+    #[test]
+    fn all_positive_query() {
+        let y = make_labels(&[0.5, 0.5], 0.0);
+        assert!(y.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn thresholds_monotone_and_anchored() {
+        // 10% of pairs have positive contribution, uniformly spread.
+        let pooled: Vec<f64> = (0..1000)
+            .map(|i| if i < 100 { (i + 1) as f64 / 100.0 } else { 0.0 })
+            .collect();
+        let t = choose_thresholds(&pooled, 4);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0], 0.0);
+        for w in t.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        // Final threshold keeps roughly the top 1% (≈ 10 pairs).
+        let top = pooled.iter().filter(|&&c| c > t[3]).count();
+        assert!(top <= 25, "top-1% threshold admitted {top} of 1000");
+        assert!(top >= 1);
+    }
+
+    #[test]
+    fn degenerate_pools() {
+        assert_eq!(choose_thresholds(&[], 3), vec![0.0; 3]);
+        assert_eq!(choose_thresholds(&[0.0, 0.0], 3), vec![0.0; 3]);
+        let t = choose_thresholds(&[1.0], 1);
+        assert_eq!(t, vec![0.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn pass_counts_decay(contribs in prop::collection::vec(0.0f64..1.0, 100..500)) {
+            let t = choose_thresholds(&contribs, 4);
+            let counts: Vec<usize> = t
+                .iter()
+                .map(|&ti| contribs.iter().filter(|&&c| c > ti).count())
+                .collect();
+            for w in counts.windows(2) {
+                prop_assert!(w[1] <= w[0], "counts must shrink: {:?}", counts);
+            }
+        }
+
+        #[test]
+        fn labels_sign_matches_threshold(contribs in prop::collection::vec(0.0f64..1.0, 2..100),
+                                          thr in 0.0f64..1.0) {
+            let y = make_labels(&contribs, thr);
+            for (c, l) in contribs.iter().zip(&y) {
+                prop_assert_eq!(*c > thr, *l > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! Exact per-partition execution and weighted combination of partial answers.
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use ps3_storage::{ColId, PartitionId, PartitionedTable, Table};
+
+use crate::ast::{AggFunc, Query};
+use crate::predicate::{eval_predicate, eval_scalar};
+
+/// A group-by key: one `u64` per group-by column (f64 bit pattern for
+/// numeric columns, dictionary code for categoricals). Empty for queries
+/// without `GROUP BY`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupKey(pub Box<[u64]>);
+
+impl GroupKey {
+    /// The key of the single global group.
+    pub fn global() -> Self {
+        GroupKey(Box::new([]))
+    }
+
+    /// Render using a table's schema (for reports).
+    pub fn render(&self, table: &Table, group_by: &[ColId]) -> String {
+        if self.0.is_empty() {
+            return "<all>".to_owned();
+        }
+        let parts: Vec<String> = self
+            .0
+            .iter()
+            .zip(group_by)
+            .map(|(&raw, &col)| match table.column(col) {
+                ps3_storage::ColumnData::Numeric(_) => format!("{}", f64::from_bits(raw)),
+                ps3_storage::ColumnData::Categorical { dict, .. } => {
+                    dict.value(raw as u32).to_owned()
+                }
+            })
+            .collect();
+        parts.join("|")
+    }
+}
+
+/// Per-partition (or combined) aggregate state, before AVG finalization.
+///
+/// Internally each aggregate occupies one slot (`SUM`, `COUNT`) or two
+/// (`AVG` = sum + count) so that the §2.4 weighted combination
+/// `Ã_g = Σ w_j · A_{g,p_j}` is linear in every slot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PartialAnswer {
+    /// group key → accumulator slots.
+    pub groups: HashMap<GroupKey, Vec<f64>>,
+    /// Number of slots (derived from the query).
+    pub slots: usize,
+}
+
+impl PartialAnswer {
+    /// Number of internal slots for a query.
+    pub fn slot_count(query: &Query) -> usize {
+        query
+            .aggregates
+            .iter()
+            .map(|a| if a.func == AggFunc::Avg { 2 } else { 1 })
+            .sum()
+    }
+
+    /// An empty answer shaped for `query`.
+    pub fn empty(query: &Query) -> Self {
+        Self { groups: HashMap::new(), slots: Self::slot_count(query) }
+    }
+
+    /// Add `weight ×` another partial answer into this one.
+    pub fn add_weighted(&mut self, other: &PartialAnswer, weight: f64) {
+        debug_assert_eq!(self.slots, other.slots, "slot arity mismatch");
+        for (key, vals) in &other.groups {
+            let slot = self
+                .groups
+                .entry(key.clone())
+                .or_insert_with(|| vec![0.0; self.slots]);
+            for (a, &b) in slot.iter_mut().zip(vals) {
+                *a += weight * b;
+            }
+        }
+    }
+
+    /// Resolve AVG slots into final per-aggregate values.
+    pub fn finalize(&self, query: &Query) -> QueryAnswer {
+        let mut out = HashMap::with_capacity(self.groups.len());
+        for (key, slots) in &self.groups {
+            let mut vals = Vec::with_capacity(query.aggregates.len());
+            let mut i = 0;
+            for agg in &query.aggregates {
+                match agg.func {
+                    AggFunc::Sum | AggFunc::Count => {
+                        vals.push(slots[i]);
+                        i += 1;
+                    }
+                    AggFunc::Avg => {
+                        let (sum, cnt) = (slots[i], slots[i + 1]);
+                        vals.push(if cnt != 0.0 { sum / cnt } else { 0.0 });
+                        i += 2;
+                    }
+                }
+            }
+            out.insert(key.clone(), vals);
+        }
+        QueryAnswer { groups: out }
+    }
+}
+
+/// A finalized answer: group key → one value per aggregate.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryAnswer {
+    /// group key → aggregate values.
+    pub groups: HashMap<GroupKey, Vec<f64>>,
+}
+
+impl QueryAnswer {
+    /// Number of groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Value of aggregate `agg` for the global group (no-GROUP-BY queries).
+    pub fn global(&self, agg: usize) -> Option<f64> {
+        self.groups.get(&GroupKey::global()).map(|v| v[agg])
+    }
+}
+
+/// One weighted partition choice `(p_j, w_j)` from the picker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedPart {
+    /// Which partition to read.
+    pub partition: PartitionId,
+    /// Its weight in the combined answer.
+    pub weight: f64,
+}
+
+/// Execute `query` exactly over one row range.
+pub fn execute_partition(table: &Table, rows: Range<usize>, query: &Query) -> PartialAnswer {
+    let n = rows.len();
+    let selected: Vec<bool> = match &query.predicate {
+        Some(p) => eval_predicate(table, rows.clone(), p),
+        None => vec![true; n],
+    };
+
+    // Group keys per row.
+    let keys: Vec<GroupKey> = if query.group_by.is_empty() {
+        Vec::new()
+    } else {
+        let cols: Vec<RowKeyCol<'_>> = query
+            .group_by
+            .iter()
+            .map(|&c| match table.column(c) {
+                ps3_storage::ColumnData::Numeric(_) => {
+                    RowKeyCol::Num(&table.numeric(c)[rows.clone()])
+                }
+                ps3_storage::ColumnData::Categorical { .. } => {
+                    RowKeyCol::Cat(&table.categorical(c).0[rows.clone()])
+                }
+            })
+            .collect();
+        (0..n)
+            .map(|i| {
+                GroupKey(
+                    cols.iter()
+                        .map(|c| match c {
+                            RowKeyCol::Num(v) => v[i].to_bits(),
+                            RowKeyCol::Cat(v) => u64::from(v[i]),
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    };
+
+    // Per-aggregate row values and optional CASE-condition masks.
+    let mut slot_values: Vec<Vec<f64>> = Vec::new();
+    for agg in &query.aggregates {
+        let cond: Option<Vec<bool>> = agg
+            .condition
+            .as_ref()
+            .map(|p| eval_predicate(table, rows.clone(), p));
+        let apply_cond = |mut vals: Vec<f64>| -> Vec<f64> {
+            if let Some(c) = &cond {
+                for (v, &keep) in vals.iter_mut().zip(c) {
+                    if !keep {
+                        *v = 0.0;
+                    }
+                }
+            }
+            vals
+        };
+        match agg.func {
+            AggFunc::Sum => {
+                slot_values.push(apply_cond(eval_scalar(table, rows.clone(), &agg.expr)));
+            }
+            AggFunc::Count => {
+                slot_values.push(apply_cond(vec![1.0; n]));
+            }
+            AggFunc::Avg => {
+                slot_values.push(apply_cond(eval_scalar(table, rows.clone(), &agg.expr)));
+                slot_values.push(apply_cond(vec![1.0; n]));
+            }
+        }
+    }
+
+    let mut answer = PartialAnswer::empty(query);
+    let slots = answer.slots;
+    if query.group_by.is_empty() {
+        let mut acc = vec![0.0; slots];
+        for i in 0..n {
+            if selected[i] {
+                for (s, col) in acc.iter_mut().zip(&slot_values) {
+                    *s += col[i];
+                }
+            }
+        }
+        // A group exists only if at least one row passed the predicate —
+        // otherwise an all-filtered partition would fabricate a zero group.
+        if selected.iter().any(|&b| b) {
+            answer.groups.insert(GroupKey::global(), acc);
+        }
+    } else {
+        for i in 0..n {
+            if selected[i] {
+                let slot = answer
+                    .groups
+                    .entry(keys[i].clone())
+                    .or_insert_with(|| vec![0.0; slots]);
+                for (s, col) in slot.iter_mut().zip(&slot_values) {
+                    *s += col[i];
+                }
+            }
+        }
+    }
+    answer
+}
+
+enum RowKeyCol<'a> {
+    Num(&'a [f64]),
+    Cat(&'a [u32]),
+}
+
+/// Execute exactly over the whole table (the ground truth).
+pub fn execute_table(pt: &PartitionedTable, query: &Query) -> QueryAnswer {
+    let mut acc = PartialAnswer::empty(query);
+    for pid in pt.partitioning().ids() {
+        let part = execute_partition(pt.table(), pt.rows(pid), query);
+        acc.add_weighted(&part, 1.0);
+    }
+    acc.finalize(query)
+}
+
+/// Execute over a weighted selection of partitions and combine (§2.4).
+pub fn execute_partitions(
+    pt: &PartitionedTable,
+    query: &Query,
+    selection: &[WeightedPart],
+) -> QueryAnswer {
+    let mut acc = PartialAnswer::empty(query);
+    for wp in selection {
+        let part = execute_partition(pt.table(), pt.rows(wp.partition), query);
+        acc.add_weighted(&part, wp.weight);
+    }
+    acc.finalize(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{AggExpr, Clause, CmpOp, Predicate, ScalarExpr};
+    use ps3_storage::table::TableBuilder;
+    use ps3_storage::{ColumnMeta, ColumnType, Schema};
+
+    fn pt() -> PartitionedTable {
+        let schema = Schema::new(vec![
+            ColumnMeta::new("x", ColumnType::Numeric),
+            ColumnMeta::new("g", ColumnType::Categorical),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        // 8 rows, 4 partitions of 2.
+        for (x, g) in [
+            (1.0, "a"),
+            (2.0, "a"),
+            (3.0, "b"),
+            (4.0, "b"),
+            (5.0, "a"),
+            (6.0, "b"),
+            (7.0, "a"),
+            (8.0, "c"),
+        ] {
+            b.push_row(&[x], &[g]);
+        }
+        PartitionedTable::with_equal_partitions(b.finish(), 4)
+    }
+
+    fn sum_by_group() -> Query {
+        Query::new(
+            vec![AggExpr::sum(ScalarExpr::col(ps3_storage::ColId(0))), AggExpr::count()],
+            None,
+            vec![ps3_storage::ColId(1)],
+        )
+    }
+
+    #[test]
+    fn ground_truth_matches_manual() {
+        let t = pt();
+        let ans = execute_table(&t, &sum_by_group());
+        assert_eq!(ans.num_groups(), 3);
+        let (codes, dict) = t.table().categorical(ps3_storage::ColId(1));
+        let _ = codes;
+        let a = GroupKey(Box::new([u64::from(dict.code("a").unwrap())]));
+        let b = GroupKey(Box::new([u64::from(dict.code("b").unwrap())]));
+        let c = GroupKey(Box::new([u64::from(dict.code("c").unwrap())]));
+        assert_eq!(ans.groups[&a], vec![1.0 + 2.0 + 5.0 + 7.0, 4.0]);
+        assert_eq!(ans.groups[&b], vec![3.0 + 4.0 + 6.0, 3.0]);
+        assert_eq!(ans.groups[&c], vec![8.0, 1.0]);
+    }
+
+    #[test]
+    fn full_selection_with_unit_weights_is_exact() {
+        let t = pt();
+        let q = sum_by_group();
+        let sel: Vec<WeightedPart> = t
+            .partitioning()
+            .ids()
+            .map(|p| WeightedPart { partition: p, weight: 1.0 })
+            .collect();
+        assert_eq!(execute_partitions(&t, &q, &sel), execute_table(&t, &q));
+    }
+
+    #[test]
+    fn weighted_combination_scales_linearly() {
+        let t = pt();
+        let q = sum_by_group();
+        // Partition 0 (rows 0,1 — both group a) at weight 4: sum = 4*(1+2).
+        let sel = [WeightedPart { partition: PartitionId(0), weight: 4.0 }];
+        let ans = execute_partitions(&t, &q, &sel);
+        let (_, dict) = t.table().categorical(ps3_storage::ColId(1));
+        let a = GroupKey(Box::new([u64::from(dict.code("a").unwrap())]));
+        assert_eq!(ans.groups[&a], vec![12.0, 8.0]);
+        assert_eq!(ans.num_groups(), 1);
+    }
+
+    #[test]
+    fn avg_is_weighted_ratio_not_average_of_averages() {
+        let t = pt();
+        let q = Query::new(
+            vec![AggExpr::avg(ScalarExpr::col(ps3_storage::ColId(0)))],
+            None,
+            vec![],
+        );
+        // Partitions 0 and 2 at weight 2 each: est sum = 2*(1+2)+2*(5+6)=28,
+        // est count = 8 → avg 3.5. Averaging the two partition AVGs would
+        // give (1.5 + 5.5)/2 = 3.5 here, but with different weights it
+        // diverges; check the slot math directly.
+        let sel = [
+            WeightedPart { partition: PartitionId(0), weight: 3.0 },
+            WeightedPart { partition: PartitionId(2), weight: 1.0 },
+        ];
+        let ans = execute_partitions(&t, &q, &sel);
+        let expect = (3.0 * 3.0 + 11.0) / (3.0 * 2.0 + 2.0);
+        assert!((ans.global(0).unwrap() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predicate_filters_groups_out() {
+        let t = pt();
+        let q = Query::new(
+            vec![AggExpr::count()],
+            Some(Predicate::Clause(Clause::Cmp {
+                col: ps3_storage::ColId(0),
+                op: CmpOp::Ge,
+                value: 7.0,
+            })),
+            vec![ps3_storage::ColId(1)],
+        );
+        let ans = execute_table(&t, &q);
+        // Only rows 7.0 (a) and 8.0 (c) qualify.
+        assert_eq!(ans.num_groups(), 2);
+    }
+
+    #[test]
+    fn empty_global_group_when_nothing_matches() {
+        let t = pt();
+        let q = Query::new(
+            vec![AggExpr::count()],
+            Some(Predicate::Clause(Clause::Cmp {
+                col: ps3_storage::ColId(0),
+                op: CmpOp::Gt,
+                value: 100.0,
+            })),
+            vec![],
+        );
+        let ans = execute_table(&t, &q);
+        assert_eq!(ans.num_groups(), 0);
+    }
+
+    #[test]
+    fn case_condition_aggregates() {
+        let t = pt();
+        // SUM(x) FILTER (g = 'a') without a WHERE: 1+2+5+7 = 15.
+        let q = Query::new(
+            vec![AggExpr::sum(ScalarExpr::col(ps3_storage::ColId(0)))
+                .filtered(Predicate::Clause(Clause::str_eq(ps3_storage::ColId(1), "a")))],
+            None,
+            vec![],
+        );
+        let ans = execute_table(&t, &q);
+        assert_eq!(ans.global(0).unwrap(), 15.0);
+    }
+
+    #[test]
+    fn group_key_rendering() {
+        let t = pt();
+        let (_, dict) = t.table().categorical(ps3_storage::ColId(1));
+        let key = GroupKey(Box::new([u64::from(dict.code("b").unwrap())]));
+        assert_eq!(key.render(t.table(), &[ps3_storage::ColId(1)]), "b");
+        assert_eq!(GroupKey::global().render(t.table(), &[]), "<all>");
+    }
+}

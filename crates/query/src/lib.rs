@@ -1,0 +1,24 @@
+//! Query AST and execution engine for the PS3 query scope (§2.2):
+//!
+//! * **Aggregates**: `SUM`, `COUNT(*)`, `AVG` over columns or linear
+//!   projections (`+`, `-`, and `*`, `/` where applicable), including
+//!   aggregates with `CASE` conditions rewritten as aggregate-over-predicate.
+//! * **Predicates**: conjunctions, disjunctions and negations over
+//!   single-column clauses (`c op v`): comparisons on numeric/date columns,
+//!   equality and `IN` on categoricals, substring (`LIKE '%x%'`) matches.
+//! * **Group by**: one or more stored attributes of moderate cardinality.
+//!
+//! Execution is exact per partition; the whole point of PS3 is to evaluate a
+//! query on a *subset* of partitions and combine the per-partition answers
+//! with weights (§2.4): `Ã_g = Σ_j w_j · A_{g,p_j}`.
+
+pub mod ast;
+pub mod exec;
+pub mod metrics;
+pub mod predicate;
+
+pub use ast::{AggExpr, AggFunc, BinOp, Clause, CmpOp, Predicate, Query, ScalarExpr};
+pub use exec::{
+    execute_partition, execute_partitions, execute_table, GroupKey, PartialAnswer, QueryAnswer,
+    WeightedPart,
+};

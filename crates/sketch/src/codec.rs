@@ -1,0 +1,499 @@
+//! Binary serialization for the sketches.
+//!
+//! The deployment story (§2.3.1) stores statistics *separately from the
+//! partitions* — a statistics catalog that query optimization reads without
+//! touching data. This module gives every sketch a compact little-endian
+//! binary encoding with explicit, dependency-free readers/writers; the
+//! `serialized_size()` methods elsewhere in the crate account for exactly
+//! these bytes.
+//!
+//! Format: every sketch starts with a 1-byte tag (for catalog files that
+//! interleave kinds) followed by fixed-width fields and length-prefixed
+//! repeated groups. No varints — partition catalogs are small and fixed
+//! width keeps the codec trivially auditable.
+
+use crate::akmv::Akmv;
+use crate::exact_dict::ExactDict;
+use crate::heavy_hitter::HeavyHitter;
+use crate::histogram::EquiDepthHistogram;
+use crate::measures::Measures;
+
+/// Errors from decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the structure was complete.
+    Truncated,
+    /// Leading tag byte did not match the expected sketch kind.
+    WrongTag {
+        /// Tag expected for this sketch kind.
+        expected: u8,
+        /// Tag actually found.
+        found: u8,
+    },
+    /// A length or invariant was violated (corrupt input).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "input truncated"),
+            DecodeError::WrongTag { expected, found } => {
+                write!(f, "wrong sketch tag: expected {expected:#x}, found {found:#x}")
+            }
+            DecodeError::Corrupt(what) => write!(f, "corrupt sketch encoding: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Sketch kind tags.
+pub mod tags {
+    /// [`super::Measures`]
+    pub const MEASURES: u8 = 0x01;
+    /// [`super::EquiDepthHistogram`]
+    pub const HISTOGRAM: u8 = 0x02;
+    /// [`super::Akmv`]
+    pub const AKMV: u8 = 0x03;
+    /// Heavy-hitter dictionary (`Vec<HeavyHitter>`).
+    pub const HEAVY_HITTERS: u8 = 0x04;
+    /// [`super::ExactDict`]
+    pub const EXACT_DICT: u8 = 0x05;
+}
+
+/// A little-endian byte reader.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a buffer.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian u32.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Read a little-endian u64.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Read a little-endian f64.
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn expect_tag(&mut self, expected: u8) -> Result<(), DecodeError> {
+        let found = self.u8()?;
+        if found != expected {
+            return Err(DecodeError::WrongTag { expected, found });
+        }
+        Ok(())
+    }
+}
+
+/// A byte writer.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finish and take the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Append one byte.
+    pub fn u8(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+
+    /// Append a little-endian u32.
+    pub fn u32(&mut self, x: u32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Append a little-endian u64.
+    pub fn u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Append a little-endian f64.
+    pub fn f64(&mut self, x: f64) {
+        self.u64(x.to_bits());
+    }
+}
+
+impl Measures {
+    /// Encode to bytes.
+    pub fn encode(&self, w: &mut Writer) {
+        w.u8(tags::MEASURES);
+        w.u64(self.count());
+        w.f64(self.mean());
+        w.f64(self.second_moment());
+        w.f64(self.min());
+        w.f64(self.max());
+        match self.log_stats() {
+            Some((lm, lm2, lmin, lmax)) => {
+                w.u8(1);
+                w.f64(lm);
+                w.f64(lm2);
+                w.f64(lmin);
+                w.f64(lmax);
+            }
+            None => w.u8(0),
+        }
+    }
+
+    /// Decode from bytes. Reconstructs the summary-statistics view (counts,
+    /// moments, extrema); the decoded sketch reports identical statistics
+    /// but cannot absorb further updates exactly (it is a catalog snapshot).
+    pub fn decode(r: &mut Reader<'_>) -> Result<DecodedMeasures, DecodeError> {
+        r.expect_tag(tags::MEASURES)?;
+        let count = r.u64()?;
+        let mean = r.f64()?;
+        let second_moment = r.f64()?;
+        let min = r.f64()?;
+        let max = r.f64()?;
+        let log_stats = if r.u8()? == 1 {
+            Some((r.f64()?, r.f64()?, r.f64()?, r.f64()?))
+        } else {
+            None
+        };
+        if count > 0 && min > max {
+            return Err(DecodeError::Corrupt("measures: min > max"));
+        }
+        Ok(DecodedMeasures { count, mean, second_moment, min, max, log_stats })
+    }
+}
+
+/// A decoded catalog snapshot of a [`Measures`] sketch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedMeasures {
+    /// Row count.
+    pub count: u64,
+    /// Mean value.
+    pub mean: f64,
+    /// Mean of squares.
+    pub second_moment: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// `(mean log, mean log², min log, max log)` when all values positive.
+    pub log_stats: Option<(f64, f64, f64, f64)>,
+}
+
+impl EquiDepthHistogram {
+    /// Encode to bytes.
+    pub fn encode(&self, w: &mut Writer) {
+        w.u8(tags::HISTOGRAM);
+        let (bounds, depths, total) = self.raw_parts();
+        w.u64(total);
+        w.u32(bounds.len() as u32);
+        for &b in bounds {
+            w.f64(b);
+        }
+        for &d in depths {
+            w.u64(d);
+        }
+    }
+
+    /// Decode from bytes into an identical histogram.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.expect_tag(tags::HISTOGRAM)?;
+        let total = r.u64()?;
+        let nb = r.u32()? as usize;
+        if !(2..=1 << 20).contains(&nb) {
+            return Err(DecodeError::Corrupt("histogram: bad boundary count"));
+        }
+        let mut bounds = Vec::with_capacity(nb);
+        for _ in 0..nb {
+            bounds.push(r.f64()?);
+        }
+        let mut depths = Vec::with_capacity(nb - 1);
+        let mut sum = 0u64;
+        for _ in 0..nb - 1 {
+            let d = r.u64()?;
+            sum += d;
+            depths.push(d);
+        }
+        if sum != total {
+            return Err(DecodeError::Corrupt("histogram: depths disagree with total"));
+        }
+        Ok(EquiDepthHistogram::from_raw_parts(bounds, depths, total))
+    }
+}
+
+impl Akmv {
+    /// Encode to bytes.
+    pub fn encode(&self, w: &mut Writer) {
+        w.u8(tags::AKMV);
+        w.u32(self.k() as u32);
+        w.u64(self.rows());
+        let entries = self.entries();
+        w.u32(entries.len() as u32);
+        for (h, c) in entries {
+            w.u64(h);
+            w.u64(c);
+        }
+    }
+
+    /// Decode from bytes into an identical sketch.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.expect_tag(tags::AKMV)?;
+        let k = r.u32()? as usize;
+        let rows = r.u64()?;
+        let n = r.u32()? as usize;
+        if k < 2 || n > k {
+            return Err(DecodeError::Corrupt("akmv: entry count exceeds k"));
+        }
+        let mut entries = Vec::with_capacity(n);
+        let mut last = None;
+        for _ in 0..n {
+            let h = r.u64()?;
+            let c = r.u64()?;
+            if let Some(prev) = last {
+                if h <= prev {
+                    return Err(DecodeError::Corrupt("akmv: hashes not ascending"));
+                }
+            }
+            last = Some(h);
+            entries.push((h, c));
+        }
+        Ok(Akmv::from_raw_parts(k, rows, entries))
+    }
+}
+
+/// Encode a heavy-hitter dictionary.
+pub fn encode_heavy_hitters(hh: &[HeavyHitter], rows: u64, w: &mut Writer) {
+    w.u8(tags::HEAVY_HITTERS);
+    w.u64(rows);
+    w.u32(hh.len() as u32);
+    for h in hh {
+        w.u64(h.key);
+        w.f64(h.frequency);
+    }
+}
+
+/// Decode a heavy-hitter dictionary; returns `(items, rows)`.
+pub fn decode_heavy_hitters(r: &mut Reader<'_>) -> Result<(Vec<HeavyHitter>, u64), DecodeError> {
+    let found = r.u8()?;
+    if found != tags::HEAVY_HITTERS {
+        return Err(DecodeError::WrongTag { expected: tags::HEAVY_HITTERS, found });
+    }
+    let rows = r.u64()?;
+    let n = r.u32()? as usize;
+    if n > 10_000 {
+        return Err(DecodeError::Corrupt("heavy hitters: implausible count"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = r.u64()?;
+        let frequency = r.f64()?;
+        if !(0.0..=1.0).contains(&frequency) {
+            return Err(DecodeError::Corrupt("heavy hitters: frequency out of range"));
+        }
+        out.push(HeavyHitter { key, frequency });
+    }
+    Ok((out, rows))
+}
+
+impl ExactDict {
+    /// Encode to bytes.
+    pub fn encode(&self, w: &mut Writer) {
+        w.u8(tags::EXACT_DICT);
+        w.u64(self.rows());
+        let mut entries: Vec<(u64, u64)> = self.iter().collect();
+        entries.sort_unstable();
+        w.u32(entries.len() as u32);
+        for (k, c) in entries {
+            w.u64(k);
+            w.u64(c);
+        }
+    }
+
+    /// Decode from bytes into an identical dictionary.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.expect_tag(tags::EXACT_DICT)?;
+        let rows = r.u64()?;
+        let n = r.u32()? as usize;
+        let mut entries = Vec::with_capacity(n);
+        let mut total = 0u64;
+        for _ in 0..n {
+            let k = r.u64()?;
+            let c = r.u64()?;
+            total += c;
+            entries.push((k, c));
+        }
+        if total != rows {
+            return Err(DecodeError::Corrupt("exact dict: counts disagree with rows"));
+        }
+        Ok(ExactDict::from_raw_parts(entries, rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash_u64;
+    use crate::heavy_hitter::HeavyHitters;
+    use proptest::prelude::*;
+
+    #[test]
+    fn measures_roundtrip() {
+        let m = Measures::from_values(&[1.0, 2.5, 9.0, 4.0]);
+        let mut w = Writer::new();
+        m.encode(&mut w);
+        let bytes = w.into_bytes();
+        // tag + count + 4 moment fields + flag + 4 log fields.
+        assert_eq!(bytes.len(), 1 + 8 + 4 * 8 + 1 + 4 * 8);
+        let d = Measures::decode(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(d.count, 4);
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.max, 9.0);
+        assert!((d.mean - m.mean()).abs() < 1e-12);
+        assert_eq!(d.log_stats.is_some(), m.log_stats().is_some());
+    }
+
+    #[test]
+    fn histogram_roundtrip_preserves_selectivity() {
+        let values: Vec<f64> = (0..500).map(|i| f64::from(i % 37)).collect();
+        let h = EquiDepthHistogram::from_values(&values, 10);
+        let mut w = Writer::new();
+        h.encode(&mut w);
+        let bytes = w.into_bytes();
+        let d = EquiDepthHistogram::decode(&mut Reader::new(&bytes)).unwrap();
+        assert_eq!(d, h);
+        for probe in [(0.0, 10.0), (5.0, 5.0), (-3.0, 100.0)] {
+            assert_eq!(
+                d.range_selectivity(probe.0, probe.1),
+                h.range_selectivity(probe.0, probe.1)
+            );
+        }
+    }
+
+    #[test]
+    fn akmv_roundtrip() {
+        let a = Akmv::from_hashes((0..1000u64).map(hash_u64), 64);
+        let mut w = Writer::new();
+        a.encode(&mut w);
+        let d = Akmv::decode(&mut Reader::new(&w.into_bytes())).unwrap();
+        assert_eq!(d.distinct_estimate(), a.distinct_estimate());
+        assert_eq!(d.rows(), a.rows());
+        assert_eq!(d.freq_stats(), a.freq_stats());
+    }
+
+    #[test]
+    fn heavy_hitters_roundtrip() {
+        let mut keys = vec![1u64; 300];
+        keys.extend(std::iter::repeat_n(2u64, 100));
+        keys.extend(3000..3600u64);
+        let s = HeavyHitters::from_keys(keys);
+        let hh = s.heavy_hitters();
+        let mut w = Writer::new();
+        encode_heavy_hitters(&hh, s.rows(), &mut w);
+        let (d, rows) = decode_heavy_hitters(&mut Reader::new(&w.into_bytes())).unwrap();
+        assert_eq!(d, hh);
+        assert_eq!(rows, s.rows());
+    }
+
+    #[test]
+    fn exact_dict_roundtrip() {
+        let e = ExactDict::build([5u64, 5, 7, 9, 9, 9], 16).unwrap();
+        let mut w = Writer::new();
+        e.encode(&mut w);
+        let d = ExactDict::decode(&mut Reader::new(&w.into_bytes())).unwrap();
+        assert_eq!(d.rows(), e.rows());
+        assert_eq!(d.distinct(), e.distinct());
+        assert_eq!(d.frequency(9), e.frequency(9));
+    }
+
+    #[test]
+    fn wrong_tag_is_detected() {
+        let m = Measures::from_values(&[1.0]);
+        let mut w = Writer::new();
+        m.encode(&mut w);
+        let err = EquiDepthHistogram::decode(&mut Reader::new(&w.into_bytes())).unwrap_err();
+        assert!(matches!(err, DecodeError::WrongTag { .. }));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let h = EquiDepthHistogram::from_values(&[1.0, 2.0, 3.0], 2);
+        let mut w = Writer::new();
+        h.encode(&mut w);
+        let bytes = w.into_bytes();
+        for cut in [0, 1, 5, bytes.len() - 1] {
+            let err = EquiDepthHistogram::decode(&mut Reader::new(&bytes[..cut]));
+            assert!(err.is_err(), "no error at cut {cut}");
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let a = Akmv::from_hashes((0..100u64).map(hash_u64), 16);
+        let mut w = Writer::new();
+        a.encode(&mut w);
+        let mut bytes = w.into_bytes();
+        // Zero the last entry's hash: it must now be <= its predecessor,
+        // breaking the ascending-hash invariant.
+        let n = bytes.len();
+        bytes[n - 16..n - 8].fill(0);
+        let r = Akmv::decode(&mut Reader::new(&bytes));
+        assert!(r.is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn catalog_roundtrip_any_values(values in prop::collection::vec(-1e6f64..1e6, 1..300)) {
+            let mut w = Writer::new();
+            let m = Measures::from_values(&values);
+            m.encode(&mut w);
+            let h = EquiDepthHistogram::from_values(&values, 10);
+            h.encode(&mut w);
+            let a = Akmv::from_hashes(values.iter().map(|v| crate::hash::hash_f64(*v)), 32);
+            a.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes);
+            let dm = Measures::decode(&mut r).unwrap();
+            prop_assert_eq!(dm.count, m.count());
+            let dh = EquiDepthHistogram::decode(&mut r).unwrap();
+            prop_assert_eq!(&dh, &h);
+            let da = Akmv::decode(&mut r).unwrap();
+            prop_assert_eq!(da.distinct_estimate(), a.distinct_estimate());
+            prop_assert_eq!(r.remaining(), 0);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Exact value→frequency dictionary for low-cardinality columns.
+//!
+//! The paper (§3.2): "if a string column has a small number of distinct
+//! values, all distinct values and their frequencies are stored exactly; this
+//! can support regex-style textual filters". The dictionary abandons itself
+//! (returns `None` from the builder) once the distinct count exceeds its
+//! budget, so storage stays bounded.
+
+use std::collections::HashMap;
+
+/// Default maximum distinct values stored exactly.
+pub const DEFAULT_LIMIT: usize = 256;
+
+/// Exact per-partition frequency table for one column, keyed the same way as
+/// [`crate::HeavyHitters`] (dictionary codes / f64 bit patterns).
+#[derive(Debug, Clone, Default)]
+pub struct ExactDict {
+    counts: HashMap<u64, u64>,
+    rows: u64,
+}
+
+impl ExactDict {
+    /// Build from keys, giving up (`None`) past `limit` distinct values.
+    pub fn build(keys: impl IntoIterator<Item = u64>, limit: usize) -> Option<Self> {
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        let mut rows = 0u64;
+        for k in keys {
+            rows += 1;
+            *counts.entry(k).or_insert(0) += 1;
+            if counts.len() > limit {
+                return None;
+            }
+        }
+        Some(Self { counts, rows })
+    }
+
+    /// Rows summarized.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Number of distinct values (exact).
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Exact frequency (fraction of rows) of `key`; 0 when absent.
+    pub fn frequency(&self, key: u64) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        self.counts.get(&key).map_or(0.0, |&c| c as f64 / self.rows as f64)
+    }
+
+    /// Exact selectivity of `key IN keys` (keys assumed distinct).
+    pub fn in_selectivity(&self, keys: &[u64]) -> f64 {
+        keys.iter().map(|&k| self.frequency(k)).sum::<f64>().clamp(0.0, 1.0)
+    }
+
+    /// Iterate over `(key, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&k, &c)| (k, c))
+    }
+
+    /// Exact serialized footprint: (key, count) pairs + row count.
+    pub fn serialized_size(&self) -> usize {
+        self.counts.len() * (8 + 8) + 8
+    }
+
+    /// Rebuild from raw `(key, count)` parts (codec use).
+    pub fn from_raw_parts(entries: Vec<(u64, u64)>, rows: u64) -> Self {
+        Self { counts: entries.into_iter().collect(), rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_frequencies() {
+        let d = ExactDict::build([1, 1, 2, 3, 3, 3], 16).unwrap();
+        assert_eq!(d.rows(), 6);
+        assert_eq!(d.distinct(), 3);
+        assert!((d.frequency(3) - 0.5).abs() < 1e-12);
+        assert_eq!(d.frequency(99), 0.0);
+        assert!((d.in_selectivity(&[1, 2]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gives_up_past_limit() {
+        assert!(ExactDict::build(0..100u64, 50).is_none());
+        assert!(ExactDict::build(0..50u64, 50).is_some());
+    }
+
+    #[test]
+    fn empty() {
+        let d = ExactDict::build(std::iter::empty(), 8).unwrap();
+        assert_eq!(d.distinct(), 0);
+        assert_eq!(d.frequency(0), 0.0);
+        assert_eq!(d.in_selectivity(&[1, 2, 3]), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn frequencies_sum_to_one(keys in prop::collection::vec(0u64..20, 1..200)) {
+            let d = ExactDict::build(keys.iter().copied(), 64).unwrap();
+            let total: f64 = (0..20).map(|k| d.frequency(k)).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn in_selectivity_matches_manual(keys in prop::collection::vec(0u64..10, 1..100)) {
+            let d = ExactDict::build(keys.iter().copied(), 64).unwrap();
+            let probe = [0u64, 3, 7];
+            let manual = keys.iter().filter(|k| probe.contains(k)).count() as f64
+                / keys.len() as f64;
+            prop_assert!((d.in_selectivity(&probe) - manual).abs() < 1e-9);
+        }
+    }
+}

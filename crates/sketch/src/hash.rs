@@ -1,0 +1,109 @@
+//! 64-bit hashing used by the AKMV and heavy-hitter sketches.
+//!
+//! AKMV needs a hash whose outputs behave like uniform draws on `[0, 2^64)`
+//! so that the k-th minimum value is a usable distinct-count estimator. We
+//! use a splitmix64 finalizer for fixed-width keys and an FNV-1a/splitmix
+//! combination for strings — both tiny, dependency-free, and empirically
+//! well-mixed for this purpose.
+
+/// splitmix64 finalizer: a strong 64-bit mix.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash a raw 64-bit key (e.g. an `f64` bit pattern or a dictionary code).
+#[inline]
+pub fn hash_u64(x: u64) -> u64 {
+    mix64(x)
+}
+
+/// Hash an `f64` by value.
+///
+/// `-0.0` and `+0.0` are collapsed so that equal numeric values always hash
+/// identically; NaNs are canonicalized for the same reason.
+#[inline]
+pub fn hash_f64(x: f64) -> u64 {
+    let canonical = if x == 0.0 {
+        0u64
+    } else if x.is_nan() {
+        f64::NAN.to_bits()
+    } else {
+        x.to_bits()
+    };
+    mix64(canonical)
+}
+
+/// Hash a string: FNV-1a over the bytes, then a splitmix64 finalizer to fix
+/// FNV's weak high bits.
+#[inline]
+pub fn hash_str(s: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = FNV_OFFSET;
+    for &b in s.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    mix64(h)
+}
+
+/// Map a hash to the unit interval `[0, 1)`, as needed by KMV estimators.
+#[inline]
+pub fn to_unit(h: u64) -> f64 {
+    // 2^-64; the cast loses at most 11 low bits, irrelevant here.
+    (h as f64) * 5.421_010_862_427_522e-20
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_signs_collapse() {
+        assert_eq!(hash_f64(0.0), hash_f64(-0.0));
+    }
+
+    #[test]
+    fn nan_is_canonical() {
+        let q = f64::from_bits(0x7FF8_0000_0000_0001); // a non-standard NaN payload
+        assert_eq!(hash_f64(q), hash_f64(f64::NAN));
+    }
+
+    #[test]
+    fn distinct_inputs_rarely_collide() {
+        use std::collections::HashSet;
+        let hashes: HashSet<u64> = (0..10_000u64).map(hash_u64).collect();
+        assert_eq!(hashes.len(), 10_000);
+        let strs: HashSet<u64> = (0..10_000u32).map(|i| hash_str(&format!("k{i}"))).collect();
+        assert_eq!(strs.len(), 10_000);
+    }
+
+    #[test]
+    fn unit_mapping_in_range() {
+        for x in [0u64, 1, u64::MAX / 2, u64::MAX] {
+            let u = to_unit(x);
+            assert!((0.0..=1.0).contains(&u));
+        }
+        assert!(to_unit(u64::MAX) > 0.999_999);
+        assert_eq!(to_unit(0), 0.0);
+    }
+
+    #[test]
+    fn hashes_look_uniform() {
+        // Crude uniformity check: bucket 64k hashes into 16 bins; each bin
+        // should hold close to 1/16 of the mass.
+        let n = 65_536u64;
+        let mut bins = [0u32; 16];
+        for i in 0..n {
+            bins[(hash_u64(i) >> 60) as usize] += 1;
+        }
+        let expected = (n / 16) as f64;
+        for &b in &bins {
+            assert!((f64::from(b) - expected).abs() < expected * 0.15, "bin {b}");
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! Heavy hitters via **lossy counting** (Manku & Motwani, VLDB'02), as used
+//! by PS3 (§3.1): items appearing in at least `support` (default 1%) of a
+//! partition's rows, with estimated frequencies.
+//!
+//! Lossy counting guarantees, for error parameter ε:
+//! * every item with true frequency ≥ `support · N` is reported (no false
+//!   negatives),
+//! * reported counts undercount by at most `ε · N`,
+//! * at most `(1/ε)·log(εN)` counters are kept.
+//!
+//! The paper caps the dictionary at 100 items (support 1% ⇒ at most 100 true
+//! heavy hitters exist).
+
+use std::collections::HashMap;
+
+/// Default support threshold (1% of rows).
+pub const DEFAULT_SUPPORT: f64 = 0.01;
+/// Default error parameter (ε = support / 10).
+pub const DEFAULT_EPSILON: f64 = 0.001;
+/// Hard cap on reported dictionary size, per the paper.
+pub const MAX_ITEMS: usize = 100;
+
+/// A reported heavy hitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HeavyHitter {
+    /// The item key: a dictionary code for categorical columns or an `f64`
+    /// bit pattern for numeric ones.
+    pub key: u64,
+    /// Estimated fraction of the partition's rows holding this value.
+    pub frequency: f64,
+}
+
+/// Streaming lossy-counting sketch.
+#[derive(Debug, Clone)]
+pub struct HeavyHitters {
+    support: f64,
+    epsilon: f64,
+    bucket_width: u64,
+    current_bucket: u64,
+    rows: u64,
+    /// key → (count since insertion, max undercount Δ at insertion).
+    counters: HashMap<u64, (u64, u64)>,
+}
+
+impl HeavyHitters {
+    /// New sketch with the paper's defaults (support 1%, ε 0.1%).
+    pub fn new() -> Self {
+        Self::with_params(DEFAULT_SUPPORT, DEFAULT_EPSILON)
+    }
+
+    /// New sketch with explicit parameters.
+    ///
+    /// # Panics
+    /// Panics unless `0 < epsilon <= support < 1`.
+    pub fn with_params(support: f64, epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon <= support && support < 1.0);
+        let bucket_width = (1.0 / epsilon).ceil() as u64;
+        Self {
+            support,
+            epsilon,
+            bucket_width,
+            current_bucket: 1,
+            rows: 0,
+            counters: HashMap::new(),
+        }
+    }
+
+    /// Build from keys in one pass.
+    pub fn from_keys(keys: impl IntoIterator<Item = u64>) -> Self {
+        let mut s = Self::new();
+        for k in keys {
+            s.update(k);
+        }
+        s
+    }
+
+    /// Fold one item in.
+    #[inline]
+    pub fn update(&mut self, key: u64) {
+        self.rows += 1;
+        self.counters
+            .entry(key)
+            .and_modify(|(c, _)| *c += 1)
+            .or_insert((1, self.current_bucket - 1));
+        if self.rows.is_multiple_of(self.bucket_width) {
+            let b = self.current_bucket;
+            self.counters.retain(|_, &mut (c, delta)| c + delta > b);
+            self.current_bucket += 1;
+        }
+    }
+
+    /// Rows folded in so far.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// The support threshold.
+    pub fn support(&self) -> f64 {
+        self.support
+    }
+
+    /// Report items with estimated frequency ≥ support, most frequent first,
+    /// capped at [`MAX_ITEMS`].
+    ///
+    /// Uses the classic output rule `count ≥ (support − ε) · N`, which keeps
+    /// the no-false-negative guarantee.
+    pub fn heavy_hitters(&self) -> Vec<HeavyHitter> {
+        if self.rows == 0 {
+            return Vec::new();
+        }
+        let n = self.rows as f64;
+        let threshold = (self.support - self.epsilon) * n;
+        let mut out: Vec<HeavyHitter> = self
+            .counters
+            .iter()
+            .filter(|(_, &(c, _))| c as f64 >= threshold)
+            .map(|(&key, &(c, _))| HeavyHitter { key, frequency: c as f64 / n })
+            .collect();
+        out.sort_by(|a, b| b.frequency.total_cmp(&a.frequency).then(a.key.cmp(&b.key)));
+        out.truncate(MAX_ITEMS);
+        out
+    }
+
+    /// Estimated frequency of `key` if it is a reported heavy hitter.
+    pub fn frequency_of(&self, key: u64) -> Option<f64> {
+        self.heavy_hitters().iter().find(|h| h.key == key).map(|h| h.frequency)
+    }
+
+    /// Exact serialized footprint of the *reported* dictionary (what a system
+    /// would persist): (key, freq) pairs + row count.
+    pub fn serialized_size(&self) -> usize {
+        self.heavy_hitters().len() * (8 + 8) + 8
+    }
+}
+
+impl Default for HeavyHitters {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn finds_obvious_heavy_hitter() {
+        // Key 7 holds 50% of 10k rows; the rest are unique.
+        let mut keys = vec![7u64; 5_000];
+        keys.extend(1_000_000..1_005_000u64);
+        let s = HeavyHitters::from_keys(keys);
+        let hh = s.heavy_hitters();
+        assert_eq!(hh[0].key, 7);
+        assert!((hh[0].frequency - 0.5).abs() < 0.01, "freq {}", hh[0].frequency);
+    }
+
+    #[test]
+    fn infrequent_items_not_reported() {
+        // 200 distinct keys, each 0.5% of rows: nothing reaches 1% support.
+        let mut keys = Vec::new();
+        for k in 0..200u64 {
+            keys.extend(std::iter::repeat_n(k, 50));
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        keys.shuffle(&mut rng);
+        let s = HeavyHitters::from_keys(keys);
+        for h in s.heavy_hitters() {
+            assert!(h.frequency < 0.01 + DEFAULT_EPSILON);
+        }
+    }
+
+    #[test]
+    fn counter_space_is_bounded() {
+        // 1M unique keys: counters must stay ~1/ε·log(εN), far below 1M.
+        let mut s = HeavyHitters::new();
+        for k in 0..1_000_000u64 {
+            s.update(k);
+        }
+        assert!(s.counters.len() < 20_000, "kept {} counters", s.counters.len());
+        assert!(s.heavy_hitters().is_empty());
+    }
+
+    #[test]
+    fn empty_input() {
+        let s = HeavyHitters::new();
+        assert!(s.heavy_hitters().is_empty());
+        assert_eq!(s.serialized_size(), 8);
+    }
+
+    #[test]
+    fn cap_at_max_items() {
+        // 100 keys at ~1% each (10k rows / 100 keys): all qualify; cap holds.
+        let mut keys = Vec::new();
+        for k in 0..100u64 {
+            keys.extend(std::iter::repeat_n(k, 100));
+        }
+        let s = HeavyHitters::from_keys(keys);
+        assert!(s.heavy_hitters().len() <= MAX_ITEMS);
+        assert!(!s.heavy_hitters().is_empty());
+    }
+
+    proptest! {
+        // The lossy-counting recall guarantee: any key whose true frequency
+        // is ≥ support must be reported, regardless of arrival order.
+        #[test]
+        fn recall_guarantee(seed in 0u64..50) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 5_000usize;
+            // Two planted heavy keys at 5% and 2%, noise elsewhere.
+            let mut keys: Vec<u64> = Vec::with_capacity(n);
+            keys.extend(std::iter::repeat_n(1u64, n / 20));
+            keys.extend(std::iter::repeat_n(2u64, n / 50));
+            while keys.len() < n {
+                keys.push(rand::Rng::gen_range(&mut rng, 100..100_000));
+            }
+            keys.shuffle(&mut rng);
+            let s = HeavyHitters::from_keys(keys);
+            let reported: Vec<u64> = s.heavy_hitters().iter().map(|h| h.key).collect();
+            prop_assert!(reported.contains(&1));
+            prop_assert!(reported.contains(&2));
+        }
+
+        // Reported frequencies undercount truth by at most ε (plus nothing).
+        #[test]
+        fn count_error_bound(reps in 60usize..400, noise in 500usize..3000) {
+            let mut keys = vec![42u64; reps];
+            keys.extend((0..noise as u64).map(|i| 1000 + i));
+            let mut rng = StdRng::seed_from_u64(7);
+            keys.shuffle(&mut rng);
+            let n = keys.len() as f64;
+            let truth = reps as f64 / n;
+            let s = HeavyHitters::from_keys(keys);
+            if let Some(freq) = s.frequency_of(42) {
+                prop_assert!(freq <= truth + 1e-9, "over-count: {} > {}", freq, truth);
+                prop_assert!(freq >= truth - DEFAULT_EPSILON - 1e-9, "under by more than eps");
+            } else {
+                // Only allowed to drop it if it was genuinely below support.
+                prop_assert!(truth < DEFAULT_SUPPORT, "dropped a true heavy hitter at {}", truth);
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! The four lightweight sketches of PS3 (§3.1, Table 1), built in one pass
+//! per partition when a partition is sealed:
+//!
+//! | Sketch | Construction | Storage | Used for |
+//! |---|---|---|---|
+//! | [`Measures`] | O(R) | O(1) | min/max/moments, log-moments |
+//! | [`EquiDepthHistogram`] | O(R log R) | O(#buckets) | selectivity estimates |
+//! | [`Akmv`] | O(R) | O(k) | distinct values + their frequencies |
+//! | [`HeavyHitters`] | O(R) | O(1/support) | heavy hitters, occurrence bitmaps |
+//!
+//! Plus the [`ExactDict`], the paper's special case for string columns with
+//! few distinct values (stored exactly; enables regex-style filters).
+//!
+//! Every sketch reports its serialized footprint via `serialized_size()` so
+//! the Table-4 storage-overhead experiment can account bytes precisely.
+
+pub mod akmv;
+pub mod codec;
+pub mod exact_dict;
+pub mod hash;
+pub mod heavy_hitter;
+pub mod histogram;
+pub mod measures;
+
+pub use akmv::Akmv;
+pub use exact_dict::ExactDict;
+pub use heavy_hitter::{HeavyHitter, HeavyHitters};
+pub use histogram::EquiDepthHistogram;
+pub use measures::Measures;

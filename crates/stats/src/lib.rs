@@ -1,0 +1,26 @@
+//! The statistics builder (§2.3.1, §3): per-partition summary statistics and
+//! the query-time feature vectors derived from them.
+//!
+//! * [`column_stats`] — the per-(partition, column) sketch bundle.
+//! * [`builder`] — builds [`TableStats`] for a whole partitioned table
+//!   (in parallel), including the global heavy-hitter lists and the
+//!   per-partition occurrence bitmaps of §3.2.
+//! * [`selectivity`] — the four selectivity features (`upper`, `indep`,
+//!   `min`, `max`) estimated from histograms/dictionaries, with
+//!   `selectivity_upper`'s perfect-recall guarantee.
+//! * [`features`] — the feature-vector schema of Table 2 and query-dependent
+//!   masking.
+//! * [`normalize`] — Appendix B normalization (log / cube-root transform,
+//!   then division by training-set means).
+
+pub mod builder;
+pub mod column_stats;
+pub mod features;
+pub mod normalize;
+pub mod selectivity;
+
+pub use builder::{StatsConfig, StorageBreakdown, TableStats};
+pub use column_stats::ColumnStats;
+pub use features::{FeatureSchema, FeatureType, QueryFeatures};
+pub use normalize::Normalizer;
+pub use selectivity::SelectivityFeatures;

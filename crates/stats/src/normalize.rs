@@ -1,0 +1,153 @@
+//! Feature normalization (Appendix B): a log transform tames the skew of all
+//! summary statistics except the selectivity estimates, which get a cube
+//! root; each dimension is then divided by its average over the training set
+//! (the average is more outlier-robust than the max).
+
+use crate::features::FeatureSchema;
+
+/// Fitted normalization state: per-dimension training means of the
+/// transformed features.
+#[derive(Debug, Clone)]
+pub struct Normalizer {
+    schema: FeatureSchema,
+    /// Per-dimension mean of transformed values; 1.0 where the mean was 0
+    /// (constant-zero features pass through unchanged).
+    means: Vec<f64>,
+}
+
+/// The per-value transform: cube root for selectivity features, signed
+/// `ln(1+|x|)` otherwise.
+#[inline]
+fn transform(x: f64, is_selectivity: bool) -> f64 {
+    if is_selectivity {
+        x.cbrt()
+    } else {
+        x.signum() * x.abs().ln_1p()
+    }
+}
+
+impl Normalizer {
+    /// Fit means over a set of training feature matrices.
+    pub fn fit<'a>(
+        schema: FeatureSchema,
+        matrices: impl IntoIterator<Item = &'a Vec<Vec<f64>>>,
+    ) -> Self {
+        let dim = schema.dim();
+        let is_sel: Vec<bool> = (0..dim).map(|i| schema.type_of(i).is_selectivity()).collect();
+        let mut sums = vec![0.0f64; dim];
+        let mut n = 0usize;
+        for m in matrices {
+            for row in m {
+                debug_assert_eq!(row.len(), dim);
+                for (i, &x) in row.iter().enumerate() {
+                    sums[i] += transform(x, is_sel[i]).abs();
+                }
+                n += 1;
+            }
+        }
+        let means = sums
+            .into_iter()
+            .map(|s| {
+                let mean = if n > 0 { s / n as f64 } else { 0.0 };
+                if mean.abs() < 1e-12 {
+                    1.0
+                } else {
+                    mean
+                }
+            })
+            .collect();
+        Self { schema, means }
+    }
+
+    /// An identity normalizer (transform only, no scaling).
+    pub fn identity(schema: FeatureSchema) -> Self {
+        Self { means: vec![1.0; schema.dim()], schema }
+    }
+
+    /// Normalize one feature row in place.
+    pub fn apply_row(&self, row: &mut [f64]) {
+        debug_assert_eq!(row.len(), self.schema.dim());
+        for (i, x) in row.iter_mut().enumerate() {
+            let is_sel = self.schema.type_of(i).is_selectivity();
+            *x = transform(*x, is_sel) / self.means[i];
+        }
+    }
+
+    /// Normalize a whole matrix in place.
+    pub fn apply_matrix(&self, rows: &mut [Vec<f64>]) {
+        for row in rows {
+            self.apply_row(row);
+        }
+    }
+
+    /// The feature layout this normalizer was fitted for.
+    pub fn schema(&self) -> &FeatureSchema {
+        &self.schema
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::SELECTIVITY_FEATURES;
+
+    fn tiny_schema() -> FeatureSchema {
+        FeatureSchema::new(1)
+    }
+
+    #[test]
+    fn transform_shapes() {
+        assert_eq!(transform(0.0, false), 0.0);
+        assert!(transform(100.0, false) < 100.0);
+        assert!(transform(-5.0, false) < 0.0);
+        assert!((transform(0.125, true) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_then_apply_scales_to_unit_mean() {
+        let schema = tiny_schema();
+        let dim = schema.dim();
+        let mut m = vec![vec![0.0; dim]; 4];
+        // Dimension 0 (mean(x)) takes values 1..4.
+        for (i, row) in m.iter_mut().enumerate() {
+            row[0] = (i + 1) as f64;
+        }
+        let norm = Normalizer::fit(schema, [&m]);
+        let mut m2 = m.clone();
+        norm.apply_matrix(&mut m2);
+        let avg: f64 = m2.iter().map(|r| r[0]).sum::<f64>() / 4.0;
+        assert!((avg - 1.0).abs() < 1e-9, "avg {avg}");
+    }
+
+    #[test]
+    fn zero_dimensions_pass_through() {
+        let schema = tiny_schema();
+        let m = vec![vec![0.0; schema.dim()]; 3];
+        let norm = Normalizer::fit(schema, [&m]);
+        let mut row = vec![0.0; schema.dim()];
+        norm.apply_row(&mut row);
+        assert!(row.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn selectivity_uses_cube_root() {
+        let schema = tiny_schema();
+        let norm = Normalizer::identity(schema);
+        let mut row = vec![0.0; schema.dim()];
+        let sel = schema.selectivity_offset();
+        row[sel] = 0.001;
+        norm.apply_row(&mut row);
+        assert!((row[sel] - 0.1).abs() < 1e-12);
+        assert_eq!(sel + SELECTIVITY_FEATURES, schema.dim());
+    }
+
+    #[test]
+    fn identity_keeps_scale_free_of_training_set() {
+        let schema = tiny_schema();
+        let norm = Normalizer::identity(schema);
+        let mut row = vec![1.0; schema.dim()];
+        norm.apply_row(&mut row);
+        // ln(2) for non-selectivity dims.
+        assert!((row[0] - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,474 @@
+//! Per-partition selectivity estimation from summary statistics (§3.2).
+//!
+//! Four features describe a predicate's selectivity on a partition:
+//!
+//! 1. `selectivity_upper` — a bound with **perfect recall**: it is zero only
+//!    when provably no row of the partition satisfies the predicate. ANDs
+//!    take the min of clause uppers; ORs the capped sum.
+//! 2. `selectivity_indep` — assumes independence between clauses: product
+//!    for ANDs, min for ORs (the paper's stated rule).
+//! 3. `selectivity_min` / `selectivity_max` — min and max over the
+//!    individual clause estimates.
+//!
+//! Clauses on the same numeric column inside one AND/OR node are *evaluated
+//! jointly* (e.g. `X > 1 AND X < 5` intersects to one range before consulting
+//! the histogram), per §3.2.
+
+use ps3_query::{Clause, CmpOp, Predicate, Query};
+use ps3_storage::{ColId, Schema, Table};
+
+use crate::column_stats::ColumnStats;
+
+/// The four selectivity features for one (query, partition) pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SelectivityFeatures {
+    /// Perfect-recall upper bound.
+    pub upper: f64,
+    /// Independence-assumption estimate.
+    pub indep: f64,
+    /// Min over individual clause estimates.
+    pub min: f64,
+    /// Max over individual clause estimates.
+    pub max: f64,
+}
+
+impl SelectivityFeatures {
+    /// The no-predicate case: everything qualifies.
+    pub fn all_pass() -> Self {
+        Self { upper: 1.0, indep: 1.0, min: 1.0, max: 1.0 }
+    }
+
+    /// As a fixed-order array `[upper, indep, min, max]`.
+    pub fn as_array(&self) -> [f64; 4] {
+        [self.upper, self.indep, self.min, self.max]
+    }
+}
+
+/// A half-open/closed numeric interval used for joint clause evaluation.
+#[derive(Debug, Clone, Copy)]
+struct Interval {
+    lo: f64,
+    lo_incl: bool,
+    hi: f64,
+    hi_incl: bool,
+}
+
+impl Interval {
+    fn full() -> Self {
+        Self { lo: f64::NEG_INFINITY, lo_incl: true, hi: f64::INFINITY, hi_incl: true }
+    }
+
+    fn from_cmp(op: CmpOp, v: f64) -> Option<Self> {
+        let mut i = Self::full();
+        match op {
+            CmpOp::Lt => {
+                i.hi = v;
+                i.hi_incl = false;
+            }
+            CmpOp::Le => {
+                i.hi = v;
+                i.hi_incl = true;
+            }
+            CmpOp::Gt => {
+                i.lo = v;
+                i.lo_incl = false;
+            }
+            CmpOp::Ge => {
+                i.lo = v;
+                i.lo_incl = true;
+            }
+            CmpOp::Eq => {
+                i.lo = v;
+                i.hi = v;
+            }
+            // Ne is not an interval; evaluated separately.
+            CmpOp::Ne => return None,
+        }
+        Some(i)
+    }
+
+    fn intersect(&self, other: &Interval) -> Interval {
+        let (lo, lo_incl) = if self.lo > other.lo {
+            (self.lo, self.lo_incl)
+        } else if other.lo > self.lo {
+            (other.lo, other.lo_incl)
+        } else {
+            (self.lo, self.lo_incl && other.lo_incl)
+        };
+        let (hi, hi_incl) = if self.hi < other.hi {
+            (self.hi, self.hi_incl)
+        } else if other.hi < self.hi {
+            (other.hi, other.hi_incl)
+        } else {
+            (self.hi, self.hi_incl && other.hi_incl)
+        };
+        Interval { lo, lo_incl, hi, hi_incl }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.lo > self.hi || (self.lo == self.hi && !(self.lo_incl && self.hi_incl))
+    }
+}
+
+/// Estimate for one clause: `(upper, estimate)`.
+fn clause_selectivity(clause: &Clause, stats: &ColumnStats, table: &Table) -> (f64, f64) {
+    match clause {
+        Clause::Cmp { op, value, .. } => match Interval::from_cmp(*op, *value) {
+            Some(iv) => interval_selectivity(&iv, stats),
+            None => {
+                // Ne: complement of equality.
+                let (eq_upper, eq_est) =
+                    interval_selectivity(&Interval::from_cmp(CmpOp::Eq, *value).unwrap(), stats);
+                let est = (1.0 - eq_est).clamp(0.0, 1.0);
+                // Upper: all rows might differ from v unless the column is
+                // constant at v (then eq covers everything).
+                let upper = if eq_upper >= 1.0 && stats.akmv.distinct_estimate() <= 1.0 {
+                    0.0
+                } else {
+                    1.0
+                };
+                (upper, est)
+            }
+        },
+        Clause::In { col, values, negated } => {
+            let (_, dict) = table.categorical(*col);
+            let keys: Vec<u64> = values
+                .iter()
+                .filter_map(|v| dict.code(v))
+                .map(u64::from)
+                .collect();
+            in_selectivity(&keys, *negated, stats)
+        }
+        Clause::Contains { col, needle, negated } => {
+            let (_, dict) = table.categorical(*col);
+            let keys: Vec<u64> = dict
+                .codes_containing(needle)
+                .into_iter()
+                .map(u64::from)
+                .collect();
+            in_selectivity(&keys, *negated, stats)
+        }
+    }
+}
+
+/// `(upper, estimate)` for a numeric interval.
+fn interval_selectivity(iv: &Interval, stats: &ColumnStats) -> (f64, f64) {
+    if iv.is_empty() {
+        return (0.0, 0.0);
+    }
+    let Some(hist) = &stats.histogram else {
+        // No histogram (shouldn't happen for numeric columns): stay safe.
+        return (1.0, 0.5);
+    };
+    // Exact path: tiny domains keep a full dictionary of value bit patterns.
+    if let Some(exact) = &stats.exact {
+        let mut sel = 0.0;
+        for (key, count) in exact.iter() {
+            let v = f64::from_bits(key);
+            let lo_ok = v > iv.lo || (iv.lo_incl && v == iv.lo);
+            let hi_ok = v < iv.hi || (iv.hi_incl && v == iv.hi);
+            if lo_ok && hi_ok {
+                sel += count as f64;
+            }
+        }
+        let sel = sel / stats.rows.max(1) as f64;
+        return (sel, sel);
+    }
+    let upper = hist.cover_upper(iv.lo, iv.hi);
+    let est = if iv.lo == iv.hi {
+        hist.equality_selectivity(iv.lo, stats.akmv.distinct_estimate())
+    } else {
+        (hist.fraction_below(iv.hi, iv.hi_incl) - hist.fraction_below(iv.lo, !iv.lo_incl))
+            .clamp(0.0, 1.0)
+    };
+    (upper, est.min(upper))
+}
+
+/// `(upper, estimate)` for a categorical membership test over `keys`.
+fn in_selectivity(keys: &[u64], negated: bool, stats: &ColumnStats) -> (f64, f64) {
+    // Exact dictionary: both the bound and the estimate are exact.
+    if let Some(exact) = &stats.exact {
+        let sel = exact.in_selectivity(keys);
+        let sel = if negated { 1.0 - sel } else { sel };
+        return (sel, sel);
+    }
+    if negated {
+        // Cannot rule anything out without an exact dictionary.
+        let (_, pos_est) = in_selectivity(keys, false, stats);
+        return (1.0, (1.0 - pos_est).clamp(0.0, 1.0));
+    }
+    let hh_mass: f64 = stats.heavy_hitters.iter().map(|h| h.frequency).sum();
+    let ndv = stats.akmv.distinct_estimate().max(1.0);
+    let non_hh = (ndv - stats.heavy_hitters.len() as f64).max(1.0);
+    // Average frequency of a non-heavy-hitter value.
+    let tail_avg = ((1.0 - hh_mass).max(0.0) / non_hh).clamp(0.0, 1.0);
+    // Not-a-local-heavy-hitter caps frequency at the support threshold.
+    let support = 0.01_f64.max(tail_avg);
+    let mut upper = 0.0;
+    let mut est = 0.0;
+    for &k in keys {
+        match stats.hh_frequency(k) {
+            Some(f) => {
+                upper += f + 0.001; // lossy-counting undercount allowance (ε)
+                est += f;
+            }
+            None => {
+                // Not a local heavy hitter: frequency is below support, but
+                // presence cannot be excluded.
+                upper += support;
+                est += tail_avg;
+            }
+        }
+    }
+    (upper.clamp(0.0, 1.0), est.clamp(0.0, 1.0))
+}
+
+/// Recursive estimate of a (NNF) predicate node: returns
+/// `(upper, indep, clause_estimates)`.
+fn estimate_node(
+    pred: &Predicate,
+    stats: &[ColumnStats],
+    table: &Table,
+    clause_ests: &mut Vec<f64>,
+) -> (f64, f64) {
+    match pred {
+        Predicate::Clause(c) => {
+            let (upper, est) = clause_selectivity(c, &stats[c.column().index()], table);
+            clause_ests.push(est);
+            (upper, est)
+        }
+        Predicate::Not(_) => unreachable!("selectivity runs on NNF predicates"),
+        Predicate::And(children) => {
+            let parts = jointly_evaluate(children, stats, table, true, clause_ests);
+            let upper = parts.iter().map(|p| p.0).fold(1.0_f64, f64::min);
+            let indep = parts.iter().map(|p| p.1).product::<f64>();
+            (upper, indep)
+        }
+        Predicate::Or(children) => {
+            let parts = jointly_evaluate(children, stats, table, false, clause_ests);
+            let upper = parts.iter().map(|p| p.0).sum::<f64>().min(1.0);
+            // Paper's stated rule for ORs: the min of the clause estimates.
+            let indep = parts.iter().map(|p| p.1).fold(1.0_f64, f64::min);
+            (upper, indep)
+        }
+    }
+}
+
+/// Evaluate a node's children, merging same-column `Cmp` clauses first.
+///
+/// Only AND nodes can merge into a single intersection; OR children stay
+/// individual (their union is handled by the parent's sum/min combination).
+fn jointly_evaluate(
+    children: &[Predicate],
+    stats: &[ColumnStats],
+    table: &Table,
+    is_and: bool,
+    clause_ests: &mut Vec<f64>,
+) -> Vec<(f64, f64)> {
+    let mut out = Vec::with_capacity(children.len());
+    if is_and {
+        // Group interval-able Cmp clauses by column.
+        let mut grouped: Vec<(ColId, Interval)> = Vec::new();
+        let mut rest: Vec<&Predicate> = Vec::new();
+        for ch in children {
+            if let Predicate::Clause(Clause::Cmp { col, op, value }) = ch {
+                if let Some(iv) = Interval::from_cmp(*op, *value) {
+                    match grouped.iter_mut().find(|(c, _)| c == col) {
+                        Some((_, acc)) => *acc = acc.intersect(&iv),
+                        None => grouped.push((*col, iv)),
+                    }
+                    continue;
+                }
+            }
+            rest.push(ch);
+        }
+        for (col, iv) in grouped {
+            let pair = interval_selectivity(&iv, &stats[col.index()]);
+            clause_ests.push(pair.1);
+            out.push(pair);
+        }
+        for ch in rest {
+            out.push(estimate_node(ch, stats, table, clause_ests));
+        }
+    } else {
+        for ch in children {
+            out.push(estimate_node(ch, stats, table, clause_ests));
+        }
+    }
+    out
+}
+
+/// Compute the four selectivity features of `query` on one partition.
+///
+/// `stats` holds the partition's per-column sketch bundles, indexed by
+/// [`ColId`]; `table` supplies the shared categorical dictionaries.
+pub fn selectivity_features(
+    query: &Query,
+    stats: &[ColumnStats],
+    table: &Table,
+    schema: &Schema,
+) -> SelectivityFeatures {
+    debug_assert_eq!(stats.len(), schema.len());
+    let Some(pred) = &query.predicate else {
+        return SelectivityFeatures::all_pass();
+    };
+    let nnf = pred.to_nnf();
+    let mut clause_ests = Vec::new();
+    let (upper, indep) = estimate_node(&nnf, stats, table, &mut clause_ests);
+    let (min, max) = clause_ests
+        .iter()
+        .fold((1.0_f64, 0.0_f64), |(mn, mx), &e| (mn.min(e), mx.max(e)));
+    SelectivityFeatures {
+        upper: upper.clamp(0.0, 1.0),
+        indep: indep.clamp(0.0, 1.0),
+        min: if clause_ests.is_empty() { 1.0 } else { min },
+        max: if clause_ests.is_empty() { 1.0 } else { max },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column_stats::ColumnStatsParams;
+    use ps3_query::{AggExpr, ScalarExpr};
+    use ps3_storage::table::TableBuilder;
+    use ps3_storage::{ColumnMeta, ColumnType};
+
+    fn make() -> (Table, Vec<ColumnStats>, Schema) {
+        let schema = Schema::new(vec![
+            ColumnMeta::new("x", ColumnType::Numeric),
+            ColumnMeta::new("tag", ColumnType::Categorical),
+        ]);
+        let mut b = TableBuilder::new(schema.clone());
+        for i in 0..200 {
+            let tag = if i % 2 == 0 { "even" } else { "odd" };
+            b.push_row(&[f64::from(i)], &[tag]);
+        }
+        let table = b.finish();
+        let params = ColumnStatsParams::default();
+        let stats: Vec<ColumnStats> = schema
+            .iter()
+            .map(|(id, meta)| {
+                ColumnStats::build(table.column(id), meta.ctype, 0..200, &params)
+            })
+            .collect();
+        (table, stats, schema)
+    }
+
+    fn query(pred: Predicate) -> Query {
+        Query::new(vec![AggExpr::sum(ScalarExpr::col(ColId(0)))], Some(pred), vec![])
+    }
+
+    #[test]
+    fn no_predicate_is_all_pass() {
+        let (table, stats, schema) = make();
+        let q = Query::new(vec![AggExpr::count()], None, vec![]);
+        let f = selectivity_features(&q, &stats, &table, &schema);
+        assert_eq!(f, SelectivityFeatures::all_pass());
+    }
+
+    #[test]
+    fn range_predicate_estimates() {
+        let (table, stats, schema) = make();
+        let q = query(Predicate::all(vec![
+            Clause::Cmp { col: ColId(0), op: CmpOp::Ge, value: 50.0 },
+            Clause::Cmp { col: ColId(0), op: CmpOp::Lt, value: 150.0 },
+        ]));
+        let f = selectivity_features(&q, &stats, &table, &schema);
+        // True selectivity 0.5; joint evaluation should land close.
+        assert!((f.indep - 0.5).abs() < 0.15, "indep {}", f.indep);
+        assert!(f.upper >= f.indep);
+    }
+
+    #[test]
+    fn impossible_range_has_zero_upper() {
+        let (table, stats, schema) = make();
+        let q = query(Predicate::all(vec![
+            Clause::Cmp { col: ColId(0), op: CmpOp::Gt, value: 150.0 },
+            Clause::Cmp { col: ColId(0), op: CmpOp::Lt, value: 50.0 },
+        ]));
+        let f = selectivity_features(&q, &stats, &table, &schema);
+        assert_eq!(f.upper, 0.0);
+        assert_eq!(f.indep, 0.0);
+    }
+
+    #[test]
+    fn out_of_domain_value_zero_upper() {
+        let (table, stats, schema) = make();
+        let q = query(Predicate::Clause(Clause::Cmp {
+            col: ColId(0),
+            op: CmpOp::Gt,
+            value: 1e6,
+        }));
+        let f = selectivity_features(&q, &stats, &table, &schema);
+        assert_eq!(f.upper, 0.0);
+    }
+
+    #[test]
+    fn categorical_exact_dict_is_exact() {
+        let (table, stats, schema) = make();
+        let q = query(Predicate::Clause(Clause::str_eq(ColId(1), "even")));
+        let f = selectivity_features(&q, &stats, &table, &schema);
+        assert!((f.indep - 0.5).abs() < 1e-9, "indep {}", f.indep);
+        assert!((f.upper - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_string_value_zero() {
+        let (table, stats, schema) = make();
+        let q = query(Predicate::Clause(Clause::str_eq(ColId(1), "nope")));
+        let f = selectivity_features(&q, &stats, &table, &schema);
+        assert_eq!(f.upper, 0.0);
+        assert_eq!(f.indep, 0.0);
+    }
+
+    #[test]
+    fn or_upper_is_capped_sum() {
+        let (table, stats, schema) = make();
+        let q = query(Predicate::any(vec![
+            Clause::Cmp { col: ColId(0), op: CmpOp::Lt, value: 100.0 },
+            Clause::Cmp { col: ColId(0), op: CmpOp::Ge, value: 100.0 },
+        ]));
+        let f = selectivity_features(&q, &stats, &table, &schema);
+        assert!(f.upper > 0.9);
+        assert!(f.upper <= 1.0);
+        // Paper rule: indep of an OR is the min of the clause estimates.
+        assert!(f.indep <= 0.6);
+    }
+
+    #[test]
+    fn negation_through_nnf() {
+        let (table, stats, schema) = make();
+        let q = query(Predicate::Not(Box::new(Predicate::Clause(Clause::Cmp {
+            col: ColId(0),
+            op: CmpOp::Lt,
+            value: 100.0,
+        }))));
+        let f = selectivity_features(&q, &stats, &table, &schema);
+        assert!((f.indep - 0.5).abs() < 0.15, "indep {}", f.indep);
+    }
+
+    #[test]
+    fn min_max_track_clause_estimates() {
+        let (table, stats, schema) = make();
+        let q = query(Predicate::all(vec![
+            Clause::Cmp { col: ColId(0), op: CmpOp::Lt, value: 20.0 }, // ~0.1
+            Clause::str_eq(ColId(1), "even"),                          // 0.5
+        ]));
+        let f = selectivity_features(&q, &stats, &table, &schema);
+        assert!(f.min < 0.2);
+        assert!((f.max - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn contains_matches_dictionary() {
+        let (table, stats, schema) = make();
+        let q = query(Predicate::Clause(Clause::Contains {
+            col: ColId(1),
+            needle: "ev".into(),
+            negated: false,
+        }));
+        let f = selectivity_features(&q, &stats, &table, &schema);
+        assert!((f.indep - 0.5).abs() < 1e-9);
+    }
+}

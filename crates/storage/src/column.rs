@@ -1,0 +1,229 @@
+//! Columnar data: numeric vectors and dictionary-encoded categoricals.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A table-global dictionary for one categorical column.
+///
+/// Codes are assigned in first-seen order and are consistent across all
+/// partitions of the table. This matters downstream: heavy-hitter sketches
+/// keyed by code can be unioned across partitions to form the *global* heavy
+/// hitter list (§3.2) without re-reading any strings.
+#[derive(Debug, Default)]
+pub struct Dictionary {
+    values: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Return the code for `s`, inserting it if new.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&c) = self.index.get(s) {
+            return c;
+        }
+        let c = u32::try_from(self.values.len()).expect("dictionary overflow");
+        self.values.push(s.to_owned());
+        self.index.insert(s.to_owned(), c);
+        c
+    }
+
+    /// Look up the code of `s` without inserting.
+    pub fn code(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// The string for a code.
+    pub fn value(&self, code: u32) -> &str {
+        &self.values[code as usize]
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterate over all `(code, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.values.iter().enumerate().map(|(i, v)| (i as u32, v.as_str()))
+    }
+
+    /// Codes of all dictionary entries that contain `needle` as a substring.
+    ///
+    /// Supports the paper's regex-style textual filters (`'%promo%'`, §3.2):
+    /// with a dictionary in hand, a `LIKE '%needle%'` clause is just an `IN`
+    /// over the matching codes.
+    pub fn codes_containing(&self, needle: &str) -> Vec<u32> {
+        self.iter()
+            .filter(|(_, v)| v.contains(needle))
+            .map(|(c, _)| c)
+            .collect()
+    }
+}
+
+/// Physical storage for one column.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// Numeric (or date) values.
+    Numeric(Vec<f64>),
+    /// Dictionary codes plus the shared dictionary.
+    Categorical { codes: Vec<u32>, dict: Arc<Dictionary> },
+}
+
+impl ColumnData {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Numeric(v) => v.len(),
+            ColumnData::Categorical { codes, .. } => codes.len(),
+        }
+    }
+
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Numeric values, if this is a numeric column.
+    pub fn as_numeric(&self) -> Option<&[f64]> {
+        match self {
+            ColumnData::Numeric(v) => Some(v),
+            ColumnData::Categorical { .. } => None,
+        }
+    }
+
+    /// Codes and dictionary, if this is a categorical column.
+    pub fn as_categorical(&self) -> Option<(&[u32], &Dictionary)> {
+        match self {
+            ColumnData::Numeric(_) => None,
+            ColumnData::Categorical { codes, dict } => Some((codes, dict)),
+        }
+    }
+
+    /// Reorder rows by `perm` (row `i` of the result is old row `perm[i]`).
+    pub fn permute(&self, perm: &[usize]) -> ColumnData {
+        match self {
+            ColumnData::Numeric(v) => {
+                ColumnData::Numeric(perm.iter().map(|&i| v[i]).collect())
+            }
+            ColumnData::Categorical { codes, dict } => ColumnData::Categorical {
+                codes: perm.iter().map(|&i| codes[i]).collect(),
+                dict: Arc::clone(dict),
+            },
+        }
+    }
+
+    /// A sort key for row `i`: numeric columns order by value, categorical
+    /// columns by their dictionary string (so layouts sorted on a categorical
+    /// column group equal values together, like the paper's Aria layout
+    /// sorted by `TenantId`).
+    pub fn sort_key(&self, i: usize) -> SortKey<'_> {
+        match self {
+            ColumnData::Numeric(v) => SortKey::Num(v[i]),
+            ColumnData::Categorical { codes, dict } => SortKey::Str(dict.value(codes[i])),
+        }
+    }
+}
+
+/// Ordering key used by [`crate::layout`] when sorting rows.
+#[derive(Debug, PartialEq)]
+pub enum SortKey<'a> {
+    /// Numeric key; NaNs order last.
+    Num(f64),
+    /// String key.
+    Str(&'a str),
+}
+
+impl Eq for SortKey<'_> {}
+
+impl PartialOrd for SortKey<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SortKey<'_> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use SortKey::*;
+        match (self, other) {
+            (Num(a), Num(b)) => a.total_cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            // Mixed keys never happen for a single column; order numerics first
+            // deterministically rather than panicking.
+            (Num(_), Str(_)) => std::cmp::Ordering::Less,
+            (Str(_), Num(_)) => std::cmp::Ordering::Greater,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dictionary_interning_is_stable() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.intern("a"), 0);
+        assert_eq!(d.intern("b"), 1);
+        assert_eq!(d.intern("a"), 0);
+        assert_eq!(d.code("b"), Some(1));
+        assert_eq!(d.code("c"), None);
+        assert_eq!(d.value(1), "b");
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn substring_lookup() {
+        let mut d = Dictionary::new();
+        for s in ["PROMO BRUSHED", "STANDARD", "SMALL PROMO", "ECONOMY"] {
+            d.intern(s);
+        }
+        let mut hits = d.codes_containing("PROMO");
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 2]);
+        assert!(d.codes_containing("zzz").is_empty());
+    }
+
+    #[test]
+    fn permute_numeric_and_categorical() {
+        let num = ColumnData::Numeric(vec![10.0, 20.0, 30.0]);
+        let out = num.permute(&[2, 0, 1]);
+        assert_eq!(out.as_numeric().unwrap(), &[30.0, 10.0, 20.0]);
+
+        let mut d = Dictionary::new();
+        let codes = vec![d.intern("x"), d.intern("y"), d.intern("x")];
+        let cat = ColumnData::Categorical { codes, dict: Arc::new(d) };
+        let out = cat.permute(&[1, 1, 0]);
+        let (codes, dict) = out.as_categorical().unwrap();
+        assert_eq!(codes, &[1, 1, 0]);
+        assert_eq!(dict.value(0), "x");
+    }
+
+    #[test]
+    fn sort_keys_order() {
+        let num = ColumnData::Numeric(vec![2.0, 1.0]);
+        assert!(num.sort_key(1) < num.sort_key(0));
+
+        let mut d = Dictionary::new();
+        // Interning order differs from lexicographic order on purpose.
+        let codes = vec![d.intern("zeta"), d.intern("alpha")];
+        let cat = ColumnData::Categorical { codes, dict: Arc::new(d) };
+        assert!(cat.sort_key(1) < cat.sort_key(0));
+    }
+
+    #[test]
+    fn nan_ordering_is_total() {
+        let num = ColumnData::Numeric(vec![f64::NAN, 1.0]);
+        // total_cmp puts NaN after every finite value.
+        assert!(num.sort_key(1) < num.sort_key(0));
+    }
+}

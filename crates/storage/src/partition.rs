@@ -1,0 +1,202 @@
+//! Division of a table's row space into contiguous partitions.
+
+use std::ops::Range;
+
+use crate::table::Table;
+
+/// Index of a partition within a [`Partitioning`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PartitionId(pub usize);
+
+impl PartitionId {
+    /// The underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Contiguous row ranges covering `0..num_rows` without gaps or overlap.
+#[derive(Debug, Clone)]
+pub struct Partitioning {
+    /// Exclusive end row of each partition; starts are implied.
+    ends: Vec<usize>,
+}
+
+impl Partitioning {
+    /// Split `num_rows` rows into `num_partitions` near-equal contiguous
+    /// partitions (the remainder spreads one extra row over the first few).
+    ///
+    /// # Panics
+    /// Panics when asked for zero partitions or more partitions than rows.
+    pub fn equal(num_rows: usize, num_partitions: usize) -> Self {
+        assert!(num_partitions > 0, "need at least one partition");
+        assert!(
+            num_partitions <= num_rows,
+            "more partitions ({num_partitions}) than rows ({num_rows})"
+        );
+        let base = num_rows / num_partitions;
+        let extra = num_rows % num_partitions;
+        let mut ends = Vec::with_capacity(num_partitions);
+        let mut cursor = 0;
+        for i in 0..num_partitions {
+            cursor += base + usize::from(i < extra);
+            ends.push(cursor);
+        }
+        debug_assert_eq!(cursor, num_rows);
+        Self { ends }
+    }
+
+    /// Build directly from explicit partition end offsets.
+    ///
+    /// # Panics
+    /// Panics if ends are not strictly increasing.
+    pub fn from_ends(ends: Vec<usize>) -> Self {
+        assert!(!ends.is_empty(), "need at least one partition");
+        for w in ends.windows(2) {
+            assert!(w[0] < w[1], "partition ends must be strictly increasing");
+        }
+        Self { ends }
+    }
+
+    /// Number of partitions.
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Whether there are no partitions (never true for constructed values).
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Row range of partition `pid`.
+    pub fn rows(&self, pid: PartitionId) -> Range<usize> {
+        let start = if pid.0 == 0 { 0 } else { self.ends[pid.0 - 1] };
+        start..self.ends[pid.0]
+    }
+
+    /// Total number of rows covered.
+    pub fn num_rows(&self) -> usize {
+        *self.ends.last().expect("non-empty partitioning")
+    }
+
+    /// Iterate over all partition ids.
+    pub fn ids(&self) -> impl Iterator<Item = PartitionId> {
+        (0..self.ends.len()).map(PartitionId)
+    }
+}
+
+/// A table together with its partitioning: the unit the whole system works on.
+#[derive(Debug, Clone)]
+pub struct PartitionedTable {
+    table: Table,
+    partitioning: Partitioning,
+}
+
+impl PartitionedTable {
+    /// Pair a table with a partitioning.
+    ///
+    /// # Panics
+    /// Panics if the partitioning does not cover exactly the table's rows.
+    pub fn new(table: Table, partitioning: Partitioning) -> Self {
+        assert_eq!(
+            partitioning.num_rows(),
+            table.num_rows(),
+            "partitioning covers {} rows but table has {}",
+            partitioning.num_rows(),
+            table.num_rows()
+        );
+        Self { table, partitioning }
+    }
+
+    /// Split into `num_partitions` equal contiguous partitions.
+    pub fn with_equal_partitions(table: Table, num_partitions: usize) -> Self {
+        let p = Partitioning::equal(table.num_rows(), num_partitions);
+        Self::new(table, p)
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The partitioning.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitioning.len()
+    }
+
+    /// Row range of one partition.
+    pub fn rows(&self, pid: PartitionId) -> Range<usize> {
+        self.partitioning.rows(pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnData;
+    use crate::schema::{ColumnMeta, ColumnType, Schema};
+
+    fn table(n: usize) -> Table {
+        Table::new(
+            Schema::new(vec![ColumnMeta::new("x", ColumnType::Numeric)]),
+            vec![ColumnData::Numeric((0..n).map(|i| i as f64).collect())],
+        )
+    }
+
+    #[test]
+    fn equal_split_covers_everything() {
+        let p = Partitioning::equal(10, 3);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.rows(PartitionId(0)), 0..4);
+        assert_eq!(p.rows(PartitionId(1)), 4..7);
+        assert_eq!(p.rows(PartitionId(2)), 7..10);
+        assert_eq!(p.num_rows(), 10);
+    }
+
+    #[test]
+    fn exact_division() {
+        let p = Partitioning::equal(100, 4);
+        for pid in p.ids() {
+            assert_eq!(p.rows(pid).len(), 25);
+        }
+    }
+
+    #[test]
+    fn single_partition() {
+        let p = Partitioning::equal(5, 1);
+        assert_eq!(p.rows(PartitionId(0)), 0..5);
+    }
+
+    #[test]
+    #[should_panic(expected = "more partitions")]
+    fn too_many_partitions() {
+        Partitioning::equal(3, 4);
+    }
+
+    #[test]
+    fn partitioned_table_row_ranges() {
+        let pt = PartitionedTable::with_equal_partitions(table(12), 4);
+        assert_eq!(pt.num_partitions(), 4);
+        assert_eq!(pt.rows(PartitionId(3)), 9..12);
+        let total: usize = pt.partitioning().ids().map(|p| pt.rows(p).len()).sum();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn bad_explicit_ends() {
+        Partitioning::from_ends(vec![3, 3, 5]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Table schemas: column names, types, and lookup by name.
+
+use std::fmt;
+
+/// Index of a column within a [`Schema`].
+///
+/// A newtype rather than a bare `usize` so that column indices, partition ids
+/// and row indices cannot be confused for one another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColId(pub usize);
+
+impl ColId {
+    /// The underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ColId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "col#{}", self.0)
+    }
+}
+
+/// The logical type of a column.
+///
+/// The paper distinguishes numeric, date, and string/categorical columns
+/// (§2.2): comparisons apply to numeric and date columns, equality/`IN` to
+/// categorical ones. Dates are stored as days-since-epoch numerics, so
+/// `Date` behaves like `Numeric` everywhere except in workload generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// 64-bit float storage; covers integers and reals.
+    Numeric,
+    /// Days since an arbitrary epoch, stored as numerics.
+    Date,
+    /// Dictionary-encoded strings.
+    Categorical,
+}
+
+impl ColumnType {
+    /// Whether values of this type are ordered and support range predicates.
+    pub fn is_numeric_like(self) -> bool {
+        matches!(self, ColumnType::Numeric | ColumnType::Date)
+    }
+}
+
+/// Metadata for a single column.
+#[derive(Debug, Clone)]
+pub struct ColumnMeta {
+    /// Column name, unique within the schema.
+    pub name: String,
+    /// Logical type.
+    pub ctype: ColumnType,
+}
+
+impl ColumnMeta {
+    /// Create metadata for a column.
+    pub fn new(name: impl Into<String>, ctype: ColumnType) -> Self {
+        Self { name: name.into(), ctype }
+    }
+}
+
+/// An ordered collection of column metadata.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    columns: Vec<ColumnMeta>,
+}
+
+impl Schema {
+    /// Build a schema from column metadata.
+    ///
+    /// # Panics
+    /// Panics if two columns share a name; schemas are small and built once,
+    /// so the check is cheap and failing fast beats debugging silent lookup
+    /// mismatches later.
+    pub fn new(columns: Vec<ColumnMeta>) -> Self {
+        for (i, a) in columns.iter().enumerate() {
+            for b in &columns[i + 1..] {
+                assert_ne!(a.name, b.name, "duplicate column name {:?}", a.name);
+            }
+        }
+        Self { columns }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Metadata of column `id`.
+    pub fn col(&self, id: ColId) -> &ColumnMeta {
+        &self.columns[id.0]
+    }
+
+    /// Look up a column id by name.
+    pub fn col_id(&self, name: &str) -> Option<ColId> {
+        self.columns.iter().position(|c| c.name == name).map(ColId)
+    }
+
+    /// Look up a column id by name, panicking with a useful message if absent.
+    pub fn expect_col(&self, name: &str) -> ColId {
+        self.col_id(name)
+            .unwrap_or_else(|| panic!("no column named {name:?} in schema"))
+    }
+
+    /// Iterate over `(ColId, &ColumnMeta)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ColId, &ColumnMeta)> {
+        self.columns.iter().enumerate().map(|(i, m)| (ColId(i), m))
+    }
+
+    /// All column ids of a given type.
+    pub fn cols_of_type(&self, ctype: ColumnType) -> Vec<ColId> {
+        self.iter()
+            .filter(|(_, m)| m.ctype == ctype)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// All column ids whose type is numeric-like (numeric or date).
+    pub fn numeric_like_cols(&self) -> Vec<ColId> {
+        self.iter()
+            .filter(|(_, m)| m.ctype.is_numeric_like())
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            ColumnMeta::new("price", ColumnType::Numeric),
+            ColumnMeta::new("ship_date", ColumnType::Date),
+            ColumnMeta::new("flag", ColumnType::Categorical),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = sample();
+        assert_eq!(s.col_id("price"), Some(ColId(0)));
+        assert_eq!(s.col_id("flag"), Some(ColId(2)));
+        assert_eq!(s.col_id("nope"), None);
+        assert_eq!(s.expect_col("ship_date"), ColId(1));
+    }
+
+    #[test]
+    fn type_partitions() {
+        let s = sample();
+        assert_eq!(s.numeric_like_cols(), vec![ColId(0), ColId(1)]);
+        assert_eq!(s.cols_of_type(ColumnType::Categorical), vec![ColId(2)]);
+        assert!(ColumnType::Date.is_numeric_like());
+        assert!(!ColumnType::Categorical.is_numeric_like());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn duplicate_names_rejected() {
+        Schema::new(vec![
+            ColumnMeta::new("x", ColumnType::Numeric),
+            ColumnMeta::new("x", ColumnType::Categorical),
+        ]);
+    }
+
+    #[test]
+    fn iter_covers_all_columns() {
+        let s = sample();
+        let names: Vec<&str> = s.iter().map(|(_, m)| m.name.as_str()).collect();
+        assert_eq!(names, vec!["price", "ship_date", "flag"]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+}

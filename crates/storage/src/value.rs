@@ -1,0 +1,85 @@
+//! Literal values appearing in predicates and generated data.
+
+use std::fmt;
+
+/// A literal constant: the `v` in a predicate clause `c op v` (§2.2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Numeric or date literal (dates are days since epoch).
+    Number(f64),
+    /// String literal for categorical columns.
+    Str(String),
+}
+
+impl Value {
+    /// The numeric payload, if this is a number.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Value::Number(x) => Some(*x),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Number(_) => None,
+            Value::Str(s) => Some(s),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Number(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Number(x)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(x: i64) -> Self {
+        Value::Number(x as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Number(3.0));
+        assert_eq!(Value::from(2.5f64), Value::Number(2.5));
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+        assert_eq!(Value::Number(1.5).as_number(), Some(1.5));
+        assert_eq!(Value::Str("a".into()).as_str(), Some("a"));
+        assert_eq!(Value::Number(1.0).as_str(), None);
+        assert_eq!(Value::Str("a".into()).as_number(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Number(2.0).to_string(), "2");
+        assert_eq!(Value::Str("x".into()).to_string(), "\"x\"");
+    }
+}

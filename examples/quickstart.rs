@@ -1,0 +1,59 @@
+//! Quickstart: build a dataset, train PS3, and answer a query approximately
+//! at several budgets, comparing against the exact answer and uniform
+//! partition sampling.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ps3::core::{Method, Ps3Config};
+use ps3::data::{DatasetConfig, DatasetKind, ScaleProfile};
+use ps3::query::metrics::avg_relative_error;
+
+fn main() {
+    // 1. An Aria-like telemetry table: 6,400 rows in 64 partitions, sorted
+    //    by tenant — the paper's motivating skewed layout.
+    println!("building dataset + summary statistics...");
+    let ds = DatasetConfig::new(DatasetKind::Aria, ScaleProfile::Tiny).build(7);
+    println!(
+        "  {}: {} rows, {} partitions, {:.1} KB of statistics per partition",
+        ds.name,
+        ds.pt.table().num_rows(),
+        ds.pt.num_partitions(),
+        ds.stats.storage_breakdown().total_kb()
+    );
+
+    // 2. Train the picker on the random training workload (§2.3.2). This
+    //    executes the training queries per partition, learns the k=4
+    //    importance models, fits the normalizer, and runs feature selection.
+    println!("training PS3 on {} queries...", ds.train_queries.len());
+    let mut system = ds.train_system(Ps3Config::default().with_seed(7));
+    println!(
+        "  model thresholds: {:?}",
+        system
+            .trained
+            .thresholds
+            .iter()
+            .map(|t| format!("{t:.4}"))
+            .collect::<Vec<_>>()
+    );
+
+    // 3. Answer one held-out query at a sweep of partition budgets.
+    let query = ds.sample_test_query(0);
+    println!("\nquery: {}", query.display(ds.pt.table().schema()));
+    let exact = system.exact_answer(&query);
+    println!("exact answer has {} groups", exact.num_groups());
+
+    println!("\n{:>9}  {:>12}  {:>12}", "budget", "PS3", "random");
+    for frac in [0.05, 0.1, 0.2, 0.5] {
+        let ps3 = system.answer(&query, Method::Ps3, frac);
+        let rnd = system.answer(&query, Method::Random, frac);
+        println!(
+            "{:>8.0}%  {:>12.5}  {:>12.5}",
+            frac * 100.0,
+            avg_relative_error(&exact, &ps3.answer),
+            avg_relative_error(&exact, &rnd.answer),
+        );
+    }
+    println!("\n(values are average relative error; lower is better)");
+}

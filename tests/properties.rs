@@ -1,0 +1,146 @@
+//! Cross-crate property tests for the invariants the system's correctness
+//! rests on:
+//!
+//! * `selectivity_upper` has **perfect recall** against the real executor
+//!   (§3.2) — the foundation of the filter used by every method but Random.
+//! * Weighted combination at full budget reproduces exact answers for any
+//!   query in scope.
+//! * The §4.3 contribution definition is a valid share in [0,1] that sums
+//!   sensibly across partitions.
+
+use proptest::prelude::*;
+
+use ps3::query::{
+    execute_partition, AggExpr, Clause, CmpOp, PartialAnswer, Predicate, Query, ScalarExpr,
+};
+use ps3::stats::{StatsConfig, TableStats};
+use ps3::storage::table::TableBuilder;
+use ps3::storage::{ColId, ColumnMeta, ColumnType, PartitionId, PartitionedTable, Schema};
+
+/// A small random table: numeric x (0..100), numeric y (-50..50),
+/// categorical tag from a fixed alphabet.
+fn arb_table() -> impl Strategy<Value = PartitionedTable> {
+    (
+        prop::collection::vec((0.0f64..100.0, -50.0f64..50.0, 0usize..5), 40..200),
+        2usize..8,
+    )
+        .prop_map(|(rows, parts)| {
+            let schema = Schema::new(vec![
+                ColumnMeta::new("x", ColumnType::Numeric),
+                ColumnMeta::new("y", ColumnType::Numeric),
+                ColumnMeta::new("tag", ColumnType::Categorical),
+            ]);
+            let mut b = TableBuilder::new(schema);
+            const TAGS: [&str; 5] = ["a", "b", "c", "d", "e"];
+            for (x, y, t) in rows {
+                b.push_row(&[x, y], &[TAGS[t]]);
+            }
+            let t = b.finish();
+            let parts = parts.min(t.num_rows());
+            PartitionedTable::with_equal_partitions(t, parts)
+        })
+}
+
+/// A random predicate over the fixed schema above.
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    let clause = prop_oneof![
+        (prop_oneof![Just(CmpOp::Lt), Just(CmpOp::Le), Just(CmpOp::Gt), Just(CmpOp::Ge), Just(CmpOp::Eq)], -10.0f64..110.0)
+            .prop_map(|(op, v)| Clause::Cmp { col: ColId(0), op, value: v }),
+        (prop_oneof![Just(CmpOp::Lt), Just(CmpOp::Ge)], -60.0f64..60.0)
+            .prop_map(|(op, v)| Clause::Cmp { col: ColId(1), op, value: v }),
+        (0usize..6, any::<bool>()).prop_map(|(t, neg)| Clause::In {
+            col: ColId(2),
+            values: vec![["a", "b", "c", "d", "e", "zzz"][t].to_owned()],
+            negated: neg,
+        }),
+    ];
+    prop::collection::vec(clause, 1..5).prop_flat_map(|clauses| {
+        (0..3u8).prop_map(move |shape| match shape {
+            0 => Predicate::all(clauses.clone()),
+            1 => Predicate::any(clauses.clone()),
+            _ => Predicate::Not(Box::new(Predicate::all(clauses.clone()))),
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// §3.2: "selectivity_upper > 0 has perfect recall" — if any row of a
+    /// partition satisfies the predicate, the feature must be positive.
+    #[test]
+    fn selectivity_upper_has_perfect_recall(pt in arb_table(), pred in arb_predicate()) {
+        let stats = TableStats::build(&pt, &StatsConfig::default());
+        let query = Query::new(vec![AggExpr::count()], Some(pred), vec![]);
+        let feats = ps3::stats::QueryFeatures::compute(&stats, pt.table(), &query);
+        for p in 0..pt.num_partitions() {
+            let part = execute_partition(pt.table(), pt.rows(PartitionId(p)), &query);
+            let any_rows = part
+                .groups
+                .values()
+                .next()
+                .is_some_and(|slots| slots[0] > 0.0);
+            if any_rows {
+                prop_assert!(
+                    feats.selectivity_upper(p) > 0.0,
+                    "partition {p} has matching rows but upper == 0"
+                );
+            }
+        }
+    }
+
+    /// Reading every partition with weight 1 must equal the exact answer,
+    /// regardless of predicate shape or grouping.
+    #[test]
+    fn unit_weights_reproduce_truth(pt in arb_table(), pred in arb_predicate(), group in any::<bool>()) {
+        let group_by = if group { vec![ColId(2)] } else { vec![] };
+        let query = Query::new(
+            vec![
+                AggExpr::sum(ScalarExpr::col(ColId(0))),
+                AggExpr::avg(ScalarExpr::col(ColId(1))),
+                AggExpr::count(),
+            ],
+            Some(pred),
+            group_by,
+        );
+        let truth = ps3::query::execute_table(&pt, &query);
+        let sel: Vec<ps3::query::WeightedPart> = (0..pt.num_partitions())
+            .map(|p| ps3::query::WeightedPart { partition: PartitionId(p), weight: 1.0 })
+            .collect();
+        let combined = ps3::query::execute_partitions(&pt, &query, &sel);
+        let m = ps3::query::metrics::ErrorMetrics::compute(&truth, &combined);
+        prop_assert!(m.avg_rel_err < 1e-9, "err {}", m.avg_rel_err);
+        prop_assert_eq!(m.missed_groups, 0.0);
+    }
+
+    /// Contributions are shares: within [0,1], and for single-group COUNT
+    /// queries they sum to 1 across partitions.
+    #[test]
+    fn contributions_are_valid_shares(pt in arb_table()) {
+        let query = Query::new(vec![AggExpr::count()], None, vec![]);
+        let partials: Vec<PartialAnswer> = (0..pt.num_partitions())
+            .map(|p| execute_partition(pt.table(), pt.rows(PartitionId(p)), &query))
+            .collect();
+        let mut total = PartialAnswer::empty(&query);
+        for part in &partials {
+            total.add_weighted(part, 1.0);
+        }
+        let contribs = ps3::core::train::contributions_for(&partials, &total);
+        let sum: f64 = contribs.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "COUNT shares sum to {sum}");
+        for &c in &contribs {
+            prop_assert!((0.0..=1.0).contains(&c));
+        }
+    }
+
+    /// The NNF transform must never change which rows a predicate accepts
+    /// (selectivity estimation relies on it).
+    #[test]
+    fn nnf_equivalence_on_real_data(pt in arb_table(), pred in arb_predicate()) {
+        let nnf = pred.to_nnf();
+        let n = pt.table().num_rows();
+        let a = ps3::query::predicate::eval_predicate(pt.table(), 0..n, &pred);
+        let b = ps3::query::predicate::eval_predicate(pt.table(), 0..n, &nnf);
+        prop_assert_eq!(a, b);
+    }
+}
