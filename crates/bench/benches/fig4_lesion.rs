@@ -10,11 +10,7 @@ use ps3_core::{Method, Ps3Config};
 use ps3_data::{DatasetConfig, DatasetKind, ScaleProfile};
 
 /// Evaluate PS3's avg-rel-err curve under modified picker toggles.
-fn ps3_curve(
-    exp: &mut Experiment,
-    runs: usize,
-    tweak: impl Fn(&mut Ps3Config),
-) -> Vec<f64> {
+fn ps3_curve(exp: &mut Experiment, runs: usize, tweak: impl Fn(&mut Ps3Config)) -> Vec<f64> {
     let saved = exp.system.trained.config.clone();
     tweak(&mut exp.system.trained.config);
     let curve = exp
@@ -39,9 +35,18 @@ fn main() {
     // --- Lesion: disable one component at a time, keep the rest. ---
     let lesion: Vec<(String, Vec<f64>)> = vec![
         ("PS3".into(), ps3_curve(&mut exp, runs, |_| {})),
-        ("w/o cluster".into(), ps3_curve(&mut exp, runs, |c| c.use_clustering = false)),
-        ("w/o outlier".into(), ps3_curve(&mut exp, runs, |c| c.use_outliers = false)),
-        ("w/o regressor".into(), ps3_curve(&mut exp, runs, |c| c.use_regressors = false)),
+        (
+            "w/o cluster".into(),
+            ps3_curve(&mut exp, runs, |c| c.use_clustering = false),
+        ),
+        (
+            "w/o outlier".into(),
+            ps3_curve(&mut exp, runs, |c| c.use_outliers = false),
+        ),
+        (
+            "w/o regressor".into(),
+            ps3_curve(&mut exp, runs, |c| c.use_regressors = false),
+        ),
     ];
     println!("[Lesion study: avg relative error]");
     print_rows(&lesion);

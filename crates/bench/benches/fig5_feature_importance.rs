@@ -28,7 +28,11 @@ fn main() {
         }
         let total: f64 = per_category.iter().sum::<f64>().max(1e-12);
         let mut row = vec![kind.label().to_string()];
-        row.extend(per_category.iter().map(|g| format!("{:.1}%", 100.0 * g / total)));
+        row.extend(
+            per_category
+                .iter()
+                .map(|g| format!("{:.1}%", 100.0 * g / total)),
+        );
         t.row(row);
     }
     t.print();

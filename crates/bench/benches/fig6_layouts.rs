@@ -27,8 +27,7 @@ fn main() {
             println!("--- {title} ---");
             let mut headers = vec!["data read".to_string()];
             headers.extend(Method::ALL.iter().map(|m| m.label().to_string()));
-            let mut t =
-                Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+            let mut t = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
             let curves: Vec<Vec<f64>> = Method::ALL
                 .iter()
                 .map(|&m| {

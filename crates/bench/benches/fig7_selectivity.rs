@@ -21,7 +21,10 @@ fn main() {
     type Bucket<'a> = (&'a str, Box<dyn Fn(f64) -> bool>);
     let buckets: [Bucket<'_>; 3] = [
         ("selectivity < 0.2", Box::new(|s| s < 0.2)),
-        ("0.2 <= selectivity <= 0.8", Box::new(|s| (0.2..=0.8).contains(&s))),
+        (
+            "0.2 <= selectivity <= 0.8",
+            Box::new(|s| (0.2..=0.8).contains(&s)),
+        ),
         ("selectivity > 0.8", Box::new(|s| s > 0.8)),
     ];
     for (name, pred) in buckets {

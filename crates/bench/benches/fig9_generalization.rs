@@ -14,15 +14,21 @@ use ps3_query::Query;
 fn main() {
     let scale = ScaleProfile::from_env();
     let runs = default_runs();
-    let per_template = if matches!(scale, ScaleProfile::Full) { 20 } else { 8 };
+    let per_template = if matches!(scale, ScaleProfile::Full) {
+        20
+    } else {
+        8
+    };
     print_header(
         "Figures 9+11: generalization to unseen TPC-H queries",
         &format!("scale={scale:?}, {per_template} instantiations per template"),
     );
     let ds = DatasetConfig::new(DatasetKind::TpcH, scale).build(42);
     let suite = generalization_suite(ds.pt.table().schema(), per_template, 99);
-    let all_tests: Vec<Query> =
-        suite.iter().flat_map(|(_, qs)| qs.iter().cloned()).collect();
+    let all_tests: Vec<Query> = suite
+        .iter()
+        .flat_map(|(_, qs)| qs.iter().cloned())
+        .collect();
     let mut exp =
         Experiment::prepare_with_tests(ds, Ps3Config::default().with_seed(42), &all_tests);
 
@@ -66,9 +72,8 @@ fn main() {
     }
 
     // Figure 9: average / worst / best templates by PS3 AUC advantage.
-    let advantage = |rf: &[f64], ps3: &[f64]| {
-        ps3_bench::auc(&BUDGETS, rf) - ps3_bench::auc(&BUDGETS, ps3)
-    };
+    let advantage =
+        |rf: &[f64], ps3: &[f64]| ps3_bench::auc(&BUDGETS, rf) - ps3_bench::auc(&BUDGETS, ps3);
     let mut ranked: Vec<usize> = (0..per_template_curves.len()).collect();
     ranked.sort_by(|&a, &b| {
         let (_, rfa, pa) = &per_template_curves[a];
@@ -81,13 +86,19 @@ fn main() {
     println!("\n[Figure 9: average / worst / best]");
     let avg_rf: Vec<f64> = (0..BUDGETS.len())
         .map(|i| {
-            per_template_curves.iter().map(|(_, rf, _)| rf[i]).sum::<f64>()
+            per_template_curves
+                .iter()
+                .map(|(_, rf, _)| rf[i])
+                .sum::<f64>()
                 / per_template_curves.len() as f64
         })
         .collect();
     let avg_ps3: Vec<f64> = (0..BUDGETS.len())
         .map(|i| {
-            per_template_curves.iter().map(|(_, _, p)| p[i]).sum::<f64>()
+            per_template_curves
+                .iter()
+                .map(|(_, _, p)| p[i])
+                .sum::<f64>()
                 / per_template_curves.len() as f64
         })
         .collect();

@@ -28,8 +28,7 @@ fn main() {
         }
         let stats = |v: &[f64]| {
             let mean = v.iter().sum::<f64>() / v.len() as f64;
-            let var =
-                v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / v.len() as f64;
+            let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / v.len() as f64;
             (mean, var.sqrt())
         };
         let (tm, ts) = stats(&totals);

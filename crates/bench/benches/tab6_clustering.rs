@@ -18,8 +18,11 @@ fn main() {
         "Table 6: AUC (x100) for different clustering algorithms; smaller is better",
         &format!("scale={scale:?}"),
     );
-    let algos =
-        [ClusterAlgo::HacSingle, ClusterAlgo::HacWard, ClusterAlgo::KMeans];
+    let algos = [
+        ClusterAlgo::HacSingle,
+        ClusterAlgo::HacWard,
+        ClusterAlgo::KMeans,
+    ];
     let mut t = Table::new(&["Dataset", "HAC(single)", "HAC(ward)", "KMeans"]);
     for kind in [DatasetKind::TpcDs, DatasetKind::Aria, DatasetKind::Kdd] {
         let ds = DatasetConfig::new(kind, scale).build(42);
@@ -35,8 +38,10 @@ fn main() {
                 m
             })
             .collect();
-        let eval_qs: Vec<usize> =
-            (0..td.queries.len()).filter(|&q| !td.totals[q].groups.is_empty()).take(16).collect();
+        let eval_qs: Vec<usize> = (0..td.queries.len())
+            .filter(|&q| !td.totals[q].groups.is_empty())
+            .take(16)
+            .collect();
         let mut row = vec![kind.label().to_string()];
         for algo in algos {
             let mut cfg = Ps3Config::default().with_seed(42);
@@ -45,9 +50,7 @@ fn main() {
             // AUC over per-budget clustering-only error.
             let errs: Vec<f64> = BUDGETS
                 .iter()
-                .map(|&b| {
-                    clustering_error(&td, &normalized, &eval_qs, &[], &[b], &cfg, &mut rng)
-                })
+                .map(|&b| clustering_error(&td, &normalized, &eval_qs, &[], &[b], &cfg, &mut rng))
                 .collect();
             row.push(format!("{:.2}", 100.0 * ps3_bench::auc(&BUDGETS, &errs)));
         }

@@ -18,13 +18,7 @@ fn main() {
         "Table 7: AUC (x100) with and without feature selection; smaller is better",
         &format!("scale={scale:?}"),
     );
-    let mut t = Table::new(&[
-        "Dataset",
-        "HAC(ward)",
-        "+feat sel",
-        "KMeans",
-        "+feat sel",
-    ]);
+    let mut t = Table::new(&["Dataset", "HAC(ward)", "+feat sel", "KMeans", "+feat sel"]);
     for kind in [DatasetKind::TpcDs, DatasetKind::Aria, DatasetKind::Kdd] {
         let ds = DatasetConfig::new(kind, scale).build(42);
         let td = TrainingData::compute(&ds.pt, &ds.stats, &ds.train_queries, 0);
@@ -39,8 +33,10 @@ fn main() {
                 m
             })
             .collect();
-        let eval_qs: Vec<usize> =
-            (0..td.queries.len()).filter(|&q| !td.totals[q].groups.is_empty()).take(16).collect();
+        let eval_qs: Vec<usize> = (0..td.queries.len())
+            .filter(|&q| !td.totals[q].groups.is_empty())
+            .take(16)
+            .collect();
         let mut row = vec![kind.label().to_string()];
         let mut excluded_report = String::new();
         for algo in [ClusterAlgo::HacWard, ClusterAlgo::KMeans] {
@@ -48,13 +44,10 @@ fn main() {
             cfg.cluster_algo = algo;
             let excluded = select_features(&td, &normalized, &cfg);
             let mut rng = StdRng::seed_from_u64(42);
-            let auc_of = |excl: &[ps3_stats::features::FeatureType],
-                          rng: &mut StdRng| {
+            let auc_of = |excl: &[ps3_stats::features::FeatureType], rng: &mut StdRng| {
                 let errs: Vec<f64> = BUDGETS
                     .iter()
-                    .map(|&b| {
-                        clustering_error(&td, &normalized, &eval_qs, excl, &[b], &cfg, rng)
-                    })
+                    .map(|&b| clustering_error(&td, &normalized, &eval_qs, excl, &[b], &cfg, rng))
                     .collect();
                 100.0 * ps3_bench::auc(&BUDGETS, &errs)
             };

@@ -58,8 +58,7 @@ impl ClusterModel {
         // Task durations with stragglers.
         let tasks: Vec<f64> = (0..partitions)
             .map(|_| {
-                self.seconds_per_partition
-                    * lognormal(rng, 0.0, self.straggler_sigma).max(0.2)
+                self.seconds_per_partition * lognormal(rng, 0.0, self.straggler_sigma).max(0.2)
             })
             .collect();
         let total: f64 = tasks.iter().sum();
@@ -135,13 +134,19 @@ mod tests {
     fn latency_speedup_is_sublinear() {
         let model = ClusterModel::default();
         let (lat, comp) = model.speedups(1000, 0.01, 10, 3);
-        assert!(lat < comp * 0.5, "latency speedup {lat} should lag compute {comp}");
+        assert!(
+            lat < comp * 0.5,
+            "latency speedup {lat} should lag compute {comp}"
+        );
         assert!(lat > 1.0, "sampling must still be faster: {lat}");
     }
 
     #[test]
     fn makespan_at_least_longest_task() {
-        let model = ClusterModel { straggler_sigma: 0.0, ..Default::default() };
+        let model = ClusterModel {
+            straggler_sigma: 0.0,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(4);
         let run = model.simulate(10, &mut rng);
         assert!(run.latency_seconds >= model.seconds_per_partition + model.startup_seconds - 1e-9);
@@ -150,8 +155,16 @@ mod tests {
 
     #[test]
     fn more_workers_cut_latency_not_compute() {
-        let few = ClusterModel { workers: 4, straggler_sigma: 0.0, ..Default::default() };
-        let many = ClusterModel { workers: 64, straggler_sigma: 0.0, ..Default::default() };
+        let few = ClusterModel {
+            workers: 4,
+            straggler_sigma: 0.0,
+            ..Default::default()
+        };
+        let many = ClusterModel {
+            workers: 64,
+            straggler_sigma: 0.0,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(5);
         let a = few.simulate(256, &mut rng);
         let b = many.simulate(256, &mut rng);

@@ -97,8 +97,16 @@ impl Experiment {
     }
 
     /// Error curve across the budget grid.
-    pub fn error_curve(&mut self, method: Method, budgets: &[f64], runs: usize) -> Vec<ErrorMetrics> {
-        budgets.iter().map(|&b| self.evaluate(method, b, runs)).collect()
+    pub fn error_curve(
+        &mut self,
+        method: Method,
+        budgets: &[f64],
+        runs: usize,
+    ) -> Vec<ErrorMetrics> {
+        budgets
+            .iter()
+            .map(|&b| self.evaluate(method, b, runs))
+            .collect()
     }
 }
 
@@ -120,17 +128,15 @@ pub fn build_cache(ds: &Dataset, queries: &[Query]) -> Vec<QueryCache> {
         .clamp(1, queries.len().max(1));
     let chunk = queries.len().div_ceil(threads);
     let mut out: Vec<QueryCache> = Vec::with_capacity(queries.len());
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = queries
             .chunks(chunk.max(1))
             .map(|qs| {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     qs.iter()
                         .map(|q| {
                             let partials: Vec<PartialAnswer> = (0..pt.num_partitions())
-                                .map(|p| {
-                                    execute_partition(pt.table(), pt.rows(PartitionId(p)), q)
-                                })
+                                .map(|p| execute_partition(pt.table(), pt.rows(PartitionId(p)), q))
                                 .collect();
                             let mut total = PartialAnswer::empty(q);
                             for part in &partials {
@@ -143,14 +149,11 @@ pub fn build_cache(ds: &Dataset, queries: &[Query]) -> Vec<QueryCache> {
                             let selectivity = match &q.predicate {
                                 None => 1.0,
                                 Some(p) => {
-                                    let hits = eval_predicate(
-                                        pt.table(),
-                                        0..pt.table().num_rows(),
-                                        p,
-                                    )
-                                    .iter()
-                                    .filter(|&&b| b)
-                                    .count();
+                                    let hits =
+                                        eval_predicate(pt.table(), 0..pt.table().num_rows(), p)
+                                            .iter()
+                                            .filter(|&&b| b)
+                                            .count();
                                     hits as f64 / pt.table().num_rows() as f64
                                 }
                             };
@@ -170,8 +173,7 @@ pub fn build_cache(ds: &Dataset, queries: &[Query]) -> Vec<QueryCache> {
         for h in handles {
             out.extend(h.join().expect("cache worker panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     out
 }
 

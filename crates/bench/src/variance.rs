@@ -69,7 +69,9 @@ mod tests {
         // +1/−1 pairs inside each partition cancel: partition totals are 0,
         // so partition-level sampling has zero variance (every partition
         // contributes the same nothing).
-        let values: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let values: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let t = pt(values, 50);
         assert_eq!(partition_level_variance(&t, ColId(0), 0.5), 0.0);
         assert!(row_level_variance(&t, ColId(0), 0.5) > 0.0);

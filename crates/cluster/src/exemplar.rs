@@ -61,8 +61,8 @@ mod tests {
     fn median_member_wins() {
         let points = vec![
             vec![0.0],
-            vec![5.0],  // closest to the median (4.0)
-            vec![4.0],  // exactly the median... see below
+            vec![5.0], // closest to the median (4.0)
+            vec![4.0], // exactly the median... see below
             vec![100.0],
         ];
         // cluster of all: medians of {0,5,4,100} = (4+5)/2 = 4.5 → point 2

@@ -52,7 +52,11 @@ pub fn hac(points: &[Vec<f64>], k: usize, linkage: Linkage) -> Vec<Vec<usize>> {
             let a = *chain.last().expect("chain non-empty");
             // Nearest active neighbor of a, preferring the chain predecessor
             // on ties (required for NN-chain correctness).
-            let prev = if chain.len() >= 2 { Some(chain[chain.len() - 2]) } else { None };
+            let prev = if chain.len() >= 2 {
+                Some(chain[chain.len() - 2])
+            } else {
+                None
+            };
             let mut best = usize::MAX;
             let mut best_d = f64::INFINITY;
             for j in 0..n {
@@ -83,8 +87,7 @@ pub fn hac(points: &[Vec<f64>], k: usize, linkage: Linkage) -> Vec<Vec<usize>> {
                         Linkage::Single => daj.min(dbj),
                         Linkage::Ward => {
                             let sj = size[j];
-                            ((sa + sj) * daj + (sb + sj) * dbj - sj * best_d)
-                                / (sa + sb + sj)
+                            ((sa + sj) * daj + (sb + sj) * dbj - sj * best_d) / (sa + sb + sj)
                         }
                     };
                     dist[a * n + j] = new;

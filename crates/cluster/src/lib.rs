@@ -96,7 +96,11 @@ mod tests {
     #[test]
     fn every_algo_partitions_all_points() {
         let pts = two_blobs();
-        for algo in [ClusterAlgo::KMeans, ClusterAlgo::HacSingle, ClusterAlgo::HacWard] {
+        for algo in [
+            ClusterAlgo::KMeans,
+            ClusterAlgo::HacSingle,
+            ClusterAlgo::HacWard,
+        ] {
             let mut rng = StdRng::seed_from_u64(1);
             let clusters = cluster(&pts, 2, algo, &mut rng);
             assert_eq!(clusters.len(), 2, "{algo:?}");
@@ -105,8 +109,7 @@ mod tests {
             assert_eq!(seen, (0..20).collect::<Vec<_>>(), "{algo:?}");
             // Blobs are well separated: each cluster holds one parity class.
             for c in &clusters {
-                let parities: std::collections::HashSet<usize> =
-                    c.iter().map(|&i| i % 2).collect();
+                let parities: std::collections::HashSet<usize> = c.iter().map(|&i| i % 2).collect();
                 assert_eq!(parities.len(), 1, "{algo:?} mixed the blobs");
             }
         }

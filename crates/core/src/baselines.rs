@@ -22,7 +22,10 @@ pub fn random_selection(n_parts: usize, budget: usize, rng: &mut StdRng) -> Vec<
     ids.truncate(budget);
     let w = n_parts as f64 / budget as f64;
     ids.into_iter()
-        .map(|p| WeightedPart { partition: PartitionId(p), weight: w })
+        .map(|p| WeightedPart {
+            partition: PartitionId(p),
+            weight: w,
+        })
         .collect()
 }
 
@@ -42,7 +45,10 @@ pub fn random_filter_selection(
     ids.truncate(budget);
     let w = candidates.len() as f64 / budget as f64;
     ids.into_iter()
-        .map(|p| WeightedPart { partition: PartitionId(p), weight: w })
+        .map(|p| WeightedPart {
+            partition: PartitionId(p),
+            weight: w,
+        })
         .collect()
 }
 
@@ -100,13 +106,13 @@ impl LssModel {
                 let mut errs = Vec::with_capacity(eval_qs.len());
                 for (qi, &q) in eval_qs.iter().enumerate() {
                     let feats = &td.features[q];
-                    let candidates: Vec<usize> =
-                        (0..n).filter(|&p| feats.selectivity_upper(p) > 0.0).collect();
+                    let candidates: Vec<usize> = (0..n)
+                        .filter(|&p| feats.selectivity_upper(p) > 0.0)
+                        .collect();
                     if candidates.is_empty() {
                         continue;
                     }
-                    let picks =
-                        lss_pick(&preds[qi], &candidates, budget, s, &mut rng);
+                    let picks = lss_pick(&preds[qi], &candidates, budget, s, &mut rng);
                     let mut acc = PartialAnswer::empty(&td.queries[q]);
                     for wp in &picks {
                         acc.add_weighted(&td.partials[q][wp.partition.index()], wp.weight);
@@ -125,7 +131,10 @@ impl LssModel {
             }
             strata_by_budget.push((frac, best.0));
         }
-        Self { model, strata_by_budget }
+        Self {
+            model,
+            strata_by_budget,
+        }
     }
 
     /// The swept strata size for (approximately) this budget fraction.
@@ -183,7 +192,10 @@ fn lss_pick(
     let total = ranked.len() as f64;
 
     // Proportional allocation with largest remainders.
-    let exact: Vec<f64> = strata.iter().map(|s| budget as f64 * s.len() as f64 / total).collect();
+    let exact: Vec<f64> = strata
+        .iter()
+        .map(|s| budget as f64 * s.len() as f64 / total)
+        .collect();
     let mut alloc: Vec<usize> = exact
         .iter()
         .zip(&strata)
@@ -191,9 +203,7 @@ fn lss_pick(
         .collect();
     let mut assigned: usize = alloc.iter().sum();
     let mut order: Vec<usize> = (0..strata.len()).collect();
-    order.sort_by(|&a, &b| {
-        (exact[b] - exact[b].floor()).total_cmp(&(exact[a] - exact[a].floor()))
-    });
+    order.sort_by(|&a, &b| (exact[b] - exact[b].floor()).total_cmp(&(exact[a] - exact[a].floor())));
     let mut cursor = 0;
     while assigned < budget && cursor < 10 * strata.len() * (budget + 1) {
         let i = order[cursor % strata.len()];
@@ -214,7 +224,10 @@ fn lss_pick(
         pool.truncate(k);
         let w = stratum.len() as f64 / k as f64;
         for p in pool {
-            out.push(WeightedPart { partition: PartitionId(p), weight: w });
+            out.push(WeightedPart {
+                partition: PartitionId(p),
+                weight: w,
+            });
         }
     }
     out
@@ -269,7 +282,10 @@ mod tests {
         assert_eq!(sel.len(), 10);
         // Weights: 4 strata of 5 → each gets ~2.5 → weight 5/n_i ∈ {2.5, 5/3}.
         let total_weight: f64 = sel.iter().map(|w| w.weight).sum();
-        assert!((total_weight - 20.0).abs() < 1e-9, "HT weights must cover N");
+        assert!(
+            (total_weight - 20.0).abs() < 1e-9,
+            "HT weights must cover N"
+        );
     }
 
     #[test]

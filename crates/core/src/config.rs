@@ -70,7 +70,10 @@ impl Default for Ps3Config {
             cluster_algo: ClusterAlgo::KMeans,
             estimator: ExemplarRule::Median,
             fallback_clause_limit: 10,
-            gbdt: GbdtParams { colsample: 0.5, ..GbdtParams::default() },
+            gbdt: GbdtParams {
+                colsample: 0.5,
+                ..GbdtParams::default()
+            },
             feature_selection: true,
             fs_restarts: 2,
             fs_eval_queries: 12,

@@ -84,7 +84,13 @@ impl<'a> Evaluator<'a> {
         cfg: &'a Ps3Config,
         eval_qs: Vec<usize>,
     ) -> Self {
-        Self { td, normalized, cfg, eval_qs, cache: HashMap::new() }
+        Self {
+            td,
+            normalized,
+            cfg,
+            eval_qs,
+            cache: HashMap::new(),
+        }
     }
 
     /// Mean avg-relative-error of clustering-only sampling with the given
@@ -111,7 +117,10 @@ impl<'a> Evaluator<'a> {
 fn exclusion_key(excluded: &[FeatureType]) -> Vec<u8> {
     let mut key = vec![0u8; FeatureType::ALL.len()];
     for f in excluded {
-        let idx = FeatureType::ALL.iter().position(|t| t == f).expect("known type");
+        let idx = FeatureType::ALL
+            .iter()
+            .position(|t| t == f)
+            .expect("known type");
         key[idx] = 1;
     }
     key
@@ -136,8 +145,9 @@ pub fn clustering_error(
     let mut errs = Vec::with_capacity(eval_qs.len() * budgets.len());
     for &q in eval_qs {
         let feats = &td.features[q];
-        let candidates: Vec<usize> =
-            (0..n_parts).filter(|&p| feats.selectivity_upper(p) > 0.0).collect();
+        let candidates: Vec<usize> = (0..n_parts)
+            .filter(|&p| feats.selectivity_upper(p) > 0.0)
+            .collect();
         if candidates.is_empty() {
             continue;
         }
@@ -154,8 +164,7 @@ pub fn clustering_error(
         }
         let truth = td.totals[q].finalize(&td.queries[q]);
         for &frac in budgets {
-            let k = ((frac * n_parts as f64).round() as usize)
-                .clamp(1, candidates.len());
+            let k = ((frac * n_parts as f64).round() as usize).clamp(1, candidates.len());
             let picks = cluster_select(
                 &candidates,
                 &rows,

@@ -10,7 +10,10 @@ pub enum ImportanceSource<'a> {
     Learned(&'a [Gbdt]),
     /// An oracle with perfect precision/recall (Appendix C.2): partition
     /// passes model i iff its *true* contribution exceeds threshold i.
-    Oracle { contributions: &'a [f64], thresholds: &'a [f64] },
+    Oracle {
+        contributions: &'a [f64],
+        thresholds: &'a [f64],
+    },
 }
 
 /// Sort `candidates` into importance groups, least important first
@@ -31,9 +34,10 @@ pub fn importance_groups(
         let (picked, kept): (Vec<usize>, Vec<usize>) =
             to_examine.into_iter().partition(|&p| match source {
                 ImportanceSource::Learned(models) => models[i].predict_row(&rows[p]) > 0.0,
-                ImportanceSource::Oracle { contributions, thresholds } => {
-                    contributions[p] > thresholds[i]
-                }
+                ImportanceSource::Oracle {
+                    contributions,
+                    thresholds,
+                } => contributions[p] > thresholds[i],
             });
         *groups.last_mut().expect("non-empty") = kept;
         groups.push(picked);
@@ -96,13 +100,18 @@ mod tests {
         let model = ps3_learn::Gbdt::train(
             &data,
             &labels,
-            &ps3_learn::GbdtParams { colsample: 1.0, ..Default::default() },
+            &ps3_learn::GbdtParams {
+                colsample: 1.0,
+                ..Default::default()
+            },
         );
         let candidates: Vec<usize> = (0..100).collect();
-        let groups =
-            importance_groups(&candidates, &data, &ImportanceSource::Learned(&[model]));
+        let groups = importance_groups(&candidates, &data, &ImportanceSource::Learned(&[model]));
         assert_eq!(groups.len(), 2);
-        assert!(groups[1].iter().all(|&p| p > 45), "picked group has small rows");
+        assert!(
+            groups[1].iter().all(|&p| p > 45),
+            "picked group has small rows"
+        );
         assert!(groups[1].len() > 40);
     }
 
@@ -111,7 +120,10 @@ mod tests {
         let groups = importance_groups(
             &[],
             &[],
-            &ImportanceSource::Oracle { contributions: &[], thresholds: &[0.0] },
+            &ImportanceSource::Oracle {
+                contributions: &[],
+                thresholds: &[0.0],
+            },
         );
         assert_eq!(groups.len(), 2);
         assert!(groups.iter().all(Vec::is_empty));

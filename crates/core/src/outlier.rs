@@ -56,7 +56,13 @@ mod tests {
         let mut b = TableBuilder::new(schema);
         for p in 0..20 {
             for i in 0..100 {
-                let g = if p == 19 { "z" } else if i % 2 == 0 { "a" } else { "b" };
+                let g = if p == 19 {
+                    "z"
+                } else if i % 2 == 0 {
+                    "a"
+                } else {
+                    "b"
+                };
                 b.push_row(&[f64::from(p * 100 + i)], &[g]);
             }
         }

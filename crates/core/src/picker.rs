@@ -68,7 +68,9 @@ impl Picker<'_> {
 
         // Selectivity filter: perfect recall, so dropping upper == 0 is safe.
         let candidates: Vec<usize> = if cfg.use_filter {
-            (0..n_parts).filter(|&p| features.selectivity_upper(p) > 0.0).collect()
+            (0..n_parts)
+                .filter(|&p| features.selectivity_upper(p) > 0.0)
+                .collect()
         } else {
             (0..n_parts).collect()
         };
@@ -89,13 +91,19 @@ impl Picker<'_> {
                 );
                 chosen_outliers = outliers.into_iter().take(cap).collect();
                 for &p in &chosen_outliers {
-                    selection.push(WeightedPart { partition: PartitionId(p), weight: 1.0 });
+                    selection.push(WeightedPart {
+                        partition: PartitionId(p),
+                        weight: 1.0,
+                    });
                 }
             }
         }
         let taken: HashSet<usize> = chosen_outliers.iter().copied().collect();
-        let inliers: Vec<usize> =
-            candidates.iter().copied().filter(|p| !taken.contains(p)).collect();
+        let inliers: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|p| !taken.contains(p))
+            .collect();
         let rest_budget = budget - chosen_outliers.len();
 
         // Normalize feature rows once; the funnel and clustering share them.
@@ -143,18 +151,14 @@ impl Picker<'_> {
             }
             if k >= group.len() {
                 for &p in group {
-                    selection.push(WeightedPart { partition: PartitionId(p), weight: 1.0 });
+                    selection.push(WeightedPart {
+                        partition: PartitionId(p),
+                        weight: 1.0,
+                    });
                 }
             } else if cluster_ok {
                 let t = Instant::now();
-                let picks = cluster_select(
-                    group,
-                    &rows,
-                    k,
-                    cfg.cluster_algo,
-                    cfg.estimator,
-                    rng,
-                );
+                let picks = cluster_select(group, &rows, k, cfg.cluster_algo, cfg.estimator, rng);
                 clustering_ms += t.elapsed().as_secs_f64() * 1e3;
                 selection.extend(picks);
             } else {
@@ -163,7 +167,10 @@ impl Picker<'_> {
                 pool.truncate(k);
                 let w = group.len() as f64 / k as f64;
                 for p in pool {
-                    selection.push(WeightedPart { partition: PartitionId(p), weight: w });
+                    selection.push(WeightedPart {
+                        partition: PartitionId(p),
+                        weight: w,
+                    });
                 }
             }
         }
@@ -225,7 +232,13 @@ mod tests {
     fn cluster_select_weights_sum_to_group_size() {
         // 12 partitions in two obvious feature blobs.
         let rows: Vec<Vec<f64>> = (0..12)
-            .map(|i| vec![if i < 6 { 0.0 } else { 100.0 }, f64::from(i % 6) * 0.01, 0.0])
+            .map(|i| {
+                vec![
+                    if i < 6 { 0.0 } else { 100.0 },
+                    f64::from(i % 6) * 0.01,
+                    0.0,
+                ]
+            })
             .collect();
         let group: Vec<usize> = (0..12).collect();
         let mut rng = StdRng::seed_from_u64(1);
@@ -241,15 +254,13 @@ mod tests {
         let total: f64 = picks.iter().map(|p| p.weight).sum();
         assert_eq!(total, 12.0);
         // One exemplar from each blob.
-        let sides: HashSet<bool> =
-            picks.iter().map(|p| p.partition.index() < 6).collect();
+        let sides: HashSet<bool> = picks.iter().map(|p| p.partition.index() < 6).collect();
         assert_eq!(sides.len(), 2);
     }
 
     #[test]
     fn cluster_select_on_subset_of_partitions() {
-        let rows: Vec<Vec<f64>> =
-            (0..10).map(|i| vec![f64::from(i)]).collect();
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![f64::from(i)]).collect();
         let group = vec![2, 3, 8, 9];
         let mut rng = StdRng::seed_from_u64(0);
         let picks = cluster_select(

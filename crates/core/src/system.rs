@@ -30,7 +30,12 @@ pub enum Method {
 
 impl Method {
     /// All methods in plot order.
-    pub const ALL: [Method; 4] = [Method::Random, Method::RandomFilter, Method::Lss, Method::Ps3];
+    pub const ALL: [Method; 4] = [
+        Method::Random,
+        Method::RandomFilter,
+        Method::Lss,
+        Method::Ps3,
+    ];
 
     /// Display label matching the paper's figures.
     pub fn label(self) -> &'static str {
@@ -100,7 +105,14 @@ impl Ps3System {
             cfg.seed,
         );
         let rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0xA75));
-        Self { pt, stats, trained, lss, training, rng }
+        Self {
+            pt,
+            stats,
+            trained,
+            lss,
+            training,
+            rng,
+        }
     }
 
     /// Number of partitions.
@@ -110,8 +122,7 @@ impl Ps3System {
 
     /// Convert a budget fraction into a partition count (≥ 1).
     pub fn budget_partitions(&self, frac: f64) -> usize {
-        ((frac * self.num_partitions() as f64).round() as usize)
-            .clamp(1, self.num_partitions())
+        ((frac * self.num_partitions() as f64).round() as usize).clamp(1, self.num_partitions())
     }
 
     /// The exact answer (reads everything).
@@ -137,22 +148,32 @@ impl Ps3System {
         match method {
             Method::Random => (random_selection(n, budget, &mut self.rng), 0.0),
             Method::RandomFilter => {
-                let candidates: Vec<usize> =
-                    (0..n).filter(|&p| features.selectivity_upper(p) > 0.0).collect();
-                (random_filter_selection(&candidates, budget, &mut self.rng), 0.0)
+                let candidates: Vec<usize> = (0..n)
+                    .filter(|&p| features.selectivity_upper(p) > 0.0)
+                    .collect();
+                (
+                    random_filter_selection(&candidates, budget, &mut self.rng),
+                    0.0,
+                )
             }
             Method::Lss => {
-                let candidates: Vec<usize> =
-                    (0..n).filter(|&p| features.selectivity_upper(p) > 0.0).collect();
+                let candidates: Vec<usize> = (0..n)
+                    .filter(|&p| features.selectivity_upper(p) > 0.0)
+                    .collect();
                 let mut rows = features.rows.clone();
                 self.trained.normalizer.apply_matrix(&mut rows);
-                let sel = self.lss.pick(&rows, &candidates, budget, frac, &mut self.rng);
+                let sel = self
+                    .lss
+                    .pick(&rows, &candidates, budget, frac, &mut self.rng);
                 (sel, 0.0)
             }
             Method::Ps3 => {
-                let picker = Picker { trained: &self.trained, stats: &self.stats, pt: &self.pt };
-                let out =
-                    picker.pick_with_features(query, features, budget, &mut self.rng, oracle);
+                let picker = Picker {
+                    trained: &self.trained,
+                    stats: &self.stats,
+                    pt: &self.pt,
+                };
+                let out = picker.pick_with_features(query, features, budget, &mut self.rng, oracle);
                 (out.selection, out.total_ms)
             }
         }
@@ -162,7 +183,11 @@ impl Ps3System {
     pub fn pick_outcome(&mut self, query: &Query, frac: f64) -> PickOutcome {
         let features = QueryFeatures::compute(&self.stats, self.pt.table(), query);
         let budget = self.budget_partitions(frac);
-        let picker = Picker { trained: &self.trained, stats: &self.stats, pt: &self.pt };
+        let picker = Picker {
+            trained: &self.trained,
+            stats: &self.stats,
+            pt: &self.pt,
+        };
         picker.pick_with_features(query, &features, budget, &mut self.rng, None)
     }
 
@@ -173,7 +198,11 @@ impl Ps3System {
         let (selection, picker_ms) =
             self.select_with_features(query, &features, method, frac, None);
         let answer = execute_partitions(&self.pt, query, &selection);
-        AnswerOutcome { answer, selection, picker_ms }
+        AnswerOutcome {
+            answer,
+            selection,
+            picker_ms,
+        }
     }
 
     /// Reset the internal RNG (keeps repeated experiment runs independent
@@ -207,11 +236,12 @@ mod tests {
             b.push_row(&[f64::from(i)], &[["a", "b"][(i / 80) as usize % 2]]);
         }
         let pt = std::sync::Arc::new(PartitionedTable::with_equal_partitions(b.finish(), 16));
-        let stats =
-            std::sync::Arc::new(ps3_stats::TableStats::build(&pt, &StatsConfig::default()));
+        let stats = std::sync::Arc::new(ps3_stats::TableStats::build(&pt, &StatsConfig::default()));
         let queries = vec![
             Query::new(
-                vec![AggExpr::sum(ps3_query::ScalarExpr::col(ps3_storage::ColId(0)))],
+                vec![AggExpr::sum(ps3_query::ScalarExpr::col(
+                    ps3_storage::ColId(0),
+                ))],
                 None,
                 vec![ps3_storage::ColId(1)],
             ),

@@ -47,21 +47,17 @@ impl TrainingData {
 
         let mut per_query: Vec<(Vec<PartialAnswer>, PartialAnswer, QueryFeatures)> =
             Vec::with_capacity(queries.len());
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let chunk = queries.len().div_ceil(threads);
             let handles: Vec<_> = queries
                 .chunks(chunk.max(1))
                 .map(|qs| {
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         qs.iter()
                             .map(|q| {
                                 let partials: Vec<PartialAnswer> = (0..pt.num_partitions())
                                     .map(|p| {
-                                        execute_partition(
-                                            pt.table(),
-                                            pt.rows(PartitionId(p)),
-                                            q,
-                                        )
+                                        execute_partition(pt.table(), pt.rows(PartitionId(p)), q)
                                     })
                                     .collect();
                                 let mut total = PartialAnswer::empty(q);
@@ -78,8 +74,7 @@ impl TrainingData {
             for h in handles {
                 per_query.extend(h.join().expect("training worker panicked"));
             }
-        })
-        .expect("crossbeam scope");
+        });
 
         let mut partials = Vec::with_capacity(queries.len());
         let mut totals = Vec::with_capacity(queries.len());
@@ -91,7 +86,13 @@ impl TrainingData {
             totals.push(t);
             features.push(f);
         }
-        Self { queries: queries.to_vec(), partials, totals, features, contributions }
+        Self {
+            queries: queries.to_vec(),
+            partials,
+            totals,
+            features,
+            contributions,
+        }
     }
 
     /// Number of partitions.
@@ -108,7 +109,9 @@ pub fn contributions_for(partials: &[PartialAnswer], total: &PartialAnswer) -> V
         .map(|part| {
             let mut best = 0.0f64;
             for (key, vals) in &part.groups {
-                let Some(tvals) = total.groups.get(key) else { continue };
+                let Some(tvals) = total.groups.get(key) else {
+                    continue;
+                };
                 for (&v, &t) in vals.iter().zip(tvals) {
                     if t.abs() > 1e-9 {
                         best = best.max((v / t).abs());
@@ -181,7 +184,13 @@ impl TrainedPs3 {
             Vec::new()
         };
 
-        Self { models, thresholds, normalizer, excluded, config }
+        Self {
+            models,
+            thresholds,
+            normalizer,
+            excluded,
+            config,
+        }
     }
 }
 
@@ -196,7 +205,10 @@ mod tests {
         for (k, v) in entries {
             groups.insert(GroupKey(k.to_vec().into_boxed_slice()), v.to_vec());
         }
-        PartialAnswer { groups, slots: entries.first().map_or(1, |e| e.1.len()) }
+        PartialAnswer {
+            groups,
+            slots: entries.first().map_or(1, |e| e.1.len()),
+        }
     }
 
     #[test]
@@ -212,7 +224,10 @@ mod tests {
     #[test]
     fn empty_partition_contributes_zero() {
         let total = partial(&[(&[1], &[100.0])]);
-        let p = PartialAnswer { groups: HashMap::new(), slots: 1 };
+        let p = PartialAnswer {
+            groups: HashMap::new(),
+            slots: 1,
+        };
         assert_eq!(contributions_for(&[p], &total), vec![0.0]);
     }
 

@@ -50,8 +50,8 @@ pub fn generate(rows: usize, seed: u64) -> Table {
     for _ in 0..rows {
         ingestion += exponential(&mut rng, 0.5); // arrivals: ~2 events/sec
         let received = exponential(&mut rng, 40.0).ceil();
-        let tried = (received * rng.gen_range(0.6..1.0)).floor();
-        let sent = (tried * rng.gen_range(0.8..1.0)).floor();
+        let tried = (received * rng.gen_range(0.6..1.0_f64)).floor();
+        let sent = (tried * rng.gen_range(0.8..1.0_f64)).floor();
         let tenant = z_tenant.sample(&mut rng);
         // Tenant shapes payload sizes: big tenants send bigger batches.
         let olsize = lognormal(&mut rng, 6.0 + (tenant % 7) as f64 * 0.4, 1.2);
@@ -61,7 +61,7 @@ pub fn generate(rows: usize, seed: u64) -> Table {
                 tried,
                 sent,
                 olsize,
-                olsize * rng.gen_range(0.1..0.9),
+                olsize * rng.gen_range(0.1..0.9_f64),
                 exponential(&mut rng, 3.0),
                 ingestion,
             ],
@@ -124,7 +124,10 @@ pub fn default_layout(table: &Table) -> Layout {
 pub fn alt_layouts(table: &Table) -> Vec<(String, Layout)> {
     let s = table.schema();
     vec![
-        ("AppInfo_Version".to_owned(), Layout::sorted(s.expect_col("AppInfo_Version"))),
+        (
+            "AppInfo_Version".to_owned(),
+            Layout::sorted(s.expect_col("AppInfo_Version")),
+        ),
         (
             "IngestionTime".to_owned(),
             Layout::sorted(s.expect_col("PipelineInfo_IngestionTime")),
@@ -146,7 +149,10 @@ mod tests {
         }
         let max = *counts.values().max().unwrap();
         let frac = max as f64 / 20_000.0;
-        assert!((0.38..0.6).contains(&frac), "top version holds {frac}, want ~0.48");
+        assert!(
+            (0.38..0.6).contains(&frac),
+            "top version holds {frac}, want ~0.48"
+        );
     }
 
     #[test]

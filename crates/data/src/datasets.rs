@@ -26,8 +26,12 @@ pub enum DatasetKind {
 
 impl DatasetKind {
     /// All four, in the paper's presentation order.
-    pub const ALL: [DatasetKind; 4] =
-        [DatasetKind::TpcH, DatasetKind::TpcDs, DatasetKind::Aria, DatasetKind::Kdd];
+    pub const ALL: [DatasetKind; 4] = [
+        DatasetKind::TpcH,
+        DatasetKind::TpcDs,
+        DatasetKind::Aria,
+        DatasetKind::Kdd,
+    ];
 
     /// Display name matching the paper.
     pub fn label(self) -> &'static str {
@@ -91,7 +95,13 @@ pub struct DatasetConfig {
 impl DatasetConfig {
     /// A dataset at the given scale with its default layout.
     pub fn new(kind: DatasetKind, scale: ScaleProfile) -> Self {
-        Self { kind, scale, layout: None, partitions: None, rows: None }
+        Self {
+            kind,
+            scale,
+            layout: None,
+            partitions: None,
+            rows: None,
+        }
     }
 
     /// Override the layout (Figures 6 and 8).
@@ -194,7 +204,12 @@ pub struct Dataset {
 impl Dataset {
     /// Train a [`Ps3System`] on this dataset's training workload.
     pub fn train_system(&self, cfg: Ps3Config) -> Ps3System {
-        Ps3System::train(self.pt.clone(), self.stats.clone(), &self.train_queries, cfg)
+        Ps3System::train(
+            self.pt.clone(),
+            self.stats.clone(),
+            &self.train_queries,
+            cfg,
+        )
     }
 
     /// The i-th held-out test query (wraps around).
@@ -257,7 +272,9 @@ mod tests {
     #[test]
     fn alt_layouts_exist_for_all_kinds() {
         for kind in DatasetKind::ALL {
-            let cfg = DatasetConfig::new(kind, ScaleProfile::Tiny).with_rows(1000).with_partitions(10);
+            let cfg = DatasetConfig::new(kind, ScaleProfile::Tiny)
+                .with_rows(1000)
+                .with_partitions(10);
             let ds = cfg.build(5);
             let alts = DatasetConfig::alt_layouts(kind, ds.pt.table());
             assert!(!alts.is_empty(), "{kind:?}");

@@ -129,7 +129,10 @@ mod tests {
             d.sort_by(f64::total_cmp);
             d[5000]
         };
-        assert!(mean > 1.5 * median, "no heavy tail: mean {mean} median {median}");
+        assert!(
+            mean > 1.5 * median,
+            "no heavy tail: mean {mean} median {median}"
+        );
     }
 
     #[test]

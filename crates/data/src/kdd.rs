@@ -18,9 +18,8 @@ use crate::workload::WorkloadSpec;
 
 const PROTOCOLS: [&str; 3] = ["icmp", "tcp", "udp"];
 const SERVICES: [&str; 20] = [
-    "http", "smtp", "ftp", "ftp_data", "telnet", "domain_u", "ecr_i", "eco_i", "finger",
-    "auth", "pop_3", "imap4", "ssh", "time", "private", "other", "irc", "x11", "nntp",
-    "whois",
+    "http", "smtp", "ftp", "ftp_data", "telnet", "domain_u", "ecr_i", "eco_i", "finger", "auth",
+    "pop_3", "imap4", "ssh", "time", "private", "other", "irc", "x11", "nntp", "whois",
 ];
 const FLAGS: [&str; 8] = ["SF", "S0", "REJ", "RSTO", "RSTR", "S1", "S2", "SH"];
 
@@ -72,10 +71,10 @@ pub fn generate(rows: usize, seed: u64) -> Table {
             _ => Class::R2l,
         };
         let burst = match class {
-            Class::Normal => rng.gen_range(5..40),
-            Class::Dos => rng.gen_range(50..400),
-            Class::Probe => rng.gen_range(20..120),
-            Class::R2l => rng.gen_range(1..10),
+            Class::Normal => rng.gen_range(5..40usize),
+            Class::Dos => rng.gen_range(50..400usize),
+            Class::Probe => rng.gen_range(20..120usize),
+            Class::R2l => rng.gen_range(1..10usize),
         }
         .min(remaining);
         let burst_service = z_service.sample(&mut rng);
@@ -86,11 +85,11 @@ pub fn generate(rows: usize, seed: u64) -> Table {
                     dur = exponential(&mut rng, 15.0);
                     src = lognormal(&mut rng, 5.5, 1.5);
                     dst = lognormal(&mut rng, 6.5, 1.8);
-                    cnt = rng.gen_range(1.0..30.0);
-                    srv = cnt * rng.gen_range(0.5..1.0);
-                    serr = rng.gen_range(0.0..0.05);
-                    rerr = rng.gen_range(0.0..0.05);
-                    same = rng.gen_range(0.7..1.0);
+                    cnt = rng.gen_range(1.0..30.0_f64);
+                    srv = cnt * rng.gen_range(0.5..1.0_f64);
+                    serr = rng.gen_range(0.0..0.05_f64);
+                    rerr = rng.gen_range(0.0..0.05_f64);
+                    same = rng.gen_range(0.7..1.0_f64);
                     diff = 1.0 - same;
                     service = burst_service;
                     flag = 0; // SF
@@ -100,11 +99,11 @@ pub fn generate(rows: usize, seed: u64) -> Table {
                     dur = 0.0;
                     src = lognormal(&mut rng, 4.0, 0.3);
                     dst = 0.0;
-                    cnt = rng.gen_range(200.0..511.0);
-                    srv = cnt * rng.gen_range(0.9..1.0);
-                    serr = rng.gen_range(0.7..1.0);
-                    rerr = rng.gen_range(0.0..0.1);
-                    same = rng.gen_range(0.9..1.0);
+                    cnt = rng.gen_range(200.0..511.0_f64);
+                    srv = cnt * rng.gen_range(0.9..1.0_f64);
+                    serr = rng.gen_range(0.7..1.0_f64);
+                    rerr = rng.gen_range(0.0..0.1_f64);
+                    same = rng.gen_range(0.9..1.0_f64);
                     diff = 1.0 - same;
                     service = 6; // ecr_i
                     flag = 1; // S0
@@ -114,28 +113,28 @@ pub fn generate(rows: usize, seed: u64) -> Table {
                     dur = exponential(&mut rng, 2.0);
                     src = lognormal(&mut rng, 3.0, 0.8);
                     dst = lognormal(&mut rng, 2.0, 1.0);
-                    cnt = rng.gen_range(50.0..300.0);
-                    srv = rng.gen_range(1.0..20.0);
-                    serr = rng.gen_range(0.0..0.3);
-                    rerr = rng.gen_range(0.3..0.9);
-                    same = rng.gen_range(0.0..0.2);
-                    diff = rng.gen_range(0.6..1.0);
+                    cnt = rng.gen_range(50.0..300.0_f64);
+                    srv = rng.gen_range(1.0..20.0_f64);
+                    serr = rng.gen_range(0.0..0.3_f64);
+                    rerr = rng.gen_range(0.3..0.9_f64);
+                    same = rng.gen_range(0.0..0.2_f64);
+                    diff = rng.gen_range(0.6..1.0_f64);
                     service = rng.gen_range(0..SERVICES.len());
                     flag = 2; // REJ
-                    proto = rng.gen_range(0..3);
+                    proto = rng.gen_range(0..3usize);
                 }
                 Class::R2l => {
                     dur = exponential(&mut rng, 60.0);
                     src = lognormal(&mut rng, 4.5, 1.0);
                     dst = lognormal(&mut rng, 5.0, 1.2);
-                    cnt = rng.gen_range(1.0..5.0);
+                    cnt = rng.gen_range(1.0..5.0_f64);
                     srv = cnt;
                     serr = 0.0;
-                    rerr = rng.gen_range(0.0..0.4);
-                    same = rng.gen_range(0.5..1.0);
+                    rerr = rng.gen_range(0.0..0.4_f64);
+                    same = rng.gen_range(0.5..1.0_f64);
                     diff = 1.0 - same;
-                    service = [2, 4, 12][rng.gen_range(0..3)]; // ftp/telnet/ssh
-                    flag = rng.gen_range(0..2);
+                    service = [2, 4, 12][rng.gen_range(0..3usize)]; // ftp/telnet/ssh
+                    flag = rng.gen_range(0..2usize);
                     proto = 1;
                 }
             }
@@ -147,16 +146,16 @@ pub fn generate(rows: usize, seed: u64) -> Table {
                     dst,
                     f64::from(u32::from(matches!(class, Class::Dos) && rng.gen_bool(0.1))),
                     0.0,
-                    f64::from(u32::from(matches!(class, Class::R2l)) * rng.gen_range(0..5)),
-                    f64::from(u32::from(matches!(class, Class::R2l)) * rng.gen_range(0..4)),
+                    f64::from(u32::from(matches!(class, Class::R2l)) * rng.gen_range(0..5u32)),
+                    f64::from(u32::from(matches!(class, Class::R2l)) * rng.gen_range(0..4u32)),
                     cnt,
                     srv,
                     serr,
                     rerr,
                     same,
                     diff,
-                    rng.gen_range(1.0..256.0),
-                    rng.gen_range(1.0..256.0),
+                    rng.gen_range(1.0..256.0_f64),
+                    rng.gen_range(1.0..256.0_f64),
                 ],
                 &[
                     PROTOCOLS[proto],
@@ -164,7 +163,11 @@ pub fn generate(rows: usize, seed: u64) -> Table {
                     FLAGS[flag],
                     if rng.gen_bool(0.001) { "1" } else { "0" },
                     if logged_in { "1" } else { "0" },
-                    if matches!(class, Class::R2l) && rng.gen_bool(0.3) { "1" } else { "0" },
+                    if matches!(class, Class::R2l) && rng.gen_bool(0.3) {
+                        "1"
+                    } else {
+                        "0"
+                    },
                 ],
             );
         }
@@ -274,9 +277,17 @@ mod tests {
     fn rates_are_probabilities() {
         let t = generate(2000, 3);
         let s = t.schema();
-        for name in ["serror_rate", "rerror_rate", "same_srv_rate", "diff_srv_rate"] {
+        for name in [
+            "serror_rate",
+            "rerror_rate",
+            "same_srv_rate",
+            "diff_srv_rate",
+        ] {
             let v = t.numeric(s.expect_col(name));
-            assert!(v.iter().all(|&x| (0.0..=1.0).contains(&x)), "{name} out of range");
+            assert!(
+                v.iter().all(|&x| (0.0..=1.0).contains(&x)),
+                "{name} out of range"
+            );
         }
     }
 

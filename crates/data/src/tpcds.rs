@@ -15,7 +15,15 @@ use crate::dist::{lognormal, Zipf};
 use crate::workload::WorkloadSpec;
 
 const CATEGORIES: [&str; 10] = [
-    "Books", "Children", "Electronics", "Home", "Jewelry", "Men", "Music", "Shoes", "Sports",
+    "Books",
+    "Children",
+    "Electronics",
+    "Home",
+    "Jewelry",
+    "Men",
+    "Music",
+    "Shoes",
+    "Sports",
     "Women",
 ];
 const GENDERS: [&str; 2] = ["M", "F"];
@@ -29,8 +37,15 @@ const EDUCATION: [&str; 7] = [
     "Secondary",
     "Unknown",
 ];
-const DAY_NAMES: [&str; 7] =
-    ["Sunday", "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday"];
+const DAY_NAMES: [&str; 7] = [
+    "Sunday",
+    "Monday",
+    "Tuesday",
+    "Wednesday",
+    "Thursday",
+    "Friday",
+    "Saturday",
+];
 const YES_NO: [&str; 2] = ["N", "Y"];
 
 /// Generate the denormalized catalog-sales table in sale order.
@@ -76,10 +91,14 @@ pub fn generate(rows: usize, seed: u64) -> Table {
         let promo = z_promo.sample(&mut rng) as f64 + 1.0;
         let list = 10.0 + (item as f64 * 7.3) % 290.0;
         let qty = f64::from(rng.gen_range(1..=100u32));
-        let sales = list * rng.gen_range(0.3..1.0);
-        let wholesale = list * rng.gen_range(0.25..0.8);
+        let sales = list * rng.gen_range(0.3..1.0_f64);
+        let wholesale = list * rng.gen_range(0.25..0.8_f64);
         let discount = (list - sales).max(0.0) * qty;
-        let coupon = if rng.gen_bool(0.15) { lognormal(&mut rng, 3.0, 1.0) } else { 0.0 };
+        let coupon = if rng.gen_bool(0.15) {
+            lognormal(&mut rng, 3.0, 1.0)
+        } else {
+            0.0
+        };
         // Net profit can be negative, like the real column.
         let profit = (sales - wholesale) * qty - coupon;
         b.push_row(
@@ -91,7 +110,7 @@ pub fn generate(rows: usize, seed: u64) -> Table {
                 discount,
                 coupon,
                 profit,
-                list * rng.gen_range(0.9..1.15),
+                list * rng.gen_range(0.9..1.15_f64),
                 promo,
                 year,
                 moy,
@@ -102,9 +121,9 @@ pub fn generate(rows: usize, seed: u64) -> Table {
                 CATEGORIES[item % 10],
                 &format!("class{:02}", item % 50),
                 &format!("brand{:03}", item % 100),
-                GENDERS[rng.gen_range(0..2)],
-                MARITAL[rng.gen_range(0..5)],
-                EDUCATION[rng.gen_range(0..7)],
+                GENDERS[rng.gen_range(0..2usize)],
+                MARITAL[rng.gen_range(0..5usize)],
+                EDUCATION[rng.gen_range(0..7usize)],
                 YES_NO[usize::from((promo as usize).is_multiple_of(3))],
                 YES_NO[usize::from((promo as usize).is_multiple_of(2))],
                 DAY_NAMES[(day % 7) as usize],
@@ -176,8 +195,14 @@ pub fn default_layout(table: &Table) -> Layout {
 pub fn alt_layouts(table: &Table) -> Vec<(String, Layout)> {
     let s = table.schema();
     vec![
-        ("p_promo_sk".to_owned(), Layout::sorted(s.expect_col("p_promo_sk"))),
-        ("cs_net_profit".to_owned(), Layout::sorted(s.expect_col("cs_net_profit"))),
+        (
+            "p_promo_sk".to_owned(),
+            Layout::sorted(s.expect_col("p_promo_sk")),
+        ),
+        (
+            "cs_net_profit".to_owned(),
+            Layout::sorted(s.expect_col("cs_net_profit")),
+        ),
     ]
 }
 

@@ -20,20 +20,50 @@ use crate::workload::WorkloadSpec;
 
 /// Nations (index/5 = region), mirroring TPC-H's 25 nations / 5 regions.
 pub const NATIONS: [&str; 25] = [
-    "ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE", // AFRICA
-    "ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES", // AMERICA
-    "INDIA", "INDONESIA", "JAPAN", "CHINA", "VIETNAM", // ASIA
-    "FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM", // EUROPE
-    "EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA", // MIDDLE EAST
+    "ALGERIA",
+    "ETHIOPIA",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE", // AFRICA
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "PERU",
+    "UNITED STATES", // AMERICA
+    "INDIA",
+    "INDONESIA",
+    "JAPAN",
+    "CHINA",
+    "VIETNAM", // ASIA
+    "FRANCE",
+    "GERMANY",
+    "ROMANIA",
+    "RUSSIA",
+    "UNITED KINGDOM", // EUROPE
+    "EGYPT",
+    "IRAN",
+    "IRAQ",
+    "JORDAN",
+    "SAUDI ARABIA", // MIDDLE EAST
 ];
 
 /// The five regions.
 pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 
 const SHIP_MODES: [&str; 7] = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
-const SHIP_INSTRUCT: [&str; 4] =
-    ["COLLECT COD", "DELIVER IN PERSON", "NONE", "TAKE BACK RETURN"];
-const MKT_SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const SHIP_INSTRUCT: [&str; 4] = [
+    "COLLECT COD",
+    "DELIVER IN PERSON",
+    "NONE",
+    "TAKE BACK RETURN",
+];
+const MKT_SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const TYPE_SYLL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 const TYPE_SYLL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
@@ -89,21 +119,22 @@ pub fn generate(rows: usize, seed: u64) -> Table {
 
     // Orders arrive in date order (append-only log), so generate sorted
     // order dates as ingest order.
-    let mut order_dates: Vec<f64> =
-        (0..rows).map(|_| rng.gen_range(0.0..7.0 * DAYS_PER_YEAR)).collect();
+    let mut order_dates: Vec<f64> = (0..rows)
+        .map(|_| rng.gen_range(0.0..7.0 * DAYS_PER_YEAR))
+        .collect();
     order_dates.sort_by(f64::total_cmp);
 
     for &o_orderdate in &order_dates {
         let part = z_part.sample(&mut rng);
         let qty = (z_qty.sample(&mut rng) + 1) as f64;
         let retail = 900.0 + (part as f64 * 13.7) % 1200.0;
-        let price = qty * retail * rng.gen_range(0.9..1.1);
+        let price = qty * retail * rng.gen_range(0.9..1.1_f64);
         let discount = f64::from(rng.gen_range(0..=10u32)) / 100.0;
         let tax = f64::from(rng.gen_range(0..=8u32)) / 100.0;
-        let ship_lag = rng.gen_range(1.0..121.0);
+        let ship_lag = rng.gen_range(1.0..121.0_f64);
         let l_shipdate = o_orderdate + ship_lag;
-        let l_commitdate = o_orderdate + rng.gen_range(30.0..90.0);
-        let l_receiptdate = l_shipdate + rng.gen_range(1.0..30.0);
+        let l_commitdate = o_orderdate + rng.gen_range(30.0..90.0_f64);
+        let l_receiptdate = l_shipdate + rng.gen_range(1.0..30.0_f64);
         let n1 = z_nation.sample(&mut rng);
         let n2 = z_nation.sample(&mut rng);
         let o_year = BASE_YEAR + (o_orderdate / DAYS_PER_YEAR).floor();
@@ -118,7 +149,11 @@ pub fn generate(rows: usize, seed: u64) -> Table {
         } else {
             "N"
         };
-        let linestatus = if l_shipdate > 6.3 * DAYS_PER_YEAR { "O" } else { "F" };
+        let linestatus = if l_shipdate > 6.3 * DAYS_PER_YEAR {
+            "O"
+        } else {
+            "F"
+        };
         let p_type = format!(
             "{} {} {}",
             TYPE_SYLL1[part % 6],
@@ -126,8 +161,7 @@ pub fn generate(rows: usize, seed: u64) -> Table {
             TYPE_SYLL3[(part / 30) % 5]
         );
         let p_brand = format!("Brand#{}{}", part % 5 + 1, (part / 5) % 5 + 1);
-        let p_container =
-            format!("{} {}", CONTAINER1[part % 5], CONTAINER2[(part / 5) % 8]);
+        let p_container = format!("{} {}", CONTAINER1[part % 5], CONTAINER2[(part / 5) % 8]);
         b.push_row(
             &[
                 qty,
@@ -138,10 +172,10 @@ pub fn generate(rows: usize, seed: u64) -> Table {
                 l_commitdate,
                 l_receiptdate,
                 o_orderdate,
-                price * rng.gen_range(1.0..4.0),
+                price * rng.gen_range(1.0..4.0_f64),
                 (part % 50 + 1) as f64,
                 retail,
-                retail * rng.gen_range(0.3..0.7),
+                retail * rng.gen_range(0.3..0.7_f64),
                 l_year,
                 o_year,
                 l_receiptdate - l_commitdate,
@@ -150,12 +184,12 @@ pub fn generate(rows: usize, seed: u64) -> Table {
             &[
                 returnflag,
                 linestatus,
-                SHIP_MODES[rng.gen_range(0..7)],
-                SHIP_INSTRUCT[rng.gen_range(0..4)],
+                SHIP_MODES[rng.gen_range(0..7usize)],
+                SHIP_INSTRUCT[rng.gen_range(0..4usize)],
                 &p_type,
                 &p_brand,
                 &p_container,
-                MKT_SEGMENTS[rng.gen_range(0..5)],
+                MKT_SEGMENTS[rng.gen_range(0..5usize)],
                 PRIORITIES[z_nation.sample(&mut rng) % 5],
                 NATIONS[n1],
                 NATIONS[n2],
@@ -175,7 +209,9 @@ pub fn workload_spec(table: &Table, seed: u64) -> WorkloadSpec {
     let price = ScalarExpr::col(col("l_extendedprice"));
     let disc = ScalarExpr::col(col("l_discount"));
     let tax = ScalarExpr::col(col("l_tax"));
-    let volume = price.clone().mul(ScalarExpr::Literal(1.0).sub(disc.clone()));
+    let volume = price
+        .clone()
+        .mul(ScalarExpr::Literal(1.0).sub(disc.clone()));
     let aggregates = vec![
         AggExpr::sum(price.clone()),
         AggExpr::sum(qty.clone()),

@@ -22,8 +22,9 @@ use ps3_storage::Schema;
 use crate::tpch::{DAYS_PER_YEAR, NATIONS, REGIONS};
 
 /// The template identifiers, in Figure-11 order.
-pub const TEMPLATES: [&str; 10] =
-    ["Q1", "Q5", "Q6", "Q7", "Q8", "Q9", "Q12", "Q14", "Q17", "Q19"];
+pub const TEMPLATES: [&str; 10] = [
+    "Q1", "Q5", "Q6", "Q7", "Q8", "Q9", "Q12", "Q14", "Q17", "Q19",
+];
 
 /// Instantiate template `name` with random parameters.
 ///
@@ -41,7 +42,7 @@ pub fn instantiate(name: &str, schema: &Schema, rng: &mut StdRng) -> Query {
     match name {
         // Pricing summary report: all lineitems shipped before a cutoff.
         "Q1" => {
-            let cutoff = rng.gen_range(6.4..7.0) * DAYS_PER_YEAR;
+            let cutoff = rng.gen_range(6.4..7.0_f64) * DAYS_PER_YEAR;
             Query::new(
                 vec![
                     AggExpr::sum(qty()),
@@ -61,7 +62,7 @@ pub fn instantiate(name: &str, schema: &Schema, rng: &mut StdRng) -> Query {
         }
         // Local supplier volume: one region, one order year.
         "Q5" => {
-            let region = REGIONS[rng.gen_range(0..5)];
+            let region = REGIONS[rng.gen_range(0..5usize)];
             let y = rng.gen_range(1993..=1997) as f64;
             Query::new(
                 vec![AggExpr::sum(volume())],
@@ -89,25 +90,41 @@ pub fn instantiate(name: &str, schema: &Schema, rng: &mut StdRng) -> Query {
             Query::new(
                 vec![AggExpr::sum(price().mul(disc()))],
                 Some(Predicate::all(vec![
-                    Clause::Cmp { col: col("l_shipdate"), op: CmpOp::Ge, value: year_start(y) },
+                    Clause::Cmp {
+                        col: col("l_shipdate"),
+                        op: CmpOp::Ge,
+                        value: year_start(y),
+                    },
                     Clause::Cmp {
                         col: col("l_shipdate"),
                         op: CmpOp::Lt,
                         value: year_start(y + 1.0),
                     },
-                    Clause::Cmp { col: col("l_discount"), op: CmpOp::Ge, value: d - 0.011 },
-                    Clause::Cmp { col: col("l_discount"), op: CmpOp::Le, value: d + 0.011 },
-                    Clause::Cmp { col: col("l_quantity"), op: CmpOp::Lt, value: q },
+                    Clause::Cmp {
+                        col: col("l_discount"),
+                        op: CmpOp::Ge,
+                        value: d - 0.011,
+                    },
+                    Clause::Cmp {
+                        col: col("l_discount"),
+                        op: CmpOp::Le,
+                        value: d + 0.011,
+                    },
+                    Clause::Cmp {
+                        col: col("l_quantity"),
+                        op: CmpOp::Lt,
+                        value: q,
+                    },
                 ])),
                 vec![],
             )
         }
         // Volume shipping between two nations.
         "Q7" => {
-            let a = NATIONS[rng.gen_range(0..25)];
-            let mut b = NATIONS[rng.gen_range(0..25)];
+            let a = NATIONS[rng.gen_range(0..25usize)];
+            let mut b = NATIONS[rng.gen_range(0..25usize)];
             while b == a {
-                b = NATIONS[rng.gen_range(0..25)];
+                b = NATIONS[rng.gen_range(0..25usize)];
             }
             Query::new(
                 vec![AggExpr::sum(volume())],
@@ -138,20 +155,22 @@ pub fn instantiate(name: &str, schema: &Schema, rng: &mut StdRng) -> Query {
         }
         // National market share: CASE rewritten as aggregate-over-predicate.
         "Q8" => {
-            let nation = NATIONS[rng.gen_range(0..25)];
+            let nation = NATIONS[rng.gen_range(0..25usize)];
             let region = REGIONS[NATIONS.iter().position(|&n| n == nation).unwrap() / 5];
-            let t3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"][rng.gen_range(0..5)];
+            let t3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"][rng.gen_range(0..5usize)];
             Query::new(
                 vec![
-                    AggExpr::sum(volume()).filtered(Predicate::Clause(Clause::str_eq(
-                        col("n2_name"),
-                        nation,
-                    ))),
+                    AggExpr::sum(volume())
+                        .filtered(Predicate::Clause(Clause::str_eq(col("n2_name"), nation))),
                     AggExpr::sum(volume()),
                 ],
                 Some(Predicate::all(vec![
                     Clause::str_eq(col("r1_name"), region),
-                    Clause::Contains { col: col("p_type"), needle: t3.into(), negated: false },
+                    Clause::Contains {
+                        col: col("p_type"),
+                        needle: t3.into(),
+                        negated: false,
+                    },
                     Clause::Cmp {
                         col: col("o_orderdate"),
                         op: CmpOp::Ge,
@@ -169,9 +188,8 @@ pub fn instantiate(name: &str, schema: &Schema, rng: &mut StdRng) -> Query {
         // Product type profit measure.
         "Q9" => {
             let syll = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
-                [rng.gen_range(0..6)];
-            let amount = volume()
-                .sub(ScalarExpr::col(col("ps_supplycost")).mul(qty()));
+                [rng.gen_range(0..6usize)];
+            let amount = volume().sub(ScalarExpr::col(col("ps_supplycost")).mul(qty()));
             Query::new(
                 vec![AggExpr::sum(amount)],
                 Some(Predicate::Clause(Clause::Contains {
@@ -185,10 +203,10 @@ pub fn instantiate(name: &str, schema: &Schema, rng: &mut StdRng) -> Query {
         // Shipping modes and order priority; cross-column dates via deltas.
         "Q12" => {
             let modes = ["MAIL", "SHIP", "RAIL", "AIR", "TRUCK", "FOB"];
-            let m1 = modes[rng.gen_range(0..6)];
-            let mut m2 = modes[rng.gen_range(0..6)];
+            let m1 = modes[rng.gen_range(0..6usize)];
+            let mut m2 = modes[rng.gen_range(0..6usize)];
             while m2 == m1 {
-                m2 = modes[rng.gen_range(0..6)];
+                m2 = modes[rng.gen_range(0..6usize)];
             }
             let y = rng.gen_range(1993..=1997) as f64;
             let urgent = Predicate::Clause(Clause::In {
@@ -213,7 +231,11 @@ pub fn instantiate(name: &str, schema: &Schema, rng: &mut StdRng) -> Query {
                         op: CmpOp::Gt,
                         value: 0.0,
                     },
-                    Clause::Cmp { col: col("commit_ship_delta"), op: CmpOp::Gt, value: 0.0 },
+                    Clause::Cmp {
+                        col: col("commit_ship_delta"),
+                        op: CmpOp::Gt,
+                        value: 0.0,
+                    },
                     Clause::Cmp {
                         col: col("l_receiptdate"),
                         op: CmpOp::Ge,
@@ -230,7 +252,7 @@ pub fn instantiate(name: &str, schema: &Schema, rng: &mut StdRng) -> Query {
         }
         // Promotion effect: CASE → aggregate over a substring predicate.
         "Q14" => {
-            let start = rng.gen_range(1.0..6.5) * DAYS_PER_YEAR;
+            let start = rng.gen_range(1.0..6.5_f64) * DAYS_PER_YEAR;
             Query::new(
                 vec![
                     AggExpr::sum(volume()).filtered(Predicate::Clause(Clause::Contains {
@@ -241,8 +263,16 @@ pub fn instantiate(name: &str, schema: &Schema, rng: &mut StdRng) -> Query {
                     AggExpr::sum(volume()),
                 ],
                 Some(Predicate::all(vec![
-                    Clause::Cmp { col: col("l_shipdate"), op: CmpOp::Ge, value: start },
-                    Clause::Cmp { col: col("l_shipdate"), op: CmpOp::Lt, value: start + 30.0 },
+                    Clause::Cmp {
+                        col: col("l_shipdate"),
+                        op: CmpOp::Ge,
+                        value: start,
+                    },
+                    Clause::Cmp {
+                        col: col("l_shipdate"),
+                        op: CmpOp::Lt,
+                        value: start + 30.0,
+                    },
                 ])),
                 vec![],
             )
@@ -250,9 +280,9 @@ pub fn instantiate(name: &str, schema: &Schema, rng: &mut StdRng) -> Query {
         // Small-quantity-order revenue for one brand/container.
         "Q17" => {
             let brand = format!("Brand#{}{}", rng.gen_range(1..=5), rng.gen_range(1..=5));
-            let c1 = ["SM", "MED", "LG", "JUMBO", "WRAP"][rng.gen_range(0..5)];
+            let c1 = ["SM", "MED", "LG", "JUMBO", "WRAP"][rng.gen_range(0..5usize)];
             let c2 = ["BAG", "BOX", "CAN", "CASE", "DRUM", "JAR", "PACK", "PKG"]
-                [rng.gen_range(0..8)];
+                [rng.gen_range(0..8usize)];
             Query::new(
                 vec![AggExpr::sum(price()), AggExpr::count()],
                 Some(Predicate::all(vec![
@@ -273,16 +303,31 @@ pub fn instantiate(name: &str, schema: &Schema, rng: &mut StdRng) -> Query {
             let q1 = rng.gen_range(1..=10) as f64;
             let q2 = rng.gen_range(10..=20) as f64;
             let q3 = rng.gen_range(20..=30) as f64;
-            let containers: [&str; 3] = std::array::from_fn(|_| {
-                ["BAG", "BOX", "PACK", "PKG"][rng.gen_range(0..4)]
-            });
+            let containers: [&str; 3] =
+                std::array::from_fn(|_| ["BAG", "BOX", "PACK", "PKG"][rng.gen_range(0..4usize)]);
             let disjunct = |c1: &str, c2: &str, qlo: f64, sz: f64| {
                 Predicate::all(vec![
                     Clause::str_eq(col("p_container"), format!("{c1} {c2}")),
-                    Clause::Cmp { col: col("l_quantity"), op: CmpOp::Ge, value: qlo },
-                    Clause::Cmp { col: col("l_quantity"), op: CmpOp::Le, value: qlo + 10.0 },
-                    Clause::Cmp { col: col("p_size"), op: CmpOp::Ge, value: 1.0 },
-                    Clause::Cmp { col: col("p_size"), op: CmpOp::Le, value: sz },
+                    Clause::Cmp {
+                        col: col("l_quantity"),
+                        op: CmpOp::Ge,
+                        value: qlo,
+                    },
+                    Clause::Cmp {
+                        col: col("l_quantity"),
+                        op: CmpOp::Le,
+                        value: qlo + 10.0,
+                    },
+                    Clause::Cmp {
+                        col: col("p_size"),
+                        op: CmpOp::Ge,
+                        value: 1.0,
+                    },
+                    Clause::Cmp {
+                        col: col("p_size"),
+                        op: CmpOp::Le,
+                        value: sz,
+                    },
                 ])
             };
             Query::new(

@@ -74,21 +74,23 @@ impl WorkloadSpec {
             .map(|&col| match table.schema().col(col).ctype {
                 ColumnType::Numeric | ColumnType::Date => {
                     let data = table.numeric(col);
-                    let values: Vec<f64> =
-                        (0..64).map(|_| data[rng.gen_range(0..n)]).collect();
+                    let values: Vec<f64> = (0..64).map(|_| data[rng.gen_range(0..n)]).collect();
                     PredColumn::Numeric { col, values }
                 }
                 ColumnType::Categorical => {
                     let (_, dict) = table.categorical(col);
-                    let mut values: Vec<String> =
-                        dict.iter().map(|(_, v)| v.to_owned()).collect();
+                    let mut values: Vec<String> = dict.iter().map(|(_, v)| v.to_owned()).collect();
                     values.shuffle(&mut rng);
                     values.truncate(64);
                     PredColumn::Categorical { col, values }
                 }
             })
             .collect();
-        Self { aggregates, group_by_columnsets, predicate_columns }
+        Self {
+            aggregates,
+            group_by_columnsets,
+            predicate_columns,
+        }
     }
 }
 
@@ -105,7 +107,12 @@ pub struct QueryGenerator<'a> {
 impl<'a> QueryGenerator<'a> {
     /// A generator over `spec` with the paper's §5.1.2 shape parameters.
     pub fn new(spec: &'a WorkloadSpec, seed: u64) -> Self {
-        Self { spec, rng: StdRng::seed_from_u64(seed), max_clauses: 5, max_aggregates: 3 }
+        Self {
+            spec,
+            rng: StdRng::seed_from_u64(seed),
+            max_clauses: 5,
+            max_aggregates: 3,
+        }
     }
 
     /// Sample one random query.
@@ -126,9 +133,8 @@ impl<'a> QueryGenerator<'a> {
         let group_by = if self.spec.group_by_columnsets.is_empty() || rng.gen_bool(0.25) {
             Vec::new()
         } else {
-            self.spec.group_by_columnsets
-                [rng.gen_range(0..self.spec.group_by_columnsets.len())]
-            .clone()
+            self.spec.group_by_columnsets[rng.gen_range(0..self.spec.group_by_columnsets.len())]
+                .clone()
         };
 
         // Predicate: 0..=5 clauses.
@@ -136,8 +142,7 @@ impl<'a> QueryGenerator<'a> {
         let predicate = if n_clauses == 0 || self.spec.predicate_columns.is_empty() {
             None
         } else {
-            let clauses: Vec<Clause> =
-                (0..n_clauses).map(|_| self.random_clause()).collect();
+            let clauses: Vec<Clause> = (0..n_clauses).map(|_| self.random_clause()).collect();
             Some(combine_clauses(clauses, &mut self.rng))
         };
 
@@ -146,15 +151,18 @@ impl<'a> QueryGenerator<'a> {
 
     fn random_clause(&mut self) -> Clause {
         let rng = &mut self.rng;
-        let pc = &self.spec.predicate_columns
-            [rng.gen_range(0..self.spec.predicate_columns.len())];
+        let pc = &self.spec.predicate_columns[rng.gen_range(0..self.spec.predicate_columns.len())];
         match pc {
             PredColumn::Numeric { col, values } => {
                 let value = values[rng.gen_range(0..values.len())];
                 let op = *[CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq]
                     .choose(rng)
                     .expect("non-empty");
-                Clause::Cmp { col: *col, op, value }
+                Clause::Cmp {
+                    col: *col,
+                    op,
+                    value,
+                }
             }
             PredColumn::Categorical { col, values } => {
                 let k = rng.gen_range(1..=3usize.min(values.len()));
@@ -162,7 +170,11 @@ impl<'a> QueryGenerator<'a> {
                 pool.shuffle(rng);
                 pool.truncate(k);
                 let negated = rng.gen_bool(0.15);
-                Clause::In { col: *col, values: pool, negated }
+                Clause::In {
+                    col: *col,
+                    values: pool,
+                    negated,
+                }
             }
         }
     }
@@ -176,8 +188,11 @@ fn combine_clauses(mut clauses: Vec<Clause>, rng: &mut StdRng) -> Predicate {
     }
     if clauses.len() >= 3 && rng.gen_bool(0.3) {
         // First two clauses form an OR block, the rest stay conjunctive.
-        let rest: Vec<Predicate> =
-            clauses.split_off(2).into_iter().map(Predicate::Clause).collect();
+        let rest: Vec<Predicate> = clauses
+            .split_off(2)
+            .into_iter()
+            .map(Predicate::Clause)
+            .collect();
         let or_block = Predicate::Or(clauses.into_iter().map(Predicate::Clause).collect());
         let mut parts = vec![or_block];
         parts.extend(rest);
@@ -190,12 +205,7 @@ fn combine_clauses(mut clauses: Vec<Clause>, rng: &mut StdRng) -> Predicate {
 }
 
 /// Generate `n` distinct queries (by display form) from a spec.
-pub fn generate_distinct(
-    spec: &WorkloadSpec,
-    table: &Table,
-    n: usize,
-    seed: u64,
-) -> Vec<Query> {
+pub fn generate_distinct(spec: &WorkloadSpec, table: &Table, n: usize, seed: u64) -> Vec<Query> {
     let mut gen = QueryGenerator::new(spec, seed);
     let mut seen = std::collections::HashSet::new();
     let mut out = Vec::with_capacity(n);
@@ -288,8 +298,10 @@ mod tests {
     fn distinct_generation_deduplicates() {
         let (table, spec) = fixture();
         let qs = generate_distinct(&spec, &table, 30, 5);
-        let mut keys: Vec<String> =
-            qs.iter().map(|q| q.display(table.schema()).to_string()).collect();
+        let mut keys: Vec<String> = qs
+            .iter()
+            .map(|q| q.display(table.schema()).to_string())
+            .collect();
         keys.sort();
         keys.dedup();
         assert_eq!(keys.len(), 30);

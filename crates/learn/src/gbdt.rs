@@ -144,7 +144,12 @@ impl Gbdt {
             trees.push(tree);
         }
 
-        Self { trees, base, learning_rate: params.learning_rate, importance }
+        Self {
+            trees,
+            base,
+            learning_rate: params.learning_rate,
+            importance,
+        }
     }
 
     /// Predict one raw feature row.
@@ -209,8 +214,12 @@ mod tests {
     fn fits_interactions() {
         let (data, labels) = xor_like();
         // Interactions need both features in every tree.
-        let params =
-            GbdtParams { n_trees: 60, max_depth: 3, colsample: 1.0, ..Default::default() };
+        let params = GbdtParams {
+            n_trees: 60,
+            max_depth: 3,
+            colsample: 1.0,
+            ..Default::default()
+        };
         let model = Gbdt::train(&data, &labels, &params);
         let correct = data
             .iter()
@@ -224,8 +233,7 @@ mod tests {
     fn importance_concentrates_on_signal_features() {
         // Feature 1 carries the signal; features 0 and 2 are noise-free
         // constants.
-        let data: Vec<Vec<f64>> =
-            (0..300).map(|i| vec![1.0, f64::from(i), 2.0]).collect();
+        let data: Vec<Vec<f64>> = (0..300).map(|i| vec![1.0, f64::from(i), 2.0]).collect();
         let labels: Vec<f64> = (0..300).map(|i| if i > 150 { 1.0 } else { 0.0 }).collect();
         let model = Gbdt::train(&data, &labels, &GbdtParams::default());
         let imp = model.feature_importance();
@@ -246,8 +254,12 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let (data, labels) = xor_like();
-        let params =
-            GbdtParams { subsample: 0.7, colsample: 1.0, seed: 9, ..Default::default() };
+        let params = GbdtParams {
+            subsample: 0.7,
+            colsample: 1.0,
+            seed: 9,
+            ..Default::default()
+        };
         let a = Gbdt::train(&data, &labels, &params);
         let b = Gbdt::train(&data, &labels, &params);
         for r in data.iter().take(20) {
@@ -258,7 +270,10 @@ mod tests {
     #[test]
     fn generalizes_to_unseen_points() {
         let data: Vec<Vec<f64>> = (0..100).map(|i| vec![f64::from(i * 2)]).collect();
-        let labels: Vec<f64> = data.iter().map(|r| if r[0] > 100.0 { 1.0 } else { -1.0 }).collect();
+        let labels: Vec<f64> = data
+            .iter()
+            .map(|r| if r[0] > 100.0 { 1.0 } else { -1.0 })
+            .collect();
         let model = Gbdt::train(&data, &labels, &GbdtParams::default());
         // Odd values never seen in training.
         assert!(model.predict_row(&[31.0]) < 0.0);

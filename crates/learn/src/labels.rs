@@ -14,9 +14,17 @@
 pub fn make_labels(contributions: &[f64], threshold: f64) -> Vec<f64> {
     let n = contributions.len();
     let positive = contributions.iter().filter(|&&c| c > threshold).count();
-    let pos_mag = if positive > 0 { (1.0 / positive as f64).sqrt() } else { 0.0 };
+    let pos_mag = if positive > 0 {
+        (1.0 / positive as f64).sqrt()
+    } else {
+        0.0
+    };
     let neg = n - positive;
-    let neg_mag = if neg > 0 { (1.0 / neg as f64).sqrt() } else { 0.0 };
+    let neg_mag = if neg > 0 {
+        (1.0 / neg as f64).sqrt()
+    } else {
+        0.0
+    };
     contributions
         .iter()
         .map(|&c| if c > threshold { pos_mag } else { -neg_mag })

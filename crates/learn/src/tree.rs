@@ -80,8 +80,17 @@ impl Tree {
         loop {
             match &self.nodes[idx] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
-                    idx = if row[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -112,7 +121,9 @@ fn build_node(
 
     let leaf = |nodes: &mut Vec<Node>| {
         let idx = nodes.len();
-        nodes.push(Node::Leaf { value: -g / (h + params.lambda) });
+        nodes.push(Node::Leaf {
+            value: -g / (h + params.lambda),
+        });
         idx
     };
 
@@ -150,8 +161,7 @@ fn build_node(
                 continue;
             }
             let gain = 0.5
-                * (gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda)
-                    - parent_score)
+                * (gl * gl / (hl + params.lambda) + gr * gr / (hr + params.lambda) - parent_score)
                 - params.gamma;
             if gain > best.map_or(0.0, |(g, _, _)| g) {
                 best = Some((gain, f, b as u8));
@@ -174,12 +184,35 @@ fn build_node(
     let idx = nodes.len();
     nodes.push(Node::Leaf { value: 0.0 }); // placeholder; patched below
     let left = build_node(
-        binned, binner, grad, hess, &left_rows, features, params, depth + 1, nodes, splits,
+        binned,
+        binner,
+        grad,
+        hess,
+        &left_rows,
+        features,
+        params,
+        depth + 1,
+        nodes,
+        splits,
     );
     let right = build_node(
-        binned, binner, grad, hess, &right_rows, features, params, depth + 1, nodes, splits,
+        binned,
+        binner,
+        grad,
+        hess,
+        &right_rows,
+        features,
+        params,
+        depth + 1,
+        nodes,
+        splits,
     );
-    nodes[idx] = Node::Split { feature, threshold: binner.threshold(feature, bin), left, right };
+    nodes[idx] = Node::Split {
+        feature,
+        threshold: binner.threshold(feature, bin),
+        left,
+        right,
+    };
     idx
 }
 
@@ -188,7 +221,12 @@ mod tests {
     use super::*;
 
     fn default_params() -> TreeParams {
-        TreeParams { max_depth: 4, lambda: 1.0, gamma: 0.0, min_child_weight: 1.0 }
+        TreeParams {
+            max_depth: 4,
+            lambda: 1.0,
+            gamma: 0.0,
+            min_child_weight: 1.0,
+        }
     }
 
     /// Squared loss at prediction 0: grad = −y, hess = 1.
@@ -205,7 +243,16 @@ mod tests {
         let (g, h) = grad_hess(&ys);
         let rows: Vec<u32> = (0..100).collect();
         let mut splits = Vec::new();
-        let tree = Tree::grow(&binned, &binner, &g, &h, &rows, &[0], &default_params(), &mut splits);
+        let tree = Tree::grow(
+            &binned,
+            &binner,
+            &g,
+            &h,
+            &rows,
+            &[0],
+            &default_params(),
+            &mut splits,
+        );
         assert!(!splits.is_empty());
         assert!(tree.predict_row(&[10.0]) < 1.0);
         assert!(tree.predict_row(&[90.0]) > 9.0);
@@ -220,7 +267,16 @@ mod tests {
         let (g, h) = grad_hess(&ys);
         let rows: Vec<u32> = (0..50).collect();
         let mut splits = Vec::new();
-        let tree = Tree::grow(&binned, &binner, &g, &h, &rows, &[0], &default_params(), &mut splits);
+        let tree = Tree::grow(
+            &binned,
+            &binner,
+            &g,
+            &h,
+            &rows,
+            &[0],
+            &default_params(),
+            &mut splits,
+        );
         assert!(splits.is_empty());
         assert_eq!(tree.num_nodes(), 1);
         // Leaf value shrinks toward 0 by λ: 50·3/(50+1).
@@ -238,8 +294,16 @@ mod tests {
         let (g, h) = grad_hess(&ys);
         let rows: Vec<u32> = (0..80).collect();
         let mut splits = Vec::new();
-        let tree =
-            Tree::grow(&binned, &binner, &g, &h, &rows, &[0, 1], &default_params(), &mut splits);
+        let tree = Tree::grow(
+            &binned,
+            &binner,
+            &g,
+            &h,
+            &rows,
+            &[0, 1],
+            &default_params(),
+            &mut splits,
+        );
         assert!(splits.iter().all(|s| s.feature == 0));
         assert!(tree.predict_row(&[1.0, 7.0]) > tree.predict_row(&[0.0, 7.0]));
     }
@@ -253,7 +317,10 @@ mod tests {
         let (g, h) = grad_hess(&ys);
         let rows: Vec<u32> = (0..64).collect();
         let mut splits = Vec::new();
-        let params = TreeParams { max_depth: 1, ..default_params() };
+        let params = TreeParams {
+            max_depth: 1,
+            ..default_params()
+        };
         let tree = Tree::grow(&binned, &binner, &g, &h, &rows, &[0], &params, &mut splits);
         // Depth 1 = one split, two leaves.
         assert_eq!(tree.num_nodes(), 3);
@@ -270,7 +337,10 @@ mod tests {
         let (g, h) = grad_hess(&ys);
         let rows: Vec<u32> = (0..40).collect();
         let mut splits = Vec::new();
-        let params = TreeParams { gamma: 10.0, ..default_params() };
+        let params = TreeParams {
+            gamma: 10.0,
+            ..default_params()
+        };
         let tree = Tree::grow(&binned, &binner, &g, &h, &rows, &[0], &params, &mut splits);
         assert_eq!(tree.num_nodes(), 1, "gamma should veto the split");
     }

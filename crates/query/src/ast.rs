@@ -99,17 +99,29 @@ pub struct AggExpr {
 impl AggExpr {
     /// `SUM(expr)`.
     pub fn sum(expr: ScalarExpr) -> Self {
-        Self { func: AggFunc::Sum, expr, condition: None }
+        Self {
+            func: AggFunc::Sum,
+            expr,
+            condition: None,
+        }
     }
 
     /// `COUNT(*)`.
     pub fn count() -> Self {
-        Self { func: AggFunc::Count, expr: ScalarExpr::Literal(1.0), condition: None }
+        Self {
+            func: AggFunc::Count,
+            expr: ScalarExpr::Literal(1.0),
+            condition: None,
+        }
     }
 
     /// `AVG(expr)`.
     pub fn avg(expr: ScalarExpr) -> Self {
-        Self { func: AggFunc::Avg, expr, condition: None }
+        Self {
+            func: AggFunc::Avg,
+            expr,
+            condition: None,
+        }
     }
 
     /// Attach a `CASE WHEN` condition.
@@ -157,39 +169,63 @@ pub enum Clause {
     Cmp { col: ColId, op: CmpOp, value: f64 },
     /// Categorical membership: `col IN (values)`; `negated` for `NOT IN` /
     /// `<>`. Values are dictionary strings.
-    In { col: ColId, values: Vec<String>, negated: bool },
+    In {
+        col: ColId,
+        values: Vec<String>,
+        negated: bool,
+    },
     /// Regex-style substring filter on a categorical column
     /// (`col LIKE '%needle%'`).
-    Contains { col: ColId, needle: String, negated: bool },
+    Contains {
+        col: ColId,
+        needle: String,
+        negated: bool,
+    },
 }
 
 impl Clause {
     /// Single-value equality on a categorical column.
     pub fn str_eq(col: ColId, value: impl Into<String>) -> Self {
-        Clause::In { col, values: vec![value.into()], negated: false }
+        Clause::In {
+            col,
+            values: vec![value.into()],
+            negated: false,
+        }
     }
 
     /// The clause's column.
     pub fn column(&self) -> ColId {
         match self {
-            Clause::Cmp { col, .. } | Clause::In { col, .. } | Clause::Contains { col, .. } => {
-                *col
-            }
+            Clause::Cmp { col, .. } | Clause::In { col, .. } | Clause::Contains { col, .. } => *col,
         }
     }
 
     /// The clause accepting exactly the complementary rows.
     pub fn negate(&self) -> Clause {
         match self {
-            Clause::Cmp { col, op, value } => {
-                Clause::Cmp { col: *col, op: op.negate(), value: *value }
-            }
-            Clause::In { col, values, negated } => {
-                Clause::In { col: *col, values: values.clone(), negated: !negated }
-            }
-            Clause::Contains { col, needle, negated } => {
-                Clause::Contains { col: *col, needle: needle.clone(), negated: !negated }
-            }
+            Clause::Cmp { col, op, value } => Clause::Cmp {
+                col: *col,
+                op: op.negate(),
+                value: *value,
+            },
+            Clause::In {
+                col,
+                values,
+                negated,
+            } => Clause::In {
+                col: *col,
+                values: values.clone(),
+                negated: !negated,
+            },
+            Clause::Contains {
+                col,
+                needle,
+                negated,
+            } => Clause::Contains {
+                col: *col,
+                needle: needle.clone(),
+                negated: !negated,
+            },
         }
     }
 }
@@ -227,9 +263,7 @@ impl Predicate {
     pub fn to_nnf(&self) -> Predicate {
         fn walk(p: &Predicate, neg: bool) -> Predicate {
             match p {
-                Predicate::Clause(c) => {
-                    Predicate::Clause(if neg { c.negate() } else { c.clone() })
-                }
+                Predicate::Clause(c) => Predicate::Clause(if neg { c.negate() } else { c.clone() }),
                 Predicate::Not(inner) => walk(inner, !neg),
                 Predicate::And(ps) => {
                     let parts = ps.iter().map(|q| walk(q, neg)).collect();
@@ -289,9 +323,17 @@ pub struct Query {
 
 impl Query {
     /// Build a query; must have at least one aggregate.
-    pub fn new(aggregates: Vec<AggExpr>, predicate: Option<Predicate>, group_by: Vec<ColId>) -> Self {
+    pub fn new(
+        aggregates: Vec<AggExpr>,
+        predicate: Option<Predicate>,
+        group_by: Vec<ColId>,
+    ) -> Self {
         assert!(!aggregates.is_empty(), "query needs at least one aggregate");
-        Self { aggregates, predicate, group_by }
+        Self {
+            aggregates,
+            predicate,
+            group_by,
+        }
     }
 
     /// Deduplicated set of all columns the query touches (aggregates,
@@ -317,7 +359,10 @@ impl Query {
 
     /// Render as SQL-ish text for logs and reports.
     pub fn display<'a>(&'a self, schema: &'a Schema) -> QueryDisplay<'a> {
-        QueryDisplay { query: self, schema }
+        QueryDisplay {
+            query: self,
+            schema,
+        }
     }
 }
 
@@ -357,13 +402,21 @@ impl fmt::Display for QueryDisplay<'_> {
                     };
                     format!("{} {} {}", s.col(*col).name, sym, value)
                 }
-                Predicate::Clause(Clause::In { col, values, negated }) => format!(
+                Predicate::Clause(Clause::In {
+                    col,
+                    values,
+                    negated,
+                }) => format!(
                     "{} {}IN ({})",
                     s.col(*col).name,
                     if *negated { "NOT " } else { "" },
                     values.join(", ")
                 ),
-                Predicate::Clause(Clause::Contains { col, needle, negated }) => format!(
+                Predicate::Clause(Clause::Contains {
+                    col,
+                    needle,
+                    negated,
+                }) => format!(
                     "{} {}LIKE '%{}%'",
                     s.col(*col).name,
                     if *negated { "NOT " } else { "" },
@@ -437,7 +490,11 @@ mod tests {
                 AggExpr::count(),
             ],
             Some(Predicate::all(vec![
-                Clause::Cmp { col: ColId(0), op: CmpOp::Gt, value: 1.0 },
+                Clause::Cmp {
+                    col: ColId(0),
+                    op: CmpOp::Gt,
+                    value: 1.0,
+                },
                 Clause::str_eq(ColId(2), "a"),
             ])),
             vec![ColId(2)],
@@ -454,7 +511,11 @@ mod tests {
     #[test]
     fn nnf_pushes_negation_to_leaves() {
         let p = Predicate::Not(Box::new(Predicate::And(vec![
-            Predicate::Clause(Clause::Cmp { col: ColId(0), op: CmpOp::Lt, value: 5.0 }),
+            Predicate::Clause(Clause::Cmp {
+                col: ColId(0),
+                op: CmpOp::Lt,
+                value: 5.0,
+            }),
             Predicate::Not(Box::new(Predicate::Clause(Clause::str_eq(ColId(2), "a")))),
         ])));
         let nnf = p.to_nnf();
@@ -478,8 +539,16 @@ mod tests {
     fn clause_counting() {
         let p = Predicate::And(vec![
             Predicate::Or(vec![
-                Predicate::Clause(Clause::Cmp { col: ColId(0), op: CmpOp::Gt, value: 0.0 }),
-                Predicate::Clause(Clause::Cmp { col: ColId(1), op: CmpOp::Lt, value: 2.0 }),
+                Predicate::Clause(Clause::Cmp {
+                    col: ColId(0),
+                    op: CmpOp::Gt,
+                    value: 0.0,
+                }),
+                Predicate::Clause(Clause::Cmp {
+                    col: ColId(1),
+                    op: CmpOp::Lt,
+                    value: 2.0,
+                }),
             ]),
             Predicate::Not(Box::new(Predicate::Clause(Clause::str_eq(ColId(2), "b")))),
         ]);
@@ -490,10 +559,20 @@ mod tests {
     fn display_roundtrip_smoke() {
         let s = schema();
         let q = Query::new(
-            vec![AggExpr::sum(ScalarExpr::col(ColId(0)).mul(ScalarExpr::col(ColId(1))))],
+            vec![AggExpr::sum(
+                ScalarExpr::col(ColId(0)).mul(ScalarExpr::col(ColId(1))),
+            )],
             Some(Predicate::any(vec![
-                Clause::Cmp { col: ColId(1), op: CmpOp::Le, value: 3.5 },
-                Clause::In { col: ColId(2), values: vec!["a".into(), "b".into()], negated: true },
+                Clause::Cmp {
+                    col: ColId(1),
+                    op: CmpOp::Le,
+                    value: 3.5,
+                },
+                Clause::In {
+                    col: ColId(2),
+                    values: vec!["a".into(), "b".into()],
+                    negated: true,
+                },
             ])),
             vec![ColId(2)],
         );
@@ -505,7 +584,14 @@ mod tests {
 
     #[test]
     fn negate_op_is_involution() {
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             assert_eq!(op.negate().negate(), op);
         }
     }

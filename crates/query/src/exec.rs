@@ -65,7 +65,10 @@ impl PartialAnswer {
 
     /// An empty answer shaped for `query`.
     pub fn empty(query: &Query) -> Self {
-        Self { groups: HashMap::new(), slots: Self::slot_count(query) }
+        Self {
+            groups: HashMap::new(),
+            slots: Self::slot_count(query),
+        }
     }
 
     /// Add `weight ×` another partial answer into this one.
@@ -296,7 +299,10 @@ mod tests {
 
     fn sum_by_group() -> Query {
         Query::new(
-            vec![AggExpr::sum(ScalarExpr::col(ps3_storage::ColId(0))), AggExpr::count()],
+            vec![
+                AggExpr::sum(ScalarExpr::col(ps3_storage::ColId(0))),
+                AggExpr::count(),
+            ],
             None,
             vec![ps3_storage::ColId(1)],
         )
@@ -324,7 +330,10 @@ mod tests {
         let sel: Vec<WeightedPart> = t
             .partitioning()
             .ids()
-            .map(|p| WeightedPart { partition: p, weight: 1.0 })
+            .map(|p| WeightedPart {
+                partition: p,
+                weight: 1.0,
+            })
             .collect();
         assert_eq!(execute_partitions(&t, &q, &sel), execute_table(&t, &q));
     }
@@ -334,7 +343,10 @@ mod tests {
         let t = pt();
         let q = sum_by_group();
         // Partition 0 (rows 0,1 — both group a) at weight 4: sum = 4*(1+2).
-        let sel = [WeightedPart { partition: PartitionId(0), weight: 4.0 }];
+        let sel = [WeightedPart {
+            partition: PartitionId(0),
+            weight: 4.0,
+        }];
         let ans = execute_partitions(&t, &q, &sel);
         let (_, dict) = t.table().categorical(ps3_storage::ColId(1));
         let a = GroupKey(Box::new([u64::from(dict.code("a").unwrap())]));
@@ -355,8 +367,14 @@ mod tests {
         // give (1.5 + 5.5)/2 = 3.5 here, but with different weights it
         // diverges; check the slot math directly.
         let sel = [
-            WeightedPart { partition: PartitionId(0), weight: 3.0 },
-            WeightedPart { partition: PartitionId(2), weight: 1.0 },
+            WeightedPart {
+                partition: PartitionId(0),
+                weight: 3.0,
+            },
+            WeightedPart {
+                partition: PartitionId(2),
+                weight: 1.0,
+            },
         ];
         let ans = execute_partitions(&t, &q, &sel);
         let expect = (3.0 * 3.0 + 11.0) / (3.0 * 2.0 + 2.0);
@@ -401,8 +419,11 @@ mod tests {
         let t = pt();
         // SUM(x) FILTER (g = 'a') without a WHERE: 1+2+5+7 = 15.
         let q = Query::new(
-            vec![AggExpr::sum(ScalarExpr::col(ps3_storage::ColId(0)))
-                .filtered(Predicate::Clause(Clause::str_eq(ps3_storage::ColId(1), "a")))],
+            vec![
+                AggExpr::sum(ScalarExpr::col(ps3_storage::ColId(0))).filtered(Predicate::Clause(
+                    Clause::str_eq(ps3_storage::ColId(1), "a"),
+                )),
+            ],
             None,
             vec![],
         );

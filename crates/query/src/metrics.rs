@@ -204,8 +204,16 @@ mod tests {
 
     #[test]
     fn mean_over_queries() {
-        let a = ErrorMetrics { missed_groups: 0.2, avg_rel_err: 0.4, abs_over_true: 0.6 };
-        let b = ErrorMetrics { missed_groups: 0.0, avg_rel_err: 0.2, abs_over_true: 0.0 };
+        let a = ErrorMetrics {
+            missed_groups: 0.2,
+            avg_rel_err: 0.4,
+            abs_over_true: 0.6,
+        };
+        let b = ErrorMetrics {
+            missed_groups: 0.0,
+            avg_rel_err: 0.2,
+            abs_over_true: 0.0,
+        };
         let m = ErrorMetrics::mean(&[a, b]);
         assert!((m.missed_groups - 0.1).abs() < 1e-12);
         assert!((m.avg_rel_err - 0.3).abs() < 1e-12);

@@ -59,7 +59,11 @@ pub fn eval_clause(table: &Table, rows: Range<usize>, clause: &Clause) -> Vec<bo
                 CmpOp::Ge => data.iter().map(|&x| x >= v).collect(),
             }
         }
-        Clause::In { col, values, negated } => {
+        Clause::In {
+            col,
+            values,
+            negated,
+        } => {
             let (codes, dict) = table.categorical(*col);
             let codes = &codes[rows];
             // Values absent from the dictionary match no rows.
@@ -69,7 +73,11 @@ pub fn eval_clause(table: &Table, rows: Range<usize>, clause: &Clause) -> Vec<bo
                 .map(|c| targets.contains(c) != *negated)
                 .collect()
         }
-        Clause::Contains { col, needle, negated } => {
+        Clause::Contains {
+            col,
+            needle,
+            negated,
+        } => {
             let (codes, dict) = table.categorical(*col);
             let codes = &codes[rows];
             let targets = dict.codes_containing(needle);
@@ -142,7 +150,15 @@ mod tests {
     fn comparison_ops() {
         let t = table();
         let c = |op, v| {
-            eval_clause(&t, 0..4, &Clause::Cmp { col: ColId(0), op, value: v })
+            eval_clause(
+                &t,
+                0..4,
+                &Clause::Cmp {
+                    col: ColId(0),
+                    op,
+                    value: v,
+                },
+            )
         };
         assert_eq!(c(CmpOp::Gt, 2.0), vec![false, false, true, true]);
         assert_eq!(c(CmpOp::Le, 2.0), vec![true, true, false, false]);
@@ -156,19 +172,31 @@ mod tests {
         let v = eval_clause(
             &t,
             0..4,
-            &Clause::In { col: ColId(2), values: vec!["red".into(), "blue".into()], negated: false },
+            &Clause::In {
+                col: ColId(2),
+                values: vec!["red".into(), "blue".into()],
+                negated: false,
+            },
         );
         assert_eq!(v, vec![true, false, false, true]);
         let v = eval_clause(
             &t,
             0..4,
-            &Clause::Contains { col: ColId(2), needle: "red".into(), negated: false },
+            &Clause::Contains {
+                col: ColId(2),
+                needle: "red".into(),
+                negated: false,
+            },
         );
         assert_eq!(v, vec![true, false, true, false]);
         let v = eval_clause(
             &t,
             0..4,
-            &Clause::In { col: ColId(2), values: vec!["missing".into()], negated: false },
+            &Clause::In {
+                col: ColId(2),
+                values: vec!["missing".into()],
+                negated: false,
+            },
         );
         assert_eq!(v, vec![false; 4]);
     }
@@ -177,12 +205,23 @@ mod tests {
     fn boolean_combinators() {
         let t = table();
         let p = Predicate::And(vec![
-            Predicate::Clause(Clause::Cmp { col: ColId(0), op: CmpOp::Ge, value: 2.0 }),
-            Predicate::Not(Box::new(Predicate::Clause(Clause::str_eq(ColId(2), "blue")))),
+            Predicate::Clause(Clause::Cmp {
+                col: ColId(0),
+                op: CmpOp::Ge,
+                value: 2.0,
+            }),
+            Predicate::Not(Box::new(Predicate::Clause(Clause::str_eq(
+                ColId(2),
+                "blue",
+            )))),
         ]);
         assert_eq!(eval_predicate(&t, 0..4, &p), vec![false, true, true, false]);
         let q = Predicate::Or(vec![
-            Predicate::Clause(Clause::Cmp { col: ColId(0), op: CmpOp::Lt, value: 2.0 }),
+            Predicate::Clause(Clause::Cmp {
+                col: ColId(0),
+                op: CmpOp::Lt,
+                value: 2.0,
+            }),
             Predicate::Clause(Clause::str_eq(ColId(2), "blue")),
         ]);
         assert_eq!(eval_predicate(&t, 0..4, &q), vec![true, false, false, true]);
@@ -192,10 +231,20 @@ mod tests {
     fn nnf_preserves_semantics() {
         let t = table();
         let p = Predicate::Not(Box::new(Predicate::Or(vec![
-            Predicate::Clause(Clause::Cmp { col: ColId(0), op: CmpOp::Lt, value: 3.0 }),
-            Predicate::Not(Box::new(Predicate::Clause(Clause::str_eq(ColId(2), "blue")))),
+            Predicate::Clause(Clause::Cmp {
+                col: ColId(0),
+                op: CmpOp::Lt,
+                value: 3.0,
+            }),
+            Predicate::Not(Box::new(Predicate::Clause(Clause::str_eq(
+                ColId(2),
+                "blue",
+            )))),
         ])));
-        assert_eq!(eval_predicate(&t, 0..4, &p), eval_predicate(&t, 0..4, &p.to_nnf()));
+        assert_eq!(
+            eval_predicate(&t, 0..4, &p),
+            eval_predicate(&t, 0..4, &p.to_nnf())
+        );
     }
 
     #[test]
@@ -203,9 +252,18 @@ mod tests {
         let t = table();
         let x = ScalarExpr::col(ColId(0));
         let y = ScalarExpr::col(ColId(1));
-        assert_eq!(eval_scalar(&t, 0..4, &x.clone().add(y.clone())), vec![11.0, 2.0, 33.0, 44.0]);
-        assert_eq!(eval_scalar(&t, 0..4, &y.clone().sub(x.clone())), vec![9.0, -2.0, 27.0, 36.0]);
-        assert_eq!(eval_scalar(&t, 1..3, &x.clone().mul(y.clone())), vec![0.0, 90.0]);
+        assert_eq!(
+            eval_scalar(&t, 0..4, &x.clone().add(y.clone())),
+            vec![11.0, 2.0, 33.0, 44.0]
+        );
+        assert_eq!(
+            eval_scalar(&t, 0..4, &y.clone().sub(x.clone())),
+            vec![9.0, -2.0, 27.0, 36.0]
+        );
+        assert_eq!(
+            eval_scalar(&t, 1..3, &x.clone().mul(y.clone())),
+            vec![0.0, 90.0]
+        );
         // y=0 row: division guarded to 0.
         assert_eq!(eval_scalar(&t, 0..4, &x.div(y)), vec![0.1, 0.0, 0.1, 0.1]);
     }
@@ -213,7 +271,15 @@ mod tests {
     #[test]
     fn subrange_evaluation() {
         let t = table();
-        let v = eval_clause(&t, 2..4, &Clause::Cmp { col: ColId(0), op: CmpOp::Gt, value: 3.0 });
+        let v = eval_clause(
+            &t,
+            2..4,
+            &Clause::Cmp {
+                col: ColId(0),
+                op: CmpOp::Gt,
+                value: 3.0,
+            },
+        );
         assert_eq!(v, vec![false, true]);
     }
 }

@@ -29,7 +29,11 @@ impl Akmv {
     /// An empty sketch with capacity `k`.
     pub fn new(k: usize) -> Self {
         assert!(k >= 2, "AKMV needs k >= 2");
-        Self { k, entries: BTreeMap::new(), rows: 0 }
+        Self {
+            k,
+            entries: BTreeMap::new(),
+            rows: 0,
+        }
     }
 
     /// Build from pre-hashed values.
@@ -105,7 +109,12 @@ impl Akmv {
             min = min.min(c);
         }
         let avg = sum as f64 / self.entries.len() as f64;
-        Some(FreqStats { avg, max: max as f64, min: min as f64, sum: sum as f64 })
+        Some(FreqStats {
+            avg,
+            max: max as f64,
+            min: min as f64,
+            sum: sum as f64,
+        })
     }
 
     /// Merge a sketch over disjoint rows: union the entry sets, sum counts of
@@ -139,7 +148,11 @@ impl Akmv {
     pub fn from_raw_parts(k: usize, rows: u64, entries: Vec<(u64, u64)>) -> Self {
         assert!(k >= 2 && entries.len() <= k, "entry count exceeds k");
         let map: BTreeMap<u64, u64> = entries.into_iter().collect();
-        Self { k, entries: map, rows }
+        Self {
+            k,
+            entries: map,
+            rows,
+        }
     }
 }
 

@@ -39,7 +39,10 @@ impl std::fmt::Display for DecodeError {
         match self {
             DecodeError::Truncated => write!(f, "input truncated"),
             DecodeError::WrongTag { expected, found } => {
-                write!(f, "wrong sketch tag: expected {expected:#x}, found {found:#x}")
+                write!(
+                    f,
+                    "wrong sketch tag: expected {expected:#x}, found {found:#x}"
+                )
             }
             DecodeError::Corrupt(what) => write!(f, "corrupt sketch encoding: {what}"),
         }
@@ -95,12 +98,16 @@ impl<'a> Reader<'a> {
 
     /// Read a little-endian u32.
     pub fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// Read a little-endian u64.
     pub fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Read a little-endian f64.
@@ -194,7 +201,14 @@ impl Measures {
         if count > 0 && min > max {
             return Err(DecodeError::Corrupt("measures: min > max"));
         }
-        Ok(DecodedMeasures { count, mean, second_moment, min, max, log_stats })
+        Ok(DecodedMeasures {
+            count,
+            mean,
+            second_moment,
+            min,
+            max,
+            log_stats,
+        })
     }
 }
 
@@ -250,7 +264,9 @@ impl EquiDepthHistogram {
             depths.push(d);
         }
         if sum != total {
-            return Err(DecodeError::Corrupt("histogram: depths disagree with total"));
+            return Err(DecodeError::Corrupt(
+                "histogram: depths disagree with total",
+            ));
         }
         Ok(EquiDepthHistogram::from_raw_parts(bounds, depths, total))
     }
@@ -311,7 +327,10 @@ pub fn encode_heavy_hitters(hh: &[HeavyHitter], rows: u64, w: &mut Writer) {
 pub fn decode_heavy_hitters(r: &mut Reader<'_>) -> Result<(Vec<HeavyHitter>, u64), DecodeError> {
     let found = r.u8()?;
     if found != tags::HEAVY_HITTERS {
-        return Err(DecodeError::WrongTag { expected: tags::HEAVY_HITTERS, found });
+        return Err(DecodeError::WrongTag {
+            expected: tags::HEAVY_HITTERS,
+            found,
+        });
     }
     let rows = r.u64()?;
     let n = r.u32()? as usize;
@@ -323,7 +342,9 @@ pub fn decode_heavy_hitters(r: &mut Reader<'_>) -> Result<(Vec<HeavyHitter>, u64
         let key = r.u64()?;
         let frequency = r.f64()?;
         if !(0.0..=1.0).contains(&frequency) {
-            return Err(DecodeError::Corrupt("heavy hitters: frequency out of range"));
+            return Err(DecodeError::Corrupt(
+                "heavy hitters: frequency out of range",
+            ));
         }
         out.push(HeavyHitter { key, frequency });
     }
@@ -358,7 +379,9 @@ impl ExactDict {
             entries.push((k, c));
         }
         if total != rows {
-            return Err(DecodeError::Corrupt("exact dict: counts disagree with rows"));
+            return Err(DecodeError::Corrupt(
+                "exact dict: counts disagree with rows",
+            ));
         }
         Ok(ExactDict::from_raw_parts(entries, rows))
     }

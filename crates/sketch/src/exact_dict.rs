@@ -49,12 +49,17 @@ impl ExactDict {
         if self.rows == 0 {
             return 0.0;
         }
-        self.counts.get(&key).map_or(0.0, |&c| c as f64 / self.rows as f64)
+        self.counts
+            .get(&key)
+            .map_or(0.0, |&c| c as f64 / self.rows as f64)
     }
 
     /// Exact selectivity of `key IN keys` (keys assumed distinct).
     pub fn in_selectivity(&self, keys: &[u64]) -> f64 {
-        keys.iter().map(|&k| self.frequency(k)).sum::<f64>().clamp(0.0, 1.0)
+        keys.iter()
+            .map(|&k| self.frequency(k))
+            .sum::<f64>()
+            .clamp(0.0, 1.0)
     }
 
     /// Iterate over `(key, count)`.
@@ -69,7 +74,10 @@ impl ExactDict {
 
     /// Rebuild from raw `(key, count)` parts (codec use).
     pub fn from_raw_parts(entries: Vec<(u64, u64)>, rows: u64) -> Self {
-        Self { counts: entries.into_iter().collect(), rows }
+        Self {
+            counts: entries.into_iter().collect(),
+            rows,
+        }
     }
 }
 

@@ -114,7 +114,10 @@ impl HeavyHitters {
             .counters
             .iter()
             .filter(|(_, &(c, _))| c as f64 >= threshold)
-            .map(|(&key, &(c, _))| HeavyHitter { key, frequency: c as f64 / n })
+            .map(|(&key, &(c, _))| HeavyHitter {
+                key,
+                frequency: c as f64 / n,
+            })
             .collect();
         out.sort_by(|a, b| b.frequency.total_cmp(&a.frequency).then(a.key.cmp(&b.key)));
         out.truncate(MAX_ITEMS);
@@ -123,7 +126,10 @@ impl HeavyHitters {
 
     /// Estimated frequency of `key` if it is a reported heavy hitter.
     pub fn frequency_of(&self, key: u64) -> Option<f64> {
-        self.heavy_hitters().iter().find(|h| h.key == key).map(|h| h.frequency)
+        self.heavy_hitters()
+            .iter()
+            .find(|h| h.key == key)
+            .map(|h| h.frequency)
     }
 
     /// Exact serialized footprint of the *reported* dictionary (what a system
@@ -153,7 +159,11 @@ mod tests {
         let s = HeavyHitters::from_keys(keys);
         let hh = s.heavy_hitters();
         assert_eq!(hh[0].key, 7);
-        assert!((hh[0].frequency - 0.5).abs() < 0.01, "freq {}", hh[0].frequency);
+        assert!(
+            (hh[0].frequency - 0.5).abs() < 0.01,
+            "freq {}",
+            hh[0].frequency
+        );
     }
 
     #[test]
@@ -178,7 +188,11 @@ mod tests {
         for k in 0..1_000_000u64 {
             s.update(k);
         }
-        assert!(s.counters.len() < 20_000, "kept {} counters", s.counters.len());
+        assert!(
+            s.counters.len() < 20_000,
+            "kept {} counters",
+            s.counters.len()
+        );
         assert!(s.heavy_hitters().is_empty());
     }
 

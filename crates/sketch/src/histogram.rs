@@ -37,7 +37,11 @@ impl EquiDepthHistogram {
         assert!(buckets > 0, "need at least one bucket");
         let n = sorted.len();
         if n == 0 {
-            return Self { bounds: vec![0.0, 0.0], depths: vec![0], total: 0 };
+            return Self {
+                bounds: vec![0.0, 0.0],
+                depths: vec![0],
+                total: 0,
+            };
         }
         let buckets = buckets.min(n);
         let mut bounds = Vec::with_capacity(buckets + 1);
@@ -52,7 +56,11 @@ impl EquiDepthHistogram {
             bounds.push(sorted[cursor - 1]);
             depths.push(take as u64);
         }
-        Self { bounds, depths, total: n as u64 }
+        Self {
+            bounds,
+            depths,
+            total: n as u64,
+        }
     }
 
     /// Number of buckets.
@@ -186,9 +194,21 @@ impl EquiDepthHistogram {
     /// # Panics
     /// Panics if the shapes are inconsistent.
     pub fn from_raw_parts(bounds: Vec<f64>, depths: Vec<u64>, total: u64) -> Self {
-        assert_eq!(bounds.len(), depths.len() + 1, "bounds/depths shape mismatch");
-        assert_eq!(depths.iter().sum::<u64>(), total, "depths must sum to total");
-        Self { bounds, depths, total }
+        assert_eq!(
+            bounds.len(),
+            depths.len() + 1,
+            "bounds/depths shape mismatch"
+        );
+        assert_eq!(
+            depths.iter().sum::<u64>(),
+            total,
+            "depths must sum to total"
+        );
+        Self {
+            bounds,
+            depths,
+            total,
+        }
     }
 }
 

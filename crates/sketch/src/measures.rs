@@ -162,7 +162,12 @@ impl Measures {
             return None;
         }
         let n = self.count as f64;
-        Some((self.log_sum / n, self.log_sum_sq / n, self.log_min, self.log_max))
+        Some((
+            self.log_sum / n,
+            self.log_sum_sq / n,
+            self.log_min,
+            self.log_max,
+        ))
     }
 
     /// Exact serialized footprint in bytes: 8 scalars × 8 bytes + count + flag.

@@ -3,7 +3,7 @@
 //! feature blocks.
 //!
 //! Sketch construction is embarrassingly parallel across partitions (§3.1);
-//! we fan out over `crossbeam` scoped threads.
+//! we fan out over `std::thread` scoped threads.
 
 use std::collections::HashMap;
 
@@ -25,7 +25,11 @@ pub struct StatsConfig {
 
 impl Default for StatsConfig {
     fn default() -> Self {
-        Self { column_params: ColumnStatsParams::default(), bitmap_k: BITMAP_BITS, threads: 0 }
+        Self {
+            column_params: ColumnStatsParams::default(),
+            bitmap_k: BITMAP_BITS,
+            threads: 0,
+        }
     }
 }
 
@@ -49,7 +53,10 @@ pub struct TableStats {
 impl TableStats {
     /// Build statistics for every partition of `pt`.
     pub fn build(pt: &PartitionedTable, cfg: &StatsConfig) -> Self {
-        assert!(cfg.bitmap_k <= BITMAP_BITS, "bitmap_k larger than bitmap width");
+        assert!(
+            cfg.bitmap_k <= BITMAP_BITS,
+            "bitmap_k larger than bitmap width"
+        );
         let n = pt.num_partitions();
         let table = pt.table();
         let schema = table.schema();
@@ -64,12 +71,12 @@ impl TableStats {
         let ids: Vec<usize> = (0..n).collect();
         let chunk = n.div_ceil(threads);
         let mut partitions: Vec<Vec<ColumnStats>> = Vec::with_capacity(n);
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let handles: Vec<_> = ids
                 .chunks(chunk.max(1))
                 .map(|chunk_ids| {
                     let params = cfg.column_params;
-                    s.spawn(move |_| {
+                    s.spawn(move || {
                         chunk_ids
                             .iter()
                             .map(|&p| {
@@ -93,8 +100,7 @@ impl TableStats {
             for h in handles {
                 partitions.extend(h.join().expect("stats worker panicked"));
             }
-        })
-        .expect("crossbeam scope");
+        });
 
         // Global heavy hitters per column: merge the per-partition lists,
         // weighting frequencies by partition row counts (§3.2).
@@ -137,7 +143,13 @@ impl TableStats {
             .map(|p| static_row(&partitions[p], &bitmaps, p, &feature_schema))
             .collect();
 
-        Self { partitions, global_hh, bitmaps, static_features, feature_schema }
+        Self {
+            partitions,
+            global_hh,
+            bitmaps,
+            static_features,
+            feature_schema,
+        }
     }
 
     /// Number of partitions.
@@ -280,7 +292,11 @@ mod tests {
         let mut b = TableBuilder::new(schema);
         for i in 0..400 {
             // tag "hot" dominates the first half of rows only.
-            let tag = if i < 200 { "hot" } else { ["a", "b", "c", "d"][i % 4] };
+            let tag = if i < 200 {
+                "hot"
+            } else {
+                ["a", "b", "c", "d"][i % 4]
+            };
             b.push_row(&[f64::from(i as u32)], &[tag]);
         }
         PartitionedTable::with_equal_partitions(b.finish(), 4)
@@ -300,8 +316,20 @@ mod tests {
     #[test]
     fn parallel_and_serial_builds_agree() {
         let pt = make();
-        let serial = TableStats::build(&pt, &StatsConfig { threads: 1, ..Default::default() });
-        let parallel = TableStats::build(&pt, &StatsConfig { threads: 4, ..Default::default() });
+        let serial = TableStats::build(
+            &pt,
+            &StatsConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let parallel = TableStats::build(
+            &pt,
+            &StatsConfig {
+                threads: 4,
+                ..Default::default()
+            },
+        );
         assert_eq!(serial.static_features(), parallel.static_features());
         assert_eq!(serial.global_hh, parallel.global_hh);
     }

@@ -68,8 +68,7 @@ impl ColumnStats {
             (true, ColumnData::Numeric(values)) => {
                 let slice = &values[rows];
                 let measures = Measures::from_values(slice);
-                let histogram =
-                    EquiDepthHistogram::from_values(slice, params.histogram_buckets);
+                let histogram = EquiDepthHistogram::from_values(slice, params.histogram_buckets);
                 let mut akmv = Akmv::new(params.akmv_k);
                 let mut hh = HeavyHitters::with_params(params.hh_support, params.hh_epsilon);
                 for &v in slice {
@@ -95,10 +94,8 @@ impl ColumnStats {
                     akmv.update(hash_u64(u64::from(c)));
                     hh.update(u64::from(c));
                 }
-                let exact = ExactDict::build(
-                    slice.iter().map(|&c| u64::from(c)),
-                    params.exact_dict_limit,
-                );
+                let exact =
+                    ExactDict::build(slice.iter().map(|&c| u64::from(c)), params.exact_dict_limit);
                 Self {
                     measures: None,
                     histogram: None,
@@ -119,7 +116,10 @@ impl ColumnStats {
 
     /// Frequency of `key` among the heavy hitters, if reported.
     pub fn hh_frequency(&self, key: u64) -> Option<f64> {
-        self.heavy_hitters.iter().find(|h| h.key == key).map(|h| h.frequency)
+        self.heavy_hitters
+            .iter()
+            .find(|h| h.key == key)
+            .map(|h| h.frequency)
     }
 
     /// Serialized bytes per sketch family: `(measures, histogram, akmv, hh,
@@ -148,8 +148,13 @@ mod tests {
 
     fn categorical_col() -> ColumnData {
         let mut dict = ps3_storage::Dictionary::new();
-        let codes: Vec<u32> = (0..100u32).map(|i| dict.intern(&format!("v{}", i % 4))).collect();
-        ColumnData::Categorical { codes, dict: Arc::new(dict) }
+        let codes: Vec<u32> = (0..100u32)
+            .map(|i| dict.intern(&format!("v{}", i % 4)))
+            .collect();
+        ColumnData::Categorical {
+            codes,
+            dict: Arc::new(dict),
+        }
     }
 
     #[test]

@@ -158,7 +158,9 @@ impl FeatureType {
             | FeatureType::DvMax
             | FeatureType::DvMin
             | FeatureType::DvSum => FeatureCategory::DistinctValue,
-            FeatureType::HhCount | FeatureType::HhAvg | FeatureType::HhMax
+            FeatureType::HhCount
+            | FeatureType::HhAvg
+            | FeatureType::HhMax
             | FeatureType::HhBitmap => FeatureCategory::HeavyHitter,
             FeatureType::SelUpper
             | FeatureType::SelIndep
@@ -390,7 +392,10 @@ mod tests {
         for row in &f.rows {
             assert!(row[off..off + BITMAP_BITS].iter().all(|&x| x == 0.0));
             // But scalar hh/dv features of g survive (column is used).
-            assert!(row[f.schema.col_offset(ColId(2)) + 9] > 0.0, "ndv masked out");
+            assert!(
+                row[f.schema.col_offset(ColId(2)) + 9] > 0.0,
+                "ndv masked out"
+            );
         }
         // Same query grouped by g: bitmap bits appear ("x"/"y" are heavy).
         let q = Query::new(vec![AggExpr::count()], None, vec![ColId(2)]);

@@ -33,7 +33,9 @@ impl Normalizer {
         matrices: impl IntoIterator<Item = &'a Vec<Vec<f64>>>,
     ) -> Self {
         let dim = schema.dim();
-        let is_sel: Vec<bool> = (0..dim).map(|i| schema.type_of(i).is_selectivity()).collect();
+        let is_sel: Vec<bool> = (0..dim)
+            .map(|i| schema.type_of(i).is_selectivity())
+            .collect();
         let mut sums = vec![0.0f64; dim];
         let mut n = 0usize;
         for m in matrices {
@@ -61,7 +63,10 @@ impl Normalizer {
 
     /// An identity normalizer (transform only, no scaling).
     pub fn identity(schema: FeatureSchema) -> Self {
-        Self { means: vec![1.0; schema.dim()], schema }
+        Self {
+            means: vec![1.0; schema.dim()],
+            schema,
+        }
     }
 
     /// Normalize one feature row in place.

@@ -35,7 +35,12 @@ pub struct SelectivityFeatures {
 impl SelectivityFeatures {
     /// The no-predicate case: everything qualifies.
     pub fn all_pass() -> Self {
-        Self { upper: 1.0, indep: 1.0, min: 1.0, max: 1.0 }
+        Self {
+            upper: 1.0,
+            indep: 1.0,
+            min: 1.0,
+            max: 1.0,
+        }
     }
 
     /// As a fixed-order array `[upper, indep, min, max]`.
@@ -55,7 +60,12 @@ struct Interval {
 
 impl Interval {
     fn full() -> Self {
-        Self { lo: f64::NEG_INFINITY, lo_incl: true, hi: f64::INFINITY, hi_incl: true }
+        Self {
+            lo: f64::NEG_INFINITY,
+            lo_incl: true,
+            hi: f64::INFINITY,
+            hi_incl: true,
+        }
     }
 
     fn from_cmp(op: CmpOp, v: f64) -> Option<Self> {
@@ -102,7 +112,12 @@ impl Interval {
         } else {
             (self.hi, self.hi_incl && other.hi_incl)
         };
-        Interval { lo, lo_incl, hi, hi_incl }
+        Interval {
+            lo,
+            lo_incl,
+            hi,
+            hi_incl,
+        }
     }
 
     fn is_empty(&self) -> bool {
@@ -130,7 +145,11 @@ fn clause_selectivity(clause: &Clause, stats: &ColumnStats, table: &Table) -> (f
                 (upper, est)
             }
         },
-        Clause::In { col, values, negated } => {
+        Clause::In {
+            col,
+            values,
+            negated,
+        } => {
             let (_, dict) = table.categorical(*col);
             let keys: Vec<u64> = values
                 .iter()
@@ -139,7 +158,11 @@ fn clause_selectivity(clause: &Clause, stats: &ColumnStats, table: &Table) -> (f
                 .collect();
             in_selectivity(&keys, *negated, stats)
         }
-        Clause::Contains { col, needle, negated } => {
+        Clause::Contains {
+            col,
+            needle,
+            negated,
+        } => {
             let (_, dict) = table.categorical(*col);
             let keys: Vec<u64> = dict
                 .codes_containing(needle)
@@ -348,15 +371,17 @@ mod tests {
         let params = ColumnStatsParams::default();
         let stats: Vec<ColumnStats> = schema
             .iter()
-            .map(|(id, meta)| {
-                ColumnStats::build(table.column(id), meta.ctype, 0..200, &params)
-            })
+            .map(|(id, meta)| ColumnStats::build(table.column(id), meta.ctype, 0..200, &params))
             .collect();
         (table, stats, schema)
     }
 
     fn query(pred: Predicate) -> Query {
-        Query::new(vec![AggExpr::sum(ScalarExpr::col(ColId(0)))], Some(pred), vec![])
+        Query::new(
+            vec![AggExpr::sum(ScalarExpr::col(ColId(0)))],
+            Some(pred),
+            vec![],
+        )
     }
 
     #[test]
@@ -371,8 +396,16 @@ mod tests {
     fn range_predicate_estimates() {
         let (table, stats, schema) = make();
         let q = query(Predicate::all(vec![
-            Clause::Cmp { col: ColId(0), op: CmpOp::Ge, value: 50.0 },
-            Clause::Cmp { col: ColId(0), op: CmpOp::Lt, value: 150.0 },
+            Clause::Cmp {
+                col: ColId(0),
+                op: CmpOp::Ge,
+                value: 50.0,
+            },
+            Clause::Cmp {
+                col: ColId(0),
+                op: CmpOp::Lt,
+                value: 150.0,
+            },
         ]));
         let f = selectivity_features(&q, &stats, &table, &schema);
         // True selectivity 0.5; joint evaluation should land close.
@@ -384,8 +417,16 @@ mod tests {
     fn impossible_range_has_zero_upper() {
         let (table, stats, schema) = make();
         let q = query(Predicate::all(vec![
-            Clause::Cmp { col: ColId(0), op: CmpOp::Gt, value: 150.0 },
-            Clause::Cmp { col: ColId(0), op: CmpOp::Lt, value: 50.0 },
+            Clause::Cmp {
+                col: ColId(0),
+                op: CmpOp::Gt,
+                value: 150.0,
+            },
+            Clause::Cmp {
+                col: ColId(0),
+                op: CmpOp::Lt,
+                value: 50.0,
+            },
         ]));
         let f = selectivity_features(&q, &stats, &table, &schema);
         assert_eq!(f.upper, 0.0);
@@ -426,8 +467,16 @@ mod tests {
     fn or_upper_is_capped_sum() {
         let (table, stats, schema) = make();
         let q = query(Predicate::any(vec![
-            Clause::Cmp { col: ColId(0), op: CmpOp::Lt, value: 100.0 },
-            Clause::Cmp { col: ColId(0), op: CmpOp::Ge, value: 100.0 },
+            Clause::Cmp {
+                col: ColId(0),
+                op: CmpOp::Lt,
+                value: 100.0,
+            },
+            Clause::Cmp {
+                col: ColId(0),
+                op: CmpOp::Ge,
+                value: 100.0,
+            },
         ]));
         let f = selectivity_features(&q, &stats, &table, &schema);
         assert!(f.upper > 0.9);
@@ -452,8 +501,12 @@ mod tests {
     fn min_max_track_clause_estimates() {
         let (table, stats, schema) = make();
         let q = query(Predicate::all(vec![
-            Clause::Cmp { col: ColId(0), op: CmpOp::Lt, value: 20.0 }, // ~0.1
-            Clause::str_eq(ColId(1), "even"),                          // 0.5
+            Clause::Cmp {
+                col: ColId(0),
+                op: CmpOp::Lt,
+                value: 20.0,
+            }, // ~0.1
+            Clause::str_eq(ColId(1), "even"), // 0.5
         ]));
         let f = selectivity_features(&q, &stats, &table, &schema);
         assert!(f.min < 0.2);

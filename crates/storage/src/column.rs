@@ -54,7 +54,10 @@ impl Dictionary {
 
     /// Iterate over all `(code, value)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
-        self.values.iter().enumerate().map(|(i, v)| (i as u32, v.as_str()))
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as u32, v.as_str()))
     }
 
     /// Codes of all dictionary entries that contain `needle` as a substring.
@@ -76,7 +79,10 @@ pub enum ColumnData {
     /// Numeric (or date) values.
     Numeric(Vec<f64>),
     /// Dictionary codes plus the shared dictionary.
-    Categorical { codes: Vec<u32>, dict: Arc<Dictionary> },
+    Categorical {
+        codes: Vec<u32>,
+        dict: Arc<Dictionary>,
+    },
 }
 
 impl ColumnData {
@@ -112,9 +118,7 @@ impl ColumnData {
     /// Reorder rows by `perm` (row `i` of the result is old row `perm[i]`).
     pub fn permute(&self, perm: &[usize]) -> ColumnData {
         match self {
-            ColumnData::Numeric(v) => {
-                ColumnData::Numeric(perm.iter().map(|&i| v[i]).collect())
-            }
+            ColumnData::Numeric(v) => ColumnData::Numeric(perm.iter().map(|&i| v[i]).collect()),
             ColumnData::Categorical { codes, dict } => ColumnData::Categorical {
                 codes: perm.iter().map(|&i| codes[i]).collect(),
                 dict: Arc::clone(dict),
@@ -201,7 +205,10 @@ mod tests {
 
         let mut d = Dictionary::new();
         let codes = vec![d.intern("x"), d.intern("y"), d.intern("x")];
-        let cat = ColumnData::Categorical { codes, dict: Arc::new(d) };
+        let cat = ColumnData::Categorical {
+            codes,
+            dict: Arc::new(d),
+        };
         let out = cat.permute(&[1, 1, 0]);
         let (codes, dict) = out.as_categorical().unwrap();
         assert_eq!(codes, &[1, 1, 0]);
@@ -216,7 +223,10 @@ mod tests {
         let mut d = Dictionary::new();
         // Interning order differs from lexicographic order on purpose.
         let codes = vec![d.intern("zeta"), d.intern("alpha")];
-        let cat = ColumnData::Categorical { codes, dict: Arc::new(d) };
+        let cat = ColumnData::Categorical {
+            codes,
+            dict: Arc::new(d),
+        };
         assert!(cat.sort_key(1) < cat.sort_key(0));
     }
 

@@ -112,7 +112,10 @@ impl PartitionedTable {
             partitioning.num_rows(),
             table.num_rows()
         );
-        Self { table, partitioning }
+        Self {
+            table,
+            partitioning,
+        }
     }
 
     /// Split into `num_partitions` equal contiguous partitions.

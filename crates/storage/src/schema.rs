@@ -58,7 +58,10 @@ pub struct ColumnMeta {
 impl ColumnMeta {
     /// Create metadata for a column.
     pub fn new(name: impl Into<String>, ctype: ColumnType) -> Self {
-        Self { name: name.into(), ctype }
+        Self {
+            name: name.into(),
+            ctype,
+        }
     }
 }
 

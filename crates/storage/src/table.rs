@@ -32,7 +32,11 @@ impl Table {
             };
             assert!(physical_ok, "column {} physical type mismatch", meta.name);
         }
-        Self { schema: Arc::new(schema), columns, num_rows }
+        Self {
+            schema: Arc::new(schema),
+            columns,
+            num_rows,
+        }
     }
 
     /// The table's schema.
@@ -74,7 +78,11 @@ impl Table {
     pub fn permute(&self, perm: &[usize]) -> Table {
         assert_eq!(perm.len(), self.num_rows, "permutation length mismatch");
         let columns = self.columns.iter().map(|c| c.permute(perm)).collect();
-        Table { schema: Arc::clone(&self.schema), columns, num_rows: self.num_rows }
+        Table {
+            schema: Arc::clone(&self.schema),
+            columns,
+            num_rows: self.num_rows,
+        }
     }
 }
 
@@ -107,7 +115,13 @@ impl TableBuilder {
                 categorical.push((Vec::new(), Dictionary::new()));
             }
         }
-        Self { schema, numeric, categorical, slots, rows: 0 }
+        Self {
+            schema,
+            numeric,
+            categorical,
+            slots,
+            rows: 0,
+        }
     }
 
     /// Append one row given as `(numeric values in schema order, categorical
@@ -125,7 +139,11 @@ impl TableBuilder {
             }
         }
         assert_eq!(ni, numerics.len(), "too many numeric values for row");
-        assert_eq!(ci, categoricals.len(), "too many categorical values for row");
+        assert_eq!(
+            ci,
+            categoricals.len(),
+            "too many categorical values for row"
+        );
         self.rows += 1;
     }
 
@@ -141,7 +159,10 @@ impl TableBuilder {
                     ColumnData::Numeric(numeric.next().expect("numeric slot"))
                 } else {
                     let (codes, dict) = categorical.next().expect("categorical slot");
-                    ColumnData::Categorical { codes, dict: Arc::new(dict) }
+                    ColumnData::Categorical {
+                        codes,
+                        dict: Arc::new(dict),
+                    }
                 }
             })
             .collect();

@@ -20,9 +20,7 @@ fn main() {
     let total_rows = rows_per_partition * partitions;
     let mut rng = StdRng::seed_from_u64(1);
 
-    println!(
-        "storage: {partitions} partitions x {rows_per_partition} rows\n"
-    );
+    println!("storage: {partitions} partitions x {rows_per_partition} rows\n");
     println!(
         "{:>12} {:>22} {:>22} {:>16}",
         "sample rate", "partitions touched", "expected (1-(1-p)^R)", "partition-level"

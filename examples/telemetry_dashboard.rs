@@ -28,7 +28,10 @@ fn main() {
         (
             "events and records received per network type",
             Query::new(
-                vec![AggExpr::count(), AggExpr::sum(ScalarExpr::col(col("records_received_count")))],
+                vec![
+                    AggExpr::count(),
+                    AggExpr::sum(ScalarExpr::col(col("records_received_count"))),
+                ],
                 None,
                 vec![col("DeviceInfo_NetworkType")],
             ),
@@ -47,7 +50,10 @@ fn main() {
         (
             "large payloads by timezone (olsize > 2000)",
             Query::new(
-                vec![AggExpr::count(), AggExpr::avg(ScalarExpr::col(col("olsize")))],
+                vec![
+                    AggExpr::count(),
+                    AggExpr::avg(ScalarExpr::col(col("olsize"))),
+                ],
                 Some(Predicate::Clause(Clause::Cmp {
                     col: col("olsize"),
                     op: CmpOp::Gt,

@@ -15,7 +15,10 @@ use rand::SeedableRng;
 
 fn main() {
     let ds = DatasetConfig::new(DatasetKind::TpcH, ScaleProfile::Tiny).build(31);
-    println!("training PS3 on {} random TPC-H* queries...", ds.train_queries.len());
+    println!(
+        "training PS3 on {} random TPC-H* queries...",
+        ds.train_queries.len()
+    );
     let mut system = ds.train_system(Ps3Config::default().with_seed(31));
 
     let mut rng = StdRng::seed_from_u64(99);

@@ -101,8 +101,14 @@ fn weighted_combination_is_linear_in_weights() {
     let ds = tiny(DatasetKind::TpcDs, 4);
     let q = ds.sample_test_query(2);
     // Manually double one partition's weight and check linearity.
-    let single = [WeightedPart { partition: PartitionId(5), weight: 1.0 }];
-    let double = [WeightedPart { partition: PartitionId(5), weight: 2.0 }];
+    let single = [WeightedPart {
+        partition: PartitionId(5),
+        weight: 1.0,
+    }];
+    let double = [WeightedPart {
+        partition: PartitionId(5),
+        weight: 2.0,
+    }];
     let a = execute_partitions(&ds.pt, &q, &single);
     let b = execute_partitions(&ds.pt, &q, &double);
     for (key, vals) in &a.groups {
@@ -127,10 +133,16 @@ fn trained_system_is_deterministic_for_ps3_median_estimator() {
     let mut sys_b = ds.train_system(fast_config(5));
     let a = sys_a.answer(&q, Method::Ps3, 0.2);
     let b = sys_b.answer(&q, Method::Ps3, 0.2);
-    let mut sel_a: Vec<(usize, u64)> =
-        a.selection.iter().map(|w| (w.partition.index(), w.weight.to_bits())).collect();
-    let mut sel_b: Vec<(usize, u64)> =
-        b.selection.iter().map(|w| (w.partition.index(), w.weight.to_bits())).collect();
+    let mut sel_a: Vec<(usize, u64)> = a
+        .selection
+        .iter()
+        .map(|w| (w.partition.index(), w.weight.to_bits()))
+        .collect();
+    let mut sel_b: Vec<(usize, u64)> = b
+        .selection
+        .iter()
+        .map(|w| (w.partition.index(), w.weight.to_bits()))
+        .collect();
     sel_a.sort_unstable();
     sel_b.sort_unstable();
     assert_eq!(sel_a, sel_b);

@@ -21,9 +21,17 @@ fn complex_predicates_skip_clustering() {
     let col = schema.expect_col("src_bytes");
     // 12 clauses > the 10-clause fallback limit.
     let clauses: Vec<Clause> = (0..12)
-        .map(|i| Clause::Cmp { col, op: CmpOp::Ge, value: f64::from(i) })
+        .map(|i| Clause::Cmp {
+            col,
+            op: CmpOp::Ge,
+            value: f64::from(i),
+        })
         .collect();
-    let q = Query::new(vec![AggExpr::count()], Some(Predicate::all(clauses)), vec![]);
+    let q = Query::new(
+        vec![AggExpr::count()],
+        Some(Predicate::all(clauses)),
+        vec![],
+    );
     let out = system.pick_outcome(&q, 0.3);
     assert_eq!(
         out.clustering_ms, 0.0,
@@ -34,7 +42,11 @@ fn complex_predicates_skip_clustering() {
     // A simple predicate on the same column does cluster.
     let q = Query::new(
         vec![AggExpr::count()],
-        Some(Predicate::Clause(Clause::Cmp { col, op: CmpOp::Ge, value: 0.0 })),
+        Some(Predicate::Clause(Clause::Cmp {
+            col,
+            op: CmpOp::Ge,
+            value: 0.0,
+        })),
         vec![],
     );
     let out = system.pick_outcome(&q, 0.3);
@@ -49,10 +61,20 @@ fn filter_excludes_provably_empty_partitions() {
     // Ship-date layout: a narrow date range touches few partitions.
     let ship = schema.expect_col("l_shipdate");
     let q = Query::new(
-        vec![AggExpr::sum(ScalarExpr::col(schema.expect_col("l_extendedprice")))],
+        vec![AggExpr::sum(ScalarExpr::col(
+            schema.expect_col("l_extendedprice"),
+        ))],
         Some(Predicate::all(vec![
-            Clause::Cmp { col: ship, op: CmpOp::Ge, value: 1000.0 },
-            Clause::Cmp { col: ship, op: CmpOp::Lt, value: 1100.0 },
+            Clause::Cmp {
+                col: ship,
+                op: CmpOp::Ge,
+                value: 1000.0,
+            },
+            Clause::Cmp {
+                col: ship,
+                op: CmpOp::Lt,
+                value: 1100.0,
+            },
         ])),
         vec![],
     );
@@ -106,7 +128,9 @@ fn group_by_queries_produce_weighted_groups() {
     let mut system = ds.train_system(fast_config(4));
     let schema = ds.pt.table().schema();
     let q = Query::new(
-        vec![AggExpr::sum(ScalarExpr::col(schema.expect_col("cs_net_profit")))],
+        vec![AggExpr::sum(ScalarExpr::col(
+            schema.expect_col("cs_net_profit"),
+        ))],
         None,
         vec![schema.expect_col("i_category")],
     );
@@ -120,7 +144,10 @@ fn group_by_queries_produce_weighted_groups() {
         total_weight <= n + 1e-6,
         "weights {total_weight} exceed partition count {n}"
     );
-    assert!(total_weight >= 0.5 * n, "weights {total_weight} cover too little of {n}");
+    assert!(
+        total_weight >= 0.5 * n,
+        "weights {total_weight} cover too little of {n}"
+    );
     // All 10 categories are heavy hitters in every partition; none missed.
     assert_eq!(exact.num_groups(), out.answer.num_groups());
 }
@@ -131,7 +158,9 @@ fn oracle_mode_prioritizes_true_contributors() {
     let mut system = ds.train_system(fast_config(5));
     let schema = ds.pt.table().schema();
     let q = Query::new(
-        vec![AggExpr::sum(ScalarExpr::col(schema.expect_col("src_bytes")))],
+        vec![AggExpr::sum(ScalarExpr::col(
+            schema.expect_col("src_bytes"),
+        ))],
         None,
         vec![],
     );
@@ -142,7 +171,8 @@ fn oracle_mode_prioritizes_true_contributors() {
         *c = 1.0;
     }
     let features = QueryFeatures::compute(&ds.stats, ds.pt.table(), &q);
-    let (sel, _) = system.select_with_features(&q, &features, Method::Ps3, 0.1, Some(&contributions));
+    let (sel, _) =
+        system.select_with_features(&q, &features, Method::Ps3, 0.1, Some(&contributions));
     // α=2 over the k+1 funnel groups gives the top group a 2^k = 16x
     // sampling *rate*; with a ~6-partition budget the top-5 partitions must
     // be sampled at a far higher rate than the other 59, though not
@@ -152,7 +182,10 @@ fn oracle_mode_prioritizes_true_contributors() {
     let hit = (0..5).filter(|p| picked.contains(p)).count();
     let top_rate = hit as f64 / 5.0;
     let rest_rate = (picked.len() - hit) as f64 / (n - 5) as f64;
-    assert!(hit >= 2, "oracle picked only {hit}/5 true contributors: {picked:?}");
+    assert!(
+        hit >= 2,
+        "oracle picked only {hit}/5 true contributors: {picked:?}"
+    );
     assert!(
         top_rate > 4.0 * rest_rate,
         "top-group rate {top_rate:.2} should dwarf rest rate {rest_rate:.3}"

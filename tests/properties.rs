@@ -44,10 +44,30 @@ fn arb_table() -> impl Strategy<Value = PartitionedTable> {
 /// A random predicate over the fixed schema above.
 fn arb_predicate() -> impl Strategy<Value = Predicate> {
     let clause = prop_oneof![
-        (prop_oneof![Just(CmpOp::Lt), Just(CmpOp::Le), Just(CmpOp::Gt), Just(CmpOp::Ge), Just(CmpOp::Eq)], -10.0f64..110.0)
-            .prop_map(|(op, v)| Clause::Cmp { col: ColId(0), op, value: v }),
-        (prop_oneof![Just(CmpOp::Lt), Just(CmpOp::Ge)], -60.0f64..60.0)
-            .prop_map(|(op, v)| Clause::Cmp { col: ColId(1), op, value: v }),
+        (
+            prop_oneof![
+                Just(CmpOp::Lt),
+                Just(CmpOp::Le),
+                Just(CmpOp::Gt),
+                Just(CmpOp::Ge),
+                Just(CmpOp::Eq)
+            ],
+            -10.0f64..110.0
+        )
+            .prop_map(|(op, v)| Clause::Cmp {
+                col: ColId(0),
+                op,
+                value: v
+            }),
+        (
+            prop_oneof![Just(CmpOp::Lt), Just(CmpOp::Ge)],
+            -60.0f64..60.0
+        )
+            .prop_map(|(op, v)| Clause::Cmp {
+                col: ColId(1),
+                op,
+                value: v
+            }),
         (0usize..6, any::<bool>()).prop_map(|(t, neg)| Clause::In {
             col: ColId(2),
             values: vec![["a", "b", "c", "d", "e", "zzz"][t].to_owned()],

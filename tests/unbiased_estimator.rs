@@ -30,7 +30,10 @@ fn random_exemplar_estimator_is_unbiased_within_clusters() {
     }
     mean_est /= draws as f64;
     let rel = (mean_est - truth).abs() / truth;
-    assert!(rel < 0.02, "unbiased estimator off by {rel:.4} after {draws} draws");
+    assert!(
+        rel < 0.02,
+        "unbiased estimator off by {rel:.4} after {draws} draws"
+    );
 }
 
 #[test]
@@ -39,7 +42,22 @@ fn median_estimator_has_zero_variance_and_random_does_not() {
     let mut cfg = Ps3Config::default().with_seed(9);
     cfg.gbdt.n_trees = 8;
     cfg.feature_selection = false;
-    let query = ds.sample_test_query(0);
+    // A broad grouped query: every partition passes the selectivity filter,
+    // so the picker actually clusters and the exemplar rule matters. (A
+    // sampled test query can be arbitrarily selective — an Eq clause on a
+    // continuous column may leave a single candidate partition, which would
+    // make any estimator trivially deterministic.)
+    let schema = ds.pt.table().schema();
+    let query = ps3::query::Query::new(
+        vec![
+            ps3::query::AggExpr::sum(ps3::query::ScalarExpr::col(
+                schema.expect_col("cs_net_profit"),
+            )),
+            ps3::query::AggExpr::count(),
+        ],
+        None,
+        vec![schema.expect_col("i_category")],
+    );
 
     // Median estimator: identical answers across repeated runs for a fixed
     // RNG state (k-means++ seeding is the only stochastic step, so pin it).
@@ -54,9 +72,14 @@ fn median_estimator_has_zero_variance_and_random_does_not() {
     // same clustering (with overwhelming probability on 64 partitions).
     cfg.estimator = ExemplarRule::Random;
     let mut system = ds.train_system(cfg);
-    let outs: Vec<_> = (0..6).map(|_| system.answer(&query, Method::Ps3, 0.2)).collect();
+    let outs: Vec<_> = (0..6)
+        .map(|_| system.answer(&query, Method::Ps3, 0.2))
+        .collect();
     let all_same = outs.windows(2).all(|w| w[0].answer == w[1].answer);
-    assert!(!all_same, "random exemplar produced identical answers 6 times");
+    assert!(
+        !all_same,
+        "random exemplar produced identical answers 6 times"
+    );
 }
 
 #[test]
@@ -84,5 +107,8 @@ fn unbiased_mean_approaches_truth_on_real_pipeline() {
     }
     mean /= runs as f64;
     let rel = (mean - truth).abs() / truth;
-    assert!(rel < 0.05, "mean estimate {mean} vs truth {truth} (rel {rel:.4})");
+    assert!(
+        rel < 0.05,
+        "mean estimate {mean} vs truth {truth} (rel {rel:.4})"
+    );
 }

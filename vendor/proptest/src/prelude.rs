@@ -1,0 +1,6 @@
+//! The flat import surface (`use proptest::prelude::*`).
+
+pub use crate::{
+    any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+    ProptestConfig, Strategy, TestCaseError,
+};
