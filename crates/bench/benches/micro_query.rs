@@ -44,9 +44,10 @@ fn bench_query_paths(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("picker");
     g.sample_size(10);
-    let mut system = ds.train_system(Ps3Config::default().with_seed(1).minimal());
+    let system = ds.train_system(Ps3Config::default().with_seed(1).minimal());
+    let mut rng = StdRng::seed_from_u64(1);
     g.bench_function("full_pick_25pct", |b| {
-        b.iter(|| system.pick_outcome(&query, 0.25))
+        b.iter(|| system.pick_outcome(&query, 0.25, &mut rng))
     });
     g.finish();
 }

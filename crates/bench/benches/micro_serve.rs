@@ -1,0 +1,81 @@
+//! Serving-layer throughput: one trained `Arc<Ps3System>` answering a
+//! mixed request batch through [`ServeHandle`], single-threaded vs. fanned
+//! out over the work-stealing pool, plus the feature cache's effect on a
+//! budget sweep.
+//!
+//! On a multi-core runner the `multi_thread` row should sit well above the
+//! `single_thread` row (the acceptance bar is ≥3x on 4+ cores); both rows
+//! land in `BENCH_micro.json` via `PS3_BENCH_TSV`, so CI tracks them.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use ps3_core::{Method, Ps3Config, QueryRequest, ServeHandle};
+use ps3_data::{DatasetConfig, DatasetKind, ScaleProfile};
+use ps3_runtime::ThreadPool;
+
+fn bench_serve(c: &mut Criterion) {
+    let ds = DatasetConfig::new(DatasetKind::Aria, ScaleProfile::Tiny).build(7);
+    let mut cfg = Ps3Config::default().with_seed(7);
+    cfg.gbdt.n_trees = 8;
+    cfg.feature_selection = false;
+    let system = Arc::new(ds.train_system(cfg));
+
+    // A mixed open-world workload: every held-out query shape, at several
+    // budgets, under the two interesting methods. Repeated shapes hit the
+    // feature cache exactly as production traffic would.
+    let mut reqs = Vec::new();
+    for i in 0..48 {
+        reqs.push(QueryRequest {
+            query: ds.sample_test_query(i),
+            method: if i % 4 == 0 { Method::Lss } else { Method::Ps3 },
+            frac: [0.05, 0.1, 0.2][i % 3],
+            seed: i as u64,
+        });
+    }
+
+    let single = ServeHandle::with_pool(Arc::clone(&system), Arc::new(ThreadPool::new(1)));
+    let multi = ServeHandle::new(Arc::clone(&system));
+
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(reqs.len() as u64));
+    g.bench_function("single_thread", |b| {
+        b.iter(|| {
+            // Serial loop on the caller: the one-at-a-time baseline.
+            reqs.iter()
+                .map(|r| single.answer(r).answer.num_groups())
+                .sum::<usize>()
+        })
+    });
+    g.bench_function("multi_thread", |b| b.iter(|| multi.answer_many(&reqs)));
+    g.finish();
+
+    // The cache effect micro: a 6-budget sweep of one query, features
+    // computed once vs. recomputed per budget (cold system each iteration
+    // would hide in noise, so compare against the direct compute cost).
+    let sweep_query = ds.sample_test_query(1);
+    let mut g = c.benchmark_group("serve_sweep");
+    g.sample_size(10);
+    g.bench_function("six_budget_sweep_cached", |b| {
+        b.iter(|| {
+            multi.sweep(
+                &sweep_query,
+                Method::Ps3,
+                &[0.02, 0.05, 0.1, 0.2, 0.35, 0.5],
+                3,
+            )
+        })
+    });
+    g.finish();
+
+    let stats = system.feature_cache_stats();
+    println!(
+        "feature cache after run: {} hits, {} misses, {}/{} entries",
+        stats.hits, stats.misses, stats.len, stats.cap
+    );
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -5,6 +5,7 @@ use ps3_bench::harness::BUDGETS;
 use ps3_bench::report::{print_header, Table};
 use ps3_core::Ps3Config;
 use ps3_data::{DatasetConfig, DatasetKind, ScaleProfile};
+use rand::SeedableRng;
 
 fn main() {
     let scale = ScaleProfile::from_env();
@@ -15,13 +16,14 @@ fn main() {
     let mut t = Table::new(&["Dataset", "Total (mean±std)", "Clustering (mean±std)"]);
     for kind in DatasetKind::ALL {
         let ds = DatasetConfig::new(kind, scale).build(42);
-        let mut system = ds.train_system(Ps3Config::default().with_seed(42));
+        let system = ds.train_system(Ps3Config::default().with_seed(42));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
         let mut totals = Vec::new();
         let mut clusterings = Vec::new();
         for qi in 0..ds.test_queries.len().min(12) {
             let q = ds.sample_test_query(qi);
             for &b in &BUDGETS {
-                let out = system.pick_outcome(&q, b);
+                let out = system.pick_outcome(&q, b, &mut rng);
                 totals.push(out.total_ms);
                 clusterings.push(out.clustering_ms);
             }

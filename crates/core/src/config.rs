@@ -55,8 +55,12 @@ pub struct Ps3Config {
     pub use_filter: bool,
     /// RNG seed for everything stochastic in training and picking.
     pub seed: u64,
-    /// Worker threads for training-data computation (0 = all cores).
+    /// Fan-out policy for training-data computation: `1` runs serially,
+    /// anything else (including the 0 default) uses the shared pool.
     pub threads: usize,
+    /// Bound on the serving-time [`QueryFeatures`](ps3_stats::QueryFeatures)
+    /// cache (entries, keyed by query fingerprint).
+    pub feature_cache_cap: usize,
 }
 
 impl Default for Ps3Config {
@@ -84,6 +88,7 @@ impl Default for Ps3Config {
             use_filter: true,
             seed: 0,
             threads: 0,
+            feature_cache_cap: 256,
         }
     }
 }

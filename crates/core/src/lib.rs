@@ -21,7 +21,10 @@
 //!
 //! [`baselines`] implements uniform random sampling, filtered random
 //! sampling, and the modified Learned Stratified Sampling of Appendix C.1.
-//! [`system`] wires everything into the [`Ps3System`] facade.
+//! [`system`] wires everything into the [`Ps3System`] facade — an immutable,
+//! `Arc`-shareable deployment whose query path is `&self` — and [`serve`]
+//! adds the concurrent serving layer ([`ServeHandle`]) with per-request
+//! seeds and a bounded feature cache.
 
 pub mod allocate;
 pub mod baselines;
@@ -30,10 +33,12 @@ pub mod feature_selection;
 pub mod importance;
 pub mod outlier;
 pub mod picker;
+pub mod serve;
 pub mod system;
 pub mod train;
 
 pub use config::{ExemplarRule, Ps3Config};
 pub use picker::{PickOutcome, Picker};
-pub use system::{AnswerOutcome, Method, Ps3System, LSS_BUDGET_GRID};
+pub use serve::{QueryRequest, ServeHandle};
+pub use system::{query_rng, AnswerOutcome, Method, Ps3System, LSS_BUDGET_GRID};
 pub use train::{TrainedPs3, TrainingData};

@@ -1,0 +1,175 @@
+//! The concurrent serving layer: many callers, one trained system.
+//!
+//! [`ServeHandle`] is a cheaply-cloneable front door to an
+//! `Arc<Ps3System>`. Each request carries its own seed, so answers are a
+//! pure function of `(query, method, budget, seed)` no matter which thread
+//! or pool worker executes them, and the system's bounded feature cache
+//! makes repeated predicate shapes and budget sweeps skip
+//! `QueryFeatures::compute` entirely — the BlinkDB-style reuse the serving
+//! path is built around.
+
+use std::sync::Arc;
+
+use ps3_query::Query;
+use ps3_runtime::ThreadPool;
+
+use crate::system::{AnswerOutcome, Method, Ps3System};
+
+/// One serving request: what to answer, how, and the seed that makes the
+/// answer reproducible.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// The query.
+    pub query: Query,
+    /// The sampling method.
+    pub method: Method,
+    /// Partition budget as a fraction of the table.
+    pub frac: f64,
+    /// Per-request randomness seed; equal seeds give bit-identical answers.
+    pub seed: u64,
+}
+
+impl QueryRequest {
+    /// A PS3 request at `frac` of the partitions.
+    pub fn ps3(query: Query, frac: f64, seed: u64) -> Self {
+        Self {
+            query,
+            method: Method::Ps3,
+            frac,
+            seed,
+        }
+    }
+}
+
+/// A shareable serving front door. Clone it freely (both fields are
+/// `Arc`s); every clone answers against the same trained system and the
+/// same feature cache.
+#[derive(Clone)]
+pub struct ServeHandle {
+    system: Arc<Ps3System>,
+    pool: Arc<ThreadPool>,
+}
+
+impl ServeHandle {
+    /// Serve `system` using the shared workspace pool for batch fan-out.
+    pub fn new(system: Arc<Ps3System>) -> Self {
+        Self {
+            system,
+            pool: ThreadPool::global(),
+        }
+    }
+
+    /// Serve with a dedicated pool (benchmarks pin worker counts this way).
+    pub fn with_pool(system: Arc<Ps3System>, pool: Arc<ThreadPool>) -> Self {
+        Self { system, pool }
+    }
+
+    /// The shared system.
+    pub fn system(&self) -> &Arc<Ps3System> {
+        &self.system
+    }
+
+    /// Answer one request. Safe to call from any number of threads at
+    /// once; the result depends only on the request (partition execution
+    /// runs on this handle's pool, but answers are bit-identical across
+    /// pools — a 1-worker pool is an honest single-threaded baseline).
+    pub fn answer(&self, req: &QueryRequest) -> AnswerOutcome {
+        let mut rng = crate::system::query_rng(&req.query, req.seed);
+        self.system
+            .answer_on(&req.query, req.method, req.frac, &mut rng, &self.pool)
+    }
+
+    /// Answer a batch concurrently over the pool, results in request order.
+    pub fn answer_many(&self, reqs: &[QueryRequest]) -> Vec<AnswerOutcome> {
+        self.pool.map(reqs, |req| self.answer(req))
+    }
+
+    /// Answer one query across a budget sweep. The feature cache guarantees
+    /// `QueryFeatures::compute` runs at most once for the whole sweep.
+    pub fn sweep(
+        &self,
+        query: &Query,
+        method: Method,
+        budgets: &[f64],
+        seed: u64,
+    ) -> Vec<AnswerOutcome> {
+        budgets
+            .iter()
+            .map(|&frac| {
+                let mut rng = crate::system::query_rng(query, seed);
+                self.system
+                    .answer_on(query, method, frac, &mut rng, &self.pool)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps3_query::AggExpr;
+    use ps3_stats::{StatsConfig, TableStats};
+    use ps3_storage::table::TableBuilder;
+    use ps3_storage::{ColumnMeta, ColumnType, PartitionedTable, Schema};
+
+    use crate::config::Ps3Config;
+
+    fn handle() -> ServeHandle {
+        let schema = Schema::new(vec![
+            ColumnMeta::new("x", ColumnType::Numeric),
+            ColumnMeta::new("g", ColumnType::Categorical),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..320 {
+            b.push_row(&[f64::from(i)], &[["a", "b", "c", "d"][(i / 80) as usize]]);
+        }
+        let pt = Arc::new(PartitionedTable::with_equal_partitions(b.finish(), 16));
+        let stats = Arc::new(TableStats::build(&pt, &StatsConfig::default()));
+        let queries = vec![
+            Query::new(
+                vec![AggExpr::sum(ps3_query::ScalarExpr::col(
+                    ps3_storage::ColId(0),
+                ))],
+                None,
+                vec![ps3_storage::ColId(1)],
+            ),
+            Query::new(vec![AggExpr::count()], None, vec![]),
+        ];
+        let mut cfg = Ps3Config::default().with_seed(9);
+        cfg.gbdt.n_trees = 4;
+        cfg.feature_selection = false;
+        ServeHandle::new(Arc::new(Ps3System::train(pt, stats, &queries, cfg)))
+    }
+
+    #[test]
+    fn batch_results_are_in_request_order_and_reproducible() {
+        let h = handle();
+        let q = Query::new(vec![AggExpr::count()], None, vec![]);
+        let reqs: Vec<QueryRequest> = (0..12)
+            .map(|i| QueryRequest::ps3(q.clone(), 0.25, i as u64))
+            .collect();
+        let batch = h.answer_many(&reqs);
+        assert_eq!(batch.len(), reqs.len());
+        for (req, out) in reqs.iter().zip(&batch) {
+            let again = h.answer(req);
+            assert_eq!(out.answer, again.answer, "seed {}", req.seed);
+        }
+    }
+
+    #[test]
+    fn sweep_reuses_one_feature_computation() {
+        let h = handle();
+        let q = Query::new(
+            vec![AggExpr::sum(ps3_query::ScalarExpr::col(
+                ps3_storage::ColId(0),
+            ))],
+            None,
+            vec![ps3_storage::ColId(1)],
+        );
+        let before = h.system().feature_cache_stats().misses;
+        let outs = h.sweep(&q, Method::Ps3, &[0.05, 0.1, 0.2, 0.35, 0.5, 0.75], 4);
+        assert_eq!(outs.len(), 6);
+        let after = h.system().feature_cache_stats().misses;
+        assert_eq!(after - before, 1, "one compute for the whole sweep");
+    }
+}

@@ -1,12 +1,27 @@
 //! The top-level facade: train once per (dataset, layout, workload), then
 //! answer queries under any method and budget.
+//!
+//! A trained [`Ps3System`] is immutable shared state: every query-path
+//! method takes `&self` and threads an explicit RNG, so one system behind an
+//! `Arc` serves any number of threads concurrently (see
+//! [`crate::serve::ServeHandle`]). Per-query randomness comes either from a
+//! caller-owned [`StdRng`] or from a seed via [`query_rng`], which makes
+//! results a pure function of `(query, method, budget, seed)` — the same
+//! request answered on eight threads is bit-identical on all of them.
+//!
+//! Raw [`QueryFeatures`] are served from a bounded LRU keyed by
+//! [`Query::fingerprint`], so budget sweeps and repeated predicate shapes
+//! skip `QueryFeatures::compute` — the dominant pre-picking cost — and the
+//! diagnostics path ([`Ps3System::pick_outcome`]) sees exactly the features
+//! the serving path used.
 
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use ps3_query::{execute_partitions, execute_table, Query, QueryAnswer, WeightedPart};
+use ps3_query::{execute_partitions_on, execute_table, Query, QueryAnswer, WeightedPart};
+use ps3_runtime::{CacheStats, SharedLru, ThreadPool};
 use ps3_stats::{QueryFeatures, TableStats};
 use ps3_storage::PartitionedTable;
 
@@ -59,7 +74,17 @@ pub struct AnswerOutcome {
     pub picker_ms: f64,
 }
 
-/// A trained PS3 deployment over one partitioned table.
+/// The deterministic per-request RNG used by the seeded entry points:
+/// mixes the caller's seed with the query fingerprint so distinct queries
+/// draw independent streams while `(query, seed)` fully determines the
+/// result.
+pub fn query_rng(query: &Query, seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ query.fingerprint().rotate_left(17))
+}
+
+/// A trained PS3 deployment over one partitioned table. Immutable after
+/// training; share it with `Arc<Ps3System>` and call the `&self` query
+/// methods from any number of threads.
 pub struct Ps3System {
     /// The data.
     pub pt: Arc<PartitionedTable>,
@@ -71,7 +96,8 @@ pub struct Ps3System {
     pub lss: LssModel,
     /// Cached training-workload execution (reused by the benches).
     pub training: TrainingData,
-    rng: StdRng,
+    /// Bounded per-query feature cache, keyed by [`Query::fingerprint`].
+    features: SharedLru<u64, Arc<QueryFeatures>>,
 }
 
 /// Budget fractions the LSS strata sweep is trained at (the harness grid).
@@ -85,6 +111,7 @@ impl Ps3System {
         train_queries: &[Query],
         cfg: Ps3Config,
     ) -> Self {
+        let feature_cache_cap = cfg.feature_cache_cap;
         let training = TrainingData::compute(&pt, &stats, train_queries, cfg.threads);
         let trained = TrainedPs3::train(&training, cfg.clone());
         let normalized: Vec<Vec<Vec<f64>>> = training
@@ -104,14 +131,13 @@ impl Ps3System {
             cfg.fs_eval_queries,
             cfg.seed,
         );
-        let rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0xA75));
         Self {
             pt,
             stats,
             trained,
             lss,
             training,
-            rng,
+            features: SharedLru::new(feature_cache_cap),
         }
     }
 
@@ -130,31 +156,48 @@ impl Ps3System {
         execute_table(&self.pt, query)
     }
 
+    /// Raw features for `query`, served from the bounded LRU cache. Both
+    /// the serving path ([`Self::answer`]) and the diagnostics path
+    /// ([`Self::pick_outcome`]) resolve features here, so they always agree;
+    /// a budget sweep over one query computes features exactly once.
+    pub fn features_for(&self, query: &Query) -> Arc<QueryFeatures> {
+        self.features.get_or_insert_with(query.fingerprint(), || {
+            Arc::new(QueryFeatures::compute(&self.stats, self.pt.table(), query))
+        })
+    }
+
+    /// Hit/miss/occupancy counters of the feature cache. `misses` equals
+    /// the number of `QueryFeatures::compute` calls made on behalf of the
+    /// query path.
+    pub fn feature_cache_stats(&self) -> CacheStats {
+        self.features.stats()
+    }
+
     /// Select partitions for `query` under `method` at `frac` of the data.
     ///
-    /// `features` must be the raw [`QueryFeatures`] of this query (callers
-    /// that sweep budgets should compute them once); `oracle` optionally
-    /// substitutes true contributions for the learned funnel.
+    /// `features` must be the raw [`QueryFeatures`] of this query (use
+    /// [`Self::features_for`]); `oracle` optionally substitutes true
+    /// contributions for the learned funnel. All randomness is drawn from
+    /// the caller's `rng`, so the selection is a pure function of the
+    /// arguments.
     pub fn select_with_features(
-        &mut self,
+        &self,
         query: &Query,
         features: &QueryFeatures,
         method: Method,
         frac: f64,
         oracle: Option<&[f64]>,
+        rng: &mut StdRng,
     ) -> (Vec<WeightedPart>, f64) {
         let budget = self.budget_partitions(frac);
         let n = self.num_partitions();
         match method {
-            Method::Random => (random_selection(n, budget, &mut self.rng), 0.0),
+            Method::Random => (random_selection(n, budget, rng), 0.0),
             Method::RandomFilter => {
                 let candidates: Vec<usize> = (0..n)
                     .filter(|&p| features.selectivity_upper(p) > 0.0)
                     .collect();
-                (
-                    random_filter_selection(&candidates, budget, &mut self.rng),
-                    0.0,
-                )
+                (random_filter_selection(&candidates, budget, rng), 0.0)
             }
             Method::Lss => {
                 let candidates: Vec<usize> = (0..n)
@@ -162,9 +205,7 @@ impl Ps3System {
                     .collect();
                 let mut rows = features.rows.clone();
                 self.trained.normalizer.apply_matrix(&mut rows);
-                let sel = self
-                    .lss
-                    .pick(&rows, &candidates, budget, frac, &mut self.rng);
+                let sel = self.lss.pick(&rows, &candidates, budget, frac, rng);
                 (sel, 0.0)
             }
             Method::Ps3 => {
@@ -173,31 +214,56 @@ impl Ps3System {
                     stats: &self.stats,
                     pt: &self.pt,
                 };
-                let out = picker.pick_with_features(query, features, budget, &mut self.rng, oracle);
+                let out = picker.pick_with_features(query, features, budget, rng, oracle);
                 (out.selection, out.total_ms)
             }
         }
     }
 
     /// Full pick diagnostics for PS3 (Table 5 timing, Figure 4 lesion).
-    pub fn pick_outcome(&mut self, query: &Query, frac: f64) -> PickOutcome {
-        let features = QueryFeatures::compute(&self.stats, self.pt.table(), query);
+    /// Features come from the same cache the serving path uses.
+    pub fn pick_outcome(&self, query: &Query, frac: f64, rng: &mut StdRng) -> PickOutcome {
+        let features = self.features_for(query);
         let budget = self.budget_partitions(frac);
         let picker = Picker {
             trained: &self.trained,
             stats: &self.stats,
             pt: &self.pt,
         };
-        picker.pick_with_features(query, &features, budget, &mut self.rng, None)
+        picker.pick_with_features(query, &features, budget, rng, None)
     }
 
-    /// Answer `query` approximately: select partitions, execute them, and
-    /// combine the weighted partial answers (§2.4).
-    pub fn answer(&mut self, query: &Query, method: Method, frac: f64) -> AnswerOutcome {
-        let features = QueryFeatures::compute(&self.stats, self.pt.table(), query);
+    /// Answer `query` approximately: select partitions, execute them (in
+    /// parallel over the shared pool for large selections), and combine the
+    /// weighted partial answers (§2.4). Callable concurrently on a shared
+    /// system; the result is a pure function of the arguments and the RNG
+    /// state.
+    pub fn answer(
+        &self,
+        query: &Query,
+        method: Method,
+        frac: f64,
+        rng: &mut StdRng,
+    ) -> AnswerOutcome {
+        self.answer_on(query, method, frac, rng, &ThreadPool::global())
+    }
+
+    /// [`Self::answer`] with partition execution pinned to `pool` (a
+    /// 1-worker pool executes serially on the caller). The serving layer
+    /// uses this to keep batch fan-out and per-query fan-out on one pool;
+    /// the result is bit-identical across pools.
+    pub fn answer_on(
+        &self,
+        query: &Query,
+        method: Method,
+        frac: f64,
+        rng: &mut StdRng,
+        pool: &ThreadPool,
+    ) -> AnswerOutcome {
+        let features = self.features_for(query);
         let (selection, picker_ms) =
-            self.select_with_features(query, &features, method, frac, None);
-        let answer = execute_partitions(&self.pt, query, &selection);
+            self.select_with_features(query, &features, method, frac, None, rng);
+        let answer = execute_partitions_on(&self.pt, query, &selection, pool);
         AnswerOutcome {
             answer,
             selection,
@@ -205,10 +271,18 @@ impl Ps3System {
         }
     }
 
-    /// Reset the internal RNG (keeps repeated experiment runs independent
-    /// but reproducible).
-    pub fn reseed(&mut self, seed: u64) {
-        self.rng = StdRng::seed_from_u64(seed);
+    /// [`Self::answer`] with the RNG derived from `(query, seed)` via
+    /// [`query_rng`] — the serving entry point: same request, same seed,
+    /// same answer, from any thread.
+    pub fn answer_seeded(
+        &self,
+        query: &Query,
+        method: Method,
+        frac: f64,
+        seed: u64,
+    ) -> AnswerOutcome {
+        let mut rng = query_rng(query, seed);
+        self.answer(query, method, frac, &mut rng)
     }
 }
 
@@ -263,16 +337,19 @@ mod tests {
     }
 
     #[test]
-    fn reseed_restores_stochastic_behavior() {
-        let mut sys = tiny_system();
+    fn same_seed_restores_stochastic_behavior() {
+        let sys = tiny_system();
         let q = Query::new(vec![AggExpr::count()], None, vec![]);
-        sys.reseed(77);
-        let a = sys.answer(&q, Method::Random, 0.25);
-        sys.reseed(77);
-        let b = sys.answer(&q, Method::Random, 0.25);
+        let a = sys.answer_seeded(&q, Method::Random, 0.25, 77);
+        let b = sys.answer_seeded(&q, Method::Random, 0.25, 77);
         let ka: Vec<usize> = a.selection.iter().map(|w| w.partition.index()).collect();
         let kb: Vec<usize> = b.selection.iter().map(|w| w.partition.index()).collect();
         assert_eq!(ka, kb);
+        // Different seeds draw different uniform samples (16 choose 4 makes
+        // a collision vanishingly unlikely for these two fixed seeds).
+        let c = sys.answer_seeded(&q, Method::Random, 0.25, 78);
+        let kc: Vec<usize> = c.selection.iter().map(|w| w.partition.index()).collect();
+        assert_ne!(ka, kc);
     }
 
     #[test]
@@ -286,13 +363,44 @@ mod tests {
 
     #[test]
     fn answer_outcome_reports_selection() {
-        let mut sys = tiny_system();
+        let sys = tiny_system();
         let q = Query::new(vec![AggExpr::count()], None, vec![]);
-        let out = sys.answer(&q, Method::Ps3, 0.25);
+        let out = sys.answer_seeded(&q, Method::Ps3, 0.25, 0);
         assert!(!out.selection.is_empty());
         assert!(out.picker_ms >= 0.0);
         // COUNT(*) estimate should be near 160 at a 25% budget with weights.
         let est = out.answer.global(0).unwrap();
         assert!((est - 160.0).abs() < 80.0, "count estimate {est}");
+    }
+
+    #[test]
+    fn budget_sweep_computes_features_once() {
+        let sys = tiny_system();
+        let q = Query::new(vec![AggExpr::count()], None, vec![]);
+        assert_eq!(sys.feature_cache_stats().misses, 0);
+        for frac in LSS_BUDGET_GRID {
+            sys.answer_seeded(&q, Method::Ps3, frac, 1);
+        }
+        let stats = sys.feature_cache_stats();
+        assert_eq!(
+            stats.misses, 1,
+            "a 6-budget sweep must call QueryFeatures::compute exactly once"
+        );
+        assert_eq!(stats.hits, LSS_BUDGET_GRID.len() as u64 - 1);
+    }
+
+    #[test]
+    fn pick_outcome_and_answer_share_the_feature_cache() {
+        let sys = tiny_system();
+        let q = Query::new(vec![AggExpr::count()], None, vec![]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = sys.pick_outcome(&q, 0.25, &mut rng);
+        assert_eq!(sys.feature_cache_stats().misses, 1);
+        let _ = sys.answer_seeded(&q, Method::Ps3, 0.25, 3);
+        let stats = sys.feature_cache_stats();
+        assert_eq!(
+            stats.misses, 1,
+            "diagnostics and serving must share one feature computation"
+        );
     }
 }

@@ -30,51 +30,27 @@ pub struct TrainingData {
 }
 
 impl TrainingData {
-    /// Execute every query on every partition (parallel over queries) and
-    /// derive features and contributions.
+    /// Execute every query on every partition (parallel over queries via
+    /// the shared pool) and derive features and contributions.
     pub fn compute(
         pt: &PartitionedTable,
         stats: &TableStats,
         queries: &[Query],
         threads: usize,
     ) -> Self {
-        let threads = if threads == 0 {
-            std::thread::available_parallelism().map_or(4, usize::from)
-        } else {
-            threads
-        }
-        .clamp(1, queries.len().max(1));
-
-        let mut per_query: Vec<(Vec<PartialAnswer>, PartialAnswer, QueryFeatures)> =
-            Vec::with_capacity(queries.len());
-        std::thread::scope(|s| {
-            let chunk = queries.len().div_ceil(threads);
-            let handles: Vec<_> = queries
-                .chunks(chunk.max(1))
-                .map(|qs| {
-                    s.spawn(move || {
-                        qs.iter()
-                            .map(|q| {
-                                let partials: Vec<PartialAnswer> = (0..pt.num_partitions())
-                                    .map(|p| {
-                                        execute_partition(pt.table(), pt.rows(PartitionId(p)), q)
-                                    })
-                                    .collect();
-                                let mut total = PartialAnswer::empty(q);
-                                for part in &partials {
-                                    total.add_weighted(part, 1.0);
-                                }
-                                let feats = QueryFeatures::compute(stats, pt.table(), q);
-                                (partials, total, feats)
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                per_query.extend(h.join().expect("training worker panicked"));
-            }
-        });
+        let per_query: Vec<(Vec<PartialAnswer>, PartialAnswer, QueryFeatures)> =
+            ps3_runtime::fan_out(threads, queries.len(), |qi| {
+                let q = &queries[qi];
+                let partials: Vec<PartialAnswer> = (0..pt.num_partitions())
+                    .map(|p| execute_partition(pt.table(), pt.rows(PartitionId(p)), q))
+                    .collect();
+                let mut total = PartialAnswer::empty(q);
+                for part in &partials {
+                    total.add_weighted(part, 1.0);
+                }
+                let feats = QueryFeatures::compute(stats, pt.table(), q);
+                (partials, total, feats)
+            });
 
         let mut partials = Vec::with_capacity(queries.len());
         let mut totals = Vec::with_capacity(queries.len());

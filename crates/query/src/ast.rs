@@ -336,6 +336,50 @@ impl Query {
         }
     }
 
+    /// A stable 64-bit structural fingerprint of the whole query —
+    /// aggregates, predicate shape *and* literals, and group-by columns.
+    /// Structurally identical queries always share a fingerprint, and the
+    /// serving layer uses it as the feature-cache key: equal fingerprints
+    /// are treated as implying equal `QueryFeatures` rows (features depend
+    /// only on the query and the table statistics). As with any 64-bit
+    /// hash, distinct queries can collide in principle; the chance across
+    /// a bounded cache is ~`n²/2⁶⁴` — negligible for the few hundred
+    /// entries a deployment holds.
+    ///
+    /// The hash is deterministic across runs and platforms (no
+    /// `RandomState`), which keeps cached serving deterministic too.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.word(self.aggregates.len() as u64);
+        for agg in &self.aggregates {
+            fp.word(match agg.func {
+                AggFunc::Sum => 1,
+                AggFunc::Count => 2,
+                AggFunc::Avg => 3,
+            });
+            fp.scalar(&agg.expr);
+            match &agg.condition {
+                Some(p) => {
+                    fp.word(0xC0DE);
+                    fp.predicate(p);
+                }
+                None => fp.word(0),
+            }
+        }
+        match &self.predicate {
+            Some(p) => {
+                fp.word(0xF117E5);
+                fp.predicate(p);
+            }
+            None => fp.word(0),
+        }
+        fp.word(self.group_by.len() as u64);
+        for c in &self.group_by {
+            fp.word(c.index() as u64);
+        }
+        fp.finish()
+    }
+
     /// Deduplicated set of all columns the query touches (aggregates,
     /// predicate, group-by) — drives the feature mask (§3.2).
     pub fn used_columns(&self) -> Vec<ColId> {
@@ -363,6 +407,104 @@ impl Query {
             query: self,
             schema,
         }
+    }
+}
+
+/// Accumulator for [`Query::fingerprint`]: FNV-1a over a tagged pre-order
+/// walk of the AST, finished with a SplitMix64-style avalanche so nearby
+/// structures land far apart in the cache's hash space.
+struct Fingerprint(u64);
+
+impl Fingerprint {
+    fn new() -> Self {
+        Fingerprint(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn word(&mut self, v: u64) {
+        for byte in v.to_le_bytes() {
+            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn text(&mut self, s: &str) {
+        self.word(s.len() as u64);
+        for byte in s.bytes() {
+            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    fn scalar(&mut self, e: &ScalarExpr) {
+        match e {
+            ScalarExpr::Column(c) => {
+                self.word(0x10);
+                self.word(c.index() as u64);
+            }
+            ScalarExpr::Literal(x) => {
+                self.word(0x11);
+                self.word(x.to_bits());
+            }
+            ScalarExpr::BinOp(op, l, r) => {
+                self.word(0x12 + *op as u64);
+                self.scalar(l);
+                self.scalar(r);
+            }
+        }
+    }
+
+    fn predicate(&mut self, p: &Predicate) {
+        match p {
+            Predicate::Clause(Clause::Cmp { col, op, value }) => {
+                self.word(0x20 + *op as u64);
+                self.word(col.index() as u64);
+                self.word(value.to_bits());
+            }
+            Predicate::Clause(Clause::In {
+                col,
+                values,
+                negated,
+            }) => {
+                self.word(if *negated { 0x31 } else { 0x30 });
+                self.word(col.index() as u64);
+                self.word(values.len() as u64);
+                for v in values {
+                    self.text(v);
+                }
+            }
+            Predicate::Clause(Clause::Contains {
+                col,
+                needle,
+                negated,
+            }) => {
+                self.word(if *negated { 0x41 } else { 0x40 });
+                self.word(col.index() as u64);
+                self.text(needle);
+            }
+            Predicate::And(ps) => {
+                self.word(0x50);
+                self.word(ps.len() as u64);
+                for q in ps {
+                    self.predicate(q);
+                }
+            }
+            Predicate::Or(ps) => {
+                self.word(0x51);
+                self.word(ps.len() as u64);
+                for q in ps {
+                    self.predicate(q);
+                }
+            }
+            Predicate::Not(q) => {
+                self.word(0x52);
+                self.predicate(q);
+            }
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 }
 
@@ -580,6 +722,63 @@ mod tests {
         assert!(text.contains("SUM((x * y))"), "{text}");
         assert!(text.contains("tag NOT IN (a, b)"), "{text}");
         assert!(text.contains("GROUP BY tag"), "{text}");
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_structure_and_literals() {
+        let base = Query::new(
+            vec![AggExpr::sum(ScalarExpr::col(ColId(0)))],
+            Some(Predicate::Clause(Clause::Cmp {
+                col: ColId(1),
+                op: CmpOp::Lt,
+                value: 5.0,
+            })),
+            vec![ColId(2)],
+        );
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+
+        // A different literal, operator, aggregate, or group-by each moves
+        // the fingerprint.
+        let mut other = base.clone();
+        other.predicate = Some(Predicate::Clause(Clause::Cmp {
+            col: ColId(1),
+            op: CmpOp::Lt,
+            value: 6.0,
+        }));
+        assert_ne!(base.fingerprint(), other.fingerprint());
+
+        let mut other = base.clone();
+        other.predicate = Some(Predicate::Clause(Clause::Cmp {
+            col: ColId(1),
+            op: CmpOp::Le,
+            value: 5.0,
+        }));
+        assert_ne!(base.fingerprint(), other.fingerprint());
+
+        let mut other = base.clone();
+        other.aggregates = vec![AggExpr::avg(ScalarExpr::col(ColId(0)))];
+        assert_ne!(base.fingerprint(), other.fingerprint());
+
+        let mut other = base.clone();
+        other.group_by = vec![];
+        assert_ne!(base.fingerprint(), other.fingerprint());
+
+        // And/Or shape matters even with identical leaves.
+        let leaves = vec![
+            Clause::Cmp {
+                col: ColId(0),
+                op: CmpOp::Gt,
+                value: 1.0,
+            },
+            Clause::str_eq(ColId(2), "a"),
+        ];
+        let anded = Query::new(
+            vec![AggExpr::count()],
+            Some(Predicate::all(leaves.clone())),
+            vec![],
+        );
+        let ored = Query::new(vec![AggExpr::count()], Some(Predicate::any(leaves)), vec![]);
+        assert_ne!(anded.fingerprint(), ored.fingerprint());
     }
 
     #[test]

@@ -268,6 +268,63 @@ pub fn execute_partitions(
     acc.finalize(query)
 }
 
+/// Selections smaller than this always run serially — with fewer tasks the
+/// fan-out cannot win.
+pub const PARALLEL_EXEC_MIN_PARTS: usize = 8;
+
+/// Selections touching fewer total rows than this run serially even when
+/// they span many partitions: per-partition execution at benchmark scale is
+/// sub-microsecond, so pool task overhead would dominate tiny tables.
+pub const PARALLEL_EXEC_MIN_ROWS: usize = 65_536;
+
+/// The unconditional fan-out: partials computed on `pool`, combined *in
+/// selection order with the same weights*, so the result is bit-identical
+/// to the serial path — parallelism never perturbs a seeded experiment.
+fn fan_out_partitions(
+    pt: &PartitionedTable,
+    query: &Query,
+    selection: &[WeightedPart],
+    pool: &ps3_runtime::ThreadPool,
+) -> QueryAnswer {
+    let partials = pool.scope_map(selection.len(), |i| {
+        execute_partition(pt.table(), pt.rows(selection[i].partition), query)
+    });
+    let mut acc = PartialAnswer::empty(query);
+    for (wp, part) in selection.iter().zip(&partials) {
+        acc.add_weighted(part, wp.weight);
+    }
+    acc.finalize(query)
+}
+
+/// [`execute_partitions`] fanned out over `pool` when it pays for itself:
+/// the pool has real parallelism (>1 worker) and the selection clears both
+/// the partition-count and total-row thresholds. Serial otherwise — a
+/// 1-worker pool in particular makes this an honest single-threaded path.
+pub fn execute_partitions_on(
+    pt: &PartitionedTable,
+    query: &Query,
+    selection: &[WeightedPart],
+    pool: &ps3_runtime::ThreadPool,
+) -> QueryAnswer {
+    let rows: usize = selection.iter().map(|wp| pt.rows(wp.partition).len()).sum();
+    if pool.workers() <= 1
+        || selection.len() < PARALLEL_EXEC_MIN_PARTS
+        || rows < PARALLEL_EXEC_MIN_ROWS
+    {
+        return execute_partitions(pt, query, selection);
+    }
+    fan_out_partitions(pt, query, selection, pool)
+}
+
+/// [`execute_partitions_on`] over the shared workspace pool.
+pub fn execute_partitions_parallel(
+    pt: &PartitionedTable,
+    query: &Query,
+    selection: &[WeightedPart],
+) -> QueryAnswer {
+    execute_partitions_on(pt, query, selection, &ps3_runtime::ThreadPool::global())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -429,6 +486,37 @@ mod tests {
         );
         let ans = execute_table(&t, &q);
         assert_eq!(ans.global(0).unwrap(), 15.0);
+    }
+
+    #[test]
+    fn parallel_execution_matches_serial_bitwise() {
+        let schema = Schema::new(vec![
+            ColumnMeta::new("x", ColumnType::Numeric),
+            ColumnMeta::new("g", ColumnType::Categorical),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..64 {
+            b.push_row(&[f64::from(i) * 0.37], &[["a", "b", "c"][i as usize % 3]]);
+        }
+        let t = PartitionedTable::with_equal_partitions(b.finish(), 16);
+        let q = sum_by_group();
+        // Above PARALLEL_EXEC_MIN_PARTS, with non-trivial weights.
+        let sel: Vec<WeightedPart> = (0..16)
+            .map(|p| WeightedPart {
+                partition: PartitionId(p),
+                weight: 1.0 + p as f64 * 0.25,
+            })
+            .collect();
+        let serial = execute_partitions(&t, &q, &sel);
+        // Force the fan-out (the row-count gate would keep a 64-row table
+        // serial) to prove the parallel combine is bit-identical.
+        let pool = ps3_runtime::ThreadPool::new(4);
+        let parallel = fan_out_partitions(&t, &q, &sel, &pool);
+        assert_eq!(serial, parallel, "parallel combine must be bit-identical");
+        // And the adaptive wrappers (serial here, under the row threshold)
+        // agree too.
+        assert_eq!(serial, execute_partitions_on(&t, &q, &sel, &pool));
+        assert_eq!(serial, execute_partitions_parallel(&t, &q, &sel));
     }
 
     #[test]

@@ -19,6 +19,6 @@ pub mod predicate;
 
 pub use ast::{AggExpr, AggFunc, BinOp, Clause, CmpOp, Predicate, Query, ScalarExpr};
 pub use exec::{
-    execute_partition, execute_partitions, execute_table, GroupKey, PartialAnswer, QueryAnswer,
-    WeightedPart,
+    execute_partition, execute_partitions, execute_partitions_on, execute_partitions_parallel,
+    execute_table, GroupKey, PartialAnswer, QueryAnswer, WeightedPart,
 };

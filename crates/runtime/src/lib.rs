@@ -1,0 +1,27 @@
+//! The workspace's serving runtime: the sanctioned fan-out primitive and
+//! shared concurrent caches.
+//!
+//! Before this crate, three call sites hand-rolled their own
+//! `std::thread::scope` fan-outs (statistics construction, training-workload
+//! execution, bench-cache building) and the query path could not be shared
+//! across threads at all. [`ThreadPool`] replaces all of them with one
+//! work-stealing pool — crossbeam-deque in spirit, vendored as a
+//! dependency-free stand-in (this workspace builds with no crates.io
+//! access) — and [`SharedLru`] provides the bounded feature cache the
+//! serving layer keys by predicate fingerprint.
+//!
+//! Design rules for the rest of the workspace:
+//!
+//! - **No `std::thread::scope` outside this crate.** Parallel loops go
+//!   through [`ThreadPool::scope_map`] / [`fan_out`], which preserve item
+//!   order (so parallel and serial runs are bit-identical) and propagate
+//!   worker panics to the caller.
+//! - Blocking inside a pool task is safe: waiters *help* — they steal and
+//!   run queued tasks while their own scope drains — so nested fan-outs
+//!   cannot deadlock the pool.
+
+pub mod lru;
+pub mod pool;
+
+pub use lru::{CacheStats, LruCache, SharedLru};
+pub use pool::{fan_out, ThreadPool};

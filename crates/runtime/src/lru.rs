@@ -1,0 +1,217 @@
+//! A bounded LRU cache plus a thread-safe wrapper with hit/miss counters —
+//! the backing store for the serving layer's per-query feature cache.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A bounded least-recently-used map. Recency is tracked with a monotonic
+/// stamp per entry; eviction scans for the minimum stamp, which is O(cap)
+/// but only runs on insertion into a full cache — fine for the few-hundred
+/// entry caches this workspace uses, where lookups dominate.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    map: HashMap<K, (u64, V)>,
+    cap: usize,
+    tick: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// A cache holding at most `cap` entries (`cap` ≥ 1 enforced).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            map: HashMap::with_capacity(cap.min(1024)),
+            cap,
+            tick: 0,
+        }
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(key) {
+            Some((stamp, value)) => {
+                *stamp = tick;
+                Some(value)
+            }
+            None => None,
+        }
+    }
+
+    /// Insert (or refresh) `key`, evicting the least-recently-used entry if
+    /// the cache is full.
+    pub fn insert(&mut self, key: K, value: V) {
+        self.tick += 1;
+        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (self.tick, value));
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+/// Cache effectiveness counters. `misses` equals the number of times the
+/// compute closure of [`SharedLru::get_or_insert_with`] actually ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute the value.
+    pub misses: u64,
+    /// Current number of entries.
+    pub len: usize,
+    /// The configured bound.
+    pub cap: usize,
+}
+
+/// A `Mutex`-guarded [`LruCache`] shared across serving threads. Values are
+/// cloned out (use `Arc<V>` for anything heavy). The compute closure of
+/// [`SharedLru::get_or_insert_with`] runs *outside* the lock so concurrent
+/// misses on different keys never serialize; two racing misses on the same
+/// key may both compute, and the first insertion wins.
+#[derive(Debug)]
+pub struct SharedLru<K, V> {
+    inner: Mutex<LruCache<K, V>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> SharedLru<K, V> {
+    /// A shared cache bounded at `cap` entries.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            inner: Mutex::new(LruCache::new(cap)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Return the cached value for `key`, or compute, cache and return it.
+    pub fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.inner.lock().unwrap().get(&key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let value = compute();
+        let mut cache = self.inner.lock().unwrap();
+        if let Some(existing) = cache.get(&key).cloned() {
+            // Lost a same-key race while computing; keep the first insert
+            // so every consumer sees one consistent value.
+            return existing;
+        }
+        cache.insert(key, value.clone());
+        value
+    }
+
+    /// Snapshot the effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        let cache = self.inner.lock().unwrap();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            len: cache.len(),
+            cap: cache.capacity(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut lru = LruCache::new(2);
+        lru.insert("a", 1);
+        lru.insert("b", 2);
+        assert_eq!(lru.get(&"a"), Some(&1)); // refresh a; b is now oldest
+        lru.insert("c", 3);
+        assert_eq!(lru.get(&"b"), None, "b should have been evicted");
+        assert_eq!(lru.get(&"a"), Some(&1));
+        assert_eq!(lru.get(&"c"), Some(&3));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_existing_key_does_not_evict() {
+        let mut lru = LruCache::new(2);
+        lru.insert(1, "x");
+        lru.insert(2, "y");
+        lru.insert(1, "z");
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get(&1), Some(&"z"));
+        assert_eq!(lru.get(&2), Some(&"y"));
+    }
+
+    #[test]
+    fn shared_lru_computes_once_per_key() {
+        let cache: SharedLru<u64, u64> = SharedLru::new(8);
+        let mut computes = 0;
+        for _ in 0..5 {
+            let v = cache.get_or_insert_with(42, || {
+                computes += 1;
+                7
+            });
+            assert_eq!(v, 7);
+        }
+        assert_eq!(computes, 1);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 4);
+        assert_eq!(stats.len, 1);
+    }
+
+    #[test]
+    fn shared_lru_respects_bound() {
+        let cache: SharedLru<u64, u64> = SharedLru::new(4);
+        for k in 0..100 {
+            cache.get_or_insert_with(k, || k * 2);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.len, 4);
+        assert_eq!(stats.cap, 4);
+        assert_eq!(stats.misses, 100);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        use crate::pool::ThreadPool;
+        let cache: SharedLru<u64, u64> = SharedLru::new(64);
+        let pool = ThreadPool::new(4);
+        let out = pool.scope_map(200, |i| {
+            let k = (i % 32) as u64;
+            cache.get_or_insert_with(k, || k + 1000)
+        });
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i % 32) as u64 + 1000);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 200);
+        assert!(stats.misses >= 32);
+    }
+}

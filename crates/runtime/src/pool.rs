@@ -1,0 +1,354 @@
+//! A work-stealing thread pool in the crossbeam-deque mould, built only on
+//! `std` (this workspace vendors its dependencies).
+//!
+//! Layout: one global injector queue plus one deque per worker. A worker
+//! pops from the *back* of its own deque (LIFO, cache-warm) and steals from
+//! the *front* of the injector and of other workers' deques (FIFO, oldest
+//! first) — the classic Chase–Lev discipline, here guarded by short
+//! critical sections instead of lock-free epochs, which is plenty for
+//! partition-sized tasks.
+//!
+//! The structured entry point is [`ThreadPool::scope_map`]: fan `n`
+//! index-addressed tasks out over the pool and return their results *in
+//! index order*. The calling thread helps run queued tasks while it waits,
+//! so nested `scope_map` calls from inside pool tasks make progress instead
+//! of deadlocking, and a 1-worker pool still gets two executors.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread;
+use std::time::Duration;
+
+/// One task's result cell. Each scoped task writes its own slot exactly
+/// once; the scope owner reads it only after the task's `Release` decrement
+/// of the remaining-count has been observed, so access never overlaps.
+struct Slot<T>(UnsafeCell<Option<T>>);
+
+// SAFETY: disjoint slots are written by exactly one task each and read only
+// after the scope barrier (see `scope_map`).
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+/// A queued unit of work. Scoped tasks are lifetime-erased into `'static`
+/// boxes; see the safety note in [`ThreadPool::scope_map`].
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the pool handle and its workers.
+struct Shared {
+    /// `queues[0]` is the injector; `queues[1 + w]` is worker `w`'s deque.
+    queues: Vec<Mutex<VecDeque<Task>>>,
+    /// Guards the sleep/wake handshake: submitters notify under this lock,
+    /// sleepers re-check queue emptiness under it before waiting.
+    idle: Mutex<()>,
+    /// Wakes sleeping workers when tasks arrive or the pool shuts down.
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Pop the back of `own` (if any), else steal the front of any other
+    /// queue, injector first. `own = None` for non-worker (helping) threads.
+    fn find_task(&self, own: Option<usize>) -> Option<Task> {
+        if let Some(q) = own {
+            if let Some(t) = self.queues[q].lock().unwrap().pop_back() {
+                return Some(t);
+            }
+        }
+        for (i, queue) in self.queues.iter().enumerate() {
+            if Some(i) == own {
+                continue;
+            }
+            if let Some(t) = queue.lock().unwrap().pop_front() {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// True if any queue holds a task.
+    fn any_queued(&self) -> bool {
+        self.queues.iter().any(|q| !q.lock().unwrap().is_empty())
+    }
+
+    /// Queue a batch on the injector and wake every worker.
+    fn inject(&self, tasks: impl IntoIterator<Item = Task>) {
+        self.queues[0].lock().unwrap().extend(tasks);
+        let _g = self.idle.lock().unwrap();
+        self.wake.notify_all();
+    }
+
+    /// Main loop of worker `w` (queue index `w + 1`).
+    fn worker_loop(&self, w: usize) {
+        let own = w + 1;
+        loop {
+            if let Some(task) = self.find_task(Some(own)) {
+                task();
+                continue;
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let guard = self.idle.lock().unwrap();
+            // Re-check under the lock: submitters notify while holding it,
+            // so a task pushed since `find_task` cannot slip past us.
+            if self.any_queued() || self.shutdown.load(Ordering::Acquire) {
+                continue;
+            }
+            // The timeout is belt-and-braces only; the handshake above
+            // already rules out lost wakeups.
+            let _ = self.wake.wait_timeout(guard, Duration::from_millis(50));
+        }
+    }
+}
+
+/// The work-stealing pool. One long-lived instance ([`ThreadPool::global`])
+/// serves the whole workspace; dedicated pools are for benchmarks that pin
+/// a worker count.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawn a pool with `threads` workers (0 = available parallelism).
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            thread::available_parallelism().map_or(4, usize::from)
+        } else {
+            threads
+        };
+        let shared = Arc::new(Shared {
+            queues: (0..=threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            idle: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..threads)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("ps3-pool-{w}"))
+                    .spawn(move || shared.worker_loop(w))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// The process-wide pool, sized to available parallelism and created on
+    /// first use. Never torn down.
+    pub fn global() -> Arc<ThreadPool> {
+        static GLOBAL: OnceLock<Arc<ThreadPool>> = OnceLock::new();
+        Arc::clone(GLOBAL.get_or_init(|| Arc::new(ThreadPool::new(0))))
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Run `f(0..n)` across the pool and return the results in index order
+    /// (so parallel and serial runs produce identical output). The calling
+    /// thread helps run queued tasks while waiting. A panic in any task is
+    /// re-raised here after the whole scope has drained.
+    pub fn scope_map<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![f(0)];
+        }
+        let slots: Vec<Slot<T>> = (0..n).map(|_| Slot(UnsafeCell::new(None))).collect();
+        let remaining = AtomicUsize::new(n);
+        let panicked: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
+        {
+            let (f, slots, remaining, panicked) = (&f, &slots, &remaining, &panicked);
+            let tasks: Vec<Task> = (0..n)
+                .map(|i| {
+                    let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                        match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                            Ok(v) => {
+                                // SAFETY: task `i` is the only writer of
+                                // slot `i`, and readers wait for the scope.
+                                unsafe { *slots[i].0.get() = Some(v) };
+                            }
+                            Err(payload) => {
+                                let mut slot = panicked.lock().unwrap();
+                                slot.get_or_insert(payload);
+                            }
+                        }
+                        remaining.fetch_sub(1, Ordering::Release);
+                    });
+                    // SAFETY: the borrows captured by `job` (f, slots,
+                    // remaining, panicked) live on this stack frame, and
+                    // this function does not return — not even by panic —
+                    // until `remaining` reaches zero, i.e. until every task
+                    // has finished running. Erasing the lifetime to queue
+                    // the task on long-lived workers is therefore sound.
+                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Task>(job) }
+                })
+                .collect();
+            self.shared.inject(tasks);
+
+            // Help while waiting: drain whatever is queued (our own scope's
+            // tasks, or an outer/inner scope's — either way progress).
+            let mut spins = 0u32;
+            while remaining.load(Ordering::Acquire) > 0 {
+                match self.shared.find_task(None) {
+                    Some(task) => {
+                        task();
+                        spins = 0;
+                    }
+                    None => {
+                        spins += 1;
+                        if spins < 64 {
+                            thread::yield_now();
+                        } else {
+                            thread::sleep(Duration::from_micros(50));
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(payload) = panicked.into_inner().unwrap() {
+            resume_unwind(payload);
+        }
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.0
+                    .into_inner()
+                    .expect("completed task left its slot empty")
+            })
+            .collect()
+    }
+
+    /// Parallel map over a slice, order-preserving.
+    pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I) -> T + Sync,
+    {
+        self.scope_map(items.len(), |i| f(&items[i]))
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _g = self.shared.idle.lock().unwrap();
+            self.shared.wake.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The workspace fan-out helper, honouring the `threads` convention used by
+/// [`StatsConfig`](../../stats) and [`Ps3Config`](../../core): `1` runs
+/// serially on the caller, anything else (including the 0 = "all cores"
+/// default) goes through the shared global pool.
+pub fn fan_out<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads == 1 || n <= 1 {
+        (0..n).map(f).collect()
+    } else {
+        ThreadPool::global().scope_map(n, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_map_preserves_order() {
+        let pool = ThreadPool::new(4);
+        let out = pool.scope_map(100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_over_slice() {
+        let pool = ThreadPool::new(2);
+        let items = vec!["a", "bb", "ccc"];
+        assert_eq!(pool.map(&items, |s| s.len()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn single_worker_pool_still_completes() {
+        let pool = ThreadPool::new(1);
+        let out = pool.scope_map(32, |i| i + 1);
+        assert_eq!(out.iter().sum::<usize>(), (1..=32).sum::<usize>());
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let pool = ThreadPool::new(2);
+        // 4 outer tasks each fanning out 8 inner tasks on the same pool:
+        // workers block in the inner scope but help drain it.
+        let out = pool.scope_map(4, |i| {
+            pool.scope_map(8, |j| i * 8 + j).iter().sum::<usize>()
+        });
+        let total: usize = out.iter().sum();
+        assert_eq!(total, (0..32).sum::<usize>());
+    }
+
+    #[test]
+    fn panics_propagate_after_scope_drains() {
+        let pool = ThreadPool::new(2);
+        let done = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope_map(16, |i| {
+                if i == 7 {
+                    panic!("task 7 exploded");
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+                i
+            })
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        // Every non-panicking task still ran to completion first.
+        assert_eq!(done.load(Ordering::Relaxed), 15);
+    }
+
+    #[test]
+    fn global_pool_is_shared() {
+        let a = ThreadPool::global();
+        let b = ThreadPool::global();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.workers() >= 1);
+        assert_eq!(a.scope_map(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn fan_out_serial_and_parallel_agree() {
+        let serial = fan_out(1, 20, |i| i * 3);
+        let parallel = fan_out(0, 20, |i| i * 3);
+        assert_eq!(serial, parallel);
+        assert!(fan_out(0, 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn stress_many_small_tasks() {
+        let pool = ThreadPool::new(3);
+        for round in 0..20 {
+            let out = pool.scope_map(257, |i| i + round);
+            assert_eq!(out.len(), 257);
+            assert_eq!(out[256], 256 + round);
+        }
+    }
+}

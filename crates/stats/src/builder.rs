@@ -3,7 +3,9 @@
 //! feature blocks.
 //!
 //! Sketch construction is embarrassingly parallel across partitions (§3.1);
-//! we fan out over `std::thread` scoped threads.
+//! we fan out over the workspace's shared work-stealing pool
+//! ([`ps3_runtime::fan_out`]), which preserves partition order so parallel
+//! and serial builds are identical.
 
 use std::collections::HashMap;
 
@@ -19,7 +21,8 @@ pub struct StatsConfig {
     pub column_params: ColumnStatsParams,
     /// Global heavy hitters tracked per column (paper: capped at 25).
     pub bitmap_k: usize,
-    /// Worker threads (0 = use available parallelism).
+    /// Fan-out policy: `1` builds serially on the caller, anything else
+    /// (including the 0 default) uses the shared workspace pool.
     pub threads: usize,
 }
 
@@ -60,46 +63,18 @@ impl TableStats {
         let n = pt.num_partitions();
         let table = pt.table();
         let schema = table.schema();
-        let threads = if cfg.threads == 0 {
-            std::thread::available_parallelism().map_or(4, usize::from)
-        } else {
-            cfg.threads
-        }
-        .clamp(1, n.max(1));
 
-        // Fan the partitions out over contiguous chunks.
-        let ids: Vec<usize> = (0..n).collect();
-        let chunk = n.div_ceil(threads);
-        let mut partitions: Vec<Vec<ColumnStats>> = Vec::with_capacity(n);
-        std::thread::scope(|s| {
-            let handles: Vec<_> = ids
-                .chunks(chunk.max(1))
-                .map(|chunk_ids| {
-                    let params = cfg.column_params;
-                    s.spawn(move || {
-                        chunk_ids
-                            .iter()
-                            .map(|&p| {
-                                let rows = pt.rows(ps3_storage::PartitionId(p));
-                                schema
-                                    .iter()
-                                    .map(|(id, meta)| {
-                                        ColumnStats::build(
-                                            table.column(id),
-                                            meta.ctype,
-                                            rows.clone(),
-                                            &params,
-                                        )
-                                    })
-                                    .collect::<Vec<_>>()
-                            })
-                            .collect::<Vec<_>>()
-                    })
+        // Fan the partitions out over the shared pool, one task per
+        // partition (work stealing balances skewed partition sizes).
+        let params = cfg.column_params;
+        let partitions: Vec<Vec<ColumnStats>> = ps3_runtime::fan_out(cfg.threads, n, |p| {
+            let rows = pt.rows(ps3_storage::PartitionId(p));
+            schema
+                .iter()
+                .map(|(id, meta)| {
+                    ColumnStats::build(table.column(id), meta.ctype, rows.clone(), &params)
                 })
-                .collect();
-            for h in handles {
-                partitions.extend(h.join().expect("stats worker panicked"));
-            }
+                .collect::<Vec<_>>()
         });
 
         // Global heavy hitters per column: merge the per-partition lists,

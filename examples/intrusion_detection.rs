@@ -21,7 +21,7 @@ fn main() {
     let col = |n: &str| schema.expect_col(n);
 
     println!("training PS3 on the intrusion workload...");
-    let mut system = ds.train_system(Ps3Config::default().with_seed(23));
+    let system = ds.train_system(Ps3Config::default().with_seed(23));
 
     // Investigation: how much SYN-flood traffic (high serror_rate) is each
     // service seeing, and from how many connections?
@@ -45,8 +45,8 @@ fn main() {
     );
     println!("{:>9} {:>12} {:>12}", "budget", "PS3 err", "random err");
     for frac in [0.05, 0.1, 0.25] {
-        let ps3 = system.answer(&flood_by_service, Method::Ps3, frac);
-        let rnd = system.answer(&flood_by_service, Method::Random, frac);
+        let ps3 = system.answer_seeded(&flood_by_service, Method::Ps3, frac, 23);
+        let rnd = system.answer_seeded(&flood_by_service, Method::Random, frac, 23);
         println!(
             "{:>8.0}% {:>12.5} {:>12.5}",
             frac * 100.0,
@@ -56,7 +56,8 @@ fn main() {
     }
 
     // Where the budget goes: PS3's importance funnel.
-    let out = system.pick_outcome(&flood_by_service, 0.1);
+    let mut rng = ps3::core::query_rng(&flood_by_service, 23);
+    let out = system.pick_outcome(&flood_by_service, 0.1, &mut rng);
     println!(
         "\nat a 10% budget PS3 read {} partitions ({} outliers); funnel group \
          sizes (least→most important): {:?}",

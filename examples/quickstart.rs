@@ -27,7 +27,7 @@ fn main() {
     //    executes the training queries per partition, learns the k=4
     //    importance models, fits the normalizer, and runs feature selection.
     println!("training PS3 on {} queries...", ds.train_queries.len());
-    let mut system = ds.train_system(Ps3Config::default().with_seed(7));
+    let system = ds.train_system(Ps3Config::default().with_seed(7));
     println!(
         "  model thresholds: {:?}",
         system
@@ -46,8 +46,8 @@ fn main() {
 
     println!("\n{:>9}  {:>12}  {:>12}", "budget", "PS3", "random");
     for frac in [0.05, 0.1, 0.2, 0.5] {
-        let ps3 = system.answer(&query, Method::Ps3, frac);
-        let rnd = system.answer(&query, Method::Random, frac);
+        let ps3 = system.answer_seeded(&query, Method::Ps3, frac, 7);
+        let rnd = system.answer_seeded(&query, Method::Random, frac, 7);
         println!(
             "{:>8.0}%  {:>12.5}  {:>12.5}",
             frac * 100.0,

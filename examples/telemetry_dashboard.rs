@@ -21,7 +21,7 @@ fn main() {
     let col = |n: &str| schema.expect_col(n);
 
     println!("training PS3 on the telemetry workload...");
-    let mut system = ds.train_system(Ps3Config::default().with_seed(11));
+    let system = ds.train_system(Ps3Config::default().with_seed(11));
 
     // Dashboard panels: each is a query in the §2.2 scope.
     let panels: Vec<(&str, Query)> = vec![
@@ -77,8 +77,8 @@ fn main() {
     );
     for (name, q) in panels {
         let exact = system.exact_answer(&q);
-        let ps3 = system.answer(&q, Method::Ps3, budget);
-        let rnd = system.answer(&q, Method::Random, budget);
+        let ps3 = system.answer_seeded(&q, Method::Ps3, budget, 11);
+        let rnd = system.answer_seeded(&q, Method::Random, budget, 11);
         let mp = ErrorMetrics::compute(&exact, &ps3.answer);
         let mr = ErrorMetrics::compute(&exact, &rnd.answer);
         println!(

@@ -19,7 +19,7 @@ fn main() {
         "training PS3 on {} random TPC-H* queries...",
         ds.train_queries.len()
     );
-    let mut system = ds.train_system(Ps3Config::default().with_seed(31));
+    let system = ds.train_system(Ps3Config::default().with_seed(31));
 
     let mut rng = StdRng::seed_from_u64(99);
     let budget = 0.15;
@@ -34,8 +34,8 @@ fn main() {
             println!("{name}: predicate selected no rows at this scale; skipped");
             continue;
         }
-        let ps3 = system.answer(&q, Method::Ps3, budget);
-        let rnd = system.answer(&q, Method::RandomFilter, budget);
+        let ps3 = system.answer_seeded(&q, Method::Ps3, budget, 31);
+        let rnd = system.answer_seeded(&q, Method::RandomFilter, budget, 31);
         println!("{name}: {}", q.display(ds.pt.table().schema()));
         println!(
             "     groups={:<3} PS3 err={:.4}   random+filter err={:.4}   (read {} partitions)\n",

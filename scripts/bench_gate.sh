@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Perf-trajectory gate for the micro benches.
+#
+# Usage: bench_gate.sh <raw_tsv> <out_json> [baseline_json]
+#
+#   raw_tsv       lines of "bench_name<TAB>ns_per_iter" appended by the
+#                 vendored criterion when PS3_BENCH_TSV is set
+#   out_json      where to write the flat {"name": ns, ...} trajectory
+#                 (the repo-root BENCH_micro.json)
+#   baseline_json optional committed baseline; when given, exit non-zero if
+#                 any bench present in both files got more than MAX_RATIO
+#                 (default 2.0) times slower. Benches whose baseline is
+#                 under MIN_NS (default 10000 = 10µs) are reported but not
+#                 gated: the vendored criterion does no statistical
+#                 analysis, so sub-10µs numbers are noise-dominated.
+set -euo pipefail
+
+raw="$1"
+out="$2"
+baseline="${3:-}"
+max_ratio="${MAX_RATIO:-2.0}"
+min_ns="${MIN_NS:-10000}"
+
+if [ ! -s "$raw" ]; then
+    echo "bench_gate: no raw measurements at $raw" >&2
+    exit 1
+fi
+
+# TSV -> flat JSON object, one "name": ns pair per line (the fixed layout
+# lets the comparison below parse it back with sed alone — no jq needed).
+{
+    echo '{'
+    awk -F'\t' 'NR>1{printf ",\n"} {printf "  \"%s\": %s", $1, $2}' "$raw"
+    printf '\n}\n'
+} >"$out"
+echo "bench_gate: wrote $(wc -l <"$raw") benches to $out"
+
+if [ -z "$baseline" ] || [ ! -f "$baseline" ]; then
+    echo "bench_gate: no baseline to compare against; done"
+    exit 0
+fi
+
+base_tsv=$(mktemp)
+trap 'rm -f "$base_tsv"' EXIT
+sed -n 's/^  "\(.*\)": \([0-9][0-9]*\),\{0,1\}$/\1\t\2/p' "$baseline" >"$base_tsv"
+
+awk -F'\t' -v max_ratio="$max_ratio" -v min_ns="$min_ns" '
+    NR == FNR { base[$1] = $2; next }
+    ($1 in base) {
+        ratio = base[$1] > 0 ? $2 / base[$1] : 1;
+        gated = base[$1] >= min_ns;
+        flag = "";
+        if (ratio > max_ratio) flag = gated ? "  << REGRESSION" : "  (ungated: baseline < min_ns)";
+        printf "%-50s %14d ns  (baseline %14d ns, %.2fx)%s\n", $1, $2, base[$1], ratio, flag;
+        if (gated && ratio > max_ratio) bad = 1;
+    }
+    END {
+        if (bad) {
+            printf "bench_gate: FAIL — at least one bench regressed more than %.1fx\n", max_ratio;
+            exit 1;
+        }
+        print "bench_gate: OK";
+    }
+' "$base_tsv" "$raw"

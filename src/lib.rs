@@ -13,7 +13,10 @@
 //!    sketches in [`sketch`]).
 //! 3. Train a [`core::Ps3System`] on a workload specification.
 //! 4. Answer queries at a chosen partition budget and compare against the
-//!    exact answer ([`query`]).
+//!    exact answer ([`query`]). The query path is `&self`: wrap the trained
+//!    system in an `Arc` and serve it from as many threads as you like
+//!    (see [`core::serve::ServeHandle`]); per-request seeds make every
+//!    answer reproducible.
 //!
 //! ```no_run
 //! use ps3::data::{DatasetConfig, DatasetKind, ScaleProfile};
@@ -21,10 +24,10 @@
 //!
 //! // A tiny Aria-like telemetry dataset (64 partitions).
 //! let ds = DatasetConfig::new(DatasetKind::Aria, ScaleProfile::Tiny).build(7);
-//! let mut system = ds.train_system(Ps3Config::default().with_seed(7));
+//! let system = ds.train_system(Ps3Config::default().with_seed(7));
 //! let query = ds.sample_test_query(0);
 //! let exact = system.exact_answer(&query);
-//! let approx = system.answer(&query, Method::Ps3, 0.25);
+//! let approx = system.answer_seeded(&query, Method::Ps3, 0.25, 7);
 //! let err = ps3::query::metrics::avg_relative_error(&exact, &approx.answer);
 //! assert!(err < 1.0, "avg relative error {err} too large");
 //! ```
@@ -34,6 +37,7 @@ pub use ps3_core as core;
 pub use ps3_data as data;
 pub use ps3_learn as learn;
 pub use ps3_query as query;
+pub use ps3_runtime as runtime;
 pub use ps3_sketch as sketch;
 pub use ps3_stats as stats;
 pub use ps3_storage as storage;

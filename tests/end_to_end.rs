@@ -6,6 +6,8 @@ use ps3::data::{DatasetConfig, DatasetKind, ScaleProfile};
 use ps3::query::metrics::ErrorMetrics;
 use ps3::query::{execute_partitions, WeightedPart};
 use ps3::storage::PartitionId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn tiny(kind: DatasetKind, seed: u64) -> ps3::data::Dataset {
     DatasetConfig::new(kind, ScaleProfile::Tiny).build(seed)
@@ -22,11 +24,11 @@ fn fast_config(seed: u64) -> Ps3Config {
 #[test]
 fn full_budget_reproduces_exact_answers_for_every_method() {
     let ds = tiny(DatasetKind::Aria, 1);
-    let mut system = ds.train_system(fast_config(1));
+    let system = ds.train_system(fast_config(1));
     let query = ds.sample_test_query(1);
     let exact = system.exact_answer(&query);
     for method in Method::ALL {
-        let out = system.answer(&query, method, 1.0);
+        let out = system.answer_seeded(&query, method, 1.0, 1);
         let m = ErrorMetrics::compute(&exact, &out.answer);
         // Reading 100% of partitions must be exact up to float round-off,
         // for every sampling scheme (all weights become 1).
@@ -45,7 +47,8 @@ fn ps3_beats_uniform_random_on_skewed_layout() {
     // Aria sorted by tenant is the paper's motivating case: group
     // distributions differ wildly across partitions.
     let ds = tiny(DatasetKind::Aria, 2);
-    let mut system = ds.train_system(fast_config(2));
+    let system = ds.train_system(fast_config(2));
+    let mut rng = StdRng::seed_from_u64(2);
     let budget = 0.15;
     let (mut ps3_err, mut rand_err) = (0.0, 0.0);
     let queries: Vec<_> = (0..8).map(|i| ds.sample_test_query(i)).collect();
@@ -54,12 +57,12 @@ fn ps3_beats_uniform_random_on_skewed_layout() {
         if exact.num_groups() == 0 {
             continue;
         }
-        let ps3 = system.answer(q, Method::Ps3, budget);
+        let ps3 = system.answer(q, Method::Ps3, budget, &mut rng);
         ps3_err += ps3::query::metrics::avg_relative_error(&exact, &ps3.answer);
         // Average random over a few runs to be fair to its variance.
         let mut r = 0.0;
         for _ in 0..5 {
-            let out = system.answer(q, Method::Random, budget);
+            let out = system.answer(q, Method::Random, budget, &mut rng);
             r += ps3::query::metrics::avg_relative_error(&exact, &out.answer);
         }
         rand_err += r / 5.0;
@@ -73,13 +76,14 @@ fn ps3_beats_uniform_random_on_skewed_layout() {
 #[test]
 fn selection_budgets_are_respected() {
     let ds = tiny(DatasetKind::Kdd, 3);
-    let mut system = ds.train_system(fast_config(3));
+    let system = ds.train_system(fast_config(3));
+    let mut rng = StdRng::seed_from_u64(3);
     let n = system.num_partitions();
     for frac in [0.05, 0.2, 0.5] {
         let budget = system.budget_partitions(frac);
         for method in Method::ALL {
             let q = ds.sample_test_query(0);
-            let out = system.answer(&q, method, frac);
+            let out = system.answer(&q, method, frac, &mut rng);
             assert!(
                 out.selection.len() <= budget.max(1),
                 "{} read {} partitions with budget {budget}",
@@ -129,10 +133,10 @@ fn weighted_combination_is_linear_in_weights() {
 fn trained_system_is_deterministic_for_ps3_median_estimator() {
     let ds = tiny(DatasetKind::TpcH, 5);
     let q = ds.sample_test_query(3);
-    let mut sys_a = ds.train_system(fast_config(5));
-    let mut sys_b = ds.train_system(fast_config(5));
-    let a = sys_a.answer(&q, Method::Ps3, 0.2);
-    let b = sys_b.answer(&q, Method::Ps3, 0.2);
+    let sys_a = ds.train_system(fast_config(5));
+    let sys_b = ds.train_system(fast_config(5));
+    let a = sys_a.answer_seeded(&q, Method::Ps3, 0.2, 5);
+    let b = sys_b.answer_seeded(&q, Method::Ps3, 0.2, 5);
     let mut sel_a: Vec<(usize, u64)> = a
         .selection
         .iter()
@@ -151,9 +155,10 @@ fn trained_system_is_deterministic_for_ps3_median_estimator() {
 #[test]
 fn picker_diagnostics_are_consistent() {
     let ds = tiny(DatasetKind::Aria, 6);
-    let mut system = ds.train_system(fast_config(6));
+    let system = ds.train_system(fast_config(6));
     let q = ds.sample_test_query(4);
-    let out = system.pick_outcome(&q, 0.25);
+    let mut rng = StdRng::seed_from_u64(6);
+    let out = system.pick_outcome(&q, 0.25, &mut rng);
     assert!(out.total_ms >= 0.0);
     assert!(out.clustering_ms <= out.total_ms + 1e-6);
     // Group sizes cover at most all partitions.
@@ -189,10 +194,10 @@ fn lesion_configs_still_answer_queries() {
             c
         }),
     ] {
-        let mut system = ds.train_system(cfg);
+        let system = ds.train_system(cfg);
         let q = ds.sample_test_query(1);
         let exact = system.exact_answer(&q);
-        let out = system.answer(&q, Method::Ps3, 1.0);
+        let out = system.answer_seeded(&q, Method::Ps3, 1.0, 7);
         let err = ps3::query::metrics::avg_relative_error(&exact, &out.answer);
         assert!(err < 1e-6, "{name}: full budget should be exact, got {err}");
     }

@@ -5,6 +5,8 @@ use ps3::core::{Method, Ps3Config};
 use ps3::data::{DatasetConfig, DatasetKind, ScaleProfile};
 use ps3::query::{AggExpr, Clause, CmpOp, Predicate, Query, ScalarExpr};
 use ps3::stats::QueryFeatures;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn fast_config(seed: u64) -> Ps3Config {
     let mut cfg = Ps3Config::default().with_seed(seed);
@@ -16,7 +18,8 @@ fn fast_config(seed: u64) -> Ps3Config {
 #[test]
 fn complex_predicates_skip_clustering() {
     let ds = DatasetConfig::new(DatasetKind::Kdd, ScaleProfile::Tiny).build(1);
-    let mut system = ds.train_system(fast_config(1));
+    let system = ds.train_system(fast_config(1));
+    let mut rng = StdRng::seed_from_u64(1);
     let schema = ds.pt.table().schema();
     let col = schema.expect_col("src_bytes");
     // 12 clauses > the 10-clause fallback limit.
@@ -32,7 +35,7 @@ fn complex_predicates_skip_clustering() {
         Some(Predicate::all(clauses)),
         vec![],
     );
-    let out = system.pick_outcome(&q, 0.3);
+    let out = system.pick_outcome(&q, 0.3, &mut rng);
     assert_eq!(
         out.clustering_ms, 0.0,
         "Appendix B.1: >10 clauses must fall back to random sampling"
@@ -49,14 +52,14 @@ fn complex_predicates_skip_clustering() {
         })),
         vec![],
     );
-    let out = system.pick_outcome(&q, 0.3);
+    let out = system.pick_outcome(&q, 0.3, &mut rng);
     assert!(out.clustering_ms > 0.0, "simple predicates should cluster");
 }
 
 #[test]
 fn filter_excludes_provably_empty_partitions() {
     let ds = DatasetConfig::new(DatasetKind::TpcH, ScaleProfile::Tiny).build(2);
-    let mut system = ds.train_system(fast_config(2));
+    let system = ds.train_system(fast_config(2));
     let schema = ds.pt.table().schema();
     // Ship-date layout: a narrow date range touches few partitions.
     let ship = schema.expect_col("l_shipdate");
@@ -89,7 +92,7 @@ fn filter_excludes_provably_empty_partitions() {
     );
     // Every method that filters must select only candidates.
     for method in [Method::RandomFilter, Method::Lss, Method::Ps3] {
-        let out = system.answer(&q, method, 0.5);
+        let out = system.answer_seeded(&q, method, 0.5, 2);
         for wp in &out.selection {
             assert!(
                 candidates.contains(&wp.partition.index()),
@@ -103,7 +106,8 @@ fn filter_excludes_provably_empty_partitions() {
 #[test]
 fn outlier_budget_cap_is_enforced() {
     let ds = DatasetConfig::new(DatasetKind::Aria, ScaleProfile::Tiny).build(3);
-    let mut system = ds.train_system(fast_config(3));
+    let system = ds.train_system(fast_config(3));
+    let mut rng = StdRng::seed_from_u64(3);
     let schema = ds.pt.table().schema();
     let q = Query::new(
         vec![AggExpr::count()],
@@ -112,7 +116,7 @@ fn outlier_budget_cap_is_enforced() {
     );
     for frac in [0.1, 0.25, 0.5] {
         let budget = system.budget_partitions(frac);
-        let out = system.pick_outcome(&q, frac);
+        let out = system.pick_outcome(&q, frac, &mut rng);
         let cap = (0.1 * budget as f64).floor() as usize;
         assert!(
             out.num_outliers <= cap,
@@ -125,7 +129,7 @@ fn outlier_budget_cap_is_enforced() {
 #[test]
 fn group_by_queries_produce_weighted_groups() {
     let ds = DatasetConfig::new(DatasetKind::TpcDs, ScaleProfile::Tiny).build(4);
-    let mut system = ds.train_system(fast_config(4));
+    let system = ds.train_system(fast_config(4));
     let schema = ds.pt.table().schema();
     let q = Query::new(
         vec![AggExpr::sum(ScalarExpr::col(
@@ -135,7 +139,7 @@ fn group_by_queries_produce_weighted_groups() {
         vec![schema.expect_col("i_category")],
     );
     let exact = system.exact_answer(&q);
-    let out = system.answer(&q, Method::Ps3, 0.3);
+    let out = system.answer_seeded(&q, Method::Ps3, 0.3, 4);
     // Weights must cover the partition space: Σ weights ≈ N (outliers are
     // counted once; clusters carry their sizes).
     let total_weight: f64 = out.selection.iter().map(|w| w.weight).sum();
@@ -155,7 +159,8 @@ fn group_by_queries_produce_weighted_groups() {
 #[test]
 fn oracle_mode_prioritizes_true_contributors() {
     let ds = DatasetConfig::new(DatasetKind::Kdd, ScaleProfile::Tiny).build(5);
-    let mut system = ds.train_system(fast_config(5));
+    let system = ds.train_system(fast_config(5));
+    let mut rng = StdRng::seed_from_u64(5);
     let schema = ds.pt.table().schema();
     let q = Query::new(
         vec![AggExpr::sum(ScalarExpr::col(
@@ -171,8 +176,14 @@ fn oracle_mode_prioritizes_true_contributors() {
         *c = 1.0;
     }
     let features = QueryFeatures::compute(&ds.stats, ds.pt.table(), &q);
-    let (sel, _) =
-        system.select_with_features(&q, &features, Method::Ps3, 0.1, Some(&contributions));
+    let (sel, _) = system.select_with_features(
+        &q,
+        &features,
+        Method::Ps3,
+        0.1,
+        Some(&contributions),
+        &mut rng,
+    );
     // α=2 over the k+1 funnel groups gives the top group a 2^k = 16x
     // sampling *rate*; with a ~6-partition budget the top-5 partitions must
     // be sampled at a far higher rate than the other 59, though not

@@ -1,0 +1,175 @@
+//! Concurrency contract of the serving layer: one trained
+//! `Arc<Ps3System>` shared by many threads answers every seeded request
+//! bit-identically to a single-threaded reference, the bounded feature
+//! cache computes features once per query shape, and eviction under
+//! pressure never perturbs an answer. Loom-free by design: determinism is
+//! checked end to end through real threads (`std::thread::spawn` — the
+//! pool owns the only `thread::scope` in the workspace).
+
+use std::sync::Arc;
+use std::thread;
+
+use ps3::core::{Method, Ps3Config, Ps3System, QueryRequest, ServeHandle};
+use ps3::data::{Dataset, DatasetConfig, DatasetKind, ScaleProfile};
+
+fn trained(seed: u64, cache_cap: usize) -> (Dataset, Arc<Ps3System>) {
+    let ds = DatasetConfig::new(DatasetKind::Aria, ScaleProfile::Tiny).build(seed);
+    let mut cfg = Ps3Config::default().with_seed(seed);
+    cfg.gbdt.n_trees = 6;
+    cfg.feature_selection = false;
+    cfg.feature_cache_cap = cache_cap;
+    let system = Arc::new(ds.train_system(cfg));
+    (ds, system)
+}
+
+/// The acceptance bar of the shared-nothing refactor: the same
+/// (query, seed, budget) request returns a bit-identical `QueryAnswer`
+/// from 8 threads sharing one `Arc<Ps3System>`.
+#[test]
+fn eight_threads_share_one_system_with_bit_identical_answers() {
+    let (ds, system) = trained(21, 256);
+    let handle = ServeHandle::new(Arc::clone(&system));
+
+    let reqs: Arc<Vec<QueryRequest>> = Arc::new(
+        (0..6)
+            .flat_map(|i| {
+                let q = ds.sample_test_query(i);
+                [
+                    QueryRequest::ps3(q.clone(), 0.2, 42),
+                    QueryRequest {
+                        query: q,
+                        method: Method::Lss,
+                        frac: 0.1,
+                        seed: 7,
+                    },
+                ]
+            })
+            .collect(),
+    );
+    // Single-threaded reference answers.
+    let expected: Arc<Vec<_>> = Arc::new(reqs.iter().map(|r| handle.answer(r)).collect());
+
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            let handle = handle.clone();
+            let reqs = Arc::clone(&reqs);
+            let expected = Arc::clone(&expected);
+            thread::spawn(move || {
+                // Each thread walks the requests in a different order so
+                // cache hits/misses interleave differently per thread.
+                for k in 0..reqs.len() {
+                    let i = (k + t * 5) % reqs.len();
+                    let out = handle.answer(&reqs[i]);
+                    assert_eq!(
+                        out.answer, expected[i].answer,
+                        "thread {t}: request {i} diverged from the single-thread reference"
+                    );
+                    let sel: Vec<(usize, u64)> = out
+                        .selection
+                        .iter()
+                        .map(|w| (w.partition.index(), w.weight.to_bits()))
+                        .collect();
+                    let exp_sel: Vec<(usize, u64)> = expected[i]
+                        .selection
+                        .iter()
+                        .map(|w| (w.partition.index(), w.weight.to_bits()))
+                        .collect();
+                    assert_eq!(sel, exp_sel, "thread {t}: selection {i} diverged");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("serving thread panicked");
+    }
+}
+
+/// The cache acceptance bar: a 6-budget sweep calls
+/// `QueryFeatures::compute` exactly once per query.
+#[test]
+fn budget_sweep_computes_features_once_per_query() {
+    let (ds, system) = trained(22, 256);
+    let handle = ServeHandle::new(Arc::clone(&system));
+    let budgets = [0.02, 0.05, 0.1, 0.2, 0.35, 0.5];
+
+    assert_eq!(system.feature_cache_stats().misses, 0);
+    let queries: Vec<_> = (0..4).map(|i| ds.sample_test_query(i)).collect();
+    for (i, q) in queries.iter().enumerate() {
+        let outs = handle.sweep(q, Method::Ps3, &budgets, i as u64);
+        assert_eq!(outs.len(), budgets.len());
+    }
+    let stats = system.feature_cache_stats();
+    assert_eq!(
+        stats.misses,
+        queries.len() as u64,
+        "each query's 6-budget sweep must compute features exactly once"
+    );
+    assert_eq!(
+        stats.hits,
+        (queries.len() * (budgets.len() - 1)) as u64,
+        "every other lookup must hit the cache"
+    );
+}
+
+/// Eviction pressure: a cache far smaller than the working set still
+/// serves deterministic answers from many threads, and stays bounded.
+#[test]
+fn tiny_cache_under_concurrent_pressure_stays_correct_and_bounded() {
+    let (ds, system) = trained(23, 4);
+    let handle = ServeHandle::new(Arc::clone(&system));
+
+    let reqs: Arc<Vec<QueryRequest>> = Arc::new(
+        (0..12)
+            .map(|i| QueryRequest::ps3(ds.sample_test_query(i), 0.15, i as u64))
+            .collect(),
+    );
+    let expected: Arc<Vec<_>> = Arc::new(reqs.iter().map(|r| handle.answer(r)).collect());
+
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            let handle = handle.clone();
+            let reqs = Arc::clone(&reqs);
+            let expected = Arc::clone(&expected);
+            thread::spawn(move || {
+                for round in 0..3 {
+                    for k in 0..reqs.len() {
+                        let i = (k + t + round) % reqs.len();
+                        let out = handle.answer(&reqs[i]);
+                        assert_eq!(
+                            out.answer, expected[i].answer,
+                            "thread {t} round {round}: eviction perturbed request {i}"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("stress thread panicked");
+    }
+
+    let stats = system.feature_cache_stats();
+    assert!(
+        stats.len <= 4,
+        "cache exceeded its bound: {} entries",
+        stats.len
+    );
+    assert!(stats.misses >= 12, "12 shapes cannot fit in 4 slots");
+}
+
+/// Batch serving fans out over the pool but keeps request order, matching
+/// the one-at-a-time path exactly.
+#[test]
+fn answer_many_matches_sequential_answers() {
+    let (ds, system) = trained(24, 256);
+    let handle = ServeHandle::new(system);
+    let reqs: Vec<QueryRequest> = (0..10)
+        .map(|i| QueryRequest::ps3(ds.sample_test_query(i), 0.25, 100 + i as u64))
+        .collect();
+    let batch = handle.answer_many(&reqs);
+    assert_eq!(batch.len(), reqs.len());
+    for (req, out) in reqs.iter().zip(&batch) {
+        let solo = handle.answer(req);
+        assert_eq!(out.answer, solo.answer, "seed {}", req.seed);
+    }
+}

@@ -7,6 +7,8 @@
 use ps3::core::{Method, Ps3Config};
 use ps3::data::{DatasetConfig, DatasetKind, ScaleProfile};
 use ps3::query::metrics::avg_relative_error;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 #[test]
 fn ps3_beats_uniform_sampling_at_ten_percent_budget() {
@@ -16,9 +18,10 @@ fn ps3_beats_uniform_sampling_at_ten_percent_budget() {
     cfg.gbdt.n_trees = 10;
     cfg.fs_restarts = 1;
     cfg.fs_eval_queries = 4;
-    let mut system = ds.train_system(cfg);
+    let system = ds.train_system(cfg);
 
     let budget = 0.10;
+    let mut rng = StdRng::seed_from_u64(11);
     let mut ps3_err = 0.0;
     let mut rand_err = 0.0;
     let mut evaluated = 0;
@@ -30,7 +33,7 @@ fn ps3_beats_uniform_sampling_at_ten_percent_budget() {
         }
         evaluated += 1;
 
-        let ps3 = system.answer(&query, Method::Ps3, budget);
+        let ps3 = system.answer(&query, Method::Ps3, budget, &mut rng);
         ps3_err += avg_relative_error(&exact, &ps3.answer);
 
         // Uniform sampling is stochastic; average it over several seeded
@@ -38,7 +41,7 @@ fn ps3_beats_uniform_sampling_at_ten_percent_budget() {
         let runs = 5;
         let mut r = 0.0;
         for _ in 0..runs {
-            let out = system.answer(&query, Method::Random, budget);
+            let out = system.answer(&query, Method::Random, budget, &mut rng);
             r += avg_relative_error(&exact, &out.answer);
         }
         rand_err += r / runs as f64;

@@ -10,6 +10,11 @@
 //! of timed iterations, reporting mean wall-clock time per iteration (and
 //! throughput when declared). There is no statistical analysis, HTML report
 //! or `target/criterion` history; swap in the real crate for those.
+//!
+//! One extension beyond the real API: when the `PS3_BENCH_TSV` environment
+//! variable names a file, every benchmark appends a `name\tns_per_iter`
+//! line to it. CI turns those lines into the `BENCH_micro.json` perf
+//! trajectory and gates merges on regressions (see `scripts/bench_gate.sh`).
 
 use std::fmt::Display;
 use std::hint;
@@ -115,6 +120,20 @@ fn run_one(
         _ => String::new(),
     };
     println!("bench: {name:<50} {:>12}/iter{rate}", fmt_time(per_iter));
+    if let Ok(path) = std::env::var("PS3_BENCH_TSV") {
+        if !path.is_empty() {
+            use std::io::Write;
+            // This file feeds the CI perf gate: failing to record a
+            // measurement must be loud, not a silent green bench run.
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .unwrap_or_else(|e| panic!("PS3_BENCH_TSV: cannot open {path}: {e}"));
+            writeln!(f, "{name}\t{}", per_iter.as_nanos())
+                .unwrap_or_else(|e| panic!("PS3_BENCH_TSV: cannot write {path}: {e}"));
+        }
+    }
 }
 
 /// Entry point handed to each benchmark function.
