@@ -1,5 +1,6 @@
 //! Criterion microbenchmarks for per-partition query execution and the
-//! picker's clustering stage — the two hot paths at query time.
+//! picker's clustering stage — the two hot paths at query time — plus the
+//! compiled-kernel primitives they are built from.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
@@ -8,9 +9,62 @@ use rand::SeedableRng;
 use ps3_cluster::{cluster, ClusterAlgo};
 use ps3_core::Ps3Config;
 use ps3_data::{DatasetConfig, DatasetKind, ScaleProfile};
-use ps3_query::execute_partition;
+use ps3_query::{execute_partition, Clause, CmpOp, CompiledPredicate, CompiledQuery, Predicate};
 use ps3_stats::QueryFeatures;
-use ps3_storage::PartitionId;
+use ps3_storage::{ColId, PartitionId};
+
+/// The compiled-kernel primitives: predicate compilation, mask evaluation,
+/// and the fused predicate→aggregate partition scan. All of these are
+/// sub-10µs (report-only in the perf gate) but their trajectories expose
+/// kernel regressions directly rather than through the composite paths.
+fn bench_kernels(c: &mut Criterion) {
+    let ds = DatasetConfig::new(DatasetKind::Kdd, ScaleProfile::Tiny).build(1);
+    let table = ds.pt.table();
+    let query = ds.sample_test_query(0);
+    let rows = ds.pt.rows(PartitionId(0));
+
+    // A numeric range + categorical membership predicate over real columns.
+    let schema = table.schema();
+    let num_col = (0..schema.len())
+        .map(ColId)
+        .find(|&c| table.column(c).as_numeric().is_some())
+        .expect("numeric column");
+    let cat_col = (0..schema.len())
+        .map(ColId)
+        .find(|&c| table.column(c).as_categorical().is_some())
+        .expect("categorical column");
+    let (_, dict) = table.categorical(cat_col);
+    let in_values: Vec<String> = dict.iter().step_by(2).map(|(_, v)| v.to_owned()).collect();
+    let cmp_pred = Predicate::Clause(Clause::Cmp {
+        col: num_col,
+        op: CmpOp::Ge,
+        value: 1.0,
+    });
+    let in_pred = Predicate::Clause(Clause::In {
+        col: cat_col,
+        values: in_values,
+        negated: false,
+    });
+
+    let mut g = c.benchmark_group("kernel");
+    g.sample_size(50);
+    g.bench_function("compile_query", |b| {
+        b.iter(|| CompiledQuery::compile(table, &query))
+    });
+    let cmp = CompiledPredicate::compile(table, &cmp_pred);
+    g.bench_function("cmp_mask_partition", |b| {
+        b.iter(|| cmp.eval(table, rows.clone()))
+    });
+    let inset = CompiledPredicate::compile(table, &in_pred);
+    g.bench_function("in_mask_partition", |b| {
+        b.iter(|| inset.eval(table, rows.clone()))
+    });
+    let cq = CompiledQuery::compile(table, &query);
+    g.bench_function("fused_partition_scan", |b| {
+        b.iter(|| cq.execute_partition(table, rows.clone()))
+    });
+    g.finish();
+}
 
 fn bench_query_paths(c: &mut Criterion) {
     let ds = DatasetConfig::new(DatasetKind::Kdd, ScaleProfile::Tiny).build(1);
@@ -52,5 +106,5 @@ fn bench_query_paths(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_query_paths);
+criterion_group!(benches, bench_kernels, bench_query_paths);
 criterion_main!(benches);

@@ -7,7 +7,7 @@ use ps3_core::{Method, Ps3Config, Ps3System};
 use ps3_data::Dataset;
 use ps3_query::metrics::ErrorMetrics;
 use ps3_query::predicate::eval_predicate;
-use ps3_query::{execute_partition, PartialAnswer, Query, QueryAnswer, WeightedPart};
+use ps3_query::{CompiledQuery, PartialAnswer, Query, QueryAnswer, WeightedPart};
 use ps3_stats::QueryFeatures;
 use ps3_storage::PartitionId;
 
@@ -156,8 +156,10 @@ pub fn build_cache(ds: &Dataset, queries: &[Query]) -> Vec<QueryCache> {
     let stats = &ds.stats;
     ps3_runtime::fan_out(0, queries.len(), |qi| {
         let q = &queries[qi];
+        // One compiled program per query serves every partition.
+        let cq = CompiledQuery::compile(pt.table(), q);
         let partials: Vec<PartialAnswer> = (0..pt.num_partitions())
-            .map(|p| execute_partition(pt.table(), pt.rows(PartitionId(p)), q))
+            .map(|p| cq.execute_partition(pt.table(), pt.rows(PartitionId(p))))
             .collect();
         let mut total = PartialAnswer::empty(q);
         for part in &partials {

@@ -151,23 +151,22 @@ pub fn clustering_error(
         if candidates.is_empty() {
             continue;
         }
-        // Copy + exclusion-zeroing once per query.
-        let mut rows = normalized[q].clone();
-        if !excluded.is_empty() {
-            for ft in excluded {
-                for idx in feats.schema.indices_of(*ft) {
-                    for row in rows.iter_mut() {
-                        row[idx] = 0.0;
-                    }
-                }
+        // Exclusions become a clustering-time projection (distance-identical
+        // to zeroing the dims, without copying the matrix).
+        let mut excluded_dims = vec![false; feats.schema.dim()];
+        for ft in excluded {
+            for idx in feats.schema.indices_of(*ft) {
+                excluded_dims[idx] = true;
             }
         }
+        let rows = &normalized[q];
         let truth = td.totals[q].finalize(&td.queries[q]);
         for &frac in budgets {
             let k = ((frac * n_parts as f64).round() as usize).clamp(1, candidates.len());
             let picks = cluster_select(
                 &candidates,
-                &rows,
+                rows,
+                &excluded_dims,
                 k,
                 cfg.cluster_algo,
                 ExemplarRule::Median,

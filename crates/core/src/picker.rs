@@ -51,12 +51,33 @@ impl Picker<'_> {
         self.pick_with_features(query, &features, budget, rng, None)
     }
 
-    /// Run Algorithm 1 with precomputed raw features. `oracle` substitutes
-    /// true contributions for the learned models (Appendix C.2).
+    /// Run Algorithm 1 with precomputed raw features, normalizing them
+    /// here. `oracle` substitutes true contributions for the learned models
+    /// (Appendix C.2). The serving path pre-normalizes once per query and
+    /// calls [`Picker::pick_normalized`] instead.
     pub fn pick_with_features(
         &self,
         query: &Query,
         features: &QueryFeatures,
+        budget: usize,
+        rng: &mut StdRng,
+        oracle: Option<&[f64]>,
+    ) -> PickOutcome {
+        let mut rows = features.rows.clone();
+        self.trained.normalizer.apply_matrix(&mut rows);
+        self.pick_normalized(query, features, &rows, budget, rng, oracle)
+    }
+
+    /// Run Algorithm 1 with raw features **and** their normalized rows
+    /// (`rows[p]` = normalized feature row of partition `p`). Borrows both
+    /// read-only — the per-pick matrix clone + renormalization is gone;
+    /// Algorithm-3 feature exclusions are applied as a clustering-time
+    /// projection instead of rewriting the rows.
+    pub fn pick_normalized(
+        &self,
+        query: &Query,
+        features: &QueryFeatures,
+        rows: &[Vec<f64>],
         budget: usize,
         rng: &mut StdRng,
         oracle: Option<&[f64]>,
@@ -106,11 +127,7 @@ impl Picker<'_> {
             .collect();
         let rest_budget = budget - chosen_outliers.len();
 
-        // Normalize feature rows once; the funnel and clustering share them.
-        let mut rows = features.rows.clone();
-        self.trained.normalizer.apply_matrix(&mut rows);
-
-        // Importance funnel (Algorithm 2).
+        // Importance funnel (Algorithm 2) — reads the normalized rows.
         let groups: Vec<Vec<usize>> = if cfg.use_regressors {
             let source = match oracle {
                 Some(contributions) => ImportanceSource::Oracle {
@@ -119,7 +136,7 @@ impl Picker<'_> {
                 },
                 None => ImportanceSource::Learned(&self.trained.models),
             };
-            importance_groups(&inliers, &rows, &source)
+            importance_groups(&inliers, rows, &source)
         } else {
             vec![inliers]
         };
@@ -131,18 +148,15 @@ impl Picker<'_> {
         let clause_count = query.predicate.as_ref().map_or(0, |p| p.clause_count());
         let cluster_ok = cfg.use_clustering && clause_count <= cfg.fallback_clause_limit;
 
-        // Zero the Algorithm-3 excluded feature types before clustering
-        // (after the funnel, which wants the full vectors).
-        if cluster_ok && !self.trained.excluded.is_empty() {
-            let schema = &features.schema;
-            for ft in &self.trained.excluded {
-                for idx in schema.indices_of(*ft) {
-                    for row in rows.iter_mut() {
-                        row[idx] = 0.0;
-                    }
-                }
-            }
-        }
+        // Algorithm-3 feature exclusions apply only to clustering (the
+        // funnel wants the full vectors): they are projected away inside
+        // `cluster_select` via the precomputed dimension mask, which is
+        // distance-identical to the old row-zeroing without touching rows.
+        let excluded_dims: &[bool] = if cluster_ok {
+            &self.trained.excluded_dims
+        } else {
+            &[]
+        };
 
         let mut clustering_ms = 0.0;
         for (group, &k) in groups.iter().zip(&alloc) {
@@ -158,7 +172,15 @@ impl Picker<'_> {
                 }
             } else if cluster_ok {
                 let t = Instant::now();
-                let picks = cluster_select(group, &rows, k, cfg.cluster_algo, cfg.estimator, rng);
+                let picks = cluster_select(
+                    group,
+                    rows,
+                    excluded_dims,
+                    k,
+                    cfg.cluster_algo,
+                    cfg.estimator,
+                    rng,
+                );
                 clustering_ms += t.elapsed().as_secs_f64() * 1e3;
                 selection.extend(picks);
             } else {
@@ -188,12 +210,14 @@ impl Picker<'_> {
 /// Cluster one importance group into `k` clusters and emit one weighted
 /// exemplar per cluster (§4.2).
 ///
-/// Projects away dimensions that are zero across the whole group first —
-/// the query mask zeroes most columns, so this cuts the distance cost by an
-/// order of magnitude without changing any distance.
+/// Projects away `excluded` dimensions (the Algorithm-3 feature
+/// exclusions; pass `&[]` for none) and dimensions that are zero across
+/// the whole group — the query mask zeroes most columns, so this cuts the
+/// distance cost by an order of magnitude without changing any distance.
 pub fn cluster_select(
     group: &[usize],
     rows: &[Vec<f64>],
+    excluded: &[bool],
     k: usize,
     algo: ClusterAlgo,
     estimator: ExemplarRule,
@@ -201,6 +225,7 @@ pub fn cluster_select(
 ) -> Vec<WeightedPart> {
     let dim = rows.first().map_or(0, Vec::len);
     let live_dims: Vec<usize> = (0..dim)
+        .filter(|&d| !excluded.get(d).copied().unwrap_or(false))
         .filter(|&d| group.iter().any(|&p| rows[p][d] != 0.0))
         .collect();
     let points: Vec<Vec<f64>> = group
@@ -245,6 +270,7 @@ mod tests {
         let picks = cluster_select(
             &group,
             &rows,
+            &[],
             2,
             ClusterAlgo::KMeans,
             ExemplarRule::Median,
@@ -266,6 +292,7 @@ mod tests {
         let picks = cluster_select(
             &group,
             &rows,
+            &[],
             2,
             ClusterAlgo::HacWard,
             ExemplarRule::Median,
@@ -287,6 +314,7 @@ mod tests {
         let picks = cluster_select(
             &group,
             &rows,
+            &[],
             3,
             ClusterAlgo::KMeans,
             ExemplarRule::Random,

@@ -20,7 +20,9 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use ps3_query::{execute_partitions_on, execute_table, Query, QueryAnswer, WeightedPart};
+use ps3_query::{
+    execute_partitions_compiled_on, execute_table, CompiledQuery, Query, QueryAnswer, WeightedPart,
+};
 use ps3_runtime::{CacheStats, SharedLru, ThreadPool};
 use ps3_stats::{QueryFeatures, TableStats};
 use ps3_storage::PartitionedTable;
@@ -82,6 +84,20 @@ pub fn query_rng(query: &Query, seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed ^ query.fingerprint().rotate_left(17))
 }
 
+/// Everything the serving path derives from one query shape, computed once
+/// per [`Query::fingerprint`] and cached: the raw masked feature matrix,
+/// its normalized rows (what the funnel, LSS and clustering consume), and
+/// the query compiled to columnar kernels (what `execute_partition` runs).
+#[derive(Debug)]
+pub struct QueryArtifacts {
+    /// Raw masked features with per-partition selectivity slots.
+    pub features: QueryFeatures,
+    /// `features.rows` through the trained normalizer (Appendix B).
+    pub normalized: Vec<Vec<f64>>,
+    /// The query lowered to kernel programs against this table.
+    pub compiled: CompiledQuery,
+}
+
 /// A trained PS3 deployment over one partitioned table. Immutable after
 /// training; share it with `Arc<Ps3System>` and call the `&self` query
 /// methods from any number of threads.
@@ -96,8 +112,8 @@ pub struct Ps3System {
     pub lss: LssModel,
     /// Cached training-workload execution (reused by the benches).
     pub training: TrainingData,
-    /// Bounded per-query feature cache, keyed by [`Query::fingerprint`].
-    features: SharedLru<u64, Arc<QueryFeatures>>,
+    /// Bounded per-query artifact cache, keyed by [`Query::fingerprint`].
+    features: SharedLru<u64, Arc<QueryArtifacts>>,
 }
 
 /// Budget fractions the LSS strata sweep is trained at (the harness grid).
@@ -156,34 +172,68 @@ impl Ps3System {
         execute_table(&self.pt, query)
     }
 
-    /// Raw features for `query`, served from the bounded LRU cache. Both
-    /// the serving path ([`Self::answer`]) and the diagnostics path
-    /// ([`Self::pick_outcome`]) resolve features here, so they always agree;
-    /// a budget sweep over one query computes features exactly once.
-    pub fn features_for(&self, query: &Query) -> Arc<QueryFeatures> {
+    /// Per-query artifacts (features + normalized rows + compiled kernels),
+    /// served from the bounded LRU cache. Both the serving path
+    /// ([`Self::answer`]) and the diagnostics path ([`Self::pick_outcome`])
+    /// resolve artifacts here, so they always agree; a budget sweep over
+    /// one query computes and compiles everything exactly once.
+    pub fn artifacts_for(&self, query: &Query) -> Arc<QueryArtifacts> {
         self.features.get_or_insert_with(query.fingerprint(), || {
-            Arc::new(QueryFeatures::compute(&self.stats, self.pt.table(), query))
+            let features = QueryFeatures::compute(&self.stats, self.pt.table(), query);
+            let mut normalized = features.rows.clone();
+            self.trained.normalizer.apply_matrix(&mut normalized);
+            Arc::new(QueryArtifacts {
+                features,
+                normalized,
+                compiled: CompiledQuery::compile(self.pt.table(), query),
+            })
         })
     }
 
-    /// Hit/miss/occupancy counters of the feature cache. `misses` equals
-    /// the number of `QueryFeatures::compute` calls made on behalf of the
-    /// query path.
+    /// Hit/miss/occupancy counters of the artifact cache. `misses` equals
+    /// the number of `QueryFeatures::compute` (and `CompiledQuery::compile`)
+    /// calls made on behalf of the query path.
     pub fn feature_cache_stats(&self) -> CacheStats {
         self.features.stats()
     }
 
     /// Select partitions for `query` under `method` at `frac` of the data.
     ///
-    /// `features` must be the raw [`QueryFeatures`] of this query (use
-    /// [`Self::features_for`]); `oracle` optionally substitutes true
-    /// contributions for the learned funnel. All randomness is drawn from
-    /// the caller's `rng`, so the selection is a pure function of the
-    /// arguments.
+    /// `features` must be the raw [`QueryFeatures`] of this query; their
+    /// normalized rows are computed here per call. The serving path goes
+    /// through [`Self::artifacts_for`] instead, which caches the normalized
+    /// matrix. `oracle` optionally substitutes true contributions for the
+    /// learned funnel. All randomness is drawn from the caller's `rng`, so
+    /// the selection is a pure function of the arguments.
     pub fn select_with_features(
         &self,
         query: &Query,
         features: &QueryFeatures,
+        method: Method,
+        frac: f64,
+        oracle: Option<&[f64]>,
+        rng: &mut StdRng,
+    ) -> (Vec<WeightedPart>, f64) {
+        let normalized = match method {
+            // Random and RandomFilter never read normalized rows.
+            Method::Random | Method::RandomFilter => Vec::new(),
+            Method::Lss | Method::Ps3 => {
+                let mut rows = features.rows.clone();
+                self.trained.normalizer.apply_matrix(&mut rows);
+                rows
+            }
+        };
+        self.select_prepared(query, features, &normalized, method, frac, oracle, rng)
+    }
+
+    /// [`Self::select_with_features`] with the normalized rows supplied by
+    /// the caller (the cached-artifact fast path).
+    #[allow(clippy::too_many_arguments)]
+    fn select_prepared(
+        &self,
+        query: &Query,
+        features: &QueryFeatures,
+        normalized: &[Vec<f64>],
         method: Method,
         frac: f64,
         oracle: Option<&[f64]>,
@@ -203,9 +253,7 @@ impl Ps3System {
                 let candidates: Vec<usize> = (0..n)
                     .filter(|&p| features.selectivity_upper(p) > 0.0)
                     .collect();
-                let mut rows = features.rows.clone();
-                self.trained.normalizer.apply_matrix(&mut rows);
-                let sel = self.lss.pick(&rows, &candidates, budget, frac, rng);
+                let sel = self.lss.pick(normalized, &candidates, budget, frac, rng);
                 (sel, 0.0)
             }
             Method::Ps3 => {
@@ -214,7 +262,7 @@ impl Ps3System {
                     stats: &self.stats,
                     pt: &self.pt,
                 };
-                let out = picker.pick_with_features(query, features, budget, rng, oracle);
+                let out = picker.pick_normalized(query, features, normalized, budget, rng, oracle);
                 (out.selection, out.total_ms)
             }
         }
@@ -223,14 +271,21 @@ impl Ps3System {
     /// Full pick diagnostics for PS3 (Table 5 timing, Figure 4 lesion).
     /// Features come from the same cache the serving path uses.
     pub fn pick_outcome(&self, query: &Query, frac: f64, rng: &mut StdRng) -> PickOutcome {
-        let features = self.features_for(query);
+        let artifacts = self.artifacts_for(query);
         let budget = self.budget_partitions(frac);
         let picker = Picker {
             trained: &self.trained,
             stats: &self.stats,
             pt: &self.pt,
         };
-        picker.pick_with_features(query, &features, budget, rng, None)
+        picker.pick_normalized(
+            query,
+            &artifacts.features,
+            &artifacts.normalized,
+            budget,
+            rng,
+            None,
+        )
     }
 
     /// Answer `query` approximately: select partitions, execute them (in
@@ -260,10 +315,18 @@ impl Ps3System {
         rng: &mut StdRng,
         pool: &ThreadPool,
     ) -> AnswerOutcome {
-        let features = self.features_for(query);
-        let (selection, picker_ms) =
-            self.select_with_features(query, &features, method, frac, None, rng);
-        let answer = execute_partitions_on(&self.pt, query, &selection, pool);
+        let artifacts = self.artifacts_for(query);
+        let (selection, picker_ms) = self.select_prepared(
+            query,
+            &artifacts.features,
+            &artifacts.normalized,
+            method,
+            frac,
+            None,
+            rng,
+        );
+        let answer =
+            execute_partitions_compiled_on(&self.pt, &artifacts.compiled, &selection, pool);
         AnswerOutcome {
             answer,
             selection,

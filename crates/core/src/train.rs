@@ -3,7 +3,7 @@
 //! fit the feature normalizer, and run feature selection.
 
 use ps3_learn::{choose_thresholds, make_labels, Gbdt};
-use ps3_query::{execute_partition, PartialAnswer, Query};
+use ps3_query::{CompiledQuery, PartialAnswer, Query};
 use ps3_stats::features::FeatureType;
 use ps3_stats::{Normalizer, QueryFeatures, TableStats};
 use ps3_storage::{PartitionId, PartitionedTable};
@@ -41,8 +41,10 @@ impl TrainingData {
         let per_query: Vec<(Vec<PartialAnswer>, PartialAnswer, QueryFeatures)> =
             ps3_runtime::fan_out(threads, queries.len(), |qi| {
                 let q = &queries[qi];
+                // One compiled program per query serves every partition.
+                let cq = CompiledQuery::compile(pt.table(), q);
                 let partials: Vec<PartialAnswer> = (0..pt.num_partitions())
-                    .map(|p| execute_partition(pt.table(), pt.rows(PartitionId(p)), q))
+                    .map(|p| cq.execute_partition(pt.table(), pt.rows(PartitionId(p))))
                     .collect();
                 let mut total = PartialAnswer::empty(q);
                 for part in &partials {
@@ -110,6 +112,9 @@ pub struct TrainedPs3 {
     pub normalizer: Normalizer,
     /// Feature types excluded from clustering by Algorithm 3.
     pub excluded: Vec<FeatureType>,
+    /// Per-dimension projection of `excluded` (true = drop from clustering
+    /// distances), precomputed so the picker never rewrites feature rows.
+    pub excluded_dims: Vec<bool>,
     /// The configuration used.
     pub config: Ps3Config,
 }
@@ -159,12 +164,19 @@ impl TrainedPs3 {
         } else {
             Vec::new()
         };
+        let mut excluded_dims = vec![false; schema.dim()];
+        for ft in &excluded {
+            for i in schema.indices_of(*ft) {
+                excluded_dims[i] = true;
+            }
+        }
 
         Self {
             models,
             thresholds,
             normalizer,
             excluded,
+            excluded_dims,
             config,
         }
     }

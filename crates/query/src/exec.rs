@@ -1,4 +1,11 @@
 //! Exact per-partition execution and weighted combination of partial answers.
+//!
+//! Execution is compiled: [`execute_partition`] and friends lower the query
+//! through [`crate::kernel::CompiledQuery`] (once per call — cache the
+//! compiled program by [`Query::fingerprint`] to amortize across partitions
+//! and requests, as `execute_partitions*` and the serving layer do). The
+//! original scalar interpreter survives as the `#[cfg(test)]` oracle the
+//! property tests compare against bit-for-bit.
 
 use std::collections::HashMap;
 use std::ops::Range;
@@ -6,11 +13,11 @@ use std::ops::Range;
 use ps3_storage::{ColId, PartitionId, PartitionedTable, Table};
 
 use crate::ast::{AggFunc, Query};
-use crate::predicate::{eval_predicate, eval_scalar};
+use crate::kernel::CompiledQuery;
 
-/// A group-by key: one `u64` per group-by column (f64 bit pattern for
-/// numeric columns, dictionary code for categoricals). Empty for queries
-/// without `GROUP BY`.
+/// A group-by key: one `u64` per group-by column (canonicalized f64 bit
+/// pattern for numeric columns, dictionary code for categoricals). Empty
+/// for queries without `GROUP BY`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct GroupKey(pub Box<[u64]>);
 
@@ -18,6 +25,22 @@ impl GroupKey {
     /// The key of the single global group.
     pub fn global() -> Self {
         GroupKey(Box::new([]))
+    }
+
+    /// Canonical bit pattern for a numeric group-by value: `-0.0` collapses
+    /// to `0.0` (they compare equal, so they are one group) and every NaN
+    /// payload collapses to the one canonical NaN (grouping is by
+    /// *distinct value*, not by bit pattern). All other values group by
+    /// their exact bits.
+    #[inline]
+    pub fn canon_num_bits(x: f64) -> u64 {
+        if x == 0.0 {
+            0.0f64.to_bits()
+        } else if x.is_nan() {
+            f64::NAN.to_bits()
+        } else {
+            x.to_bits()
+        }
     }
 
     /// Render using a table's schema (for reports).
@@ -86,20 +109,34 @@ impl PartialAnswer {
     }
 
     /// Resolve AVG slots into final per-aggregate values.
+    ///
+    /// **AVG contract:** a group whose combined AVG count is not positive
+    /// (no row passed the aggregate's `CASE` condition in any selected
+    /// partition) finalizes that aggregate to **NaN** — the engine's NULL.
+    /// It used to be `0.0`, which silently conflated "no qualifying rows"
+    /// with "average is zero"; error metrics treat NaN-vs-NaN as agreement
+    /// and NaN-vs-number as a full miss (see [`crate::metrics`]).
     pub fn finalize(&self, query: &Query) -> QueryAnswer {
+        let funcs: Vec<AggFunc> = query.aggregates.iter().map(|a| a.func).collect();
+        self.finalize_funcs(&funcs)
+    }
+
+    /// [`PartialAnswer::finalize`] from the aggregate functions alone (the
+    /// compiled path carries these instead of the full query).
+    pub fn finalize_funcs(&self, funcs: &[AggFunc]) -> QueryAnswer {
         let mut out = HashMap::with_capacity(self.groups.len());
         for (key, slots) in &self.groups {
-            let mut vals = Vec::with_capacity(query.aggregates.len());
+            let mut vals = Vec::with_capacity(funcs.len());
             let mut i = 0;
-            for agg in &query.aggregates {
-                match agg.func {
+            for func in funcs {
+                match func {
                     AggFunc::Sum | AggFunc::Count => {
                         vals.push(slots[i]);
                         i += 1;
                     }
                     AggFunc::Avg => {
                         let (sum, cnt) = (slots[i], slots[i + 1]);
-                        vals.push(if cnt != 0.0 { sum / cnt } else { 0.0 });
+                        vals.push(if cnt > 0.0 { sum / cnt } else { f64::NAN });
                         i += 2;
                     }
                 }
@@ -139,119 +176,24 @@ pub struct WeightedPart {
 }
 
 /// Execute `query` exactly over one row range.
+///
+/// Compiles the query first; callers touching many partitions should
+/// compile once via [`CompiledQuery::compile`] (or use
+/// [`execute_partitions`], which does) and call
+/// [`CompiledQuery::execute_partition`] directly.
 pub fn execute_partition(table: &Table, rows: Range<usize>, query: &Query) -> PartialAnswer {
-    let n = rows.len();
-    let selected: Vec<bool> = match &query.predicate {
-        Some(p) => eval_predicate(table, rows.clone(), p),
-        None => vec![true; n],
-    };
-
-    // Group keys per row.
-    let keys: Vec<GroupKey> = if query.group_by.is_empty() {
-        Vec::new()
-    } else {
-        let cols: Vec<RowKeyCol<'_>> = query
-            .group_by
-            .iter()
-            .map(|&c| match table.column(c) {
-                ps3_storage::ColumnData::Numeric(_) => {
-                    RowKeyCol::Num(&table.numeric(c)[rows.clone()])
-                }
-                ps3_storage::ColumnData::Categorical { .. } => {
-                    RowKeyCol::Cat(&table.categorical(c).0[rows.clone()])
-                }
-            })
-            .collect();
-        (0..n)
-            .map(|i| {
-                GroupKey(
-                    cols.iter()
-                        .map(|c| match c {
-                            RowKeyCol::Num(v) => v[i].to_bits(),
-                            RowKeyCol::Cat(v) => u64::from(v[i]),
-                        })
-                        .collect(),
-                )
-            })
-            .collect()
-    };
-
-    // Per-aggregate row values and optional CASE-condition masks.
-    let mut slot_values: Vec<Vec<f64>> = Vec::new();
-    for agg in &query.aggregates {
-        let cond: Option<Vec<bool>> = agg
-            .condition
-            .as_ref()
-            .map(|p| eval_predicate(table, rows.clone(), p));
-        let apply_cond = |mut vals: Vec<f64>| -> Vec<f64> {
-            if let Some(c) = &cond {
-                for (v, &keep) in vals.iter_mut().zip(c) {
-                    if !keep {
-                        *v = 0.0;
-                    }
-                }
-            }
-            vals
-        };
-        match agg.func {
-            AggFunc::Sum => {
-                slot_values.push(apply_cond(eval_scalar(table, rows.clone(), &agg.expr)));
-            }
-            AggFunc::Count => {
-                slot_values.push(apply_cond(vec![1.0; n]));
-            }
-            AggFunc::Avg => {
-                slot_values.push(apply_cond(eval_scalar(table, rows.clone(), &agg.expr)));
-                slot_values.push(apply_cond(vec![1.0; n]));
-            }
-        }
-    }
-
-    let mut answer = PartialAnswer::empty(query);
-    let slots = answer.slots;
-    if query.group_by.is_empty() {
-        let mut acc = vec![0.0; slots];
-        for i in 0..n {
-            if selected[i] {
-                for (s, col) in acc.iter_mut().zip(&slot_values) {
-                    *s += col[i];
-                }
-            }
-        }
-        // A group exists only if at least one row passed the predicate —
-        // otherwise an all-filtered partition would fabricate a zero group.
-        if selected.iter().any(|&b| b) {
-            answer.groups.insert(GroupKey::global(), acc);
-        }
-    } else {
-        for i in 0..n {
-            if selected[i] {
-                let slot = answer
-                    .groups
-                    .entry(keys[i].clone())
-                    .or_insert_with(|| vec![0.0; slots]);
-                for (s, col) in slot.iter_mut().zip(&slot_values) {
-                    *s += col[i];
-                }
-            }
-        }
-    }
-    answer
-}
-
-enum RowKeyCol<'a> {
-    Num(&'a [f64]),
-    Cat(&'a [u32]),
+    CompiledQuery::compile(table, query).execute_partition(table, rows)
 }
 
 /// Execute exactly over the whole table (the ground truth).
 pub fn execute_table(pt: &PartitionedTable, query: &Query) -> QueryAnswer {
+    let cq = CompiledQuery::compile(pt.table(), query);
     let mut acc = PartialAnswer::empty(query);
     for pid in pt.partitioning().ids() {
-        let part = execute_partition(pt.table(), pt.rows(pid), query);
+        let part = cq.execute_partition(pt.table(), pt.rows(pid));
         acc.add_weighted(&part, 1.0);
     }
-    acc.finalize(query)
+    cq.finalize(&acc)
 }
 
 /// Execute over a weighted selection of partitions and combine (§2.4).
@@ -260,12 +202,25 @@ pub fn execute_partitions(
     query: &Query,
     selection: &[WeightedPart],
 ) -> QueryAnswer {
-    let mut acc = PartialAnswer::empty(query);
+    execute_partitions_compiled(pt, &CompiledQuery::compile(pt.table(), query), selection)
+}
+
+/// [`execute_partitions`] with a pre-compiled query (the serving path's
+/// cache hands these out).
+pub fn execute_partitions_compiled(
+    pt: &PartitionedTable,
+    cq: &CompiledQuery,
+    selection: &[WeightedPart],
+) -> QueryAnswer {
+    let mut acc = PartialAnswer {
+        groups: HashMap::new(),
+        slots: cq.slot_count(),
+    };
     for wp in selection {
-        let part = execute_partition(pt.table(), pt.rows(wp.partition), query);
+        let part = cq.execute_partition(pt.table(), pt.rows(wp.partition));
         acc.add_weighted(&part, wp.weight);
     }
-    acc.finalize(query)
+    cq.finalize(&acc)
 }
 
 /// Selections smaller than this always run serially — with fewer tasks the
@@ -277,23 +232,27 @@ pub const PARALLEL_EXEC_MIN_PARTS: usize = 8;
 /// sub-microsecond, so pool task overhead would dominate tiny tables.
 pub const PARALLEL_EXEC_MIN_ROWS: usize = 65_536;
 
-/// The unconditional fan-out: partials computed on `pool`, combined *in
-/// selection order with the same weights*, so the result is bit-identical
-/// to the serial path — parallelism never perturbs a seeded experiment.
-fn fan_out_partitions(
+/// The unconditional fan-out: partials computed on `pool` from one shared
+/// compiled program, combined *in selection order with the same weights*,
+/// so the result is bit-identical to the serial path — parallelism never
+/// perturbs a seeded experiment.
+pub(crate) fn fan_out_partitions(
     pt: &PartitionedTable,
-    query: &Query,
+    cq: &CompiledQuery,
     selection: &[WeightedPart],
     pool: &ps3_runtime::ThreadPool,
 ) -> QueryAnswer {
     let partials = pool.scope_map(selection.len(), |i| {
-        execute_partition(pt.table(), pt.rows(selection[i].partition), query)
+        cq.execute_partition(pt.table(), pt.rows(selection[i].partition))
     });
-    let mut acc = PartialAnswer::empty(query);
+    let mut acc = PartialAnswer {
+        groups: HashMap::new(),
+        slots: cq.slot_count(),
+    };
     for (wp, part) in selection.iter().zip(&partials) {
         acc.add_weighted(part, wp.weight);
     }
-    acc.finalize(query)
+    cq.finalize(&acc)
 }
 
 /// [`execute_partitions`] fanned out over `pool` when it pays for itself:
@@ -306,14 +265,29 @@ pub fn execute_partitions_on(
     selection: &[WeightedPart],
     pool: &ps3_runtime::ThreadPool,
 ) -> QueryAnswer {
+    execute_partitions_compiled_on(
+        pt,
+        &CompiledQuery::compile(pt.table(), query),
+        selection,
+        pool,
+    )
+}
+
+/// [`execute_partitions_on`] with a pre-compiled query.
+pub fn execute_partitions_compiled_on(
+    pt: &PartitionedTable,
+    cq: &CompiledQuery,
+    selection: &[WeightedPart],
+    pool: &ps3_runtime::ThreadPool,
+) -> QueryAnswer {
     let rows: usize = selection.iter().map(|wp| pt.rows(wp.partition).len()).sum();
     if pool.workers() <= 1
         || selection.len() < PARALLEL_EXEC_MIN_PARTS
         || rows < PARALLEL_EXEC_MIN_ROWS
     {
-        return execute_partitions(pt, query, selection);
+        return execute_partitions_compiled(pt, cq, selection);
     }
-    fan_out_partitions(pt, query, selection, pool)
+    fan_out_partitions(pt, cq, selection, pool)
 }
 
 /// [`execute_partitions_on`] over the shared workspace pool.
@@ -511,12 +485,80 @@ mod tests {
         // Force the fan-out (the row-count gate would keep a 64-row table
         // serial) to prove the parallel combine is bit-identical.
         let pool = ps3_runtime::ThreadPool::new(4);
-        let parallel = fan_out_partitions(&t, &q, &sel, &pool);
+        let cq = CompiledQuery::compile(t.table(), &q);
+        let parallel = fan_out_partitions(&t, &cq, &sel, &pool);
         assert_eq!(serial, parallel, "parallel combine must be bit-identical");
         // And the adaptive wrappers (serial here, under the row threshold)
         // agree too.
         assert_eq!(serial, execute_partitions_on(&t, &q, &sel, &pool));
         assert_eq!(serial, execute_partitions_parallel(&t, &q, &sel));
+    }
+
+    #[test]
+    fn negative_zero_and_nan_group_with_their_value() {
+        // Satellite regression: -0.0 and 0.0 compare equal and must land in
+        // one group (raw to_bits split them); NaN payloads likewise.
+        let schema = Schema::new(vec![
+            ColumnMeta::new("k", ColumnType::Numeric),
+            ColumnMeta::new("x", ColumnType::Numeric),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for (k, x) in [
+            (0.0, 1.0),
+            (-0.0, 2.0),
+            (1.5, 4.0),
+            (f64::NAN, 8.0),
+            (f64::from_bits(0x7FF8_0000_0000_0001), 16.0), // NaN, odd payload
+        ] {
+            b.push_row(&[k, x], &[]);
+        }
+        let t = PartitionedTable::with_equal_partitions(b.finish(), 1);
+        let q = Query::new(
+            vec![AggExpr::sum(ScalarExpr::col(ps3_storage::ColId(1)))],
+            None,
+            vec![ps3_storage::ColId(0)],
+        );
+        let ans = execute_table(&t, &q);
+        assert_eq!(ans.num_groups(), 3, "0.0/-0.0 and the NaNs must merge");
+        let zero = GroupKey(Box::new([GroupKey::canon_num_bits(-0.0)]));
+        assert_eq!(ans.groups[&zero], vec![3.0]);
+        let nan = GroupKey(Box::new([GroupKey::canon_num_bits(f64::NAN)]));
+        assert_eq!(ans.groups[&nan], vec![24.0]);
+        assert_eq!(
+            GroupKey::canon_num_bits(-0.0),
+            GroupKey::canon_num_bits(0.0)
+        );
+    }
+
+    #[test]
+    fn avg_with_zero_qualifying_rows_is_nan() {
+        // Satellite regression: AVG over a CASE condition no row satisfies
+        // must finalize to NaN (the engine's NULL), not a silent 0.0.
+        let t = pt();
+        let q = Query::new(
+            vec![
+                AggExpr::count(),
+                AggExpr::avg(ScalarExpr::col(ps3_storage::ColId(0))).filtered(Predicate::Clause(
+                    Clause::Cmp {
+                        col: ps3_storage::ColId(0),
+                        op: CmpOp::Gt,
+                        value: 1e9,
+                    },
+                )),
+            ],
+            None,
+            vec![],
+        );
+        let ans = execute_table(&t, &q);
+        assert_eq!(ans.global(0).unwrap(), 8.0);
+        assert!(ans.global(1).unwrap().is_nan(), "empty AVG must be NaN");
+        // An AVG with qualifying rows is unaffected.
+        let q = Query::new(
+            vec![AggExpr::avg(ScalarExpr::col(ps3_storage::ColId(0)))],
+            None,
+            vec![],
+        );
+        assert_eq!(execute_table(&t, &q).global(0).unwrap(), 4.5);
     }
 
     #[test]

@@ -1,0 +1,876 @@
+//! Compiled columnar kernels for the partition-execution hot path.
+//!
+//! [`CompiledQuery`] lowers a [`Query`] into flat kernel programs that run
+//! over 64-row chunks of column data, producing a [`SelVec`] selection mask
+//! and accumulating aggregate slots directly from column slices — no per-row
+//! `Vec<bool>` / `Vec<f64>` materialization. Compilation happens **once per
+//! `(query, table)`** (the serving layer caches it by
+//! [`Query::fingerprint`]); execution is `&self` and thread-safe.
+//!
+//! What compilation buys:
+//!
+//! * Predicates are normalized to NNF and `IN`/`LIKE '%x%'` clauses resolve
+//!   their dictionary targets into a [`TargetSet`] (dense bitset for small
+//!   dictionaries, sorted codes otherwise) — membership is O(1)-ish per row
+//!   instead of a linear scan per row per partition, and `Contains` stops
+//!   re-scanning the dictionary on every partition.
+//! * Numeric comparisons run over fixed-size 64-row chunks
+//!   ([`ps3_storage::chunks64`]) writing one `u64` mask word per chunk, a
+//!   shape LLVM autovectorizes.
+//! * Fused predicate→aggregate kernels accumulate SUM/COUNT/AVG slots from
+//!   the column slices under the mask, fast-pathing all-true words and
+//!   skipping all-false ones.
+//!
+//! **Bit-identity contract:** for every query and partition, the compiled
+//! path produces results bit-identical to the reference scalar interpreter
+//! (kept as the `#[cfg(test)]` oracle in [`crate::exec`]): aggregates are
+//! accumulated in ascending row order, skipped rows correspond exactly to
+//! the interpreter's `+= 0.0` no-ops, and COUNT slots use popcounts (a sum
+//! of `1.0`s is exact below 2^53). Group keys canonicalize `-0.0` to `0.0`
+//! and all NaN payloads to one canonical NaN (see
+//! [`GroupKey::canon_num_bits`]) in both paths. Division by zero yields `0`
+//! (see [`crate::predicate::eval_scalar`]); NaN comparisons follow IEEE 754
+//! (`NaN op v` is false for everything but `Ne`).
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use ps3_storage::{chunks64, ColId, ColumnData, Table};
+
+use crate::ast::{AggFunc, Clause, CmpOp, Predicate, Query, ScalarExpr};
+use crate::exec::{GroupKey, PartialAnswer, QueryAnswer};
+use crate::selvec::SelVec;
+
+/// Dictionaries at most this large get a dense membership bitset (8 KiB at
+/// the limit); larger ones fall back to binary search over sorted codes.
+pub const DENSE_DICT_LIMIT: usize = 1 << 16;
+
+/// A precompiled membership target set over dictionary codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TargetSet {
+    /// Sorted, deduplicated target codes (also feeds selectivity probes).
+    codes: Vec<u32>,
+    /// Dense bitset over the dictionary's code space, when small enough.
+    bits: Option<Vec<u64>>,
+}
+
+impl TargetSet {
+    /// Build from raw target codes for a dictionary of `dict_len` entries.
+    pub fn build(mut codes: Vec<u32>, dict_len: usize) -> Self {
+        codes.sort_unstable();
+        codes.dedup();
+        let bits = (dict_len <= DENSE_DICT_LIMIT).then(|| {
+            let mut words = vec![0u64; dict_len.div_ceil(64)];
+            for &c in &codes {
+                words[c as usize / 64] |= 1 << (c % 64);
+            }
+            words
+        });
+        Self { codes, bits }
+    }
+
+    /// Whether `code` is a target. O(1) with the dense bitset, O(log n)
+    /// otherwise.
+    #[inline]
+    pub fn contains(&self, code: u32) -> bool {
+        match &self.bits {
+            Some(words) => {
+                let i = code as usize;
+                // Codes come from the same dictionary, so they are in range.
+                (words[i / 64] >> (i % 64)) & 1 == 1
+            }
+            None => self.codes.binary_search(&code).is_ok(),
+        }
+    }
+
+    /// The sorted target codes.
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// Number of target codes.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether no code matches.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+}
+
+/// A predicate lowered to NNF with precompiled leaves. Negation lives only
+/// in the leaves — as **mask complement flags**, not operator rewrites:
+/// `NOT (x < v)` must also accept NaN rows (IEEE: `NaN < v` is false), so
+/// rewriting it to `x >= v` would diverge from the row-wise interpreter.
+/// The De Morgan push-down itself is an exact boolean identity per row.
+#[derive(Debug, Clone)]
+pub enum CompiledPredicate {
+    /// Numeric comparison against a constant, optionally complemented.
+    Cmp {
+        /// The numeric column.
+        col: ColId,
+        /// The comparison.
+        op: CmpOp,
+        /// The constant.
+        value: f64,
+        /// Whether the mask is complemented (exact under NaN, unlike
+        /// [`CmpOp::negate`]).
+        negated: bool,
+    },
+    /// Categorical membership in a precompiled target set (covers both
+    /// `IN (...)` and `LIKE '%needle%'`, negated or not).
+    InSet {
+        /// The categorical column.
+        col: ColId,
+        /// Precompiled targets.
+        set: TargetSet,
+        /// Whether the mask is complemented.
+        negated: bool,
+    },
+    /// Conjunction.
+    And(Vec<CompiledPredicate>),
+    /// Disjunction.
+    Or(Vec<CompiledPredicate>),
+}
+
+impl CompiledPredicate {
+    /// Compile `pred` against `table`'s schema and dictionaries, pushing
+    /// negations down to leaf complement flags (De Morgan).
+    pub fn compile(table: &Table, pred: &Predicate) -> Self {
+        Self::from_pred(table, pred, false)
+    }
+
+    fn from_pred(table: &Table, pred: &Predicate, neg: bool) -> Self {
+        match pred {
+            Predicate::Clause(c) => Self::from_clause(table, c, neg),
+            Predicate::Not(p) => Self::from_pred(table, p, !neg),
+            Predicate::And(ps) => {
+                let parts = ps.iter().map(|p| Self::from_pred(table, p, neg)).collect();
+                if neg {
+                    CompiledPredicate::Or(parts)
+                } else {
+                    CompiledPredicate::And(parts)
+                }
+            }
+            Predicate::Or(ps) => {
+                let parts = ps.iter().map(|p| Self::from_pred(table, p, neg)).collect();
+                if neg {
+                    CompiledPredicate::And(parts)
+                } else {
+                    CompiledPredicate::Or(parts)
+                }
+            }
+        }
+    }
+
+    fn from_clause(table: &Table, clause: &Clause, neg: bool) -> Self {
+        match clause {
+            Clause::Cmp { col, op, value } => CompiledPredicate::Cmp {
+                col: *col,
+                op: *op,
+                value: *value,
+                negated: neg,
+            },
+            Clause::In {
+                col,
+                values,
+                negated,
+            } => {
+                let (_, dict) = table.categorical(*col);
+                // Values absent from the dictionary match no rows.
+                let codes: Vec<u32> = values.iter().filter_map(|v| dict.code(v)).collect();
+                CompiledPredicate::InSet {
+                    col: *col,
+                    set: TargetSet::build(codes, dict.len()),
+                    negated: *negated != neg,
+                }
+            }
+            Clause::Contains {
+                col,
+                needle,
+                negated,
+            } => {
+                let (_, dict) = table.categorical(*col);
+                CompiledPredicate::InSet {
+                    col: *col,
+                    set: TargetSet::build(dict.codes_containing(needle), dict.len()),
+                    negated: *negated != neg,
+                }
+            }
+        }
+    }
+
+    /// Evaluate over `rows` into a fresh selection mask.
+    pub fn eval(&self, table: &Table, rows: Range<usize>) -> SelVec {
+        let mut out = SelVec::none(rows.len());
+        self.eval_into(table, rows, &mut out);
+        out
+    }
+
+    /// Evaluate into `out`, overwriting it completely.
+    fn eval_into(&self, table: &Table, rows: Range<usize>, out: &mut SelVec) {
+        match self {
+            CompiledPredicate::Cmp {
+                col,
+                op,
+                value,
+                negated,
+            } => {
+                cmp_kernel(table.column(*col).numeric_range(rows), *op, *value, out);
+                if *negated {
+                    out.not_assign();
+                }
+            }
+            CompiledPredicate::InSet { col, set, negated } => {
+                membership_kernel(table.column(*col).codes_range(rows), set, out);
+                if *negated {
+                    out.not_assign();
+                }
+            }
+            CompiledPredicate::And(ps) => match ps.split_first() {
+                None => *out = SelVec::all(rows.len()),
+                Some((first, rest)) => {
+                    first.eval_into(table, rows.clone(), out);
+                    let mut scratch = SelVec::none(rows.len());
+                    for p in rest {
+                        p.eval_into(table, rows.clone(), &mut scratch);
+                        out.and_assign(&scratch);
+                    }
+                }
+            },
+            CompiledPredicate::Or(ps) => match ps.split_first() {
+                None => *out = SelVec::none(rows.len()),
+                Some((first, rest)) => {
+                    first.eval_into(table, rows.clone(), out);
+                    let mut scratch = SelVec::none(rows.len());
+                    for p in rest {
+                        p.eval_into(table, rows.clone(), &mut scratch);
+                        out.or_assign(&scratch);
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// Comparison kernel: one mask word per 64-row chunk. The fixed-size chunk
+/// loop is written so LLVM unrolls and autovectorizes it (compare lanes,
+/// collect sign bits); the tail is handled scalar.
+fn cmp_kernel(data: &[f64], op: CmpOp, value: f64, out: &mut SelVec) {
+    #[inline(always)]
+    fn fill<F: Fn(f64, f64) -> bool>(data: &[f64], v: f64, out: &mut SelVec, f: F) {
+        let words = out.words_mut();
+        let (chunks, tail) = chunks64(data);
+        let mut wi = 0;
+        for chunk in chunks {
+            let mut m = 0u64;
+            for (i, &x) in chunk.iter().enumerate() {
+                m |= u64::from(f(x, v)) << i;
+            }
+            words[wi] = m;
+            wi += 1;
+        }
+        if !tail.is_empty() {
+            let mut m = 0u64;
+            for (i, &x) in tail.iter().enumerate() {
+                m |= u64::from(f(x, v)) << i;
+            }
+            words[wi] = m;
+        }
+    }
+    match op {
+        CmpOp::Eq => fill(data, value, out, |x, v| x == v),
+        CmpOp::Ne => fill(data, value, out, |x, v| x != v),
+        CmpOp::Lt => fill(data, value, out, |x, v| x < v),
+        CmpOp::Le => fill(data, value, out, |x, v| x <= v),
+        CmpOp::Gt => fill(data, value, out, |x, v| x > v),
+        CmpOp::Ge => fill(data, value, out, |x, v| x >= v),
+    }
+}
+
+/// Membership kernel over dictionary codes.
+fn membership_kernel(codes: &[u32], set: &TargetSet, out: &mut SelVec) {
+    let words = out.words_mut();
+    let (chunks, tail) = chunks64(codes);
+    let mut wi = 0;
+    for chunk in chunks {
+        let mut m = 0u64;
+        for (i, &c) in chunk.iter().enumerate() {
+            m |= u64::from(set.contains(c)) << i;
+        }
+        words[wi] = m;
+        wi += 1;
+    }
+    if !tail.is_empty() {
+        let mut m = 0u64;
+        for (i, &c) in tail.iter().enumerate() {
+            m |= u64::from(set.contains(c)) << i;
+        }
+        words[wi] = m;
+    }
+}
+
+/// Where a SUM/AVG slot's per-row values come from.
+#[derive(Debug, Clone)]
+enum ValueSource {
+    /// A bare stored column — the fast path.
+    Col(ColId),
+    /// A constant.
+    Lit(f64),
+    /// A general projection, evaluated row-at-a-time with the same
+    /// operation order as the vectorized interpreter.
+    Expr(ScalarExpr),
+}
+
+impl ValueSource {
+    fn compile(expr: &ScalarExpr) -> Self {
+        match expr {
+            ScalarExpr::Column(c) => ValueSource::Col(*c),
+            ScalarExpr::Literal(x) => ValueSource::Lit(*x),
+            e => ValueSource::Expr(e.clone()),
+        }
+    }
+
+    /// Sum this source over the selected rows of `rows`, in ascending row
+    /// order (the bit-identity contract).
+    fn sum_selected(&self, table: &Table, rows: Range<usize>, sel: &SelVec) -> f64 {
+        match self {
+            ValueSource::Col(c) => sum_col(table.column(*c).numeric_range(rows), sel),
+            ValueSource::Lit(x) => {
+                // Sequential adds, not count·x: repeated f64 addition of a
+                // non-representable constant is not multiplication.
+                let mut acc = 0.0;
+                sel.for_each_selected(|_| acc += x);
+                acc
+            }
+            ValueSource::Expr(e) => {
+                let mut acc = 0.0;
+                sel.for_each_selected(|i| acc += eval_scalar_row(e, table, rows.start + i));
+                acc
+            }
+        }
+    }
+
+    /// Value of one absolute row.
+    #[inline]
+    fn value_at(&self, table: &Table, row: usize) -> f64 {
+        match self {
+            ValueSource::Col(c) => table.numeric(*c)[row],
+            ValueSource::Lit(x) => *x,
+            ValueSource::Expr(e) => eval_scalar_row(e, table, row),
+        }
+    }
+}
+
+/// Fused masked column sum: all-true words take a straight sequential loop
+/// over the 64-row chunk, sparse words iterate set bits — both in ascending
+/// row order, so the accumulation is bit-identical to the scalar path.
+fn sum_col(data: &[f64], sel: &SelVec) -> f64 {
+    let mut acc = 0.0;
+    let words = sel.words();
+    let (chunks, tail) = chunks64(data);
+    let mut wi = 0;
+    for chunk in chunks {
+        let w = words[wi];
+        wi += 1;
+        if w == u64::MAX {
+            for &x in chunk {
+                acc += x;
+            }
+        } else if w != 0 {
+            let mut m = w;
+            while m != 0 {
+                acc += chunk[m.trailing_zeros() as usize];
+                m &= m - 1;
+            }
+        }
+    }
+    if !tail.is_empty() {
+        let mut m = words[wi];
+        while m != 0 {
+            acc += tail[m.trailing_zeros() as usize];
+            m &= m - 1;
+        }
+    }
+    acc
+}
+
+/// Row-at-a-time scalar projection with the interpreter's exact semantics
+/// (division by zero yields 0; see [`crate::predicate::eval_scalar`]).
+fn eval_scalar_row(expr: &ScalarExpr, table: &Table, row: usize) -> f64 {
+    match expr {
+        ScalarExpr::Column(c) => table.numeric(*c)[row],
+        ScalarExpr::Literal(x) => *x,
+        ScalarExpr::BinOp(op, l, r) => {
+            let a = eval_scalar_row(l, table, row);
+            let b = eval_scalar_row(r, table, row);
+            match op {
+                crate::ast::BinOp::Add => a + b,
+                crate::ast::BinOp::Sub => a - b,
+                crate::ast::BinOp::Mul => a * b,
+                crate::ast::BinOp::Div => {
+                    if b == 0.0 {
+                        0.0
+                    } else {
+                        a / b
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One compiled aggregate: an optional `CASE WHEN` mask plus the fused slot
+/// kernel kind.
+#[derive(Debug, Clone)]
+struct AggKernel {
+    cond: Option<CompiledPredicate>,
+    kind: AggKind,
+}
+
+#[derive(Debug, Clone)]
+enum AggKind {
+    /// `COUNT(*)` — one slot, a popcount.
+    Count,
+    /// `SUM(expr)` — one slot.
+    Sum(ValueSource),
+    /// `AVG(expr)` — two slots (sum, count).
+    Avg(ValueSource),
+}
+
+/// A group-by key column resolved against the table's physical layout.
+#[derive(Debug, Clone, Copy)]
+struct GroupCol {
+    col: ColId,
+    is_numeric: bool,
+}
+
+/// A query compiled against one table: the WHERE program, fused aggregate
+/// kernels and resolved group-by columns. Build once per `(query, table)`
+/// — [`Query::fingerprint`] is the intended cache key — then execute any
+/// number of partitions concurrently.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    pred: Option<CompiledPredicate>,
+    aggs: Vec<AggKernel>,
+    group_by: Vec<GroupCol>,
+    funcs: Vec<AggFunc>,
+    slots: usize,
+}
+
+impl CompiledQuery {
+    /// Lower `query` into kernel programs against `table`.
+    pub fn compile(table: &Table, query: &Query) -> Self {
+        let pred = query
+            .predicate
+            .as_ref()
+            .map(|p| CompiledPredicate::compile(table, p));
+        let aggs = query
+            .aggregates
+            .iter()
+            .map(|a| AggKernel {
+                cond: a
+                    .condition
+                    .as_ref()
+                    .map(|p| CompiledPredicate::compile(table, p)),
+                kind: match a.func {
+                    AggFunc::Count => AggKind::Count,
+                    AggFunc::Sum => AggKind::Sum(ValueSource::compile(&a.expr)),
+                    AggFunc::Avg => AggKind::Avg(ValueSource::compile(&a.expr)),
+                },
+            })
+            .collect();
+        let group_by = query
+            .group_by
+            .iter()
+            .map(|&col| GroupCol {
+                col,
+                is_numeric: matches!(table.column(col), ColumnData::Numeric(_)),
+            })
+            .collect();
+        Self {
+            pred,
+            aggs,
+            group_by,
+            funcs: query.aggregates.iter().map(|a| a.func).collect(),
+            slots: PartialAnswer::slot_count(query),
+        }
+    }
+
+    /// Number of internal accumulator slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots
+    }
+
+    /// The aggregate functions, in `SELECT` order (drives AVG finalization).
+    pub fn funcs(&self) -> &[AggFunc] {
+        &self.funcs
+    }
+
+    /// The compiled WHERE predicate, if any (selectivity probes reuse it).
+    pub fn predicate(&self) -> Option<&CompiledPredicate> {
+        self.pred.as_ref()
+    }
+
+    /// Execute exactly over one partition's row range.
+    pub fn execute_partition(&self, table: &Table, rows: Range<usize>) -> PartialAnswer {
+        let n = rows.len();
+        let sel = match &self.pred {
+            Some(p) => p.eval(table, rows.clone()),
+            None => SelVec::all(n),
+        };
+        let mut answer = PartialAnswer {
+            groups: HashMap::new(),
+            slots: self.slots,
+        };
+        if !sel.any() {
+            // A group exists only if at least one row passed the predicate —
+            // otherwise an all-filtered partition would fabricate a zero
+            // group.
+            return answer;
+        }
+        // Per-aggregate effective masks: selected AND condition.
+        let eff: Vec<Option<SelVec>> = self
+            .aggs
+            .iter()
+            .map(|a| {
+                a.cond.as_ref().map(|c| {
+                    let mut m = c.eval(table, rows.clone());
+                    m.and_assign(&sel);
+                    m
+                })
+            })
+            .collect();
+
+        if self.group_by.is_empty() {
+            let mut acc = vec![0.0; self.slots];
+            let mut si = 0;
+            for (agg, eff) in self.aggs.iter().zip(&eff) {
+                let mask = eff.as_ref().unwrap_or(&sel);
+                match &agg.kind {
+                    AggKind::Count => {
+                        // Sequentially summing 1.0 per row equals the exact
+                        // popcount below 2^53 rows.
+                        acc[si] = mask.count() as f64;
+                        si += 1;
+                    }
+                    AggKind::Sum(src) => {
+                        acc[si] = src.sum_selected(table, rows.clone(), mask);
+                        si += 1;
+                    }
+                    AggKind::Avg(src) => {
+                        acc[si] = src.sum_selected(table, rows.clone(), mask);
+                        acc[si + 1] = mask.count() as f64;
+                        si += 2;
+                    }
+                }
+            }
+            answer.groups.insert(GroupKey::global(), acc);
+            return answer;
+        }
+
+        self.execute_grouped(table, rows, &sel, &eff, &mut answer);
+        answer
+    }
+
+    /// Grouped accumulation: iterate selected rows once, in ascending order,
+    /// accumulating every slot under its effective mask.
+    fn execute_grouped(
+        &self,
+        table: &Table,
+        rows: Range<usize>,
+        sel: &SelVec,
+        eff: &[Option<SelVec>],
+        answer: &mut PartialAnswer,
+    ) {
+        let keys: Vec<KeySource<'_>> = self
+            .group_by
+            .iter()
+            .map(|g| {
+                if g.is_numeric {
+                    KeySource::Num(table.column(g.col).numeric_range(rows.clone()))
+                } else {
+                    KeySource::Cat(table.column(g.col).codes_range(rows.clone()))
+                }
+            })
+            .collect();
+        let slots = self.slots;
+        let accumulate = |acc: &mut Vec<f64>, i: usize| {
+            let mut si = 0;
+            for (agg, eff) in self.aggs.iter().zip(eff) {
+                let on = eff.as_ref().is_none_or(|m| m.get(i));
+                match &agg.kind {
+                    AggKind::Count => {
+                        if on {
+                            acc[si] += 1.0;
+                        }
+                        si += 1;
+                    }
+                    AggKind::Sum(src) => {
+                        if on {
+                            acc[si] += src.value_at(table, rows.start + i);
+                        }
+                        si += 1;
+                    }
+                    AggKind::Avg(src) => {
+                        if on {
+                            acc[si] += src.value_at(table, rows.start + i);
+                            acc[si + 1] += 1.0;
+                        }
+                        si += 2;
+                    }
+                }
+            }
+        };
+        if let [key] = keys.as_slice() {
+            // Single group-by column: u64-keyed map avoids the boxed-key
+            // allocation per row; keys become GroupKeys once per group.
+            let mut groups: HashMap<u64, Vec<f64>> = HashMap::new();
+            sel.for_each_selected(|i| {
+                let acc = groups
+                    .entry(key.key_at(i))
+                    .or_insert_with(|| vec![0.0; slots]);
+                accumulate(acc, i);
+            });
+            answer.groups.extend(
+                groups
+                    .into_iter()
+                    .map(|(k, v)| (GroupKey(Box::new([k])), v)),
+            );
+        } else {
+            sel.for_each_selected(|i| {
+                let key = GroupKey(keys.iter().map(|k| k.key_at(i)).collect());
+                let acc = answer.groups.entry(key).or_insert_with(|| vec![0.0; slots]);
+                accumulate(acc, i);
+            });
+        }
+    }
+
+    /// Resolve AVG slots into final values (see [`PartialAnswer::finalize`]
+    /// for the zero-count contract).
+    pub fn finalize(&self, acc: &PartialAnswer) -> QueryAnswer {
+        acc.finalize_funcs(&self.funcs)
+    }
+}
+
+/// Per-range key extraction for one group-by column.
+enum KeySource<'a> {
+    Num(&'a [f64]),
+    Cat(&'a [u32]),
+}
+
+impl KeySource<'_> {
+    #[inline]
+    fn key_at(&self, i: usize) -> u64 {
+        match self {
+            KeySource::Num(v) => GroupKey::canon_num_bits(v[i]),
+            KeySource::Cat(v) => u64::from(v[i]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::AggExpr;
+    use ps3_storage::table::TableBuilder;
+    use ps3_storage::{ColumnMeta, ColumnType, Schema};
+
+    fn table(n: usize) -> Table {
+        let schema = Schema::new(vec![
+            ColumnMeta::new("x", ColumnType::Numeric),
+            ColumnMeta::new("tag", ColumnType::Categorical),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..n {
+            b.push_row(&[i as f64], &[&format!("t{}", i % 7)]);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn target_set_dense_and_sparse_agree() {
+        let codes = vec![3, 99, 7, 3, 250];
+        let dense = TargetSet::build(codes.clone(), 300);
+        let sparse = TargetSet {
+            codes: {
+                let mut c = codes;
+                c.sort_unstable();
+                c.dedup();
+                c
+            },
+            bits: None,
+        };
+        assert_eq!(dense.codes(), sparse.codes());
+        assert_eq!(dense.len(), 4);
+        for c in 0..300u32 {
+            assert_eq!(dense.contains(c), sparse.contains(c), "code {c}");
+        }
+        assert!(TargetSet::build(vec![], 10).is_empty());
+    }
+
+    #[test]
+    fn cmp_kernel_matches_scalar_on_odd_lengths() {
+        let t = table(130);
+        for (op, v) in [
+            (CmpOp::Lt, 65.0),
+            (CmpOp::Ge, 128.5),
+            (CmpOp::Eq, 0.0),
+            (CmpOp::Ne, 129.0),
+        ] {
+            let cp = CompiledPredicate::Cmp {
+                col: ColId(0),
+                op,
+                value: v,
+                negated: false,
+            };
+            let sel = cp.eval(&t, 3..130);
+            let data = t.numeric(ColId(0));
+            for (i, row) in (3..130).enumerate() {
+                let expect = match op {
+                    CmpOp::Eq => data[row] == v,
+                    CmpOp::Ne => data[row] != v,
+                    CmpOp::Lt => data[row] < v,
+                    CmpOp::Le => data[row] <= v,
+                    CmpOp::Gt => data[row] > v,
+                    CmpOp::Ge => data[row] >= v,
+                };
+                assert_eq!(sel.get(i), expect, "op {op:?} row {row}");
+            }
+        }
+    }
+
+    #[test]
+    fn nan_comparisons_are_ieee() {
+        let schema = Schema::new(vec![ColumnMeta::new("x", ColumnType::Numeric)]);
+        let mut b = TableBuilder::new(schema);
+        for x in [1.0, f64::NAN, -0.0] {
+            b.push_row(&[x], &[]);
+        }
+        let t = b.finish();
+        let eval = |op, v| {
+            CompiledPredicate::Cmp {
+                col: ColId(0),
+                op,
+                value: v,
+                negated: false,
+            }
+            .eval(&t, 0..3)
+            .to_bools()
+        };
+        assert_eq!(eval(CmpOp::Lt, 2.0), vec![true, false, true]);
+        assert_eq!(eval(CmpOp::Ne, 1.0), vec![false, true, true]);
+        // IEEE: -0.0 == 0.0.
+        assert_eq!(eval(CmpOp::Eq, 0.0), vec![false, false, true]);
+    }
+
+    #[test]
+    fn not_of_cmp_accepts_nan_rows() {
+        // NOT must complement the mask, not rewrite the operator: NaN
+        // fails `x < v` AND `x >= v`, but passes `NOT (x < v)`.
+        let schema = Schema::new(vec![ColumnMeta::new("x", ColumnType::Numeric)]);
+        let mut b = TableBuilder::new(schema);
+        for x in [1.0, f64::NAN, 50.0] {
+            b.push_row(&[x], &[]);
+        }
+        let t = b.finish();
+        let lt = Clause::Cmp {
+            col: ColId(0),
+            op: CmpOp::Lt,
+            value: 10.0,
+        };
+        let not_lt = Predicate::Not(Box::new(Predicate::Clause(lt.clone())));
+        let sel = CompiledPredicate::compile(&t, &not_lt).eval(&t, 0..3);
+        assert_eq!(sel.to_bools(), vec![false, true, true]);
+        // Operator rewriting would have dropped the NaN row.
+        let ge = Predicate::Clause(lt.negate());
+        let sel = CompiledPredicate::compile(&t, &ge).eval(&t, 0..3);
+        assert_eq!(sel.to_bools(), vec![false, false, true]);
+    }
+
+    #[test]
+    fn hundred_value_in_list_matches_naive_scan() {
+        // Satellite regression: a 100-value IN list through the compiled
+        // TargetSet must match the naive `targets.contains(c)` linear scan.
+        let schema = Schema::new(vec![ColumnMeta::new("tag", ColumnType::Categorical)]);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..500usize {
+            b.push_row(&[], &[&format!("v{}", i % 211)]);
+        }
+        let t = b.finish();
+        let values: Vec<String> = (0..100).map(|i| format!("v{}", i * 2)).collect();
+        for negated in [false, true] {
+            let clause = Clause::In {
+                col: ColId(0),
+                values: values.clone(),
+                negated,
+            };
+            let compiled = CompiledPredicate::compile(&t, &Predicate::Clause(clause));
+            let sel = compiled.eval(&t, 0..500);
+            // Naive reference: resolve codes, linear-scan membership.
+            let (codes, dict) = t.categorical(ColId(0));
+            let targets: Vec<u32> = values.iter().filter_map(|v| dict.code(v)).collect();
+            let naive: Vec<bool> = codes
+                .iter()
+                .map(|c| targets.contains(c) != negated)
+                .collect();
+            assert_eq!(sel.to_bools(), naive, "negated={negated}");
+        }
+    }
+
+    #[test]
+    fn contains_compiles_dictionary_once_per_query() {
+        let t = table(100);
+        let p = Predicate::Clause(Clause::Contains {
+            col: ColId(1),
+            needle: "t1".into(),
+            negated: false,
+        });
+        let cp = CompiledPredicate::compile(&t, &p);
+        // The compiled set holds exactly the matching codes; evaluating many
+        // partitions reuses it without touching the dictionary again.
+        match &cp {
+            CompiledPredicate::InSet { set, negated, .. } => {
+                assert!(!negated);
+                assert_eq!(set.len(), 1);
+            }
+            other => panic!("expected InSet, got {other:?}"),
+        }
+        let a = cp.eval(&t, 0..50);
+        let b = cp.eval(&t, 50..100);
+        assert_eq!(a.count() + b.count(), 100 / 7 + 1);
+    }
+
+    #[test]
+    fn fused_global_aggregates() {
+        let t = table(200);
+        let q = Query::new(
+            vec![
+                AggExpr::sum(ScalarExpr::col(ColId(0))),
+                AggExpr::count(),
+                AggExpr::avg(ScalarExpr::col(ColId(0))),
+            ],
+            Some(Predicate::Clause(Clause::Cmp {
+                col: ColId(0),
+                op: CmpOp::Lt,
+                value: 100.0,
+            })),
+            vec![],
+        );
+        let cq = CompiledQuery::compile(&t, &q);
+        let ans = cq.finalize(&cq.execute_partition(&t, 0..200));
+        assert_eq!(ans.global(0).unwrap(), (0..100).sum::<usize>() as f64);
+        assert_eq!(ans.global(1).unwrap(), 100.0);
+        assert_eq!(ans.global(2).unwrap(), 49.5);
+    }
+
+    #[test]
+    fn empty_and_or_nodes() {
+        let t = table(10);
+        let all = CompiledPredicate::And(vec![]);
+        assert_eq!(all.eval(&t, 0..10).count(), 10);
+        let none = CompiledPredicate::Or(vec![]);
+        assert_eq!(none.eval(&t, 0..10).count(), 0);
+    }
+}

@@ -11,14 +11,29 @@
 //! Execution is exact per partition; the whole point of PS3 is to evaluate a
 //! query on a *subset* of partitions and combine the per-partition answers
 //! with weights (§2.4): `Ã_g = Σ_j w_j · A_{g,p_j}`.
+//!
+//! Execution runs on compiled columnar kernels ([`kernel`]): predicates
+//! lower once per `(query, table)` into mask programs over a 64-bit
+//! [`SelVec`] selection vector, and fused kernels accumulate aggregate
+//! slots straight from column chunks — see the kernel module docs for the
+//! bit-identity contract with the reference interpreter.
 
 pub mod ast;
 pub mod exec;
+pub mod kernel;
 pub mod metrics;
+#[cfg(test)]
+mod oracle;
 pub mod predicate;
+#[cfg(test)]
+mod proptests;
+pub mod selvec;
 
 pub use ast::{AggExpr, AggFunc, BinOp, Clause, CmpOp, Predicate, Query, ScalarExpr};
 pub use exec::{
-    execute_partition, execute_partitions, execute_partitions_on, execute_partitions_parallel,
+    execute_partition, execute_partitions, execute_partitions_compiled,
+    execute_partitions_compiled_on, execute_partitions_on, execute_partitions_parallel,
     execute_table, GroupKey, PartialAnswer, QueryAnswer, WeightedPart,
 };
+pub use kernel::{CompiledPredicate, CompiledQuery, TargetSet};
+pub use selvec::SelVec;

@@ -51,7 +51,18 @@ pub fn avg_relative_error(truth: &QueryAnswer, estimate: &QueryAnswer) -> f64 {
 }
 
 /// Relative error of a single value pair.
+///
+/// NaN is the engine's NULL (an AVG over zero qualifying rows — see
+/// [`crate::exec::PartialAnswer::finalize`]): NaN-vs-NaN is perfect
+/// agreement (0), NaN-vs-number is a full miss (1).
 pub fn relative_error(truth: f64, estimate: f64) -> f64 {
+    if truth.is_nan() || estimate.is_nan() {
+        return if truth.is_nan() == estimate.is_nan() {
+            0.0
+        } else {
+            1.0
+        };
+    }
     if truth == 0.0 {
         if estimate.abs() < 1e-12 {
             0.0
@@ -83,8 +94,17 @@ pub fn abs_error_over_true(truth: &QueryAnswer, estimate: &QueryAnswer) -> f64 {
         for (key, tvals) in &truth.groups {
             let t = tvals[a];
             let e = estimate.groups.get(key).map_or(0.0, |v| v[a]);
-            abs_err += (e - t).abs();
-            true_mag += t.abs();
+            if t.is_nan() || e.is_nan() {
+                // NaN is the engine's NULL: agreement costs nothing, a
+                // mismatch counts the defined side's magnitude as error.
+                if t.is_nan() != e.is_nan() {
+                    abs_err += if t.is_nan() { e.abs() } else { t.abs() };
+                    true_mag += if t.is_nan() { 0.0 } else { t.abs() };
+                }
+            } else {
+                abs_err += (e - t).abs();
+                true_mag += t.abs();
+            }
         }
         let mean_err = abs_err / g;
         let mean_true = true_mag / g;
@@ -183,6 +203,27 @@ mod tests {
         assert_eq!(relative_error(0.0, 0.0), 0.0);
         assert_eq!(relative_error(0.0, 5.0), 1.0);
         assert_eq!(relative_error(-10.0, -5.0), 0.5);
+    }
+
+    #[test]
+    fn nan_is_null_in_every_metric() {
+        // Matching NaNs (both sides say "no qualifying rows") are free.
+        assert_eq!(relative_error(f64::NAN, f64::NAN), 0.0);
+        // One-sided NaN is a full miss.
+        assert_eq!(relative_error(f64::NAN, 3.0), 1.0);
+        assert_eq!(relative_error(3.0, f64::NAN), 1.0);
+
+        let t = answer(&[(&[1], &[10.0, f64::NAN]), (&[2], &[20.0, f64::NAN])]);
+        let e = answer(&[(&[1], &[10.0, f64::NAN]), (&[2], &[20.0, f64::NAN])]);
+        let m = ErrorMetrics::compute(&t, &e);
+        assert_eq!(m.avg_rel_err, 0.0);
+        assert_eq!(m.abs_over_true, 0.0);
+
+        // A NaN truth met by a number contributes error, not NaN poison.
+        let e = answer(&[(&[1], &[10.0, 5.0]), (&[2], &[20.0, f64::NAN])]);
+        let m = ErrorMetrics::compute(&t, &e);
+        assert!((m.avg_rel_err - 0.25).abs() < 1e-12, "{}", m.avg_rel_err);
+        assert!(m.abs_over_true.is_finite());
     }
 
     #[test]

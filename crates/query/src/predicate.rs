@@ -1,92 +1,31 @@
-//! Row-level predicate and scalar evaluation.
+//! Predicate and scalar evaluation entry points.
 //!
-//! The executor materializes, per partition, a row-selection bitmap from the
-//! predicate and f64 vectors from the scalar expressions. Evaluation is
-//! column-at-a-time over the partition's row range — the closest analogue of
-//! the vectorized execution the paper's production engines use.
+//! Predicate evaluation routes through the compiled kernel layer
+//! ([`crate::kernel`]): the predicate is lowered once (NNF, resolved
+//! membership target sets) and evaluated as 64-bit mask words over the
+//! partition's row range, then expanded to one bool per row for callers
+//! that want row vectors. Hot paths should compile once with
+//! [`crate::kernel::CompiledPredicate::compile`] and keep the [`SelVec`]
+//! instead.
+//!
+//! [`SelVec`]: crate::selvec::SelVec
 
 use ps3_storage::Table;
 use std::ops::Range;
 
-use crate::ast::{BinOp, Clause, CmpOp, Predicate, ScalarExpr};
+use crate::ast::{BinOp, Clause, Predicate, ScalarExpr};
+use crate::kernel::CompiledPredicate;
 
 /// Evaluate `pred` over `rows`, returning one bool per row in the range.
 pub fn eval_predicate(table: &Table, rows: Range<usize>, pred: &Predicate) -> Vec<bool> {
-    match pred {
-        Predicate::Clause(c) => eval_clause(table, rows, c),
-        Predicate::Not(p) => {
-            let mut v = eval_predicate(table, rows, p);
-            for b in &mut v {
-                *b = !*b;
-            }
-            v
-        }
-        Predicate::And(ps) => {
-            let mut acc = vec![true; rows.len()];
-            for p in ps {
-                let v = eval_predicate(table, rows.clone(), p);
-                for (a, b) in acc.iter_mut().zip(v) {
-                    *a &= b;
-                }
-            }
-            acc
-        }
-        Predicate::Or(ps) => {
-            let mut acc = vec![false; rows.len()];
-            for p in ps {
-                let v = eval_predicate(table, rows.clone(), p);
-                for (a, b) in acc.iter_mut().zip(v) {
-                    *a |= b;
-                }
-            }
-            acc
-        }
-    }
+    CompiledPredicate::compile(table, pred)
+        .eval(table, rows)
+        .to_bools()
 }
 
 /// Evaluate a single clause over `rows`.
 pub fn eval_clause(table: &Table, rows: Range<usize>, clause: &Clause) -> Vec<bool> {
-    match clause {
-        Clause::Cmp { col, op, value } => {
-            let data = &table.numeric(*col)[rows];
-            let v = *value;
-            match op {
-                CmpOp::Eq => data.iter().map(|&x| x == v).collect(),
-                CmpOp::Ne => data.iter().map(|&x| x != v).collect(),
-                CmpOp::Lt => data.iter().map(|&x| x < v).collect(),
-                CmpOp::Le => data.iter().map(|&x| x <= v).collect(),
-                CmpOp::Gt => data.iter().map(|&x| x > v).collect(),
-                CmpOp::Ge => data.iter().map(|&x| x >= v).collect(),
-            }
-        }
-        Clause::In {
-            col,
-            values,
-            negated,
-        } => {
-            let (codes, dict) = table.categorical(*col);
-            let codes = &codes[rows];
-            // Values absent from the dictionary match no rows.
-            let targets: Vec<u32> = values.iter().filter_map(|v| dict.code(v)).collect();
-            codes
-                .iter()
-                .map(|c| targets.contains(c) != *negated)
-                .collect()
-        }
-        Clause::Contains {
-            col,
-            needle,
-            negated,
-        } => {
-            let (codes, dict) = table.categorical(*col);
-            let codes = &codes[rows];
-            let targets = dict.codes_containing(needle);
-            codes
-                .iter()
-                .map(|c| targets.contains(c) != *negated)
-                .collect()
-        }
-    }
+    eval_predicate(table, rows, &Predicate::Clause(clause.clone()))
 }
 
 /// Evaluate a scalar expression over `rows` into an f64 vector.
@@ -130,6 +69,7 @@ pub fn eval_scalar(table: &Table, rows: Range<usize>, expr: &ScalarExpr) -> Vec<
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ast::CmpOp;
     use ps3_storage::{ColId, ColumnMeta, ColumnType, Schema, Table};
 
     fn table() -> Table {

@@ -1,0 +1,342 @@
+//! Kernel-vs-oracle property tests.
+//!
+//! The compiled kernel engine ([`crate::kernel`]) must be **bit-identical**
+//! to the pre-refactor scalar interpreter (kept in [`crate::oracle`]) on
+//! arbitrary in-scope queries and tables: identical group keys, identical
+//! accumulator slot bits (NaNs compared by bit pattern, not `==`), and the
+//! serial / forced-parallel / compiled execution paths must agree with each
+//! other per seed.
+
+use proptest::prelude::*;
+
+use crate::ast::{AggExpr, Clause, CmpOp, Predicate, Query, ScalarExpr};
+use crate::exec::{
+    execute_partitions, execute_partitions_compiled, fan_out_partitions, PartialAnswer,
+    QueryAnswer, WeightedPart,
+};
+use crate::kernel::CompiledQuery;
+use crate::oracle::execute_partition_oracle;
+use ps3_storage::table::TableBuilder;
+use ps3_storage::{ColId, ColumnMeta, ColumnType, PartitionId, PartitionedTable, Schema};
+
+const TAGS: [&str; 6] = ["alpha", "beta", "gamma", "promo one", "promo two", "zz"];
+
+/// A small random table: numeric `x` (with ±0.0 and NaN sprinkled in to
+/// exercise the canonicalization contract), numeric `y`, categorical `tag`.
+fn arb_table() -> impl Strategy<Value = PartitionedTable> {
+    let x = prop_oneof![-20.0f64..120.0, Just(0.0), Just(-0.0), Just(f64::NAN),];
+    (
+        prop::collection::vec((x, -50.0f64..50.0, 0usize..TAGS.len()), 20..180),
+        1usize..9,
+    )
+        .prop_map(|(rows, parts)| {
+            let schema = Schema::new(vec![
+                ColumnMeta::new("x", ColumnType::Numeric),
+                ColumnMeta::new("y", ColumnType::Numeric),
+                ColumnMeta::new("tag", ColumnType::Categorical),
+            ]);
+            let mut b = TableBuilder::new(schema);
+            for (x, y, t) in rows {
+                b.push_row(&[x, y], &[TAGS[t]]);
+            }
+            let t = b.finish();
+            let parts = parts.min(t.num_rows());
+            PartitionedTable::with_equal_partitions(t, parts)
+        })
+}
+
+/// A random predicate over the fixed schema: comparisons (all six ops),
+/// multi-value `IN`/`NOT IN`, substring `Contains`, combined with AND / OR
+/// / NOT-of-AND shapes.
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    let clause = prop_oneof![
+        (
+            prop_oneof![
+                Just(CmpOp::Lt),
+                Just(CmpOp::Le),
+                Just(CmpOp::Gt),
+                Just(CmpOp::Ge),
+                Just(CmpOp::Eq),
+                Just(CmpOp::Ne)
+            ],
+            -30.0f64..130.0
+        )
+            .prop_map(|(op, v)| Clause::Cmp {
+                col: ColId(0),
+                op,
+                value: v
+            }),
+        (
+            prop_oneof![Just(CmpOp::Lt), Just(CmpOp::Ge)],
+            -60.0f64..60.0
+        )
+            .prop_map(|(op, v)| {
+                Clause::Cmp {
+                    col: ColId(1),
+                    op,
+                    value: v,
+                }
+            }),
+        (
+            prop::collection::vec(0usize..TAGS.len() + 1, 1..4),
+            any::<bool>()
+        )
+            .prop_map(|(ts, neg)| Clause::In {
+                col: ColId(2),
+                values: ts
+                    .into_iter()
+                    .map(|t| if t < TAGS.len() {
+                        TAGS[t].to_owned()
+                    } else {
+                        "missing".to_owned()
+                    })
+                    .collect(),
+                negated: neg,
+            }),
+        (0usize..3, any::<bool>()).prop_map(|(n, neg)| Clause::Contains {
+            col: ColId(2),
+            needle: ["promo", "a", "zzz"][n].to_owned(),
+            negated: neg,
+        }),
+    ];
+    prop::collection::vec(clause, 1..5).prop_flat_map(|clauses| {
+        (0..3u8).prop_map(move |shape| match shape {
+            0 => Predicate::all(clauses.clone()),
+            1 => Predicate::any(clauses.clone()),
+            _ => Predicate::Not(Box::new(Predicate::any(clauses.clone()))),
+        })
+    })
+}
+
+/// `Option<Predicate>` strategy (the vendored proptest has no
+/// `proptest::option` module).
+fn arb_opt_predicate() -> impl Strategy<Value = Option<Predicate>> {
+    prop_oneof![Just(None), arb_predicate().prop_map(Some)]
+}
+
+/// A random query: 1–3 aggregates (SUM over a column or projection, COUNT,
+/// AVG; sometimes CASE-conditioned), optional WHERE, optional GROUP BY over
+/// the numeric and/or categorical column.
+fn arb_query() -> impl Strategy<Value = Query> {
+    let expr = prop_oneof![
+        Just(ScalarExpr::col(ColId(0))),
+        Just(ScalarExpr::col(ColId(1))),
+        Just(ScalarExpr::col(ColId(0)).mul(ScalarExpr::col(ColId(1)))),
+        Just(ScalarExpr::col(ColId(1)).div(ScalarExpr::col(ColId(0)))),
+        Just(ScalarExpr::col(ColId(0)).add(ScalarExpr::Literal(2.5))),
+    ];
+    let agg = (0u8..3, expr, arb_opt_predicate()).prop_map(|(func, expr, cond)| {
+        let base = match func {
+            0 => AggExpr::sum(expr),
+            1 => AggExpr::count(),
+            _ => AggExpr::avg(expr),
+        };
+        match cond {
+            Some(p) => base.filtered(p),
+            None => base,
+        }
+    });
+    (
+        prop::collection::vec(agg, 1..4),
+        arb_opt_predicate(),
+        0u8..4,
+    )
+        .prop_map(|(aggs, pred, group)| {
+            let group_by = match group {
+                0 => vec![],
+                1 => vec![ColId(2)],
+                2 => vec![ColId(0)],
+                _ => vec![ColId(0), ColId(2)],
+            };
+            Query::new(aggs, pred, group_by)
+        })
+}
+
+/// Bit-level equality of partial answers: same groups, and every slot pair
+/// has identical f64 bit patterns (so NaN == NaN and +0.0 != -0.0).
+fn bits_eq_partial(a: &PartialAnswer, b: &PartialAnswer) -> Result<(), String> {
+    if a.slots != b.slots {
+        return Err(format!("slot arity {} vs {}", a.slots, b.slots));
+    }
+    if a.groups.len() != b.groups.len() {
+        return Err(format!("{} groups vs {}", a.groups.len(), b.groups.len()));
+    }
+    for (key, va) in &a.groups {
+        let Some(vb) = b.groups.get(key) else {
+            return Err(format!("group {key:?} missing on one side"));
+        };
+        for (i, (x, y)) in va.iter().zip(vb).enumerate() {
+            if x.to_bits() != y.to_bits() {
+                return Err(format!(
+                    "group {key:?} slot {i}: {x:?} vs {y:?} (bits differ)"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Bit-level equality of finalized answers.
+fn bits_eq_answer(a: &QueryAnswer, b: &QueryAnswer) -> Result<(), String> {
+    if a.groups.len() != b.groups.len() {
+        return Err(format!("{} groups vs {}", a.groups.len(), b.groups.len()));
+    }
+    for (key, va) in &a.groups {
+        let Some(vb) = b.groups.get(key) else {
+            return Err(format!("group {key:?} missing on one side"));
+        };
+        for (i, (x, y)) in va.iter().zip(vb).enumerate() {
+            if x.to_bits() != y.to_bits() {
+                return Err(format!(
+                    "group {key:?} agg {i}: {x:?} vs {y:?} (bits differ)"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Per-partition: compiled kernels == the pre-refactor interpreter,
+    /// bit for bit, on every partition of a random table.
+    #[test]
+    fn kernel_matches_oracle_per_partition(pt in arb_table(), query in arb_query()) {
+        let cq = CompiledQuery::compile(pt.table(), &query);
+        for p in 0..pt.num_partitions() {
+            let rows = pt.rows(PartitionId(p));
+            let oracle = execute_partition_oracle(pt.table(), rows.clone(), &query);
+            let kernel = cq.execute_partition(pt.table(), rows);
+            if let Err(e) = bits_eq_partial(&oracle, &kernel) {
+                prop_assert!(false, "partition {p}: {e}\nquery {query:?}");
+            }
+        }
+    }
+
+    /// Combined: serial interpretation, serial compiled, and the forced
+    /// parallel fan-out all produce bit-identical weighted answers.
+    #[test]
+    fn serial_parallel_kernel_agree(pt in arb_table(), query in arb_query(), wseed in 0u32..1000) {
+        let selection: Vec<WeightedPart> = (0..pt.num_partitions())
+            .map(|p| WeightedPart {
+                partition: PartitionId(p),
+                weight: 0.5 + ((wseed as usize + p) % 7) as f64 * 0.75,
+            })
+            .collect();
+        let cq = CompiledQuery::compile(pt.table(), &query);
+
+        // Oracle combine, same order and weights.
+        let mut acc = PartialAnswer::empty(&query);
+        for wp in &selection {
+            let part = execute_partition_oracle(pt.table(), pt.rows(wp.partition), &query);
+            acc.add_weighted(&part, wp.weight);
+        }
+        let oracle = acc.finalize(&query);
+
+        let serial = execute_partitions(&pt, &query, &selection);
+        let compiled = execute_partitions_compiled(&pt, &cq, &selection);
+        let pool = ps3_runtime::ThreadPool::new(3);
+        let parallel = fan_out_partitions(&pt, &cq, &selection, &pool);
+
+        for (name, ans) in [("serial", &serial), ("compiled", &compiled), ("parallel", &parallel)] {
+            if let Err(e) = bits_eq_answer(&oracle, ans) {
+                prop_assert!(false, "{name} diverged from oracle: {e}\nquery {query:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_partition_yields_empty_answer() {
+    let schema = Schema::new(vec![
+        ColumnMeta::new("x", ColumnType::Numeric),
+        ColumnMeta::new("y", ColumnType::Numeric),
+        ColumnMeta::new("tag", ColumnType::Categorical),
+    ]);
+    let mut b = TableBuilder::new(schema);
+    for i in 0..8 {
+        b.push_row(&[f64::from(i), 1.0], &[TAGS[i as usize % 6]]);
+    }
+    let t = b.finish();
+    let query = Query::new(
+        vec![AggExpr::count(), AggExpr::avg(ScalarExpr::col(ColId(0)))],
+        None,
+        vec![ColId(2)],
+    );
+    let cq = CompiledQuery::compile(&t, &query);
+    // A zero-row range is a legal (empty) partition.
+    let kernel = cq.execute_partition(&t, 3..3);
+    let oracle = execute_partition_oracle(&t, 3..3, &query);
+    assert!(kernel.groups.is_empty());
+    bits_eq_partial(&oracle, &kernel).unwrap();
+}
+
+#[test]
+fn all_false_predicate_selects_nothing() {
+    let mut b = TableBuilder::new(Schema::new(vec![
+        ColumnMeta::new("x", ColumnType::Numeric),
+        ColumnMeta::new("y", ColumnType::Numeric),
+        ColumnMeta::new("tag", ColumnType::Categorical),
+    ]));
+    for i in 0..100 {
+        b.push_row(&[f64::from(i), 0.5], &[TAGS[i as usize % 6]]);
+    }
+    let t = b.finish();
+    for (query_pred, group_by) in [
+        (
+            Predicate::Clause(Clause::Cmp {
+                col: ColId(0),
+                op: CmpOp::Gt,
+                value: 1e9,
+            }),
+            vec![],
+        ),
+        (
+            Predicate::Clause(Clause::str_eq(ColId(2), "not-in-dict")),
+            vec![ColId(2)],
+        ),
+    ] {
+        let query = Query::new(
+            vec![AggExpr::sum(ScalarExpr::col(ColId(0))), AggExpr::count()],
+            Some(query_pred),
+            group_by,
+        );
+        let cq = CompiledQuery::compile(&t, &query);
+        let kernel = cq.execute_partition(&t, 0..100);
+        let oracle = execute_partition_oracle(&t, 0..100, &query);
+        assert!(kernel.groups.is_empty(), "all-false must yield no groups");
+        bits_eq_partial(&oracle, &kernel).unwrap();
+    }
+}
+
+#[test]
+fn single_row_ranges_match_oracle() {
+    let mut b = TableBuilder::new(Schema::new(vec![
+        ColumnMeta::new("x", ColumnType::Numeric),
+        ColumnMeta::new("y", ColumnType::Numeric),
+        ColumnMeta::new("tag", ColumnType::Categorical),
+    ]));
+    for i in 0..67 {
+        b.push_row(&[f64::from(i) - 3.0, -1.5], &[TAGS[i as usize % 6]]);
+    }
+    let t = b.finish();
+    let query = Query::new(
+        vec![
+            AggExpr::sum(ScalarExpr::col(ColId(0)).mul(ScalarExpr::col(ColId(1)))),
+            AggExpr::avg(ScalarExpr::col(ColId(1))),
+        ],
+        Some(Predicate::Clause(Clause::Cmp {
+            col: ColId(0),
+            op: CmpOp::Ge,
+            value: 0.0,
+        })),
+        vec![ColId(2)],
+    );
+    let cq = CompiledQuery::compile(&t, &query);
+    for row in 0..67 {
+        let kernel = cq.execute_partition(&t, row..row + 1);
+        let oracle = execute_partition_oracle(&t, row..row + 1, &query);
+        bits_eq_partial(&oracle, &kernel).unwrap_or_else(|e| panic!("row {row}: {e}"));
+    }
+}

@@ -13,9 +13,15 @@ pub const DEFAULT_LIMIT: usize = 256;
 
 /// Exact per-partition frequency table for one column, keyed the same way as
 /// [`crate::HeavyHitters`] (dictionary codes / f64 bit patterns).
+///
+/// Entries live in one contiguous vector sorted by key: selectivity probes
+/// walk it cache-linearly (the `ps3_stats` interval probe visits every
+/// entry per partition — a hot query-feature path), point lookups binary
+/// search, and iteration order is deterministic.
 #[derive(Debug, Clone, Default)]
 pub struct ExactDict {
-    counts: HashMap<u64, u64>,
+    /// `(key, count)` pairs, sorted by key, keys unique.
+    entries: Vec<(u64, u64)>,
     rows: u64,
 }
 
@@ -31,7 +37,9 @@ impl ExactDict {
                 return None;
             }
         }
-        Some(Self { counts, rows })
+        let mut entries: Vec<(u64, u64)> = counts.into_iter().collect();
+        entries.sort_unstable();
+        Some(Self { entries, rows })
     }
 
     /// Rows summarized.
@@ -41,7 +49,7 @@ impl ExactDict {
 
     /// Number of distinct values (exact).
     pub fn distinct(&self) -> usize {
-        self.counts.len()
+        self.entries.len()
     }
 
     /// Exact frequency (fraction of rows) of `key`; 0 when absent.
@@ -49,9 +57,9 @@ impl ExactDict {
         if self.rows == 0 {
             return 0.0;
         }
-        self.counts
-            .get(&key)
-            .map_or(0.0, |&c| c as f64 / self.rows as f64)
+        self.entries
+            .binary_search_by_key(&key, |&(k, _)| k)
+            .map_or(0.0, |i| self.entries[i].1 as f64 / self.rows as f64)
     }
 
     /// Exact selectivity of `key IN keys` (keys assumed distinct).
@@ -62,22 +70,25 @@ impl ExactDict {
             .clamp(0.0, 1.0)
     }
 
-    /// Iterate over `(key, count)`.
+    /// Iterate over `(key, count)` in ascending key order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.counts.iter().map(|(&k, &c)| (k, c))
+        self.entries.iter().copied()
+    }
+
+    /// The sorted `(key, count)` entries.
+    pub fn entries(&self) -> &[(u64, u64)] {
+        &self.entries
     }
 
     /// Exact serialized footprint: (key, count) pairs + row count.
     pub fn serialized_size(&self) -> usize {
-        self.counts.len() * (8 + 8) + 8
+        self.entries.len() * (8 + 8) + 8
     }
 
     /// Rebuild from raw `(key, count)` parts (codec use).
-    pub fn from_raw_parts(entries: Vec<(u64, u64)>, rows: u64) -> Self {
-        Self {
-            counts: entries.into_iter().collect(),
-            rows,
-        }
+    pub fn from_raw_parts(mut entries: Vec<(u64, u64)>, rows: u64) -> Self {
+        entries.sort_unstable();
+        Self { entries, rows }
     }
 }
 

@@ -9,11 +9,11 @@
 //! bitmap bits survive only for the query's group-by columns, and the four
 //! selectivity slots are filled per partition.
 
-use ps3_query::Query;
+use ps3_query::{CompiledPredicate, Query};
 use ps3_storage::{ColId, Table};
 
 use crate::builder::TableStats;
-use crate::selectivity::selectivity_features;
+use crate::selectivity::{selectivity_features_compiled, SelectivityFeatures};
 
 /// Scalar statistics per column (before the bitmap).
 pub const SCALARS_PER_COL: usize = 17;
@@ -289,36 +289,46 @@ pub struct QueryFeatures {
 
 impl QueryFeatures {
     /// Build the feature matrix for `query` (§3.2):
-    /// * start from the precomputed static block of every partition,
-    /// * zero the blocks of columns the query does not touch,
+    /// * start from a zero row and copy in only the static blocks of the
+    ///   columns the query touches (equivalent to cloning the full static
+    ///   row and zeroing the unused blocks, but it moves `used/total`
+    ///   instead of all of the ~42·C features per partition),
     /// * keep occurrence bitmaps only for the query's group-by columns,
-    /// * append the four per-partition selectivity estimates.
+    /// * append the four per-partition selectivity estimates, probed
+    ///   through the predicate compiled **once** per `(query, table)` —
+    ///   `IN`/`Contains` dictionary resolution no longer reruns per
+    ///   partition.
     pub fn compute(stats: &TableStats, table: &Table, query: &Query) -> Self {
         let schema = *stats.feature_schema();
         let used = query.used_columns();
-        let mut used_mask = vec![false; schema.num_cols()];
-        for c in &used {
-            used_mask[c.index()] = true;
-        }
         let mut gb_mask = vec![false; schema.num_cols()];
         for c in &query.group_by {
             gb_mask[c.index()] = true;
         }
+        let compiled = query
+            .predicate
+            .as_ref()
+            .map(|p| CompiledPredicate::compile(table, p));
 
         let sel_off = schema.selectivity_offset();
         let mut rows = Vec::with_capacity(stats.num_partitions());
         for p in 0..stats.num_partitions() {
-            let mut row = stats.static_features()[p].clone();
-            for c in 0..schema.num_cols() {
-                let off = schema.col_offset(ColId(c));
-                if !used_mask[c] {
-                    row[off..off + PER_COL].fill(0.0);
-                } else if !gb_mask[c] {
-                    // Bitmaps are only computed for grouping columns (§3.2).
-                    row[off + SCALARS_PER_COL..off + PER_COL].fill(0.0);
-                }
+            let statics = &stats.static_features()[p];
+            let mut row = vec![0.0; schema.dim()];
+            for c in &used {
+                let off = schema.col_offset(*c);
+                // Bitmaps are only computed for grouping columns (§3.2).
+                let end = if gb_mask[c.index()] {
+                    off + PER_COL
+                } else {
+                    off + SCALARS_PER_COL
+                };
+                row[off..end].copy_from_slice(&statics[off..end]);
             }
-            let sel = selectivity_features(query, stats.partition(p), table, table.schema());
+            let sel = match &compiled {
+                Some(cp) => selectivity_features_compiled(Some(cp), stats.partition(p)),
+                None => SelectivityFeatures::all_pass(),
+            };
             row[sel_off..sel_off + 4].copy_from_slice(&sel.as_array());
             rows.push(row);
         }

@@ -23,4 +23,4 @@ pub use builder::{StatsConfig, StorageBreakdown, TableStats};
 pub use column_stats::ColumnStats;
 pub use features::{FeatureSchema, FeatureType, QueryFeatures};
 pub use normalize::Normalizer;
-pub use selectivity::SelectivityFeatures;
+pub use selectivity::{selectivity_features_compiled, SelectivityFeatures};

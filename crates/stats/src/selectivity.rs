@@ -14,7 +14,7 @@
 //! jointly* (e.g. `X > 1 AND X < 5` intersects to one range before consulting
 //! the histogram), per §3.2.
 
-use ps3_query::{Clause, CmpOp, Predicate, Query};
+use ps3_query::{CmpOp, CompiledPredicate, Query};
 use ps3_storage::{ColId, Schema, Table};
 
 use crate::column_stats::ColumnStats;
@@ -125,51 +125,23 @@ impl Interval {
     }
 }
 
-/// Estimate for one clause: `(upper, estimate)`.
-fn clause_selectivity(clause: &Clause, stats: &ColumnStats, table: &Table) -> (f64, f64) {
-    match clause {
-        Clause::Cmp { op, value, .. } => match Interval::from_cmp(*op, *value) {
-            Some(iv) => interval_selectivity(&iv, stats),
-            None => {
-                // Ne: complement of equality.
-                let (eq_upper, eq_est) =
-                    interval_selectivity(&Interval::from_cmp(CmpOp::Eq, *value).unwrap(), stats);
-                let est = (1.0 - eq_est).clamp(0.0, 1.0);
-                // Upper: all rows might differ from v unless the column is
-                // constant at v (then eq covers everything).
-                let upper = if eq_upper >= 1.0 && stats.akmv.distinct_estimate() <= 1.0 {
-                    0.0
-                } else {
-                    1.0
-                };
-                (upper, est)
-            }
-        },
-        Clause::In {
-            col,
-            values,
-            negated,
-        } => {
-            let (_, dict) = table.categorical(*col);
-            let keys: Vec<u64> = values
-                .iter()
-                .filter_map(|v| dict.code(v))
-                .map(u64::from)
-                .collect();
-            in_selectivity(&keys, *negated, stats)
-        }
-        Clause::Contains {
-            col,
-            needle,
-            negated,
-        } => {
-            let (_, dict) = table.categorical(*col);
-            let keys: Vec<u64> = dict
-                .codes_containing(needle)
-                .into_iter()
-                .map(u64::from)
-                .collect();
-            in_selectivity(&keys, *negated, stats)
+/// `(upper, estimate)` for a numeric comparison (post-negation operator).
+fn cmp_selectivity(op: CmpOp, value: f64, stats: &ColumnStats) -> (f64, f64) {
+    match Interval::from_cmp(op, value) {
+        Some(iv) => interval_selectivity(&iv, stats),
+        None => {
+            // Ne: complement of equality.
+            let (eq_upper, eq_est) =
+                interval_selectivity(&Interval::from_cmp(CmpOp::Eq, value).unwrap(), stats);
+            let est = (1.0 - eq_est).clamp(0.0, 1.0);
+            // Upper: all rows might differ from v unless the column is
+            // constant at v (then eq covers everything).
+            let upper = if eq_upper >= 1.0 && stats.akmv.distinct_estimate() <= 1.0 {
+                0.0
+            } else {
+                1.0
+            };
+            (upper, est)
         }
     }
 }
@@ -207,11 +179,16 @@ fn interval_selectivity(iv: &Interval, stats: &ColumnStats) -> (f64, f64) {
     (upper, est.min(upper))
 }
 
-/// `(upper, estimate)` for a categorical membership test over `keys`.
-fn in_selectivity(keys: &[u64], negated: bool, stats: &ColumnStats) -> (f64, f64) {
+/// `(upper, estimate)` for a categorical membership test over the
+/// precompiled dictionary-code targets.
+fn in_selectivity(keys: &[u32], negated: bool, stats: &ColumnStats) -> (f64, f64) {
     // Exact dictionary: both the bound and the estimate are exact.
     if let Some(exact) = &stats.exact {
-        let sel = exact.in_selectivity(keys);
+        let sel = keys
+            .iter()
+            .map(|&k| exact.frequency(u64::from(k)))
+            .sum::<f64>()
+            .clamp(0.0, 1.0);
         let sel = if negated { 1.0 - sel } else { sel };
         return (sel, sel);
     }
@@ -230,7 +207,7 @@ fn in_selectivity(keys: &[u64], negated: bool, stats: &ColumnStats) -> (f64, f64
     let mut upper = 0.0;
     let mut est = 0.0;
     for &k in keys {
-        match stats.hh_frequency(k) {
+        match stats.hh_frequency(u64::from(k)) {
             Some(f) => {
                 upper += f + 0.001; // lossy-counting undercount allowance (ε)
                 est += f;
@@ -246,29 +223,52 @@ fn in_selectivity(keys: &[u64], negated: bool, stats: &ColumnStats) -> (f64, f64
     (upper.clamp(0.0, 1.0), est.clamp(0.0, 1.0))
 }
 
-/// Recursive estimate of a (NNF) predicate node: returns
-/// `(upper, indep, clause_estimates)`.
+/// The effective comparison operator of a compiled `Cmp` leaf: a mask
+/// complement estimates like the complemented operator (selectivity has no
+/// NaN rows to worry about — only the executor needs exact NaN semantics).
+fn effective_op(op: CmpOp, negated: bool) -> CmpOp {
+    if negated {
+        op.negate()
+    } else {
+        op
+    }
+}
+
+/// Recursive estimate of a compiled predicate node: returns
+/// `(upper, indep)`, appending per-clause estimates to `clause_ests`.
+///
+/// Walking the *compiled* tree means dictionary targets (`IN` code sets,
+/// `Contains` scans) were resolved once per query at compile time, not once
+/// per partition.
 fn estimate_node(
-    pred: &Predicate,
+    pred: &CompiledPredicate,
     stats: &[ColumnStats],
-    table: &Table,
     clause_ests: &mut Vec<f64>,
 ) -> (f64, f64) {
     match pred {
-        Predicate::Clause(c) => {
-            let (upper, est) = clause_selectivity(c, &stats[c.column().index()], table);
-            clause_ests.push(est);
-            (upper, est)
+        CompiledPredicate::Cmp {
+            col,
+            op,
+            value,
+            negated,
+        } => {
+            let pair = cmp_selectivity(effective_op(*op, *negated), *value, &stats[col.index()]);
+            clause_ests.push(pair.1);
+            pair
         }
-        Predicate::Not(_) => unreachable!("selectivity runs on NNF predicates"),
-        Predicate::And(children) => {
-            let parts = jointly_evaluate(children, stats, table, true, clause_ests);
+        CompiledPredicate::InSet { col, set, negated } => {
+            let pair = in_selectivity(set.codes(), *negated, &stats[col.index()]);
+            clause_ests.push(pair.1);
+            pair
+        }
+        CompiledPredicate::And(children) => {
+            let parts = jointly_evaluate(children, stats, true, clause_ests);
             let upper = parts.iter().map(|p| p.0).fold(1.0_f64, f64::min);
             let indep = parts.iter().map(|p| p.1).product::<f64>();
             (upper, indep)
         }
-        Predicate::Or(children) => {
-            let parts = jointly_evaluate(children, stats, table, false, clause_ests);
+        CompiledPredicate::Or(children) => {
+            let parts = jointly_evaluate(children, stats, false, clause_ests);
             let upper = parts.iter().map(|p| p.0).sum::<f64>().min(1.0);
             // Paper's stated rule for ORs: the min of the clause estimates.
             let indep = parts.iter().map(|p| p.1).fold(1.0_f64, f64::min);
@@ -282,9 +282,8 @@ fn estimate_node(
 /// Only AND nodes can merge into a single intersection; OR children stay
 /// individual (their union is handled by the parent's sum/min combination).
 fn jointly_evaluate(
-    children: &[Predicate],
+    children: &[CompiledPredicate],
     stats: &[ColumnStats],
-    table: &Table,
     is_and: bool,
     clause_ests: &mut Vec<f64>,
 ) -> Vec<(f64, f64)> {
@@ -292,10 +291,16 @@ fn jointly_evaluate(
     if is_and {
         // Group interval-able Cmp clauses by column.
         let mut grouped: Vec<(ColId, Interval)> = Vec::new();
-        let mut rest: Vec<&Predicate> = Vec::new();
+        let mut rest: Vec<&CompiledPredicate> = Vec::new();
         for ch in children {
-            if let Predicate::Clause(Clause::Cmp { col, op, value }) = ch {
-                if let Some(iv) = Interval::from_cmp(*op, *value) {
+            if let CompiledPredicate::Cmp {
+                col,
+                op,
+                value,
+                negated,
+            } = ch
+            {
+                if let Some(iv) = Interval::from_cmp(effective_op(*op, *negated), *value) {
                     match grouped.iter_mut().find(|(c, _)| c == col) {
                         Some((_, acc)) => *acc = acc.intersect(&iv),
                         None => grouped.push((*col, iv)),
@@ -311,33 +316,31 @@ fn jointly_evaluate(
             out.push(pair);
         }
         for ch in rest {
-            out.push(estimate_node(ch, stats, table, clause_ests));
+            out.push(estimate_node(ch, stats, clause_ests));
         }
     } else {
         for ch in children {
-            out.push(estimate_node(ch, stats, table, clause_ests));
+            out.push(estimate_node(ch, stats, clause_ests));
         }
     }
     out
 }
 
-/// Compute the four selectivity features of `query` on one partition.
+/// Compute the four selectivity features of a **pre-compiled** predicate on
+/// one partition. `None` means no `WHERE` clause: everything passes.
 ///
-/// `stats` holds the partition's per-column sketch bundles, indexed by
-/// [`ColId`]; `table` supplies the shared categorical dictionaries.
-pub fn selectivity_features(
-    query: &Query,
+/// This is the per-partition hot path of [`crate::QueryFeatures::compute`]:
+/// the caller compiles the predicate once per `(query, table)` and probes
+/// every partition's sketches with it.
+pub fn selectivity_features_compiled(
+    pred: Option<&CompiledPredicate>,
     stats: &[ColumnStats],
-    table: &Table,
-    schema: &Schema,
 ) -> SelectivityFeatures {
-    debug_assert_eq!(stats.len(), schema.len());
-    let Some(pred) = &query.predicate else {
+    let Some(pred) = pred else {
         return SelectivityFeatures::all_pass();
     };
-    let nnf = pred.to_nnf();
     let mut clause_ests = Vec::new();
-    let (upper, indep) = estimate_node(&nnf, stats, table, &mut clause_ests);
+    let (upper, indep) = estimate_node(pred, stats, &mut clause_ests);
     let (min, max) = clause_ests
         .iter()
         .fold((1.0_f64, 0.0_f64), |(mn, mx), &e| (mn.min(e), mx.max(e)));
@@ -349,11 +352,33 @@ pub fn selectivity_features(
     }
 }
 
+/// Compute the four selectivity features of `query` on one partition,
+/// compiling the predicate first.
+///
+/// `stats` holds the partition's per-column sketch bundles, indexed by
+/// [`ColId`]; `table` supplies the shared categorical dictionaries the
+/// compilation resolves membership targets against. Callers probing many
+/// partitions should compile once and use
+/// [`selectivity_features_compiled`].
+pub fn selectivity_features(
+    query: &Query,
+    stats: &[ColumnStats],
+    table: &Table,
+    schema: &Schema,
+) -> SelectivityFeatures {
+    debug_assert_eq!(stats.len(), schema.len());
+    let compiled = query
+        .predicate
+        .as_ref()
+        .map(|p| CompiledPredicate::compile(table, p));
+    selectivity_features_compiled(compiled.as_ref(), stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::column_stats::ColumnStatsParams;
-    use ps3_query::{AggExpr, ScalarExpr};
+    use ps3_query::{AggExpr, Clause, Predicate, ScalarExpr};
     use ps3_storage::table::TableBuilder;
     use ps3_storage::{ColumnMeta, ColumnType};
 

@@ -1,7 +1,23 @@
 //! Columnar data: numeric vectors and dictionary-encoded categoricals.
 
 use std::collections::HashMap;
+use std::ops::Range;
 use std::sync::Arc;
+
+/// Rows per kernel chunk: one `u64` selection-mask word covers one chunk.
+pub const CHUNK_ROWS: usize = 64;
+
+/// Split a column slice into full 64-row chunks plus the tail, the shape
+/// the `ps3_query` kernels consume: each full chunk is a fixed-size array,
+/// which lets LLVM unroll and autovectorize the per-chunk mask loops.
+pub fn chunks64<T>(data: &[T]) -> (impl Iterator<Item = &[T; CHUNK_ROWS]>, &[T]) {
+    let it = data.chunks_exact(CHUNK_ROWS);
+    let tail = it.remainder();
+    (
+        it.map(|c| <&[T; CHUNK_ROWS]>::try_from(c).expect("chunks_exact yields full chunks")),
+        tail,
+    )
+}
 
 /// A table-global dictionary for one categorical column.
 ///
@@ -113,6 +129,22 @@ impl ColumnData {
             ColumnData::Numeric(_) => None,
             ColumnData::Categorical { codes, dict } => Some((codes, dict)),
         }
+    }
+
+    /// Numeric values of a row range, ready for [`chunks64`] iteration.
+    ///
+    /// # Panics
+    /// Panics if the column is categorical or the range is out of bounds.
+    pub fn numeric_range(&self, rows: Range<usize>) -> &[f64] {
+        &self.as_numeric().expect("numeric column")[rows]
+    }
+
+    /// Dictionary codes of a row range, ready for [`chunks64`] iteration.
+    ///
+    /// # Panics
+    /// Panics if the column is numeric or the range is out of bounds.
+    pub fn codes_range(&self, rows: Range<usize>) -> &[u32] {
+        &self.as_categorical().expect("categorical column").0[rows]
     }
 
     /// Reorder rows by `perm` (row `i` of the result is old row `perm[i]`).
@@ -228,6 +260,33 @@ mod tests {
             dict: Arc::new(d),
         };
         assert!(cat.sort_key(1) < cat.sort_key(0));
+    }
+
+    #[test]
+    fn chunked_access() {
+        let data: Vec<f64> = (0..150).map(f64::from).collect();
+        let col = ColumnData::Numeric(data);
+        let range = col.numeric_range(10..150);
+        let (chunks, tail) = chunks64(range);
+        let chunks: Vec<_> = chunks.collect();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0][0], 10.0);
+        assert_eq!(chunks[1][63], 137.0);
+        assert_eq!(tail.len(), 140 % CHUNK_ROWS);
+        assert_eq!(tail[0], 138.0);
+
+        let mut d = Dictionary::new();
+        let codes: Vec<u32> = (0..70)
+            .map(|i| d.intern(if i % 2 == 0 { "a" } else { "b" }))
+            .collect();
+        let col = ColumnData::Categorical {
+            codes,
+            dict: Arc::new(d),
+        };
+        assert_eq!(col.codes_range(0..3), &[0, 1, 0]);
+        let (chunks, tail) = chunks64(col.codes_range(0..70));
+        assert_eq!(chunks.count(), 1);
+        assert_eq!(tail.len(), 6);
     }
 
     #[test]

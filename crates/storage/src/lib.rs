@@ -21,7 +21,7 @@ pub mod schema;
 pub mod table;
 pub mod value;
 
-pub use column::{ColumnData, Dictionary};
+pub use column::{chunks64, ColumnData, Dictionary, CHUNK_ROWS};
 pub use layout::Layout;
 pub use partition::{PartitionId, PartitionedTable, Partitioning};
 pub use schema::{ColId, ColumnMeta, ColumnType, Schema};

@@ -21,8 +21,38 @@ baseline="${3:-}"
 max_ratio="${MAX_RATIO:-2.0}"
 min_ns="${MIN_NS:-10000}"
 
+# Benches the gate insists on seeing in the raw output: losing one (a
+# renamed group, a deleted bench target) silently un-gates a hot path, so
+# absence is a failure, not a skip. Sub-MIN_NS members are still
+# report-only for the *ratio* check — presence is what's enforced here.
+required_benches="
+kernel/compile_query
+kernel/cmp_mask_partition
+kernel/in_mask_partition
+kernel/fused_partition_scan
+query_time/execute_one_partition
+query_time/query_features
+query_time/kmeans_64x8
+query_time/hac_ward_64x8
+picker/full_pick_25pct
+serve/single_thread
+serve/multi_thread
+serve_sweep/six_budget_sweep_cached
+"
+
 if [ ! -s "$raw" ]; then
     echo "bench_gate: no raw measurements at $raw" >&2
+    exit 1
+fi
+
+missing=0
+for b in $required_benches; do
+    if ! cut -f1 "$raw" | grep -qx "$b"; then
+        echo "bench_gate: required bench '$b' missing from $raw" >&2
+        missing=1
+    fi
+done
+if [ "$missing" -ne 0 ]; then
     exit 1
 fi
 
