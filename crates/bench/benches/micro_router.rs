@@ -1,0 +1,105 @@
+//! Serving-front-end micros: what the router layer itself costs and what
+//! the answer cache buys.
+//!
+//! Three rows land in `BENCH_micro.json` via `PS3_BENCH_TSV`:
+//!
+//! - `router/answer_cold` — a never-seen `(query, budget, seed)` key per
+//!   iteration: full pick + partition execution through the router.
+//! - `router/answer_cached` — one warm key replayed: the BlinkDB-style
+//!   reuse path, bounded by a fingerprint hash and one LRU lock.
+//! - `router_fanin/fanin_8_tenants` — 8 tenants push 6 requests each
+//!   through the bounded queue (fresh seeds, so execution is real) and wait
+//!   for all 48 tickets: queue + pump + ticket overhead under multi-tenant
+//!   fan-in.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use ps3_core::{Ps3Config, QueryRequest, Router, Tenant, Ticket};
+use ps3_data::{DatasetConfig, DatasetKind, ScaleProfile};
+
+fn bench_router(c: &mut Criterion) {
+    let ds = DatasetConfig::new(DatasetKind::Aria, ScaleProfile::Tiny).build(11);
+    let mut cfg = Ps3Config::default().with_seed(11);
+    cfg.gbdt.n_trees = 8;
+    cfg.feature_selection = false;
+    let system = Arc::new(ds.train_system(cfg));
+    let router = Router::builder()
+        .table("aria", Arc::clone(&system))
+        .answer_cache_capacity(1 << 14)
+        .queue_capacity(64)
+        .build();
+    let table = router.table_id("aria").unwrap();
+    let query = ds.sample_test_query(1);
+
+    let mut g = c.benchmark_group("router");
+    g.sample_size(10);
+
+    let mut epoch = 0u64;
+    g.bench_function("answer_cold", |b| {
+        b.iter(|| {
+            // A fresh seed can never hit the answer cache: this is the
+            // uncached pick-and-execute path plus router bookkeeping.
+            epoch += 1;
+            router.answer_now(
+                table,
+                &QueryRequest::ps3(query.clone(), 0.1, 1_000_000 + epoch),
+            )
+        })
+    });
+
+    let warm = QueryRequest::ps3(query.clone(), 0.1, 5);
+    router.answer_now(table, &warm);
+    g.bench_function("answer_cached", |b| {
+        b.iter(|| router.answer_now(table, &warm))
+    });
+    g.finish();
+
+    // Multi-tenant fan-in through the bounded queue. Each iteration
+    // submits 48 tickets (8 tenants × 6 mixed query shapes) and waits for
+    // all of them; fresh seeds keep the executions real.
+    let tenants: Vec<Tenant> = (0..8)
+        .map(|t| router.tenant(format!("tenant-{t}"), Some(8)))
+        .collect();
+    let queries: Vec<_> = (0..48).map(|i| ds.sample_test_query(i)).collect();
+    let mut g = c.benchmark_group("router_fanin");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(48));
+    let mut epoch = 0u64;
+    g.bench_function("fanin_8_tenants", |b| {
+        b.iter(|| {
+            epoch += 1;
+            let mut tickets: Vec<Ticket> = Vec::with_capacity(48);
+            for (t, tenant) in tenants.iter().enumerate() {
+                for i in 0..6 {
+                    let req = QueryRequest::ps3(
+                        queries[t * 6 + i].clone(),
+                        0.1,
+                        epoch * 1_000_000 + (t * 6 + i) as u64,
+                    );
+                    tickets.push(tenant.submit(req).expect("router open"));
+                }
+            }
+            tickets
+                .into_iter()
+                .map(|tk| tk.wait().answer.num_groups())
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+
+    let stats = router.stats();
+    println!(
+        "router after run: {} executions, answer cache {} hits / {} misses, {}/{} entries",
+        stats.executions,
+        stats.answers.hits,
+        stats.answers.misses,
+        stats.answers.len,
+        stats.answers.cap
+    );
+    router.shutdown();
+}
+
+criterion_group!(benches, bench_router);
+criterion_main!(benches);

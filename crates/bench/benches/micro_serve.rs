@@ -27,29 +27,48 @@ fn bench_serve(c: &mut Criterion) {
     // feature cache exactly as production traffic would.
     let mut reqs = Vec::new();
     for i in 0..48 {
-        reqs.push(QueryRequest {
-            query: ds.sample_test_query(i),
-            method: if i % 4 == 0 { Method::Lss } else { Method::Ps3 },
-            frac: [0.05, 0.1, 0.2][i % 3],
-            seed: i as u64,
-        });
+        reqs.push(QueryRequest::new(
+            ds.sample_test_query(i),
+            if i % 4 == 0 { Method::Lss } else { Method::Ps3 },
+            [0.05, 0.1, 0.2][i % 3],
+            i as u64,
+        ));
     }
 
     let single = ServeHandle::with_pool(Arc::clone(&system), Arc::new(ThreadPool::new(1)));
     let multi = ServeHandle::new(Arc::clone(&system));
 
+    // Fresh seeds per iteration keep these two rows measuring partition
+    // *execution*: an unseen seed can never hit the router's answer cache
+    // (which micro_router measures on its own), while query shapes still
+    // repeat so the feature cache behaves like production.
     let mut g = c.benchmark_group("serve");
     g.sample_size(10);
     g.throughput(Throughput::Elements(reqs.len() as u64));
+    let mut epoch = 0u64;
     g.bench_function("single_thread", |b| {
         b.iter(|| {
             // Serial loop on the caller: the one-at-a-time baseline.
+            epoch += 1;
             reqs.iter()
-                .map(|r| single.answer(r).answer.num_groups())
+                .map(|r| {
+                    let cold = r.clone().with_seed(epoch * 1000 + r.seed);
+                    single.answer(&cold).answer.num_groups()
+                })
                 .sum::<usize>()
         })
     });
-    g.bench_function("multi_thread", |b| b.iter(|| multi.answer_many(&reqs)));
+    let mut epoch = 0u64;
+    g.bench_function("multi_thread", |b| {
+        b.iter(|| {
+            epoch += 1;
+            let cold: Vec<QueryRequest> = reqs
+                .iter()
+                .map(|r| r.clone().with_seed(epoch * 1000 + r.seed))
+                .collect();
+            multi.answer_many(&cold)
+        })
+    });
     g.finish();
 
     // The cache effect micro: a 6-budget sweep of one query, features

@@ -22,9 +22,11 @@
 //! [`baselines`] implements uniform random sampling, filtered random
 //! sampling, and the modified Learned Stratified Sampling of Appendix C.1.
 //! [`system`] wires everything into the [`Ps3System`] facade — an immutable,
-//! `Arc`-shareable deployment whose query path is `&self` — and [`serve`]
-//! adds the concurrent serving layer ([`ServeHandle`]) with per-request
-//! seeds and a bounded feature cache.
+//! `Arc`-shareable deployment whose query path is `&self`. [`router`] is the
+//! multi-tenant serving front end over many systems: named table routing, a
+//! bounded request queue with backpressure, per-tenant quotas, and an answer
+//! cache keyed by `(table, fingerprint, method, budget, seed)`; [`serve`]
+//! keeps the single-table [`ServeHandle`] as its synchronous special case.
 
 pub mod allocate;
 pub mod baselines;
@@ -33,12 +35,16 @@ pub mod feature_selection;
 pub mod importance;
 pub mod outlier;
 pub mod picker;
+pub mod router;
 pub mod serve;
 pub mod system;
 pub mod train;
 
 pub use config::{ExemplarRule, Ps3Config};
 pub use picker::{PickOutcome, Picker};
+pub use router::{
+    RouteError, Router, RouterBuilder, RouterStats, TableId, TableRoute, Tenant, Ticket,
+};
 pub use serve::{QueryRequest, ServeHandle};
 pub use system::{query_rng, AnswerOutcome, Method, Ps3System, LSS_BUDGET_GRID};
 pub use train::{TrainedPs3, TrainingData};

@@ -1,0 +1,843 @@
+//! The multi-tenant serving front end: one front door over many trained
+//! tables.
+//!
+//! A [`Router`] owns a registry of named tables (each an independent,
+//! shared-nothing `Arc<Ps3System>`), a bounded [`RequestQueue`] with
+//! capacity backpressure, and a bounded **answer cache** keyed by
+//! `(table, query fingerprint, method, budget bits, seed)`. Because every
+//! answer is already a pure function of that tuple (see
+//! [`crate::system::query_rng`]), replaying a cached [`AnswerOutcome`] is
+//! bit-identical to re-executing it — repeated requests and re-run budget
+//! sweeps skip partition execution entirely.
+//!
+//! Layering (top to bottom):
+//!
+//! 1. **[`Tenant`]** — a named submission handle with an optional in-flight
+//!    quota ([`Semaphore`]). `submit` blocks on quota and queue capacity;
+//!    `try_submit` rejects instead. Both return a [`Ticket`].
+//! 2. **[`RequestQueue`]** — the bounded buffer between tenants and pumps.
+//! 3. **Pumps** — detached [`ThreadPool`] tasks (spawned lazily on the
+//!    first tenant) that drain the queue and execute requests. A request
+//!    that panics delivers its payload to the submitting tenant's
+//!    `Ticket::wait`, never to the pump.
+//! 4. **[`Ps3System`]** — per-table execution, fanned out on the router's
+//!    execution pool.
+//!
+//! [`crate::serve::ServeHandle`] is the single-table special case: it pins
+//! one table and answers synchronously on the caller (through the same
+//! answer cache), which keeps the pre-router serving semantics intact.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use ps3_runtime::{
+    CacheStats, Permit, RequestQueue, Semaphore, SharedLru, SubmitError as QueueError, ThreadPool,
+};
+
+use crate::serve::QueryRequest;
+use crate::system::{query_rng, AnswerOutcome, Ps3System};
+
+/// Index of a registered table within one router. Only meaningful for the
+/// router that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TableId(u32);
+
+impl TableId {
+    /// Registry index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Where a request should execute. `Default` routes to the router's sole
+/// table (an error on a multi-table router, which has no implicit table);
+/// names resolve at submission time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum TableRoute {
+    /// The single registered table (single-table routers only).
+    #[default]
+    Default,
+    /// A resolved table id from this router.
+    Id(TableId),
+    /// A table name to resolve at submission.
+    Named(String),
+}
+
+impl From<TableId> for TableRoute {
+    fn from(id: TableId) -> Self {
+        TableRoute::Id(id)
+    }
+}
+
+impl From<&str> for TableRoute {
+    fn from(name: &str) -> Self {
+        TableRoute::Named(name.to_owned())
+    }
+}
+
+/// Why a tenant's submission was not admitted. The request rides back in
+/// the error so nothing is lost (boxed, to keep the `Err` variant small on
+/// the all-`Ok` fast path).
+#[derive(Debug)]
+pub enum RouteError {
+    /// The route named no registered table.
+    UnknownTable(Box<QueryRequest>),
+    /// The queue is at capacity (`try_submit` only).
+    QueueFull(Box<QueryRequest>),
+    /// The tenant's in-flight quota is exhausted (`try_submit` only).
+    QuotaExhausted(Box<QueryRequest>),
+    /// The router has shut down.
+    Closed(Box<QueryRequest>),
+}
+
+impl RouteError {
+    /// Recover the request that was not admitted.
+    pub fn into_request(self) -> QueryRequest {
+        match self {
+            RouteError::UnknownTable(r)
+            | RouteError::QueueFull(r)
+            | RouteError::QuotaExhausted(r)
+            | RouteError::Closed(r) => *r,
+        }
+    }
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::UnknownTable(r) => write!(f, "no table matches route {:?}", r.table),
+            RouteError::QueueFull(_) => write!(f, "request queue is full"),
+            RouteError::QuotaExhausted(_) => write!(f, "tenant in-flight quota exhausted"),
+            RouteError::Closed(_) => write!(f, "router is shut down"),
+        }
+    }
+}
+
+/// The answer-cache key. Answers are a pure function of this tuple, so a
+/// cached replay is bit-identical to re-execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct AnswerKey {
+    table: u32,
+    fingerprint: u64,
+    method: crate::system::Method,
+    budget_bits: u64,
+    seed: u64,
+}
+
+impl AnswerKey {
+    fn new(table: TableId, req: &QueryRequest) -> Self {
+        Self {
+            table: table.0,
+            fingerprint: req.query.fingerprint(),
+            method: req.method,
+            budget_bits: req.frac.to_bits(),
+            seed: req.seed,
+        }
+    }
+}
+
+/// Router effectiveness counters.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterStats {
+    /// Answer-cache hit/miss/occupancy (misses = cache-filling executions).
+    pub answers: CacheStats,
+    /// Times the router actually ran partition selection + execution (the
+    /// uncached path). A warm re-run adds zero.
+    pub executions: u64,
+    /// Requests currently queued or executing.
+    pub in_flight: usize,
+}
+
+struct TableEntry {
+    name: String,
+    system: Arc<Ps3System>,
+}
+
+/// Result of one routed request: the shared outcome, or the panic payload
+/// of a request that blew up while executing.
+type JobResult = std::thread::Result<Arc<AnswerOutcome>>;
+
+struct TicketState {
+    slot: Mutex<Option<JobResult>>,
+    ready: Condvar,
+}
+
+impl TicketState {
+    fn new() -> Self {
+        Self {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn fulfill(&self, result: JobResult) {
+        *self.slot.lock().unwrap() = Some(result);
+        self.ready.notify_all();
+    }
+}
+
+/// A claim on one submitted request. [`Ticket::wait`] blocks until the
+/// request has executed (or was served from the answer cache) and returns
+/// the shared outcome; if the request panicked while executing, the panic
+/// resumes *here*, in the submitting tenant.
+pub struct Ticket {
+    state: Arc<TicketState>,
+}
+
+impl Ticket {
+    /// Block until the outcome is ready.
+    pub fn wait(self) -> Arc<AnswerOutcome> {
+        let mut slot = self.state.slot.lock().unwrap();
+        loop {
+            if let Some(result) = slot.take() {
+                drop(slot);
+                match result {
+                    Ok(out) => return out,
+                    Err(payload) => resume_unwind(payload),
+                }
+            }
+            slot = self.state.ready.wait(slot).unwrap();
+        }
+    }
+
+    /// True once the outcome (or panic) has been delivered.
+    pub fn is_ready(&self) -> bool {
+        self.state.slot.lock().unwrap().is_some()
+    }
+}
+
+/// One queued unit of work. The quota permit rides along and frees when
+/// the job finishes (not when the ticket is eventually read).
+struct Job {
+    table: TableId,
+    req: QueryRequest,
+    ticket: Arc<TicketState>,
+    _permit: Option<Permit>,
+}
+
+/// State shared between the router handle and its pump tasks.
+struct RouterCore {
+    tables: Vec<TableEntry>,
+    by_name: HashMap<String, TableId>,
+    exec_pool: Arc<ThreadPool>,
+    queue: RequestQueue<Job>,
+    answers: SharedLru<AnswerKey, Arc<AnswerOutcome>>,
+    executions: AtomicU64,
+    /// Accepted-but-unfinished request count; `all_done` signals zero.
+    pending: Mutex<usize>,
+    all_done: Condvar,
+}
+
+impl RouterCore {
+    /// Resolve-or-execute through the answer cache. Bit-identical to a
+    /// direct `Ps3System::answer_on` with a [`query_rng`]-derived RNG: the
+    /// cached value *is* that computation's output, keyed by everything the
+    /// computation depends on.
+    fn execute(&self, table: TableId, req: &QueryRequest) -> Arc<AnswerOutcome> {
+        self.answers
+            .get_or_insert_with(AnswerKey::new(table, req), || {
+                self.executions.fetch_add(1, Ordering::Relaxed);
+                let system = &self.tables[table.index()].system;
+                let mut rng = query_rng(&req.query, req.seed);
+                Arc::new(system.answer_on(
+                    &req.query,
+                    req.method,
+                    req.frac,
+                    &mut rng,
+                    &self.exec_pool,
+                ))
+            })
+    }
+
+    /// Execute one queued job, deliver its outcome (or panic) to the
+    /// ticket, release the quota permit, and retire it from `pending`.
+    fn run_job(&self, job: Job) {
+        let Job {
+            table,
+            req,
+            ticket,
+            _permit,
+        } = job;
+        let result = catch_unwind(AssertUnwindSafe(|| self.execute(table, &req)));
+        ticket.fulfill(result);
+        drop(_permit);
+        let mut pending = self.pending.lock().unwrap();
+        *pending -= 1;
+        if *pending == 0 {
+            self.all_done.notify_all();
+        }
+    }
+}
+
+/// Configures and builds a [`Router`]. Obtained from [`Router::builder`].
+pub struct RouterBuilder {
+    tables: Vec<TableEntry>,
+    queue_cap: usize,
+    pump_workers: Option<usize>,
+    answer_cache_cap: usize,
+    exec_pool: Option<Arc<ThreadPool>>,
+}
+
+impl RouterBuilder {
+    /// Register a named table. Registration order assigns [`TableId`]s.
+    pub fn table(mut self, name: impl Into<String>, system: Arc<Ps3System>) -> Self {
+        self.tables.push(TableEntry {
+            name: name.into(),
+            system,
+        });
+        self
+    }
+
+    /// Bound on queued (accepted, not yet executing) requests. Default 256.
+    pub fn queue_capacity(mut self, cap: usize) -> Self {
+        self.queue_cap = cap.max(1);
+        self
+    }
+
+    /// Number of pump tasks draining the queue. Defaults to the execution
+    /// pool's worker count. `0` means no pumps: queued work runs only via
+    /// [`Router::drain_queued`] / [`Router::shutdown`] (deterministic mode,
+    /// used by the backpressure tests).
+    pub fn pump_workers(mut self, n: usize) -> Self {
+        self.pump_workers = Some(n);
+        self
+    }
+
+    /// Bound on cached answers. Default 1024.
+    pub fn answer_cache_capacity(mut self, cap: usize) -> Self {
+        self.answer_cache_cap = cap.max(1);
+        self
+    }
+
+    /// Pin partition execution to `pool` (benchmarks pin worker counts this
+    /// way; answers are bit-identical across pools).
+    pub fn exec_pool(mut self, pool: Arc<ThreadPool>) -> Self {
+        self.exec_pool = Some(pool);
+        self
+    }
+
+    /// Build the router. Panics if no table was registered or a name was
+    /// registered twice.
+    pub fn build(self) -> Arc<Router> {
+        assert!(!self.tables.is_empty(), "router needs at least one table");
+        let mut by_name = HashMap::with_capacity(self.tables.len());
+        for (i, entry) in self.tables.iter().enumerate() {
+            let prev = by_name.insert(entry.name.clone(), TableId(i as u32));
+            assert!(prev.is_none(), "duplicate table name {:?}", entry.name);
+        }
+        let exec_pool = self.exec_pool.unwrap_or_else(ThreadPool::global);
+        let pump_workers = self
+            .pump_workers
+            .unwrap_or_else(|| exec_pool.workers().max(1));
+        Arc::new(Router {
+            core: Arc::new(RouterCore {
+                tables: self.tables,
+                by_name,
+                exec_pool,
+                queue: RequestQueue::new(self.queue_cap),
+                answers: SharedLru::new(self.answer_cache_cap),
+                executions: AtomicU64::new(0),
+                pending: Mutex::new(0),
+                all_done: Condvar::new(),
+            }),
+            pumps: OnceLock::new(),
+            pump_workers,
+        })
+    }
+}
+
+/// The cross-table serving front end. Always used behind an `Arc` (tenants
+/// and [`crate::serve::ServeHandle`]s hold clones); dropping the last
+/// handle closes the queue, lets the pumps drain accepted work, and joins
+/// them.
+pub struct Router {
+    core: Arc<RouterCore>,
+    /// Pump pool, spawned lazily by the first [`Router::tenant`] call so
+    /// single-table synchronous use never starts extra threads.
+    pumps: OnceLock<Arc<ThreadPool>>,
+    pump_workers: usize,
+}
+
+impl Router {
+    /// Start configuring a router.
+    pub fn builder() -> RouterBuilder {
+        RouterBuilder {
+            tables: Vec::new(),
+            queue_cap: 256,
+            pump_workers: None,
+            answer_cache_cap: 1024,
+            exec_pool: None,
+        }
+    }
+
+    /// The single-table special case (what [`crate::serve::ServeHandle`]
+    /// builds): one table named `"default"` on the global pool.
+    pub fn single(system: Arc<Ps3System>) -> Arc<Router> {
+        Router::builder().table("default", system).build()
+    }
+
+    /// Resolve a table name.
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.core.by_name.get(name).copied()
+    }
+
+    /// Registered `(name, id)` pairs, in registration order.
+    pub fn tables(&self) -> impl Iterator<Item = (&str, TableId)> {
+        self.core
+            .tables
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.name.as_str(), TableId(i as u32)))
+    }
+
+    /// The system behind a registered table. Panics on a foreign id.
+    pub fn system(&self, table: TableId) -> &Arc<Ps3System> {
+        &self.core.tables[table.index()].system
+    }
+
+    /// The execution pool partition fan-out runs on.
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        &self.core.exec_pool
+    }
+
+    /// Resolve a route against the registry. `Default` is only valid on a
+    /// single-table router.
+    pub fn resolve(&self, route: &TableRoute) -> Option<TableId> {
+        match route {
+            TableRoute::Default => (self.core.tables.len() == 1).then_some(TableId(0)),
+            TableRoute::Id(id) => (id.index() < self.core.tables.len()).then_some(*id),
+            TableRoute::Named(name) => self.table_id(name),
+        }
+    }
+
+    /// Answer synchronously on the caller, through the answer cache but
+    /// bypassing the queue — the single-table [`crate::serve::ServeHandle`]
+    /// path. Bit-identical to the queued path and to a direct
+    /// `Ps3System::answer_on` with a [`query_rng`]-derived RNG.
+    pub fn answer_now(&self, table: TableId, req: &QueryRequest) -> Arc<AnswerOutcome> {
+        self.core.execute(table, req)
+    }
+
+    /// A named submission handle. `max_in_flight` caps this tenant's
+    /// queued-plus-executing requests (`None` = unlimited). Creating the
+    /// first tenant starts the queue pumps.
+    pub fn tenant(
+        self: &Arc<Self>,
+        name: impl Into<String>,
+        max_in_flight: Option<usize>,
+    ) -> Tenant {
+        self.ensure_pumps();
+        Tenant {
+            router: Arc::clone(self),
+            name: name.into(),
+            quota: max_in_flight.map(|n| Arc::new(Semaphore::new(n))),
+        }
+    }
+
+    /// Spawn the pump tasks once. With `pump_workers == 0` this is a no-op
+    /// and queued work waits for [`Self::drain_queued`] / [`Self::shutdown`].
+    fn ensure_pumps(&self) {
+        if self.pump_workers == 0 {
+            return;
+        }
+        self.pumps.get_or_init(|| {
+            let pool = Arc::new(ThreadPool::new(self.pump_workers));
+            for _ in 0..self.pump_workers {
+                let core = Arc::clone(&self.core);
+                pool.spawn(move || {
+                    while let Some(job) = core.queue.recv() {
+                        core.run_job(job);
+                    }
+                });
+            }
+            pool
+        });
+    }
+
+    /// Run up to `max_jobs` queued requests on the *calling* thread
+    /// (caller-helping, like the pool's scope waits). Returns how many ran.
+    pub fn drain_queued(&self, max_jobs: usize) -> usize {
+        let mut ran = 0;
+        while ran < max_jobs {
+            match self.core.queue.try_recv() {
+                Some(job) => {
+                    self.core.run_job(job);
+                    ran += 1;
+                }
+                None => break,
+            }
+        }
+        ran
+    }
+
+    /// Graceful shutdown: stop admitting requests, execute everything
+    /// already accepted (helping on the caller), and return once no request
+    /// is queued or executing. Idempotent; later submissions get
+    /// [`RouteError::Closed`].
+    pub fn shutdown(&self) {
+        self.core.queue.close();
+        self.drain_queued(usize::MAX);
+        let mut pending = self.core.pending.lock().unwrap();
+        while *pending > 0 {
+            pending = self.core.all_done.wait(pending).unwrap();
+        }
+    }
+
+    /// Queued (accepted, not yet executing) request count.
+    pub fn queue_len(&self) -> usize {
+        self.core.queue.len()
+    }
+
+    /// The queue's capacity bound.
+    pub fn queue_capacity(&self) -> usize {
+        self.core.queue.capacity()
+    }
+
+    /// Effectiveness counters.
+    pub fn stats(&self) -> RouterStats {
+        RouterStats {
+            answers: self.core.answers.stats(),
+            executions: self.core.executions.load(Ordering::Relaxed),
+            in_flight: *self.core.pending.lock().unwrap(),
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        // Close before the pump pool drops: pumps wake, drain accepted
+        // work, exit their loops, and the pool's own Drop joins its
+        // workers. The inline drain covers routers with no pumps
+        // (`pump_workers(0)`), whose queued jobs nobody else would run —
+        // either way, every accepted ticket is fulfilled and no
+        // `Ticket::wait` hangs.
+        self.core.queue.close();
+        self.drain_queued(usize::MAX);
+    }
+}
+
+/// A per-tenant submission handle: the front door multi-tenant callers
+/// share a router through. Cloneable; clones share the quota.
+#[derive(Clone)]
+pub struct Tenant {
+    router: Arc<Router>,
+    name: String,
+    quota: Option<Arc<Semaphore>>,
+}
+
+impl Tenant {
+    /// The tenant's name (for logs and quotas dashboards).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The router this tenant submits to.
+    pub fn router(&self) -> &Arc<Router> {
+        &self.router
+    }
+
+    /// Submit a request, blocking on the tenant quota and on queue
+    /// capacity (backpressure). Fails only on an unknown route or a closed
+    /// router.
+    pub fn submit(&self, req: QueryRequest) -> Result<Ticket, RouteError> {
+        self.submit_inner(req, true)
+    }
+
+    /// Submit without blocking: rejects with [`RouteError::QuotaExhausted`]
+    /// or [`RouteError::QueueFull`] instead of waiting.
+    pub fn try_submit(&self, req: QueryRequest) -> Result<Ticket, RouteError> {
+        self.submit_inner(req, false)
+    }
+
+    /// Submit and wait: the synchronous convenience path.
+    pub fn answer(&self, req: QueryRequest) -> Result<Arc<AnswerOutcome>, RouteError> {
+        self.submit(req).map(Ticket::wait)
+    }
+
+    fn submit_inner(&self, req: QueryRequest, blocking: bool) -> Result<Ticket, RouteError> {
+        let Some(table) = self.router.resolve(&req.table) else {
+            return Err(RouteError::UnknownTable(Box::new(req)));
+        };
+        let permit = match &self.quota {
+            None => None,
+            Some(quota) if blocking => Some(quota.acquire()),
+            Some(quota) => match quota.try_acquire() {
+                Some(p) => Some(p),
+                None => return Err(RouteError::QuotaExhausted(Box::new(req))),
+            },
+        };
+        let state = Arc::new(TicketState::new());
+        let job = Job {
+            table,
+            req,
+            ticket: Arc::clone(&state),
+            _permit: permit,
+        };
+        let core = &self.router.core;
+        // Count the job as pending *before* it is visible to pumps, so a
+        // shutdown racing with this submit cannot observe zero early.
+        *core.pending.lock().unwrap() += 1;
+        let enqueued = if blocking {
+            core.queue.submit(job)
+        } else {
+            core.queue.try_submit(job)
+        };
+        match enqueued {
+            Ok(()) => Ok(Ticket { state }),
+            Err(err) => {
+                let mut pending = core.pending.lock().unwrap();
+                *pending -= 1;
+                if *pending == 0 {
+                    core.all_done.notify_all();
+                }
+                drop(pending);
+                Err(match err {
+                    QueueError::Full(job) => RouteError::QueueFull(Box::new(job.req)),
+                    QueueError::Closed(job) => RouteError::Closed(Box::new(job.req)),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Ps3Config;
+    use ps3_query::{AggExpr, Query};
+    use ps3_stats::{StatsConfig, TableStats};
+    use ps3_storage::table::TableBuilder;
+    use ps3_storage::{ColumnMeta, ColumnType, PartitionedTable, Schema};
+
+    fn tiny_system(seed: u64, rows: u32) -> Arc<Ps3System> {
+        let schema = Schema::new(vec![
+            ColumnMeta::new("x", ColumnType::Numeric),
+            ColumnMeta::new("g", ColumnType::Categorical),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..rows {
+            b.push_row(
+                &[f64::from(i)],
+                &[["a", "b", "c", "d"][(i as usize / 40) % 4]],
+            );
+        }
+        let pt = Arc::new(PartitionedTable::with_equal_partitions(b.finish(), 16));
+        let stats = Arc::new(TableStats::build(&pt, &StatsConfig::default()));
+        let queries = vec![
+            Query::new(
+                vec![AggExpr::sum(ps3_query::ScalarExpr::col(
+                    ps3_storage::ColId(0),
+                ))],
+                None,
+                vec![ps3_storage::ColId(1)],
+            ),
+            Query::new(vec![AggExpr::count()], None, vec![]),
+        ];
+        let mut cfg = Ps3Config::default().with_seed(seed);
+        cfg.gbdt.n_trees = 4;
+        cfg.feature_selection = false;
+        Arc::new(Ps3System::train(pt, stats, &queries, cfg))
+    }
+
+    fn count_query() -> Query {
+        Query::new(vec![AggExpr::count()], None, vec![])
+    }
+
+    #[test]
+    fn routes_resolve_by_name_id_and_default() {
+        let single = Router::single(tiny_system(1, 160));
+        assert_eq!(single.resolve(&TableRoute::Default), Some(TableId(0)));
+        assert_eq!(single.table_id("default"), Some(TableId(0)));
+        assert_eq!(single.table_id("nope"), None);
+
+        let multi = Router::builder()
+            .table("a", tiny_system(2, 160))
+            .table("b", tiny_system(3, 160))
+            .build();
+        assert_eq!(
+            multi.resolve(&TableRoute::Default),
+            None,
+            "multi-table routers have no implicit table"
+        );
+        let b = multi.table_id("b").unwrap();
+        assert_eq!(multi.resolve(&TableRoute::from(b)), Some(b));
+        assert_eq!(multi.resolve(&TableRoute::from("a")), Some(TableId(0)));
+        assert_eq!(multi.tables().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate table name")]
+    fn duplicate_table_names_are_rejected() {
+        let sys = tiny_system(4, 160);
+        let _ = Router::builder()
+            .table("t", Arc::clone(&sys))
+            .table("t", sys)
+            .build();
+    }
+
+    #[test]
+    fn answer_now_is_cached_and_bit_identical_to_direct_execution() {
+        let sys = tiny_system(5, 160);
+        let router = Router::single(Arc::clone(&sys));
+        let req = QueryRequest::ps3(count_query(), 0.25, 9);
+        let table = router.table_id("default").unwrap();
+
+        let direct = {
+            let mut rng = query_rng(&req.query, req.seed);
+            sys.answer_on(&req.query, req.method, req.frac, &mut rng, router.pool())
+        };
+        let first = router.answer_now(table, &req);
+        assert_eq!(first.answer, direct.answer);
+        assert_eq!(router.stats().executions, 1);
+
+        let second = router.answer_now(table, &req);
+        assert!(Arc::ptr_eq(&first, &second), "second hit shares the entry");
+        let stats = router.stats();
+        assert_eq!(stats.executions, 1, "warm replay must not re-execute");
+        assert_eq!(stats.answers.hits, 1);
+    }
+
+    #[test]
+    fn distinct_seeds_budgets_and_tables_get_distinct_cache_entries() {
+        let router = Router::builder()
+            .table("a", tiny_system(6, 160))
+            .table("b", tiny_system(6, 160))
+            .build();
+        let (a, b) = (router.table_id("a").unwrap(), router.table_id("b").unwrap());
+        let q = count_query();
+        let _ = router.answer_now(a, &QueryRequest::ps3(q.clone(), 0.25, 1));
+        let _ = router.answer_now(a, &QueryRequest::ps3(q.clone(), 0.25, 2));
+        let _ = router.answer_now(a, &QueryRequest::ps3(q.clone(), 0.5, 1));
+        let _ = router.answer_now(b, &QueryRequest::ps3(q.clone(), 0.25, 1));
+        let stats = router.stats();
+        assert_eq!(stats.executions, 4, "four distinct keys, four executions");
+        assert_eq!(stats.answers.misses, 4);
+    }
+
+    #[test]
+    fn tenant_submission_through_the_queue_matches_answer_now() {
+        let router = Router::single(tiny_system(7, 160));
+        let tenant = router.tenant("acme", Some(4));
+        let table = router.table_id("default").unwrap();
+        let reqs: Vec<QueryRequest> = (0..6)
+            .map(|i| QueryRequest::ps3(count_query(), 0.25, 100 + i))
+            .collect();
+        let tickets: Vec<Ticket> = reqs
+            .iter()
+            .map(|r| tenant.submit(r.clone()).expect("submit"))
+            .collect();
+        for (req, ticket) in reqs.iter().zip(tickets) {
+            let queued = ticket.wait();
+            let direct = router.answer_now(table, req);
+            assert_eq!(queued.answer, direct.answer, "seed {}", req.seed);
+        }
+        router.shutdown();
+        assert!(matches!(
+            tenant.submit(reqs[0].clone()),
+            Err(RouteError::Closed(_))
+        ));
+    }
+
+    #[test]
+    fn quota_try_submit_rejects_when_exhausted() {
+        // No pumps: submitted jobs stay queued, pinning their permits.
+        let router = Router::builder()
+            .table("t", tiny_system(8, 160))
+            .pump_workers(0)
+            .queue_capacity(16)
+            .build();
+        let tenant = router.tenant("small", Some(2));
+        let t1 = tenant
+            .try_submit(QueryRequest::ps3(count_query(), 0.25, 1))
+            .unwrap();
+        let _t2 = tenant
+            .try_submit(QueryRequest::ps3(count_query(), 0.25, 2))
+            .unwrap();
+        let rejected = tenant.try_submit(QueryRequest::ps3(count_query(), 0.25, 3));
+        assert!(matches!(rejected, Err(RouteError::QuotaExhausted(_))));
+        // Draining one job frees its permit.
+        assert_eq!(router.drain_queued(1), 1);
+        assert!(t1.is_ready());
+        tenant
+            .try_submit(QueryRequest::ps3(count_query(), 0.25, 3))
+            .unwrap();
+        router.shutdown();
+    }
+
+    #[test]
+    fn panicking_request_propagates_to_the_ticket_not_the_pump() {
+        let router = Router::single(tiny_system(9, 160));
+        let tenant = router.tenant("risky", None);
+        // ColId(7) does not exist in the 2-column schema: feature
+        // computation panics while executing the request.
+        let bad = Query::new(
+            vec![AggExpr::sum(ps3_query::ScalarExpr::col(
+                ps3_storage::ColId(7),
+            ))],
+            None,
+            vec![],
+        );
+        let ticket = tenant.submit(QueryRequest::ps3(bad, 0.25, 1)).unwrap();
+        let blew_up = catch_unwind(AssertUnwindSafe(|| ticket.wait()));
+        assert!(blew_up.is_err(), "panic must resume in the submitter");
+        // The pump survived: a well-formed request still completes.
+        let ok = tenant
+            .submit(QueryRequest::ps3(count_query(), 0.25, 2))
+            .unwrap()
+            .wait();
+        assert!(ok.answer.num_groups() > 0);
+        router.shutdown();
+    }
+
+    #[test]
+    fn dropping_a_pumpless_router_still_fulfills_accepted_tickets() {
+        let router = Router::builder()
+            .table("t", tiny_system(11, 160))
+            .pump_workers(0)
+            .queue_capacity(8)
+            .build();
+        let tenant = router.tenant("orphan", None);
+        let tickets: Vec<Ticket> = (0..3)
+            .map(|i| {
+                tenant
+                    .submit(QueryRequest::ps3(count_query(), 0.25, i))
+                    .unwrap()
+            })
+            .collect();
+        drop(tenant);
+        drop(router);
+        for t in tickets {
+            assert!(
+                t.wait().answer.num_groups() > 0,
+                "Drop must drain accepted work so tickets never hang"
+            );
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_work() {
+        let router = Router::builder()
+            .table("t", tiny_system(10, 160))
+            .pump_workers(0)
+            .queue_capacity(32)
+            .build();
+        let tenant = router.tenant("drainee", None);
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|i| {
+                tenant
+                    .submit(QueryRequest::ps3(count_query(), 0.25, i))
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(router.queue_len(), 8);
+        router.shutdown();
+        assert_eq!(router.queue_len(), 0);
+        assert_eq!(router.stats().in_flight, 0);
+        for t in tickets {
+            let out = t.wait();
+            assert!(out.answer.num_groups() > 0, "drained ticket must be served");
+        }
+    }
+}

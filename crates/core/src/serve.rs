@@ -1,22 +1,26 @@
-//! The concurrent serving layer: many callers, one trained system.
+//! The single-table serving layer: many callers, one trained system.
 //!
-//! [`ServeHandle`] is a cheaply-cloneable front door to an
-//! `Arc<Ps3System>`. Each request carries its own seed, so answers are a
-//! pure function of `(query, method, budget, seed)` no matter which thread
-//! or pool worker executes them, and the system's bounded feature cache
-//! makes repeated predicate shapes and budget sweeps skip
-//! `QueryFeatures::compute` entirely — the BlinkDB-style reuse the serving
-//! path is built around.
+//! [`ServeHandle`] is the single-table special case of the multi-tenant
+//! [`Router`](crate::router::Router): it pins one registered table and
+//! answers synchronously on the caller, through the router's shared answer
+//! cache but without queueing (the caller blocks either way, so the
+//! single-table path keeps the pre-router latency profile). Each request
+//! carries its own seed, so answers are a pure function of
+//! `(table, query, method, budget, seed)` no matter which thread or pool
+//! worker executes them — and because the answer cache is keyed by exactly
+//! that tuple, repeated requests and re-run budget sweeps skip partition
+//! execution entirely while staying bit-identical to the uncached path.
 
 use std::sync::Arc;
 
 use ps3_query::Query;
 use ps3_runtime::ThreadPool;
 
+use crate::router::{Router, TableId, TableRoute};
 use crate::system::{AnswerOutcome, Method, Ps3System};
 
-/// One serving request: what to answer, how, and the seed that makes the
-/// answer reproducible.
+/// One serving request: what to answer, where, how, and the seed that
+/// makes the answer reproducible.
 #[derive(Debug, Clone)]
 pub struct QueryRequest {
     /// The query.
@@ -27,65 +31,132 @@ pub struct QueryRequest {
     pub frac: f64,
     /// Per-request randomness seed; equal seeds give bit-identical answers.
     pub seed: u64,
+    /// Which table to execute on. `Default` targets a router's sole table
+    /// (or a [`ServeHandle`]'s pinned table).
+    pub table: TableRoute,
 }
 
 impl QueryRequest {
-    /// A PS3 request at `frac` of the partitions.
-    pub fn ps3(query: Query, frac: f64, seed: u64) -> Self {
+    /// A request under `method` at `frac` of the partitions, routed to the
+    /// default table.
+    pub fn new(query: Query, method: Method, frac: f64, seed: u64) -> Self {
         Self {
             query,
-            method: Method::Ps3,
+            method,
             frac,
             seed,
+            table: TableRoute::Default,
         }
+    }
+
+    /// A PS3 request at `frac` of the partitions.
+    pub fn ps3(query: Query, frac: f64, seed: u64) -> Self {
+        Self::new(query, Method::Ps3, frac, seed)
+    }
+
+    /// Route this request to a specific table.
+    pub fn on_table(mut self, route: impl Into<TableRoute>) -> Self {
+        self.table = route.into();
+        self
+    }
+
+    /// Replace the seed (benchmarks derive per-iteration cold seeds).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 }
 
-/// A shareable serving front door. Clone it freely (both fields are
-/// `Arc`s); every clone answers against the same trained system and the
-/// same feature cache.
+/// A shareable serving front door over one table. Clone it freely; every
+/// clone answers against the same router, the same answer cache, and the
+/// same per-system feature cache.
 #[derive(Clone)]
 pub struct ServeHandle {
-    system: Arc<Ps3System>,
-    pool: Arc<ThreadPool>,
+    router: Arc<Router>,
+    table: TableId,
 }
 
 impl ServeHandle {
-    /// Serve `system` using the shared workspace pool for batch fan-out.
+    /// Serve `system` as the sole table of a fresh single-table router on
+    /// the shared workspace pool.
     pub fn new(system: Arc<Ps3System>) -> Self {
-        Self {
-            system,
-            pool: ThreadPool::global(),
+        let router = Router::single(system);
+        let table = router.table_id("default").expect("single-table router");
+        Self { router, table }
+    }
+
+    /// Serve with a dedicated execution pool (benchmarks pin worker counts
+    /// this way; answers are bit-identical across pools).
+    pub fn with_pool(system: Arc<Ps3System>, pool: Arc<ThreadPool>) -> Self {
+        let router = Router::builder()
+            .table("default", system)
+            .exec_pool(pool)
+            .build();
+        let table = router.table_id("default").expect("single-table router");
+        Self { router, table }
+    }
+
+    /// A handle pinned to one of `router`'s tables — the multi-table way to
+    /// get the synchronous single-table API. `None` if `name` is not
+    /// registered.
+    pub fn for_table(router: Arc<Router>, name: &str) -> Option<Self> {
+        let table = router.table_id(name)?;
+        Some(Self { router, table })
+    }
+
+    /// The underlying router (register tenants, read stats).
+    pub fn router(&self) -> &Arc<Router> {
+        &self.router
+    }
+
+    /// The shared system behind the pinned table.
+    pub fn system(&self) -> &Arc<Ps3System> {
+        self.router.system(self.table)
+    }
+
+    /// Resolve a request's route, falling back to the pinned table.
+    fn route(&self, req: &QueryRequest) -> TableId {
+        match req.table {
+            TableRoute::Default => self.table,
+            _ => self
+                .router
+                .resolve(&req.table)
+                .expect("request routed to an unregistered table"),
         }
     }
 
-    /// Serve with a dedicated pool (benchmarks pin worker counts this way).
-    pub fn with_pool(system: Arc<Ps3System>, pool: Arc<ThreadPool>) -> Self {
-        Self { system, pool }
-    }
-
-    /// The shared system.
-    pub fn system(&self) -> &Arc<Ps3System> {
-        &self.system
-    }
-
     /// Answer one request. Safe to call from any number of threads at
-    /// once; the result depends only on the request (partition execution
-    /// runs on this handle's pool, but answers are bit-identical across
-    /// pools — a 1-worker pool is an honest single-threaded baseline).
+    /// once; the result depends only on the request. Repeats of the same
+    /// request are served from the router's answer cache, bit-identical to
+    /// the uncached computation (the cached value *is* that computation's
+    /// output).
+    ///
+    /// Clones the outcome out of the cache; use [`Self::answer_shared`] on
+    /// hot warm paths to skip the copy. Panics if the request explicitly
+    /// routes to a table the router does not know (the fallible
+    /// alternative is [`Tenant::submit`](crate::router::Tenant::submit),
+    /// which hands the request back in a `RouteError`).
     pub fn answer(&self, req: &QueryRequest) -> AnswerOutcome {
-        let mut rng = crate::system::query_rng(&req.query, req.seed);
-        self.system
-            .answer_on(&req.query, req.method, req.frac, &mut rng, &self.pool)
+        (*self.answer_shared(req)).clone()
+    }
+
+    /// [`Self::answer`] without the copy: the cache's own `Arc`. Warm
+    /// dashboards calling this repeatedly allocate nothing per request.
+    pub fn answer_shared(&self, req: &QueryRequest) -> Arc<AnswerOutcome> {
+        self.router.answer_now(self.route(req), req)
     }
 
     /// Answer a batch concurrently over the pool, results in request order.
     pub fn answer_many(&self, reqs: &[QueryRequest]) -> Vec<AnswerOutcome> {
-        self.pool.map(reqs, |req| self.answer(req))
+        self.router.pool().map(reqs, |req| self.answer(req))
     }
 
-    /// Answer one query across a budget sweep. The feature cache guarantees
-    /// `QueryFeatures::compute` runs at most once for the whole sweep.
+    /// Answer one query across a budget sweep, fanned out over the pool
+    /// with results in budget order. Each budget derives its RNG the same
+    /// way the serial path did (`query_rng(query, seed)` afresh per
+    /// budget), so the fan-out is bit-identical to a serial sweep. The
+    /// query's artifacts are warmed once up front, which keeps the
+    /// features-computed-once guarantee even with budgets racing.
     pub fn sweep(
         &self,
         query: &Query,
@@ -93,14 +164,15 @@ impl ServeHandle {
         budgets: &[f64],
         seed: u64,
     ) -> Vec<AnswerOutcome> {
-        budgets
+        if budgets.is_empty() {
+            return Vec::new();
+        }
+        self.system().artifacts_for(query);
+        let reqs: Vec<QueryRequest> = budgets
             .iter()
-            .map(|&frac| {
-                let mut rng = crate::system::query_rng(query, seed);
-                self.system
-                    .answer_on(query, method, frac, &mut rng, &self.pool)
-            })
-            .collect()
+            .map(|&frac| QueryRequest::new(query.clone(), method, frac, seed))
+            .collect();
+        self.answer_many(&reqs)
     }
 }
 
@@ -113,6 +185,7 @@ mod tests {
     use ps3_storage::{ColumnMeta, ColumnType, PartitionedTable, Schema};
 
     use crate::config::Ps3Config;
+    use crate::system::query_rng;
 
     fn handle() -> ServeHandle {
         let schema = Schema::new(vec![
@@ -171,5 +244,78 @@ mod tests {
         assert_eq!(outs.len(), 6);
         let after = h.system().feature_cache_stats().misses;
         assert_eq!(after - before, 1, "one compute for the whole sweep");
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_the_serial_path() {
+        let h = handle();
+        let q = Query::new(
+            vec![AggExpr::sum(ps3_query::ScalarExpr::col(
+                ps3_storage::ColId(0),
+            ))],
+            None,
+            vec![ps3_storage::ColId(1)],
+        );
+        let budgets = [0.05, 0.1, 0.2, 0.35, 0.5, 0.75];
+        let fanned = h.sweep(&q, Method::Ps3, &budgets, 11);
+        // The pre-fan-out reference: budgets executed serially on the
+        // caller, each deriving its RNG afresh — no caches involved.
+        let serial: Vec<AnswerOutcome> = budgets
+            .iter()
+            .map(|&frac| {
+                let mut rng = query_rng(&q, 11);
+                h.system()
+                    .answer_on(&q, Method::Ps3, frac, &mut rng, h.router().pool())
+            })
+            .collect();
+        assert_eq!(fanned.len(), serial.len());
+        for (i, (f, s)) in fanned.iter().zip(&serial).enumerate() {
+            assert_eq!(f.answer, s.answer, "budget {} diverged", budgets[i]);
+            let fb: Vec<(usize, u64)> = f
+                .selection
+                .iter()
+                .map(|w| (w.partition.index(), w.weight.to_bits()))
+                .collect();
+            let sb: Vec<(usize, u64)> = s
+                .selection
+                .iter()
+                .map(|w| (w.partition.index(), w.weight.to_bits()))
+                .collect();
+            assert_eq!(fb, sb, "budget {} selection diverged", budgets[i]);
+        }
+    }
+
+    #[test]
+    fn warm_sweep_skips_partition_execution_entirely() {
+        let h = handle();
+        let q = Query::new(vec![AggExpr::count()], None, vec![]);
+        let budgets = [0.02, 0.05, 0.1, 0.2, 0.35, 0.5];
+        let cold = h.sweep(&q, Method::Ps3, &budgets, 2);
+        let executed_cold = h.router().stats().executions;
+        assert_eq!(executed_cold, budgets.len() as u64);
+        let warm = h.sweep(&q, Method::Ps3, &budgets, 2);
+        let stats = h.router().stats();
+        assert_eq!(
+            stats.executions, executed_cold,
+            "warm re-run must perform zero additional executions"
+        );
+        assert!(stats.answers.hits >= budgets.len() as u64);
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.answer, w.answer, "cached replay must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn handle_for_router_table_answers_like_a_fresh_single_table_handle() {
+        let h = handle();
+        let system = Arc::clone(h.system());
+        let router = Router::builder().table("tbl", Arc::clone(&system)).build();
+        let pinned = ServeHandle::for_table(Arc::clone(&router), "tbl").unwrap();
+        assert!(ServeHandle::for_table(router, "missing").is_none());
+        let req = QueryRequest::ps3(Query::new(vec![AggExpr::count()], None, vec![]), 0.25, 3);
+        assert_eq!(pinned.answer(&req).answer, h.answer(&req).answer);
+        // Explicit routing to the pinned table agrees with Default.
+        let routed = req.clone().on_table("tbl");
+        assert_eq!(pinned.answer(&routed).answer, pinned.answer(&req).answer);
     }
 }

@@ -340,3 +340,87 @@ fn single_row_ranges_match_oracle() {
         bits_eq_partial(&oracle, &kernel).unwrap_or_else(|e| panic!("row {row}: {e}"));
     }
 }
+
+/// Mutate the first literal found in a predicate (a comparison constant,
+/// an `IN` list, or a `Contains` needle) — an edit that must never share
+/// an answer- or feature-cache entry with the original.
+fn bump_first_literal(p: &mut Predicate) -> bool {
+    match p {
+        Predicate::Clause(Clause::Cmp { value, .. }) => {
+            *value += 1.0;
+            true
+        }
+        Predicate::Clause(Clause::In { values, .. }) => {
+            values.push("fingerprint-edit".to_owned());
+            true
+        }
+        Predicate::Clause(Clause::Contains { needle, .. }) => {
+            needle.push('!');
+            true
+        }
+        Predicate::And(ps) | Predicate::Or(ps) => ps.iter_mut().any(bump_first_literal),
+        Predicate::Not(inner) => bump_first_literal(inner),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The serving layer's cache-key contract, part 1: `Query::fingerprint`
+    /// is a pure function of query *structure* — stable across clones,
+    /// field-by-field rebuilds, and repeated calls.
+    #[test]
+    fn fingerprint_is_stable_across_clone_and_rebuild(query in arb_query()) {
+        let fp = query.fingerprint();
+        prop_assert_eq!(fp, query.clone().fingerprint());
+        let rebuilt = Query::new(
+            query.aggregates.clone(),
+            query.predicate.clone(),
+            query.group_by.clone(),
+        );
+        prop_assert_eq!(fp, rebuilt.fingerprint(), "rebuild changed the fingerprint");
+        prop_assert_eq!(fp, query.fingerprint(), "fingerprint is not idempotent");
+    }
+
+    /// Part 2: edits that must not share a cache entry — literal tweaks,
+    /// extra aggregates, group-by changes, added predicates — all move the
+    /// fingerprint. (A 64-bit collision is possible in principle; these
+    /// deterministic generated cases document that none of the *systematic*
+    /// edits collide.)
+    #[test]
+    fn fingerprint_changes_under_literal_and_structure_edits(query in arb_query()) {
+        let fp = query.fingerprint();
+
+        let mut extra_agg = query.clone();
+        extra_agg.aggregates.push(AggExpr::avg(ScalarExpr::col(ColId(1))));
+        prop_assert!(fp != extra_agg.fingerprint(), "extra aggregate must change it");
+
+        let mut regrouped = query.clone();
+        regrouped.group_by.push(ColId(1));
+        prop_assert!(fp != regrouped.fingerprint(), "group-by edit must change it");
+
+        let mut edited = query.clone();
+        match &mut edited.predicate {
+            Some(p) => {
+                prop_assert!(bump_first_literal(p), "every generated predicate has a literal");
+                prop_assert!(fp != edited.fingerprint(), "literal edit must change it");
+            }
+            None => {
+                edited.predicate = Some(Predicate::Clause(Clause::Cmp {
+                    col: ColId(0),
+                    op: CmpOp::Lt,
+                    value: 1.0,
+                }));
+                prop_assert!(fp != edited.fingerprint(), "added predicate must change it");
+            }
+        }
+
+        // Structure vs. literal: AND and OR of the same clauses are
+        // different plans and must hash apart.
+        if let Some(Predicate::And(ps)) = &query.predicate {
+            let mut flipped = query.clone();
+            flipped.predicate = Some(Predicate::Or(ps.clone()));
+            prop_assert!(fp != flipped.fingerprint(), "AND vs OR must change it");
+        }
+    }
+}

@@ -19,9 +19,21 @@
 //! - Blocking inside a pool task is safe: waiters *help* — they steal and
 //!   run queued tasks while their own scope drains — so nested fan-outs
 //!   cannot deadlock the pool.
+//!
+//! The serving front end adds two admission-control primitives on top:
+//! [`RequestQueue`], a bounded MPMC queue whose `submit`/`try_submit` give
+//! producers capacity-based backpressure and whose `close` drains accepted
+//! work before reporting empty, and [`Semaphore`], whose owned [`Permit`]s
+//! cap each tenant's in-flight requests. Both are thread-owning-free:
+//! consumers run wherever the caller points them (in practice, detached
+//! [`ThreadPool::spawn`] tasks).
 
 pub mod lru;
 pub mod pool;
+pub mod queue;
+pub mod sync;
 
 pub use lru::{CacheStats, LruCache, SharedLru};
 pub use pool::{fan_out, ThreadPool};
+pub use queue::{RequestQueue, SubmitError};
+pub use sync::{Permit, Semaphore};

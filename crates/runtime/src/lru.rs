@@ -199,6 +199,54 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_get_or_insert_under_eviction_pressure_keeps_counters_consistent() {
+        use crate::pool::ThreadPool;
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // Keyspace (48) far exceeds capacity (8), so insertions continually
+        // evict while four workers race on overlapping keys.
+        let cache: SharedLru<u64, u64> = SharedLru::new(8);
+        let pool = ThreadPool::new(4);
+        let computes = AtomicU64::new(0);
+        let lookups = 600;
+        pool.scope_map(lookups, |i| {
+            let k = (i % 48) as u64;
+            let v = cache.get_or_insert_with(k, || {
+                computes.fetch_add(1, Ordering::Relaxed);
+                k * 7 + 1
+            });
+            // Whether freshly computed, raced, or cached, the value for a
+            // key never varies.
+            assert_eq!(v, k * 7 + 1);
+        });
+        let stats = cache.stats();
+        assert_eq!(
+            stats.hits + stats.misses,
+            lookups as u64,
+            "every lookup is exactly one hit or one miss"
+        );
+        assert_eq!(
+            stats.misses,
+            computes.load(Ordering::Relaxed),
+            "misses must equal actual compute-closure runs"
+        );
+        assert!(stats.len <= 8, "bound violated: {} entries", stats.len);
+        assert!(stats.misses >= 48, "48 distinct keys cannot fit in 8 slots");
+    }
+
+    #[test]
+    fn concurrent_same_key_stampede_yields_one_consistent_value() {
+        use crate::pool::ThreadPool;
+        let cache: SharedLru<u64, u64> = SharedLru::new(4);
+        let pool = ThreadPool::new(4);
+        let out = pool.scope_map(256, |_| cache.get_or_insert_with(7, || 7000));
+        assert!(out.iter().all(|&v| v == 7000));
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 256);
+        assert!(stats.misses >= 1);
+        assert_eq!(stats.len, 1);
+    }
+
+    #[test]
     fn concurrent_access_is_consistent() {
         use crate::pool::ThreadPool;
         let cache: SharedLru<u64, u64> = SharedLru::new(64);

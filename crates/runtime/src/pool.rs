@@ -230,6 +230,27 @@ impl ThreadPool {
             .collect()
     }
 
+    /// Queue a detached `'static` task on the pool (the serving front end
+    /// runs its queue pumps this way, so this crate stays the only one that
+    /// owns threads). There is no handle to join; use [`Self::scope_map`]
+    /// for structured work. A panicking task is caught and reported on
+    /// stderr rather than killing the worker — long-running tasks that can
+    /// fail should catch and route their own panics (the serving layer
+    /// delivers them to the submitter's ticket).
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'static) {
+        let task: Task = Box::new(move || {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_owned());
+                eprintln!("ps3-pool: detached task panicked: {msg}");
+            }
+        });
+        self.shared.inject([task]);
+    }
+
     /// Parallel map over a slice, order-preserving.
     pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
     where
@@ -340,6 +361,25 @@ mod tests {
         let parallel = fan_out(0, 20, |i| i * 3);
         assert_eq!(serial, parallel);
         assert!(fan_out(0, 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn spawn_runs_detached_tasks_and_survives_their_panics() {
+        use std::sync::mpsc;
+        let pool = ThreadPool::new(2);
+        pool.spawn(|| panic!("detached task panic must not kill the worker"));
+        let (tx, rx) = mpsc::channel();
+        for i in 0..8 {
+            let tx = tx.clone();
+            pool.spawn(move || tx.send(i).unwrap());
+        }
+        let mut got: Vec<i32> = (0..8)
+            .map(|_| rx.recv_timeout(Duration::from_secs(10)).unwrap())
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+        // The pool still handles structured work after the panic.
+        assert_eq!(pool.scope_map(4, |i| i * 2), vec![0, 2, 4, 6]);
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! A counting semaphore with RAII permits — the admission-control ticket
+//! the serving front end hands to each tenant.
+//!
+//! A tenant's quota is a [`Semaphore`] of `max_in_flight` permits: a
+//! request acquires a [`Permit`] at submission and carries it through the
+//! queue; the permit drops (and the slot frees) when the request finishes
+//! executing. Permits are *owned* (they keep the semaphore alive through an
+//! `Arc`), so they can ride inside queued jobs across threads.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A counting semaphore. Construct with [`Semaphore::new`], share as
+/// `Arc<Semaphore>`, and acquire permits with [`Semaphore::acquire`] /
+/// [`Semaphore::try_acquire`].
+#[derive(Debug)]
+pub struct Semaphore {
+    available: Mutex<usize>,
+    released: Condvar,
+    cap: usize,
+}
+
+impl Semaphore {
+    /// A semaphore with `permits` slots (`permits` ≥ 1 enforced).
+    pub fn new(permits: usize) -> Self {
+        let cap = permits.max(1);
+        Self {
+            available: Mutex::new(cap),
+            released: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Acquire a permit, blocking until one is free.
+    pub fn acquire(self: &Arc<Self>) -> Permit {
+        let mut n = self.available.lock().unwrap();
+        while *n == 0 {
+            n = self.released.wait(n).unwrap();
+        }
+        *n -= 1;
+        Permit {
+            sem: Arc::clone(self),
+        }
+    }
+
+    /// Acquire a permit only if one is free right now; never blocks.
+    pub fn try_acquire(self: &Arc<Self>) -> Option<Permit> {
+        let mut n = self.available.lock().unwrap();
+        if *n == 0 {
+            return None;
+        }
+        *n -= 1;
+        Some(Permit {
+            sem: Arc::clone(self),
+        })
+    }
+
+    /// Permits currently free.
+    pub fn available(&self) -> usize {
+        *self.available.lock().unwrap()
+    }
+
+    /// Total permit count.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+/// An owned permit; dropping it returns the slot to the semaphore.
+#[derive(Debug)]
+pub struct Permit {
+    sem: Arc<Semaphore>,
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut n = self.sem.available.lock().unwrap();
+        *n += 1;
+        drop(n);
+        self.sem.released.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn permits_bound_concurrency_and_release_on_drop() {
+        let sem = Arc::new(Semaphore::new(2));
+        let a = sem.acquire();
+        let _b = sem.acquire();
+        assert_eq!(sem.available(), 0);
+        assert!(sem.try_acquire().is_none(), "no third permit");
+        drop(a);
+        assert_eq!(sem.available(), 1);
+        assert!(sem.try_acquire().is_some());
+    }
+
+    #[test]
+    fn acquire_blocks_until_a_permit_frees() {
+        let sem = Arc::new(Semaphore::new(1));
+        let held = sem.acquire();
+        let t = {
+            let sem = Arc::clone(&sem);
+            thread::spawn(move || {
+                let _p = sem.acquire();
+                true
+            })
+        };
+        thread::sleep(Duration::from_millis(20));
+        drop(held);
+        assert!(t.join().unwrap());
+    }
+
+    #[test]
+    fn permits_travel_across_threads() {
+        let sem = Arc::new(Semaphore::new(3));
+        let permits: Vec<Permit> = (0..3).map(|_| sem.acquire()).collect();
+        let t = thread::spawn(move || drop(permits));
+        t.join().unwrap();
+        assert_eq!(sem.available(), 3, "all permits returned");
+    }
+}

@@ -15,7 +15,9 @@
 //! 4. Answer queries at a chosen partition budget and compare against the
 //!    exact answer ([`query`]). The query path is `&self`: wrap the trained
 //!    system in an `Arc` and serve it from as many threads as you like
-//!    (see [`core::serve::ServeHandle`]); per-request seeds make every
+//!    (see [`core::serve::ServeHandle`], or [`core::router::Router`] for
+//!    the multi-tenant, multi-table front end with request-queue
+//!    backpressure and answer caching); per-request seeds make every
 //!    answer reproducible.
 //!
 //! ```no_run

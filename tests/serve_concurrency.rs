@@ -36,12 +36,7 @@ fn eight_threads_share_one_system_with_bit_identical_answers() {
                 let q = ds.sample_test_query(i);
                 [
                     QueryRequest::ps3(q.clone(), 0.2, 42),
-                    QueryRequest {
-                        query: q,
-                        method: Method::Lss,
-                        frac: 0.1,
-                        seed: 7,
-                    },
+                    QueryRequest::new(q, Method::Lss, 0.1, 7),
                 ]
             })
             .collect(),
@@ -104,10 +99,12 @@ fn budget_sweep_computes_features_once_per_query() {
         queries.len() as u64,
         "each query's 6-budget sweep must compute features exactly once"
     );
+    // Each sweep warms the artifacts once (the miss above), then every
+    // budget's execution resolves them from the cache.
     assert_eq!(
         stats.hits,
-        (queries.len() * (budgets.len() - 1)) as u64,
-        "every other lookup must hit the cache"
+        (queries.len() * budgets.len()) as u64,
+        "every post-warm lookup must hit the cache"
     );
 }
 

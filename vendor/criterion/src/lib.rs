@@ -11,10 +11,13 @@
 //! throughput when declared). There is no statistical analysis, HTML report
 //! or `target/criterion` history; swap in the real crate for those.
 //!
-//! One extension beyond the real API: when the `PS3_BENCH_TSV` environment
+//! Two extensions beyond the real API: when the `PS3_BENCH_TSV` environment
 //! variable names a file, every benchmark appends a `name\tns_per_iter`
-//! line to it. CI turns those lines into the `BENCH_micro.json` perf
-//! trajectory and gates merges on regressions (see `scripts/bench_gate.sh`).
+//! line to it (CI turns those lines into the `BENCH_micro.json` perf
+//! trajectory and gates merges on regressions — see `scripts/bench_gate.sh`);
+//! and `PS3_BENCH_ITERS=<n>` overrides every benchmark's timed iteration
+//! count, letting CI trade precision for wall-clock without touching the
+//! TSV hook the gate depends on.
 
 use std::fmt::Display;
 use std::hint;
@@ -96,7 +99,13 @@ fn run_one(
     throughput: Option<Throughput>,
     f: &mut dyn FnMut(&mut Bencher),
 ) {
-    let iters = sample_size.max(1) as u64;
+    // PS3_BENCH_ITERS globally overrides per-group sample sizes (the CI
+    // bench step uses it to run faster); invalid values fall back.
+    let iters = std::env::var("PS3_BENCH_ITERS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(sample_size.max(1) as u64);
     let mut b = Bencher {
         iters,
         elapsed: Duration::ZERO,
