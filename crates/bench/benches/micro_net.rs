@@ -1,0 +1,83 @@
+//! Network front-door micros: what the wire protocol + event loop cost on
+//! top of the router, measured over loopback TCP.
+//!
+//! Two rows land in `BENCH_micro.json` via `PS3_BENCH_TSV`:
+//!
+//! - `net/roundtrip_cold` — a never-seen `(query, budget, seed)` key per
+//!   iteration: encode → TCP → event loop → tenant → pick + execute →
+//!   response frame back. The execution dominates; the row tracks the
+//!   whole serve path.
+//! - `net/roundtrip_cached` — one warm key replayed: the answer comes
+//!   from the router's cache, so the row isolates protocol + event-loop +
+//!   syscall overhead per request (the floor for a warm dashboard over
+//!   TCP).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ps3_core::{Ps3Config, QueryRequest, Router};
+use ps3_data::{DatasetConfig, DatasetKind, ScaleProfile};
+#[cfg(unix)]
+use ps3_net::{NetClient, NetServer};
+
+#[cfg(not(unix))]
+fn bench_net(_c: &mut Criterion) {
+    // The event-loop server is Unix-only (poll(2)); elsewhere the bench
+    // compiles to a no-op so `cargo bench --no-run` stays green.
+}
+
+#[cfg(unix)]
+fn bench_net(c: &mut Criterion) {
+    let ds = DatasetConfig::new(DatasetKind::Aria, ScaleProfile::Tiny).build(13);
+    let mut cfg = Ps3Config::default().with_seed(13);
+    cfg.gbdt.n_trees = 8;
+    cfg.feature_selection = false;
+    let system = Arc::new(ds.train_system(cfg));
+    let router = Router::builder()
+        .table("aria", system)
+        .answer_cache_capacity(1 << 14)
+        .queue_capacity(64)
+        .build();
+    let server = NetServer::bind(Arc::clone(&router), "127.0.0.1:0").expect("bind");
+    let mut client = NetClient::connect(server.addr()).expect("connect");
+    let query = ds.sample_test_query(1);
+
+    let mut g = c.benchmark_group("net");
+    g.sample_size(10);
+
+    let mut epoch = 0u64;
+    g.bench_function("roundtrip_cold", |b| {
+        b.iter(|| {
+            // A fresh seed never hits the answer cache: full wire + pick +
+            // execute round trip.
+            epoch += 1;
+            let req = QueryRequest::ps3(query.clone(), 0.1, 2_000_000 + epoch).on_table("aria");
+            client.request(&req).expect("served")
+        })
+    });
+
+    let warm = QueryRequest::ps3(query.clone(), 0.1, 5).on_table("aria");
+    client.request(&warm).expect("warmed");
+    g.bench_function("roundtrip_cached", |b| {
+        b.iter(|| client.request(&warm).expect("served"))
+    });
+    g.finish();
+
+    let stats = router.stats();
+    println!(
+        "net after run: {} executions, answer cache {} hits / {} misses; \
+         server: {} requests over {} connections",
+        stats.executions,
+        stats.answers.hits,
+        stats.answers.misses,
+        server.stats().requests,
+        server.stats().accepted,
+    );
+    drop(client);
+    drop(server);
+    router.shutdown();
+}
+
+criterion_group!(benches, bench_net);
+criterion_main!(benches);

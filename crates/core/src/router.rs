@@ -4,11 +4,23 @@
 //! A [`Router`] owns a registry of named tables (each an independent,
 //! shared-nothing `Arc<Ps3System>`), a bounded [`RequestQueue`] with
 //! capacity backpressure, and a bounded **answer cache** keyed by
-//! `(table, query fingerprint, method, budget bits, seed)`. Because every
-//! answer is already a pure function of that tuple (see
+//! `(table, generation, query fingerprint, method, budget bits, seed)`.
+//! Because every answer is already a pure function of that tuple (see
 //! [`crate::system::query_rng`]), replaying a cached [`AnswerOutcome`] is
 //! bit-identical to re-executing it — repeated requests and re-run budget
 //! sweeps skip partition execution entirely.
+//!
+//! Two properties matter once requests arrive over a network instead of
+//! from in-process callers:
+//!
+//! - **Single-flight coalescing** — N requests racing on one never-seen
+//!   key execute it once; the rest join the leader's in-flight execution
+//!   ([`SingleFlight`]) and share its `Arc`'d outcome.
+//!   [`RouterStats::executions`] counts 1 for the whole stampede.
+//! - **Retrain-in-place** — [`Router::replace_table`] /
+//!   [`Router::retrain`] swap a table's system and invalidate that table's
+//!   cached answers (generation bump + targeted eviction) without touching
+//!   other tables or pausing the serving loop.
 //!
 //! Layering (top to bottom):
 //!
@@ -30,10 +42,11 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 
 use ps3_runtime::{
-    CacheStats, Permit, RequestQueue, Semaphore, SharedLru, SubmitError as QueueError, ThreadPool,
+    CacheStats, Permit, RequestQueue, Semaphore, SharedLru, SingleFlight,
+    SubmitError as QueueError, ThreadPool,
 };
 
 use crate::serve::QueryRequest;
@@ -116,10 +129,13 @@ impl std::fmt::Display for RouteError {
 }
 
 /// The answer-cache key. Answers are a pure function of this tuple, so a
-/// cached replay is bit-identical to re-execution.
+/// cached replay is bit-identical to re-execution. `generation` bumps on
+/// [`Router::replace_table`], which makes every pre-retrain entry (and
+/// pre-retrain in-flight execution) unreachable to post-retrain lookups.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct AnswerKey {
     table: u32,
+    generation: u64,
     fingerprint: u64,
     method: crate::system::Method,
     budget_bits: u64,
@@ -127,9 +143,10 @@ struct AnswerKey {
 }
 
 impl AnswerKey {
-    fn new(table: TableId, req: &QueryRequest) -> Self {
+    fn new(table: TableId, generation: u64, req: &QueryRequest) -> Self {
         Self {
             table: table.0,
+            generation,
             fingerprint: req.query.fingerprint(),
             method: req.method,
             budget_bits: req.frac.to_bits(),
@@ -141,70 +158,143 @@ impl AnswerKey {
 /// Router effectiveness counters.
 #[derive(Debug, Clone, Copy)]
 pub struct RouterStats {
-    /// Answer-cache hit/miss/occupancy (misses = cache-filling executions).
+    /// Answer-cache hit/miss/occupancy (hits are served without executing;
+    /// misses proceed to the single-flight execution path).
     pub answers: CacheStats,
     /// Times the router actually ran partition selection + execution (the
-    /// uncached path). A warm re-run adds zero.
+    /// uncached path). A warm re-run adds zero, and a cold-key stampede
+    /// adds exactly one however many requests race on it.
     pub executions: u64,
+    /// Cold requests that joined another request's in-flight execution
+    /// instead of executing themselves (single-flight coalescing).
+    pub coalesced: u64,
     /// Requests currently queued or executing.
     pub in_flight: usize,
 }
 
 struct TableEntry {
     name: String,
-    system: Arc<Ps3System>,
+    /// Swappable so [`Router::replace_table`] can retrain in place; the
+    /// query path takes one read-lock + `Arc` clone per uncached execution.
+    system: RwLock<Arc<Ps3System>>,
+    /// Bumped on every [`Router::replace_table`]; part of [`AnswerKey`].
+    generation: AtomicU64,
 }
 
 /// Result of one routed request: the shared outcome, or the panic payload
 /// of a request that blew up while executing.
 type JobResult = std::thread::Result<Arc<AnswerOutcome>>;
 
+/// What rides inside a ticket's mutex: the (eventual) result, whether a
+/// consumer already took it, and an optional one-shot completion hook.
+struct TicketSlot {
+    result: Option<JobResult>,
+    taken: bool,
+    hook: Option<Box<dyn FnOnce() + Send>>,
+}
+
 struct TicketState {
-    slot: Mutex<Option<JobResult>>,
+    slot: Mutex<TicketSlot>,
     ready: Condvar,
 }
 
 impl TicketState {
     fn new() -> Self {
         Self {
-            slot: Mutex::new(None),
+            slot: Mutex::new(TicketSlot {
+                result: None,
+                taken: false,
+                hook: None,
+            }),
             ready: Condvar::new(),
         }
     }
 
     fn fulfill(&self, result: JobResult) {
-        *self.slot.lock().unwrap() = Some(result);
+        let hook = {
+            let mut slot = self.slot.lock().unwrap();
+            slot.result = Some(result);
+            slot.hook.take()
+        };
         self.ready.notify_all();
+        // Run the hook outside the lock: it may call back into anything
+        // (the network server's hook pokes a poll waker).
+        if let Some(hook) = hook {
+            hook();
+        }
     }
 }
 
 /// A claim on one submitted request. [`Ticket::wait`] blocks until the
 /// request has executed (or was served from the answer cache) and returns
 /// the shared outcome; if the request panicked while executing, the panic
-/// resumes *here*, in the submitting tenant.
+/// resumes *here*, in the submitting tenant. Non-blocking consumers (the
+/// network event loop) instead register a completion hook with
+/// [`Ticket::on_ready`] and collect the result with [`Ticket::poll_take`].
 pub struct Ticket {
     state: Arc<TicketState>,
 }
 
 impl Ticket {
     /// Block until the outcome is ready.
+    ///
+    /// # Panics
+    ///
+    /// Resumes the request's own panic if it panicked while executing, and
+    /// panics if the result was already consumed by [`Ticket::poll_take`]
+    /// (a ticket's outcome is delivered exactly once).
     pub fn wait(self) -> Arc<AnswerOutcome> {
         let mut slot = self.state.slot.lock().unwrap();
         loop {
-            if let Some(result) = slot.take() {
+            if let Some(result) = slot.result.take() {
+                slot.taken = true;
                 drop(slot);
                 match result {
                     Ok(out) => return out,
                     Err(payload) => resume_unwind(payload),
                 }
             }
+            assert!(!slot.taken, "ticket result already taken via poll_take");
             slot = self.state.ready.wait(slot).unwrap();
         }
     }
 
     /// True once the outcome (or panic) has been delivered.
     pub fn is_ready(&self) -> bool {
-        self.state.slot.lock().unwrap().is_some()
+        let slot = self.state.slot.lock().unwrap();
+        slot.result.is_some() || slot.taken
+    }
+
+    /// Take the outcome if it has been delivered; never blocks. A request
+    /// that panicked surfaces as the `Err` payload instead of resuming
+    /// here — the event-loop consumer turns it into a wire error rather
+    /// than dying. Returns `None` while the request is still in flight and
+    /// after the result has been taken (by this method or by
+    /// [`Ticket::wait`]).
+    pub fn poll_take(&self) -> Option<std::thread::Result<Arc<AnswerOutcome>>> {
+        let mut slot = self.state.slot.lock().unwrap();
+        let result = slot.result.take();
+        if result.is_some() {
+            slot.taken = true;
+        }
+        result
+    }
+
+    /// Register a one-shot hook that runs as soon as the outcome (or
+    /// panic) is delivered — or immediately, if it already was. The hook
+    /// runs on whatever thread delivers the result (a queue pump, a
+    /// draining caller), so keep it tiny and non-blocking; the network
+    /// server's hook just wakes its poll loop. A second registration
+    /// replaces an unfired first.
+    pub fn on_ready(&self, hook: impl FnOnce() + Send + 'static) {
+        {
+            let mut slot = self.state.slot.lock().unwrap();
+            if slot.result.is_none() && !slot.taken {
+                slot.hook = Some(Box::new(hook));
+                return;
+            }
+        }
+        hook();
     }
 }
 
@@ -224,31 +314,58 @@ struct RouterCore {
     exec_pool: Arc<ThreadPool>,
     queue: RequestQueue<Job>,
     answers: SharedLru<AnswerKey, Arc<AnswerOutcome>>,
+    /// Coalesces concurrent cold requests on one key into one execution.
+    inflight: SingleFlight<AnswerKey, Arc<AnswerOutcome>>,
     executions: AtomicU64,
+    coalesced: AtomicU64,
     /// Accepted-but-unfinished request count; `all_done` signals zero.
     pending: Mutex<usize>,
     all_done: Condvar,
 }
 
 impl RouterCore {
-    /// Resolve-or-execute through the answer cache. Bit-identical to a
-    /// direct `Ps3System::answer_on` with a [`query_rng`]-derived RNG: the
-    /// cached value *is* that computation's output, keyed by everything the
-    /// computation depends on.
+    /// Resolve-or-execute through the answer cache, coalescing concurrent
+    /// misses. Bit-identical to a direct `Ps3System::answer_on` with a
+    /// [`query_rng`]-derived RNG: the cached value *is* that computation's
+    /// output, keyed by everything the computation depends on.
+    ///
+    /// A cold-key stampede — N requests racing on one never-seen key —
+    /// executes exactly once: the first racer leads, the rest join its
+    /// [`SingleFlight`] flight (or hit the cache, if they arrive after the
+    /// leader finished) and share the same `Arc`'d outcome.
     fn execute(&self, table: TableId, req: &QueryRequest) -> Arc<AnswerOutcome> {
-        self.answers
-            .get_or_insert_with(AnswerKey::new(table, req), || {
-                self.executions.fetch_add(1, Ordering::Relaxed);
-                let system = &self.tables[table.index()].system;
-                let mut rng = query_rng(&req.query, req.seed);
-                Arc::new(system.answer_on(
-                    &req.query,
-                    req.method,
-                    req.frac,
-                    &mut rng,
-                    &self.exec_pool,
-                ))
-            })
+        let entry = &self.tables[table.index()];
+        let key = AnswerKey::new(table, entry.generation.load(Ordering::SeqCst), req);
+        if let Some(hit) = self.answers.get(&key) {
+            return hit;
+        }
+        let flight = self.inflight.run(key, || {
+            // A racing leader may have filled the cache between our miss
+            // and this closure winning the key; re-check (uncounted — this
+            // lookup was already counted as a miss) before executing.
+            if let Some(hit) = self.answers.peek(&key) {
+                return hit;
+            }
+            self.executions.fetch_add(1, Ordering::Relaxed);
+            // Clone out of the lock: execution must not hold the table
+            // entry locked (a retrain may swap the system mid-flight; this
+            // request finishes on the system it resolved).
+            let system = Arc::clone(&entry.system.read().unwrap());
+            let mut rng = query_rng(&req.query, req.seed);
+            let out = Arc::new(system.answer_on(
+                &req.query,
+                req.method,
+                req.frac,
+                &mut rng,
+                &self.exec_pool,
+            ));
+            self.answers.insert(key, Arc::clone(&out));
+            out
+        });
+        if flight.was_joined() {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+        }
+        flight.into_value()
     }
 
     /// Execute one queued job, deliver its outcome (or panic) to the
@@ -285,7 +402,8 @@ impl RouterBuilder {
     pub fn table(mut self, name: impl Into<String>, system: Arc<Ps3System>) -> Self {
         self.tables.push(TableEntry {
             name: name.into(),
-            system,
+            system: RwLock::new(system),
+            generation: AtomicU64::new(0),
         });
         self
     }
@@ -338,7 +456,9 @@ impl RouterBuilder {
                 exec_pool,
                 queue: RequestQueue::new(self.queue_cap),
                 answers: SharedLru::new(self.answer_cache_cap),
+                inflight: SingleFlight::new(),
                 executions: AtomicU64::new(0),
+                coalesced: AtomicU64::new(0),
                 pending: Mutex::new(0),
                 all_done: Condvar::new(),
             }),
@@ -392,9 +512,51 @@ impl Router {
             .map(|(i, e)| (e.name.as_str(), TableId(i as u32)))
     }
 
-    /// The system behind a registered table. Panics on a foreign id.
-    pub fn system(&self, table: TableId) -> &Arc<Ps3System> {
-        &self.core.tables[table.index()].system
+    /// The system currently behind a registered table (an `Arc` snapshot —
+    /// [`Router::replace_table`] may swap the table's system at any time).
+    /// Panics on a foreign id.
+    pub fn system(&self, table: TableId) -> Arc<Ps3System> {
+        Arc::clone(&self.core.tables[table.index()].system.read().unwrap())
+    }
+
+    /// Swap the system behind `table` for `system` and invalidate every
+    /// cached answer of that table — and *only* that table; other tables'
+    /// entries survive untouched. Returns the replaced system.
+    ///
+    /// Requests already executing finish on the system they resolved, and
+    /// their answers land under the old cache generation, where no
+    /// post-replacement lookup can reach them (stale entries age out of
+    /// the bounded LRU). Requests arriving after the swap execute on the
+    /// new system.
+    pub fn replace_table(&self, table: TableId, system: Arc<Ps3System>) -> Arc<Ps3System> {
+        let entry = &self.core.tables[table.index()];
+        let old = {
+            let mut slot = entry.system.write().unwrap();
+            std::mem::replace(&mut *slot, system)
+        };
+        // Order matters: swap first, then bump. An executor that observed
+        // the *new* generation necessarily read the table entry after the
+        // bump, hence after the swap — so no old-system answer can ever be
+        // cached under a current-generation key.
+        let current = entry.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        self.core
+            .answers
+            .retain(|k| k.table != table.0 || k.generation >= current);
+        old
+    }
+
+    /// Retrain `table` in place: derive a replacement system from the
+    /// current one (outside any lock — training is slow and serving
+    /// continues meanwhile), swap it in, and invalidate the table's cached
+    /// answers. Returns the replaced system.
+    pub fn retrain(
+        &self,
+        table: TableId,
+        train: impl FnOnce(&Arc<Ps3System>) -> Arc<Ps3System>,
+    ) -> Arc<Ps3System> {
+        let current = self.system(table);
+        let replacement = train(&current);
+        self.replace_table(table, replacement)
     }
 
     /// The execution pool partition fan-out runs on.
@@ -500,6 +662,7 @@ impl Router {
         RouterStats {
             answers: self.core.answers.stats(),
             executions: self.core.executions.load(Ordering::Relaxed),
+            coalesced: self.core.coalesced.load(Ordering::Relaxed),
             in_flight: *self.core.pending.lock().unwrap(),
         }
     }
@@ -788,6 +951,149 @@ mod tests {
             .unwrap()
             .wait();
         assert!(ok.answer.num_groups() > 0);
+        router.shutdown();
+    }
+
+    #[test]
+    fn cold_key_stampede_executes_exactly_once() {
+        // 8 tenants race the same never-seen key through 4 pumps. Whatever
+        // the interleaving — leader, single-flight joiner, or late cache
+        // hit — the execution count must be exactly 1 and every outcome
+        // must be the same shared Arc.
+        let router = Router::builder()
+            .table("t", tiny_system(20, 160))
+            .pump_workers(4)
+            .queue_capacity(32)
+            .build();
+        let req = QueryRequest::ps3(count_query(), 0.25, 77);
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|t| {
+                router
+                    .tenant(format!("racer-{t}"), None)
+                    .submit(req.clone())
+                    .expect("open")
+            })
+            .collect();
+        let outcomes: Vec<Arc<AnswerOutcome>> = tickets.into_iter().map(Ticket::wait).collect();
+        let stats = router.stats();
+        assert_eq!(
+            stats.executions, 1,
+            "a cold-key stampede must execute exactly once \
+             (coalesced {} / cache hits {})",
+            stats.coalesced, stats.answers.hits
+        );
+        for out in &outcomes[1..] {
+            assert!(
+                Arc::ptr_eq(&outcomes[0], out),
+                "every racer shares the one computed outcome"
+            );
+        }
+        assert_eq!(
+            stats.coalesced + stats.answers.hits,
+            7,
+            "the other 7 racers either joined the flight or hit the cache"
+        );
+        router.shutdown();
+    }
+
+    #[test]
+    fn replace_table_invalidates_only_that_table() {
+        let router = Router::builder()
+            .table("a", tiny_system(21, 160))
+            .table("b", tiny_system(22, 160))
+            .build();
+        let (a, b) = (router.table_id("a").unwrap(), router.table_id("b").unwrap());
+        let q = count_query();
+        // Warm two entries per table.
+        for seed in [1, 2] {
+            let _ = router.answer_now(a, &QueryRequest::ps3(q.clone(), 0.25, seed));
+            let _ = router.answer_now(b, &QueryRequest::ps3(q.clone(), 0.25, seed));
+        }
+        let warm = router.stats();
+        assert_eq!(warm.executions, 4);
+        assert_eq!(warm.answers.len, 4);
+
+        // Retrain table `a` (a differently-seeded system stands in for a
+        // real retrain on fresh data).
+        let replacement = tiny_system(23, 160);
+        let old = router.retrain(a, |_current| Arc::clone(&replacement));
+        assert!(
+            !Arc::ptr_eq(&old, &replacement),
+            "retrain hands back the replaced system"
+        );
+        assert_eq!(
+            router.stats().answers.len,
+            2,
+            "only table a's two entries were invalidated"
+        );
+
+        // Table b replays from cache: zero new executions.
+        let before = router.stats().executions;
+        let _ = router.answer_now(b, &QueryRequest::ps3(q.clone(), 0.25, 1));
+        assert_eq!(
+            router.stats().executions,
+            before,
+            "table b's cache survived table a's retrain"
+        );
+
+        // Table a re-executes — on the *new* system, bit-identical to
+        // direct execution against it.
+        let req = QueryRequest::ps3(q.clone(), 0.25, 1);
+        let served = router.answer_now(a, &req);
+        assert_eq!(router.stats().executions, before + 1);
+        let direct = {
+            let mut rng = query_rng(&req.query, req.seed);
+            replacement.answer_on(&req.query, req.method, req.frac, &mut rng, router.pool())
+        };
+        assert_eq!(
+            served.answer, direct.answer,
+            "post-retrain answers come from the replacement system"
+        );
+        assert!(
+            Arc::ptr_eq(&router.system(a), &replacement),
+            "the registry now serves the replacement"
+        );
+    }
+
+    #[test]
+    fn ticket_poll_take_and_on_ready_drive_nonblocking_consumers() {
+        use std::sync::atomic::AtomicBool;
+        let router = Router::builder()
+            .table("t", tiny_system(24, 160))
+            .pump_workers(0)
+            .build();
+        let tenant = router.tenant("poller", None);
+        let ticket = tenant
+            .submit(QueryRequest::ps3(count_query(), 0.25, 1))
+            .unwrap();
+        assert!(ticket.poll_take().is_none(), "nothing ready yet");
+
+        let fired = Arc::new(AtomicBool::new(false));
+        {
+            let fired = Arc::clone(&fired);
+            ticket.on_ready(move || fired.store(true, Ordering::SeqCst));
+        }
+        assert!(!fired.load(Ordering::SeqCst), "hook waits for delivery");
+        router.drain_queued(1);
+        assert!(fired.load(Ordering::SeqCst), "delivery fires the hook");
+        let out = ticket
+            .poll_take()
+            .expect("result delivered")
+            .expect("request succeeded");
+        assert!(out.answer.num_groups() > 0);
+        assert!(ticket.poll_take().is_none(), "results deliver exactly once");
+
+        // A hook registered after delivery fires immediately.
+        let t2 = tenant
+            .submit(QueryRequest::ps3(count_query(), 0.25, 2))
+            .unwrap();
+        router.drain_queued(1);
+        let fired2 = Arc::new(AtomicBool::new(false));
+        {
+            let fired2 = Arc::clone(&fired2);
+            t2.on_ready(move || fired2.store(true, Ordering::SeqCst));
+        }
+        assert!(fired2.load(Ordering::SeqCst), "late hooks fire on the spot");
         router.shutdown();
     }
 

@@ -1,7 +1,7 @@
 //! The single-table serving layer: many callers, one trained system.
 //!
 //! [`ServeHandle`] is the single-table special case of the multi-tenant
-//! [`Router`](crate::router::Router): it pins one registered table and
+//! [`Router`]: it pins one registered table and
 //! answers synchronously on the caller, through the router's shared answer
 //! cache but without queueing (the caller blocks either way, so the
 //! single-table path keeps the pre-router latency profile). Each request
@@ -109,8 +109,9 @@ impl ServeHandle {
         &self.router
     }
 
-    /// The shared system behind the pinned table.
-    pub fn system(&self) -> &Arc<Ps3System> {
+    /// The shared system currently behind the pinned table (an `Arc`
+    /// snapshot — [`Router::replace_table`] may swap it at any time).
+    pub fn system(&self) -> Arc<Ps3System> {
         self.router.system(self.table)
     }
 
@@ -308,7 +309,7 @@ mod tests {
     #[test]
     fn handle_for_router_table_answers_like_a_fresh_single_table_handle() {
         let h = handle();
-        let system = Arc::clone(h.system());
+        let system = h.system();
         let router = Router::builder().table("tbl", Arc::clone(&system)).build();
         let pinned = ServeHandle::for_table(Arc::clone(&router), "tbl").unwrap();
         assert!(ServeHandle::for_table(router, "missing").is_none());

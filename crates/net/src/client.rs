@@ -1,0 +1,205 @@
+//! A blocking client for the PS3 wire protocol — what tests, examples,
+//! and simple integrations speak to a [`NetServer`](crate::server) with.
+//!
+//! [`NetClient`] owns one TCP connection. The synchronous path is
+//! [`NetClient::request`]: encode, send, block for the matching reply.
+//! Pipelining is the split pair [`NetClient::send`] (fire off any number
+//! of requests) and [`NetClient::recv`] (collect replies in completion
+//! order, correlated by request id).
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use ps3_core::QueryRequest;
+use ps3_query::QueryAnswer;
+
+use crate::proto::{
+    encode_frame, ErrorFrame, Frame, FrameBuffer, ProtoError, RequestFrame, ResponseFrame,
+    DEFAULT_MAX_FRAME,
+};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed (including a server that closed the connection).
+    Io(io::Error),
+    /// The server sent bytes this client could not decode.
+    Proto(ProtoError),
+    /// The server answered with a typed refusal.
+    Server(ErrorFrame),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server(e) => {
+                write!(
+                    f,
+                    "server refused request {}: {:?}: {}",
+                    e.request_id, e.code, e.message
+                )
+            }
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A served answer, as seen from the client side of the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteAnswer {
+    /// The correlation id this answer belongs to.
+    pub request_id: u64,
+    /// The (approximate) answer rows.
+    pub answer: QueryAnswer,
+    /// How many partitions the server read.
+    pub partitions_read: u32,
+    /// Server-side picker latency in milliseconds.
+    pub picker_ms: f64,
+}
+
+impl RemoteAnswer {
+    fn from_frame(frame: ResponseFrame) -> RemoteAnswer {
+        RemoteAnswer {
+            request_id: frame.request_id,
+            answer: frame.to_answer(),
+            partitions_read: frame.partitions_read,
+            picker_ms: frame.picker_ms,
+        }
+    }
+}
+
+/// One frame from the server: an answer or a typed refusal, either way
+/// carrying the correlation id it belongs to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerReply {
+    /// A successful answer.
+    Answer(RemoteAnswer),
+    /// A typed refusal.
+    Error(ErrorFrame),
+}
+
+impl ServerReply {
+    /// The correlation id this reply answers.
+    pub fn request_id(&self) -> u64 {
+        match self {
+            ServerReply::Answer(a) => a.request_id,
+            ServerReply::Error(e) => e.request_id,
+        }
+    }
+}
+
+/// A blocking connection to a PS3 network front door.
+pub struct NetClient {
+    stream: TcpStream,
+    inbound: FrameBuffer,
+    next_id: u64,
+    /// Replies that arrived while waiting for a different id (pipelined
+    /// requests complete in any order).
+    parked: HashMap<u64, ServerReply>,
+}
+
+impl NetClient {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(NetClient {
+            stream,
+            inbound: FrameBuffer::new(DEFAULT_MAX_FRAME),
+            next_id: 1,
+            parked: HashMap::new(),
+        })
+    }
+
+    /// Send one request without waiting; returns its correlation id.
+    /// Collect the reply later with [`NetClient::recv`] /
+    /// [`NetClient::recv_for`].
+    pub fn send(&mut self, req: &QueryRequest) -> Result<u64, ClientError> {
+        let request_id = self.next_id;
+        self.next_id += 1;
+        let frame = Frame::Request(RequestFrame::from_request(request_id, req)?);
+        self.stream.write_all(&encode_frame(&frame)?)?;
+        Ok(request_id)
+    }
+
+    /// Block for the next reply, in server completion order.
+    pub fn recv(&mut self) -> Result<ServerReply, ClientError> {
+        if let Some(&id) = self.parked.keys().next() {
+            return Ok(self.parked.remove(&id).expect("keyed reply"));
+        }
+        self.read_reply()
+    }
+
+    /// Block for the reply to `request_id` specifically, parking any other
+    /// replies that arrive first. A **connection-level** error frame
+    /// (request id 0 — an undecodable frame, an unsupported version, an
+    /// over-cap length; the server closes after sending one) is returned
+    /// immediately whatever id was asked for: no reply with the requested
+    /// id can ever arrive after it, so parking it would turn the server's
+    /// typed refusal into an opaque EOF.
+    pub fn recv_for(&mut self, request_id: u64) -> Result<ServerReply, ClientError> {
+        loop {
+            if let Some(reply) = self.parked.remove(&request_id) {
+                return Ok(reply);
+            }
+            let reply = self.read_reply()?;
+            let is_conn_level = matches!(&reply, ServerReply::Error(e) if e.request_id == 0);
+            if reply.request_id() == request_id || is_conn_level {
+                return Ok(reply);
+            }
+            self.parked.insert(reply.request_id(), reply);
+        }
+    }
+
+    /// The synchronous convenience path: send, block for the matching
+    /// reply, and surface server refusals as [`ClientError::Server`].
+    pub fn request(&mut self, req: &QueryRequest) -> Result<RemoteAnswer, ClientError> {
+        let id = self.send(req)?;
+        match self.recv_for(id)? {
+            ServerReply::Answer(answer) => Ok(answer),
+            ServerReply::Error(err) => Err(ClientError::Server(err)),
+        }
+    }
+
+    /// Read frames off the socket until one complete reply decodes.
+    fn read_reply(&mut self) -> Result<ServerReply, ClientError> {
+        loop {
+            if let Some(frame) = self.inbound.next_frame()? {
+                return match frame {
+                    Frame::Response(resp) => {
+                        Ok(ServerReply::Answer(RemoteAnswer::from_frame(resp)))
+                    }
+                    Frame::Error(err) => Ok(ServerReply::Error(err)),
+                    Frame::Request(_) => Err(ClientError::Proto(ProtoError::Invalid(
+                        "server sent a request frame",
+                    ))),
+                };
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(ClientError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )));
+            }
+            self.inbound.push(&chunk[..n]);
+        }
+    }
+}

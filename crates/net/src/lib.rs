@@ -1,0 +1,66 @@
+//! The network serving front door: a wire protocol, an event-loop TCP
+//! server, and a blocking client over the PS3
+//! [`Router`](ps3_core::router::Router).
+//!
+//! This crate turns the in-process multi-tenant router into a cluster
+//! service. The layers, bottom to top:
+//!
+//! - [`proto`] — the length-prefixed, versioned binary protocol: a
+//!   request carries a table route, a serialized query, and the
+//!   `(method, budget, seed)` triple that makes every answer
+//!   deterministic; a response carries the answer rows and execution
+//!   stats; errors are typed. Zero external dependencies; byte layout
+//!   documented in `docs/PROTOCOL.md` and pinned by doc-tests.
+//! - [`server`] — a non-blocking event loop (readiness `poll(2)` via
+//!   [`ps3_runtime::poll`], running as one detached
+//!   [`ThreadPool`](ps3_runtime::ThreadPool) task) that parses frames,
+//!   submits through per-connection [`Tenant`](ps3_core::router::Tenant)
+//!   handles — so the router's backpressure and quota semantics apply on
+//!   the wire — and writes responses back as tickets complete, woken by
+//!   each ticket's completion hook.
+//! - [`client`] — a blocking connection with a synchronous
+//!   [`request`](client::NetClient::request) path and a pipelined
+//!   [`send`](client::NetClient::send)/[`recv`](client::NetClient::recv)
+//!   pair.
+//!
+//! The determinism contract extends across the wire: the answer to
+//! `(table, query, method, budget, seed)` served over TCP is bit-identical
+//! to a direct in-process `Ps3System::answer_on` call with the same tuple
+//! (`tests/net_serving.rs` proves it with 8 concurrent clients).
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use ps3_core::{QueryRequest, Router};
+//! use ps3_net::{NetClient, NetServer};
+//! # fn trained_system() -> Arc<ps3_core::Ps3System> { unimplemented!() }
+//! # fn some_query() -> ps3_query::Query { unimplemented!() }
+//!
+//! let router = Router::builder().table("events", trained_system()).build();
+//! let server = NetServer::bind(Arc::clone(&router), "127.0.0.1:0")?;
+//!
+//! let mut client = NetClient::connect(server.addr())?;
+//! let answer = client
+//!     .request(&QueryRequest::ps3(some_query(), 0.1, 7).on_table("events"))
+//!     .expect("served");
+//! println!("{} groups from {} partitions", answer.answer.num_groups(), answer.partitions_read);
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+#[cfg(unix)]
+pub mod server;
+
+pub use client::{ClientError, NetClient, RemoteAnswer, ServerReply};
+pub use proto::{ErrorCode, ErrorFrame, Frame, ProtoError, PROTO_VERSION};
+#[cfg(unix)]
+pub use server::{NetServer, ServerConfig, ServerStats};
+
+/// Binds `docs/PROTOCOL.md` into the doc-test suite: the worked byte-level
+/// examples in that document are executable, so `cargo test` fails if the
+/// documented bytes ever drift from what [`proto`] actually encodes.
+#[doc = include_str!("../../../docs/PROTOCOL.md")]
+#[cfg(doctest)]
+pub struct ProtocolDocTests;

@@ -1,0 +1,1154 @@
+//! The PS3 wire protocol: length-prefixed, versioned binary frames.
+//!
+//! Everything on the wire is a **frame**: a 4-byte little-endian body
+//! length followed by the body, which starts with a fixed header
+//! (`version`, `kind`, `request_id`) and continues with a kind-specific
+//! payload. Three kinds exist: [`RequestFrame`] (client → server: a table
+//! route, a serialized [`Query`], and the method/budget/seed triple),
+//! [`ResponseFrame`] (server → client: answer rows plus execution stats),
+//! and [`ErrorFrame`] (server → client: a typed refusal). The encoding is
+//! hand-rolled over `Vec<u8>` — no serde, no external crates — and every
+//! multi-byte integer is little-endian.
+//!
+//! `docs/PROTOCOL.md` documents the byte layout with worked examples; a
+//! doc-test in this crate encodes those exact frames and asserts the
+//! documented bytes, so the document cannot silently drift from the code.
+//!
+//! ## Forward compatibility
+//!
+//! - The `version` byte is checked first; a mismatch is
+//!   [`ProtoError::BadVersion`] and the server answers with
+//!   [`ErrorCode::UnsupportedVersion`] before closing.
+//! - Unknown frame kinds and payload tags are errors, not skips — within
+//!   one version the grammar is closed.
+//! - Decoders ignore bytes past the fields they know *at the end of a
+//!   frame body*, so a minor revision may append new trailing fields
+//!   without bumping the version; anything structural bumps it.
+
+use std::collections::HashMap;
+
+use ps3_core::{Method, QueryRequest, TableRoute};
+use ps3_query::{
+    AggExpr, AggFunc, BinOp, Clause, CmpOp, GroupKey, Predicate, Query, QueryAnswer, ScalarExpr,
+};
+use ps3_storage::ColId;
+
+/// The protocol version this build speaks (the first body byte of every
+/// frame).
+pub const PROTO_VERSION: u8 = 1;
+
+/// Default cap on one frame's body length (16 MiB). Both sides refuse
+/// larger frames before buffering them, so a corrupt or hostile length
+/// prefix cannot balloon memory.
+pub const DEFAULT_MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Nesting bound for decoded predicates/expressions: deeper frames are
+/// rejected ([`ProtoError::Invalid`]) instead of overflowing the decoder's
+/// stack.
+const MAX_DEPTH: u32 = 64;
+
+/// Frame kind byte: request.
+const KIND_REQUEST: u8 = 1;
+/// Frame kind byte: response.
+const KIND_RESPONSE: u8 = 2;
+/// Frame kind byte: error.
+const KIND_ERROR: u8 = 3;
+
+/// Why a frame failed to decode (or a value refused to encode).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The body ended before a field it promised.
+    Truncated,
+    /// The version byte differs from [`PROTO_VERSION`].
+    BadVersion(u8),
+    /// An unknown frame kind byte.
+    BadKind(u8),
+    /// An unknown tag byte for the named grammar rule.
+    BadTag {
+        /// Which grammar rule was being decoded.
+        what: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// A frame's declared body length exceeds the configured cap.
+    FrameTooLarge {
+        /// The declared body length.
+        len: u32,
+        /// The cap it exceeded.
+        max: u32,
+    },
+    /// A structurally invalid value (empty aggregate list, excessive
+    /// nesting, a router-local table id in a wire route, …).
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "frame body truncated"),
+            ProtoError::BadVersion(v) => {
+                write!(
+                    f,
+                    "protocol version {v} (this build speaks {PROTO_VERSION})"
+                )
+            }
+            ProtoError::BadKind(k) => write!(f, "unknown frame kind {k}"),
+            ProtoError::BadTag { what, tag } => write!(f, "unknown {what} tag {tag}"),
+            ProtoError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
+            ProtoError::FrameTooLarge { len, max } => {
+                write!(f, "frame body of {len} bytes exceeds the {max}-byte cap")
+            }
+            ProtoError::Invalid(what) => write!(f, "invalid frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Typed refusal codes carried by [`ErrorFrame`]. The discriminants are
+/// the wire bytes and are frozen for version 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The request's route named no registered table.
+    UnknownTable = 1,
+    /// The router's request queue is at capacity — wire-visible
+    /// backpressure; retry later.
+    QueueFull = 2,
+    /// The connection's in-flight quota is exhausted — wire-visible
+    /// admission control; wait for an outstanding answer.
+    QuotaExhausted = 3,
+    /// The router has shut down.
+    Shutdown = 4,
+    /// The frame failed to decode (the server closes the connection after
+    /// sending this — framing is unrecoverable once desynchronized).
+    Malformed = 5,
+    /// The version byte is one this server does not speak.
+    UnsupportedVersion = 6,
+    /// The declared frame length exceeds the server's cap.
+    FrameTooLarge = 7,
+    /// The request panicked while executing.
+    Internal = 8,
+}
+
+impl ErrorCode {
+    /// Decode a wire byte.
+    pub fn from_byte(b: u8) -> Result<ErrorCode, ProtoError> {
+        Ok(match b {
+            1 => ErrorCode::UnknownTable,
+            2 => ErrorCode::QueueFull,
+            3 => ErrorCode::QuotaExhausted,
+            4 => ErrorCode::Shutdown,
+            5 => ErrorCode::Malformed,
+            6 => ErrorCode::UnsupportedVersion,
+            7 => ErrorCode::FrameTooLarge,
+            8 => ErrorCode::Internal,
+            tag => {
+                return Err(ProtoError::BadTag {
+                    what: "error code",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server: execute a query.
+    Request(RequestFrame),
+    /// Server → client: the answer.
+    Response(ResponseFrame),
+    /// Server → client: a typed refusal.
+    Error(ErrorFrame),
+}
+
+/// A client's query submission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestFrame {
+    /// Client-chosen correlation id, echoed verbatim in the response.
+    pub request_id: u64,
+    /// Target table: `None` routes to a single-table router's default
+    /// table, `Some(name)` resolves by name. (Router-local [`TableRoute::Id`]s
+    /// are meaningless across a wire and refuse to encode.)
+    pub table: Option<String>,
+    /// Sampling method.
+    pub method: Method,
+    /// Partition budget as a fraction of the table.
+    pub frac: f64,
+    /// Determinism seed: equal `(table, query, method, frac, seed)` yields
+    /// bit-identical answers.
+    pub seed: u64,
+    /// The query itself.
+    pub query: Query,
+}
+
+impl RequestFrame {
+    /// Package a [`QueryRequest`] for the wire. Fails on a
+    /// [`TableRoute::Id`] route (ids are router-local).
+    pub fn from_request(request_id: u64, req: &QueryRequest) -> Result<RequestFrame, ProtoError> {
+        let table = match &req.table {
+            TableRoute::Default => None,
+            TableRoute::Named(name) => Some(name.clone()),
+            TableRoute::Id(_) => {
+                return Err(ProtoError::Invalid(
+                    "table ids are router-local; route by name over the wire",
+                ))
+            }
+        };
+        Ok(RequestFrame {
+            request_id,
+            table,
+            method: req.method,
+            frac: req.frac,
+            seed: req.seed,
+            query: req.query.clone(),
+        })
+    }
+
+    /// Rebuild the router-side [`QueryRequest`].
+    pub fn into_query_request(self) -> QueryRequest {
+        let table = match self.table {
+            None => TableRoute::Default,
+            Some(name) => TableRoute::Named(name),
+        };
+        QueryRequest {
+            query: self.query,
+            method: self.method,
+            frac: self.frac,
+            seed: self.seed,
+            table,
+        }
+    }
+}
+
+/// One answer row on the wire: the group key's canonical words and one
+/// `f64` per aggregate, bit-exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireRow {
+    /// The group key ([`GroupKey`] words; empty for the global group).
+    pub key: Vec<u64>,
+    /// Aggregate values, in the query's aggregate order.
+    pub values: Vec<f64>,
+}
+
+/// A server's answer: rows plus how the answer was produced. Rows are
+/// sorted by key words, so equal answers encode to equal bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseFrame {
+    /// Echo of the request's correlation id.
+    pub request_id: u64,
+    /// Answer rows, sorted by group key.
+    pub rows: Vec<WireRow>,
+    /// How many partitions were read to produce the answer.
+    pub partitions_read: u32,
+    /// Picker latency in milliseconds (0 for trivial baselines).
+    pub picker_ms: f64,
+}
+
+impl ResponseFrame {
+    /// Package an executed outcome for the wire.
+    pub fn from_outcome(request_id: u64, outcome: &ps3_core::AnswerOutcome) -> ResponseFrame {
+        let mut rows: Vec<WireRow> = outcome
+            .answer
+            .groups
+            .iter()
+            .map(|(key, values)| WireRow {
+                key: key.0.to_vec(),
+                values: values.clone(),
+            })
+            .collect();
+        rows.sort_by(|a, b| a.key.cmp(&b.key));
+        ResponseFrame {
+            request_id,
+            rows,
+            partitions_read: outcome.selection.len() as u32,
+            picker_ms: outcome.picker_ms,
+        }
+    }
+
+    /// Rebuild the answer map (the inverse of [`ResponseFrame::from_outcome`]
+    /// up to row order, which [`QueryAnswer`]'s map erases anyway).
+    pub fn to_answer(&self) -> QueryAnswer {
+        let mut groups = HashMap::with_capacity(self.rows.len());
+        for row in &self.rows {
+            groups.insert(
+                GroupKey(row.key.clone().into_boxed_slice()),
+                row.values.clone(),
+            );
+        }
+        QueryAnswer { groups }
+    }
+}
+
+/// A server's typed refusal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorFrame {
+    /// Echo of the request's correlation id (0 when the failure predates
+    /// one, e.g. an undecodable frame).
+    pub request_id: u64,
+    /// What went wrong.
+    pub code: ErrorCode,
+    /// Human-readable detail (never required for program logic).
+    pub message: String,
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Append little-endian primitives to a byte buffer. Length-carrying
+/// fields go through the checked `str`/`u16_len`/`u32_len` helpers — a
+/// value too large for its length field is an [`ProtoError::Invalid`]
+/// error, never a silent modular truncation (which would emit a frame
+/// that decodes to a *different* value).
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+    fn u16_len(&mut self, n: usize, what: &'static str) -> Result<(), ProtoError> {
+        match u16::try_from(n) {
+            Ok(v) => {
+                self.u16(v);
+                Ok(())
+            }
+            Err(_) => Err(ProtoError::Invalid(what)),
+        }
+    }
+    fn u32_len(&mut self, n: usize, what: &'static str) -> Result<(), ProtoError> {
+        match u32::try_from(n) {
+            Ok(v) => {
+                self.u32(v);
+                Ok(())
+            }
+            Err(_) => Err(ProtoError::Invalid(what)),
+        }
+    }
+    fn str(&mut self, s: &str) -> Result<(), ProtoError> {
+        self.u16_len(s.len(), "wire strings cap at 64 KiB")?;
+        self.0.extend_from_slice(s.as_bytes());
+        Ok(())
+    }
+}
+
+fn encode_scalar(w: &mut Writer, e: &ScalarExpr) {
+    match e {
+        ScalarExpr::Column(c) => {
+            w.u8(1);
+            w.u32(c.index() as u32);
+        }
+        ScalarExpr::Literal(x) => {
+            w.u8(2);
+            w.f64(*x);
+        }
+        ScalarExpr::BinOp(op, l, r) => {
+            w.u8(3);
+            w.u8(match op {
+                BinOp::Add => 0,
+                BinOp::Sub => 1,
+                BinOp::Mul => 2,
+                BinOp::Div => 3,
+            });
+            encode_scalar(w, l);
+            encode_scalar(w, r);
+        }
+    }
+}
+
+fn encode_predicate(w: &mut Writer, p: &Predicate) -> Result<(), ProtoError> {
+    match p {
+        Predicate::Clause(Clause::Cmp { col, op, value }) => {
+            w.u8(1);
+            w.u32(col.index() as u32);
+            w.u8(match op {
+                CmpOp::Eq => 0,
+                CmpOp::Ne => 1,
+                CmpOp::Lt => 2,
+                CmpOp::Le => 3,
+                CmpOp::Gt => 4,
+                CmpOp::Ge => 5,
+            });
+            w.f64(*value);
+        }
+        Predicate::Clause(Clause::In {
+            col,
+            values,
+            negated,
+        }) => {
+            w.u8(2);
+            w.u32(col.index() as u32);
+            w.u8(u8::from(*negated));
+            w.u16_len(values.len(), "IN lists cap at 65535 values")?;
+            for v in values {
+                w.str(v)?;
+            }
+        }
+        Predicate::Clause(Clause::Contains {
+            col,
+            needle,
+            negated,
+        }) => {
+            w.u8(3);
+            w.u32(col.index() as u32);
+            w.u8(u8::from(*negated));
+            w.str(needle)?;
+        }
+        Predicate::And(ps) => {
+            w.u8(4);
+            w.u16_len(ps.len(), "AND arms cap at 65535")?;
+            for q in ps {
+                encode_predicate(w, q)?;
+            }
+        }
+        Predicate::Or(ps) => {
+            w.u8(5);
+            w.u16_len(ps.len(), "OR arms cap at 65535")?;
+            for q in ps {
+                encode_predicate(w, q)?;
+            }
+        }
+        Predicate::Not(q) => {
+            w.u8(6);
+            encode_predicate(w, q)?;
+        }
+    }
+    Ok(())
+}
+
+fn encode_query(w: &mut Writer, q: &Query) -> Result<(), ProtoError> {
+    w.u16_len(q.aggregates.len(), "aggregate lists cap at 65535")?;
+    for agg in &q.aggregates {
+        w.u8(match agg.func {
+            AggFunc::Sum => 0,
+            AggFunc::Count => 1,
+            AggFunc::Avg => 2,
+        });
+        encode_scalar(w, &agg.expr);
+        match &agg.condition {
+            None => w.u8(0),
+            Some(p) => {
+                w.u8(1);
+                encode_predicate(w, p)?;
+            }
+        }
+    }
+    match &q.predicate {
+        None => w.u8(0),
+        Some(p) => {
+            w.u8(1);
+            encode_predicate(w, p)?;
+        }
+    }
+    w.u16_len(q.group_by.len(), "GROUP BY lists cap at 65535")?;
+    for c in &q.group_by {
+        w.u32(c.index() as u32);
+    }
+    Ok(())
+}
+
+fn method_byte(m: Method) -> u8 {
+    match m {
+        Method::Random => 0,
+        Method::RandomFilter => 1,
+        Method::Lss => 2,
+        Method::Ps3 => 3,
+    }
+}
+
+/// Encode a frame into its full wire form: `[body_len: u32 LE][body]`.
+/// Fails ([`ProtoError::Invalid`]) on values that do not fit their length
+/// fields (a >64 KiB string, a >65535-entry list) rather than truncating
+/// them into a frame that would decode to something else.
+pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, ProtoError> {
+    let mut w = Writer(Vec::with_capacity(64));
+    w.u8(PROTO_VERSION);
+    match frame {
+        Frame::Request(req) => {
+            w.u8(KIND_REQUEST);
+            w.u64(req.request_id);
+            match &req.table {
+                None => w.u8(0),
+                Some(name) => {
+                    w.u8(1);
+                    w.str(name)?;
+                }
+            }
+            w.u8(method_byte(req.method));
+            w.f64(req.frac);
+            w.u64(req.seed);
+            encode_query(&mut w, &req.query)?;
+        }
+        Frame::Response(resp) => {
+            w.u8(KIND_RESPONSE);
+            w.u64(resp.request_id);
+            let n_aggs = resp.rows.first().map_or(0, |r| r.values.len());
+            w.u16_len(n_aggs, "aggregate lists cap at 65535")?;
+            w.u32_len(resp.rows.len(), "answers cap at 2^32-1 rows")?;
+            for row in &resp.rows {
+                w.u16_len(row.key.len(), "group keys cap at 65535 words")?;
+                for word in &row.key {
+                    w.u64(*word);
+                }
+                debug_assert_eq!(row.values.len(), n_aggs, "ragged answer rows");
+                for v in &row.values {
+                    w.f64(*v);
+                }
+            }
+            w.u32(resp.partitions_read);
+            w.f64(resp.picker_ms);
+        }
+        Frame::Error(err) => {
+            w.u8(KIND_ERROR);
+            w.u64(err.request_id);
+            w.u8(err.code as u8);
+            w.str(&err.message)?;
+        }
+    }
+    let body = w.0;
+    let mut wire = Vec::with_capacity(4 + body.len());
+    wire.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    wire.extend_from_slice(&body);
+    Ok(wire)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Cursor over one frame body.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let end = self.pos.checked_add(n).ok_or(ProtoError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(ProtoError::Truncated);
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn str(&mut self) -> Result<String, ProtoError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtoError::BadUtf8)
+    }
+}
+
+fn decode_scalar(r: &mut Reader, depth: u32) -> Result<ScalarExpr, ProtoError> {
+    if depth > MAX_DEPTH {
+        return Err(ProtoError::Invalid("expression nested too deeply"));
+    }
+    Ok(match r.u8()? {
+        1 => ScalarExpr::Column(ColId(r.u32()? as usize)),
+        2 => ScalarExpr::Literal(r.f64()?),
+        3 => {
+            let op = match r.u8()? {
+                0 => BinOp::Add,
+                1 => BinOp::Sub,
+                2 => BinOp::Mul,
+                3 => BinOp::Div,
+                tag => {
+                    return Err(ProtoError::BadTag {
+                        what: "binary operator",
+                        tag,
+                    })
+                }
+            };
+            let l = decode_scalar(r, depth + 1)?;
+            let right = decode_scalar(r, depth + 1)?;
+            ScalarExpr::BinOp(op, Box::new(l), Box::new(right))
+        }
+        tag => {
+            return Err(ProtoError::BadTag {
+                what: "scalar expression",
+                tag,
+            })
+        }
+    })
+}
+
+fn decode_predicate(r: &mut Reader, depth: u32) -> Result<Predicate, ProtoError> {
+    if depth > MAX_DEPTH {
+        return Err(ProtoError::Invalid("predicate nested too deeply"));
+    }
+    Ok(match r.u8()? {
+        1 => {
+            let col = ColId(r.u32()? as usize);
+            let op = match r.u8()? {
+                0 => CmpOp::Eq,
+                1 => CmpOp::Ne,
+                2 => CmpOp::Lt,
+                3 => CmpOp::Le,
+                4 => CmpOp::Gt,
+                5 => CmpOp::Ge,
+                tag => {
+                    return Err(ProtoError::BadTag {
+                        what: "comparison operator",
+                        tag,
+                    })
+                }
+            };
+            Predicate::Clause(Clause::Cmp {
+                col,
+                op,
+                value: r.f64()?,
+            })
+        }
+        2 => {
+            let col = ColId(r.u32()? as usize);
+            let negated = r.u8()? != 0;
+            let n = r.u16()? as usize;
+            let values = (0..n).map(|_| r.str()).collect::<Result<_, _>>()?;
+            Predicate::Clause(Clause::In {
+                col,
+                values,
+                negated,
+            })
+        }
+        3 => {
+            let col = ColId(r.u32()? as usize);
+            let negated = r.u8()? != 0;
+            Predicate::Clause(Clause::Contains {
+                col,
+                needle: r.str()?,
+                negated,
+            })
+        }
+        4 => {
+            let n = r.u16()? as usize;
+            Predicate::And(
+                (0..n)
+                    .map(|_| decode_predicate(r, depth + 1))
+                    .collect::<Result<_, _>>()?,
+            )
+        }
+        5 => {
+            let n = r.u16()? as usize;
+            Predicate::Or(
+                (0..n)
+                    .map(|_| decode_predicate(r, depth + 1))
+                    .collect::<Result<_, _>>()?,
+            )
+        }
+        6 => Predicate::Not(Box::new(decode_predicate(r, depth + 1)?)),
+        tag => {
+            return Err(ProtoError::BadTag {
+                what: "predicate",
+                tag,
+            })
+        }
+    })
+}
+
+fn decode_query(r: &mut Reader) -> Result<Query, ProtoError> {
+    let n_aggs = r.u16()? as usize;
+    if n_aggs == 0 {
+        return Err(ProtoError::Invalid("query needs at least one aggregate"));
+    }
+    let mut aggregates = Vec::with_capacity(n_aggs.min(1024));
+    for _ in 0..n_aggs {
+        let func = match r.u8()? {
+            0 => AggFunc::Sum,
+            1 => AggFunc::Count,
+            2 => AggFunc::Avg,
+            tag => {
+                return Err(ProtoError::BadTag {
+                    what: "aggregate function",
+                    tag,
+                })
+            }
+        };
+        let expr = decode_scalar(r, 0)?;
+        let condition = match r.u8()? {
+            0 => None,
+            1 => Some(decode_predicate(r, 0)?),
+            tag => {
+                return Err(ProtoError::BadTag {
+                    what: "condition presence flag",
+                    tag,
+                })
+            }
+        };
+        aggregates.push(AggExpr {
+            func,
+            expr,
+            condition,
+        });
+    }
+    let predicate = match r.u8()? {
+        0 => None,
+        1 => Some(decode_predicate(r, 0)?),
+        tag => {
+            return Err(ProtoError::BadTag {
+                what: "predicate presence flag",
+                tag,
+            })
+        }
+    };
+    let n_group = r.u16()? as usize;
+    let group_by = (0..n_group)
+        .map(|_| Ok(ColId(r.u32()? as usize)))
+        .collect::<Result<_, ProtoError>>()?;
+    Ok(Query {
+        aggregates,
+        predicate,
+        group_by,
+    })
+}
+
+/// Decode one frame *body* (the bytes after the 4-byte length prefix).
+/// Trailing bytes past the known grammar are ignored (see the module docs
+/// on forward compatibility).
+pub fn decode_body(body: &[u8]) -> Result<Frame, ProtoError> {
+    let mut r = Reader { buf: body, pos: 0 };
+    let version = r.u8()?;
+    if version != PROTO_VERSION {
+        return Err(ProtoError::BadVersion(version));
+    }
+    let kind = r.u8()?;
+    let request_id = r.u64()?;
+    match kind {
+        KIND_REQUEST => {
+            let table = match r.u8()? {
+                0 => None,
+                1 => Some(r.str()?),
+                tag => {
+                    return Err(ProtoError::BadTag {
+                        what: "table route",
+                        tag,
+                    })
+                }
+            };
+            let method = match r.u8()? {
+                0 => Method::Random,
+                1 => Method::RandomFilter,
+                2 => Method::Lss,
+                3 => Method::Ps3,
+                tag => {
+                    return Err(ProtoError::BadTag {
+                        what: "method",
+                        tag,
+                    })
+                }
+            };
+            let frac = r.f64()?;
+            let seed = r.u64()?;
+            let query = decode_query(&mut r)?;
+            Ok(Frame::Request(RequestFrame {
+                request_id,
+                table,
+                method,
+                frac,
+                seed,
+                query,
+            }))
+        }
+        KIND_RESPONSE => {
+            let n_aggs = r.u16()? as usize;
+            let n_rows = r.u32()? as usize;
+            let mut rows = Vec::with_capacity(n_rows.min(4096));
+            for _ in 0..n_rows {
+                let key_words = r.u16()? as usize;
+                let key = (0..key_words).map(|_| r.u64()).collect::<Result<_, _>>()?;
+                let values = (0..n_aggs).map(|_| r.f64()).collect::<Result<_, _>>()?;
+                rows.push(WireRow { key, values });
+            }
+            Ok(Frame::Response(ResponseFrame {
+                request_id,
+                rows,
+                partitions_read: r.u32()?,
+                picker_ms: r.f64()?,
+            }))
+        }
+        KIND_ERROR => {
+            let code = ErrorCode::from_byte(r.u8()?)?;
+            Ok(Frame::Error(ErrorFrame {
+                request_id,
+                code,
+                message: r.str()?,
+            }))
+        }
+        kind => Err(ProtoError::BadKind(kind)),
+    }
+}
+
+/// Incremental frame assembly over a byte stream.
+///
+/// Feed raw socket reads in with [`FrameBuffer::push`], then pull complete
+/// frames with [`FrameBuffer::next_frame`] until it yields `Ok(None)`.
+/// The length prefix is validated against the buffer's cap *before* the
+/// body is awaited, so one bad prefix can never commit the peer to
+/// buffering gigabytes.
+#[derive(Debug)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by yielded frames (compacted lazily).
+    consumed: usize,
+    max_frame: u32,
+}
+
+impl FrameBuffer {
+    /// A buffer accepting bodies up to `max_frame` bytes.
+    pub fn new(max_frame: u32) -> FrameBuffer {
+        FrameBuffer {
+            buf: Vec::new(),
+            consumed: 0,
+            max_frame,
+        }
+    }
+
+    /// Append raw bytes from the stream.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact before growing: yielded-frame bytes at the front are dead.
+        if self.consumed > 0 {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Decode the next complete frame, if one has fully arrived. Errors
+    /// are unrecoverable for the connection: framing is lost once a body
+    /// fails to parse or a length prefix lies.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, ProtoError> {
+        let pending = &self.buf[self.consumed..];
+        if pending.len() < 4 {
+            return Ok(None);
+        }
+        let body_len = u32::from_le_bytes(pending[..4].try_into().unwrap());
+        if body_len > self.max_frame {
+            return Err(ProtoError::FrameTooLarge {
+                len: body_len,
+                max: self.max_frame,
+            });
+        }
+        let total = 4 + body_len as usize;
+        if pending.len() < total {
+            return Ok(None);
+        }
+        let frame = decode_body(&pending[4..total])?;
+        self.consumed += total;
+        Ok(Some(frame))
+    }
+
+    /// Bytes buffered but not yet consumed by a yielded frame.
+    pub fn pending_len(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps3_core::Method;
+
+    fn sample_query() -> Query {
+        Query::new(
+            vec![
+                AggExpr::sum(ScalarExpr::col(ColId(0)).mul(ScalarExpr::col(ColId(1)))),
+                AggExpr::count(),
+                AggExpr::avg(ScalarExpr::col(ColId(1)).add(ScalarExpr::Literal(2.5))).filtered(
+                    Predicate::Clause(Clause::Cmp {
+                        col: ColId(0),
+                        op: CmpOp::Ge,
+                        value: -3.25,
+                    }),
+                ),
+            ],
+            Some(Predicate::And(vec![
+                Predicate::Or(vec![
+                    Predicate::Clause(Clause::Cmp {
+                        col: ColId(1),
+                        op: CmpOp::Lt,
+                        value: 9.5,
+                    }),
+                    Predicate::Clause(Clause::In {
+                        col: ColId(2),
+                        values: vec!["aa".into(), "bb".into()],
+                        negated: true,
+                    }),
+                ]),
+                Predicate::Not(Box::new(Predicate::Clause(Clause::Contains {
+                    col: ColId(2),
+                    needle: "x".into(),
+                    negated: false,
+                }))),
+            ])),
+            vec![ColId(2), ColId(0)],
+        )
+    }
+
+    #[test]
+    fn request_frames_roundtrip_bit_exactly() {
+        let frame = Frame::Request(RequestFrame {
+            request_id: 0xDEAD_BEEF_0BAD_F00D,
+            table: Some("lineitem".into()),
+            method: Method::Ps3,
+            frac: 0.125,
+            seed: 42,
+            query: sample_query(),
+        });
+        let wire = encode_frame(&frame).expect("encodes");
+        let decoded = decode_body(&wire[4..]).expect("decode");
+        assert_eq!(decoded, frame);
+        // The length prefix covers exactly the body.
+        let len = u32::from_le_bytes(wire[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, wire.len() - 4);
+    }
+
+    #[test]
+    fn response_frames_roundtrip_and_rebuild_the_answer() {
+        let frame = ResponseFrame {
+            request_id: 7,
+            rows: vec![
+                WireRow {
+                    key: vec![],
+                    values: vec![1.5, f64::NAN.to_bits() as f64, -0.0],
+                },
+                WireRow {
+                    key: vec![3, 9],
+                    values: vec![2.0, 4.0, 8.0],
+                },
+            ],
+            partitions_read: 12,
+            picker_ms: 0.25,
+        };
+        let wire = encode_frame(&Frame::Response(frame.clone())).expect("encodes");
+        let Frame::Response(decoded) = decode_body(&wire[4..]).expect("decode") else {
+            panic!("wrong kind");
+        };
+        assert_eq!(decoded, frame);
+        let answer = decoded.to_answer();
+        assert_eq!(answer.num_groups(), 2);
+        assert_eq!(
+            answer.groups[&GroupKey(vec![3, 9].into_boxed_slice())],
+            vec![2.0, 4.0, 8.0]
+        );
+    }
+
+    #[test]
+    fn nan_and_negative_zero_survive_the_wire_bit_exactly() {
+        let weird = f64::from_bits(0x7FF8_0000_0000_1234); // NaN with payload
+        let frame = Frame::Response(ResponseFrame {
+            request_id: 1,
+            rows: vec![WireRow {
+                key: vec![(-0.0f64).to_bits()],
+                values: vec![weird, -0.0],
+            }],
+            partitions_read: 0,
+            picker_ms: 0.0,
+        });
+        let wire = encode_frame(&frame).expect("encodes");
+        let Frame::Response(decoded) = decode_body(&wire[4..]).unwrap() else {
+            panic!("wrong kind");
+        };
+        assert_eq!(decoded.rows[0].values[0].to_bits(), weird.to_bits());
+        assert_eq!(decoded.rows[0].values[1].to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn error_frames_roundtrip() {
+        let frame = Frame::Error(ErrorFrame {
+            request_id: 99,
+            code: ErrorCode::QueueFull,
+            message: "request queue is full".into(),
+        });
+        let wire = encode_frame(&frame).expect("encodes");
+        assert_eq!(decode_body(&wire[4..]).unwrap(), frame);
+    }
+
+    #[test]
+    fn version_and_kind_mismatches_are_rejected() {
+        let frame = Frame::Error(ErrorFrame {
+            request_id: 0,
+            code: ErrorCode::Internal,
+            message: String::new(),
+        });
+        let mut wire = encode_frame(&frame).expect("encodes");
+        wire[4] = 9; // version byte
+        assert_eq!(decode_body(&wire[4..]), Err(ProtoError::BadVersion(9)));
+        let mut wire = encode_frame(&frame).expect("encodes");
+        wire[5] = 200; // kind byte
+        assert_eq!(decode_body(&wire[4..]), Err(ProtoError::BadKind(200)));
+    }
+
+    #[test]
+    fn truncated_bodies_and_garbage_tags_error_instead_of_panicking() {
+        let frame = Frame::Request(RequestFrame {
+            request_id: 5,
+            table: None,
+            method: Method::Random,
+            frac: 0.5,
+            seed: 1,
+            query: sample_query(),
+        });
+        let wire = encode_frame(&frame).expect("encodes");
+        // Every proper prefix of the body either truncates or (rarely, if a
+        // prefix happens to end on a field boundary) parses; it never panics.
+        for cut in 0..wire.len() - 4 {
+            let _ = decode_body(&wire[4..4 + cut]);
+        }
+        // Garbage at every byte position decodes or errors, never panics.
+        for pos in 4..wire.len() {
+            let mut bad = wire.clone();
+            bad[pos] ^= 0xFF;
+            let _ = decode_body(&bad[4..]);
+        }
+    }
+
+    #[test]
+    fn frame_buffer_reassembles_across_arbitrary_splits() {
+        let frames = [
+            Frame::Request(RequestFrame {
+                request_id: 1,
+                table: Some("t".into()),
+                method: Method::Ps3,
+                frac: 0.1,
+                seed: 2,
+                query: sample_query(),
+            }),
+            Frame::Error(ErrorFrame {
+                request_id: 2,
+                code: ErrorCode::Shutdown,
+                message: "bye".into(),
+            }),
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&encode_frame(f).expect("encodes"));
+        }
+        // Feed the stream one byte at a time; both frames must reassemble.
+        let mut buf = FrameBuffer::new(DEFAULT_MAX_FRAME);
+        let mut got = Vec::new();
+        for b in &wire {
+            buf.push(std::slice::from_ref(b));
+            while let Some(frame) = buf.next_frame().expect("clean stream") {
+                got.push(frame);
+            }
+        }
+        assert_eq!(got.as_slice(), frames.as_slice());
+        assert_eq!(buf.pending_len(), 0);
+    }
+
+    #[test]
+    fn values_too_large_for_their_length_fields_refuse_to_encode() {
+        // A needle longer than a u16 length field must error, not truncate
+        // into a frame that decodes to a different query.
+        let huge = Frame::Request(RequestFrame {
+            request_id: 1,
+            table: None,
+            method: Method::Ps3,
+            frac: 0.1,
+            seed: 1,
+            query: Query::new(
+                vec![AggExpr::count()],
+                Some(Predicate::Clause(Clause::Contains {
+                    col: ColId(0),
+                    needle: "x".repeat(70_000),
+                    negated: false,
+                })),
+                vec![],
+            ),
+        });
+        assert!(matches!(encode_frame(&huge), Err(ProtoError::Invalid(_))));
+
+        let wide_in = Frame::Request(RequestFrame {
+            request_id: 1,
+            table: None,
+            method: Method::Ps3,
+            frac: 0.1,
+            seed: 1,
+            query: Query::new(
+                vec![AggExpr::count()],
+                Some(Predicate::Clause(Clause::In {
+                    col: ColId(0),
+                    values: (0..70_000).map(|i| i.to_string()).collect(),
+                    negated: false,
+                })),
+                vec![],
+            ),
+        });
+        assert!(matches!(
+            encode_frame(&wide_in),
+            Err(ProtoError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_refused_before_buffering() {
+        let mut buf = FrameBuffer::new(1024);
+        buf.push(&(4096u32).to_le_bytes());
+        assert_eq!(
+            buf.next_frame(),
+            Err(ProtoError::FrameTooLarge {
+                len: 4096,
+                max: 1024
+            })
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_after_known_fields_are_ignored() {
+        // Forward-compat: a future minor revision may append fields.
+        let frame = Frame::Error(ErrorFrame {
+            request_id: 3,
+            code: ErrorCode::Internal,
+            message: "m".into(),
+        });
+        let mut wire = encode_frame(&frame).expect("encodes");
+        wire.extend_from_slice(&[0xAB, 0xCD]); // future fields
+        let len = (wire.len() - 4) as u32;
+        wire[..4].copy_from_slice(&len.to_le_bytes());
+        assert_eq!(decode_body(&wire[4..]).unwrap(), frame);
+    }
+
+    #[test]
+    fn request_frame_round_trips_through_query_request() {
+        let req = QueryRequest::ps3(sample_query(), 0.1, 1).on_table("events");
+        let frame = RequestFrame::from_request(17, &req).expect("named routes encode");
+        let rebuilt = frame.into_query_request();
+        assert_eq!(rebuilt.query, req.query);
+        assert_eq!(rebuilt.table, req.table);
+        assert_eq!(rebuilt.seed, req.seed);
+        assert_eq!(rebuilt.frac.to_bits(), req.frac.to_bits());
+        // Id routes are router-local and refuse to encode; the refusal is
+        // exercised end-to-end in tests/net_serving.rs where a real router
+        // can mint one.
+    }
+}

@@ -1,0 +1,633 @@
+//! The event-loop TCP server: one readiness-polled task feeding the
+//! [`Router`].
+//!
+//! A single detached [`ThreadPool`] task (so `ps3_runtime` remains the
+//! only thread-owning crate) runs the whole front door: a non-blocking
+//! listener plus every accepted connection, multiplexed with
+//! [`ps3_runtime::poll::poll_fds`]. The loop never blocks on a socket or
+//! a ticket:
+//!
+//! 1. **Read** — readable connections drain into a [`FrameBuffer`];
+//!    complete [`RequestFrame`]s submit through that connection's own
+//!    [`Tenant`] handle with `try_submit`, so the router's backpressure
+//!    and quota semantics surface on the wire as typed
+//!    [`ErrorFrame`]s ([`ErrorCode::QueueFull`] /
+//!    [`ErrorCode::QuotaExhausted`]) instead of blocking the loop.
+//! 2. **Execute** — queue pumps run the work as usual. Each accepted
+//!    ticket carries an [`on_ready`](ps3_core::Ticket::on_ready) hook that
+//!    pokes the loop's [`Waker`], so completion interrupts the poll
+//!    immediately (no completion-polling latency).
+//! 3. **Write** — completed tickets become [`ResponseFrame`]s (or
+//!    [`ErrorCode::Internal`] errors, if the request panicked) appended to
+//!    the connection's write buffer and flushed as far as the socket
+//!    allows; the rest goes out when the socket polls writable.
+//!
+//! A client that disconnects mid-request just gets its connection state
+//! dropped; its in-flight executions complete in the router (and still
+//! populate the answer cache) with nobody to deliver to — the pumps never
+//! notice.
+
+#![cfg(unix)]
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ps3_core::{RouteError, Router, Tenant, Ticket};
+use ps3_runtime::poll::{poll_fds, Interest, PollEntry, Waker};
+use ps3_runtime::ThreadPool;
+
+use crate::proto::{
+    encode_frame, ErrorCode, ErrorFrame, Frame, FrameBuffer, ProtoError, RequestFrame,
+    ResponseFrame, DEFAULT_MAX_FRAME,
+};
+
+/// Tuning knobs for [`NetServer::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Largest accepted frame body, in bytes.
+    pub max_frame: u32,
+    /// Per-connection in-flight request quota (each connection is its own
+    /// [`Tenant`]); `None` = unlimited. Exhaustion surfaces as
+    /// [`ErrorCode::QuotaExhausted`] rather than queueing.
+    pub per_conn_quota: Option<usize>,
+    /// Accepted-connection cap; the listener stops accepting (connections
+    /// queue in the OS backlog) while at the cap.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_frame: DEFAULT_MAX_FRAME,
+            per_conn_quota: Some(64),
+            max_connections: 1024,
+        }
+    }
+}
+
+/// Wire-visible serving counters (monotonic except `open_connections`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Connections currently open.
+    pub open_connections: u64,
+    /// Connections accepted over the server's lifetime.
+    pub accepted: u64,
+    /// Request frames admitted to the router.
+    pub requests: u64,
+    /// Error frames sent (refusals, malformed frames, panics).
+    pub errors: u64,
+}
+
+/// Counters shared between the event loop and [`NetServer`] handles.
+#[derive(Debug, Default)]
+struct Counters {
+    open_connections: AtomicU64,
+    accepted: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// State shared between the handle and the event-loop task.
+struct Shared {
+    waker: Waker,
+    shutdown: AtomicBool,
+    counters: Counters,
+    /// Completed requests awaiting delivery, as `(connection token,
+    /// request id)` — pushed by each ticket's `on_ready` hook, drained by
+    /// the event loop. Keeps delivery O(completions) instead of scanning
+    /// every in-flight ticket of every connection per wakeup.
+    completed: Mutex<Vec<(u64, u64)>>,
+}
+
+/// A running network front door over a [`Router`]. Dropping the handle
+/// (or calling [`NetServer::shutdown`]) stops the event loop, closes every
+/// connection, and joins the loop's thread; the router itself is left
+/// running — shut it down separately.
+pub struct NetServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    /// One-worker pool running the event loop; dropping it joins the loop.
+    pool: Option<Arc<ThreadPool>>,
+}
+
+impl NetServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an OS-assigned port) and
+    /// start serving `router` with the default [`ServerConfig`].
+    pub fn bind(router: Arc<Router>, addr: impl ToSocketAddrs) -> io::Result<NetServer> {
+        Self::bind_with(router, addr, ServerConfig::default())
+    }
+
+    /// [`NetServer::bind`] with explicit tuning.
+    pub fn bind_with(
+        router: Arc<Router>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            waker: Waker::new()?,
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+            completed: Mutex::new(Vec::new()),
+        });
+        let pool = Arc::new(ThreadPool::new(1));
+        {
+            let shared = Arc::clone(&shared);
+            pool.spawn(move || EventLoop::new(router, listener, shared, config).run());
+        }
+        Ok(NetServer {
+            addr,
+            shared,
+            pool: Some(pool),
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serving counters.
+    pub fn stats(&self) -> ServerStats {
+        let c = &self.shared.counters;
+        ServerStats {
+            open_connections: c.open_connections.load(Ordering::Relaxed),
+            accepted: c.accepted.load(Ordering::Relaxed),
+            requests: c.requests.load(Ordering::Relaxed),
+            errors: c.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop the event loop, close every connection, and join the loop
+    /// thread. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.waker.wake();
+        // Dropping the 1-worker pool joins the loop task.
+        self.pool = None;
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Encode a server→client frame, enforcing the outbound frame cap. A
+/// frame that exceeds the cap (or fails to encode — an over-wide group
+/// key, an overlong message) degrades to a typed [`ErrorCode::FrameTooLarge`]
+/// refusal for the same request id instead of wedging the client, whose
+/// `FrameBuffer` would reject the oversized length prefix and lose
+/// framing permanently. The refusal itself is a small constant-size frame
+/// (well under any sane cap, and under every client's own limit).
+fn encode_outbound(frame: &Frame, max_frame: u32) -> Vec<u8> {
+    match encode_frame(frame) {
+        Ok(wire) if wire.len() - 4 <= max_frame as usize => wire,
+        _ => {
+            let request_id = match frame {
+                Frame::Request(f) => f.request_id,
+                Frame::Response(f) => f.request_id,
+                Frame::Error(f) => f.request_id,
+            };
+            let refusal = Frame::Error(ErrorFrame {
+                request_id,
+                code: ErrorCode::FrameTooLarge,
+                message: "answer exceeds the response frame cap; \
+                          narrow the query or raise max_frame"
+                    .into(),
+            });
+            encode_frame(&refusal).expect("static error frames always encode")
+        }
+    }
+}
+
+/// One accepted connection's state.
+struct Conn {
+    stream: TcpStream,
+    /// Inbound bytes awaiting frame completion.
+    inbound: FrameBuffer,
+    /// Outbound bytes not yet accepted by the socket.
+    outbound: Vec<u8>,
+    /// How much of `outbound` has been written.
+    flushed: usize,
+    /// This connection's submission handle (quota = admission control).
+    tenant: Tenant,
+    /// Accepted requests awaiting completion, by request id.
+    in_flight: HashMap<u64, Ticket>,
+    /// Close once the write buffer drains (set after a framing error).
+    close_after_flush: bool,
+    /// Torn down at the end of the current iteration.
+    dead: bool,
+}
+
+impl Conn {
+    /// Queue a frame for delivery, degrading over-cap frames to typed
+    /// refusals (see [`encode_outbound`]).
+    fn send(&mut self, frame: &Frame, max_frame: u32) {
+        self.outbound
+            .extend_from_slice(&encode_outbound(frame, max_frame));
+    }
+
+    /// Write as much buffered output as the socket accepts.
+    fn flush(&mut self) {
+        while self.flushed < self.outbound.len() {
+            match self.stream.write(&self.outbound[self.flushed..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => self.flushed += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        if self.flushed == self.outbound.len() {
+            self.outbound.clear();
+            self.flushed = 0;
+            if self.close_after_flush {
+                self.dead = true;
+            }
+        }
+    }
+
+    /// True while the poll loop should watch for writability.
+    fn wants_write(&self) -> bool {
+        self.flushed < self.outbound.len()
+    }
+}
+
+/// The server's poll-dispatch-respond loop.
+struct EventLoop {
+    router: Arc<Router>,
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    config: ServerConfig,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+}
+
+impl EventLoop {
+    fn new(
+        router: Arc<Router>,
+        listener: TcpListener,
+        shared: Arc<Shared>,
+        config: ServerConfig,
+    ) -> EventLoop {
+        EventLoop {
+            router,
+            listener,
+            shared,
+            config,
+            conns: HashMap::new(),
+            next_token: 0,
+        }
+    }
+
+    fn run(mut self) {
+        while !self.shared.shutdown.load(Ordering::SeqCst) {
+            // Entry layout per iteration: [waker, listener?, conns...].
+            let mut entries = Vec::with_capacity(2 + self.conns.len());
+            entries.push(PollEntry::new(self.shared.waker.fd(), Interest::READ));
+            let accepting = self.conns.len() < self.config.max_connections;
+            if accepting {
+                entries.push(PollEntry::new(self.listener.as_raw_fd(), Interest::READ));
+            }
+            let mut tokens = Vec::with_capacity(self.conns.len());
+            for (&token, conn) in &self.conns {
+                let interest = if conn.wants_write() {
+                    Interest::READ_WRITE
+                } else {
+                    Interest::READ
+                };
+                entries.push(PollEntry::new(conn.stream.as_raw_fd(), interest));
+                tokens.push(token);
+            }
+
+            // Block until traffic, a completed ticket's wake, or shutdown.
+            if poll_fds(&mut entries, None).is_err() {
+                // EINTR is retried inside poll_fds; anything else here is
+                // unrecoverable for the loop.
+                break;
+            }
+
+            let mut it = entries.iter();
+            let waker_entry = it.next().expect("waker entry");
+            if waker_entry.is_readable() {
+                self.shared.waker.drain();
+                if self.shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            if accepting && it.next().expect("listener entry").is_readable() {
+                self.accept_ready();
+            }
+            for (entry, token) in it.zip(tokens) {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    continue;
+                };
+                if entry.is_readable() {
+                    Self::read_ready(conn, token, &self.shared, self.config.max_frame);
+                }
+                if entry.is_writable() || entry.is_error() {
+                    conn.flush();
+                }
+            }
+
+            // Deliver every completed ticket, then flush what fit.
+            self.deliver_completions();
+            self.conns.retain(|_, conn| {
+                if conn.dead {
+                    self.shared
+                        .counters
+                        .open_connections
+                        .fetch_sub(1, Ordering::Relaxed);
+                }
+                !conn.dead
+            });
+        }
+        // Shutdown: dropping connections drops their tickets; in-flight
+        // executions finish in the router with nobody to deliver to.
+        self.conns.clear();
+    }
+
+    /// Accept every connection the backlog holds right now.
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let tenant = self
+                        .router
+                        .tenant(format!("net-conn-{token}"), self.config.per_conn_quota);
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            inbound: FrameBuffer::new(self.config.max_frame),
+                            outbound: Vec::new(),
+                            flushed: 0,
+                            tenant,
+                            in_flight: HashMap::new(),
+                            close_after_flush: false,
+                            dead: false,
+                        },
+                    );
+                    self.shared
+                        .counters
+                        .open_connections
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.shared
+                        .counters
+                        .accepted
+                        .fetch_add(1, Ordering::Relaxed);
+                    if self.conns.len() >= self.config.max_connections {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Drain a readable socket and dispatch every complete frame.
+    fn read_ready(conn: &mut Conn, token: u64, shared: &Arc<Shared>, max_frame: u32) {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Peer closed — possibly mid-request. Tear the state
+                    // down; outstanding tickets drop harmlessly.
+                    conn.dead = true;
+                    return;
+                }
+                Ok(n) => conn.inbound.push(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    return;
+                }
+            }
+        }
+        loop {
+            match conn.inbound.next_frame() {
+                Ok(Some(Frame::Request(req))) => Self::submit(conn, token, shared, max_frame, req),
+                Ok(Some(_)) => {
+                    // Clients must not send server-kind frames.
+                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    conn.send(
+                        &Frame::Error(ErrorFrame {
+                            request_id: 0,
+                            code: ErrorCode::Malformed,
+                            message: "clients send request frames only".into(),
+                        }),
+                        max_frame,
+                    );
+                }
+                Ok(None) => break,
+                Err(err) => {
+                    // Framing is unrecoverable: answer with a typed error
+                    // and close once it has flushed.
+                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    let code = match &err {
+                        ProtoError::BadVersion(_) => ErrorCode::UnsupportedVersion,
+                        ProtoError::FrameTooLarge { .. } => ErrorCode::FrameTooLarge,
+                        _ => ErrorCode::Malformed,
+                    };
+                    conn.send(
+                        &Frame::Error(ErrorFrame {
+                            request_id: 0,
+                            code,
+                            message: err.to_string(),
+                        }),
+                        max_frame,
+                    );
+                    conn.close_after_flush = true;
+                    break;
+                }
+            }
+        }
+        conn.flush();
+    }
+
+    /// Submit one decoded request through the connection's tenant.
+    fn submit(
+        conn: &mut Conn,
+        token: u64,
+        shared: &Arc<Shared>,
+        max_frame: u32,
+        req: RequestFrame,
+    ) {
+        let request_id = req.request_id;
+        if conn.in_flight.contains_key(&request_id) {
+            // Correlation ids must be unique per connection while in
+            // flight; silently replacing the ticket would cross answers.
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            conn.send(
+                &Frame::Error(ErrorFrame {
+                    request_id,
+                    code: ErrorCode::Malformed,
+                    message: "request id already in flight on this connection".into(),
+                }),
+                max_frame,
+            );
+            return;
+        }
+        match conn.tenant.try_submit(req.into_query_request()) {
+            Ok(ticket) => {
+                shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+                let hook_shared = Arc::clone(shared);
+                // The hook only records the completion and pokes the poll;
+                // the event loop delivers. Runs immediately if the request
+                // already finished (a cache hit executed by a fast pump).
+                ticket.on_ready(move || {
+                    hook_shared
+                        .completed
+                        .lock()
+                        .unwrap()
+                        .push((token, request_id));
+                    hook_shared.waker.wake();
+                });
+                conn.in_flight.insert(request_id, ticket);
+            }
+            Err(err) => {
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                let code = match &err {
+                    RouteError::UnknownTable(_) => ErrorCode::UnknownTable,
+                    RouteError::QueueFull(_) => ErrorCode::QueueFull,
+                    RouteError::QuotaExhausted(_) => ErrorCode::QuotaExhausted,
+                    RouteError::Closed(_) => ErrorCode::Shutdown,
+                };
+                let message = err.to_string();
+                conn.send(
+                    &Frame::Error(ErrorFrame {
+                        request_id,
+                        code,
+                        message,
+                    }),
+                    max_frame,
+                );
+            }
+        }
+    }
+
+    /// Move every completed ticket's outcome onto its connection's write
+    /// buffer — O(completions), driven by the `(token, request_id)` pairs
+    /// the `on_ready` hooks recorded, never by scanning in-flight tickets.
+    /// Requests complete in any order; the correlation id sorts it out
+    /// client-side. Completions for connections that died in the meantime
+    /// are skipped (their tickets dropped with the connection state).
+    fn deliver_completions(&mut self) {
+        let done = std::mem::take(&mut *self.shared.completed.lock().unwrap());
+        let max_frame = self.config.max_frame;
+        for (token, request_id) in done {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                continue;
+            };
+            let Some(ticket) = conn.in_flight.remove(&request_id) else {
+                continue;
+            };
+            // fulfill() stores the result before firing the hook, so a
+            // recorded completion always has one to take.
+            match ticket.poll_take() {
+                Some(Ok(outcome)) => {
+                    let frame = Frame::Response(ResponseFrame::from_outcome(request_id, &outcome));
+                    conn.send(&frame, max_frame);
+                }
+                Some(Err(payload)) => {
+                    self.shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    let mut message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_owned())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "request panicked".to_owned());
+                    // Panic payloads are arbitrary; keep the wire frame
+                    // small whatever they contain.
+                    if message.len() > 512 {
+                        let mut end = 512;
+                        while !message.is_char_boundary(end) {
+                            end -= 1;
+                        }
+                        message.truncate(end);
+                    }
+                    conn.send(
+                        &Frame::Error(ErrorFrame {
+                            request_id,
+                            code: ErrorCode::Internal,
+                            message,
+                        }),
+                        max_frame,
+                    );
+                }
+                None => continue,
+            }
+            conn.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{decode_body, ResponseFrame, WireRow};
+
+    #[test]
+    fn over_cap_responses_degrade_to_a_typed_refusal() {
+        // A response bigger than the outbound cap must become a decodable
+        // FrameTooLarge error for the same request id — never an oversized
+        // frame the client's FrameBuffer would choke on.
+        let big = Frame::Response(ResponseFrame {
+            request_id: 42,
+            rows: (0..64)
+                .map(|i| WireRow {
+                    key: vec![i],
+                    values: vec![i as f64],
+                })
+                .collect(),
+            partitions_read: 1,
+            picker_ms: 0.0,
+        });
+        let wire = encode_outbound(&big, 64);
+        let body_len = u32::from_le_bytes(wire[..4].try_into().unwrap());
+        assert!(
+            body_len < 128,
+            "the refusal is a small constant-size frame any client accepts \
+             (got {body_len} bytes)"
+        );
+        match decode_body(&wire[4..]).expect("refusal decodes") {
+            Frame::Error(e) => {
+                assert_eq!(e.code, ErrorCode::FrameTooLarge);
+                assert_eq!(e.request_id, 42, "refusal keeps the correlation id");
+            }
+            other => panic!("expected error frame, got {other:?}"),
+        }
+
+        // Under the cap, the response passes through unchanged.
+        let small = Frame::Response(ResponseFrame {
+            request_id: 7,
+            rows: vec![],
+            partitions_read: 0,
+            picker_ms: 0.0,
+        });
+        let wire = encode_outbound(&small, DEFAULT_MAX_FRAME);
+        assert_eq!(decode_body(&wire[4..]).expect("decodes"), small);
+    }
+}

@@ -20,20 +20,34 @@
 //!   run queued tasks while their own scope drains — so nested fan-outs
 //!   cannot deadlock the pool.
 //!
-//! The serving front end adds two admission-control primitives on top:
-//! [`RequestQueue`], a bounded MPMC queue whose `submit`/`try_submit` give
-//! producers capacity-based backpressure and whose `close` drains accepted
-//! work before reporting empty, and [`Semaphore`], whose owned [`Permit`]s
-//! cap each tenant's in-flight requests. Both are thread-owning-free:
+//! The serving front end adds admission-control and coalescing primitives
+//! on top: [`RequestQueue`], a bounded MPMC queue whose `submit`/
+//! `try_submit` give producers capacity-based backpressure and whose
+//! `close` drains accepted work before reporting empty; [`Semaphore`],
+//! whose owned [`Permit`]s cap each tenant's in-flight requests; and
+//! [`SingleFlight`], which collapses concurrent identical computations
+//! into one leader run that every racer shares. All are thread-owning-free:
 //! consumers run wherever the caller points them (in practice, detached
 //! [`ThreadPool::spawn`] tasks).
+//!
+//! The network front door rests on the [`poll`] module (Unix only):
+//! [`poll::poll_fds`], a safe wrapper over the `poll(2)` readiness
+//! syscall, and [`poll::Waker`], a self-pipe that interrupts a blocking
+//! poll from another thread — the plumbing `ps3_net`'s event loop is built
+//! from, kept here so this crate remains the only one that touches the OS
+//! below `std`.
+
+#![warn(missing_docs)]
 
 pub mod lru;
+pub mod poll;
 pub mod pool;
 pub mod queue;
 pub mod sync;
 
 pub use lru::{CacheStats, LruCache, SharedLru};
+#[cfg(unix)]
+pub use poll::{poll_fds, Interest, PollEntry, Waker};
 pub use pool::{fan_out, ThreadPool};
 pub use queue::{RequestQueue, SubmitError};
-pub use sync::{Permit, Semaphore};
+pub use sync::{Flight, Permit, Semaphore, SingleFlight};

@@ -58,6 +58,12 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.map.insert(key, (self.tick, value));
     }
 
+    /// Keep only the entries whose key satisfies `keep`; drop the rest.
+    /// Recency stamps of survivors are untouched.
+    pub fn retain(&mut self, mut keep: impl FnMut(&K) -> bool) {
+        self.map.retain(|k, _| keep(k));
+    }
+
     /// Number of live entries.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -74,8 +80,10 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     }
 }
 
-/// Cache effectiveness counters. `misses` equals the number of times the
-/// compute closure of [`SharedLru::get_or_insert_with`] actually ran.
+/// Cache effectiveness counters. `misses` counts lookups that found
+/// nothing — through [`SharedLru::get_or_insert_with`] that equals the
+/// number of compute-closure runs; through [`SharedLru::get`] it is the
+/// plain not-found count.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups served from the cache.
@@ -108,6 +116,46 @@ impl<K: Eq + Hash + Clone, V: Clone> SharedLru<K, V> {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
+    }
+
+    /// Counted lookup: the cached value for `key` (a hit, recency
+    /// refreshed) or `None` (a miss). The split `get`/[`Self::insert`] pair
+    /// exists for callers that put their own coalescing between the miss
+    /// and the compute (the serving front end's single-flight path);
+    /// everyone else should prefer [`Self::get_or_insert_with`].
+    pub fn get(&self, key: &K) -> Option<V> {
+        match self.inner.lock().unwrap().get(key).cloned() {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Uncounted lookup: like [`Self::get`] but touching neither counter.
+    /// For re-checks on paths that already counted the lookup once.
+    pub fn peek(&self, key: &K) -> Option<V> {
+        self.inner.lock().unwrap().get(key).cloned()
+    }
+
+    /// Insert (or refresh) `key`, evicting the least-recently-used entry if
+    /// the cache is full. Counts nothing.
+    pub fn insert(&self, key: K, value: V) {
+        self.inner.lock().unwrap().insert(key, value);
+    }
+
+    /// Drop every entry whose key fails `keep` (targeted invalidation —
+    /// the router uses this to evict one table's answers on retrain).
+    /// Returns how many entries were removed.
+    pub fn retain(&self, keep: impl FnMut(&K) -> bool) -> usize {
+        let mut cache = self.inner.lock().unwrap();
+        let before = cache.len();
+        cache.retain(keep);
+        before - cache.len()
     }
 
     /// Return the cached value for `key`, or compute, cache and return it.
@@ -244,6 +292,32 @@ mod tests {
         assert_eq!(stats.hits + stats.misses, 256);
         assert!(stats.misses >= 1);
         assert_eq!(stats.len, 1);
+    }
+
+    #[test]
+    fn split_get_insert_counts_and_peek_does_not() {
+        let cache: SharedLru<u32, u32> = SharedLru::new(8);
+        assert_eq!(cache.get(&1), None, "first lookup misses");
+        cache.insert(1, 11);
+        assert_eq!(cache.get(&1), Some(11));
+        assert_eq!(cache.peek(&1), Some(11));
+        assert_eq!(cache.peek(&2), None);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "one counted miss");
+        assert_eq!(stats.hits, 1, "one counted hit; peeks count nothing");
+    }
+
+    #[test]
+    fn retain_drops_only_matching_keys() {
+        let cache: SharedLru<u32, u32> = SharedLru::new(16);
+        for k in 0..10 {
+            cache.insert(k, k * 2);
+        }
+        let removed = cache.retain(|k| k % 2 == 0);
+        assert_eq!(removed, 5, "five odd keys dropped");
+        assert_eq!(cache.stats().len, 5);
+        assert_eq!(cache.peek(&4), Some(8), "survivors intact");
+        assert_eq!(cache.peek(&5), None, "evicted keys gone");
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! The full network serving stack on one machine: a trained table behind
+//! a [`Router`], a TCP front door (`ps3_net`) on a loopback port, and a
+//! handful of concurrent clients speaking the wire protocol — including
+//! one that stampedes a cold key to show single-flight coalescing, and a
+//! retrain that invalidates exactly one table's cached answers.
+//!
+//! Runs headlessly (port 0, no arguments) — CI executes it on every build:
+//!
+//! ```sh
+//! cargo run --release --example network_serving
+//! ```
+
+use std::sync::Arc;
+use std::thread;
+
+use ps3::core::{query_rng, Method, Ps3Config, QueryRequest, Router};
+use ps3::data::{DatasetConfig, DatasetKind, ScaleProfile};
+use ps3::net::{NetClient, NetServer};
+
+fn main() -> std::io::Result<()> {
+    println!("training the table (the once-per-deployment cost)...");
+    let ds = Arc::new(DatasetConfig::new(DatasetKind::Aria, ScaleProfile::Tiny).build(71));
+    let system = Arc::new(ds.train_system(Ps3Config::default().with_seed(71)));
+
+    let router = Router::builder()
+        .table("telemetry", Arc::clone(&system))
+        .queue_capacity(128)
+        .build();
+    let server = NetServer::bind(Arc::clone(&router), "127.0.0.1:0")?;
+    let addr = server.addr();
+    println!("serving on {addr}");
+
+    // --- 4 concurrent dashboard clients, each asking 3 queries. Every
+    // answer must be bit-identical to direct in-process execution.
+    let clients: Vec<_> = (0..4)
+        .map(|c| {
+            let ds = Arc::clone(&ds);
+            let system = Arc::clone(&system);
+            let router = Arc::clone(&router);
+            thread::spawn(move || {
+                let mut client = NetClient::connect(addr).expect("connect");
+                for i in 0..3 {
+                    let query = ds.sample_test_query(i);
+                    let req = QueryRequest::ps3(query.clone(), 0.2, i as u64).on_table("telemetry");
+                    let remote = client.request(&req).expect("served");
+                    let mut rng = query_rng(&query, req.seed);
+                    let direct =
+                        system.answer_on(&query, Method::Ps3, req.frac, &mut rng, router.pool());
+                    assert_eq!(
+                        remote.answer, direct.answer,
+                        "wire answers must be bit-identical to direct execution"
+                    );
+                }
+                c
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    let stats = router.stats();
+    println!(
+        "4 clients x 3 queries: {} executions ({} cache hits, {} coalesced) — \
+         identical requests executed once, verified bit-identical to in-process",
+        stats.executions, stats.answers.hits, stats.coalesced
+    );
+
+    // --- Cold-key stampede: 6 clients fire the same never-seen request at
+    // once; the router executes it exactly once.
+    let before = router.stats().executions;
+    let stampede = QueryRequest::ps3(ds.sample_test_query(9), 0.25, 999).on_table("telemetry");
+    let racers: Vec<_> = (0..6)
+        .map(|_| {
+            let req = stampede.clone();
+            thread::spawn(move || {
+                NetClient::connect(addr)
+                    .expect("connect")
+                    .request(&req)
+                    .expect("served")
+                    .answer
+                    .num_groups()
+            })
+        })
+        .collect();
+    for r in racers {
+        r.join().expect("racer");
+    }
+    println!(
+        "stampede: 6 clients, {} execution(s) — single-flight coalescing",
+        router.stats().executions - before
+    );
+    assert_eq!(router.stats().executions - before, 1);
+
+    // --- Retrain in place: swap the table's system; its cached answers
+    // are invalidated (and only its own — here, all of them).
+    let cached_before = router.stats().answers.len;
+    let table = router.table_id("telemetry").expect("registered");
+    router.retrain(table, |_old| {
+        Arc::new(ds.train_system(Ps3Config::default().with_seed(72)))
+    });
+    println!(
+        "retrain: answer cache {} -> {} entries (telemetry invalidated)",
+        cached_before,
+        router.stats().answers.len
+    );
+    let mut client = NetClient::connect(addr)?;
+    let req = QueryRequest::ps3(ds.sample_test_query(0), 0.2, 0).on_table("telemetry");
+    client.request(&req).expect("served post-retrain");
+    println!("post-retrain request served from the new system");
+
+    let sstats = server.stats();
+    println!(
+        "server totals: {} connections accepted, {} requests, {} errors",
+        sstats.accepted, sstats.requests, sstats.errors
+    );
+    drop(server);
+    router.shutdown();
+    println!("front door closed, router drained; bye");
+    Ok(())
+}

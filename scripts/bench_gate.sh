@@ -13,6 +13,23 @@
 #                 under MIN_NS (default 10000 = 10µs) are reported but not
 #                 gated: the vendored criterion does no statistical
 #                 analysis, so sub-10µs numbers are noise-dominated.
+#
+# Environment knobs (the complete list — README's CI section points here):
+#
+#   PS3_BENCH_TSV    (read by the *benches*, not this script) absolute path
+#                    the vendored criterion appends "name<TAB>ns" lines to;
+#                    the CI step points it at ci-timings/bench-raw.tsv and
+#                    then hands that file to this script as <raw_tsv>.
+#   PS3_BENCH_ITERS  (read by the benches) timed iterations per bench
+#                    (default 10); CI uses 5 to keep wall-clock down — the
+#                    2x MAX_RATIO margin absorbs the extra noise.
+#   MAX_RATIO        regression threshold vs. the baseline (default 2.0).
+#   MIN_NS           baselines below this are report-only (default 10000).
+#   SCALE_TOLERANCE  multi-core scaling check slack: serve/multi_thread may
+#                    be up to this factor slower than serve/single_thread
+#                    on a 4+-core runner before failing (default 1.0).
+#   CORES_OVERRIDE   pretend the runner has this many cores (makes the
+#                    scaling branch testable on any box; normally unset).
 set -euo pipefail
 
 raw="$1"
@@ -41,6 +58,8 @@ serve_sweep/six_budget_sweep_cached
 router/answer_cold
 router/answer_cached
 router_fanin/fanin_8_tenants
+net/roundtrip_cold
+net/roundtrip_cached
 "
 
 if [ ! -s "$raw" ]; then

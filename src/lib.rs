@@ -17,8 +17,12 @@
 //!    system in an `Arc` and serve it from as many threads as you like
 //!    (see [`core::serve::ServeHandle`], or [`core::router::Router`] for
 //!    the multi-tenant, multi-table front end with request-queue
-//!    backpressure and answer caching); per-request seeds make every
-//!    answer reproducible.
+//!    backpressure, answer caching, single-flight coalescing and
+//!    retrain-in-place); per-request seeds make every answer reproducible.
+//! 5. Serve it over the network ([`net`]): a versioned binary wire
+//!    protocol (`docs/PROTOCOL.md`) in front of an event-loop TCP server
+//!    feeding the router — wire answers are bit-identical to in-process
+//!    calls for the same `(table, query, method, budget, seed)`.
 //!
 //! ```no_run
 //! use ps3::data::{DatasetConfig, DatasetKind, ScaleProfile};
@@ -38,6 +42,7 @@ pub use ps3_cluster as cluster;
 pub use ps3_core as core;
 pub use ps3_data as data;
 pub use ps3_learn as learn;
+pub use ps3_net as net;
 pub use ps3_query as query;
 pub use ps3_runtime as runtime;
 pub use ps3_sketch as sketch;

@@ -1,0 +1,351 @@
+//! End-to-end acceptance tests for the network front door
+//! (client → wire protocol → event loop → tenant → router → systems):
+//!
+//! (a) 8 concurrent TCP clients get answers **bit-identical** to direct
+//!     `Ps3System::answer_on` calls for the same
+//!     `(table, query, method, budget, seed)`;
+//! (b) a cold-key stampede from 8 clients records exactly **one**
+//!     execution (answer cache + single-flight coalescing);
+//! (c) a client that disconnects mid-request leaves the server and the
+//!     router pumps fully serviceable;
+//! (d) protocol failures surface as typed error frames with the
+//!     documented open/closed connection behavior, and the router's
+//!     admission control (quota) is visible on the wire.
+
+#![cfg(unix)]
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use ps3::core::{query_rng, Method, Ps3Config, Ps3System, QueryRequest, Router};
+use ps3::data::{Dataset, DatasetConfig, DatasetKind, ScaleProfile};
+use ps3::net::proto::{ErrorCode, Frame, FrameBuffer, DEFAULT_MAX_FRAME};
+use ps3::net::{ClientError, NetClient, NetServer, ServerConfig};
+use ps3::query::QueryAnswer;
+
+fn trained(kind: DatasetKind, seed: u64) -> (Dataset, Arc<Ps3System>) {
+    let ds = DatasetConfig::new(kind, ScaleProfile::Tiny).build(seed);
+    let mut cfg = Ps3Config::default().with_seed(seed);
+    cfg.gbdt.n_trees = 6;
+    cfg.feature_selection = false;
+    let system = Arc::new(ds.train_system(cfg));
+    (ds, system)
+}
+
+/// Canonical bit-exact view of an answer: sorted key words → value bits.
+fn answer_bits(answer: &QueryAnswer) -> BTreeMap<Vec<u64>, Vec<u64>> {
+    answer
+        .groups
+        .iter()
+        .map(|(k, vs)| (k.0.to_vec(), vs.iter().map(|v| v.to_bits()).collect()))
+        .collect()
+}
+
+/// (a) Eight concurrent clients, each firing every request twice, all
+/// bit-identical to direct cache-free execution.
+#[test]
+fn eight_concurrent_tcp_clients_match_direct_execution() {
+    let (ds, system) = trained(DatasetKind::Aria, 51);
+    let router = Router::builder()
+        .table("aria", Arc::clone(&system))
+        .queue_capacity(128)
+        .build();
+    let server = NetServer::bind(Arc::clone(&router), "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+
+    let reqs: Arc<Vec<QueryRequest>> = Arc::new(
+        (0..4)
+            .map(|i| {
+                QueryRequest::new(ds.sample_test_query(i), Method::Ps3, 0.2, 42).on_table("aria")
+            })
+            .collect(),
+    );
+    // Ground truth: direct execution on the system — no router, no caches,
+    // no wire — with the same derived RNG.
+    let direct: Arc<Vec<(QueryAnswer, usize)>> = Arc::new(
+        reqs.iter()
+            .map(|r| {
+                let mut rng = query_rng(&r.query, r.seed);
+                let out = system.answer_on(&r.query, r.method, r.frac, &mut rng, router.pool());
+                (out.answer, out.selection.len())
+            })
+            .collect(),
+    );
+
+    let clients: Vec<_> = (0..8)
+        .map(|t| {
+            let reqs = Arc::clone(&reqs);
+            let direct = Arc::clone(&direct);
+            thread::spawn(move || {
+                let mut client = NetClient::connect(addr).expect("connect");
+                for round in 0..2 {
+                    for (i, req) in reqs.iter().enumerate() {
+                        let remote = client.request(req).expect("served");
+                        assert_eq!(
+                            answer_bits(&remote.answer),
+                            answer_bits(&direct[i].0),
+                            "client {t} round {round}: request {i} diverged \
+                             from direct answer_on, bit for bit"
+                        );
+                        assert_eq!(
+                            remote.partitions_read as usize, direct[i].1,
+                            "the served selection size matches direct execution"
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread panicked");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.accepted, 8);
+    assert_eq!(stats.requests, 64, "8 clients × 4 requests × 2 rounds");
+    assert_eq!(stats.errors, 0);
+    drop(server);
+    router.shutdown();
+}
+
+/// (b) Eight clients stampede one never-seen key; the router executes it
+/// exactly once however the arrivals interleave (single-flight coalesces
+/// racers, the answer cache serves stragglers).
+#[test]
+fn cold_key_stampede_from_eight_clients_executes_once() {
+    let (ds, system) = trained(DatasetKind::Aria, 52);
+    let router = Router::builder()
+        .table("aria", Arc::clone(&system))
+        .queue_capacity(64)
+        .build();
+    let server = NetServer::bind(Arc::clone(&router), "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+
+    let req = QueryRequest::new(ds.sample_test_query(1), Method::Ps3, 0.2, 909).on_table("aria");
+    let before = router.stats().executions;
+    let barrier = Arc::new(Barrier::new(8));
+    let clients: Vec<_> = (0..8)
+        .map(|_| {
+            let req = req.clone();
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let mut client = NetClient::connect(addr).expect("connect");
+                barrier.wait();
+                client.request(&req).expect("served").answer
+            })
+        })
+        .collect();
+    let answers: Vec<QueryAnswer> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    assert_eq!(
+        router.stats().executions - before,
+        1,
+        "a cold-key stampede must execute exactly once (coalesced {})",
+        router.stats().coalesced
+    );
+    for a in &answers[1..] {
+        assert_eq!(answer_bits(a), answer_bits(&answers[0]));
+    }
+    drop(server);
+    router.shutdown();
+}
+
+/// (c) Disconnects — clean, mid-frame, and mid-request — never wedge the
+/// event loop or the router pumps.
+#[test]
+fn client_disconnects_do_not_wedge_the_server() {
+    let (ds, system) = trained(DatasetKind::Aria, 53);
+    let router = Router::builder().table("aria", system).build();
+    let server = NetServer::bind(Arc::clone(&router), "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+    // Query 3 groups by a categorical column: the answer provably has rows.
+    let req = QueryRequest::new(ds.sample_test_query(3), Method::Ps3, 0.2, 7).on_table("aria");
+
+    // Disconnect with a request in flight: send, then hang up without
+    // reading the response.
+    {
+        let mut quitter = NetClient::connect(addr).expect("connect");
+        quitter.send(&req).expect("send");
+    }
+    // Disconnect mid-frame: write half a frame's length prefix and bail.
+    {
+        let mut half = TcpStream::connect(addr).expect("connect");
+        half.write_all(&[0x40, 0x00]).expect("partial prefix");
+    }
+    // Disconnect immediately after connecting.
+    drop(TcpStream::connect(addr).expect("connect"));
+
+    // The server must still answer a well-behaved client promptly —
+    // including the very key the quitter abandoned (its execution finished
+    // in the router and warmed the cache for everyone).
+    let mut survivor = NetClient::connect(addr).expect("connect");
+    let remote = survivor.request(&req).expect("served after disconnects");
+    assert!(remote.answer.num_groups() > 0);
+    assert_eq!(
+        router.stats().executions,
+        1,
+        "one key was ever requested; whether the quitter's copy was \
+         admitted or discarded, it executed at most once"
+    );
+    // Dead connections are reaped (give the event loop a moment to notice).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.stats().open_connections > 1 {
+        assert!(Instant::now() < deadline, "disconnected conns never reaped");
+        thread::sleep(Duration::from_millis(10));
+    }
+    drop(server);
+    router.shutdown();
+}
+
+/// (d-1) Router refusals are typed, leave the connection open, and the
+/// tenant quota is visible on the wire.
+#[test]
+fn typed_errors_and_wire_visible_admission_control() {
+    let (ds, system) = trained(DatasetKind::Aria, 54);
+    // No pumps: accepted work sits queued until the test drains it, which
+    // makes the quota arithmetic deterministic.
+    let router = Router::builder()
+        .table("aria", system)
+        .pump_workers(0)
+        .queue_capacity(16)
+        .build();
+    let server = NetServer::bind_with(
+        Arc::clone(&router),
+        "127.0.0.1:0",
+        ServerConfig {
+            per_conn_quota: Some(1),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let mut client = NetClient::connect(server.addr()).expect("connect");
+    let good = |seed: u64| {
+        QueryRequest::new(ds.sample_test_query(0), Method::Ps3, 0.2, seed).on_table("aria")
+    };
+
+    // Unknown table: typed refusal, connection stays open.
+    let err = client
+        .request(&good(1).on_table("nope"))
+        .expect_err("unknown table");
+    match err {
+        ClientError::Server(e) => assert_eq!(e.code, ErrorCode::UnknownTable),
+        other => panic!("expected server refusal, got {other}"),
+    }
+
+    // Pipelined pair against a quota of 1: the first is accepted (and sits
+    // in the pumpless queue), the second is refused on the wire.
+    let id1 = client.send(&good(2)).expect("send 1");
+    let id2 = client.send(&good(3)).expect("send 2");
+    let refusal = client.recv_for(id2).expect("reply 2");
+    match refusal {
+        ps3::net::ServerReply::Error(e) => assert_eq!(e.code, ErrorCode::QuotaExhausted),
+        other => panic!("expected QuotaExhausted, got {other:?}"),
+    }
+    // Draining the queue completes the accepted request.
+    let drainer = {
+        let router = Arc::clone(&router);
+        thread::spawn(move || {
+            while router.drain_queued(usize::MAX) == 0 {
+                thread::sleep(Duration::from_millis(5));
+            }
+        })
+    };
+    let reply = client.recv_for(id1).expect("reply 1");
+    match reply {
+        ps3::net::ServerReply::Answer(a) => assert_eq!(a.request_id, id1),
+        other => panic!("expected answer, got {other:?}"),
+    }
+    drainer.join().unwrap();
+    drop(server);
+    router.shutdown();
+}
+
+/// (d-2) Framing failures answer with the documented code and close the
+/// connection.
+#[test]
+fn framing_failures_send_typed_errors_and_close() {
+    let (ds, system) = trained(DatasetKind::Aria, 55);
+    let router = Router::builder().table("aria", system).build();
+    let server = NetServer::bind(Arc::clone(&router), "127.0.0.1:0").expect("bind");
+    let addr = server.addr();
+
+    // Reads one error frame then expects EOF.
+    let expect_error_then_close = |mut stream: TcpStream, want: ErrorCode| {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut buf = FrameBuffer::new(DEFAULT_MAX_FRAME);
+        let mut chunk = [0u8; 4096];
+        let frame = loop {
+            if let Some(frame) = buf.next_frame().expect("server frames decode") {
+                break frame;
+            }
+            let n = stream.read(&mut chunk).expect("read");
+            assert!(n > 0, "connection closed before the error frame arrived");
+            buf.push(&chunk[..n]);
+        };
+        match frame {
+            Frame::Error(e) => assert_eq!(e.code, want),
+            other => panic!("expected error frame, got {other:?}"),
+        }
+        // And then EOF.
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(_) => continue, // drain any straggling bytes
+                Err(e) => panic!("expected clean close, got {e}"),
+            }
+        }
+    };
+
+    // A frame whose version byte is wrong.
+    {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let body = [9u8, 1, 0, 0, 0, 0, 0, 0, 0, 0]; // version 9
+        s.write_all(&(body.len() as u32).to_le_bytes()).unwrap();
+        s.write_all(&body).unwrap();
+        expect_error_then_close(s, ErrorCode::UnsupportedVersion);
+    }
+    // A length prefix exceeding the server's cap.
+    {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        expect_error_then_close(s, ErrorCode::FrameTooLarge);
+    }
+    // A well-versed frame with a garbage kind.
+    {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let body = [1u8, 77, 0, 0, 0, 0, 0, 0, 0, 0]; // kind 77
+        s.write_all(&(body.len() as u32).to_le_bytes()).unwrap();
+        s.write_all(&body).unwrap();
+        expect_error_then_close(s, ErrorCode::Malformed);
+    }
+
+    // After all that abuse, a well-behaved client is still served.
+    let mut client = NetClient::connect(addr).expect("connect");
+    let req = QueryRequest::new(ds.sample_test_query(3), Method::Ps3, 0.2, 1).on_table("aria");
+    client.request(&req).expect("served");
+    assert_eq!(router.stats().executions, 1, "the request really executed");
+    drop(server);
+    router.shutdown();
+}
+
+/// Router-local table ids refuse to encode client-side (they are
+/// meaningless across a wire), completing the `TableRoute` coverage.
+#[test]
+fn router_local_ids_refuse_to_encode() {
+    let (ds, system) = trained(DatasetKind::Aria, 56);
+    let router = Router::builder().table("aria", system).build();
+    let server = NetServer::bind(Arc::clone(&router), "127.0.0.1:0").expect("bind");
+    let id = router.table_id("aria").expect("registered");
+    let mut client = NetClient::connect(server.addr()).expect("connect");
+    let req = QueryRequest::new(ds.sample_test_query(0), Method::Ps3, 0.2, 1).on_table(id);
+    match client.send(&req) {
+        Err(ClientError::Proto(_)) => {}
+        other => panic!("id routes must refuse to encode, got {other:?}"),
+    }
+    drop(server);
+    router.shutdown();
+}
