@@ -1,0 +1,366 @@
+//! Per-answer sampling-error estimation for weighted partition combinations.
+//!
+//! PS3 answers are Horvitz–Thompson-style weighted combinations over a
+//! *selection* of partitions (§2.4): `Ã = Σ_j w_j · A_{p_j}`. This module
+//! attaches an honest uncertainty statement to every such answer without
+//! retaining whole per-partition results: it needs only each selected
+//! partition's per-slot totals (sum over groups — see
+//! [`ps3_query::PartialAnswer::slot_totals`]).
+//!
+//! ## The model
+//!
+//! Treat the `m` selected partitions as draws of the table total. For slot
+//! `s`, partition `j` contributes `t_j`; scaled to a per-draw estimate of
+//! the total, `z_j = m · w_j · t_j`, the combined estimate is the mean
+//! `T̂ = z̄` and its variance is estimated by
+//!
+//! ```text
+//! Var̂(T̂) = (s²_z / m) · (1 − m/N)        (finite-population correction)
+//! ```
+//!
+//! with `s²_z` the sample variance of the `z_j` and `N` the table's
+//! partition count. A 95% confidence half-width is `1.96 · √Var̂`, and the
+//! relative error is the half-width over `|T̂|`.
+//!
+//! `AVG` is a ratio of two slot estimates `R = S/C`; the delta method gives
+//!
+//! ```text
+//! Var(R) ≈ (Var(S) + R²·Var(C) − 2·R·Cov(S, C)) / C²
+//! ```
+//!
+//! with the covariance estimated from the same scaled draws (same FPC).
+//!
+//! ## Honesty at the edges
+//!
+//! The estimator never invents confidence it does not have:
+//!
+//! - fewer than two selected partitions → **NaN** (one draw has no spread);
+//! - a zero estimate → relative error **NaN**, whatever the half-width:
+//!   with spread, dividing by zero would claim infinite error; without
+//!   spread, every selected partition contributed nothing (a rare
+//!   predicate the sample missed entirely) and "0 ± 0" would claim a
+//!   perfect answer the sample cannot actually vouch for;
+//! - an AVG whose combined count is zero → **NaN**.
+//!
+//! NaN is the estimator's "no signal" marker throughout; the planner treats
+//! it as *failure to meet any target*, never as success. Exact answers
+//! (full-table reads) use [`ErrorEstimate::exact_for`]: all-zero error.
+//!
+//! Equality on these types is **bit-equality** (NaN == NaN, -0.0 ≠ 0.0),
+//! matching the engine's answer-comparison convention — estimates travel on
+//! the wire and must round-trip exactly.
+
+use ps3_query::AggFunc;
+
+/// Uncertainty of one aggregate in one answer.
+#[derive(Debug, Clone, Copy)]
+pub struct AggError {
+    /// 95% confidence-interval half-width, in the aggregate's own units.
+    /// `0.0` for exact answers; NaN when the estimator has no signal.
+    pub ci_half_width: f64,
+    /// `ci_half_width / |estimate|`; NaN when undefined (zero estimate with
+    /// spread, or no signal).
+    pub rel_err: f64,
+}
+
+impl PartialEq for AggError {
+    fn eq(&self, other: &Self) -> bool {
+        self.ci_half_width.to_bits() == other.ci_half_width.to_bits()
+            && self.rel_err.to_bits() == other.rel_err.to_bits()
+    }
+}
+
+impl AggError {
+    /// An exact (zero-error) entry.
+    pub fn exact() -> Self {
+        Self {
+            ci_half_width: 0.0,
+            rel_err: 0.0,
+        }
+    }
+
+    /// A no-signal entry (both fields NaN).
+    pub fn no_signal() -> Self {
+        Self {
+            ci_half_width: f64::NAN,
+            rel_err: f64::NAN,
+        }
+    }
+}
+
+/// The full uncertainty statement attached to an answer: one [`AggError`]
+/// per aggregate plus a scalar summary.
+#[derive(Debug, Clone)]
+pub struct ErrorEstimate {
+    /// Per-aggregate errors, in the query's aggregate order.
+    pub per_agg: Vec<AggError>,
+    /// Scalar summary: the **maximum** finite per-aggregate relative error
+    /// (the answer is only as trustworthy as its worst aggregate). NaN when
+    /// no aggregate has a finite relative error.
+    pub rel_err: f64,
+}
+
+impl PartialEq for ErrorEstimate {
+    fn eq(&self, other: &Self) -> bool {
+        self.per_agg == other.per_agg && self.rel_err.to_bits() == other.rel_err.to_bits()
+    }
+}
+
+impl ErrorEstimate {
+    /// The estimate for an exact answer: zero error everywhere.
+    pub fn exact_for(n_aggs: usize) -> Self {
+        Self {
+            per_agg: vec![AggError::exact(); n_aggs],
+            rel_err: 0.0,
+        }
+    }
+
+    /// The estimate when the model has nothing to say: NaN everywhere.
+    pub fn no_signal(n_aggs: usize) -> Self {
+        Self {
+            per_agg: vec![AggError::no_signal(); n_aggs],
+            rel_err: f64::NAN,
+        }
+    }
+
+    /// True when every aggregate reports exactly zero error.
+    pub fn is_exact(&self) -> bool {
+        self.rel_err == 0.0
+            && self
+                .per_agg
+                .iter()
+                .all(|a| a.ci_half_width == 0.0 && a.rel_err == 0.0)
+    }
+
+    fn summarize(per_agg: Vec<AggError>) -> Self {
+        let rel_err = per_agg
+            .iter()
+            .map(|a| a.rel_err)
+            .filter(|r| r.is_finite())
+            .fold(f64::NAN, |acc, r| if acc.is_nan() { r } else { acc.max(r) });
+        Self { per_agg, rel_err }
+    }
+}
+
+/// z-score of the two-sided 95% confidence interval.
+const Z_95: f64 = 1.96;
+
+/// Sample mean of `xs` (caller guarantees `xs` non-empty).
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased sample covariance of paired draws (caller guarantees ≥ 2).
+fn sample_cov(xs: &[f64], ys: &[f64], mx: f64, my: f64) -> f64 {
+    let m = xs.len() as f64;
+    xs.iter()
+        .zip(ys)
+        .map(|(&x, &y)| (x - mx) * (y - my))
+        .sum::<f64>()
+        / (m - 1.0)
+}
+
+/// Estimate per-aggregate sampling error from per-partition slot totals.
+///
+/// * `funcs` — the query's aggregate functions, in order (determines the
+///   slot layout: `SUM`/`COUNT` take one slot, `AVG` two).
+/// * `totals` — per selected partition, the unweighted per-slot totals
+///   (selection order; see [`ps3_query::PartialAnswer::slot_totals`]).
+/// * `weights` — the selection's combination weights, aligned with `totals`.
+/// * `total_partitions` — `N`, the table's partition count (for the FPC).
+pub fn estimate_from_totals(
+    funcs: &[AggFunc],
+    totals: &[Vec<f64>],
+    weights: &[f64],
+    total_partitions: usize,
+) -> ErrorEstimate {
+    let m = totals.len();
+    debug_assert_eq!(m, weights.len(), "totals/weights misaligned");
+    if m < 2 {
+        return ErrorEstimate::no_signal(funcs.len());
+    }
+    let n = total_partitions.max(m) as f64;
+    let fpc = 1.0 - m as f64 / n;
+    let mf = m as f64;
+
+    // Scaled per-draw estimates of the table total, one vector per slot:
+    // z_j = m · w_j · t_j.
+    let slots = totals[0].len();
+    let z: Vec<Vec<f64>> = (0..slots)
+        .map(|s| {
+            totals
+                .iter()
+                .zip(weights)
+                .map(|(t, &w)| mf * w * t[s])
+                .collect()
+        })
+        .collect();
+    // Var̂ of the combined estimate for slot s, plus the estimate itself.
+    let est_of = |s: usize| mean(&z[s]);
+    let var_of = |s: usize| {
+        let mu = est_of(s);
+        sample_cov(&z[s], &z[s], mu, mu) / mf * fpc
+    };
+    let cov_of = |a: usize, b: usize| sample_cov(&z[a], &z[b], est_of(a), est_of(b)) / mf * fpc;
+
+    // A zero estimate carries no relative-error signal either way: with
+    // spread, the division would claim infinite error; without spread, the
+    // sample saw nothing at all (a rare predicate missing every selected
+    // partition) and "0 ± 0" would dishonestly claim a perfect answer the
+    // sample cannot distinguish from a wildly wrong one. Genuinely exact
+    // zero answers take the [`ErrorEstimate::exact_for`] path instead.
+    let rel = |est: f64, hw: f64| if est == 0.0 { f64::NAN } else { hw / est.abs() };
+
+    let mut per_agg = Vec::with_capacity(funcs.len());
+    let mut slot = 0;
+    for func in funcs {
+        match func {
+            AggFunc::Sum | AggFunc::Count => {
+                let est = est_of(slot);
+                let var = var_of(slot).max(0.0);
+                let hw = Z_95 * var.sqrt();
+                per_agg.push(AggError {
+                    ci_half_width: hw,
+                    rel_err: rel(est, hw),
+                });
+                slot += 1;
+            }
+            AggFunc::Avg => {
+                let (s, c) = (slot, slot + 1);
+                let (sum_est, cnt_est) = (est_of(s), est_of(c));
+                if cnt_est == 0.0 {
+                    per_agg.push(AggError::no_signal());
+                } else {
+                    let r = sum_est / cnt_est;
+                    let var = ((var_of(s) + r * r * var_of(c) - 2.0 * r * cov_of(s, c))
+                        / (cnt_est * cnt_est))
+                        .max(0.0);
+                    let hw = Z_95 * var.sqrt();
+                    per_agg.push(AggError {
+                        ci_half_width: hw,
+                        rel_err: rel(r, hw),
+                    });
+                }
+                slot += 2;
+            }
+        }
+    }
+    ErrorEstimate::summarize(per_agg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_estimate_is_all_zero_and_flagged() {
+        let e = ErrorEstimate::exact_for(3);
+        assert_eq!(e.per_agg.len(), 3);
+        assert!(e.is_exact());
+        assert_eq!(e.rel_err, 0.0);
+    }
+
+    #[test]
+    fn single_partition_has_no_signal() {
+        let e = estimate_from_totals(&[AggFunc::Sum], &[vec![10.0]], &[4.0], 4);
+        assert!(e.rel_err.is_nan());
+        assert!(e.per_agg[0].ci_half_width.is_nan());
+        assert!(!e.is_exact());
+    }
+
+    #[test]
+    fn identical_draws_have_zero_variance() {
+        // Four partitions with equal totals and uniform HT weights (N/m per
+        // draw): every z_j equals the same total, so the spread is zero.
+        let totals = vec![vec![5.0], vec![5.0], vec![5.0], vec![5.0]];
+        let weights = vec![2.0; 4]; // N = 8, m = 4 → w = N/m = 2
+        let e = estimate_from_totals(&[AggFunc::Sum], &totals, &weights, 8);
+        assert_eq!(e.per_agg[0].ci_half_width, 0.0);
+        assert_eq!(e.rel_err, 0.0);
+    }
+
+    #[test]
+    fn spread_draws_have_positive_error_that_shrinks_with_m() {
+        // Alternating totals; same per-draw spread at m=2 and m=4 of N=100,
+        // so the larger sample must report a strictly smaller half-width.
+        let w = |m: usize| vec![100.0 / m as f64; m];
+        let t = |m: usize| {
+            (0..m)
+                .map(|j| vec![if j % 2 == 0 { 1.0 } else { 3.0 }])
+                .collect::<Vec<_>>()
+        };
+        let e2 = estimate_from_totals(&[AggFunc::Sum], &t(2), &w(2), 100);
+        let e4 = estimate_from_totals(&[AggFunc::Sum], &t(4), &w(4), 100);
+        assert!(e2.per_agg[0].ci_half_width > 0.0);
+        assert!(e4.per_agg[0].ci_half_width > 0.0);
+        assert!(
+            e4.per_agg[0].ci_half_width < e2.per_agg[0].ci_half_width,
+            "error must shrink as the sample grows: m=4 {} vs m=2 {}",
+            e4.per_agg[0].ci_half_width,
+            e2.per_agg[0].ci_half_width
+        );
+        assert!(e2.rel_err.is_finite() && e2.rel_err > 0.0);
+    }
+
+    #[test]
+    fn full_population_fpc_kills_the_variance() {
+        // Reading every partition (m = N) is a census: the FPC term
+        // (1 − m/N) zeroes the variance no matter the spread.
+        let totals = vec![vec![1.0], vec![9.0], vec![4.0]];
+        let e = estimate_from_totals(&[AggFunc::Count], &totals, &[1.0; 3], 3);
+        assert_eq!(e.per_agg[0].ci_half_width, 0.0);
+        assert_eq!(e.rel_err, 0.0);
+    }
+
+    #[test]
+    fn avg_with_zero_count_is_no_signal() {
+        // AVG slots: (sum, count) — combined count 0 → NaN.
+        let totals = vec![vec![0.0, 0.0], vec![0.0, 0.0]];
+        let e = estimate_from_totals(&[AggFunc::Avg], &totals, &[2.0, 2.0], 4);
+        assert!(e.per_agg[0].rel_err.is_nan());
+        assert!(e.rel_err.is_nan());
+    }
+
+    #[test]
+    fn avg_delta_method_reports_finite_error() {
+        // AVG over spread draws: sums 10/30, counts 4/6 at uniform weights.
+        let totals = vec![vec![10.0, 4.0], vec![30.0, 6.0]];
+        let e = estimate_from_totals(&[AggFunc::Avg], &totals, &[5.0, 5.0], 10);
+        assert!(e.per_agg[0].ci_half_width.is_finite());
+        assert!(e.per_agg[0].ci_half_width > 0.0);
+        assert!(e.rel_err.is_finite());
+    }
+
+    #[test]
+    fn zero_estimate_with_spread_is_nan_relative() {
+        // Totals that cancel: estimate 0 but real spread → rel_err NaN,
+        // half-width finite and positive.
+        let totals = vec![vec![-2.0], vec![2.0]];
+        let e = estimate_from_totals(&[AggFunc::Sum], &totals, &[2.0, 2.0], 4);
+        assert!(e.per_agg[0].ci_half_width > 0.0);
+        assert!(e.per_agg[0].rel_err.is_nan());
+        assert!(e.rel_err.is_nan(), "no finite per-agg rel_err to summarize");
+    }
+
+    #[test]
+    fn summary_is_the_worst_finite_aggregate() {
+        // Two SUMs: one tight, one loose. The summary must be the loose one.
+        let totals = vec![
+            vec![10.0, 1.0],
+            vec![10.1, 9.0],
+            vec![9.9, 2.0],
+            vec![10.0, 8.0],
+        ];
+        let e = estimate_from_totals(&[AggFunc::Sum, AggFunc::Sum], &totals, &[2.0; 4], 8);
+        assert!(e.per_agg[0].rel_err < e.per_agg[1].rel_err);
+        assert_eq!(e.rel_err.to_bits(), e.per_agg[1].rel_err.to_bits());
+    }
+
+    #[test]
+    fn bit_equality_treats_nan_as_equal() {
+        let a = ErrorEstimate::no_signal(2);
+        let b = ErrorEstimate::no_signal(2);
+        assert_eq!(a, b, "NaN == NaN under bit-equality");
+        assert_ne!(a, ErrorEstimate::exact_for(2));
+    }
+}

@@ -31,20 +31,26 @@
 pub mod allocate;
 pub mod baselines;
 pub mod config;
+pub mod estimator;
 pub mod feature_selection;
 pub mod importance;
 pub mod outlier;
 pub mod picker;
+pub mod planner;
 pub mod router;
 pub mod serve;
 pub mod system;
 pub mod train;
 
 pub use config::{ExemplarRule, Ps3Config};
+pub use estimator::{AggError, ErrorEstimate};
 pub use picker::{PickOutcome, Picker};
+pub use planner::{Budget, BudgetPlan, PlannerStats, FALLBACK_FRAC, PLAN_GRID};
 pub use router::{
     RouteError, Router, RouterBuilder, RouterStats, TableId, TableRoute, Tenant, Ticket,
 };
 pub use serve::{QueryRequest, ServeHandle};
-pub use system::{query_rng, AnswerOutcome, Method, Ps3System, LSS_BUDGET_GRID};
+pub use system::{
+    query_rng, AnswerMeta, AnswerOutcome, Method, ProgressUpdate, Ps3System, LSS_BUDGET_GRID,
+};
 pub use train::{TrainedPs3, TrainingData};

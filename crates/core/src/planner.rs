@@ -1,0 +1,271 @@
+//! The budget planner: turns *declarative* budgets ("at most 5% error",
+//! "under 4 ms") into the cheapest concrete partition fraction that meets
+//! them.
+//!
+//! This inverts PS3's original contract. The caller used to pick a
+//! fraction and got whatever error fell out; BlinkDB's production framing
+//! is the reverse — bounded error or bounded response time, system picks
+//! the plan. A [`Budget`] expresses all three contracts; the planner
+//! resolves the declarative two against live signals:
+//!
+//! - **Error targets** binary-search the budget grid, *probing* candidate
+//!   fractions through the router's answer cache. A probe is an ordinary
+//!   cached execution, so planning warms exactly the entries the final
+//!   answer needs — the cheapest fraction that meets the target is usually
+//!   already cached by the time it is chosen (the warm sweep costs ~10µs).
+//! - **Latency targets** consult a per-table EWMA of measured cost per
+//!   partition; no probes (executing to discover cost would spend the very
+//!   budget being planned).
+//!
+//! When neither signal exists the planner falls back to a conservative
+//! fraction and says so: the resulting [`BudgetPlan`] carries
+//! `planned: false`, never a silent guess dressed up as a plan. Planner
+//! activity (plans, probes, cache hits, fallbacks) is surfaced through
+//! `RouterStats::planner`.
+//!
+//! The planner's chosen fraction — not the requested budget — keys the
+//! answer cache: an explicit `Budget::Fraction(0.2)` request and an error
+//! target that resolves to `0.2` share one cache entry and are
+//! bit-identical.
+
+use crate::system::budget_partitions;
+
+/// What the caller is willing to spend, or willing to tolerate.
+///
+/// Constructed from a bare fraction via `From<f64>` (so `req.with_budget(0.2)`
+/// and the long-standing `QueryRequest::ps3(query, 0.2, seed)` shape keep
+/// working), or declaratively via `QueryRequest::with_error_target` /
+/// `with_latency_target`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Budget {
+    /// Read this fraction of the table's partitions (the classic contract).
+    Fraction(f64),
+    /// Spend as little as possible while keeping the predicted relative
+    /// error at or below `rel_err` (e.g. `0.05` = 5%).
+    ErrorTarget {
+        /// Maximum acceptable relative error.
+        rel_err: f64,
+    },
+    /// Spend as little as possible... of whatever fits in `ms` milliseconds
+    /// of predicted execution time.
+    LatencyTarget {
+        /// Maximum acceptable predicted latency, in milliseconds.
+        ms: f64,
+    },
+}
+
+impl From<f64> for Budget {
+    fn from(frac: f64) -> Self {
+        Budget::Fraction(frac)
+    }
+}
+
+impl Budget {
+    /// The explicit fraction, when this budget is one.
+    pub fn as_fraction(self) -> Option<f64> {
+        match self {
+            Budget::Fraction(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+/// How a request's [`Budget`] was resolved to a concrete fraction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetPlan {
+    /// The budget the caller asked for.
+    pub requested: Budget,
+    /// The fraction the answer was actually executed at.
+    pub frac: f64,
+    /// True when a model signal (error probes, latency EWMA) chose `frac`;
+    /// false for explicit fractions and for no-signal fallbacks.
+    pub planned: bool,
+    /// Probe executions the planner spent resolving this budget.
+    pub probes: u32,
+}
+
+impl BudgetPlan {
+    /// The trivial plan for an explicit fraction: passthrough, no probes.
+    pub fn passthrough(frac: f64) -> Self {
+        Self {
+            requested: Budget::Fraction(frac),
+            frac,
+            planned: false,
+            probes: 0,
+        }
+    }
+}
+
+/// Planner activity counters, nested in `RouterStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlannerStats {
+    /// Declarative budgets resolved (error + latency targets; explicit
+    /// fractions are passthrough and not counted).
+    pub plans: u64,
+    /// Probe executions issued by error-target searches.
+    pub probes: u64,
+    /// Probes answered straight from the answer cache.
+    pub probe_hits: u64,
+    /// Plans that fell back to the conservative default for lack of signal.
+    pub fallbacks: u64,
+}
+
+/// The fractions the planner considers, cheapest first. Extends the LSS
+/// training grid (`LSS_BUDGET_GRID`) with larger terminal rungs — the last
+/// rung is a full read, which is exact and therefore meets *every* error
+/// target, so the search always has a feasible right edge.
+pub const PLAN_GRID: [f64; 8] = [0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0];
+
+/// The fraction used when a declarative budget has no signal to plan from.
+pub const FALLBACK_FRAC: f64 = 0.5;
+
+/// Resolve an error target by binary search over [`PLAN_GRID`].
+///
+/// `probe(frac)` returns the predicted relative error at `frac` (NaN for
+/// "no signal"). Sampling error is monotone non-increasing in the fraction
+/// — more partitions, tighter estimate, with the exact full read at the
+/// right edge — so the cheapest satisfying rung is found in O(log |grid|)
+/// probes. A NaN probe moves the search right (conservative: unknown error
+/// is treated as too much error) without counting as signal.
+///
+/// Returns `(frac, planned, probes)`. When every probe in the search came
+/// back NaN, the full-read right edge is probed directly before giving up
+/// — it is exact by construction, so a query whose samples keep missing
+/// the predicate escalates to the exact answer instead of an arbitrary
+/// half-read. Only if even that probe yields nothing is the result
+/// `(FALLBACK_FRAC, false, …)`.
+pub fn plan_error_target(rel_err: f64, mut probe: impl FnMut(f64) -> f64) -> (f64, bool, u32) {
+    let (mut lo, mut hi) = (0usize, PLAN_GRID.len() - 1);
+    let mut probes = 0u32;
+    let mut saw_signal = false;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let predicted = probe(PLAN_GRID[mid]);
+        probes += 1;
+        if predicted.is_finite() {
+            saw_signal = true;
+            if predicted <= rel_err {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        } else {
+            lo = mid + 1;
+        }
+    }
+    if saw_signal {
+        return (PLAN_GRID[lo], true, probes);
+    }
+    // Every probed rung was NaN — a sample that never saw the predicate
+    // match. The full read at the right edge is exact by construction and
+    // the search converged there without probing it; probe it for real
+    // rather than assuming, and only fall back if even that gives nothing.
+    let predicted = probe(PLAN_GRID[PLAN_GRID.len() - 1]);
+    probes += 1;
+    if predicted.is_finite() && predicted <= rel_err {
+        (PLAN_GRID[PLAN_GRID.len() - 1], true, probes)
+    } else {
+        (FALLBACK_FRAC, false, probes)
+    }
+}
+
+/// Resolve a latency target from a measured cost model.
+///
+/// `cost_ms_per_part` is the table's EWMA of milliseconds per partition
+/// read (None until the first execution lands). The plan is the *largest*
+/// grid fraction whose predicted cost fits the target — latency budgets
+/// buy as much accuracy as the deadline allows. When even the smallest
+/// rung does not fit, that smallest rung is returned anyway (the system
+/// cannot read less than one rung and still answer); when there is no
+/// signal, the smallest rung with `planned: false`.
+pub fn plan_latency_target(
+    ms: f64,
+    cost_ms_per_part: Option<f64>,
+    total_partitions: usize,
+) -> (f64, bool) {
+    let Some(cost) = cost_ms_per_part else {
+        return (PLAN_GRID[0], false);
+    };
+    let fits = |frac: f64| cost * budget_partitions(frac, total_partitions) as f64 <= ms;
+    let best = PLAN_GRID.iter().rev().copied().find(|&f| fits(f));
+    (best.unwrap_or(PLAN_GRID[0]), true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_from_f64_is_a_fraction() {
+        let b: Budget = 0.25.into();
+        assert_eq!(b, Budget::Fraction(0.25));
+        assert_eq!(b.as_fraction(), Some(0.25));
+        assert_eq!(Budget::ErrorTarget { rel_err: 0.1 }.as_fraction(), None);
+    }
+
+    #[test]
+    fn error_search_finds_the_cheapest_satisfying_rung() {
+        // Synthetic monotone error curve: err(frac) = 0.02 / frac.
+        // Target 0.1 → cheapest satisfying rung is 0.2 (err exactly 0.1).
+        let mut probed = Vec::new();
+        let (frac, planned, probes) = plan_error_target(0.1, |f| {
+            probed.push(f);
+            0.02 / f
+        });
+        assert_eq!(frac, 0.2);
+        assert!(planned);
+        assert_eq!(probes as usize, probed.len());
+        assert!(probes <= 3, "binary search over 8 rungs: ≤3 probes");
+    }
+
+    #[test]
+    fn error_search_lands_on_full_read_for_impossible_targets() {
+        // err(frac) > 0 for every partial rung; only the exact full read
+        // (err 0) meets a zero target.
+        let (frac, planned, _) = plan_error_target(0.0, |f| if f >= 1.0 { 0.0 } else { 0.02 / f });
+        assert_eq!(frac, 1.0);
+        assert!(planned);
+    }
+
+    #[test]
+    fn all_nan_probes_fall_back_unplanned() {
+        let (frac, planned, probes) = plan_error_target(0.05, |_| f64::NAN);
+        assert_eq!(frac, FALLBACK_FRAC);
+        assert!(!planned, "no signal must be marked, not dressed up");
+        assert!(probes >= 1);
+    }
+
+    #[test]
+    fn nan_probes_push_right_but_signal_still_counts() {
+        // Cheap rungs have no signal; expensive rungs do and meet the
+        // target. The plan must be planned: true at a rung with signal.
+        let (frac, planned, _) = plan_error_target(0.05, |f| if f < 0.3 { f64::NAN } else { 0.01 });
+        assert!(frac >= 0.3, "NaN rungs are treated as failing");
+        assert!(planned);
+    }
+
+    #[test]
+    fn latency_plan_buys_the_largest_fitting_fraction() {
+        // 100 partitions at 1 ms each: a 40 ms deadline fits 0.35 (35
+        // parts) but not 0.5 (50 parts).
+        let (frac, planned) = plan_latency_target(40.0, Some(1.0), 100);
+        assert_eq!(frac, 0.35);
+        assert!(planned);
+    }
+
+    #[test]
+    fn latency_plan_with_no_signal_is_the_smallest_rung_unplanned() {
+        let (frac, planned) = plan_latency_target(40.0, None, 100);
+        assert_eq!(frac, PLAN_GRID[0]);
+        assert!(!planned);
+    }
+
+    #[test]
+    fn latency_plan_cannot_go_below_the_smallest_rung() {
+        // Even 2 partitions (frac 0.02 of 100) cost more than the target:
+        // the smallest rung is returned, still planned (there was signal).
+        let (frac, planned) = plan_latency_target(0.5, Some(1.0), 100);
+        assert_eq!(frac, PLAN_GRID[0]);
+        assert!(planned);
+    }
+}

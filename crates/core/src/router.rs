@@ -43,14 +43,16 @@ use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
+use std::time::Instant;
 
 use ps3_runtime::{
-    CacheStats, Permit, RequestQueue, Semaphore, SharedLru, SingleFlight,
+    CacheStats, Mailbox, Permit, RequestQueue, Semaphore, SharedLru, SingleFlight,
     SubmitError as QueueError, ThreadPool,
 };
 
+use crate::planner::{plan_error_target, plan_latency_target, Budget, BudgetPlan, PlannerStats};
 use crate::serve::QueryRequest;
-use crate::system::{query_rng, AnswerOutcome, Ps3System};
+use crate::system::{query_rng, AnswerOutcome, ProgressUpdate, Ps3System};
 
 /// Index of a registered table within one router. Only meaningful for the
 /// router that issued it.
@@ -143,13 +145,17 @@ struct AnswerKey {
 }
 
 impl AnswerKey {
-    fn new(table: TableId, generation: u64, req: &QueryRequest) -> Self {
+    /// `frac` is the **planned** fraction the request executes at — not the
+    /// requested [`Budget`] — so an explicit `Fraction(0.2)` and an error
+    /// target the planner resolved to `0.2` share one cache entry and are
+    /// bit-identical.
+    fn new(table: TableId, generation: u64, req: &QueryRequest, frac: f64) -> Self {
         Self {
             table: table.0,
             generation,
             fingerprint: req.query.fingerprint(),
             method: req.method,
-            budget_bits: req.frac.to_bits(),
+            budget_bits: frac.to_bits(),
             seed: req.seed,
         }
     }
@@ -170,6 +176,9 @@ pub struct RouterStats {
     pub coalesced: u64,
     /// Requests currently queued or executing.
     pub in_flight: usize,
+    /// Budget-planner activity (plans, probes, probe cache hits,
+    /// no-signal fallbacks).
+    pub planner: PlannerStats,
 }
 
 struct TableEntry {
@@ -179,6 +188,28 @@ struct TableEntry {
     system: RwLock<Arc<Ps3System>>,
     /// Bumped on every [`Router::replace_table`]; part of [`AnswerKey`].
     generation: AtomicU64,
+    /// EWMA of measured execution cost (ms per partition read), fed by
+    /// every uncached leader execution; the latency planner's signal.
+    /// `None` until the first execution lands.
+    cost_ms_per_part: Mutex<Option<f64>>,
+}
+
+impl TableEntry {
+    /// Fold one measured execution into the cost EWMA. The smoothing
+    /// constant 0.3 follows the usual serving-telemetry convention: recent
+    /// executions dominate within ~a dozen samples, but one outlier cannot
+    /// swing the plan.
+    fn observe_cost(&self, elapsed_ms: f64, partitions: usize) {
+        if partitions == 0 || !elapsed_ms.is_finite() {
+            return;
+        }
+        let per_part = elapsed_ms / partitions as f64;
+        let mut slot = self.cost_ms_per_part.lock().unwrap();
+        *slot = Some(match *slot {
+            Some(prev) => 0.3 * per_part + 0.7 * prev,
+            None => per_part,
+        });
+    }
 }
 
 /// Result of one routed request: the shared outcome, or the panic payload
@@ -196,6 +227,11 @@ struct TicketSlot {
 struct TicketState {
     slot: Mutex<TicketSlot>,
     ready: Condvar,
+    /// Refining partial answers from a progressive execution, batched for
+    /// the consumer ([`Ticket::take_progress`]). Empty for non-progressive
+    /// requests, cache hits, and single-flight joiners — only the leader of
+    /// a cold progressive execution streams.
+    progress: Mailbox<ProgressUpdate>,
 }
 
 impl TicketState {
@@ -207,6 +243,7 @@ impl TicketState {
                 hook: None,
             }),
             ready: Condvar::new(),
+            progress: Mailbox::new(),
         }
     }
 
@@ -296,6 +333,21 @@ impl Ticket {
         }
         hook();
     }
+
+    /// Register a hook that fires after every [`ProgressUpdate`] a
+    /// progressive execution delivers (and immediately, if updates are
+    /// already queued). Like [`Ticket::on_ready`], keep it tiny — the
+    /// network server's hook wakes its poll loop, nothing more.
+    pub fn on_progress(&self, hook: impl Fn() + Send + Sync + 'static) {
+        self.state.progress.set_hook(hook);
+    }
+
+    /// Drain every queued [`ProgressUpdate`], oldest first. Never blocks;
+    /// empty for non-progressive requests, cache hits, and coalesced
+    /// joiners (the final answer is still delivered through the ticket).
+    pub fn take_progress(&self) -> Vec<ProgressUpdate> {
+        self.state.progress.drain()
+    }
 }
 
 /// One queued unit of work. The quota permit rides along and frees when
@@ -318,6 +370,11 @@ struct RouterCore {
     inflight: SingleFlight<AnswerKey, Arc<AnswerOutcome>>,
     executions: AtomicU64,
     coalesced: AtomicU64,
+    /// Budget-planner counters (see [`PlannerStats`]).
+    planner_plans: AtomicU64,
+    planner_probes: AtomicU64,
+    planner_probe_hits: AtomicU64,
+    planner_fallbacks: AtomicU64,
     /// Accepted-but-unfinished request count; `all_done` signals zero.
     pending: Mutex<usize>,
     all_done: Condvar,
@@ -333,9 +390,15 @@ impl RouterCore {
     /// executes exactly once: the first racer leads, the rest join its
     /// [`SingleFlight`] flight (or hit the cache, if they arrive after the
     /// leader finished) and share the same `Arc`'d outcome.
-    fn execute(&self, table: TableId, req: &QueryRequest) -> Arc<AnswerOutcome> {
+    fn execute_at(
+        &self,
+        table: TableId,
+        req: &QueryRequest,
+        frac: f64,
+        progress: Option<&Mailbox<ProgressUpdate>>,
+    ) -> Arc<AnswerOutcome> {
         let entry = &self.tables[table.index()];
-        let key = AnswerKey::new(table, entry.generation.load(Ordering::SeqCst), req);
+        let key = AnswerKey::new(table, entry.generation.load(Ordering::SeqCst), req, frac);
         if let Some(hit) = self.answers.get(&key) {
             return hit;
         }
@@ -352,13 +415,22 @@ impl RouterCore {
             // request finishes on the system it resolved).
             let system = Arc::clone(&entry.system.read().unwrap());
             let mut rng = query_rng(&req.query, req.seed);
-            let out = Arc::new(system.answer_on(
-                &req.query,
-                req.method,
-                req.frac,
-                &mut rng,
-                &self.exec_pool,
-            ));
+            let started = Instant::now();
+            // The progressive leader streams refining updates into the
+            // mailbox; both paths produce bit-identical final outcomes, so
+            // the cached value is path-independent.
+            let out = Arc::new(match progress {
+                Some(mailbox) => system.answer_progressive_on(
+                    &req.query,
+                    req.method,
+                    frac,
+                    &mut rng,
+                    &self.exec_pool,
+                    |update| mailbox.push(update),
+                ),
+                None => system.answer_on(&req.query, req.method, frac, &mut rng, &self.exec_pool),
+            });
+            entry.observe_cost(started.elapsed().as_secs_f64() * 1e3, out.selection.len());
             self.answers.insert(key, Arc::clone(&out));
             out
         });
@@ -366,6 +438,77 @@ impl RouterCore {
             self.coalesced.fetch_add(1, Ordering::Relaxed);
         }
         flight.into_value()
+    }
+
+    /// Resolve a request's [`Budget`] to the concrete fraction it will
+    /// execute at. Explicit fractions pass through untouched; error targets
+    /// binary-search the budget grid with *probe executions* that go
+    /// through the normal cached path (so planning warms exactly the
+    /// entries the final answer reads, and a warm planner costs a few cache
+    /// hits); latency targets consult the table's cost EWMA without
+    /// executing anything.
+    fn plan_budget(&self, table: TableId, req: &QueryRequest) -> BudgetPlan {
+        match req.budget {
+            Budget::Fraction(frac) => BudgetPlan::passthrough(frac),
+            Budget::ErrorTarget { rel_err } => {
+                self.planner_plans.fetch_add(1, Ordering::Relaxed);
+                let entry = &self.tables[table.index()];
+                let probe = |frac: f64| {
+                    let generation = entry.generation.load(Ordering::SeqCst);
+                    let key = AnswerKey::new(table, generation, req, frac);
+                    if self.answers.peek(&key).is_some() {
+                        self.planner_probe_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.planner_probes.fetch_add(1, Ordering::Relaxed);
+                    self.execute_at(table, req, frac, None)
+                        .meta
+                        .error_estimate
+                        .rel_err
+                };
+                let (frac, planned, probes) = plan_error_target(rel_err, probe);
+                if !planned {
+                    self.planner_fallbacks.fetch_add(1, Ordering::Relaxed);
+                }
+                BudgetPlan {
+                    requested: req.budget,
+                    frac,
+                    planned,
+                    probes,
+                }
+            }
+            Budget::LatencyTarget { ms } => {
+                self.planner_plans.fetch_add(1, Ordering::Relaxed);
+                let entry = &self.tables[table.index()];
+                let cost = *entry.cost_ms_per_part.lock().unwrap();
+                let parts = entry.system.read().unwrap().num_partitions();
+                let (frac, planned) = plan_latency_target(ms, cost, parts);
+                if !planned {
+                    self.planner_fallbacks.fetch_add(1, Ordering::Relaxed);
+                }
+                BudgetPlan {
+                    requested: req.budget,
+                    frac,
+                    planned,
+                    probes: 0,
+                }
+            }
+        }
+    }
+
+    /// Plan the budget, then resolve-or-execute at the planned fraction.
+    /// Progressive streaming only happens for the cold leader of a
+    /// progressive request; warm hits and joiners deliver the final answer
+    /// alone.
+    fn execute(
+        &self,
+        table: TableId,
+        req: &QueryRequest,
+        progress: Option<&Mailbox<ProgressUpdate>>,
+    ) -> (Arc<AnswerOutcome>, BudgetPlan) {
+        let plan = self.plan_budget(table, req);
+        let progress = if req.progressive { progress } else { None };
+        let out = self.execute_at(table, req, plan.frac, progress);
+        (out, plan)
     }
 
     /// Execute one queued job, deliver its outcome (or panic) to the
@@ -377,7 +520,9 @@ impl RouterCore {
             ticket,
             _permit,
         } = job;
-        let result = catch_unwind(AssertUnwindSafe(|| self.execute(table, &req)));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            self.execute(table, &req, Some(&ticket.progress)).0
+        }));
         ticket.fulfill(result);
         drop(_permit);
         let mut pending = self.pending.lock().unwrap();
@@ -404,6 +549,7 @@ impl RouterBuilder {
             name: name.into(),
             system: RwLock::new(system),
             generation: AtomicU64::new(0),
+            cost_ms_per_part: Mutex::new(None),
         });
         self
     }
@@ -459,6 +605,10 @@ impl RouterBuilder {
                 inflight: SingleFlight::new(),
                 executions: AtomicU64::new(0),
                 coalesced: AtomicU64::new(0),
+                planner_plans: AtomicU64::new(0),
+                planner_probes: AtomicU64::new(0),
+                planner_probe_hits: AtomicU64::new(0),
+                planner_fallbacks: AtomicU64::new(0),
                 pending: Mutex::new(0),
                 all_done: Condvar::new(),
             }),
@@ -577,9 +727,22 @@ impl Router {
     /// Answer synchronously on the caller, through the answer cache but
     /// bypassing the queue — the single-table [`crate::serve::ServeHandle`]
     /// path. Bit-identical to the queued path and to a direct
-    /// `Ps3System::answer_on` with a [`query_rng`]-derived RNG.
+    /// `Ps3System::answer_on` with a [`query_rng`]-derived RNG. Declarative
+    /// budgets are planned first; [`Self::answer_planned`] additionally
+    /// returns the plan.
     pub fn answer_now(&self, table: TableId, req: &QueryRequest) -> Arc<AnswerOutcome> {
-        self.core.execute(table, req)
+        self.core.execute(table, req, None).0
+    }
+
+    /// [`Self::answer_now`] plus the [`BudgetPlan`] that resolved the
+    /// request's budget: the fraction executed at, whether the planner had
+    /// signal, and how many probes it spent.
+    pub fn answer_planned(
+        &self,
+        table: TableId,
+        req: &QueryRequest,
+    ) -> (Arc<AnswerOutcome>, BudgetPlan) {
+        self.core.execute(table, req, None)
     }
 
     /// A named submission handle. `max_in_flight` caps this tenant's
@@ -664,6 +827,12 @@ impl Router {
             executions: self.core.executions.load(Ordering::Relaxed),
             coalesced: self.core.coalesced.load(Ordering::Relaxed),
             in_flight: *self.core.pending.lock().unwrap(),
+            planner: PlannerStats {
+                plans: self.core.planner_plans.load(Ordering::Relaxed),
+                probes: self.core.planner_probes.load(Ordering::Relaxed),
+                probe_hits: self.core.planner_probe_hits.load(Ordering::Relaxed),
+                fallbacks: self.core.planner_fallbacks.load(Ordering::Relaxed),
+            },
         }
     }
 }
@@ -769,6 +938,7 @@ impl Tenant {
 mod tests {
     use super::*;
     use crate::config::Ps3Config;
+    use crate::system::Method;
     use ps3_query::{AggExpr, Query};
     use ps3_stats::{StatsConfig, TableStats};
     use ps3_storage::table::TableBuilder;
@@ -806,6 +976,19 @@ mod tests {
 
     fn count_query() -> Query {
         Query::new(vec![AggExpr::count()], None, vec![])
+    }
+
+    /// SUM(x) with x = row index: partition totals differ, so sampling
+    /// error estimates are real (COUNT on equal partitions is degenerate —
+    /// zero cross-partition variance, zero-width CIs).
+    fn sum_query() -> Query {
+        Query::new(
+            vec![AggExpr::sum(ps3_query::ScalarExpr::col(
+                ps3_storage::ColId(0),
+            ))],
+            None,
+            vec![],
+        )
     }
 
     #[test]
@@ -849,7 +1032,8 @@ mod tests {
 
         let direct = {
             let mut rng = query_rng(&req.query, req.seed);
-            sys.answer_on(&req.query, req.method, req.frac, &mut rng, router.pool())
+            let frac = req.budget.as_fraction().unwrap();
+            sys.answer_on(&req.query, req.method, frac, &mut rng, router.pool())
         };
         let first = router.answer_now(table, &req);
         assert_eq!(first.answer, direct.answer);
@@ -1043,7 +1227,8 @@ mod tests {
         assert_eq!(router.stats().executions, before + 1);
         let direct = {
             let mut rng = query_rng(&req.query, req.seed);
-            replacement.answer_on(&req.query, req.method, req.frac, &mut rng, router.pool())
+            let frac = req.budget.as_fraction().unwrap();
+            replacement.answer_on(&req.query, req.method, frac, &mut rng, router.pool())
         };
         assert_eq!(
             served.answer, direct.answer,
@@ -1094,6 +1279,132 @@ mod tests {
             t2.on_ready(move || fired2.store(true, Ordering::SeqCst));
         }
         assert!(fired2.load(Ordering::SeqCst), "late hooks fire on the spot");
+        router.shutdown();
+    }
+
+    #[test]
+    fn error_target_plans_the_cheapest_satisfying_fraction_and_shares_cache() {
+        let router = Router::single(tiny_system(30, 160));
+        let table = router.table_id("default").unwrap();
+        // A generous target: the cheapest rung with a finite estimate wins.
+        let req = QueryRequest::new(sum_query(), Method::Random, 0.5, 5).with_error_target(10.0);
+        let (out, plan) = router.answer_planned(table, &req);
+        assert!(plan.planned, "random-weighted estimates give real signal");
+        assert!(plan.probes >= 1);
+        assert!(
+            out.meta.error_estimate.rel_err <= 10.0,
+            "chosen plan must meet the target: {}",
+            out.meta.error_estimate.rel_err
+        );
+        assert_eq!(out.meta.planned_frac, plan.frac);
+        let stats = router.stats();
+        assert_eq!(stats.planner.plans, 1);
+        assert_eq!(stats.planner.probes, u64::from(plan.probes));
+
+        // An explicit request at the planned fraction shares the entry:
+        // zero additional executions, same Arc.
+        let executions = router.stats().executions;
+        let explicit = QueryRequest::new(sum_query(), Method::Random, plan.frac, 5);
+        let again = router.answer_now(table, &explicit);
+        assert_eq!(router.stats().executions, executions);
+        assert!(
+            Arc::ptr_eq(&out, &again),
+            "planned and explicit requests at one frac share a cache entry"
+        );
+
+        // Replanning the same target is all cache hits.
+        let (_, plan2) = router.answer_planned(table, &req);
+        assert_eq!(plan2.frac, plan.frac, "plans are deterministic");
+        assert_eq!(router.stats().executions, executions, "warm replan");
+        assert!(router.stats().planner.probe_hits >= 1);
+    }
+
+    #[test]
+    fn impossible_error_target_escalates_to_the_exact_full_read() {
+        let router = Router::single(tiny_system(31, 160));
+        let table = router.table_id("default").unwrap();
+        let req = QueryRequest::new(sum_query(), Method::Random, 1.0, 3).with_error_target(0.0);
+        let (out, plan) = router.answer_planned(table, &req);
+        assert_eq!(plan.frac, 1.0, "only a full read has zero error");
+        assert!(plan.planned);
+        assert!(out.meta.exact);
+        assert_eq!(out.meta.error_estimate.rel_err, 0.0);
+        // SUM of 0..160 — exact, not an estimate.
+        assert_eq!(out.answer.global(0).unwrap(), (0..160).sum::<i32>() as f64);
+    }
+
+    #[test]
+    fn latency_target_without_signal_falls_back_then_plans_once_warm() {
+        let router = Router::single(tiny_system(32, 160));
+        let table = router.table_id("default").unwrap();
+        // Cold: no execution has landed, the cost EWMA is empty.
+        let req = QueryRequest::ps3(count_query(), 1.0, 7).with_latency_target(1e6);
+        let (_, cold_plan) = router.answer_planned(table, &req);
+        assert!(
+            !cold_plan.planned,
+            "no signal yet: must be marked unplanned"
+        );
+        assert_eq!(cold_plan.frac, crate::planner::PLAN_GRID[0]);
+        assert_eq!(router.stats().planner.fallbacks, 1);
+
+        // That execution fed the EWMA: the same request now plans, and a
+        // huge budget buys the largest rung.
+        let (_, warm_plan) = router.answer_planned(table, &req);
+        assert!(warm_plan.planned, "EWMA signal after one execution");
+        assert_eq!(warm_plan.frac, 1.0, "a 1000s budget fits a full read");
+        assert_eq!(router.stats().planner.fallbacks, 1, "no new fallback");
+    }
+
+    #[test]
+    fn progressive_ticket_streams_refinements_with_a_bit_identical_final() {
+        let router = Router::builder()
+            .table("t", tiny_system(33, 160))
+            .pump_workers(0)
+            .build();
+        let tenant = router.tenant("streamer", None);
+        let req = QueryRequest::new(sum_query(), Method::Random, 0.5, 21).progressive();
+        let ticket = tenant.submit(req.clone()).unwrap();
+        let progressed = Arc::new(AtomicU64::new(0));
+        {
+            let progressed = Arc::clone(&progressed);
+            ticket.on_progress(move || {
+                progressed.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        router.drain_queued(1);
+        let updates = ticket.take_progress();
+        assert!(!updates.is_empty(), "a cold 8-partition read must refine");
+        assert!(progressed.load(Ordering::SeqCst) >= updates.len() as u64);
+        let mut prev = 0;
+        for u in &updates {
+            assert!(u.partitions_done > prev, "monotone in partitions read");
+            assert!(u.partitions_done < u.partitions_total);
+            prev = u.partitions_done;
+        }
+        let streamed = ticket.wait();
+
+        // The one-shot path on a fresh router (cold cache, same seed) is
+        // bit-identical — progressiveness never perturbs the answer.
+        let fresh = Router::builder()
+            .table("t", tiny_system(33, 160))
+            .pump_workers(0)
+            .build();
+        let one_shot = fresh.answer_now(
+            fresh.table_id("t").unwrap(),
+            &QueryRequest::new(sum_query(), Method::Random, 0.5, 21),
+        );
+        assert_eq!(streamed.answer, one_shot.answer);
+        // Bit-identical up to the wall-clock picker timing.
+        assert_eq!(streamed.meta.error_estimate, one_shot.meta.error_estimate);
+        assert_eq!(streamed.meta.partitions_read, one_shot.meta.partitions_read);
+        assert_eq!(streamed.meta.planned_frac, one_shot.meta.planned_frac);
+        assert_eq!(streamed.meta.exact, one_shot.meta.exact);
+
+        // A warm repeat is a cache hit: final answer only, no updates.
+        let warm = tenant.submit(req).unwrap();
+        router.drain_queued(1);
+        assert!(warm.take_progress().is_empty(), "cache hits do not stream");
+        assert!(Arc::ptr_eq(&warm.wait(), &streamed));
         router.shutdown();
     }
 

@@ -16,42 +16,57 @@ use std::sync::Arc;
 use ps3_query::Query;
 use ps3_runtime::ThreadPool;
 
+use crate::planner::Budget;
 use crate::router::{Router, TableId, TableRoute};
 use crate::system::{AnswerOutcome, Method, Ps3System};
 
 /// One serving request: what to answer, where, how, and the seed that
 /// makes the answer reproducible.
+///
+/// The budget is *typed* ([`Budget`]): an explicit partition fraction, an
+/// error target, or a latency target. No constructor takes a positional
+/// bare fraction — fraction-shaped call sites go through
+/// `impl Into<Budget>` (`f64` converts to [`Budget::Fraction`]), and
+/// declarative budgets use [`Self::with_error_target`] /
+/// [`Self::with_latency_target`].
 #[derive(Debug, Clone)]
 pub struct QueryRequest {
     /// The query.
     pub query: Query,
     /// The sampling method.
     pub method: Method,
-    /// Partition budget as a fraction of the table.
-    pub frac: f64,
+    /// What to spend or tolerate: a fraction, an error target, or a
+    /// latency target (resolved by the router's planner).
+    pub budget: Budget,
     /// Per-request randomness seed; equal seeds give bit-identical answers.
     pub seed: u64,
     /// Which table to execute on. `Default` targets a router's sole table
     /// (or a [`ServeHandle`]'s pinned table).
     pub table: TableRoute,
+    /// Ask for refining partial answers while the request executes (the
+    /// network server streams them as `Partial` frames). Does not affect
+    /// the final answer, which stays bit-identical to a non-progressive
+    /// run — so this flag is *not* part of the answer-cache key.
+    pub progressive: bool,
 }
 
 impl QueryRequest {
-    /// A request under `method` at `frac` of the partitions, routed to the
-    /// default table.
-    pub fn new(query: Query, method: Method, frac: f64, seed: u64) -> Self {
+    /// A request under `method` with `budget`, routed to the default table.
+    pub fn new(query: Query, method: Method, budget: impl Into<Budget>, seed: u64) -> Self {
         Self {
             query,
             method,
-            frac,
+            budget: budget.into(),
             seed,
             table: TableRoute::Default,
+            progressive: false,
         }
     }
 
-    /// A PS3 request at `frac` of the partitions.
-    pub fn ps3(query: Query, frac: f64, seed: u64) -> Self {
-        Self::new(query, Method::Ps3, frac, seed)
+    /// A PS3 request with `budget` (a bare `f64` reads that fraction of
+    /// the partitions).
+    pub fn ps3(query: Query, budget: impl Into<Budget>, seed: u64) -> Self {
+        Self::new(query, Method::Ps3, budget, seed)
     }
 
     /// Route this request to a specific table.
@@ -63,6 +78,26 @@ impl QueryRequest {
     /// Replace the seed (benchmarks derive per-iteration cold seeds).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Replace the budget with an error target: spend as little as
+    /// possible while keeping the predicted relative error ≤ `rel_err`.
+    pub fn with_error_target(mut self, rel_err: f64) -> Self {
+        self.budget = Budget::ErrorTarget { rel_err };
+        self
+    }
+
+    /// Replace the budget with a latency target: the largest budget whose
+    /// predicted execution time fits in `ms` milliseconds.
+    pub fn with_latency_target(mut self, ms: f64) -> Self {
+        self.budget = Budget::LatencyTarget { ms };
+        self
+    }
+
+    /// Ask for refining partial answers during execution.
+    pub fn progressive(mut self) -> Self {
+        self.progressive = true;
         self
     }
 }
@@ -143,8 +178,20 @@ impl ServeHandle {
 
     /// [`Self::answer`] without the copy: the cache's own `Arc`. Warm
     /// dashboards calling this repeatedly allocate nothing per request.
+    /// This is the canonical answering path — every other `ServeHandle`
+    /// entry point delegates here.
     pub fn answer_shared(&self, req: &QueryRequest) -> Arc<AnswerOutcome> {
         self.router.answer_now(self.route(req), req)
+    }
+
+    /// [`Self::answer_shared`] plus the plan that resolved the request's
+    /// [`Budget`] to a concrete fraction — how declarative callers learn
+    /// what was spent on their behalf (and whether the planner had signal).
+    pub fn answer_planned(
+        &self,
+        req: &QueryRequest,
+    ) -> (Arc<AnswerOutcome>, crate::planner::BudgetPlan) {
+        self.router.answer_planned(self.route(req), req)
     }
 
     /// Answer a batch concurrently over the pool, results in request order.

@@ -21,7 +21,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use ps3_query::{
-    execute_partitions_compiled_on, execute_table, CompiledQuery, Query, QueryAnswer, WeightedPart,
+    execute_partials_on, execute_partitions_compiled_totals_on, execute_table, AggFunc,
+    CompiledQuery, PartialAnswer, Query, QueryAnswer, WeightedPart,
 };
 use ps3_runtime::{CacheStats, SharedLru, ThreadPool};
 use ps3_stats::{QueryFeatures, TableStats};
@@ -29,6 +30,7 @@ use ps3_storage::PartitionedTable;
 
 use crate::baselines::{random_filter_selection, random_selection, LssModel};
 use crate::config::Ps3Config;
+use crate::estimator::{estimate_from_totals, ErrorEstimate};
 use crate::picker::{PickOutcome, Picker};
 use crate::train::{TrainedPs3, TrainingData};
 
@@ -65,6 +67,25 @@ impl Method {
     }
 }
 
+/// Everything a caller can know about *how good* an answer is and *what it
+/// cost* — one shape shared by in-process outcomes ([`AnswerOutcome`]) and
+/// wire answers (`ps3_net`'s `RemoteAnswer`), so both surfaces read
+/// identical metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnswerMeta {
+    /// How many partitions were read.
+    pub partitions_read: u32,
+    /// Picker latency (ms); 0 for the trivial baselines.
+    pub picker_ms: f64,
+    /// Estimated sampling error, per aggregate and summarized.
+    pub error_estimate: ErrorEstimate,
+    /// The fraction the answer was executed at (after any planning).
+    pub planned_frac: f64,
+    /// True when the answer is exact: a full read, or a selection covering
+    /// every partition that could contain qualifying rows at weight 1.
+    pub exact: bool,
+}
+
 /// One approximate answer plus how it was produced.
 #[derive(Debug, Clone)]
 pub struct AnswerOutcome {
@@ -72,8 +93,27 @@ pub struct AnswerOutcome {
     pub answer: QueryAnswer,
     /// The weighted partitions that were read.
     pub selection: Vec<WeightedPart>,
-    /// Picker latency (ms); 0 for the trivial baselines.
-    pub picker_ms: f64,
+    /// Quality and cost metadata (shared shape with the wire client).
+    pub meta: AnswerMeta,
+}
+
+/// One refining answer from the progressive execution path: the weighted
+/// combination of the first `partitions_done` selected partitions, with the
+/// error estimate over that prefix. The *final* refinement is not emitted
+/// as an update — it is the ordinary [`AnswerOutcome`], bit-identical to
+/// the one-shot path.
+#[derive(Debug, Clone)]
+pub struct ProgressUpdate {
+    /// 0-based update sequence number.
+    pub seq: u32,
+    /// Partitions combined so far (monotone increasing across updates).
+    pub partitions_done: u32,
+    /// Total partitions in the selection.
+    pub partitions_total: u32,
+    /// The prefix combination, finalized.
+    pub answer: QueryAnswer,
+    /// Summary relative error of the prefix (NaN = no signal yet).
+    pub rel_err: f64,
 }
 
 /// The deterministic per-request RNG used by the seeded entry points:
@@ -118,6 +158,12 @@ pub struct Ps3System {
 
 /// Budget fractions the LSS strata sweep is trained at (the harness grid).
 pub const LSS_BUDGET_GRID: [f64; 6] = [0.02, 0.05, 0.1, 0.2, 0.35, 0.5];
+
+/// Convert a budget fraction into a partition count (≥ 1) for a table of
+/// `num_partitions` partitions.
+pub fn budget_partitions(frac: f64, num_partitions: usize) -> usize {
+    ((frac * num_partitions as f64).round() as usize).clamp(1, num_partitions)
+}
 
 impl Ps3System {
     /// Train every learned component on `train_queries`.
@@ -164,7 +210,7 @@ impl Ps3System {
 
     /// Convert a budget fraction into a partition count (≥ 1).
     pub fn budget_partitions(&self, frac: f64) -> usize {
-        ((frac * self.num_partitions() as f64).round() as usize).clamp(1, self.num_partitions())
+        budget_partitions(frac, self.num_partitions())
     }
 
     /// The exact answer (reads everything).
@@ -303,6 +349,58 @@ impl Ps3System {
         self.answer_on(query, method, frac, rng, &ThreadPool::global())
     }
 
+    /// True when `selection` provably reproduces the exact answer: the
+    /// budget is a full read, or every partition that could contain a
+    /// qualifying row (positive selectivity upper bound) is in the
+    /// selection at weight exactly 1 — zero-upper-bound partitions
+    /// contribute nothing at any weight.
+    fn selection_is_exact(
+        &self,
+        features: &QueryFeatures,
+        frac: f64,
+        sel: &[WeightedPart],
+    ) -> bool {
+        if frac >= 1.0 {
+            return true;
+        }
+        let mut weight_of = std::collections::HashMap::with_capacity(sel.len());
+        for wp in sel {
+            weight_of.insert(wp.partition.index(), wp.weight);
+        }
+        (0..self.num_partitions())
+            .filter(|&p| features.selectivity_upper(p) > 0.0)
+            .all(|p| weight_of.get(&p) == Some(&1.0))
+    }
+
+    /// Assemble [`AnswerMeta`] from a selection and its per-partition slot
+    /// totals (the estimator's input). Exact selections short-circuit to a
+    /// zero-error estimate.
+    fn build_meta(
+        &self,
+        query: &Query,
+        features: &QueryFeatures,
+        frac: f64,
+        picker_ms: f64,
+        selection: &[WeightedPart],
+        totals: &[Vec<f64>],
+    ) -> AnswerMeta {
+        let funcs: Vec<AggFunc> = query.aggregates.iter().map(|a| a.func).collect();
+        let exact = self.selection_is_exact(features, frac, selection);
+        let error_estimate = if exact {
+            ErrorEstimate::exact_for(funcs.len())
+        } else {
+            let weights: Vec<f64> = selection.iter().map(|wp| wp.weight).collect();
+            estimate_from_totals(&funcs, totals, &weights, self.num_partitions())
+        };
+        AnswerMeta {
+            partitions_read: selection.len() as u32,
+            picker_ms,
+            error_estimate,
+            planned_frac: frac,
+            exact,
+        }
+    }
+
     /// [`Self::answer`] with partition execution pinned to `pool` (a
     /// 1-worker pool executes serially on the caller). The serving layer
     /// uses this to keep batch fan-out and per-query fan-out on one pool;
@@ -325,12 +423,94 @@ impl Ps3System {
             None,
             rng,
         );
-        let answer =
-            execute_partitions_compiled_on(&self.pt, &artifacts.compiled, &selection, pool);
+        let (answer, totals) =
+            execute_partitions_compiled_totals_on(&self.pt, &artifacts.compiled, &selection, pool);
+        let meta = self.build_meta(
+            query,
+            &artifacts.features,
+            frac,
+            picker_ms,
+            &selection,
+            &totals,
+        );
         AnswerOutcome {
             answer,
             selection,
+            meta,
+        }
+    }
+
+    /// [`Self::answer_on`], emitting refining [`ProgressUpdate`]s as
+    /// partition batches complete. The selection is split into at most four
+    /// batches; after each non-final batch, `on_update` receives the
+    /// weighted combination of the prefix read so far plus its error
+    /// estimate. The returned outcome is **bit-identical** to
+    /// [`Self::answer_on`] with the same arguments: both paths add the same
+    /// per-partition partials in the same selection order, and batching
+    /// never reorders an `f64` accumulation.
+    pub fn answer_progressive_on(
+        &self,
+        query: &Query,
+        method: Method,
+        frac: f64,
+        rng: &mut StdRng,
+        pool: &ThreadPool,
+        mut on_update: impl FnMut(ProgressUpdate),
+    ) -> AnswerOutcome {
+        let artifacts = self.artifacts_for(query);
+        let (selection, picker_ms) = self.select_prepared(
+            query,
+            &artifacts.features,
+            &artifacts.normalized,
+            method,
+            frac,
+            None,
+            rng,
+        );
+        let funcs: Vec<AggFunc> = query.aggregates.iter().map(|a| a.func).collect();
+        let m = selection.len();
+        let batch = m.div_ceil(4).max(1);
+        let mut acc = PartialAnswer {
+            groups: std::collections::HashMap::new(),
+            slots: artifacts.compiled.slot_count(),
+        };
+        let mut totals: Vec<Vec<f64>> = Vec::with_capacity(m);
+        let mut weights: Vec<f64> = Vec::with_capacity(m);
+        let mut seq = 0u32;
+        for chunk in selection.chunks(batch) {
+            let partials = execute_partials_on(&self.pt, &artifacts.compiled, chunk, pool);
+            for (wp, part) in chunk.iter().zip(&partials) {
+                totals.push(part.slot_totals());
+                weights.push(wp.weight);
+                acc.add_weighted(part, wp.weight);
+            }
+            let done = totals.len();
+            if done < m {
+                let estimate =
+                    estimate_from_totals(&funcs, &totals, &weights, self.num_partitions());
+                on_update(ProgressUpdate {
+                    seq,
+                    partitions_done: done as u32,
+                    partitions_total: m as u32,
+                    answer: acc.finalize_funcs(&funcs),
+                    rel_err: estimate.rel_err,
+                });
+                seq += 1;
+            }
+        }
+        let answer = artifacts.compiled.finalize(&acc);
+        let meta = self.build_meta(
+            query,
+            &artifacts.features,
+            frac,
             picker_ms,
+            &selection,
+            &totals,
+        );
+        AnswerOutcome {
+            answer,
+            selection,
+            meta,
         }
     }
 
@@ -430,7 +610,9 @@ mod tests {
         let q = Query::new(vec![AggExpr::count()], None, vec![]);
         let out = sys.answer_seeded(&q, Method::Ps3, 0.25, 0);
         assert!(!out.selection.is_empty());
-        assert!(out.picker_ms >= 0.0);
+        assert!(out.meta.picker_ms >= 0.0);
+        assert_eq!(out.meta.partitions_read as usize, out.selection.len());
+        assert_eq!(out.meta.planned_frac, 0.25);
         // COUNT(*) estimate should be near 160 at a 25% budget with weights.
         let est = out.answer.global(0).unwrap();
         assert!((est - 160.0).abs() < 80.0, "count estimate {est}");
@@ -450,6 +632,89 @@ mod tests {
             "a 6-budget sweep must call QueryFeatures::compute exactly once"
         );
         assert_eq!(stats.hits, LSS_BUDGET_GRID.len() as u64 - 1);
+    }
+
+    #[test]
+    fn full_read_is_flagged_exact_with_zero_error() {
+        let sys = tiny_system();
+        let q = Query::new(vec![AggExpr::count()], None, vec![]);
+        let out = sys.answer_seeded(&q, Method::Ps3, 1.0, 0);
+        assert!(out.meta.exact);
+        assert!(out.meta.error_estimate.is_exact());
+        assert_eq!(out.answer.global(0).unwrap(), 160.0);
+        // A partial read is not exact and reports a real (or NaN) estimate.
+        let part = sys.answer_seeded(&q, Method::Ps3, 0.25, 0);
+        assert!(!part.meta.exact);
+        assert!(!part.meta.error_estimate.is_exact());
+    }
+
+    #[test]
+    fn estimate_tightens_as_the_budget_grows() {
+        let sys = tiny_system();
+        // SUM(x) with x = row index: per-partition totals differ, so the
+        // sample variance is real. (COUNT(*) on equal partitions has zero
+        // cross-partition variance and a degenerate 0-width CI.)
+        let q = Query::new(
+            vec![AggExpr::sum(ps3_query::ScalarExpr::col(
+                ps3_storage::ColId(0),
+            ))],
+            None,
+            vec![],
+        );
+        // Random sampling with HT weights: more partitions, smaller CI.
+        let small = sys.answer_seeded(&q, Method::Random, 0.2, 11);
+        let large = sys.answer_seeded(&q, Method::Random, 0.8, 11);
+        let (s, l) = (
+            small.meta.error_estimate.per_agg[0].ci_half_width,
+            large.meta.error_estimate.per_agg[0].ci_half_width,
+        );
+        assert!(s.is_finite() && l.is_finite());
+        assert!(l < s, "CI must tighten with budget: {l} !< {s}");
+    }
+
+    #[test]
+    fn progressive_answer_is_bit_identical_and_updates_refine() {
+        let sys = tiny_system();
+        let q = Query::new(
+            vec![AggExpr::sum(ps3_query::ScalarExpr::col(
+                ps3_storage::ColId(0),
+            ))],
+            None,
+            vec![ps3_storage::ColId(1)],
+        );
+        let pool = ThreadPool::new(2);
+        let mut rng = query_rng(&q, 9);
+        let one_shot = sys.answer_on(&q, Method::Ps3, 0.5, &mut rng, &pool);
+        let mut updates = Vec::new();
+        let mut rng = query_rng(&q, 9);
+        let progressive =
+            sys.answer_progressive_on(&q, Method::Ps3, 0.5, &mut rng, &pool, |u| updates.push(u));
+        assert_eq!(
+            one_shot.answer, progressive.answer,
+            "final progressive answer must be bit-identical to one-shot"
+        );
+        // Everything but the wall-clock picker timing is bit-identical.
+        assert_eq!(
+            one_shot.meta.error_estimate,
+            progressive.meta.error_estimate
+        );
+        assert_eq!(
+            one_shot.meta.partitions_read,
+            progressive.meta.partitions_read
+        );
+        assert_eq!(one_shot.meta.planned_frac, progressive.meta.planned_frac);
+        assert_eq!(one_shot.meta.exact, progressive.meta.exact);
+        assert!(!updates.is_empty(), "a multi-partition read must refine");
+        let mut prev_done = 0;
+        for (i, u) in updates.iter().enumerate() {
+            assert_eq!(u.seq as usize, i);
+            assert!(u.partitions_done > prev_done, "monotone partitions_done");
+            assert!(
+                u.partitions_done < u.partitions_total,
+                "final is not an update"
+            );
+            prev_done = u.partitions_done;
+        }
     }
 
     #[test]

@@ -5,18 +5,20 @@
 //! [`NetClient::request`]: encode, send, block for the matching reply.
 //! Pipelining is the split pair [`NetClient::send`] (fire off any number
 //! of requests) and [`NetClient::recv`] (collect replies in completion
-//! order, correlated by request id).
+//! order, correlated by request id). [`NetClient::request_streaming`]
+//! flips the request's progressive flag and returns the refining
+//! [`RemotePartial`]s alongside the final answer.
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use ps3_core::QueryRequest;
+use ps3_core::{AnswerMeta, QueryRequest};
 use ps3_query::QueryAnswer;
 
 use crate::proto::{
-    encode_frame, ErrorFrame, Frame, FrameBuffer, ProtoError, RequestFrame, ResponseFrame,
-    DEFAULT_MAX_FRAME,
+    encode_frame, ErrorFrame, Frame, FrameBuffer, PartialFrame, ProtoError, RequestFrame,
+    ResponseFrame, DEFAULT_MAX_FRAME,
 };
 
 /// Why a client call failed.
@@ -67,10 +69,11 @@ pub struct RemoteAnswer {
     pub request_id: u64,
     /// The (approximate) answer rows.
     pub answer: QueryAnswer,
-    /// How many partitions the server read.
-    pub partitions_read: u32,
-    /// Server-side picker latency in milliseconds.
-    pub picker_ms: f64,
+    /// How the answer was produced: partitions read, picker latency, the
+    /// planned fraction, exactness, and per-aggregate error estimates —
+    /// the same [`AnswerMeta`] the router reports locally. Answers from a
+    /// v1 server carry the explicit "no signal" meta.
+    pub meta: AnswerMeta,
 }
 
 impl RemoteAnswer {
@@ -78,10 +81,48 @@ impl RemoteAnswer {
         RemoteAnswer {
             request_id: frame.request_id,
             answer: frame.to_answer(),
-            partitions_read: frame.partitions_read,
-            picker_ms: frame.picker_ms,
+            meta: frame.to_meta(),
         }
     }
+}
+
+/// One refining intermediate answer from a progressive request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemotePartial {
+    /// 0-based position in the stream.
+    pub seq: u32,
+    /// Partitions combined so far.
+    pub partitions_done: u32,
+    /// Partitions the final answer will combine.
+    pub partitions_total: u32,
+    /// The intermediate estimate.
+    pub answer: QueryAnswer,
+    /// Summary relative error of the estimate (NaN when unestimable).
+    pub rel_err: f64,
+}
+
+impl RemotePartial {
+    fn from_frame(frame: &PartialFrame) -> RemotePartial {
+        RemotePartial {
+            seq: frame.seq,
+            partitions_done: frame.partitions_done,
+            partitions_total: frame.partitions_total,
+            answer: frame.to_answer(),
+            rel_err: frame.rel_err,
+        }
+    }
+}
+
+/// Everything a progressive request produced: zero or more refinements
+/// (in `seq` order — cache hits answer in a single frame) and the final
+/// answer, which is bit-identical to what a non-progressive request for
+/// the same `(table, query, method, planned frac, seed)` returns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamedAnswer {
+    /// The refinements, in stream order.
+    pub partials: Vec<RemotePartial>,
+    /// The final answer.
+    pub answer: RemoteAnswer,
 }
 
 /// One frame from the server: an answer or a typed refusal, either way
@@ -112,6 +153,9 @@ pub struct NetClient {
     /// Replies that arrived while waiting for a different id (pipelined
     /// requests complete in any order).
     parked: HashMap<u64, ServerReply>,
+    /// Partial frames collected per request id, awaiting their final
+    /// response.
+    partials: HashMap<u64, Vec<RemotePartial>>,
 }
 
 impl NetClient {
@@ -124,6 +168,7 @@ impl NetClient {
             inbound: FrameBuffer::new(DEFAULT_MAX_FRAME),
             next_id: 1,
             parked: HashMap::new(),
+            partials: HashMap::new(),
         })
     }
 
@@ -171,24 +216,62 @@ impl NetClient {
     /// reply, and surface server refusals as [`ClientError::Server`].
     pub fn request(&mut self, req: &QueryRequest) -> Result<RemoteAnswer, ClientError> {
         let id = self.send(req)?;
-        match self.recv_for(id)? {
+        let reply = self.recv_for(id);
+        // Whatever happened, this id is settled: drop any stashed partials
+        // nobody will collect.
+        self.partials.remove(&id);
+        match reply? {
             ServerReply::Answer(answer) => Ok(answer),
             ServerReply::Error(err) => Err(ClientError::Server(err)),
         }
     }
 
+    /// Send with the progressive flag set and collect the whole stream:
+    /// every [`RemotePartial`] refinement plus the final answer. How many
+    /// partials arrive is the server's choice — a cache hit answers in one
+    /// frame with no partials at all.
+    pub fn request_streaming(&mut self, req: &QueryRequest) -> Result<StreamedAnswer, ClientError> {
+        let req = req.clone().progressive();
+        let id = self.send(&req)?;
+        let reply = self.recv_for(id);
+        let partials = self.partials.remove(&id).unwrap_or_default();
+        match reply? {
+            ServerReply::Answer(answer) => Ok(StreamedAnswer { partials, answer }),
+            ServerReply::Error(err) => Err(ClientError::Server(err)),
+        }
+    }
+
+    /// Partial frames stashed for `request_id` so far (without waiting).
+    /// [`NetClient::request_streaming`] is the usual way to consume
+    /// partials; this is the escape hatch for pipelined [`NetClient::send`]
+    /// users.
+    pub fn take_partials(&mut self, request_id: u64) -> Vec<RemotePartial> {
+        self.partials.remove(&request_id).unwrap_or_default()
+    }
+
     /// Read frames off the socket until one complete reply decodes.
+    /// Partial frames are not replies: they are stashed for their request
+    /// id and reading continues.
     fn read_reply(&mut self) -> Result<ServerReply, ClientError> {
         loop {
             if let Some(frame) = self.inbound.next_frame()? {
-                return match frame {
+                match frame {
                     Frame::Response(resp) => {
-                        Ok(ServerReply::Answer(RemoteAnswer::from_frame(resp)))
+                        return Ok(ServerReply::Answer(RemoteAnswer::from_frame(resp)))
                     }
-                    Frame::Error(err) => Ok(ServerReply::Error(err)),
-                    Frame::Request(_) => Err(ClientError::Proto(ProtoError::Invalid(
-                        "server sent a request frame",
-                    ))),
+                    Frame::Error(err) => return Ok(ServerReply::Error(err)),
+                    Frame::Partial(part) => {
+                        self.partials
+                            .entry(part.request_id)
+                            .or_default()
+                            .push(RemotePartial::from_frame(&part));
+                        continue;
+                    }
+                    Frame::Request(_) => {
+                        return Err(ClientError::Proto(ProtoError::Invalid(
+                            "server sent a request frame",
+                        )))
+                    }
                 };
             }
             let mut chunk = [0u8; 16 * 1024];

@@ -8,9 +8,12 @@
 //! - [`proto`] — the length-prefixed, versioned binary protocol: a
 //!   request carries a table route, a serialized query, and the
 //!   `(method, budget, seed)` triple that makes every answer
-//!   deterministic; a response carries the answer rows and execution
-//!   stats; errors are typed. Zero external dependencies; byte layout
-//!   documented in `docs/PROTOCOL.md` and pinned by doc-tests.
+//!   deterministic, where the budget is typed (an explicit fraction or a
+//!   declarative error/latency target for the server's planner); a
+//!   response carries the answer rows, execution stats, and the answer's
+//!   error estimate; progressive requests stream refining partial frames;
+//!   errors are typed. Zero external dependencies; byte layout documented
+//!   in `docs/PROTOCOL.md` and pinned by doc-tests.
 //! - [`server`] — a non-blocking event loop (readiness `poll(2)` via
 //!   [`ps3_runtime::poll`], running as one detached
 //!   [`ThreadPool`](ps3_runtime::ThreadPool) task) that parses frames,
@@ -24,9 +27,11 @@
 //!   pair.
 //!
 //! The determinism contract extends across the wire: the answer to
-//! `(table, query, method, budget, seed)` served over TCP is bit-identical
-//! to a direct in-process `Ps3System::answer_on` call with the same tuple
-//! (`tests/net_serving.rs` proves it with 8 concurrent clients).
+//! `(table, query, method, planned frac, seed)` served over TCP is
+//! bit-identical to a direct in-process `Ps3System::answer_on` call with
+//! the same tuple (`tests/net_serving.rs` proves it with 8 concurrent
+//! clients), and a progressive request's final frame is bit-identical to
+//! the one-shot answer.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -39,10 +44,21 @@
 //! let server = NetServer::bind(Arc::clone(&router), "127.0.0.1:0")?;
 //!
 //! let mut client = NetClient::connect(server.addr())?;
+//! // Declarative error budget: the server's planner picks the fraction.
 //! let answer = client
-//!     .request(&QueryRequest::ps3(some_query(), 0.1, 7).on_table("events"))
+//!     .request(
+//!         &QueryRequest::ps3(some_query(), 0.1, 7)
+//!             .on_table("events")
+//!             .with_error_target(0.05),
+//!     )
 //!     .expect("served");
-//! println!("{} groups from {} partitions", answer.answer.num_groups(), answer.partitions_read);
+//! println!(
+//!     "{} groups from {} partitions at frac {} (rel err {})",
+//!     answer.answer.num_groups(),
+//!     answer.meta.partitions_read,
+//!     answer.meta.planned_frac,
+//!     answer.meta.error_estimate.rel_err,
+//! );
 //! # Ok::<(), std::io::Error>(())
 //! ```
 
@@ -53,8 +69,10 @@ pub mod proto;
 #[cfg(unix)]
 pub mod server;
 
-pub use client::{ClientError, NetClient, RemoteAnswer, ServerReply};
-pub use proto::{ErrorCode, ErrorFrame, Frame, ProtoError, PROTO_VERSION};
+pub use client::{
+    ClientError, NetClient, RemoteAnswer, RemotePartial, ServerReply, StreamedAnswer,
+};
+pub use proto::{ErrorCode, ErrorFrame, Frame, ProtoError, MIN_PROTO_VERSION, PROTO_VERSION};
 #[cfg(unix)]
 pub use server::{NetServer, ServerConfig, ServerStats};
 

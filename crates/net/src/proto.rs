@@ -3,16 +3,34 @@
 //! Everything on the wire is a **frame**: a 4-byte little-endian body
 //! length followed by the body, which starts with a fixed header
 //! (`version`, `kind`, `request_id`) and continues with a kind-specific
-//! payload. Three kinds exist: [`RequestFrame`] (client → server: a table
-//! route, a serialized [`Query`], and the method/budget/seed triple),
-//! [`ResponseFrame`] (server → client: answer rows plus execution stats),
-//! and [`ErrorFrame`] (server → client: a typed refusal). The encoding is
+//! payload. Four kinds exist: [`RequestFrame`] (client → server: a table
+//! route, a serialized [`Query`], and the method/[`Budget`]/seed triple),
+//! [`ResponseFrame`] (server → client: answer rows plus execution stats
+//! and the answer's error estimate), [`PartialFrame`] (server → client,
+//! v2 only: a refining intermediate answer on a progressive request), and
+//! [`ErrorFrame`] (server → client: a typed refusal). The encoding is
 //! hand-rolled over `Vec<u8>` — no serde, no external crates — and every
 //! multi-byte integer is little-endian.
 //!
 //! `docs/PROTOCOL.md` documents the byte layout with worked examples; a
 //! doc-test in this crate encodes those exact frames and asserts the
 //! documented bytes, so the document cannot silently drift from the code.
+//!
+//! ## Versions
+//!
+//! This build speaks **v2** and still decodes and emits **v1** frames
+//! ([`encode_frame_at`]); a v1 server sees from a v1 client exactly the
+//! bytes it always saw. v2 changes three things:
+//!
+//! - Requests carry a typed [`Budget`] (tag + value) instead of a bare
+//!   fraction, plus a flags byte whose bit 0 requests progressive
+//!   streaming. A v1 request decodes to `Budget::Fraction`, not
+//!   progressive; a declarative budget or a progressive flag *refuses* to
+//!   encode at v1 ([`ProtoError::Invalid`]) rather than silently
+//!   downgrading.
+//! - Responses append the answer's error contract: the planned fraction,
+//!   an exactness flag, and per-aggregate confidence intervals.
+//! - The [`PartialFrame`] kind exists, and only at v2.
 //!
 //! ## Forward compatibility
 //!
@@ -23,19 +41,24 @@
 //!   one version the grammar is closed.
 //! - Decoders ignore bytes past the fields they know *at the end of a
 //!   frame body*, so a minor revision may append new trailing fields
-//!   without bumping the version; anything structural bumps it.
+//!   without bumping the version; anything structural bumps it (that is
+//!   exactly how v2's response meta rides behind v1's last field).
 
 use std::collections::HashMap;
 
-use ps3_core::{Method, QueryRequest, TableRoute};
+use ps3_core::{AggError, AnswerMeta, Budget, ErrorEstimate, Method, QueryRequest, TableRoute};
 use ps3_query::{
     AggExpr, AggFunc, BinOp, Clause, CmpOp, GroupKey, Predicate, Query, QueryAnswer, ScalarExpr,
 };
 use ps3_storage::ColId;
 
 /// The protocol version this build speaks (the first body byte of every
-/// frame).
-pub const PROTO_VERSION: u8 = 1;
+/// frame). Version 1 is still decoded and, via [`encode_frame_at`],
+/// emitted.
+pub const PROTO_VERSION: u8 = 2;
+
+/// The oldest protocol version this build still speaks.
+pub const MIN_PROTO_VERSION: u8 = 1;
 
 /// Default cap on one frame's body length (16 MiB). Both sides refuse
 /// larger frames before buffering them, so a corrupt or hostile length
@@ -53,6 +76,17 @@ const KIND_REQUEST: u8 = 1;
 const KIND_RESPONSE: u8 = 2;
 /// Frame kind byte: error.
 const KIND_ERROR: u8 = 3;
+/// Frame kind byte: partial (progressive) answer. v2 only.
+const KIND_PARTIAL: u8 = 4;
+
+/// Request flags byte (v2): bit 0 requests progressive streaming.
+const FLAG_PROGRESSIVE: u8 = 1;
+/// Budget tag byte (v2): an explicit partition fraction.
+const BUDGET_FRACTION: u8 = 0;
+/// Budget tag byte (v2): a relative-error target.
+const BUDGET_ERROR_TARGET: u8 = 1;
+/// Budget tag byte (v2): a latency target in milliseconds.
+const BUDGET_LATENCY_TARGET: u8 = 2;
 
 /// Why a frame failed to decode (or a value refused to encode).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,7 +125,7 @@ impl std::fmt::Display for ProtoError {
             ProtoError::BadVersion(v) => {
                 write!(
                     f,
-                    "protocol version {v} (this build speaks {PROTO_VERSION})"
+                    "protocol version {v} (this build speaks {MIN_PROTO_VERSION}..={PROTO_VERSION})"
                 )
             }
             ProtoError::BadKind(k) => write!(f, "unknown frame kind {k}"),
@@ -162,6 +196,8 @@ pub enum Frame {
     Request(RequestFrame),
     /// Server → client: the answer.
     Response(ResponseFrame),
+    /// Server → client: a refining intermediate answer (v2 only).
+    Partial(PartialFrame),
     /// Server → client: a typed refusal.
     Error(ErrorFrame),
 }
@@ -177,11 +213,16 @@ pub struct RequestFrame {
     pub table: Option<String>,
     /// Sampling method.
     pub method: Method,
-    /// Partition budget as a fraction of the table.
-    pub frac: f64,
-    /// Determinism seed: equal `(table, query, method, frac, seed)` yields
-    /// bit-identical answers.
+    /// What to spend: an explicit partition fraction, or a declarative
+    /// error/latency target for the server's planner to resolve. v1 can
+    /// only carry `Budget::Fraction`.
+    pub budget: Budget,
+    /// Determinism seed: equal `(table, query, method, planned frac, seed)`
+    /// yields bit-identical answers.
     pub seed: u64,
+    /// Stream refining partial answers before the final response (v2 only;
+    /// served best-effort — cache hits answer in one frame).
+    pub progressive: bool,
     /// The query itself.
     pub query: Query,
 }
@@ -203,8 +244,9 @@ impl RequestFrame {
             request_id,
             table,
             method: req.method,
-            frac: req.frac,
+            budget: req.budget,
             seed: req.seed,
+            progressive: req.progressive,
             query: req.query.clone(),
         })
     }
@@ -218,9 +260,10 @@ impl RequestFrame {
         QueryRequest {
             query: self.query,
             method: self.method,
-            frac: self.frac,
+            budget: self.budget,
             seed: self.seed,
             table,
+            progressive: self.progressive,
         }
     }
 }
@@ -237,6 +280,10 @@ pub struct WireRow {
 
 /// A server's answer: rows plus how the answer was produced. Rows are
 /// sorted by key words, so equal answers encode to equal bytes.
+///
+/// The error-contract fields (`planned_frac`, `exact`, `error`) travel
+/// only at v2; a v1 decode fills them with the explicit "no signal"
+/// values (`planned_frac` 0, not exact, [`ErrorEstimate::no_signal`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResponseFrame {
     /// Echo of the request's correlation id.
@@ -247,6 +294,12 @@ pub struct ResponseFrame {
     pub partitions_read: u32,
     /// Picker latency in milliseconds (0 for trivial baselines).
     pub picker_ms: f64,
+    /// The fraction the answer was actually executed at (after planning).
+    pub planned_frac: f64,
+    /// True when the answer is exact, not an estimate.
+    pub exact: bool,
+    /// Per-aggregate confidence intervals and the summary relative error.
+    pub error: ErrorEstimate,
 }
 
 impl ResponseFrame {
@@ -265,13 +318,87 @@ impl ResponseFrame {
         ResponseFrame {
             request_id,
             rows,
-            partitions_read: outcome.selection.len() as u32,
-            picker_ms: outcome.picker_ms,
+            partitions_read: outcome.meta.partitions_read,
+            picker_ms: outcome.meta.picker_ms,
+            planned_frac: outcome.meta.planned_frac,
+            exact: outcome.meta.exact,
+            error: outcome.meta.error_estimate.clone(),
         }
     }
 
     /// Rebuild the answer map (the inverse of [`ResponseFrame::from_outcome`]
     /// up to row order, which [`QueryAnswer`]'s map erases anyway).
+    pub fn to_answer(&self) -> QueryAnswer {
+        let mut groups = HashMap::with_capacity(self.rows.len());
+        for row in &self.rows {
+            groups.insert(
+                GroupKey(row.key.clone().into_boxed_slice()),
+                row.values.clone(),
+            );
+        }
+        QueryAnswer { groups }
+    }
+
+    /// Rebuild the answer's metadata block for the client-side
+    /// [`AnswerMeta`] mirror of the router's outcome.
+    pub fn to_meta(&self) -> AnswerMeta {
+        AnswerMeta {
+            partitions_read: self.partitions_read,
+            picker_ms: self.picker_ms,
+            error_estimate: self.error.clone(),
+            planned_frac: self.planned_frac,
+            exact: self.exact,
+        }
+    }
+}
+
+/// A refining intermediate answer on a progressive request (v2 only).
+///
+/// Zero or more partials precede the final [`ResponseFrame`]; each covers
+/// strictly more partitions than the last, and the final response is
+/// bit-identical to what a non-progressive request would have returned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialFrame {
+    /// Echo of the request's correlation id.
+    pub request_id: u64,
+    /// 0-based position of this partial in the stream.
+    pub seq: u32,
+    /// Partitions combined into this estimate so far.
+    pub partitions_done: u32,
+    /// Partitions the full answer will combine (always `> partitions_done`
+    /// — the last batch arrives as the final response, never as a partial).
+    pub partitions_total: u32,
+    /// The intermediate answer's rows, sorted by group key.
+    pub rows: Vec<WireRow>,
+    /// Summary relative error of the intermediate estimate (NaN when the
+    /// prefix is too small to estimate from).
+    pub rel_err: f64,
+}
+
+impl PartialFrame {
+    /// Package a progress update for the wire.
+    pub fn from_update(request_id: u64, update: &ps3_core::ProgressUpdate) -> PartialFrame {
+        let mut rows: Vec<WireRow> = update
+            .answer
+            .groups
+            .iter()
+            .map(|(key, values)| WireRow {
+                key: key.0.to_vec(),
+                values: values.clone(),
+            })
+            .collect();
+        rows.sort_by(|a, b| a.key.cmp(&b.key));
+        PartialFrame {
+            request_id,
+            seq: update.seq,
+            partitions_done: update.partitions_done,
+            partitions_total: update.partitions_total,
+            rows,
+            rel_err: update.rel_err,
+        }
+    }
+
+    /// Rebuild the intermediate answer map.
     pub fn to_answer(&self) -> QueryAnswer {
         let mut groups = HashMap::with_capacity(self.rows.len());
         for row in &self.rows {
@@ -472,13 +599,60 @@ fn method_byte(m: Method) -> u8 {
     }
 }
 
+/// The shared row-block grammar of response and partial frames:
+/// `[n_aggs: u16][n_rows: u32]` then per row `[key_words: u16][key…][values…]`.
+fn encode_rows(w: &mut Writer, rows: &[WireRow]) -> Result<(), ProtoError> {
+    let n_aggs = rows.first().map_or(0, |r| r.values.len());
+    w.u16_len(n_aggs, "aggregate lists cap at 65535")?;
+    w.u32_len(rows.len(), "answers cap at 2^32-1 rows")?;
+    for row in rows {
+        w.u16_len(row.key.len(), "group keys cap at 65535 words")?;
+        for word in &row.key {
+            w.u64(*word);
+        }
+        debug_assert_eq!(row.values.len(), n_aggs, "ragged answer rows");
+        for v in &row.values {
+            w.f64(*v);
+        }
+    }
+    Ok(())
+}
+
+/// The v2 response meta block: `[planned_frac: f64][exact: u8]
+/// [rel_err: f64][n_aggs: u16]` then per aggregate
+/// `[ci_half_width: f64][rel_err: f64]`.
+fn encode_response_meta(w: &mut Writer, resp: &ResponseFrame) -> Result<(), ProtoError> {
+    w.f64(resp.planned_frac);
+    w.u8(u8::from(resp.exact));
+    w.f64(resp.error.rel_err);
+    w.u16_len(resp.error.per_agg.len(), "aggregate lists cap at 65535")?;
+    for agg in &resp.error.per_agg {
+        w.f64(agg.ci_half_width);
+        w.f64(agg.rel_err);
+    }
+    Ok(())
+}
+
 /// Encode a frame into its full wire form: `[body_len: u32 LE][body]`.
+/// Shorthand for [`encode_frame_at`] at [`PROTO_VERSION`].
+pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, ProtoError> {
+    encode_frame_at(frame, PROTO_VERSION)
+}
+
+/// Encode a frame at an explicit protocol version — what a server uses to
+/// answer a v1 client in its own dialect.
+///
 /// Fails ([`ProtoError::Invalid`]) on values that do not fit their length
 /// fields (a >64 KiB string, a >65535-entry list) rather than truncating
-/// them into a frame that would decode to something else.
-pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, ProtoError> {
+/// them into a frame that would decode to something else, and on v2-only
+/// content at v1: a declarative [`Budget`], a progressive request, or a
+/// [`PartialFrame`] refuse to downgrade.
+pub fn encode_frame_at(frame: &Frame, version: u8) -> Result<Vec<u8>, ProtoError> {
+    if !(MIN_PROTO_VERSION..=PROTO_VERSION).contains(&version) {
+        return Err(ProtoError::BadVersion(version));
+    }
     let mut w = Writer(Vec::with_capacity(64));
-    w.u8(PROTO_VERSION);
+    w.u8(version);
     match frame {
         Frame::Request(req) => {
             w.u8(KIND_REQUEST);
@@ -491,28 +665,52 @@ pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, ProtoError> {
                 }
             }
             w.u8(method_byte(req.method));
-            w.f64(req.frac);
+            if version == 1 {
+                let Budget::Fraction(frac) = req.budget else {
+                    return Err(ProtoError::Invalid("declarative budgets need protocol v2"));
+                };
+                if req.progressive {
+                    return Err(ProtoError::Invalid(
+                        "progressive streaming needs protocol v2",
+                    ));
+                }
+                w.f64(frac);
+            } else {
+                let (tag, value) = match req.budget {
+                    Budget::Fraction(f) => (BUDGET_FRACTION, f),
+                    Budget::ErrorTarget { rel_err } => (BUDGET_ERROR_TARGET, rel_err),
+                    Budget::LatencyTarget { ms } => (BUDGET_LATENCY_TARGET, ms),
+                };
+                w.u8(tag);
+                w.f64(value);
+            }
             w.u64(req.seed);
+            if version >= 2 {
+                w.u8(if req.progressive { FLAG_PROGRESSIVE } else { 0 });
+            }
             encode_query(&mut w, &req.query)?;
         }
         Frame::Response(resp) => {
             w.u8(KIND_RESPONSE);
             w.u64(resp.request_id);
-            let n_aggs = resp.rows.first().map_or(0, |r| r.values.len());
-            w.u16_len(n_aggs, "aggregate lists cap at 65535")?;
-            w.u32_len(resp.rows.len(), "answers cap at 2^32-1 rows")?;
-            for row in &resp.rows {
-                w.u16_len(row.key.len(), "group keys cap at 65535 words")?;
-                for word in &row.key {
-                    w.u64(*word);
-                }
-                debug_assert_eq!(row.values.len(), n_aggs, "ragged answer rows");
-                for v in &row.values {
-                    w.f64(*v);
-                }
-            }
+            encode_rows(&mut w, &resp.rows)?;
             w.u32(resp.partitions_read);
             w.f64(resp.picker_ms);
+            if version >= 2 {
+                encode_response_meta(&mut w, resp)?;
+            }
+        }
+        Frame::Partial(part) => {
+            if version < 2 {
+                return Err(ProtoError::Invalid("partial frames need protocol v2"));
+            }
+            w.u8(KIND_PARTIAL);
+            w.u64(part.request_id);
+            w.u32(part.seq);
+            w.u32(part.partitions_done);
+            w.u32(part.partitions_total);
+            encode_rows(&mut w, &part.rows)?;
+            w.f64(part.rel_err);
         }
         Frame::Error(err) => {
             w.u8(KIND_ERROR);
@@ -732,13 +930,28 @@ fn decode_query(r: &mut Reader) -> Result<Query, ProtoError> {
     })
 }
 
+fn decode_rows(r: &mut Reader) -> Result<Vec<WireRow>, ProtoError> {
+    let n_aggs = r.u16()? as usize;
+    let n_rows = r.u32()? as usize;
+    let mut rows = Vec::with_capacity(n_rows.min(4096));
+    for _ in 0..n_rows {
+        let key_words = r.u16()? as usize;
+        let key = (0..key_words).map(|_| r.u64()).collect::<Result<_, _>>()?;
+        let values = (0..n_aggs).map(|_| r.f64()).collect::<Result<_, _>>()?;
+        rows.push(WireRow { key, values });
+    }
+    Ok(rows)
+}
+
 /// Decode one frame *body* (the bytes after the 4-byte length prefix).
+/// Both protocol versions are accepted; a v1 body yields the same [`Frame`]
+/// type with the v2-only fields at their explicit "absent" values.
 /// Trailing bytes past the known grammar are ignored (see the module docs
 /// on forward compatibility).
 pub fn decode_body(body: &[u8]) -> Result<Frame, ProtoError> {
     let mut r = Reader { buf: body, pos: 0 };
     let version = r.u8()?;
-    if version != PROTO_VERSION {
+    if !(MIN_PROTO_VERSION..=PROTO_VERSION).contains(&version) {
         return Err(ProtoError::BadVersion(version));
     }
     let kind = r.u8()?;
@@ -767,33 +980,99 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, ProtoError> {
                     })
                 }
             };
-            let frac = r.f64()?;
+            let budget = if version == 1 {
+                Budget::Fraction(r.f64()?)
+            } else {
+                let tag = r.u8()?;
+                let value = r.f64()?;
+                match tag {
+                    BUDGET_FRACTION => Budget::Fraction(value),
+                    BUDGET_ERROR_TARGET => Budget::ErrorTarget { rel_err: value },
+                    BUDGET_LATENCY_TARGET => Budget::LatencyTarget { ms: value },
+                    tag => {
+                        return Err(ProtoError::BadTag {
+                            what: "budget",
+                            tag,
+                        })
+                    }
+                }
+            };
             let seed = r.u64()?;
+            let progressive = if version >= 2 {
+                let flags = r.u8()?;
+                if flags & !FLAG_PROGRESSIVE != 0 {
+                    return Err(ProtoError::Invalid("unknown request flag bits"));
+                }
+                flags & FLAG_PROGRESSIVE != 0
+            } else {
+                false
+            };
             let query = decode_query(&mut r)?;
             Ok(Frame::Request(RequestFrame {
                 request_id,
                 table,
                 method,
-                frac,
+                budget,
                 seed,
+                progressive,
                 query,
             }))
         }
         KIND_RESPONSE => {
-            let n_aggs = r.u16()? as usize;
-            let n_rows = r.u32()? as usize;
-            let mut rows = Vec::with_capacity(n_rows.min(4096));
-            for _ in 0..n_rows {
-                let key_words = r.u16()? as usize;
-                let key = (0..key_words).map(|_| r.u64()).collect::<Result<_, _>>()?;
-                let values = (0..n_aggs).map(|_| r.f64()).collect::<Result<_, _>>()?;
-                rows.push(WireRow { key, values });
-            }
+            let rows = decode_rows(&mut r)?;
+            let partitions_read = r.u32()?;
+            let picker_ms = r.f64()?;
+            let (planned_frac, exact, error) = if version >= 2 {
+                let planned_frac = r.f64()?;
+                let exact = match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    tag => {
+                        return Err(ProtoError::BadTag {
+                            what: "exactness flag",
+                            tag,
+                        })
+                    }
+                };
+                let rel_err = r.f64()?;
+                let n = r.u16()? as usize;
+                let per_agg = (0..n)
+                    .map(|_| {
+                        Ok(AggError {
+                            ci_half_width: r.f64()?,
+                            rel_err: r.f64()?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, ProtoError>>()?;
+                (planned_frac, exact, ErrorEstimate { per_agg, rel_err })
+            } else {
+                (0.0, false, ErrorEstimate::no_signal(0))
+            };
             Ok(Frame::Response(ResponseFrame {
                 request_id,
                 rows,
-                partitions_read: r.u32()?,
-                picker_ms: r.f64()?,
+                partitions_read,
+                picker_ms,
+                planned_frac,
+                exact,
+                error,
+            }))
+        }
+        KIND_PARTIAL => {
+            if version < 2 {
+                return Err(ProtoError::BadKind(kind));
+            }
+            let seq = r.u32()?;
+            let partitions_done = r.u32()?;
+            let partitions_total = r.u32()?;
+            let rows = decode_rows(&mut r)?;
+            Ok(Frame::Partial(PartialFrame {
+                request_id,
+                seq,
+                partitions_done,
+                partitions_total,
+                rows,
+                rel_err: r.f64()?,
             }))
         }
         KIND_ERROR => {
@@ -821,6 +1100,8 @@ pub struct FrameBuffer {
     /// Bytes of `buf` already consumed by yielded frames (compacted lazily).
     consumed: usize,
     max_frame: u32,
+    /// Version byte of the most recently yielded frame.
+    last_version: Option<u8>,
 }
 
 impl FrameBuffer {
@@ -830,7 +1111,15 @@ impl FrameBuffer {
             buf: Vec::new(),
             consumed: 0,
             max_frame,
+            last_version: None,
         }
+    }
+
+    /// The version byte of the last frame [`Self::next_frame`] yielded —
+    /// how a server learns which dialect a connection speaks, so it can
+    /// answer in kind.
+    pub fn last_version(&self) -> Option<u8> {
+        self.last_version
     }
 
     /// Append raw bytes from the stream.
@@ -863,6 +1152,7 @@ impl FrameBuffer {
             return Ok(None);
         }
         let frame = decode_body(&pending[4..total])?;
+        self.last_version = Some(pending[4]);
         self.consumed += total;
         Ok(Some(frame))
     }
@@ -920,8 +1210,9 @@ mod tests {
             request_id: 0xDEAD_BEEF_0BAD_F00D,
             table: Some("lineitem".into()),
             method: Method::Ps3,
-            frac: 0.125,
+            budget: Budget::Fraction(0.125),
             seed: 42,
+            progressive: true,
             query: sample_query(),
         });
         let wire = encode_frame(&frame).expect("encodes");
@@ -930,6 +1221,115 @@ mod tests {
         // The length prefix covers exactly the body.
         let len = u32::from_le_bytes(wire[..4].try_into().unwrap()) as usize;
         assert_eq!(len, wire.len() - 4);
+    }
+
+    #[test]
+    fn declarative_budgets_roundtrip_at_v2() {
+        for budget in [
+            Budget::ErrorTarget { rel_err: 0.05 },
+            Budget::LatencyTarget { ms: 4.5 },
+            Budget::Fraction(0.3),
+        ] {
+            let frame = Frame::Request(RequestFrame {
+                request_id: 8,
+                table: None,
+                method: Method::Ps3,
+                budget,
+                seed: 3,
+                progressive: false,
+                query: sample_query(),
+            });
+            let wire = encode_frame(&frame).expect("encodes");
+            assert_eq!(decode_body(&wire[4..]).expect("decode"), frame);
+        }
+    }
+
+    #[test]
+    fn v1_requests_decode_to_fraction_budgets_and_cost_two_fewer_bytes() {
+        let frame = Frame::Request(RequestFrame {
+            request_id: 11,
+            table: Some("t".into()),
+            method: Method::Lss,
+            budget: Budget::Fraction(0.25),
+            seed: 9,
+            progressive: false,
+            query: sample_query(),
+        });
+        let v1 = encode_frame_at(&frame, 1).expect("fraction budgets encode at v1");
+        assert_eq!(v1[4], 1, "version byte");
+        let decoded = decode_body(&v1[4..]).expect("decode v1");
+        assert_eq!(decoded, frame, "a v1 request is a non-progressive fraction");
+        // v2 spends exactly two extra bytes: the budget tag and the flags.
+        let v2 = encode_frame_at(&frame, 2).expect("encodes at v2");
+        assert_eq!(v2.len(), v1.len() + 2);
+    }
+
+    #[test]
+    fn v2_only_content_refuses_to_encode_at_v1() {
+        let mut req = RequestFrame {
+            request_id: 1,
+            table: None,
+            method: Method::Ps3,
+            budget: Budget::ErrorTarget { rel_err: 0.05 },
+            seed: 1,
+            progressive: false,
+            query: sample_query(),
+        };
+        assert!(matches!(
+            encode_frame_at(&Frame::Request(req.clone()), 1),
+            Err(ProtoError::Invalid(_)),
+        ));
+        req.budget = Budget::Fraction(0.5);
+        req.progressive = true;
+        assert!(matches!(
+            encode_frame_at(&Frame::Request(req), 1),
+            Err(ProtoError::Invalid(_)),
+        ));
+        let partial = Frame::Partial(PartialFrame {
+            request_id: 1,
+            seq: 0,
+            partitions_done: 1,
+            partitions_total: 4,
+            rows: vec![],
+            rel_err: f64::NAN,
+        });
+        assert!(matches!(
+            encode_frame_at(&partial, 1),
+            Err(ProtoError::Invalid(_)),
+        ));
+        // And nobody can ask for a version this build does not speak.
+        assert_eq!(encode_frame_at(&partial, 3), Err(ProtoError::BadVersion(3)),);
+    }
+
+    #[test]
+    fn partial_frames_roundtrip_bit_exactly() {
+        let frame = Frame::Partial(PartialFrame {
+            request_id: 0xFEED,
+            seq: 2,
+            partitions_done: 6,
+            partitions_total: 8,
+            rows: vec![
+                WireRow {
+                    key: vec![1],
+                    values: vec![3.5, -0.0],
+                },
+                WireRow {
+                    key: vec![2],
+                    values: vec![f64::NAN, 4.0],
+                },
+            ],
+            rel_err: 0.125,
+        });
+        let wire = encode_frame(&frame).expect("encodes");
+        let Frame::Partial(decoded) = decode_body(&wire[4..]).expect("decode") else {
+            panic!("wrong kind");
+        };
+        assert_eq!(decoded.seq, 2);
+        assert_eq!(decoded.partitions_done, 6);
+        assert_eq!(decoded.partitions_total, 8);
+        assert_eq!(decoded.rel_err, 0.125);
+        assert_eq!(decoded.rows[1].values[0].to_bits(), f64::NAN.to_bits());
+        assert_eq!(decoded.to_answer().num_groups(), 2);
     }
 
     #[test]
@@ -948,18 +1348,64 @@ mod tests {
             ],
             partitions_read: 12,
             picker_ms: 0.25,
+            planned_frac: 0.2,
+            exact: false,
+            error: ErrorEstimate {
+                per_agg: vec![
+                    AggError {
+                        ci_half_width: 3.0,
+                        rel_err: 0.1,
+                    },
+                    AggError::no_signal(),
+                    AggError {
+                        ci_half_width: 0.5,
+                        rel_err: 0.02,
+                    },
+                ],
+                rel_err: 0.1,
+            },
         };
         let wire = encode_frame(&Frame::Response(frame.clone())).expect("encodes");
         let Frame::Response(decoded) = decode_body(&wire[4..]).expect("decode") else {
             panic!("wrong kind");
         };
         assert_eq!(decoded, frame);
+        assert_eq!(decoded.to_meta().error_estimate, frame.error);
+        assert_eq!(decoded.to_meta().planned_frac, 0.2);
         let answer = decoded.to_answer();
         assert_eq!(answer.num_groups(), 2);
         assert_eq!(
             answer.groups[&GroupKey(vec![3, 9].into_boxed_slice())],
             vec![2.0, 4.0, 8.0]
         );
+    }
+
+    #[test]
+    fn v1_responses_drop_the_meta_and_decode_with_no_signal() {
+        let frame = ResponseFrame {
+            request_id: 7,
+            rows: vec![WireRow {
+                key: vec![],
+                values: vec![1.5],
+            }],
+            partitions_read: 4,
+            picker_ms: 0.5,
+            planned_frac: 0.25,
+            exact: true,
+            error: ErrorEstimate::exact_for(1),
+        };
+        let v1 = encode_frame_at(&Frame::Response(frame.clone()), 1).expect("encodes");
+        let v2 = encode_frame_at(&Frame::Response(frame.clone()), 2).expect("encodes");
+        assert!(v2.len() > v1.len(), "the meta block rides only at v2");
+        let Frame::Response(decoded) = decode_body(&v1[4..]).expect("decode v1") else {
+            panic!("wrong kind");
+        };
+        assert_eq!(decoded.rows, frame.rows);
+        assert_eq!(decoded.partitions_read, 4);
+        // The error contract did not travel: explicitly absent, not made up.
+        assert!(!decoded.exact);
+        assert_eq!(decoded.planned_frac, 0.0);
+        assert_eq!(decoded.error, ErrorEstimate::no_signal(0));
     }
 
     #[test]
@@ -973,6 +1419,9 @@ mod tests {
             }],
             partitions_read: 0,
             picker_ms: 0.0,
+            planned_frac: 0.1,
+            exact: false,
+            error: ErrorEstimate::no_signal(2),
         });
         let wire = encode_frame(&frame).expect("encodes");
         let Frame::Response(decoded) = decode_body(&wire[4..]).unwrap() else {
@@ -1014,8 +1463,9 @@ mod tests {
             request_id: 5,
             table: None,
             method: Method::Random,
-            frac: 0.5,
+            budget: Budget::Fraction(0.5),
             seed: 1,
+            progressive: false,
             query: sample_query(),
         });
         let wire = encode_frame(&frame).expect("encodes");
@@ -1039,8 +1489,9 @@ mod tests {
                 request_id: 1,
                 table: Some("t".into()),
                 method: Method::Ps3,
-                frac: 0.1,
+                budget: Budget::Fraction(0.1),
                 seed: 2,
+                progressive: false,
                 query: sample_query(),
             }),
             Frame::Error(ErrorFrame {
@@ -1074,8 +1525,9 @@ mod tests {
             request_id: 1,
             table: None,
             method: Method::Ps3,
-            frac: 0.1,
+            budget: Budget::Fraction(0.1),
             seed: 1,
+            progressive: false,
             query: Query::new(
                 vec![AggExpr::count()],
                 Some(Predicate::Clause(Clause::Contains {
@@ -1092,8 +1544,9 @@ mod tests {
             request_id: 1,
             table: None,
             method: Method::Ps3,
-            frac: 0.1,
+            budget: Budget::Fraction(0.1),
             seed: 1,
+            progressive: false,
             query: Query::new(
                 vec![AggExpr::count()],
                 Some(Predicate::Clause(Clause::In {
@@ -1140,15 +1593,67 @@ mod tests {
 
     #[test]
     fn request_frame_round_trips_through_query_request() {
-        let req = QueryRequest::ps3(sample_query(), 0.1, 1).on_table("events");
+        let req = QueryRequest::ps3(sample_query(), 0.1, 1)
+            .on_table("events")
+            .with_error_target(0.05)
+            .progressive();
         let frame = RequestFrame::from_request(17, &req).expect("named routes encode");
         let rebuilt = frame.into_query_request();
         assert_eq!(rebuilt.query, req.query);
         assert_eq!(rebuilt.table, req.table);
         assert_eq!(rebuilt.seed, req.seed);
-        assert_eq!(rebuilt.frac.to_bits(), req.frac.to_bits());
+        assert_eq!(rebuilt.budget, Budget::ErrorTarget { rel_err: 0.05 });
+        assert!(rebuilt.progressive);
         // Id routes are router-local and refuse to encode; the refusal is
         // exercised end-to-end in tests/net_serving.rs where a real router
         // can mint one.
+    }
+
+    #[test]
+    fn frame_buffer_reports_the_peer_version() {
+        let frame = Frame::Error(ErrorFrame {
+            request_id: 1,
+            code: ErrorCode::Shutdown,
+            message: String::new(),
+        });
+        let mut buf = FrameBuffer::new(DEFAULT_MAX_FRAME);
+        assert_eq!(buf.last_version(), None, "no frame yet");
+        buf.push(&encode_frame_at(&frame, 1).unwrap());
+        assert!(buf.next_frame().unwrap().is_some());
+        assert_eq!(buf.last_version(), Some(1));
+        buf.push(&encode_frame_at(&frame, 2).unwrap());
+        assert!(buf.next_frame().unwrap().is_some());
+        assert_eq!(buf.last_version(), Some(2));
+    }
+
+    #[test]
+    fn unknown_budget_tags_and_flag_bits_are_rejected() {
+        let frame = Frame::Request(RequestFrame {
+            request_id: 5,
+            table: None,
+            method: Method::Random,
+            budget: Budget::Fraction(0.5),
+            seed: 1,
+            progressive: false,
+            query: Query::new(vec![AggExpr::count()], None, vec![]),
+        });
+        let wire = encode_frame(&frame).expect("encodes");
+        // Body layout: version, kind, id(8), table tag, method → budget tag
+        // at body offset 12, flags at offset 29 (tag + f64 + seed after it).
+        let mut bad_tag = wire.clone();
+        bad_tag[4 + 12] = 9;
+        assert_eq!(
+            decode_body(&bad_tag[4..]),
+            Err(ProtoError::BadTag {
+                what: "budget",
+                tag: 9
+            }),
+        );
+        let mut bad_flags = wire;
+        bad_flags[4 + 29] = 0x80;
+        assert_eq!(
+            decode_body(&bad_flags[4..]),
+            Err(ProtoError::Invalid("unknown request flag bits")),
+        );
     }
 }

@@ -20,7 +20,16 @@
 //! 3. **Write** — completed tickets become [`ResponseFrame`]s (or
 //!    [`ErrorCode::Internal`] errors, if the request panicked) appended to
 //!    the connection's write buffer and flushed as far as the socket
-//!    allows; the rest goes out when the socket polls writable.
+//!    allows; the rest goes out when the socket polls writable. A
+//!    progressive request's refining updates arrive the same way, as
+//!    [`PartialFrame`]s delivered ahead of the final response (the ticket's
+//!    [`on_progress`](ps3_core::Ticket::on_progress) hook pokes the same
+//!    waker).
+//!
+//! Each connection speaks whatever protocol version its own frames carry:
+//! the server answers a v1 request with v1 bytes and a v2 request with v2
+//! bytes, so old clients keep working unchanged (they simply cannot
+//! express declarative budgets or progressive streaming).
 //!
 //! A client that disconnects mid-request just gets its connection state
 //! dropped; its in-flight executions complete in the router (and still
@@ -34,15 +43,15 @@ use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use ps3_core::{RouteError, Router, Tenant, Ticket};
 use ps3_runtime::poll::{poll_fds, Interest, PollEntry, Waker};
-use ps3_runtime::ThreadPool;
+use ps3_runtime::{Mailbox, ThreadPool};
 
 use crate::proto::{
-    encode_frame, ErrorCode, ErrorFrame, Frame, FrameBuffer, ProtoError, RequestFrame,
-    ResponseFrame, DEFAULT_MAX_FRAME,
+    encode_frame_at, ErrorCode, ErrorFrame, Frame, FrameBuffer, PartialFrame, ProtoError,
+    RequestFrame, ResponseFrame, DEFAULT_MAX_FRAME, MIN_PROTO_VERSION,
 };
 
 /// Tuning knobs for [`NetServer::bind`].
@@ -100,7 +109,11 @@ struct Shared {
     /// request id)` — pushed by each ticket's `on_ready` hook, drained by
     /// the event loop. Keeps delivery O(completions) instead of scanning
     /// every in-flight ticket of every connection per wakeup.
-    completed: Mutex<Vec<(u64, u64)>>,
+    completed: Mailbox<(u64, u64)>,
+    /// Progressive requests with undelivered refinements, same keying —
+    /// pushed by each ticket's `on_progress` hook, drained ahead of
+    /// completions so partials always precede their final response.
+    progressed: Mailbox<(u64, u64)>,
 }
 
 /// A running network front door over a [`Router`]. Dropping the handle
@@ -134,7 +147,8 @@ impl NetServer {
             waker: Waker::new()?,
             shutdown: AtomicBool::new(false),
             counters: Counters::default(),
-            completed: Mutex::new(Vec::new()),
+            completed: Mailbox::new(),
+            progressed: Mailbox::new(),
         });
         let pool = Arc::new(ThreadPool::new(1));
         {
@@ -180,20 +194,23 @@ impl Drop for NetServer {
     }
 }
 
-/// Encode a server→client frame, enforcing the outbound frame cap. A
-/// frame that exceeds the cap (or fails to encode — an over-wide group
-/// key, an overlong message) degrades to a typed [`ErrorCode::FrameTooLarge`]
-/// refusal for the same request id instead of wedging the client, whose
-/// `FrameBuffer` would reject the oversized length prefix and lose
-/// framing permanently. The refusal itself is a small constant-size frame
-/// (well under any sane cap, and under every client's own limit).
-fn encode_outbound(frame: &Frame, max_frame: u32) -> Vec<u8> {
-    match encode_frame(frame) {
+/// Encode a server→client frame at the connection's protocol version,
+/// enforcing the outbound frame cap. A frame that exceeds the cap (or
+/// fails to encode — an over-wide group key, an overlong message) degrades
+/// to a typed [`ErrorCode::FrameTooLarge`] refusal for the same request id
+/// instead of wedging the client, whose `FrameBuffer` would reject the
+/// oversized length prefix and lose framing permanently. The refusal
+/// itself is a small constant-size frame (well under any sane cap, and
+/// under every client's own limit) that encodes identically at every
+/// version.
+fn encode_outbound(frame: &Frame, max_frame: u32, version: u8) -> Vec<u8> {
+    match encode_frame_at(frame, version) {
         Ok(wire) if wire.len() - 4 <= max_frame as usize => wire,
         _ => {
             let request_id = match frame {
                 Frame::Request(f) => f.request_id,
                 Frame::Response(f) => f.request_id,
+                Frame::Partial(f) => f.request_id,
                 Frame::Error(f) => f.request_id,
             };
             let refusal = Frame::Error(ErrorFrame {
@@ -203,7 +220,7 @@ fn encode_outbound(frame: &Frame, max_frame: u32) -> Vec<u8> {
                           narrow the query or raise max_frame"
                     .into(),
             });
-            encode_frame(&refusal).expect("static error frames always encode")
+            encode_frame_at(&refusal, version).expect("static error frames always encode")
         }
     }
 }
@@ -221,6 +238,10 @@ struct Conn {
     tenant: Tenant,
     /// Accepted requests awaiting completion, by request id.
     in_flight: HashMap<u64, Ticket>,
+    /// The protocol version of the peer's most recent frame — replies go
+    /// out in the same dialect. Starts at the oldest supported version
+    /// (pre-decode errors must be readable by anyone).
+    peer_version: u8,
     /// Close once the write buffer drains (set after a framing error).
     close_after_flush: bool,
     /// Torn down at the end of the current iteration.
@@ -228,11 +249,11 @@ struct Conn {
 }
 
 impl Conn {
-    /// Queue a frame for delivery, degrading over-cap frames to typed
-    /// refusals (see [`encode_outbound`]).
+    /// Queue a frame for delivery at the peer's version, degrading
+    /// over-cap frames to typed refusals (see [`encode_outbound`]).
     fn send(&mut self, frame: &Frame, max_frame: u32) {
         self.outbound
-            .extend_from_slice(&encode_outbound(frame, max_frame));
+            .extend_from_slice(&encode_outbound(frame, max_frame, self.peer_version));
     }
 
     /// Write as much buffered output as the socket accepts.
@@ -344,7 +365,9 @@ impl EventLoop {
                 }
             }
 
-            // Deliver every completed ticket, then flush what fit.
+            // Deliver refinements first so a request's partials always
+            // precede its final response, then completed tickets.
+            self.deliver_progress();
             self.deliver_completions();
             self.conns.retain(|_, conn| {
                 if conn.dead {
@@ -384,6 +407,7 @@ impl EventLoop {
                             flushed: 0,
                             tenant,
                             in_flight: HashMap::new(),
+                            peer_version: MIN_PROTO_VERSION,
                             close_after_flush: false,
                             dead: false,
                         },
@@ -429,18 +453,26 @@ impl EventLoop {
         }
         loop {
             match conn.inbound.next_frame() {
-                Ok(Some(Frame::Request(req))) => Self::submit(conn, token, shared, max_frame, req),
-                Ok(Some(_)) => {
-                    // Clients must not send server-kind frames.
-                    shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-                    conn.send(
-                        &Frame::Error(ErrorFrame {
-                            request_id: 0,
-                            code: ErrorCode::Malformed,
-                            message: "clients send request frames only".into(),
-                        }),
-                        max_frame,
-                    );
+                Ok(Some(frame)) => {
+                    // Answer in the dialect the peer just spoke.
+                    if let Some(v) = conn.inbound.last_version() {
+                        conn.peer_version = v;
+                    }
+                    match frame {
+                        Frame::Request(req) => Self::submit(conn, token, shared, max_frame, req),
+                        _ => {
+                            // Clients must not send server-kind frames.
+                            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                            conn.send(
+                                &Frame::Error(ErrorFrame {
+                                    request_id: 0,
+                                    code: ErrorCode::Malformed,
+                                    message: "clients send request frames only".into(),
+                                }),
+                                max_frame,
+                            );
+                        }
+                    }
                 }
                 Ok(None) => break,
                 Err(err) => {
@@ -491,19 +523,25 @@ impl EventLoop {
             );
             return;
         }
+        let progressive = req.progressive;
         match conn.tenant.try_submit(req.into_query_request()) {
             Ok(ticket) => {
                 shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+                if progressive {
+                    // Refinements flow through the same waker; the event
+                    // loop turns them into Partial frames.
+                    let hook_shared = Arc::clone(shared);
+                    ticket.on_progress(move || {
+                        hook_shared.progressed.push((token, request_id));
+                        hook_shared.waker.wake();
+                    });
+                }
                 let hook_shared = Arc::clone(shared);
                 // The hook only records the completion and pokes the poll;
                 // the event loop delivers. Runs immediately if the request
                 // already finished (a cache hit executed by a fast pump).
                 ticket.on_ready(move || {
-                    hook_shared
-                        .completed
-                        .lock()
-                        .unwrap()
-                        .push((token, request_id));
+                    hook_shared.completed.push((token, request_id));
                     hook_shared.waker.wake();
                 });
                 conn.in_flight.insert(request_id, ticket);
@@ -529,6 +567,30 @@ impl EventLoop {
         }
     }
 
+    /// Turn every undelivered progress update into a [`PartialFrame`] on
+    /// its connection's write buffer. Driven by the `(token, request_id)`
+    /// pairs the `on_progress` hooks recorded; a dead connection's updates
+    /// are dropped with it. Only v2 peers receive partials — and only v2
+    /// peers can ask (a v1 request cannot carry the progressive flag).
+    fn deliver_progress(&mut self) {
+        let max_frame = self.config.max_frame;
+        for (token, request_id) in self.shared.progressed.drain() {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                continue;
+            };
+            let Some(ticket) = conn.in_flight.get(&request_id) else {
+                continue;
+            };
+            for update in ticket.take_progress() {
+                conn.send(
+                    &Frame::Partial(PartialFrame::from_update(request_id, &update)),
+                    max_frame,
+                );
+            }
+            conn.flush();
+        }
+    }
+
     /// Move every completed ticket's outcome onto its connection's write
     /// buffer — O(completions), driven by the `(token, request_id)` pairs
     /// the `on_ready` hooks recorded, never by scanning in-flight tickets.
@@ -536,7 +598,7 @@ impl EventLoop {
     /// client-side. Completions for connections that died in the meantime
     /// are skipped (their tickets dropped with the connection state).
     fn deliver_completions(&mut self) {
-        let done = std::mem::take(&mut *self.shared.completed.lock().unwrap());
+        let done = self.shared.completed.drain();
         let max_frame = self.config.max_frame;
         for (token, request_id) in done {
             let Some(conn) = self.conns.get_mut(&token) else {
@@ -545,6 +607,14 @@ impl EventLoop {
             let Some(ticket) = conn.in_flight.remove(&request_id) else {
                 continue;
             };
+            // Progress recorded before completion must still go out first
+            // (the executing pump pushes updates before it fulfills).
+            for update in ticket.take_progress() {
+                conn.send(
+                    &Frame::Partial(PartialFrame::from_update(request_id, &update)),
+                    max_frame,
+                );
+            }
             // fulfill() stores the result before firing the hook, so a
             // recorded completion always has one to take.
             match ticket.poll_take() {
@@ -587,47 +657,82 @@ impl EventLoop {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::proto::{decode_body, ResponseFrame, WireRow};
+    use crate::proto::{decode_body, ResponseFrame, WireRow, PROTO_VERSION};
+    use ps3_core::ErrorEstimate;
+
+    fn response(request_id: u64, rows: Vec<WireRow>) -> ResponseFrame {
+        let n_aggs = rows.first().map_or(0, |r| r.values.len());
+        ResponseFrame {
+            request_id,
+            rows,
+            partitions_read: 1,
+            picker_ms: 0.0,
+            planned_frac: 0.5,
+            exact: false,
+            error: ErrorEstimate::no_signal(n_aggs),
+        }
+    }
 
     #[test]
     fn over_cap_responses_degrade_to_a_typed_refusal() {
         // A response bigger than the outbound cap must become a decodable
         // FrameTooLarge error for the same request id — never an oversized
         // frame the client's FrameBuffer would choke on.
-        let big = Frame::Response(ResponseFrame {
-            request_id: 42,
-            rows: (0..64)
+        let big = Frame::Response(response(
+            42,
+            (0..64)
                 .map(|i| WireRow {
                     key: vec![i],
                     values: vec![i as f64],
                 })
                 .collect(),
-            partitions_read: 1,
-            picker_ms: 0.0,
-        });
-        let wire = encode_outbound(&big, 64);
-        let body_len = u32::from_le_bytes(wire[..4].try_into().unwrap());
-        assert!(
-            body_len < 128,
-            "the refusal is a small constant-size frame any client accepts \
-             (got {body_len} bytes)"
-        );
-        match decode_body(&wire[4..]).expect("refusal decodes") {
-            Frame::Error(e) => {
-                assert_eq!(e.code, ErrorCode::FrameTooLarge);
-                assert_eq!(e.request_id, 42, "refusal keeps the correlation id");
+        ));
+        for version in [1, PROTO_VERSION] {
+            let wire = encode_outbound(&big, 64, version);
+            let body_len = u32::from_le_bytes(wire[..4].try_into().unwrap());
+            assert!(
+                body_len < 128,
+                "the refusal is a small constant-size frame any client \
+                 accepts (got {body_len} bytes at v{version})"
+            );
+            match decode_body(&wire[4..]).expect("refusal decodes") {
+                Frame::Error(e) => {
+                    assert_eq!(e.code, ErrorCode::FrameTooLarge);
+                    assert_eq!(e.request_id, 42, "refusal keeps the correlation id");
+                }
+                other => panic!("expected error frame, got {other:?}"),
             }
-            other => panic!("expected error frame, got {other:?}"),
         }
 
         // Under the cap, the response passes through unchanged.
-        let small = Frame::Response(ResponseFrame {
-            request_id: 7,
-            rows: vec![],
-            partitions_read: 0,
-            picker_ms: 0.0,
-        });
-        let wire = encode_outbound(&small, DEFAULT_MAX_FRAME);
+        let small = Frame::Response(response(7, vec![]));
+        let wire = encode_outbound(&small, DEFAULT_MAX_FRAME, PROTO_VERSION);
         assert_eq!(decode_body(&wire[4..]).expect("decodes"), small);
+    }
+
+    #[test]
+    fn partials_refuse_v1_but_degrade_gracefully() {
+        // A partial can never legitimately target a v1 peer (v1 requests
+        // cannot be progressive); if one somehow did, the degrade path
+        // still emits a decodable typed error, not a wedged connection.
+        let partial = Frame::Partial(PartialFrame {
+            request_id: 9,
+            seq: 0,
+            partitions_done: 1,
+            partitions_total: 4,
+            rows: vec![],
+            rel_err: f64::NAN,
+        });
+        let wire = encode_outbound(&partial, DEFAULT_MAX_FRAME, 1);
+        match decode_body(&wire[4..]).expect("decodes") {
+            Frame::Error(e) => assert_eq!(e.request_id, 9),
+            other => panic!("expected error frame, got {other:?}"),
+        }
+        // At v2 it passes through unchanged.
+        let wire = encode_outbound(&partial, DEFAULT_MAX_FRAME, PROTO_VERSION);
+        assert!(matches!(
+            decode_body(&wire[4..]).expect("decodes"),
+            Frame::Partial(_)
+        ));
     }
 }

@@ -108,6 +108,28 @@ impl PartialAnswer {
         }
     }
 
+    /// Per-slot totals summed over every group: `totals[s] = Σ_g slots[g][s]`.
+    ///
+    /// This is the scalar summary the serving layer's error estimator feeds
+    /// on — for a linear aggregate, the sum over groups of a partition's
+    /// contribution is itself a per-partition draw of the table total, so
+    /// the spread of these totals across selected partitions bounds the
+    /// sampling error without retaining whole per-partition answers.
+    pub fn slot_totals(&self) -> Vec<f64> {
+        // Sum in sorted-key order: HashMap iteration order varies between
+        // instances and f64 addition is not associative, so an unsorted sum
+        // would make the estimate non-reproducible bit-for-bit.
+        let mut keys: Vec<&GroupKey> = self.groups.keys().collect();
+        keys.sort_unstable();
+        let mut totals = vec![0.0; self.slots];
+        for key in keys {
+            for (t, &v) in totals.iter_mut().zip(&self.groups[key]) {
+                *t += v;
+            }
+        }
+        totals
+    }
+
     /// Resolve AVG slots into final per-aggregate values.
     ///
     /// **AVG contract:** a group whose combined AVG count is not positive
@@ -288,6 +310,61 @@ pub fn execute_partitions_compiled_on(
         return execute_partitions_compiled(pt, cq, selection);
     }
     fan_out_partitions(pt, cq, selection, pool)
+}
+
+/// Per-partition partial answers for a weighted selection, in selection
+/// order, fanned out over `pool` under the same thresholds as
+/// [`execute_partitions_compiled_on`]. Weights are *not* applied — callers
+/// combine with [`PartialAnswer::add_weighted`] in selection order, which
+/// keeps any downstream combination bit-identical to the one-shot paths
+/// (each slot's accumulation sequence is the selection order regardless of
+/// how partials were produced or batched).
+///
+/// This is the building block for answers that need more than the combined
+/// result: the serving layer's error estimator reads per-partition
+/// [`PartialAnswer::slot_totals`], and progressive serving combines prefix
+/// batches incrementally.
+pub fn execute_partials_on(
+    pt: &PartitionedTable,
+    cq: &CompiledQuery,
+    selection: &[WeightedPart],
+    pool: &ps3_runtime::ThreadPool,
+) -> Vec<PartialAnswer> {
+    let rows: usize = selection.iter().map(|wp| pt.rows(wp.partition).len()).sum();
+    if pool.workers() <= 1
+        || selection.len() < PARALLEL_EXEC_MIN_PARTS
+        || rows < PARALLEL_EXEC_MIN_ROWS
+    {
+        return selection
+            .iter()
+            .map(|wp| cq.execute_partition(pt.table(), pt.rows(wp.partition)))
+            .collect();
+    }
+    pool.scope_map(selection.len(), |i| {
+        cq.execute_partition(pt.table(), pt.rows(selection[i].partition))
+    })
+}
+
+/// [`execute_partitions_compiled_on`] that additionally returns each
+/// selected partition's *unweighted* per-slot totals (in selection order).
+/// The answer is combined from the same partials in the same order, so it
+/// is bit-identical to the plain path.
+pub fn execute_partitions_compiled_totals_on(
+    pt: &PartitionedTable,
+    cq: &CompiledQuery,
+    selection: &[WeightedPart],
+    pool: &ps3_runtime::ThreadPool,
+) -> (QueryAnswer, Vec<Vec<f64>>) {
+    let partials = execute_partials_on(pt, cq, selection, pool);
+    let totals: Vec<Vec<f64>> = partials.iter().map(PartialAnswer::slot_totals).collect();
+    let mut acc = PartialAnswer {
+        groups: HashMap::new(),
+        slots: cq.slot_count(),
+    };
+    for (wp, part) in selection.iter().zip(&partials) {
+        acc.add_weighted(part, wp.weight);
+    }
+    (cq.finalize(&acc), totals)
 }
 
 /// [`execute_partitions_on`] over the shared workspace pool.
@@ -492,6 +569,35 @@ mod tests {
         // agree too.
         assert_eq!(serial, execute_partitions_on(&t, &q, &sel, &pool));
         assert_eq!(serial, execute_partitions_parallel(&t, &q, &sel));
+    }
+
+    #[test]
+    fn totals_path_is_bit_identical_and_totals_sum_the_groups() {
+        let t = pt();
+        let q = sum_by_group();
+        let sel: Vec<WeightedPart> = t
+            .partitioning()
+            .ids()
+            .map(|p| WeightedPart {
+                partition: p,
+                weight: 1.0 + p.0 as f64 * 0.3,
+            })
+            .collect();
+        let pool = ps3_runtime::ThreadPool::new(2);
+        let cq = CompiledQuery::compile(t.table(), &q);
+        let plain = execute_partitions_compiled_on(&t, &cq, &sel, &pool);
+        let (ans, totals) = execute_partitions_compiled_totals_on(&t, &cq, &sel, &pool);
+        assert_eq!(plain, ans, "totals variant must not perturb the answer");
+        assert_eq!(totals.len(), sel.len());
+        // Partition 0 holds rows (1.0, a), (2.0, a): SUM slot 3.0, COUNT 2.
+        assert_eq!(totals[0], vec![3.0, 2.0]);
+        // Unweighted totals: Σ_j totals[j] over all partitions = whole table.
+        let table_sum: f64 = totals.iter().map(|t| t[0]).sum();
+        assert_eq!(table_sum, 36.0);
+        // And slot_totals is deterministic across repeated executions of
+        // the same partition (sorted-key summation order).
+        let again = cq.execute_partition(t.table(), t.rows(PartitionId(1)));
+        assert_eq!(again.slot_totals(), totals[1]);
     }
 
     #[test]

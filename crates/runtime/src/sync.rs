@@ -222,6 +222,89 @@ impl<K: Eq + Hash + Clone, V: Clone> SingleFlight<K, V> {
     }
 }
 
+/// A batched completion inbox: producers [`Mailbox::push`] items, a single
+/// consumer [`Mailbox::drain`]s them all at once. An optional hook fires
+/// after every push — outside the lock, so a hook may itself drain — which
+/// is how the serving layers turn per-item completions into *batched*
+/// wakeups: the network event loop registers one `waker.wake` hook per
+/// mailbox and drains whole batches per loop iteration instead of taking a
+/// lock per completion.
+pub struct Mailbox<T> {
+    inner: Mutex<MailboxInner<T>>,
+}
+
+struct MailboxInner<T> {
+    items: Vec<T>,
+    hook: Option<Arc<dyn Fn() + Send + Sync>>,
+}
+
+impl<T> Default for Mailbox<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for Mailbox<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mailbox").field("len", &self.len()).finish()
+    }
+}
+
+impl<T> Mailbox<T> {
+    /// An empty mailbox with no hook.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(MailboxInner {
+                items: Vec::new(),
+                hook: None,
+            }),
+        }
+    }
+
+    /// Append an item, then fire the hook (if set) outside the lock.
+    pub fn push(&self, item: T) {
+        let hook = {
+            let mut inner = self.inner.lock().unwrap();
+            inner.items.push(item);
+            inner.hook.clone()
+        };
+        if let Some(hook) = hook {
+            hook();
+        }
+    }
+
+    /// Take every queued item, oldest first. Never blocks on producers —
+    /// the lock covers only the vector swap.
+    pub fn drain(&self) -> Vec<T> {
+        std::mem::take(&mut self.inner.lock().unwrap().items)
+    }
+
+    /// Install (or replace) the post-push hook. If items are already
+    /// queued, the hook fires immediately — a consumer that registers
+    /// late must not sleep through completions that beat it.
+    pub fn set_hook(&self, hook: impl Fn() + Send + Sync + 'static) {
+        let hook: Arc<dyn Fn() + Send + Sync> = Arc::new(hook);
+        let pending = {
+            let mut inner = self.inner.lock().unwrap();
+            inner.hook = Some(Arc::clone(&hook));
+            !inner.items.is_empty()
+        };
+        if pending {
+            hook();
+        }
+    }
+
+    /// Queued item count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,6 +425,75 @@ mod tests {
         let mut got: Vec<u32> = threads.into_iter().map(|t| t.join().unwrap()).collect();
         got.sort_unstable();
         assert_eq!(got, vec![100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn mailbox_batches_pushes_into_one_drain() {
+        let mb: Mailbox<u32> = Mailbox::new();
+        mb.push(1);
+        mb.push(2);
+        mb.push(3);
+        assert_eq!(mb.len(), 3);
+        assert_eq!(mb.drain(), vec![1, 2, 3], "oldest first");
+        assert!(mb.is_empty());
+        assert_eq!(mb.drain(), Vec::<u32>::new(), "second drain is empty");
+    }
+
+    #[test]
+    fn mailbox_hook_fires_per_push_outside_the_lock() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let mb: Arc<Mailbox<u32>> = Arc::new(Mailbox::new());
+        let fired = Arc::new(AtomicUsize::new(0));
+        let hook_mb = Arc::clone(&mb);
+        let hook_fired = Arc::clone(&fired);
+        // The hook drains the mailbox itself — it must not deadlock,
+        // which is the "outside the lock" contract.
+        mb.set_hook(move || {
+            hook_fired.fetch_add(1, Ordering::SeqCst);
+            let _ = hook_mb.drain();
+        });
+        mb.push(10);
+        mb.push(11);
+        assert_eq!(fired.load(Ordering::SeqCst), 2, "one firing per push");
+        assert!(mb.is_empty(), "hook drained everything");
+    }
+
+    #[test]
+    fn mailbox_late_hook_fires_immediately_when_items_are_queued() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let mb: Mailbox<u32> = Mailbox::new();
+        mb.push(1);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = Arc::clone(&fired);
+        mb.set_hook(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(
+            fired.load(Ordering::SeqCst),
+            1,
+            "late registration must not sleep through queued completions"
+        );
+    }
+
+    #[test]
+    fn mailbox_concurrent_pushes_all_arrive() {
+        let mb: Arc<Mailbox<usize>> = Arc::new(Mailbox::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let mb = Arc::clone(&mb);
+                thread::spawn(move || {
+                    for i in 0..100 {
+                        mb.push(t * 100 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut got = mb.drain();
+        got.sort_unstable();
+        assert_eq!(got, (0..400).collect::<Vec<_>>());
     }
 
     #[test]

@@ -44,8 +44,9 @@ fn main() -> std::io::Result<()> {
                     let req = QueryRequest::ps3(query.clone(), 0.2, i as u64).on_table("telemetry");
                     let remote = client.request(&req).expect("served");
                     let mut rng = query_rng(&query, req.seed);
+                    let frac = req.budget.as_fraction().expect("explicit fraction");
                     let direct =
-                        system.answer_on(&query, Method::Ps3, req.frac, &mut rng, router.pool());
+                        system.answer_on(&query, Method::Ps3, frac, &mut rng, router.pool());
                     assert_eq!(
                         remote.answer, direct.answer,
                         "wire answers must be bit-identical to direct execution"
@@ -107,6 +108,46 @@ fn main() -> std::io::Result<()> {
     let req = QueryRequest::ps3(ds.sample_test_query(0), 0.2, 0).on_table("telemetry");
     client.request(&req).expect("served post-retrain");
     println!("post-retrain request served from the new system");
+
+    // --- Declarative budget: ask for ≤20% relative error and let the
+    // server's planner pick the cheapest fraction that delivers it.
+    let req = QueryRequest::ps3(ds.sample_test_query(3), 1.0, 17)
+        .on_table("telemetry")
+        .with_error_target(0.2);
+    let planned = client.request(&req).expect("planned");
+    println!(
+        "error target 20%: planner chose frac {} ({} partitions, \
+         estimated rel err {:.4}, exact: {})",
+        planned.meta.planned_frac,
+        planned.meta.partitions_read,
+        planned.meta.error_estimate.rel_err,
+        planned.meta.exact,
+    );
+    let pstats = router.stats().planner;
+    println!(
+        "planner: {} plans, {} probes ({} cache hits), {} fallbacks",
+        pstats.plans, pstats.probes, pstats.probe_hits, pstats.fallbacks
+    );
+
+    // --- Progressive answers: a cold request streams refining estimates
+    // before the (bit-identical) final frame.
+    let req = QueryRequest::ps3(ds.sample_test_query(5), 0.5, 23).on_table("telemetry");
+    let streamed = client.request_streaming(&req).expect("streamed");
+    for p in &streamed.partials {
+        println!(
+            "  partial {}: {}/{} partitions, rel err {:.4}",
+            p.seq, p.partitions_done, p.partitions_total, p.rel_err
+        );
+    }
+    let one_shot = client.request(&req).expect("served");
+    assert_eq!(
+        streamed.answer.answer, one_shot.answer,
+        "the final streamed frame is bit-identical to the one-shot answer"
+    );
+    println!(
+        "progressive: {} partials, final answer bit-identical to one-shot",
+        streamed.partials.len()
+    );
 
     let sstats = server.stats();
     println!(

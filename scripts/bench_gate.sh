@@ -60,6 +60,9 @@ router/answer_cached
 router_fanin/fanin_8_tenants
 net/roundtrip_cold
 net/roundtrip_cached
+planner/plan_cold
+planner/plan_warm
+planner/stream_roundtrip
 "
 
 if [ ! -s "$raw" ]; then

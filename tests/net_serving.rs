@@ -70,7 +70,8 @@ fn eight_concurrent_tcp_clients_match_direct_execution() {
         reqs.iter()
             .map(|r| {
                 let mut rng = query_rng(&r.query, r.seed);
-                let out = system.answer_on(&r.query, r.method, r.frac, &mut rng, router.pool());
+                let frac = r.budget.as_fraction().expect("explicit fraction");
+                let out = system.answer_on(&r.query, r.method, frac, &mut rng, router.pool());
                 (out.answer, out.selection.len())
             })
             .collect(),
@@ -92,7 +93,7 @@ fn eight_concurrent_tcp_clients_match_direct_execution() {
                              from direct answer_on, bit for bit"
                         );
                         assert_eq!(
-                            remote.partitions_read as usize, direct[i].1,
+                            remote.meta.partitions_read as usize, direct[i].1,
                             "the served selection size matches direct execution"
                         );
                     }

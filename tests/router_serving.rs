@@ -59,7 +59,8 @@ fn eight_concurrent_tenants_through_the_queue_match_direct_execution() {
         reqs.iter()
             .map(|r| {
                 let mut rng = query_rng(&r.query, r.seed);
-                system.answer_on(&r.query, r.method, r.frac, &mut rng, router.pool())
+                let frac = r.budget.as_fraction().expect("explicit fraction");
+                system.answer_on(&r.query, r.method, frac, &mut rng, router.pool())
             })
             .collect(),
     );
