@@ -6,7 +6,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use ps3_cluster::{cluster, ClusterAlgo};
+use ps3_cluster::simd::{assign_update, PointMatrix};
+use ps3_cluster::{cluster, kmeans_minibatch, ClusterAlgo};
 use ps3_core::Ps3Config;
 use ps3_data::{DatasetConfig, DatasetKind, ScaleProfile};
 use ps3_query::{execute_partition, Clause, CmpOp, CompiledPredicate, CompiledQuery, Predicate};
@@ -92,6 +93,27 @@ fn bench_query_paths(c: &mut Criterion) {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(3);
             cluster(&points, 8, ClusterAlgo::HacWard, &mut rng)
+        })
+    });
+    g.finish();
+
+    // The training-path primitives underneath: the mini-batch variant the
+    // boundary auto-selects for large partition counts, and one fused
+    // assign-update sweep over the blocked kernels.
+    let mut g = c.benchmark_group("cluster");
+    g.sample_size(30);
+    g.bench_function("kmeans_minibatch_64x8", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            kmeans_minibatch(&points, 8, &mut rng, 0)
+        })
+    });
+    let m = PointMatrix::from_rows(&points);
+    let centroids = PointMatrix::from_rows(&points[..8]);
+    g.bench_function("assign_step_simd", |b| {
+        b.iter(|| {
+            let mut assignment = vec![usize::MAX; m.n()];
+            assign_update(&m, &centroids, &mut assignment)
         })
     });
     g.finish();

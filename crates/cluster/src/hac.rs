@@ -1,13 +1,21 @@
 //! Hierarchical agglomerative clustering via the nearest-neighbor chain
-//! algorithm — O(n²) time, O(n²) memory — with Lance–Williams updates for
+//! algorithm — O(n²) time, O(n²/2) memory — with Lance–Williams updates for
 //! *single* and *Ward* linkage (the two the paper compares, §5.5.5).
+//!
+//! The pairwise matrix is built once and cached in **condensed
+//! upper-triangular** form (n(n−1)/2 cells instead of n²), initialized with
+//! the blocked kernels through the norm expansion
+//! ‖x−y‖² = ‖x‖² − 2x·y + ‖y‖²: row norms are precomputed once, so the init
+//! is one [`crate::simd::dot`] per pair instead of a subtract-square-sum
+//! pass. All later merges touch the cached matrix only, via the
+//! Lance–Williams recurrences — no distance is ever recomputed from points.
 //!
 //! The NN-chain merge order is not sorted by merge height, so cutting the
 //! dendrogram at k clusters first re-sorts merges by height and replays the
 //! `n − k` smallest through a union-find (exactly how scipy's
 //! `fcluster(..., 'maxclust')` behaves for reducible linkages).
 
-use crate::dist_sq;
+use crate::simd::{dot, PointMatrix};
 
 /// Linkage criterion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,7 +26,63 @@ pub enum Linkage {
     Ward,
 }
 
+/// Condensed upper-triangular pairwise matrix: cell `(i, j)` with `i < j`
+/// lives at `i·n − i(i+1)/2 + (j − i − 1)`.
+struct Condensed {
+    data: Vec<f64>,
+    n: usize,
+}
+
+impl Condensed {
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < j && j < self.n);
+        i * self.n - i * (i + 1) / 2 + (j - i - 1)
+    }
+
+    #[inline]
+    fn get(&self, i: usize, j: usize) -> f64 {
+        if i < j {
+            self.data[self.idx(i, j)]
+        } else {
+            self.data[self.idx(j, i)]
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize, j: usize, v: f64) {
+        let at = if i < j {
+            self.idx(i, j)
+        } else {
+            self.idx(j, i)
+        };
+        self.data[at] = v;
+    }
+}
+
+/// Build the condensed squared-distance matrix from `points` using
+/// precomputed row norms and blocked dot products. Rounding can push a
+/// tiny true distance negative; those clamp to 0.0 with a comparison (not
+/// `f64::max`, which would swallow NaN — NaN distances must stay NaN so
+/// they keep losing every `<` comparison, same as the direct formula).
+fn condensed_from_points(points: &[Vec<f64>]) -> Condensed {
+    let n = points.len();
+    let m = PointMatrix::from_rows(points);
+    let norms = m.row_norms();
+    let mut data = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = norms[i] + norms[j] - 2.0 * dot(m.row(i), m.row(j));
+            data.push(if d < 0.0 { 0.0 } else { d });
+        }
+    }
+    Condensed { data, n }
+}
+
 /// Cluster `points` into `k` groups; returns member-index lists.
+///
+/// # Panics
+/// Panics when `k == 0`.
 pub fn hac(points: &[Vec<f64>], k: usize, linkage: Linkage) -> Vec<Vec<usize>> {
     let n = points.len();
     assert!(k > 0);
@@ -28,14 +92,7 @@ pub fn hac(points: &[Vec<f64>], k: usize, linkage: Linkage) -> Vec<Vec<usize>> {
 
     // Pairwise squared distances; Ward's recurrence operates on squared
     // Euclidean, single linkage is monotone in it.
-    let mut dist = vec![0.0f64; n * n];
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let d = dist_sq(&points[i], &points[j]);
-            dist[i * n + j] = d;
-            dist[j * n + i] = d;
-        }
-    }
+    let mut dist = condensed_from_points(points);
 
     let mut active = vec![true; n];
     let mut size = vec![1.0f64; n];
@@ -59,11 +116,11 @@ pub fn hac(points: &[Vec<f64>], k: usize, linkage: Linkage) -> Vec<Vec<usize>> {
             };
             let mut best = usize::MAX;
             let mut best_d = f64::INFINITY;
-            for j in 0..n {
-                if j == a || !active[j] {
+            for (j, &alive) in active.iter().enumerate() {
+                if j == a || !alive {
                     continue;
                 }
-                let d = dist[a * n + j];
+                let d = dist.get(a, j);
                 if d < best_d || (d == best_d && Some(j) == prev) {
                     best_d = d;
                     best = j;
@@ -81,8 +138,8 @@ pub fn hac(points: &[Vec<f64>], k: usize, linkage: Linkage) -> Vec<Vec<usize>> {
                     if j == a || j == b || !active[j] {
                         continue;
                     }
-                    let daj = dist[a * n + j];
-                    let dbj = dist[b * n + j];
+                    let daj = dist.get(a, j);
+                    let dbj = dist.get(b, j);
                     let new = match linkage {
                         Linkage::Single => daj.min(dbj),
                         Linkage::Ward => {
@@ -90,8 +147,7 @@ pub fn hac(points: &[Vec<f64>], k: usize, linkage: Linkage) -> Vec<Vec<usize>> {
                             ((sa + sj) * daj + (sb + sj) * dbj - sj * best_d) / (sa + sb + sj)
                         }
                     };
-                    dist[a * n + j] = new;
-                    dist[j * n + a] = new;
+                    dist.set(a, j, new);
                 }
                 active[b] = false;
                 size[a] += size[b];
@@ -185,6 +241,9 @@ mod tests {
 
     #[test]
     fn duplicate_points_merge_first() {
+        // Identical rows must land at distance exactly 0.0 under the norm
+        // expansion (‖x‖² + ‖x‖² − 2·dot(x,x) with the same kernel for both
+        // terms), so duplicates still merge before anything else.
         let mut pts = vec![vec![5.0]; 6];
         pts.push(vec![100.0]);
         pts.push(vec![101.0]);
@@ -195,6 +254,30 @@ mod tests {
             s
         };
         assert_eq!(sizes, vec![2, 6]);
+    }
+
+    #[test]
+    fn condensed_indexing_round_trips() {
+        let n = 7;
+        let mut c = Condensed {
+            data: vec![0.0; n * (n - 1) / 2],
+            n,
+        };
+        let mut v = 1.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                c.set(i, j, v);
+                v += 1.0;
+            }
+        }
+        let mut expect = 1.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                assert_eq!(c.get(i, j), expect);
+                assert_eq!(c.get(j, i), expect, "symmetric access");
+                expect += 1.0;
+            }
+        }
     }
 
     proptest! {

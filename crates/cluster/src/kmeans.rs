@@ -1,94 +1,288 @@
-//! Lloyd's k-means with k-means++ seeding.
+//! Lloyd's k-means with k-means++ seeding, on the blocked kernels of
+//! [`crate::simd`], plus the mini-batch variant and warm-started refits the
+//! retrain path uses.
+//!
+//! Three entry points:
+//!
+//! * [`kmeans`] / [`kmeans_fit`] — exact Lloyd. The inner loop is the fused
+//!   assign-then-update step ([`simd::assign_update`]): every row is
+//!   touched exactly once per sweep. Bit-identical to
+//!   [`crate::oracle::kmeans_fit`] by construction (same distance
+//!   definition, same accumulation order, same RNG draw sequence); set
+//!   `PS3_STRICT_KERNELS=1` to assert that equality on every call.
+//! * [`kmeans_minibatch`] / [`kmeans_minibatch_fit`] — Sculley-style
+//!   mini-batch k-means with a deterministic batch schedule derived from
+//!   the caller's RNG (one shuffle, then wrapping fixed-size batches), so
+//!   results are reproducible per seed. The interior uses the centroid-norm
+//!   expansion ‖x−c‖² = ‖x‖² − 2x·c + ‖c‖² (rank-preserving, so the argmin
+//!   is exact); no oracle contract binds here, only per-seed determinism.
+//! * [`kmeans_warm`] — Lloyd warm-started from caller-provided centroids
+//!   (the previous generation's, in the retrain path). On unchanged data a
+//!   converged warm start reproduces the previous assignment and centroids
+//!   bit-identically in one assign sweep.
 
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::dist_sq;
+use crate::simd::{self, dist_sq, PointMatrix};
+
+/// Default mini-batch size.
+pub const MINIBATCH_SIZE: usize = 256;
+
+/// Epochs (passes over the shuffled schedule) a mini-batch run makes
+/// before the final full assignment sweep.
+pub const MINIBATCH_EPOCHS: usize = 3;
+
+/// A fitted k-means model: the full output the retrain path needs
+/// (clusters alone lose the centroids a warm start resumes from).
+#[derive(Debug, Clone)]
+pub struct KmeansFit {
+    /// Final centroids, one row per cluster (empty clusters keep their
+    /// reseeded position).
+    pub centroids: Vec<Vec<f64>>,
+    /// `assignment[i]` = centroid index of point `i`.
+    pub assignment: Vec<usize>,
+    /// Assign-update sweeps executed (mini-batch: batches processed).
+    pub sweeps: usize,
+    /// Whether the run converged before its sweep cap.
+    pub converged: bool,
+}
+
+impl KmeansFit {
+    /// Member-index lists per cluster, non-empty clusters only, in
+    /// centroid-index order.
+    pub fn clusters(&self) -> Vec<Vec<usize>> {
+        let k = self.centroids.len();
+        let mut clusters = vec![Vec::new(); k];
+        for (i, &c) in self.assignment.iter().enumerate() {
+            clusters[c].push(i);
+        }
+        clusters.retain(|c| !c.is_empty());
+        clusters
+    }
+}
 
 /// Cluster `points` into `k` groups; returns member-index lists (non-empty
 /// clusters only — k-means++ on distinct points rarely loses one, but ties
 /// can).
 ///
 /// # Panics
-/// Panics when `k == 0` or there are fewer points than `k` (the [`crate::cluster`]
-/// wrapper handles those cases).
+/// Panics when `k == 0` or there are fewer points than `k` (the
+/// [`crate::cluster`] wrapper handles those cases).
 pub fn kmeans(points: &[Vec<f64>], k: usize, rng: &mut StdRng, max_iter: usize) -> Vec<Vec<usize>> {
+    kmeans_fit(points, k, rng, max_iter).clusters()
+}
+
+/// [`kmeans`] returning the full [`KmeansFit`] (centroids included).
+///
+/// Under `PS3_STRICT_KERNELS=1` every call re-runs the scalar oracle on a
+/// cloned RNG and asserts the blocked result is bit-identical.
+///
+/// # Panics
+/// As [`kmeans`]; additionally (strict mode only) if the blocked kernel
+/// ever diverges from the oracle.
+pub fn kmeans_fit(points: &[Vec<f64>], k: usize, rng: &mut StdRng, max_iter: usize) -> KmeansFit {
     assert!(k > 0 && points.len() >= k);
-    let mut centers = kmeans_pp_init(points, k, rng);
-    let mut assignment = vec![0usize; points.len()];
+    let strict_rng = crate::strict_kernels().then(|| rng.clone());
+    let m = PointMatrix::from_rows(points);
+    let centroids = kmeans_pp_init(&m, k, rng);
+    let fit = lloyd(&m, centroids, max_iter);
+    if let Some(mut oracle_rng) = strict_rng {
+        let reference = crate::oracle::kmeans_fit(points, k, &mut oracle_rng, max_iter);
+        assert_eq!(
+            fit.assignment, reference.assignment,
+            "strict kernels: blocked assignment diverged from the oracle"
+        );
+        let bits = |c: &[Vec<f64>]| -> Vec<Vec<u64>> {
+            c.iter()
+                .map(|row| row.iter().map(|x| x.to_bits()).collect())
+                .collect()
+        };
+        assert_eq!(
+            bits(&fit.centroids),
+            bits(&reference.centroids),
+            "strict kernels: blocked centroids diverged from the oracle"
+        );
+    }
+    fit
+}
 
+/// Lloyd warm-started from `init` centroids (typically the previous
+/// generation's): assign, update, repeat until stable or `max_iter`. No RNG
+/// is involved — the only stochastic part of exact k-means is seeding, and
+/// a warm start replaces it.
+///
+/// # Panics
+/// Panics when `init` is empty, `points` is empty, or dimensions disagree.
+pub fn kmeans_warm(points: &[Vec<f64>], init: &[Vec<f64>], max_iter: usize) -> KmeansFit {
+    assert!(!init.is_empty() && !points.is_empty());
+    assert_eq!(
+        points[0].len(),
+        init[0].len(),
+        "warm-start centroid dimension mismatch"
+    );
+    let m = PointMatrix::from_rows(points);
+    lloyd(&m, PointMatrix::from_rows(init), max_iter)
+}
+
+/// The shared Lloyd loop: fused assign+update sweeps with the deterministic
+/// empty-cluster reseed rule. The spec (mirrored by the oracle):
+///
+/// 1. One [`simd::assign_update`] pass — assignment and per-cluster sums in
+///    blocked ascending order.
+/// 2. Non-empty centroids finalize to `sum / count`, ascending cluster.
+/// 3. Empty clusters, ascending, reseed at the point with the strictly
+///    largest distance to its (new) assigned centroid — first maximum
+///    wins; NaN distances never win.
+/// 4. Stop when nothing changed (no assignment moved, no reseed fired).
+fn lloyd(points: &PointMatrix, mut centroids: PointMatrix, max_iter: usize) -> KmeansFit {
+    let n = points.n();
+    let k = centroids.n();
+    let mut assignment = vec![0usize; n];
+    let mut sweeps = 0usize;
+    let mut converged = false;
     for _ in 0..max_iter {
-        // Assign.
-        let mut changed = false;
-        for (i, p) in points.iter().enumerate() {
-            let mut best = 0usize;
-            let mut best_d = f64::INFINITY;
-            for (c, center) in centers.iter().enumerate() {
-                let d = dist_sq(p, center);
-                if d < best_d {
-                    best_d = d;
-                    best = c;
+        sweeps += 1;
+        let step = simd::assign_update(points, &centroids, &mut assignment);
+        let mut changed = step.changed;
+        for c in 0..k {
+            if step.counts[c] > 0 {
+                let inv = step.counts[c] as f64;
+                for (ctr, s) in centroids.row_mut(c).iter_mut().zip(&step.sums[c]) {
+                    *ctr = s / inv;
                 }
-            }
-            if assignment[i] != best {
-                assignment[i] = best;
-                changed = true;
-            }
-        }
-
-        // Update.
-        let dim = points[0].len();
-        let mut sums = vec![vec![0.0; dim]; k];
-        let mut counts = vec![0usize; k];
-        for (i, p) in points.iter().enumerate() {
-            let c = assignment[i];
-            counts[c] += 1;
-            for (s, &x) in sums[c].iter_mut().zip(p) {
-                *s += x;
             }
         }
         for c in 0..k {
-            if counts[c] == 0 {
-                // Re-seed an empty cluster at the point farthest from its
-                // current center — the standard fix to keep k clusters alive.
-                let far = (0..points.len())
-                    .max_by(|&a, &b| {
-                        dist_sq(&points[a], &centers[assignment[a]])
-                            .total_cmp(&dist_sq(&points[b], &centers[assignment[b]]))
-                    })
-                    .expect("non-empty points");
-                centers[c] = points[far].clone();
-                changed = true;
-            } else {
-                for (ctr, s) in centers[c].iter_mut().zip(&sums[c]) {
-                    *ctr = s / counts[c] as f64;
+            if step.counts[c] == 0 {
+                let mut far = 0usize;
+                let mut far_d = f64::NEG_INFINITY;
+                for (i, &home) in assignment.iter().enumerate() {
+                    let d = dist_sq(points.row(i), centroids.row(home));
+                    if d > far_d {
+                        far_d = d;
+                        far = i;
+                    }
                 }
+                let row = points.row(far).to_vec();
+                centroids.row_mut(c).copy_from_slice(&row);
+                changed = true;
             }
         }
         if !changed {
+            converged = true;
             break;
         }
     }
-
-    let mut clusters = vec![Vec::new(); k];
-    for (i, &c) in assignment.iter().enumerate() {
-        clusters[c].push(i);
+    KmeansFit {
+        centroids: centroids.to_rows(),
+        assignment,
+        sweeps,
+        converged,
     }
-    clusters.retain(|c| !c.is_empty());
-    clusters
 }
 
-/// k-means++ seeding: each new center is drawn with probability proportional
-/// to its squared distance from the nearest existing center.
-fn kmeans_pp_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
-    let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
-    centers.push(points[rng.gen_range(0..points.len())].clone());
-    let mut d2: Vec<f64> = points.iter().map(|p| dist_sq(p, &centers[0])).collect();
-    while centers.len() < k {
+/// Mini-batch k-means (Sculley, WWW'10): member-index lists, like
+/// [`kmeans`]. `batch_size` 0 means [`MINIBATCH_SIZE`].
+pub fn kmeans_minibatch(
+    points: &[Vec<f64>],
+    k: usize,
+    rng: &mut StdRng,
+    batch_size: usize,
+) -> Vec<Vec<usize>> {
+    kmeans_minibatch_fit(points, k, rng, batch_size).clusters()
+}
+
+/// Mini-batch k-means returning the full fit. Deterministic per RNG state:
+/// the batch schedule is one `rng`-driven shuffle of the point indices,
+/// consumed in wrapping `batch_size` windows for [`MINIBATCH_EPOCHS`]
+/// passes; centers move by the per-center learning rate `1 / count`. A
+/// final full assignment sweep produces the returned assignment.
+///
+/// # Panics
+/// Panics when `k == 0` or there are fewer points than `k`.
+pub fn kmeans_minibatch_fit(
+    points: &[Vec<f64>],
+    k: usize,
+    rng: &mut StdRng,
+    batch_size: usize,
+) -> KmeansFit {
+    assert!(k > 0 && points.len() >= k);
+    let m = PointMatrix::from_rows(points);
+    let n = m.n();
+    let batch = if batch_size == 0 {
+        MINIBATCH_SIZE
+    } else {
+        batch_size
+    }
+    .min(n);
+    let mut centroids = kmeans_pp_init(&m, k, rng);
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+
+    let mut counts = vec![0u64; k];
+    let batches = (MINIBATCH_EPOCHS * n).div_ceil(batch);
+    let mut cursor = 0usize;
+    for _ in 0..batches {
+        // Centroid norms are recomputed per batch (centers moved); rows
+        // score as ‖c‖² − 2x·c, which orders identically to ‖x−c‖².
+        let cnorms = centroids.row_norms();
+        for _ in 0..batch {
+            let i = order[cursor];
+            cursor += 1;
+            if cursor == n {
+                cursor = 0;
+            }
+            let row = m.row(i);
+            let mut best = 0usize;
+            let mut best_s = f64::INFINITY;
+            for (c, &cn) in cnorms.iter().enumerate() {
+                let s = cn - 2.0 * simd::dot(row, centroids.row(c));
+                if s < best_s {
+                    best_s = s;
+                    best = c;
+                }
+            }
+            counts[best] += 1;
+            let eta = 1.0 / counts[best] as f64;
+            for (ctr, &x) in centroids.row_mut(best).iter_mut().zip(row) {
+                *ctr += eta * (x - *ctr);
+            }
+        }
+    }
+
+    let mut assignment = vec![0usize; n];
+    simd::assign_update(&m, &centroids, &mut assignment);
+    KmeansFit {
+        centroids: centroids.to_rows(),
+        assignment,
+        sweeps: batches,
+        converged: true,
+    }
+}
+
+/// k-means++ seeding: each new center is drawn with probability
+/// proportional to its squared distance from the nearest existing center.
+/// The RNG draw sequence (one `gen_range(0..n)`, then one
+/// `gen_range(0.0..total)` per additional center) and the sequential
+/// `d2.iter().sum()` total are part of the kernel/oracle spec.
+fn kmeans_pp_init(points: &PointMatrix, k: usize, rng: &mut StdRng) -> PointMatrix {
+    let n = points.n();
+    let dim = points.dim();
+    let mut data: Vec<f64> = Vec::with_capacity(k * dim);
+    let first = rng.gen_range(0..n);
+    data.extend_from_slice(points.row(first));
+    let mut chosen = 1usize;
+    let mut d2: Vec<f64> = (0..n)
+        .map(|i| dist_sq(points.row(i), &data[..dim]))
+        .collect();
+    while chosen < k {
         let total: f64 = d2.iter().sum();
         let next = if total <= 0.0 {
             // All remaining points coincide with a center; pick uniformly.
-            rng.gen_range(0..points.len())
+            rng.gen_range(0..n)
         } else {
             let mut target = rng.gen_range(0.0..total);
             let mut idx = 0usize;
@@ -102,15 +296,17 @@ fn kmeans_pp_init(points: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f6
             }
             idx
         };
-        centers.push(points[next].clone());
-        for (i, p) in points.iter().enumerate() {
-            let d = dist_sq(p, centers.last().expect("non-empty"));
-            if d < d2[i] {
-                d2[i] = d;
+        data.extend_from_slice(points.row(next));
+        chosen += 1;
+        let newest = &data[(chosen - 1) * dim..chosen * dim];
+        for (i, slot) in d2.iter_mut().enumerate() {
+            let d = dist_sq(points.row(i), newest);
+            if d < *slot {
+                *slot = d;
             }
         }
     }
-    centers
+    PointMatrix::from_flat(data, k, dim)
 }
 
 #[cfg(test)]
@@ -144,6 +340,76 @@ mod tests {
         let total: usize = clusters.iter().map(Vec::len).sum();
         assert_eq!(total, 12);
         assert!(clusters.len() <= 3);
+    }
+
+    #[test]
+    fn fit_reports_convergence_and_centroids() {
+        let pts: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![if i < 10 { 0.0 } else { 100.0 } + f64::from(i % 10) * 0.01])
+            .collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let fit = kmeans_fit(&pts, 2, &mut rng, 50);
+        assert!(fit.converged);
+        assert!(fit.sweeps <= 50);
+        assert_eq!(fit.centroids.len(), 2);
+        assert_eq!(fit.assignment.len(), 20);
+        assert_eq!(fit.clusters().len(), 2);
+    }
+
+    #[test]
+    fn warm_start_on_converged_centroids_is_a_fixed_point() {
+        let pts: Vec<Vec<f64>> = (0..24)
+            .map(|i| vec![f64::from(i / 8) * 50.0 + f64::from(i % 8) * 0.1, 1.0])
+            .collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        let cold = kmeans_fit(&pts, 3, &mut rng, 100);
+        assert!(cold.converged);
+        let warm = kmeans_warm(&pts, &cold.centroids, 100);
+        assert_eq!(warm.assignment, cold.assignment);
+        let bits =
+            |c: &[Vec<f64>]| -> Vec<u64> { c.iter().flatten().map(|x| x.to_bits()).collect() };
+        assert_eq!(bits(&warm.centroids), bits(&cold.centroids));
+        assert!(
+            warm.sweeps <= 2,
+            "a converged warm start must settle in ≤2 sweeps, took {}",
+            warm.sweeps
+        );
+    }
+
+    #[test]
+    fn minibatch_is_deterministic_per_seed_and_partitions_points() {
+        let pts: Vec<Vec<f64>> = (0..300)
+            .map(|i| {
+                vec![
+                    f64::from(i % 3) * 100.0 + f64::from(i % 7) * 0.1,
+                    f64::from(i % 5),
+                ]
+            })
+            .collect();
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            kmeans_minibatch(&pts, 3, &mut rng, 32)
+        };
+        assert_eq!(run(11), run(11), "same seed, same clusters");
+        let clusters = run(11);
+        let mut all: Vec<usize> = clusters.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..300).collect::<Vec<_>>());
+        assert!(clusters.len() <= 3);
+    }
+
+    #[test]
+    fn minibatch_finds_separated_blobs() {
+        let pts: Vec<Vec<f64>> = (0..90)
+            .map(|i| vec![f64::from(i / 30) * 1000.0 + f64::from(i % 30) * 0.01])
+            .collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let clusters = kmeans_minibatch(&pts, 3, &mut rng, 16);
+        assert_eq!(clusters.len(), 3);
+        for c in &clusters {
+            let blob: std::collections::HashSet<usize> = c.iter().map(|&i| i / 30).collect();
+            assert_eq!(blob.len(), 1, "mini-batch mixed the blobs");
+        }
     }
 
     proptest! {

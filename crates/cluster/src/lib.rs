@@ -4,28 +4,48 @@
 //! clusters as the sampling budget and reading one *exemplar* per cluster
 //! with weight = cluster size. Two algorithm families are evaluated:
 //!
-//! * [`mod@kmeans`] — Lloyd's algorithm with k-means++ seeding,
+//! * [`mod@kmeans`] — Lloyd's algorithm with k-means++ seeding, plus the
+//!   mini-batch variant [`cluster`] auto-selects on large inputs,
 //! * [`mod@hac`] — hierarchical agglomerative clustering via the nearest-neighbor
 //!   chain algorithm, with *single* and *Ward* linkage (Table 6).
 //!
 //! [`exemplar`] implements both estimators of Appendix D: the biased
 //! median-nearest exemplar and the unbiased uniform-random exemplar.
+//!
+//! The numeric inner loops live in [`mod@simd`] (blocked, SIMD-friendly,
+//! deterministic accumulation order) with scalar mirrors in `oracle`;
+//! set `PS3_STRICT_KERNELS=1` to assert kernel/oracle bit-identity inside
+//! every k-means call.
 
 pub mod exemplar;
 pub mod hac;
 pub mod kmeans;
+#[doc(hidden)]
+pub mod oracle;
+pub mod simd;
 
 pub use exemplar::{median_exemplar, random_exemplar};
 pub use hac::{hac, Linkage};
-pub use kmeans::kmeans;
+pub use kmeans::{kmeans, kmeans_fit, kmeans_minibatch, kmeans_warm, KmeansFit};
 
 use rand::rngs::StdRng;
+use std::sync::OnceLock;
+
+/// Point count at or above which [`cluster`] swaps exact Lloyd for
+/// mini-batch k-means under [`ClusterAlgo::KMeans`]. Mini-batch visits
+/// `MINIBATCH_EPOCHS · n` rows total versus Lloyd's `sweeps · n`, so below
+/// this size exact Lloyd is both cheaper and better.
+pub const MINIBATCH_MIN_POINTS: usize = 512;
 
 /// Which clustering algorithm to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ClusterAlgo {
-    /// Lloyd's k-means with k-means++ seeding.
+    /// Lloyd's k-means with k-means++ seeding; [`cluster`] upgrades this to
+    /// mini-batch k-means at [`MINIBATCH_MIN_POINTS`] points and beyond.
     KMeans,
+    /// Exact Lloyd regardless of input size — the config knob the oracle
+    /// tests and strict-determinism deployments pin.
+    KMeansExact,
     /// Agglomerative, single linkage.
     HacSingle,
     /// Agglomerative, Ward linkage.
@@ -37,15 +57,51 @@ impl ClusterAlgo {
     pub fn label(self) -> &'static str {
         match self {
             ClusterAlgo::KMeans => "KMeans",
+            ClusterAlgo::KMeansExact => "KMeans(exact)",
             ClusterAlgo::HacSingle => "HAC(single)",
             ClusterAlgo::HacWard => "HAC(ward)",
         }
     }
 }
 
+/// Whether `PS3_STRICT_KERNELS=1` is set: every k-means call re-runs the
+/// scalar oracle and asserts bit-identity with the blocked kernels. Cached
+/// once per process; CI runs the cluster tests under it.
+pub fn strict_kernels() -> bool {
+    static STRICT: OnceLock<bool> = OnceLock::new();
+    *STRICT.get_or_init(|| std::env::var("PS3_STRICT_KERNELS").is_ok_and(|v| v == "1"))
+}
+
+/// Drop dimensions that are exactly 0.0 in every point. Partition feature
+/// matrices are sparse (a predicate-column vocabulary much wider than any
+/// one workload touches), and an all-zero dimension contributes exactly
+/// 0.0 to every pairwise distance — removing it is distance-exact, though
+/// it changes lane alignment (hence bits), which is why pruning happens
+/// here at the [`cluster`] boundary and never inside the oracle-compared
+/// kernels. NaN ≠ 0.0, so NaN-carrying dimensions are always kept.
+fn prune_zero_dims(points: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
+    let dim = points.first().map_or(0, Vec::len);
+    let live: Vec<usize> = (0..dim)
+        .filter(|&d| points.iter().any(|p| p[d] != 0.0))
+        .collect();
+    if live.len() == dim {
+        return None;
+    }
+    Some(
+        points
+            .iter()
+            .map(|p| live.iter().map(|&d| p[d]).collect())
+            .collect(),
+    )
+}
+
 /// Cluster `points` into (at most) `k` clusters; returns member-index lists.
 ///
-/// Fewer than `k` clusters come back when there are fewer points.
+/// Fewer than `k` clusters come back when there are fewer points. All-zero
+/// dimensions are pruned up front (distance-exact; see [`mod@simd`]), and
+/// [`ClusterAlgo::KMeans`] switches to mini-batch k-means at
+/// [`MINIBATCH_MIN_POINTS`] points — pin [`ClusterAlgo::KMeansExact`] to
+/// keep full Lloyd at any size.
 pub fn cluster(
     points: &[Vec<f64>],
     k: usize,
@@ -58,8 +114,13 @@ pub fn cluster(
     if points.len() <= k {
         return (0..points.len()).map(|i| vec![i]).collect();
     }
+    let pruned = prune_zero_dims(points);
+    let points: &[Vec<f64>] = pruned.as_deref().unwrap_or(points);
     match algo {
-        ClusterAlgo::KMeans => {
+        ClusterAlgo::KMeans if points.len() >= MINIBATCH_MIN_POINTS => {
+            kmeans::kmeans_minibatch(points, k, rng, 0)
+        }
+        ClusterAlgo::KMeans | ClusterAlgo::KMeansExact => {
             // Lloyd's cost per iteration is n·k·dim; on very large problems
             // (thousands of partitions at high budgets, Figure 8) cap the
             // iteration count — assignments stabilize long before 25 rounds
@@ -72,11 +133,10 @@ pub fn cluster(
     }
 }
 
-/// Squared Euclidean distance.
+/// Squared Euclidean distance — the blocked kernel; see [`simd::dist_sq`].
 #[inline]
 pub(crate) fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    simd::dist_sq(a, b)
 }
 
 #[cfg(test)]
@@ -98,6 +158,7 @@ mod tests {
         let pts = two_blobs();
         for algo in [
             ClusterAlgo::KMeans,
+            ClusterAlgo::KMeansExact,
             ClusterAlgo::HacSingle,
             ClusterAlgo::HacWard,
         ] {
@@ -128,5 +189,45 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         assert!(cluster(&[], 3, ClusterAlgo::KMeans, &mut rng).is_empty());
         assert!(cluster(&[vec![1.0]], 0, ClusterAlgo::HacWard, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn zero_dim_pruning_is_invisible_to_results() {
+        // Blob structure carried by 2 of 40 dims, the rest all-zero:
+        // clustering must behave exactly as if the zeros weren't there.
+        let pts: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                let mut row = vec![0.0f64; 40];
+                row[7] = f64::from(i % 2) * 10.0 + f64::from(i) * 0.01;
+                row[23] = f64::from(i % 2) * 10.0;
+                row
+            })
+            .collect();
+        for algo in [ClusterAlgo::KMeans, ClusterAlgo::HacWard] {
+            let mut rng = StdRng::seed_from_u64(1);
+            let clusters = cluster(&pts, 2, algo, &mut rng);
+            assert_eq!(clusters.len(), 2, "{algo:?}");
+            for c in &clusters {
+                let parities: std::collections::HashSet<usize> = c.iter().map(|&i| i % 2).collect();
+                assert_eq!(parities.len(), 1, "{algo:?} mixed the blobs after pruning");
+            }
+        }
+    }
+
+    #[test]
+    fn minibatch_auto_select_kicks_in_at_threshold() {
+        // At ≥ MINIBATCH_MIN_POINTS points KMeans and KMeansExact may take
+        // different paths but both must partition every point.
+        let n = MINIBATCH_MIN_POINTS;
+        let pts: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![f64::from((i % 4) as u32) * 100.0, f64::from((i % 9) as u32)])
+            .collect();
+        for algo in [ClusterAlgo::KMeans, ClusterAlgo::KMeansExact] {
+            let mut rng = StdRng::seed_from_u64(5);
+            let clusters = cluster(&pts, 4, algo, &mut rng);
+            let mut all: Vec<usize> = clusters.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..n).collect::<Vec<_>>(), "{algo:?}");
+        }
     }
 }

@@ -1,0 +1,184 @@
+//! Kernel-vs-oracle bit-identity, from outside the crate.
+//!
+//! The blocked kernels in `ps3_cluster::simd` promise *bit-identical*
+//! results to the straight-line scalar oracles in `ps3_cluster::oracle` —
+//! not approximately equal, equal to the last ulp, because partition
+//! clustering feeds exemplar choices and any drift changes which rows a
+//! query reads. These property tests exercise the contract on adversarial
+//! float inputs (NaN, signed zeros, magnitude cliffs) and on inputs that
+//! force the empty-cluster reseed path, where the tie-breaking spec does
+//! the heavy lifting. `PS3_STRICT_KERNELS=1` additionally re-checks the
+//! same contract inside every `kmeans_fit` call; CI runs this file both
+//! ways.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ps3_cluster::{kmeans_fit, kmeans_minibatch, oracle, simd};
+
+/// Interesting doubles: ordinary values (repeated arms skew the draw
+/// toward them), denormal-scale, huge-scale, signed zeros, and NaN.
+/// Infinities are excluded — a distance through ±∞ is ∞ either way, but
+/// ∞ − ∞ = NaN makes every draw collapse to the NaN case and hides the
+/// finite-value coverage.
+fn weird_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1e3..1e3f64,
+        -1e3..1e3f64,
+        -1e3..1e3f64,
+        -1e3..1e3f64,
+        Just(0.0),
+        Just(-0.0),
+        Just(1e-300),
+        Just(-1e-300),
+        Just(1e300),
+        Just(-1e300),
+        Just(f64::NAN),
+    ]
+}
+
+fn weird_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(weird_f64(), len)
+}
+
+fn bits(v: &[Vec<f64>]) -> Vec<u64> {
+    v.iter().flatten().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    /// The blocked distance kernel equals the scalar oracle bit-for-bit on
+    /// every length (full 8-lane blocks, partial tails, and the
+    /// shorter-than-one-block case) and on every weird float.
+    #[test]
+    fn dist_sq_matches_oracle_bitwise(len in 0usize..40, seed in any::<u64>()) {
+        let mut runner = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let gen = |rng: &mut StdRng| -> Vec<f64> {
+            (0..len)
+                .map(|_| match rng.gen_range(0..10) {
+                    0 => f64::NAN,
+                    1 => -0.0,
+                    2 => 1e300,
+                    3 => 1e-300,
+                    _ => rng.gen_range(-1e3..1e3),
+                })
+                .collect()
+        };
+        let a = gen(&mut runner);
+        let b = gen(&mut runner);
+        let fast = simd::dist_sq(&a, &b);
+        let slow = oracle::dist_sq(&a, &b);
+        prop_assert_eq!(
+            fast.to_bits(),
+            slow.to_bits(),
+            "kernel {} vs oracle {} on len {}",
+            fast,
+            slow,
+            len
+        );
+    }
+
+    /// Same contract driven directly by strategy-built vectors, hitting
+    /// the special values more densely than the RNG loop above.
+    #[test]
+    fn dist_sq_matches_oracle_on_adversarial_pairs(
+        ab in (0usize..24).prop_flat_map(|len| (weird_vec(len), weird_vec(len)))
+    ) {
+        let (a, b) = ab;
+        prop_assert_eq!(
+            simd::dist_sq(&a, &b).to_bits(),
+            oracle::dist_sq(&a, &b).to_bits()
+        );
+    }
+
+    /// Full k-means runs agree with the oracle end to end: same RNG draws,
+    /// same assignment, bit-identical centroids — including runs where
+    /// duplicated points force clusters empty and the reseed rule decides.
+    #[test]
+    fn kmeans_fit_matches_oracle_bitwise(
+        n in 4usize..40,
+        k in 1usize..6,
+        dim in 1usize..12,
+        dup in 0usize..3,
+        seed in 0u64..50,
+    ) {
+        let k = k.min(n);
+        let pts: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                // dup > 0 collapses points onto few distinct values, which
+                // reliably empties clusters mid-run.
+                let v = if dup > 0 { (i % dup.max(1)) as u32 } else { i as u32 };
+                (0..dim)
+                    .map(|d| f64::from(v) * 10.0 + f64::from((d * 7 % 5) as u32) * 0.25)
+                    .collect()
+            })
+            .collect();
+        let fast = kmeans_fit(&pts, k, &mut StdRng::seed_from_u64(seed), 25);
+        let slow = oracle::kmeans_fit(&pts, k, &mut StdRng::seed_from_u64(seed), 25);
+        prop_assert_eq!(&fast.assignment, &slow.assignment);
+        prop_assert_eq!(bits(&fast.centroids), bits(&slow.centroids));
+        prop_assert_eq!(fast.sweeps, slow.sweeps);
+        prop_assert_eq!(fast.converged, slow.converged);
+    }
+
+    /// Mini-batch k-means is a pure function of `(points, k, seed, batch)`:
+    /// re-running with the same seed reproduces the clustering exactly, and
+    /// every point lands in exactly one cluster.
+    #[test]
+    fn minibatch_is_deterministic_per_seed(
+        n in 8usize..120,
+        k in 1usize..5,
+        batch in 4usize..40,
+        seed in 0u64..30,
+    ) {
+        let k = k.min(n);
+        let pts: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![f64::from((i * 13 % 97) as u32), f64::from((i % 11) as u32) * 3.0])
+            .collect();
+        let run = || kmeans_minibatch(&pts, k, &mut StdRng::seed_from_u64(seed), batch);
+        let first = run();
+        prop_assert_eq!(&first, &run());
+        let mut all: Vec<usize> = first.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+}
+
+/// Pinned regression cases the strategies above could in principle rotate
+/// away from: NaN lanes in every block position, and ±0.0 (whose distance
+/// must be +0.0, not −0.0, for `to_bits` equality downstream).
+#[test]
+fn pinned_nan_and_signed_zero_cases() {
+    for len in [1usize, 7, 8, 9, 15, 16, 17, 31] {
+        for nan_at in 0..len {
+            let mut a = vec![1.5; len];
+            a[nan_at] = f64::NAN;
+            let b = vec![-0.5; len];
+            assert_eq!(
+                simd::dist_sq(&a, &b).to_bits(),
+                oracle::dist_sq(&a, &b).to_bits(),
+                "NaN at {nan_at} of {len}"
+            );
+        }
+        let z = vec![0.0; len];
+        let nz = vec![-0.0; len];
+        assert_eq!(
+            simd::dist_sq(&z, &nz).to_bits(),
+            oracle::dist_sq(&z, &nz).to_bits()
+        );
+    }
+}
+
+/// Twelve identical points under k=3 guarantee empty clusters every sweep;
+/// the ascending-reseed tie-break must agree between kernel and oracle.
+#[test]
+fn all_duplicate_points_agree_with_oracle() {
+    let pts = vec![vec![2.0, -3.0, 0.5]; 12];
+    for seed in 0..8 {
+        let fast = kmeans_fit(&pts, 3, &mut StdRng::seed_from_u64(seed), 10);
+        let slow = oracle::kmeans_fit(&pts, 3, &mut StdRng::seed_from_u64(seed), 10);
+        assert_eq!(fast.assignment, slow.assignment, "seed {seed}");
+        assert_eq!(bits(&fast.centroids), bits(&slow.centroids), "seed {seed}");
+    }
+}

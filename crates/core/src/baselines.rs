@@ -56,6 +56,7 @@ pub fn random_filter_selection(
 /// contribution; partitions are ranked by prediction and cut into
 /// consecutive equal-size strata; samples are allocated proportionally and
 /// drawn uniformly within each stratum (Horvitz–Thompson weights).
+#[derive(Clone)]
 pub struct LssModel {
     /// The contribution regressor.
     pub model: Gbdt,

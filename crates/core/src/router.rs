@@ -179,6 +179,15 @@ pub struct RouterStats {
     /// Budget-planner activity (plans, probes, probe cache hits,
     /// no-signal fallbacks).
     pub planner: PlannerStats,
+    /// In-place retrains performed ([`Router::retrain`] /
+    /// [`Router::retrain_incremental`]).
+    pub retrains: u64,
+    /// Wall-clock of the most recent retrain (ms; 0 before the first).
+    pub retrain_ms: f64,
+    /// Strata sweeps-to-converge of the most recent *incremental* retrain
+    /// (0 before the first, and untouched by closure-based
+    /// [`Router::retrain`], which knows nothing about sweeps).
+    pub retrain_sweeps: u32,
 }
 
 struct TableEntry {
@@ -375,6 +384,11 @@ struct RouterCore {
     planner_probes: AtomicU64,
     planner_probe_hits: AtomicU64,
     planner_fallbacks: AtomicU64,
+    /// Retrain telemetry: count, last wall-clock (f64 bits), last strata
+    /// sweep count.
+    retrains: AtomicU64,
+    retrain_ms_bits: AtomicU64,
+    retrain_sweeps: AtomicU64,
     /// Accepted-but-unfinished request count; `all_done` signals zero.
     pending: Mutex<usize>,
     all_done: Condvar,
@@ -609,6 +623,9 @@ impl RouterBuilder {
                 planner_probes: AtomicU64::new(0),
                 planner_probe_hits: AtomicU64::new(0),
                 planner_fallbacks: AtomicU64::new(0),
+                retrains: AtomicU64::new(0),
+                retrain_ms_bits: AtomicU64::new(0),
+                retrain_sweeps: AtomicU64::new(0),
                 pending: Mutex::new(0),
                 all_done: Condvar::new(),
             }),
@@ -698,15 +715,52 @@ impl Router {
     /// Retrain `table` in place: derive a replacement system from the
     /// current one (outside any lock — training is slow and serving
     /// continues meanwhile), swap it in, and invalidate the table's cached
-    /// answers. Returns the replaced system.
+    /// answers. Returns the replaced system. The wall-clock (closure plus
+    /// swap) lands in [`RouterStats::retrain_ms`].
     pub fn retrain(
         &self,
         table: TableId,
         train: impl FnOnce(&Arc<Ps3System>) -> Arc<Ps3System>,
     ) -> Arc<Ps3System> {
+        let started = Instant::now();
         let current = self.system(table);
         let replacement = train(&current);
-        self.replace_table(table, replacement)
+        let old = self.replace_table(table, replacement);
+        self.record_retrain(started.elapsed().as_secs_f64() * 1e3, None);
+        old
+    }
+
+    /// Warm incremental retrain of `table` for (possibly grown) `pt` and
+    /// `stats`: derive the replacement via [`Ps3System::retrain_from`] —
+    /// reusing every learned component and warm-starting the partition
+    /// strata from the current generation — then swap it in and invalidate
+    /// the table's cached answers. Returns the replaced system;
+    /// [`RouterStats::retrain_ms`] and [`RouterStats::retrain_sweeps`]
+    /// record the cost.
+    pub fn retrain_incremental(
+        &self,
+        table: TableId,
+        pt: Arc<ps3_storage::PartitionedTable>,
+        stats: Arc<ps3_stats::TableStats>,
+    ) -> Arc<Ps3System> {
+        let started = Instant::now();
+        let current = self.system(table);
+        let (next, report) = Ps3System::retrain_from(&current, pt, stats);
+        let old = self.replace_table(table, Arc::new(next));
+        self.record_retrain(started.elapsed().as_secs_f64() * 1e3, Some(report.sweeps));
+        old
+    }
+
+    fn record_retrain(&self, elapsed_ms: f64, sweeps: Option<u32>) {
+        self.core.retrains.fetch_add(1, Ordering::Relaxed);
+        self.core
+            .retrain_ms_bits
+            .store(elapsed_ms.to_bits(), Ordering::Relaxed);
+        if let Some(sweeps) = sweeps {
+            self.core
+                .retrain_sweeps
+                .store(u64::from(sweeps), Ordering::Relaxed);
+        }
     }
 
     /// The execution pool partition fan-out runs on.
@@ -833,6 +887,9 @@ impl Router {
                 probe_hits: self.core.planner_probe_hits.load(Ordering::Relaxed),
                 fallbacks: self.core.planner_fallbacks.load(Ordering::Relaxed),
             },
+            retrains: self.core.retrains.load(Ordering::Relaxed),
+            retrain_ms: f64::from_bits(self.core.retrain_ms_bits.load(Ordering::Relaxed)),
+            retrain_sweeps: self.core.retrain_sweeps.load(Ordering::Relaxed) as u32,
         }
     }
 }
@@ -1237,6 +1294,49 @@ mod tests {
         assert!(
             Arc::ptr_eq(&router.system(a), &replacement),
             "the registry now serves the replacement"
+        );
+    }
+
+    #[test]
+    fn incremental_retrain_preserves_answers_and_records_stats() {
+        let router = Router::single(tiny_system(40, 160));
+        let table = router.table_id("default").unwrap();
+        let req = QueryRequest::ps3(sum_query(), 0.25, 3);
+        let before = router.answer_now(table, &req);
+        assert_eq!(router.stats().retrains, 0);
+
+        // Retrain in place on the unchanged table (the append-only
+        // degenerate case): warm strata, zero model refits.
+        let sys = router.system(table);
+        let old = router.retrain_incremental(table, Arc::clone(&sys.pt), Arc::clone(&sys.stats));
+        assert!(Arc::ptr_eq(&old, &sys), "the replaced system comes back");
+        let stats = router.stats();
+        assert_eq!(stats.retrains, 1);
+        assert!(stats.retrain_ms >= 0.0);
+        assert!(
+            (1..=2).contains(&stats.retrain_sweeps),
+            "unchanged table must re-converge in 1-2 sweeps, took {}",
+            stats.retrain_sweeps
+        );
+        assert_eq!(stats.answers.len, 0, "the table's cache was invalidated");
+
+        // Post-retrain answers re-execute on the new generation and are
+        // bit-identical to the previous one's.
+        let execs = router.stats().executions;
+        let after = router.answer_now(table, &req);
+        assert_eq!(router.stats().executions, execs + 1, "cold after retrain");
+        assert_eq!(after.answer, before.answer);
+        assert_eq!(after.meta.error_estimate, before.meta.error_estimate);
+
+        // Closure-based retrain records timing but not sweeps.
+        let sweeps_before = router.stats().retrain_sweeps;
+        let replacement = tiny_system(41, 160);
+        let _ = router.retrain(table, |_| Arc::clone(&replacement));
+        let stats = router.stats();
+        assert_eq!(stats.retrains, 2);
+        assert_eq!(
+            stats.retrain_sweeps, sweeps_before,
+            "closure retrains leave the sweep stat untouched"
         );
     }
 

@@ -195,8 +195,16 @@ impl ServeHandle {
     }
 
     /// Answer a batch concurrently over the pool, results in request order.
+    ///
+    /// On a single-worker pool the hand-off buys no parallelism and costs a
+    /// queue round-trip per request, so the batch runs serially on the
+    /// caller instead — same results, same order, no injection.
     pub fn answer_many(&self, reqs: &[QueryRequest]) -> Vec<AnswerOutcome> {
-        self.router.pool().map(reqs, |req| self.answer(req))
+        let pool = self.router.pool();
+        if pool.workers() <= 1 {
+            return reqs.iter().map(|req| self.answer(req)).collect();
+        }
+        pool.map(reqs, |req| self.answer(req))
     }
 
     /// Answer one query across a budget sweep, fanned out over the pool
@@ -274,6 +282,47 @@ mod tests {
         for (req, out) in reqs.iter().zip(&batch) {
             let again = h.answer(req);
             assert_eq!(out.answer, again.answer, "seed {}", req.seed);
+        }
+    }
+
+    #[test]
+    fn single_worker_batch_skips_the_pool_hand_off() {
+        let system = handle().system();
+        let q = Query::new(vec![AggExpr::count()], None, vec![]);
+        let reqs: Vec<QueryRequest> = (0..6)
+            .map(|i| QueryRequest::ps3(q.clone(), 0.25, i as u64))
+            .collect();
+
+        let serial_pool = Arc::new(ThreadPool::new(1));
+        let serial = ServeHandle::with_pool(Arc::clone(&system), Arc::clone(&serial_pool));
+        // Warm the cache so the fast-path run itself executes nothing that
+        // could inject work (partition execution fans out over the pool).
+        for req in &reqs {
+            serial.answer(req);
+        }
+        let before = serial_pool.tasks_injected();
+        let fast = serial.answer_many(&reqs);
+        assert_eq!(
+            serial_pool.tasks_injected(),
+            before,
+            "1-worker batch must run inline, never touching the injector"
+        );
+
+        let wide_pool = Arc::new(ThreadPool::new(2));
+        let wide = ServeHandle::with_pool(system, Arc::clone(&wide_pool));
+        for req in &reqs {
+            wide.answer(req);
+        }
+        let before = wide_pool.tasks_injected();
+        let fanned = wide.answer_many(&reqs);
+        assert_eq!(
+            wide_pool.tasks_injected() - before,
+            reqs.len() as u64,
+            "multi-worker batch still fans out over the pool"
+        );
+
+        for (f, w) in fast.iter().zip(&fanned) {
+            assert_eq!(f.answer, w.answer, "fast path must not change answers");
         }
     }
 

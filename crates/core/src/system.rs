@@ -150,10 +150,21 @@ pub struct Ps3System {
     pub trained: TrainedPs3,
     /// Trained LSS baseline.
     pub lss: LssModel,
-    /// Cached training-workload execution (reused by the benches).
-    pub training: TrainingData,
+    /// Cached training-workload execution (reused by the benches and
+    /// shared, not recomputed, across warm retrain generations).
+    pub training: Arc<TrainingData>,
     /// Bounded per-query artifact cache, keyed by [`Query::fingerprint`].
     features: SharedLru<u64, Arc<QueryArtifacts>>,
+}
+
+/// What a warm incremental retrain did (see [`Ps3System::retrain_from`]).
+#[derive(Debug, Clone, Copy)]
+pub struct RetrainReport {
+    /// Assign-update sweeps the partition strata took to re-converge from
+    /// the previous generation's centroids.
+    pub sweeps: u32,
+    /// Partition count of the retrained table.
+    pub partitions: u32,
 }
 
 /// Budget fractions the LSS strata sweep is trained at (the harness grid).
@@ -198,9 +209,52 @@ impl Ps3System {
             stats,
             trained,
             lss,
-            training,
+            training: Arc::new(training),
             features: SharedLru::new(feature_cache_cap),
         }
+    }
+
+    /// Warm incremental retrain: derive the next-generation system for
+    /// (possibly grown) `pt`/`stats` from `prev` without re-executing the
+    /// training workload or re-fitting any model. Per training query, the
+    /// feature matrix is recomputed against the *new* table and pushed
+    /// through `prev`'s normalizer; the workload-pooled rows then warm-start
+    /// the partition strata from the previous centroids
+    /// ([`TrainedPs3::retrain_from`]). Everything on the query-answer path
+    /// (models, thresholds, normalizer, exclusions, LSS) carries over
+    /// unchanged, so on an unchanged table the new system's answers are
+    /// bit-identical to `prev`'s.
+    pub fn retrain_from(
+        prev: &Ps3System,
+        pt: Arc<PartitionedTable>,
+        stats: Arc<TableStats>,
+    ) -> (Self, RetrainReport) {
+        let normalized: Vec<Vec<Vec<f64>>> = ps3_runtime::fan_out(
+            prev.trained.config.threads,
+            prev.training.queries.len(),
+            |qi| {
+                let q = &prev.training.queries[qi];
+                let features = QueryFeatures::compute(&stats, pt.table(), q);
+                let mut rows = features.rows;
+                prev.trained.normalizer.apply_matrix(&mut rows);
+                rows
+            },
+        );
+        let pooled = crate::train::pooled_partition_rows(&normalized);
+        let (trained, sweeps) = TrainedPs3::retrain_from(&prev.trained, &pooled);
+        let report = RetrainReport {
+            sweeps: sweeps as u32,
+            partitions: pt.num_partitions() as u32,
+        };
+        let system = Self {
+            pt,
+            stats,
+            trained,
+            lss: prev.lss.clone(),
+            training: Arc::clone(&prev.training),
+            features: SharedLru::new(prev.trained.config.feature_cache_cap),
+        };
+        (system, report)
     }
 
     /// Number of partitions.
@@ -714,6 +768,58 @@ mod tests {
                 "final is not an update"
             );
             prev_done = u.partitions_done;
+        }
+    }
+
+    #[test]
+    fn warm_retrain_on_unchanged_table_is_bit_identical_to_prev_generation() {
+        let sys = tiny_system();
+        let (warm, report) =
+            Ps3System::retrain_from(&sys, Arc::clone(&sys.pt), Arc::clone(&sys.stats));
+        assert!(
+            (1..=2).contains(&report.sweeps),
+            "converged strata must settle in 1-2 sweeps, took {}",
+            report.sweeps
+        );
+        assert_eq!(report.partitions, 16);
+
+        // The strata re-converged to the previous generation bitwise.
+        assert_eq!(
+            warm.trained.strata.assignment,
+            sys.trained.strata.assignment
+        );
+        let bits =
+            |c: &[Vec<f64>]| -> Vec<u64> { c.iter().flatten().map(|x| x.to_bits()).collect() };
+        assert_eq!(
+            bits(&warm.trained.strata.centroids),
+            bits(&sys.trained.strata.centroids)
+        );
+        assert!(
+            Arc::ptr_eq(&warm.training, &sys.training),
+            "training data is shared, not recomputed"
+        );
+
+        // Answers across methods and seeds are bit-identical: the entire
+        // query-answer surface carried over unchanged.
+        let queries = [
+            Query::new(vec![AggExpr::count()], None, vec![]),
+            Query::new(
+                vec![AggExpr::sum(ps3_query::ScalarExpr::col(
+                    ps3_storage::ColId(0),
+                ))],
+                None,
+                vec![ps3_storage::ColId(1)],
+            ),
+        ];
+        for q in &queries {
+            for method in Method::ALL {
+                for seed in [0u64, 7] {
+                    let a = sys.answer_seeded(q, method, 0.25, seed);
+                    let b = warm.answer_seeded(q, method, 0.25, seed);
+                    assert_eq!(a.answer, b.answer, "{method:?} seed {seed}");
+                    assert_eq!(a.meta.error_estimate, b.meta.error_estimate);
+                }
+            }
         }
     }
 

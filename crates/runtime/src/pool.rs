@@ -18,7 +18,7 @@ use std::any::Any;
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 use std::time::Duration;
@@ -46,6 +46,10 @@ struct Shared {
     /// Wakes sleeping workers when tasks arrive or the pool shuts down.
     wake: Condvar,
     shutdown: AtomicBool,
+    /// Lifetime count of tasks pushed through [`Shared::inject`] — the
+    /// pool hand-offs observable by callers deciding whether a hand-off is
+    /// worth it (see `ServeHandle::answer_many`'s 1-worker fast path).
+    tasks_injected: AtomicU64,
 }
 
 impl Shared {
@@ -75,7 +79,14 @@ impl Shared {
 
     /// Queue a batch on the injector and wake every worker.
     fn inject(&self, tasks: impl IntoIterator<Item = Task>) {
-        self.queues[0].lock().unwrap().extend(tasks);
+        let pushed = {
+            let mut injector = self.queues[0].lock().unwrap();
+            let before = injector.len();
+            injector.extend(tasks);
+            injector.len() - before
+        };
+        self.tasks_injected
+            .fetch_add(pushed as u64, Ordering::Relaxed);
         let _g = self.idle.lock().unwrap();
         self.wake.notify_all();
     }
@@ -125,6 +136,7 @@ impl ThreadPool {
             idle: Mutex::new(()),
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            tasks_injected: AtomicU64::new(0),
         });
         let handles = (0..threads)
             .map(|w| {
@@ -148,6 +160,14 @@ impl ThreadPool {
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.handles.len()
+    }
+
+    /// Lifetime count of tasks handed to the pool's injector queue.
+    /// Inline-executed work (0- and 1-task scopes, serial fast paths) never
+    /// increments it, which is exactly what makes it useful for asserting
+    /// that a fast path really skipped the hand-off.
+    pub fn tasks_injected(&self) -> u64 {
+        self.shared.tasks_injected.load(Ordering::Relaxed)
     }
 
     /// Run `f(0..n)` across the pool and return the results in index order

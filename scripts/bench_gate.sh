@@ -28,6 +28,9 @@
 #   SCALE_TOLERANCE  multi-core scaling check slack: serve/multi_thread may
 #                    be up to this factor slower than serve/single_thread
 #                    on a 4+-core runner before failing (default 1.0).
+#   WARM_MIN_SPEEDUP minimum train/train_cold ÷ train/retrain_warm ratio
+#                    before failing (default 10): the incremental retrain
+#                    must stay an order of magnitude under a cold rebuild.
 #   CORES_OVERRIDE   pretend the runner has this many cores (makes the
 #                    scaling branch testable on any box; normally unset).
 set -euo pipefail
@@ -51,6 +54,10 @@ query_time/execute_one_partition
 query_time/query_features
 query_time/kmeans_64x8
 query_time/hac_ward_64x8
+cluster/kmeans_minibatch_64x8
+cluster/assign_step_simd
+train/train_cold
+train/retrain_warm
 picker/full_pick_25pct
 serve/single_thread
 serve/multi_thread
@@ -81,22 +88,24 @@ if [ "$missing" -ne 0 ]; then
     exit 1
 fi
 
-# The runner's core count rides along as a `_meta/` entry: trajectory
-# numbers are meaningless without knowing the hardware they came from
-# (the committed baseline was measured in a 1-CPU build container, where
-# serve/multi_thread can legitimately trail serve/single_thread). The
-# ratio loop below skips `_meta/` keys.
+# The runner's core count and git revision ride along as `_meta/` entries:
+# trajectory numbers are meaningless without knowing the hardware they came
+# from (the committed baseline was measured in a 1-CPU build container,
+# where serve/multi_thread can legitimately trail serve/single_thread) or
+# which source they measured. The ratio loop below skips `_meta/` keys.
 # CORES_OVERRIDE exists so the scaling branch below is testable on any box.
 cores="${CORES_OVERRIDE:-$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}"
+git_rev="$(git -C "$(dirname "$0")/.." rev-parse --short HEAD 2>/dev/null || echo unknown)"
 
 # TSV -> flat JSON object, one "name": ns pair per line (the fixed layout
 # lets the comparison below parse it back with sed alone — no jq needed).
 {
     echo '{'
     awk -F'\t' '{printf "  \"%s\": %s,\n", $1, $2}' "$raw"
-    printf '  "_meta/cores": %s\n}\n' "$cores"
+    printf '  "_meta/cores": %s,\n' "$cores"
+    printf '  "_meta/git_rev": "%s"\n}\n' "$git_rev"
 } >"$out"
-echo "bench_gate: wrote $(wc -l <"$raw") benches to $out (cores: $cores)"
+echo "bench_gate: wrote $(wc -l <"$raw") benches to $out (cores: $cores, rev: $git_rev)"
 
 # Multi-core scaling check: on a 4+ core runner the pooled serving path
 # must not be slower than the serial baseline (both rows measure the same
@@ -118,6 +127,22 @@ if [ "$cores" -ge 4 ] && [ -n "$single_ns" ] && [ -n "$multi_ns" ]; then
 else
     echo "bench_gate: scaling check skipped (cores: $cores < 4)"
 fi
+
+# Warm-retrain check: the incremental path exists to be an order of
+# magnitude under a cold rebuild on an unchanged table; if it drifts back
+# toward cold-training cost the reuse is broken, whatever the absolute
+# numbers are. WARM_MIN_SPEEDUP loosens/tightens the bar (default 10).
+warm_min_speedup="${WARM_MIN_SPEEDUP:-10}"
+cold_ns=$(awk -F'\t' '$1 == "train/train_cold" {print $2; exit}' "$raw")
+warm_ns=$(awk -F'\t' '$1 == "train/retrain_warm" {print $2; exit}' "$raw")
+awk -v c="$cold_ns" -v w="$warm_ns" -v min="$warm_min_speedup" 'BEGIN {
+    speedup = w > 0 ? c / w : 0;
+    printf "bench_gate: warm retrain %d ns vs cold train %d ns (%.1fx)\n", w, c, speedup;
+    if (speedup < min) {
+        printf "bench_gate: FAIL — train/retrain_warm is under %.0fx faster than train/train_cold\n", min;
+        exit 1;
+    }
+}' || exit 1
 
 if [ -z "$baseline" ] || [ ! -f "$baseline" ]; then
     echo "bench_gate: no baseline to compare against; done"
