@@ -50,7 +50,7 @@ mod tests {
     fn pt(values: Vec<f64>, parts: usize) -> PartitionedTable {
         let t = Table::new(
             Schema::new(vec![ColumnMeta::new("v", ColumnType::Numeric)]),
-            vec![ColumnData::Numeric(values)],
+            vec![ColumnData::Numeric(values.into())],
         );
         PartitionedTable::with_equal_partitions(t, parts)
     }

@@ -35,6 +35,7 @@ pub mod estimator;
 pub mod feature_selection;
 pub mod importance;
 pub mod outlier;
+pub mod persist;
 pub mod picker;
 pub mod planner;
 pub mod router;
@@ -44,6 +45,7 @@ pub mod train;
 
 pub use config::{ExemplarRule, Ps3Config};
 pub use estimator::{AggError, ErrorEstimate};
+pub use persist::{freeze, thaw};
 pub use picker::{PickOutcome, Picker};
 pub use planner::{Budget, BudgetPlan, PlannerStats, FALLBACK_FRAC, PLAN_GRID};
 pub use router::{
@@ -55,3 +57,11 @@ pub use system::{
     LSS_BUDGET_GRID,
 };
 pub use train::{pooled_partition_rows, PartitionStrata, TrainedPs3, TrainingData};
+
+/// Executable copy of `docs/FORMAT.md`: every Rust block in the artifact
+/// format spec runs as a doc-test here, so the documented container bytes
+/// and section grammars can never drift from what [`persist`] and
+/// `ps3_storage::format` actually write.
+#[doc = include_str!("../../../docs/FORMAT.md")]
+#[cfg(doctest)]
+pub struct FormatDocTests;

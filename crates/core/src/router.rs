@@ -188,6 +188,14 @@ pub struct RouterStats {
     /// (0 before the first, and untouched by closure-based
     /// [`Router::retrain`], which knows nothing about sweeps).
     pub retrain_sweeps: u32,
+    /// Artifacts written: explicit [`Router::snapshot`] calls plus the
+    /// automatic post-retrain snapshots a configured
+    /// [`RouterBuilder::snapshot_dir`] triggers.
+    pub snapshots: u64,
+    /// Automatic snapshots that failed (serving is unaffected — the write
+    /// is best-effort; explicit [`Router::snapshot`] errors surface to the
+    /// caller instead of counting here).
+    pub snapshot_errors: u64,
 }
 
 struct TableEntry {
@@ -389,6 +397,11 @@ struct RouterCore {
     retrains: AtomicU64,
     retrain_ms_bits: AtomicU64,
     retrain_sweeps: AtomicU64,
+    /// Auto-snapshot destination for post-retrain artifacts (`None` = off)
+    /// and write telemetry.
+    snapshot_dir: Option<std::path::PathBuf>,
+    snapshots: AtomicU64,
+    snapshot_errors: AtomicU64,
     /// Accepted-but-unfinished request count; `all_done` signals zero.
     pending: Mutex<usize>,
     all_done: Condvar,
@@ -554,6 +567,7 @@ pub struct RouterBuilder {
     pump_workers: Option<usize>,
     answer_cache_cap: usize,
     exec_pool: Option<Arc<ThreadPool>>,
+    snapshot_dir: Option<std::path::PathBuf>,
 }
 
 impl RouterBuilder {
@@ -596,6 +610,28 @@ impl RouterBuilder {
         self
     }
 
+    /// Register a named table from a frozen artifact on disk
+    /// ([`crate::persist::thaw`]): the cold-start boot path. Column
+    /// payloads stay mmapped; a malformed artifact is rejected here with a
+    /// typed error before the router exists.
+    pub fn table_from_artifact(
+        self,
+        name: impl Into<String>,
+        path: &std::path::Path,
+    ) -> Result<Self, ps3_storage::format::FormatError> {
+        let system = crate::persist::thaw(path)?;
+        Ok(self.table(name, Arc::new(system)))
+    }
+
+    /// Auto-snapshot directory: after every successful
+    /// [`Router::retrain_incremental`], the new generation is frozen to
+    /// `<dir>/<table-name>.ps3` (best-effort — a failed write only bumps
+    /// [`RouterStats::snapshot_errors`]). Off by default.
+    pub fn snapshot_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.snapshot_dir = Some(dir.into());
+        self
+    }
+
     /// Build the router. Panics if no table was registered or a name was
     /// registered twice.
     pub fn build(self) -> Arc<Router> {
@@ -626,6 +662,9 @@ impl RouterBuilder {
                 retrains: AtomicU64::new(0),
                 retrain_ms_bits: AtomicU64::new(0),
                 retrain_sweeps: AtomicU64::new(0),
+                snapshot_dir: self.snapshot_dir,
+                snapshots: AtomicU64::new(0),
+                snapshot_errors: AtomicU64::new(0),
                 pending: Mutex::new(0),
                 all_done: Condvar::new(),
             }),
@@ -656,6 +695,7 @@ impl Router {
             pump_workers: None,
             answer_cache_cap: 1024,
             exec_pool: None,
+            snapshot_dir: None,
         }
     }
 
@@ -746,9 +786,47 @@ impl Router {
         let started = Instant::now();
         let current = self.system(table);
         let (next, report) = Ps3System::retrain_from(&current, pt, stats);
-        let old = self.replace_table(table, Arc::new(next));
+        let next = Arc::new(next);
+        let old = self.replace_table(table, Arc::clone(&next));
         self.record_retrain(started.elapsed().as_secs_f64() * 1e3, Some(report.sweeps));
+        // Durability rides behind serving: the swap is done, so a slow or
+        // failing disk can only cost a counter bump, never availability.
+        if let Some(dir) = &self.core.snapshot_dir {
+            let name = &self.core.tables[table.index()].name;
+            let path = dir.join(format!("{name}.ps3"));
+            match crate::persist::freeze(&next, &path) {
+                Ok(()) => {
+                    self.core.snapshots.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    self.core.snapshot_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
         old
+    }
+
+    /// Freeze the system currently behind `table` to `path`
+    /// ([`crate::persist::freeze`]). Serving continues on the `Arc`
+    /// snapshot taken at call time.
+    pub fn snapshot(&self, table: TableId, path: &std::path::Path) -> std::io::Result<()> {
+        let system = self.system(table);
+        crate::persist::freeze(&system, path)?;
+        self.core.snapshots.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Replace the system behind `table` with one thawed from the artifact
+    /// at `path`, invalidating the table's cached answers exactly like any
+    /// other [`Router::replace_table`]. Returns the replaced system. A
+    /// malformed artifact leaves the table serving its current system.
+    pub fn load_table(
+        &self,
+        table: TableId,
+        path: &std::path::Path,
+    ) -> Result<Arc<Ps3System>, ps3_storage::format::FormatError> {
+        let system = crate::persist::thaw(path)?;
+        Ok(self.replace_table(table, Arc::new(system)))
     }
 
     fn record_retrain(&self, elapsed_ms: f64, sweeps: Option<u32>) {
@@ -890,6 +968,8 @@ impl Router {
             retrains: self.core.retrains.load(Ordering::Relaxed),
             retrain_ms: f64::from_bits(self.core.retrain_ms_bits.load(Ordering::Relaxed)),
             retrain_sweeps: self.core.retrain_sweeps.load(Ordering::Relaxed) as u32,
+            snapshots: self.core.snapshots.load(Ordering::Relaxed),
+            snapshot_errors: self.core.snapshot_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -1556,5 +1636,85 @@ mod tests {
             let out = t.wait();
             assert!(out.answer.num_groups() > 0, "drained ticket must be served");
         }
+    }
+
+    #[test]
+    fn snapshot_boot_and_load_are_bit_identical() {
+        let dir = std::env::temp_dir().join(format!("ps3_router_snap_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.ps3");
+
+        let system = tiny_system(3, 160);
+        let trained = Router::single(Arc::clone(&system));
+        let tid = trained.table_id("default").unwrap();
+        trained.snapshot(tid, &path).unwrap();
+        assert_eq!(trained.stats().snapshots, 1);
+
+        // Boot a fresh router straight from the artifact.
+        let booted = Router::builder()
+            .table_from_artifact("default", &path)
+            .unwrap()
+            .build();
+        let bid = booted.table_id("default").unwrap();
+        for seed in [0u64, 7] {
+            let req = QueryRequest::ps3(sum_query(), 0.25, seed);
+            let a = trained.answer_now(tid, &req);
+            let b = booted.answer_now(bid, &req);
+            assert_eq!(a.answer, b.answer, "seed {seed}");
+        }
+
+        // Hot-swap from disk invalidates cached answers like any replace.
+        let other = Router::single(tiny_system(9, 160));
+        let oid = other.table_id("default").unwrap();
+        let _ = other.answer_now(oid, &QueryRequest::ps3(sum_query(), 0.25, 0));
+        other.load_table(oid, &path).unwrap();
+        let swapped = other.answer_now(oid, &QueryRequest::ps3(sum_query(), 0.25, 0));
+        let reference = trained.answer_now(tid, &QueryRequest::ps3(sum_query(), 0.25, 0));
+        assert_eq!(swapped.answer, reference.answer);
+
+        // Corrupt artifact: typed error, table keeps serving.
+        let bad_path = dir.join("bad.ps3");
+        std::fs::write(&bad_path, b"PS3FLAT\0garbage").unwrap();
+        assert!(other.load_table(oid, &bad_path).is_err());
+        let still = other.answer_now(oid, &QueryRequest::ps3(sum_query(), 0.25, 0));
+        assert_eq!(still.answer, reference.answer);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn incremental_retrain_auto_snapshots() {
+        let dir = std::env::temp_dir().join(format!("ps3_router_auto_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let system = tiny_system(4, 160);
+        let router = Router::builder()
+            .table("t", Arc::clone(&system))
+            .snapshot_dir(&dir)
+            .build();
+        let tid = router.table_id("t").unwrap();
+        router.retrain_incremental(tid, Arc::clone(&system.pt), Arc::clone(&system.stats));
+        let stats = router.stats();
+        assert_eq!(stats.snapshots, 1);
+        assert_eq!(stats.snapshot_errors, 0);
+
+        // The auto-written artifact boots to the retrained generation.
+        let thawed = Ps3System::thaw(&dir.join("t.ps3")).unwrap();
+        let q = sum_query();
+        let current = router.system(tid);
+        let a = current.answer_seeded(&q, Method::Ps3, 0.25, 1);
+        let b = thawed.answer_seeded(&q, Method::Ps3, 0.25, 1);
+        assert_eq!(a.answer, b.answer);
+
+        // An unwritable directory only bumps the error counter.
+        let bad = Router::builder()
+            .table("t", Arc::clone(&system))
+            .snapshot_dir(dir.join("missing/nested"))
+            .build();
+        let bid = bad.table_id("t").unwrap();
+        bad.retrain_incremental(bid, Arc::clone(&system.pt), Arc::clone(&system.stats));
+        assert_eq!(bad.stats().snapshot_errors, 1);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

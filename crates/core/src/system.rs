@@ -214,6 +214,40 @@ impl Ps3System {
         }
     }
 
+    /// Reassemble a system from already-trained parts (the thaw path in
+    /// [`crate::persist`]). The feature LRU starts empty at the persisted
+    /// configuration's capacity; everything else is used as given, so a
+    /// system rebuilt from its own parts answers bit-identically.
+    pub fn from_parts(
+        pt: Arc<PartitionedTable>,
+        stats: Arc<TableStats>,
+        trained: TrainedPs3,
+        lss: LssModel,
+        training: Arc<TrainingData>,
+    ) -> Self {
+        let feature_cache_cap = trained.config.feature_cache_cap;
+        Self {
+            pt,
+            stats,
+            trained,
+            lss,
+            training,
+            features: SharedLru::new(feature_cache_cap),
+        }
+    }
+
+    /// Write this trained system to `path` as one flat artifact
+    /// ([`crate::persist::freeze`]).
+    pub fn freeze(&self, path: &std::path::Path) -> std::io::Result<()> {
+        crate::persist::freeze(self, path)
+    }
+
+    /// Map the artifact at `path` back into a serving-ready system
+    /// ([`crate::persist::thaw`]).
+    pub fn thaw(path: &std::path::Path) -> Result<Self, ps3_storage::format::FormatError> {
+        crate::persist::thaw(path)
+    }
+
     /// Warm incremental retrain: derive the next-generation system for
     /// (possibly grown) `pt`/`stats` from `prev` without re-executing the
     /// training workload or re-fitting any model. Per training query, the

@@ -175,6 +175,38 @@ impl Gbdt {
     pub fn num_trees(&self) -> usize {
         self.trees.len()
     }
+
+    /// The trees, for persistence.
+    pub fn trees(&self) -> &[Tree] {
+        &self.trees
+    }
+
+    /// The base (mean-label) prediction.
+    pub fn base(&self) -> f64 {
+        self.base
+    }
+
+    /// The shrinkage applied per tree at prediction time.
+    pub fn learning_rate(&self) -> f64 {
+        self.learning_rate
+    }
+
+    /// Reassemble a model from persisted parts. Trees are assumed already
+    /// validated via [`Tree::from_nodes`]; `importance` fixes the feature
+    /// width (one slot per feature).
+    pub fn from_raw_parts(
+        trees: Vec<Tree>,
+        base: f64,
+        learning_rate: f64,
+        importance: Vec<f64>,
+    ) -> Self {
+        Self {
+            trees,
+            base,
+            learning_rate,
+            importance,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -21,4 +21,4 @@ pub mod tree;
 pub use binner::Binner;
 pub use gbdt::{Gbdt, GbdtParams};
 pub use labels::{choose_thresholds, make_labels};
-pub use tree::Tree;
+pub use tree::{NodeSpec, Tree};

@@ -100,6 +100,99 @@ impl Tree {
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
     }
+
+    /// The flattened nodes, for persistence.
+    pub fn nodes_spec(&self) -> Vec<NodeSpec> {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                Node::Leaf { value } => NodeSpec::Leaf { value: *value },
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => NodeSpec::Split {
+                    feature: *feature,
+                    threshold: *threshold,
+                    left: *left,
+                    right: *right,
+                },
+            })
+            .collect()
+    }
+
+    /// Rebuild a tree from persisted nodes, validating every structural
+    /// invariant [`predict_row`](Self::predict_row) relies on.
+    ///
+    /// `grow` appends children strictly after their parent, so a well-formed
+    /// tree has `left > parent` and `right > parent` for every split —
+    /// which also guarantees traversal terminates. Split features must index
+    /// into a `num_features`-wide row. Violations (a corrupt or adversarial
+    /// artifact) return an error instead of risking a panic or an infinite
+    /// prediction loop.
+    pub fn from_nodes(nodes: Vec<NodeSpec>, num_features: usize) -> Result<Self, &'static str> {
+        if nodes.is_empty() {
+            return Err("tree has no nodes");
+        }
+        for (i, n) in nodes.iter().enumerate() {
+            if let NodeSpec::Split {
+                feature,
+                left,
+                right,
+                ..
+            } = n
+            {
+                if *feature >= num_features {
+                    return Err("split feature out of range");
+                }
+                if *left <= i || *left >= nodes.len() || *right <= i || *right >= nodes.len() {
+                    return Err("split child index out of range");
+                }
+            }
+        }
+        Ok(Self {
+            nodes: nodes
+                .into_iter()
+                .map(|n| match n {
+                    NodeSpec::Leaf { value } => Node::Leaf { value },
+                    NodeSpec::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    } => Node::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    },
+                })
+                .collect(),
+        })
+    }
+}
+
+/// A tree node in persistable form — the exact state of the private node
+/// array, exposed for `ps3_core`'s artifact codec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeSpec {
+    /// A leaf carrying its prediction value.
+    Leaf {
+        /// The leaf weight.
+        value: f64,
+    },
+    /// An internal split.
+    Split {
+        /// Feature index the split tests.
+        feature: usize,
+        /// Rows with `x <= threshold` go left.
+        threshold: f64,
+        /// Index of the left child (always greater than this node's index).
+        left: usize,
+        /// Index of the right child (always greater than this node's index).
+        right: usize,
+    },
 }
 
 /// Recursively build the node for `rows`, returning its index.

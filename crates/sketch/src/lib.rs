@@ -26,4 +26,4 @@ pub use akmv::Akmv;
 pub use exact_dict::ExactDict;
 pub use heavy_hitter::{HeavyHitter, HeavyHitters};
 pub use histogram::EquiDepthHistogram;
-pub use measures::Measures;
+pub use measures::{Measures, MeasuresRaw};

@@ -174,6 +174,69 @@ impl Measures {
     pub fn serialized_size(&self) -> usize {
         8 * 8 + 8 + 1
     }
+
+    /// The raw accumulator state, for bit-exact persistence.
+    ///
+    /// The wire codec's `Measures::decode` intentionally snapshots *derived*
+    /// values (mean, second moment); artifacts instead round-trip the raw
+    /// sums so a thawed sketch is indistinguishable — to the last bit —
+    /// from the one the trainer built.
+    pub fn raw_parts(&self) -> MeasuresRaw {
+        MeasuresRaw {
+            count: self.count,
+            sum: self.sum,
+            sum_sq: self.sum_sq,
+            min: self.min,
+            max: self.max,
+            log_sum: self.log_sum,
+            log_sum_sq: self.log_sum_sq,
+            log_min: self.log_min,
+            log_max: self.log_max,
+            all_positive: self.all_positive,
+        }
+    }
+
+    /// Rebuild a sketch from [`raw_parts`](Self::raw_parts) output.
+    pub fn from_raw_parts(raw: MeasuresRaw) -> Self {
+        Self {
+            count: raw.count,
+            sum: raw.sum,
+            sum_sq: raw.sum_sq,
+            min: raw.min,
+            max: raw.max,
+            log_sum: raw.log_sum,
+            log_sum_sq: raw.log_sum_sq,
+            log_min: raw.log_min,
+            log_max: raw.log_max,
+            all_positive: raw.all_positive,
+        }
+    }
+}
+
+/// The complete accumulator state of a [`Measures`] sketch, exposed for
+/// bit-exact persistence (`ps3_stats`' artifact codec).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuresRaw {
+    /// Number of values folded in.
+    pub count: u64,
+    /// Raw sum.
+    pub sum: f64,
+    /// Raw sum of squares.
+    pub sum_sq: f64,
+    /// Minimum (`+inf` when empty).
+    pub min: f64,
+    /// Maximum (`-inf` when empty).
+    pub max: f64,
+    /// Sum of logs (valid while `all_positive`).
+    pub log_sum: f64,
+    /// Sum of squared logs.
+    pub log_sum_sq: f64,
+    /// Minimum log.
+    pub log_min: f64,
+    /// Maximum log.
+    pub log_max: f64,
+    /// Whether every observed value was strictly positive.
+    pub all_positive: bool,
 }
 
 #[cfg(test)]

@@ -162,6 +162,44 @@ impl TableStats {
         &self.feature_schema
     }
 
+    /// Rebuild a `TableStats` from persisted parts, validating every
+    /// cross-vector shape invariant the accessors rely on. Fails (rather
+    /// than panicking later) when a corrupt artifact ships inconsistent
+    /// shapes.
+    pub fn from_raw_parts(
+        partitions: Vec<Vec<ColumnStats>>,
+        global_hh: Vec<Vec<u64>>,
+        bitmaps: Vec<Vec<u32>>,
+        static_features: Vec<Vec<f64>>,
+        feature_schema: FeatureSchema,
+    ) -> Result<Self, &'static str> {
+        let n = partitions.len();
+        let num_cols = feature_schema.num_cols();
+        if partitions.iter().any(|p| p.len() != num_cols) {
+            return Err("stats partition column count disagrees with schema");
+        }
+        if global_hh.len() != num_cols || bitmaps.len() != num_cols {
+            return Err("stats per-column vectors disagree with schema");
+        }
+        if global_hh.iter().any(|h| h.len() > BITMAP_BITS) {
+            return Err("stats global heavy-hitter list wider than bitmap");
+        }
+        if bitmaps.iter().any(|b| b.len() != n) {
+            return Err("stats bitmap row count disagrees with partitions");
+        }
+        let dim = feature_schema.dim();
+        if static_features.len() != n || static_features.iter().any(|r| r.len() != dim) {
+            return Err("stats static feature shape disagrees with schema");
+        }
+        Ok(Self {
+            partitions,
+            global_hh,
+            bitmaps,
+            static_features,
+            feature_schema,
+        })
+    }
+
     /// Average per-partition storage cost, in KB by sketch family (Table 4).
     /// The exact small-domain dictionary is accounted under `histogram`,
     /// where the paper's special case lives.

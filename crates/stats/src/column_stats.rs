@@ -152,7 +152,7 @@ mod tests {
             .map(|i| dict.intern(&format!("v{}", i % 4)))
             .collect();
         ColumnData::Categorical {
-            codes,
+            codes: codes.into(),
             dict: Arc::new(dict),
         }
     }

@@ -12,11 +12,14 @@
 //!   masking.
 //! * [`normalize`] — Appendix B normalization (log / cube-root transform,
 //!   then division by training-set means).
+//! * [`persist`] — bit-exact byte codec for the whole catalog (the `STATS`
+//!   section of the flat artifact format).
 
 pub mod builder;
 pub mod column_stats;
 pub mod features;
 pub mod normalize;
+pub mod persist;
 pub mod selectivity;
 
 pub use builder::{StatsConfig, StorageBreakdown, TableStats};

@@ -89,6 +89,21 @@ impl Normalizer {
     pub fn schema(&self) -> &FeatureSchema {
         &self.schema
     }
+
+    /// The fitted per-dimension means, for persistence.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Rebuild a fitted normalizer from persisted parts. Fails when the
+    /// mean vector does not match the schema's dimension (a corrupt
+    /// artifact), since `apply_row` indexes `means` by dimension.
+    pub fn from_raw_parts(schema: FeatureSchema, means: Vec<f64>) -> Result<Self, &'static str> {
+        if means.len() != schema.dim() {
+            return Err("normalizer mean vector does not match feature dimension");
+        }
+        Ok(Self { schema, means })
+    }
 }
 
 #[cfg(test)]

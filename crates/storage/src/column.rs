@@ -1,8 +1,15 @@
 //! Columnar data: numeric vectors and dictionary-encoded categoricals.
+//!
+//! Column payloads are [`Bytes`] — either heap-owned vectors (built tables)
+//! or typed windows into a mapped artifact (thawed tables). Everything that
+//! consumes columns goes through slices, so the two storage modes are
+//! indistinguishable downstream.
 
 use std::collections::HashMap;
 use std::ops::Range;
 use std::sync::Arc;
+
+use crate::mmap::Bytes;
 
 /// Rows per kernel chunk: one `u64` selection-mask word covers one chunk.
 pub const CHUNK_ROWS: usize = 64;
@@ -35,6 +42,18 @@ impl Dictionary {
     /// An empty dictionary.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Rebuild a dictionary from its values in code order (the artifact
+    /// decode path). Fails on duplicates instead of silently remapping.
+    pub fn from_values(values: Vec<String>) -> Result<Self, &'static str> {
+        let mut d = Self::new();
+        for (i, v) in values.iter().enumerate() {
+            if d.intern(v) as usize != i {
+                return Err("duplicate dictionary value");
+            }
+        }
+        Ok(d)
     }
 
     /// Return the code for `s`, inserting it if new.
@@ -93,10 +112,13 @@ impl Dictionary {
 #[derive(Debug, Clone)]
 pub enum ColumnData {
     /// Numeric (or date) values.
-    Numeric(Vec<f64>),
+    Numeric(Bytes<f64>),
     /// Dictionary codes plus the shared dictionary.
     Categorical {
-        codes: Vec<u32>,
+        /// Per-row dictionary codes.
+        codes: Bytes<u32>,
+        /// The shared dictionary (one `Arc` per column, shared across
+        /// permutations and retrain generations).
         dict: Arc<Dictionary>,
     },
 }
@@ -148,11 +170,16 @@ impl ColumnData {
     }
 
     /// Reorder rows by `perm` (row `i` of the result is old row `perm[i]`).
+    ///
+    /// The permuted payload is always owned (a mapped source stays mapped
+    /// and untouched); the dictionary is shared, never deep-copied.
     pub fn permute(&self, perm: &[usize]) -> ColumnData {
         match self {
-            ColumnData::Numeric(v) => ColumnData::Numeric(perm.iter().map(|&i| v[i]).collect()),
+            ColumnData::Numeric(v) => {
+                ColumnData::Numeric(perm.iter().map(|&i| v[i]).collect::<Vec<_>>().into())
+            }
             ColumnData::Categorical { codes, dict } => ColumnData::Categorical {
-                codes: perm.iter().map(|&i| codes[i]).collect(),
+                codes: perm.iter().map(|&i| codes[i]).collect::<Vec<_>>().into(),
                 dict: Arc::clone(dict),
             },
         }
@@ -231,14 +258,14 @@ mod tests {
 
     #[test]
     fn permute_numeric_and_categorical() {
-        let num = ColumnData::Numeric(vec![10.0, 20.0, 30.0]);
+        let num = ColumnData::Numeric(vec![10.0, 20.0, 30.0].into());
         let out = num.permute(&[2, 0, 1]);
         assert_eq!(out.as_numeric().unwrap(), &[30.0, 10.0, 20.0]);
 
         let mut d = Dictionary::new();
         let codes = vec![d.intern("x"), d.intern("y"), d.intern("x")];
         let cat = ColumnData::Categorical {
-            codes,
+            codes: codes.into(),
             dict: Arc::new(d),
         };
         let out = cat.permute(&[1, 1, 0]);
@@ -249,14 +276,14 @@ mod tests {
 
     #[test]
     fn sort_keys_order() {
-        let num = ColumnData::Numeric(vec![2.0, 1.0]);
+        let num = ColumnData::Numeric(vec![2.0, 1.0].into());
         assert!(num.sort_key(1) < num.sort_key(0));
 
         let mut d = Dictionary::new();
         // Interning order differs from lexicographic order on purpose.
         let codes = vec![d.intern("zeta"), d.intern("alpha")];
         let cat = ColumnData::Categorical {
-            codes,
+            codes: codes.into(),
             dict: Arc::new(d),
         };
         assert!(cat.sort_key(1) < cat.sort_key(0));
@@ -265,7 +292,7 @@ mod tests {
     #[test]
     fn chunked_access() {
         let data: Vec<f64> = (0..150).map(f64::from).collect();
-        let col = ColumnData::Numeric(data);
+        let col = ColumnData::Numeric(data.into());
         let range = col.numeric_range(10..150);
         let (chunks, tail) = chunks64(range);
         let chunks: Vec<_> = chunks.collect();
@@ -280,7 +307,7 @@ mod tests {
             .map(|i| d.intern(if i % 2 == 0 { "a" } else { "b" }))
             .collect();
         let col = ColumnData::Categorical {
-            codes,
+            codes: codes.into(),
             dict: Arc::new(d),
         };
         assert_eq!(col.codes_range(0..3), &[0, 1, 0]);
@@ -291,7 +318,7 @@ mod tests {
 
     #[test]
     fn nan_ordering_is_total() {
-        let num = ColumnData::Numeric(vec![f64::NAN, 1.0]);
+        let num = ColumnData::Numeric(vec![f64::NAN, 1.0].into());
         // total_cmp puts NaN after every finite value.
         assert!(num.sort_key(1) < num.sort_key(0));
     }

@@ -1,0 +1,887 @@
+//! The PS3 artifact container: a flat, versioned, checksummed on-disk
+//! format for frozen tables and trained systems.
+//!
+//! The full grammar, with worked byte-level examples, lives in
+//! `docs/FORMAT.md` (doc-tested from `ps3_core`). The shape in one
+//! paragraph: a fixed 64-byte little-endian header (magic, version, section
+//! count, file length, section-table checksum), a section table of
+//! `(kind, offset, length, checksum)` descriptors, then the section
+//! payloads themselves, each starting at a 64-byte-aligned offset. Column
+//! payloads inside [`SEC_COLDATA`] are raw LE machine words at 64-byte
+//! relative offsets, so a mapped artifact serves `&[f64]`/`&[u32]` slices
+//! directly — the `flat_serialize` discipline: offsets into one immutable
+//! buffer instead of a deserialization copy.
+//!
+//! Decoding is paranoid by construction: magic, version, counts, offsets,
+//! alignment, overlap and per-section FNV-1a checksums are all validated
+//! *before* any typed slice is formed, and every failure is a typed
+//! [`FormatError`] — corrupted artifacts can never panic a server (see
+//! `tests/artifact_corruption.rs`).
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::column::{ColumnData, Dictionary};
+use crate::mmap::{Bytes, MapSliceError, Mmap};
+use crate::partition::{PartitionedTable, Partitioning};
+use crate::schema::{ColumnMeta, ColumnType, Schema};
+use crate::table::Table;
+
+/// File magic: identifies a PS3 flat artifact.
+pub const MAGIC: [u8; 8] = *b"PS3FLAT\0";
+/// Current container version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Every section payload starts at a multiple of this (cache-line and SIMD
+/// friendly, and strictly stricter than any element alignment we map).
+pub const SECTION_ALIGN: usize = 64;
+/// Fixed header length in bytes.
+pub const HEADER_LEN: usize = 64;
+/// Length of one section-table entry in bytes.
+pub const SECTION_ENTRY_LEN: usize = 32;
+/// Upper bound on the section count (sanity guard against corrupt headers).
+pub const MAX_SECTIONS: usize = 4096;
+
+/// Section kind: the frozen [`Table`] (schema, dictionaries, payload refs).
+pub const SEC_TABLE: u32 = 1;
+/// Section kind: the [`Partitioning`] end offsets.
+pub const SEC_PARTITIONING: u32 = 2;
+/// Section kind: raw column payloads referenced by [`SEC_TABLE`].
+pub const SEC_COLDATA: u32 = 3;
+/// Section kind: summary statistics (`ps3_stats`).
+pub const SEC_STATS: u32 = 4;
+/// Section kind: the trained picker state (`ps3_core`).
+pub const SEC_TRAINED: u32 = 5;
+/// Section kind: the LSS baseline model (`ps3_core`).
+pub const SEC_LSS: u32 = 6;
+/// Section kind: the training workload queries (`ps3_core`).
+pub const SEC_TRAINING: u32 = 7;
+
+/// Sentinel used in [`FormatError::ChecksumMismatch`] for the section table
+/// itself (which has no kind).
+pub const SECTION_TABLE: u32 = u32::MAX;
+
+/// Why an artifact was rejected. Every decode failure is one of these —
+/// never a panic.
+#[derive(Debug)]
+pub enum FormatError {
+    /// The underlying file could not be read or written.
+    Io(io::Error),
+    /// The first 8 bytes are not the PS3 artifact magic.
+    BadMagic,
+    /// The container version is not one this build understands.
+    UnsupportedVersion {
+        /// The version found in the header.
+        found: u32,
+    },
+    /// A length field points past the end of the available bytes.
+    Truncated(&'static str),
+    /// A section's recorded FNV-1a checksum does not match its bytes.
+    ChecksumMismatch {
+        /// Section kind, or [`SECTION_TABLE`] for the table itself.
+        section: u32,
+    },
+    /// A section or payload offset violates the 64-byte alignment rule or
+    /// the element alignment of its type.
+    Misaligned {
+        /// Section kind the offset belongs to.
+        section: u32,
+    },
+    /// A required section is absent.
+    MissingSection {
+        /// The absent kind.
+        kind: u32,
+    },
+    /// A structural invariant inside a section payload failed.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::Io(e) => write!(f, "artifact io error: {e}"),
+            FormatError::BadMagic => write!(f, "not a PS3 artifact (bad magic)"),
+            FormatError::UnsupportedVersion { found } => {
+                write!(f, "unsupported artifact version {found}")
+            }
+            FormatError::Truncated(what) => write!(f, "artifact truncated: {what}"),
+            FormatError::ChecksumMismatch { section } if *section == SECTION_TABLE => {
+                write!(f, "checksum mismatch in section table")
+            }
+            FormatError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in section {section}")
+            }
+            FormatError::Misaligned { section } => {
+                write!(f, "misaligned offset in section {section}")
+            }
+            FormatError::MissingSection { kind } => write!(f, "missing section {kind}"),
+            FormatError::Corrupt(what) => write!(f, "corrupt artifact: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FormatError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for FormatError {
+    fn from(e: io::Error) -> Self {
+        FormatError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit over `bytes` — the artifact checksum (fast, dependency-free,
+/// and plenty for corruption detection; this is not a cryptographic seal).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn pad_to(buf: &mut Vec<u8>, align: usize) {
+    while !buf.len().is_multiple_of(align) {
+        buf.push(0);
+    }
+}
+
+/// Little-endian encoder for section payloads.
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// An empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u32` (LE).
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64` (LE).
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` bit pattern (LE).
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Append a `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(u32::try_from(s.len()).expect("string too long for artifact"));
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Append `bytes` as a `u32`-length-prefixed blob.
+    pub fn blob(&mut self, b: &[u8]) {
+        self.u32(u32::try_from(b.len()).expect("blob too long for artifact"));
+        self.buf.extend_from_slice(b);
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Bounds-checked little-endian cursor over a section payload.
+#[derive(Debug, Clone, Copy)]
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], FormatError> {
+        if self.remaining() < n {
+            return Err(FormatError::Truncated(what));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, FormatError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Read a LE `u32`.
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, FormatError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    /// Read a LE `u64`.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, FormatError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Read a LE `f64` bit pattern.
+    pub fn f64(&mut self, what: &'static str) -> Result<f64, FormatError> {
+        Ok(f64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Read a LE `u64` and convert to `usize`.
+    pub fn usize(&mut self, what: &'static str) -> Result<usize, FormatError> {
+        usize::try_from(self.u64(what)?).map_err(|_| FormatError::Corrupt(what))
+    }
+
+    /// Read a `u32`-length-prefixed UTF-8 string.
+    pub fn str(&mut self, what: &'static str) -> Result<&'a str, FormatError> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        std::str::from_utf8(bytes).map_err(|_| FormatError::Corrupt(what))
+    }
+
+    /// Read a `u32`-length-prefixed blob.
+    pub fn blob(&mut self, what: &'static str) -> Result<&'a [u8], FormatError> {
+        let len = self.u32(what)? as usize;
+        self.take(len, what)
+    }
+
+    /// Fail unless the payload was consumed exactly.
+    pub fn finish(&self, what: &'static str) -> Result<(), FormatError> {
+        if self.remaining() != 0 {
+            return Err(FormatError::Corrupt(what));
+        }
+        Ok(())
+    }
+}
+
+/// Accumulates sections and writes the container file.
+#[derive(Debug, Default)]
+pub struct ArtifactWriter {
+    sections: Vec<(u32, Vec<u8>)>,
+}
+
+impl ArtifactWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a section. Kinds must be unique within one artifact.
+    ///
+    /// # Panics
+    /// Panics on a duplicate kind — that is a caller bug, not an input
+    /// condition.
+    pub fn add_section(&mut self, kind: u32, payload: Vec<u8>) {
+        assert!(
+            self.sections.iter().all(|(k, _)| *k != kind),
+            "duplicate artifact section kind {kind}"
+        );
+        self.sections.push((kind, payload));
+    }
+
+    /// Serialize the container to bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        assert!(self.sections.len() <= MAX_SECTIONS, "too many sections");
+        let table_len = self.sections.len() * SECTION_ENTRY_LEN;
+
+        // Lay out payload offsets first.
+        let mut offsets = Vec::with_capacity(self.sections.len());
+        let mut cursor = HEADER_LEN + table_len;
+        cursor = cursor.div_ceil(SECTION_ALIGN) * SECTION_ALIGN;
+        for (_, payload) in &self.sections {
+            offsets.push(cursor);
+            cursor += payload.len();
+            cursor = cursor.div_ceil(SECTION_ALIGN) * SECTION_ALIGN;
+        }
+        let file_len = offsets
+            .last()
+            .zip(self.sections.last())
+            .map_or(HEADER_LEN + table_len, |(&off, (_, p))| off + p.len());
+
+        // Section table.
+        let mut table = Vec::with_capacity(table_len);
+        for ((kind, payload), &off) in self.sections.iter().zip(&offsets) {
+            table.extend_from_slice(&kind.to_le_bytes());
+            table.extend_from_slice(&0u32.to_le_bytes());
+            table.extend_from_slice(&(off as u64).to_le_bytes());
+            table.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            table.extend_from_slice(&fnv1a(payload).to_le_bytes());
+        }
+
+        // Header.
+        let mut out = Vec::with_capacity(file_len);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(file_len as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a(&table).to_le_bytes());
+        pad_to(&mut out, HEADER_LEN);
+        out.extend_from_slice(&table);
+        for ((_, payload), &off) in self.sections.iter().zip(&offsets) {
+            pad_to(&mut out, SECTION_ALIGN);
+            debug_assert_eq!(out.len(), off);
+            out.extend_from_slice(payload);
+        }
+        debug_assert_eq!(out.len(), file_len);
+        out
+    }
+
+    /// Write the container to `path` via a temp file + rename, so a crash
+    /// mid-write never leaves a half-written artifact under the final name
+    /// (and a mapped reader of the old file keeps its pages).
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        let bytes = self.to_bytes();
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SectionDesc {
+    kind: u32,
+    offset: usize,
+    len: usize,
+}
+
+/// A validated, mapped artifact: the read side of the container.
+///
+/// `open` performs every structural check — magic, version, section table
+/// bounds and checksum, per-section alignment, overlap and checksums —
+/// before returning; afterwards [`section`](Artifact::section) lookups are
+/// infallible slices into the mapping.
+#[derive(Debug)]
+pub struct Artifact {
+    mmap: Arc<Mmap>,
+    sections: Vec<SectionDesc>,
+}
+
+impl Artifact {
+    /// Map and validate the artifact at `path`.
+    pub fn open(path: &Path) -> Result<Self, FormatError> {
+        let file = File::open(path)?;
+        let mmap = Arc::new(Mmap::map(&file)?);
+        Self::from_mmap(mmap)
+    }
+
+    /// Validate an already-mapped artifact.
+    pub fn from_mmap(mmap: Arc<Mmap>) -> Result<Self, FormatError> {
+        let bytes = mmap.as_slice();
+        if bytes.len() < HEADER_LEN {
+            return Err(FormatError::Truncated("header"));
+        }
+        if bytes[0..8] != MAGIC {
+            return Err(FormatError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return Err(FormatError::UnsupportedVersion { found: version });
+        }
+        let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        if count > MAX_SECTIONS {
+            return Err(FormatError::Corrupt("section count"));
+        }
+        let file_len = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+        if file_len != bytes.len() as u64 {
+            return Err(FormatError::Truncated("file length"));
+        }
+        let table_checksum = u64::from_le_bytes(bytes[24..32].try_into().unwrap());
+
+        let table_end = HEADER_LEN + count * SECTION_ENTRY_LEN;
+        if bytes.len() < table_end {
+            return Err(FormatError::Truncated("section table"));
+        }
+        let table = &bytes[HEADER_LEN..table_end];
+        if fnv1a(table) != table_checksum {
+            return Err(FormatError::ChecksumMismatch {
+                section: SECTION_TABLE,
+            });
+        }
+
+        let mut sections = Vec::with_capacity(count);
+        let mut prev_end = table_end;
+        for i in 0..count {
+            let e = &table[i * SECTION_ENTRY_LEN..(i + 1) * SECTION_ENTRY_LEN];
+            let kind = u32::from_le_bytes(e[0..4].try_into().unwrap());
+            let offset = u64::from_le_bytes(e[8..16].try_into().unwrap());
+            let len = u64::from_le_bytes(e[16..24].try_into().unwrap());
+            let checksum = u64::from_le_bytes(e[24..32].try_into().unwrap());
+
+            let offset = usize::try_from(offset)
+                .map_err(|_| FormatError::Corrupt("section offset overflow"))?;
+            let len =
+                usize::try_from(len).map_err(|_| FormatError::Corrupt("section len overflow"))?;
+            if offset % SECTION_ALIGN != 0 {
+                return Err(FormatError::Misaligned { section: kind });
+            }
+            // Sections are laid out in table order, ascending and
+            // non-overlapping.
+            if offset < prev_end {
+                return Err(FormatError::Corrupt("overlapping sections"));
+            }
+            let end = offset
+                .checked_add(len)
+                .ok_or(FormatError::Corrupt("section end overflow"))?;
+            if end > bytes.len() {
+                return Err(FormatError::Truncated("section body"));
+            }
+            if sections.iter().any(|s: &SectionDesc| s.kind == kind) {
+                return Err(FormatError::Corrupt("duplicate section kind"));
+            }
+            if fnv1a(&bytes[offset..end]) != checksum {
+                return Err(FormatError::ChecksumMismatch { section: kind });
+            }
+            sections.push(SectionDesc { kind, offset, len });
+            prev_end = end;
+        }
+
+        Ok(Self { mmap, sections })
+    }
+
+    /// The payload of section `kind`.
+    pub fn section(&self, kind: u32) -> Result<&[u8], FormatError> {
+        let d = self
+            .sections
+            .iter()
+            .find(|s| s.kind == kind)
+            .ok_or(FormatError::MissingSection { kind })?;
+        Ok(&self.mmap.as_slice()[d.offset..d.offset + d.len])
+    }
+
+    /// `(absolute offset, length)` of section `kind`, for building mapped
+    /// [`Bytes`] windows into it.
+    pub fn section_range(&self, kind: u32) -> Result<(usize, usize), FormatError> {
+        self.sections
+            .iter()
+            .find(|s| s.kind == kind)
+            .map(|s| (s.offset, s.len))
+            .ok_or(FormatError::MissingSection { kind })
+    }
+
+    /// The mapping backing this artifact.
+    pub fn mmap(&self) -> &Arc<Mmap> {
+        &self.mmap
+    }
+}
+
+fn map_err(kind: u32, e: MapSliceError) -> FormatError {
+    match e {
+        MapSliceError::OutOfBounds => FormatError::Truncated("column payload"),
+        MapSliceError::Misaligned => FormatError::Misaligned { section: kind },
+    }
+}
+
+/// Encode a [`PartitionedTable`] into `w` as the [`SEC_TABLE`],
+/// [`SEC_PARTITIONING`] and [`SEC_COLDATA`] sections.
+pub fn encode_partitioned_table(w: &mut ArtifactWriter, pt: &PartitionedTable) {
+    let table = pt.table();
+    let mut coldata = Vec::new();
+    let mut meta = Enc::new();
+    meta.u32(u32::try_from(table.schema().len()).expect("column count"));
+    meta.u64(table.num_rows() as u64);
+    for (id, cm) in table.schema().iter() {
+        meta.str(&cm.name);
+        meta.u8(match cm.ctype {
+            ColumnType::Numeric => 0,
+            ColumnType::Date => 1,
+            ColumnType::Categorical => 2,
+        });
+        pad_to(&mut coldata, SECTION_ALIGN);
+        meta.u64(coldata.len() as u64);
+        match table.column(id) {
+            ColumnData::Numeric(values) => {
+                for v in values.iter() {
+                    coldata.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            ColumnData::Categorical { codes, dict } => {
+                for c in codes.iter() {
+                    coldata.extend_from_slice(&c.to_le_bytes());
+                }
+                meta.u32(u32::try_from(dict.len()).expect("dictionary size"));
+                for (_, v) in dict.iter() {
+                    meta.str(v);
+                }
+            }
+        }
+    }
+    w.add_section(SEC_TABLE, meta.into_bytes());
+
+    let p = pt.partitioning();
+    let mut ends = Enc::new();
+    ends.u32(u32::try_from(p.len()).expect("partition count"));
+    for pid in p.ids() {
+        ends.u64(p.rows(pid).end as u64);
+    }
+    w.add_section(SEC_PARTITIONING, ends.into_bytes());
+    w.add_section(SEC_COLDATA, coldata);
+}
+
+/// Decode the table + partitioning sections of `a`, mapping column payloads
+/// zero-copy out of the artifact.
+pub fn decode_partitioned_table(a: &Artifact) -> Result<PartitionedTable, FormatError> {
+    let (col_off, col_len) = a.section_range(SEC_COLDATA)?;
+    let mut c = Cursor::new(a.section(SEC_TABLE)?);
+    let num_cols = c.u32("table column count")? as usize;
+    if num_cols > MAX_SECTIONS {
+        return Err(FormatError::Corrupt("table column count"));
+    }
+    let num_rows = c.usize("table row count")?;
+
+    let mut metas = Vec::with_capacity(num_cols);
+    let mut columns = Vec::with_capacity(num_cols);
+    for _ in 0..num_cols {
+        let name = c.str("column name")?.to_owned();
+        if metas.iter().any(|m: &ColumnMeta| m.name == name) {
+            return Err(FormatError::Corrupt("duplicate column name"));
+        }
+        let ctype = match c.u8("column type")? {
+            0 => ColumnType::Numeric,
+            1 => ColumnType::Date,
+            2 => ColumnType::Categorical,
+            _ => return Err(FormatError::Corrupt("column type tag")),
+        };
+        let rel = c.usize("column payload offset")?;
+        let elem = if ctype == ColumnType::Categorical {
+            4
+        } else {
+            8
+        };
+        let end = rel
+            .checked_add(
+                num_rows
+                    .checked_mul(elem)
+                    .ok_or(FormatError::Corrupt("column payload size"))?,
+            )
+            .ok_or(FormatError::Corrupt("column payload size"))?;
+        if end > col_len {
+            return Err(FormatError::Truncated("column payload"));
+        }
+        let abs = col_off + rel;
+        let data = match ctype {
+            ColumnType::Numeric | ColumnType::Date => ColumnData::Numeric(
+                Bytes::mapped(Arc::clone(a.mmap()), abs, num_rows)
+                    .map_err(|e| map_err(SEC_COLDATA, e))?,
+            ),
+            ColumnType::Categorical => {
+                let codes = Bytes::<u32>::mapped(Arc::clone(a.mmap()), abs, num_rows)
+                    .map_err(|e| map_err(SEC_COLDATA, e))?;
+                let n = c.u32("dictionary size")? as usize;
+                let mut values = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    values.push(c.str("dictionary entry")?.to_owned());
+                }
+                let dict = Dictionary::from_values(values)
+                    .map_err(|_| FormatError::Corrupt("duplicate dictionary entry"))?;
+                // Codes must index into the dictionary, or downstream
+                // lookups would panic.
+                if codes.iter().any(|&code| code as usize >= dict.len()) {
+                    return Err(FormatError::Corrupt("dictionary code out of range"));
+                }
+                ColumnData::Categorical {
+                    codes,
+                    dict: Arc::new(dict),
+                }
+            }
+        };
+        metas.push(ColumnMeta::new(name, ctype));
+        columns.push(data);
+    }
+    c.finish("table section trailing bytes")?;
+
+    let mut pc = Cursor::new(a.section(SEC_PARTITIONING)?);
+    let n_parts = pc.u32("partition count")? as usize;
+    if n_parts == 0 {
+        return Err(FormatError::Corrupt("empty partitioning"));
+    }
+    let mut ends = Vec::with_capacity(n_parts.min(1 << 20));
+    let mut prev = 0usize;
+    for _ in 0..n_parts {
+        let e = pc.usize("partition end")?;
+        if e <= prev {
+            return Err(FormatError::Corrupt("partition ends not increasing"));
+        }
+        ends.push(e);
+        prev = e;
+    }
+    pc.finish("partitioning section trailing bytes")?;
+    if prev != num_rows {
+        return Err(FormatError::Corrupt("partitioning does not cover table"));
+    }
+
+    // All invariants `Table::new` / `Partitioning::from_ends` /
+    // `PartitionedTable::new` assert are validated above, so construction
+    // cannot panic.
+    let table = Table::new(Schema::new(metas), columns);
+    Ok(PartitionedTable::new(table, Partitioning::from_ends(ends)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColId;
+    use crate::table::TableBuilder;
+
+    fn sample_pt() -> PartitionedTable {
+        let schema = Schema::new(vec![
+            ColumnMeta::new("x", ColumnType::Numeric),
+            ColumnMeta::new("tag", ColumnType::Categorical),
+            ColumnMeta::new("day", ColumnType::Date),
+        ]);
+        let mut b = TableBuilder::new(schema);
+        for i in 0..130 {
+            b.push_row(
+                &[i as f64 * 0.5, 7300.0 + i as f64],
+                &[if i % 3 == 0 { "a" } else { "b" }],
+            );
+        }
+        PartitionedTable::with_equal_partitions(b.finish(), 4)
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("ps3_format_test_{}_{tag}.ps3", std::process::id()));
+        p
+    }
+
+    fn roundtrip(pt: &PartitionedTable, tag: &str) -> PartitionedTable {
+        let mut w = ArtifactWriter::new();
+        encode_partitioned_table(&mut w, pt);
+        let path = temp_path(tag);
+        w.write_to(&path).unwrap();
+        let a = Artifact::open(&path).unwrap();
+        let out = decode_partitioned_table(&a).unwrap();
+        std::fs::remove_file(&path).ok();
+        out
+    }
+
+    #[test]
+    fn table_roundtrips_bit_exact() {
+        let pt = sample_pt();
+        let back = roundtrip(&pt, "roundtrip");
+        assert_eq!(back.num_partitions(), pt.num_partitions());
+        assert_eq!(back.table().num_rows(), pt.table().num_rows());
+        for (id, cm) in pt.table().schema().iter() {
+            assert_eq!(back.table().schema().col(id).name, cm.name);
+            assert_eq!(back.table().schema().col(id).ctype, cm.ctype);
+            match (pt.table().column(id), back.table().column(id)) {
+                (ColumnData::Numeric(a), ColumnData::Numeric(b)) => {
+                    assert!(b.is_mapped(), "decoded numeric payload must be zero-copy");
+                    assert_eq!(
+                        a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                    );
+                }
+                (
+                    ColumnData::Categorical { codes: a, dict: da },
+                    ColumnData::Categorical { codes: b, dict: db },
+                ) => {
+                    assert!(b.is_mapped(), "decoded codes payload must be zero-copy");
+                    assert_eq!(&**a, &**b);
+                    assert_eq!(da.iter().collect::<Vec<_>>(), db.iter().collect::<Vec<_>>());
+                }
+                _ => panic!("column physical type changed in roundtrip"),
+            }
+        }
+        for pid in pt.partitioning().ids() {
+            assert_eq!(pt.rows(pid), back.rows(pid));
+        }
+    }
+
+    #[test]
+    fn nan_and_negative_zero_survive() {
+        let schema = Schema::new(vec![ColumnMeta::new("x", ColumnType::Numeric)]);
+        let vals = vec![f64::NAN, -0.0, f64::INFINITY, f64::MIN_POSITIVE];
+        let t = Table::new(schema, vec![ColumnData::Numeric(vals.clone().into())]);
+        let pt = PartitionedTable::with_equal_partitions(t, 2);
+        let back = roundtrip(&pt, "nan");
+        let got = back.table().numeric(ColId(0));
+        for (a, b) in vals.iter().zip(got) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn header_fields_are_as_documented() {
+        let mut w = ArtifactWriter::new();
+        encode_partitioned_table(&mut w, &sample_pt());
+        let bytes = w.to_bytes();
+        assert_eq!(&bytes[0..8], &MAGIC);
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 1);
+        assert_eq!(u32::from_le_bytes(bytes[12..16].try_into().unwrap()), 3);
+        assert_eq!(
+            u64::from_le_bytes(bytes[16..24].try_into().unwrap()),
+            bytes.len() as u64
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors() {
+        let mut w = ArtifactWriter::new();
+        encode_partitioned_table(&mut w, &sample_pt());
+        let good = w.to_bytes();
+
+        let open = |bytes: &[u8], tag: &str| -> Result<PartitionedTable, FormatError> {
+            let path = temp_path(tag);
+            std::fs::write(&path, bytes).unwrap();
+            let r = Artifact::open(&path).and_then(|a| decode_partitioned_table(&a));
+            std::fs::remove_file(&path).ok();
+            r
+        };
+
+        // Bad magic.
+        let mut b = good.clone();
+        b[0] ^= 0xff;
+        assert!(matches!(open(&b, "magic"), Err(FormatError::BadMagic)));
+
+        // Version bump.
+        let mut b = good.clone();
+        b[8] = 9;
+        assert!(matches!(
+            open(&b, "version"),
+            Err(FormatError::UnsupportedVersion { found: 9 })
+        ));
+
+        // Truncation (also trips the file-length field).
+        assert!(matches!(
+            open(&good[..good.len() - 9], "trunc"),
+            Err(FormatError::Truncated(_))
+        ));
+        assert!(matches!(
+            open(&good[..40], "trunc_hdr"),
+            Err(FormatError::Truncated(_))
+        ));
+
+        // Payload bit flip → checksum mismatch on that section.
+        let mut b = good.clone();
+        let last = b.len() - 1;
+        b[last] ^= 0x40;
+        assert!(matches!(
+            open(&b, "flip"),
+            Err(FormatError::ChecksumMismatch { .. })
+        ));
+
+        // Section-table bit flip → table checksum mismatch.
+        let mut b = good.clone();
+        b[HEADER_LEN + 8] ^= 0x01;
+        assert!(matches!(
+            open(&b, "tableflip"),
+            Err(FormatError::ChecksumMismatch {
+                section: SECTION_TABLE
+            })
+        ));
+    }
+
+    #[test]
+    fn misaligned_section_offset_is_rejected() {
+        // Hand-build a 1-section artifact whose section offset is not
+        // 64-aligned, with checksums recomputed so alignment is the first
+        // failing check.
+        let payload = vec![0u8; 8];
+        let offset: u64 = 100; // not 64-aligned
+        let mut table = Vec::new();
+        table.extend_from_slice(&7u32.to_le_bytes());
+        table.extend_from_slice(&0u32.to_le_bytes());
+        table.extend_from_slice(&offset.to_le_bytes());
+        table.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        table.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+
+        let file_len = 108u64;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&file_len.to_le_bytes());
+        bytes.extend_from_slice(&fnv1a(&table).to_le_bytes());
+        bytes.resize(HEADER_LEN, 0);
+        bytes.extend_from_slice(&table);
+        bytes.resize(100, 0);
+        bytes.extend_from_slice(&payload);
+
+        let path = temp_path("misaligned");
+        std::fs::write(&path, &bytes).unwrap();
+        let r = Artifact::open(&path);
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(r, Err(FormatError::Misaligned { section: 7 })));
+    }
+
+    #[test]
+    fn missing_section_is_typed() {
+        let mut w = ArtifactWriter::new();
+        w.add_section(SEC_TABLE, vec![1, 2, 3]);
+        let path = temp_path("missing");
+        w.write_to(&path).unwrap();
+        let a = Artifact::open(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            a.section(SEC_STATS),
+            Err(FormatError::MissingSection { kind: SEC_STATS })
+        ));
+    }
+
+    #[test]
+    fn enc_cursor_roundtrip() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.u32(0xdead_beef);
+        e.u64(1 << 40);
+        e.f64(-0.0);
+        e.str("hello");
+        e.blob(&[1, 2, 3]);
+        let bytes = e.into_bytes();
+        let mut c = Cursor::new(&bytes);
+        assert_eq!(c.u8("a").unwrap(), 7);
+        assert_eq!(c.u32("b").unwrap(), 0xdead_beef);
+        assert_eq!(c.u64("c").unwrap(), 1 << 40);
+        assert_eq!(c.f64("d").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(c.str("e").unwrap(), "hello");
+        assert_eq!(c.blob("f").unwrap(), &[1, 2, 3]);
+        c.finish("g").unwrap();
+        assert!(matches!(
+            Cursor::new(&bytes[..2]).u32("short"),
+            Err(FormatError::Truncated("short"))
+        ));
+    }
+}

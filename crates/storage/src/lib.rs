@@ -15,14 +15,18 @@
 //! the paper does.
 
 pub mod column;
+pub mod format;
 pub mod layout;
+pub mod mmap;
 pub mod partition;
 pub mod schema;
 pub mod table;
 pub mod value;
 
 pub use column::{chunks64, ColumnData, Dictionary, CHUNK_ROWS};
+pub use format::{Artifact, ArtifactWriter, FormatError};
 pub use layout::Layout;
+pub use mmap::{Bytes, Mmap};
 pub use partition::{PartitionId, PartitionedTable, Partitioning};
 pub use schema::{ColId, ColumnMeta, ColumnType, Schema};
 pub use table::Table;

@@ -154,7 +154,9 @@ mod tests {
     fn table(n: usize) -> Table {
         Table::new(
             Schema::new(vec![ColumnMeta::new("x", ColumnType::Numeric)]),
-            vec![ColumnData::Numeric((0..n).map(|i| i as f64).collect())],
+            vec![ColumnData::Numeric(
+                (0..n).map(|i| i as f64).collect::<Vec<_>>().into(),
+            )],
         )
     }
 

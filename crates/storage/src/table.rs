@@ -156,11 +156,11 @@ impl TableBuilder {
             .iter()
             .map(|&(is_num, _)| {
                 if is_num {
-                    ColumnData::Numeric(numeric.next().expect("numeric slot"))
+                    ColumnData::Numeric(numeric.next().expect("numeric slot").into())
                 } else {
                     let (codes, dict) = categorical.next().expect("categorical slot");
                     ColumnData::Categorical {
-                        codes,
+                        codes: codes.into(),
                         dict: Arc::new(dict),
                     }
                 }
@@ -212,17 +212,34 @@ mod tests {
     }
 
     #[test]
+    fn permute_shares_dictionary_allocation() {
+        // Layout exploration permutes tables freely; a deep dictionary
+        // copy per candidate layout would dominate. Assert the *same*
+        // allocation rides along, not an equal one.
+        let original = sample();
+        let permuted = original.permute(&[2, 1, 0]);
+        let dict_of = |t: &Table| match t.column(ColId(1)) {
+            ColumnData::Categorical { dict, .. } => Arc::clone(dict),
+            _ => unreachable!("column 1 is categorical"),
+        };
+        assert!(
+            Arc::ptr_eq(&dict_of(&original), &dict_of(&permuted)),
+            "permute must share the dictionary Arc, not deep-copy it"
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "length mismatch")]
     fn mismatched_columns_rejected() {
         Table::new(
             schema(),
             vec![
-                ColumnData::Numeric(vec![1.0]),
+                ColumnData::Numeric(vec![1.0].into()),
                 ColumnData::Categorical {
-                    codes: vec![0, 1],
+                    codes: vec![0, 1].into(),
                     dict: Arc::new(Dictionary::new()),
                 },
-                ColumnData::Numeric(vec![1.0]),
+                ColumnData::Numeric(vec![1.0].into()),
             ],
         );
     }

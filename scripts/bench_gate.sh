@@ -31,6 +31,11 @@
 #   WARM_MIN_SPEEDUP minimum train/train_cold ÷ train/retrain_warm ratio
 #                    before failing (default 10): the incremental retrain
 #                    must stay an order of magnitude under a cold rebuild.
+#   BOOT_MIN_SPEEDUP minimum train/train_cold ÷ persist/boot_from_artifact
+#                    ratio before failing (default 10): booting a frozen
+#                    artifact must stay an order of magnitude under
+#                    retraining, or the persistence layer has lost its
+#                    reason to exist.
 #   CORES_OVERRIDE   pretend the runner has this many cores (makes the
 #                    scaling branch testable on any box; normally unset).
 set -euo pipefail
@@ -70,6 +75,9 @@ net/roundtrip_cached
 planner/plan_cold
 planner/plan_warm
 planner/stream_roundtrip
+persist/freeze
+persist/thaw_cold
+persist/boot_from_artifact
 "
 
 if [ ! -s "$raw" ]; then
@@ -140,6 +148,21 @@ awk -v c="$cold_ns" -v w="$warm_ns" -v min="$warm_min_speedup" 'BEGIN {
     printf "bench_gate: warm retrain %d ns vs cold train %d ns (%.1fx)\n", w, c, speedup;
     if (speedup < min) {
         printf "bench_gate: FAIL — train/retrain_warm is under %.0fx faster than train/train_cold\n", min;
+        exit 1;
+    }
+}' || exit 1
+
+# Cold-boot check: thawing an artifact and answering the first query must
+# stay an order of magnitude under training from scratch — that ratio is
+# the persistence layer's contract. BOOT_MIN_SPEEDUP adjusts the bar
+# (default 10).
+boot_min_speedup="${BOOT_MIN_SPEEDUP:-10}"
+boot_ns=$(awk -F'\t' '$1 == "persist/boot_from_artifact" {print $2; exit}' "$raw")
+awk -v c="$cold_ns" -v b="$boot_ns" -v min="$boot_min_speedup" 'BEGIN {
+    speedup = b > 0 ? c / b : 0;
+    printf "bench_gate: artifact boot %d ns vs cold train %d ns (%.1fx)\n", b, c, speedup;
+    if (speedup < min) {
+        printf "bench_gate: FAIL — persist/boot_from_artifact is under %.0fx faster than train/train_cold\n", min;
         exit 1;
     }
 }' || exit 1

@@ -1,0 +1,247 @@
+//! The persistence layer's two load-bearing promises, tested end-to-end:
+//!
+//! 1. **Bit-identity** — a frozen-then-thawed system answers every
+//!    `(query, method, budget, seed)` bit-identically to the system that
+//!    was frozen, across all four methods and multiple seeds.
+//! 2. **No panics on malformed input** — bit flips, truncations, version
+//!    bumps, and random garbage produce typed [`FormatError`]s, never a
+//!    panic: a corrupted artifact can never take down a server that tries
+//!    to load it.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use ps3::core::{Method, Ps3Config, Ps3System};
+use ps3::query::{AggExpr, Clause, CmpOp, Predicate, Query, ScalarExpr};
+use ps3::stats::{StatsConfig, TableStats};
+use ps3::storage::format::{Artifact, FormatError, FORMAT_VERSION, MAGIC};
+use ps3::storage::table::TableBuilder;
+use ps3::storage::{ColId, ColumnMeta, ColumnType, PartitionedTable, Schema};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ps3_corrupt_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn train_queries() -> Vec<Query> {
+    vec![
+        Query::new(
+            vec![AggExpr::sum(ScalarExpr::col(ColId(0)))],
+            Some(Predicate::Clause(Clause::Cmp {
+                col: ColId(0),
+                op: CmpOp::Ge,
+                value: 40.0,
+            })),
+            vec![ColId(1)],
+        ),
+        Query::new(vec![AggExpr::count()], None, vec![]),
+        Query::new(
+            vec![AggExpr::avg(ScalarExpr::col(ColId(0)))],
+            Some(Predicate::Clause(Clause::In {
+                col: ColId(1),
+                values: vec!["b".into(), "c".into()],
+                negated: false,
+            })),
+            vec![],
+        ),
+    ]
+}
+
+fn tiny_system(seed: u64) -> Ps3System {
+    let schema = Schema::new(vec![
+        ColumnMeta::new("x", ColumnType::Numeric),
+        ColumnMeta::new("g", ColumnType::Categorical),
+    ]);
+    let mut b = TableBuilder::new(schema);
+    for i in 0..320u32 {
+        b.push_row(
+            &[f64::from(i % 97) * 1.37 - 20.0],
+            &[["a", "b", "c", "d"][(i as usize / 20) % 4]],
+        );
+    }
+    let pt = Arc::new(PartitionedTable::with_equal_partitions(b.finish(), 16));
+    let stats = Arc::new(TableStats::build(&pt, &StatsConfig::default()));
+    let mut cfg = Ps3Config::default().with_seed(seed);
+    cfg.gbdt.n_trees = 4;
+    cfg.feature_selection = false;
+    Ps3System::train(pt, stats, &train_queries(), cfg)
+}
+
+/// Promise 1: the thawed system is observationally identical — every
+/// method, several budgets, several seeds, bit-for-bit (including the
+/// error estimates, which run through the same persisted models).
+#[test]
+fn freeze_thaw_answers_bit_identical_across_methods_and_seeds() {
+    let dir = scratch_dir("identity");
+    for train_seed in [5u64, 23] {
+        let system = tiny_system(train_seed);
+        let path = dir.join(format!("sys_{train_seed}.ps3"));
+        system.freeze(&path).expect("freeze");
+        let thawed = Ps3System::thaw(&path).expect("thaw");
+
+        for query in train_queries() {
+            for method in Method::ALL {
+                for frac in [0.1, 0.25, 1.0] {
+                    for seed in [0u64, 7, 99] {
+                        let a = system.answer_seeded(&query, method, frac, seed);
+                        let b = thawed.answer_seeded(&query, method, frac, seed);
+                        assert_eq!(
+                            a.answer, b.answer,
+                            "{method:?} frac {frac} seed {seed} (train seed {train_seed})"
+                        );
+                        // Everything deterministic in the metadata must
+                        // survive bit-exactly; picker_ms is wall-clock.
+                        assert_eq!(a.meta.partitions_read, b.meta.partitions_read);
+                        assert_eq!(a.meta.error_estimate, b.meta.error_estimate);
+                        assert_eq!(a.meta.planned_frac.to_bits(), b.meta.planned_frac.to_bits());
+                        assert_eq!(a.meta.exact, b.meta.exact);
+                        assert_eq!(a.selection, b.selection);
+                    }
+                }
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Freezing the thawed system reproduces the artifact byte-for-byte: the
+/// encoding is canonical, so artifacts can be compared by checksum.
+#[test]
+fn refreeze_is_byte_identical() {
+    let dir = scratch_dir("refreeze");
+    let system = tiny_system(11);
+    let first = dir.join("first.ps3");
+    let second = dir.join("second.ps3");
+    system.freeze(&first).expect("freeze");
+    let thawed = Ps3System::thaw(&first).expect("thaw");
+    thawed.freeze(&second).expect("refreeze");
+    assert_eq!(
+        std::fs::read(&first).unwrap(),
+        std::fs::read(&second).unwrap(),
+        "freeze(thaw(artifact)) must reproduce the artifact exactly"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Deterministic corruption cases with known typed outcomes.
+#[test]
+fn corruption_cases_yield_the_documented_errors() {
+    let dir = scratch_dir("typed");
+    let system = tiny_system(5);
+    let path = dir.join("sys.ps3");
+    system.freeze(&path).expect("freeze");
+    let good = std::fs::read(&path).unwrap();
+    let case = dir.join("case.ps3");
+
+    // Bad magic.
+    let mut bad = good.clone();
+    bad[0] ^= 0xFF;
+    std::fs::write(&case, &bad).unwrap();
+    assert!(matches!(
+        Artifact::open(&case).unwrap_err(),
+        FormatError::BadMagic
+    ));
+
+    // Version bump.
+    let mut bad = good.clone();
+    bad[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    std::fs::write(&case, &bad).unwrap();
+    match Artifact::open(&case).unwrap_err() {
+        FormatError::UnsupportedVersion { found } => assert_eq!(found, FORMAT_VERSION + 1),
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+
+    // Truncation to every interesting prefix class.
+    for keep in [0, 4, 63, 64, 200] {
+        std::fs::write(&case, &good[..keep.min(good.len())]).unwrap();
+        assert!(
+            Ps3System::thaw(&case).is_err(),
+            "truncated to {keep} bytes must not thaw"
+        );
+    }
+
+    // Payload bit flip: caught by a section checksum.
+    let mut bad = good.clone();
+    let mid = good.len() / 2;
+    bad[mid] ^= 0x01;
+    std::fs::write(&case, &bad).unwrap();
+    match Ps3System::thaw(&case) {
+        Err(FormatError::ChecksumMismatch { .. }) => {}
+        Err(other) => panic!("expected ChecksumMismatch, got {other:?}"),
+        Ok(_) => panic!("corrupted payload must not thaw"),
+    }
+
+    // Not an artifact at all.
+    std::fs::write(&case, b"definitely not a PS3 artifact").unwrap();
+    match Ps3System::thaw(&case) {
+        Err(FormatError::BadMagic | FormatError::Truncated(_)) => {}
+        Err(other) => panic!("expected BadMagic/Truncated, got {other:?}"),
+        Ok(_) => panic!("garbage must not thaw"),
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Shared frozen artifact for the proptests (train once, not per case).
+fn frozen_bytes() -> &'static [u8] {
+    use std::sync::OnceLock;
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let dir = scratch_dir("prop_seed");
+        let path = dir.join("sys.ps3");
+        tiny_system(5).freeze(&path).expect("freeze");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        bytes
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Promise 2a: no single bit flip anywhere in a valid artifact can
+    /// panic the loader. (Most flips fail a checksum; flips in padding
+    /// may legitimately still thaw.)
+    #[test]
+    fn bit_flips_never_panic(byte_idx in 0usize..1_000_000, bit in 0u8..8) {
+        let good = frozen_bytes();
+        let idx = byte_idx % good.len();
+        let mut bad = good.to_vec();
+        bad[idx] ^= 1 << bit;
+        let dir = scratch_dir("prop_flip");
+        let path = dir.join("flip.ps3");
+        std::fs::write(&path, &bad).unwrap();
+        let _ = Ps3System::thaw(&path); // Ok or typed Err — never a panic.
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Promise 2b: no truncation point can panic the loader, and any
+    /// proper prefix must be rejected (the header records the file length).
+    #[test]
+    fn truncations_never_panic_and_never_thaw(keep_frac in 0.0f64..1.0) {
+        let good = frozen_bytes();
+        let keep = ((good.len() as f64) * keep_frac) as usize;
+        let dir = scratch_dir("prop_trunc");
+        let path = dir.join("trunc.ps3");
+        std::fs::write(&path, &good[..keep]).unwrap();
+        prop_assert!(Ps3System::thaw(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Promise 2c: random garbage never panics the loader.
+    #[test]
+    fn random_garbage_never_panics(mut bytes in prop::collection::vec(any::<u8>(), 0..4096)) {
+        // Half the cases get a valid magic so decoding runs deeper.
+        if bytes.len() >= 8 && bytes[0] & 1 == 0 {
+            bytes[..8].copy_from_slice(&MAGIC);
+        }
+        let dir = scratch_dir("prop_garbage");
+        let path = dir.join("garbage.ps3");
+        std::fs::write(&path, &bytes).unwrap();
+        let _ = Ps3System::thaw(&path);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
