@@ -11,6 +11,12 @@
 //!   from the router's cache, so the row isolates protocol + event-loop +
 //!   syscall overhead per request (the floor for a warm dashboard over
 //!   TCP).
+//! - `net/roundtrip_pipelined_x16` — 16 warm requests queued with
+//!   [`NetClient::send`] then collected with `recv_for`; the client
+//!   batches the burst into one write and the server answers the whole
+//!   batch per wakeup through `writev`. The row records **per-request**
+//!   cost (batch time / 16) — the gate asserts it beats the cold
+//!   roundtrip by the pipelining factor.
 
 use std::sync::Arc;
 
@@ -61,6 +67,25 @@ fn bench_net(c: &mut Criterion) {
     client.request(&warm).expect("warmed");
     g.bench_function("roundtrip_cached", |b| {
         b.iter(|| client.request(&warm).expect("served"))
+    });
+
+    // Per-request cost under pipelining: 16 sends coalesce into one write,
+    // the replies drain in one batch. iter_custom divides the batch time by
+    // 16 so the TSV row is directly comparable to the roundtrip rows.
+    const PIPELINE_DEPTH: u32 = 16;
+    g.bench_function("roundtrip_pipelined_x16", |b| {
+        b.iter_custom(|iters| {
+            let start = std::time::Instant::now();
+            for _ in 0..iters {
+                let ids: Vec<u64> = (0..PIPELINE_DEPTH)
+                    .map(|_| client.send(&warm).expect("queued"))
+                    .collect();
+                for id in ids {
+                    client.recv_for(id).expect("served");
+                }
+            }
+            start.elapsed() / PIPELINE_DEPTH
+        })
     });
     g.finish();
 

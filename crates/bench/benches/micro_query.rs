@@ -10,7 +10,10 @@ use ps3_cluster::simd::{assign_update, PointMatrix};
 use ps3_cluster::{cluster, kmeans_minibatch, ClusterAlgo};
 use ps3_core::Ps3Config;
 use ps3_data::{DatasetConfig, DatasetKind, ScaleProfile};
-use ps3_query::{execute_partition, Clause, CmpOp, CompiledPredicate, CompiledQuery, Predicate};
+use ps3_query::{
+    execute_partition, AggExpr, Clause, CmpOp, CompiledPredicate, CompiledQuery, Predicate, Query,
+    ScalarExpr,
+};
 use ps3_stats::QueryFeatures;
 use ps3_storage::{ColId, PartitionId};
 
@@ -63,6 +66,20 @@ fn bench_kernels(c: &mut Criterion) {
     let cq = CompiledQuery::compile(table, &query);
     g.bench_function("fused_partition_scan", |b| {
         b.iter(|| cq.execute_partition(table, rows.clone()))
+    });
+
+    // Mask-dominated variant: a global SUM+COUNT (no group-by) behind the
+    // cmp AND membership predicate above, so the blocked 8-lane mask
+    // kernels are most of the scan. Its trajectory isolates the SIMD mask
+    // path the way `fused_partition_scan` covers the aggregate mix.
+    let mask_query = Query::new(
+        vec![AggExpr::sum(ScalarExpr::col(num_col)), AggExpr::count()],
+        Some(Predicate::And(vec![cmp_pred.clone(), in_pred.clone()])),
+        vec![],
+    );
+    let mask_cq = CompiledQuery::compile(table, &mask_query);
+    g.bench_function("fused_partition_scan_simd", |b| {
+        b.iter(|| mask_cq.execute_partition(table, rows.clone()))
     });
     g.finish();
 }

@@ -17,9 +17,14 @@ use ps3_core::{AnswerMeta, QueryRequest};
 use ps3_query::QueryAnswer;
 
 use crate::proto::{
-    encode_frame, ErrorFrame, Frame, FrameBuffer, PartialFrame, ProtoError, RequestFrame,
-    ResponseFrame, DEFAULT_MAX_FRAME,
+    encode_frame_at_into, ErrorFrame, Frame, FrameBuffer, PartialFrame, ProtoError, RequestFrame,
+    ResponseFrame, DEFAULT_MAX_FRAME, PROTO_VERSION,
 };
+
+/// Queued-but-unsent request bytes above this threshold force a flush on
+/// the next [`NetClient::send`], bounding how much a fire-and-forget
+/// burst can buffer client-side (64 KiB ≈ hundreds of typical requests).
+const OUTGOING_FLUSH_THRESHOLD: usize = 64 * 1024;
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -146,9 +151,18 @@ impl ServerReply {
 }
 
 /// A blocking connection to a PS3 network front door.
+///
+/// Requests queue client-side: [`NetClient::send`] encodes into an
+/// outgoing buffer without touching the socket, and the whole batch goes
+/// out in **one** write on the first blocking receive (or past a size
+/// threshold, or an explicit [`NetClient::flush`]). A pipelined burst of
+/// N small requests therefore costs one syscall, not N — the serving
+/// benches measure the protocol, not the client's syscall count.
 pub struct NetClient {
     stream: TcpStream,
     inbound: FrameBuffer,
+    /// Encoded request frames not yet written to the socket.
+    outgoing: Vec<u8>,
     next_id: u64,
     /// Replies that arrived while waiting for a different id (pipelined
     /// requests complete in any order).
@@ -166,21 +180,39 @@ impl NetClient {
         Ok(NetClient {
             stream,
             inbound: FrameBuffer::new(DEFAULT_MAX_FRAME),
+            outgoing: Vec::new(),
             next_id: 1,
             parked: HashMap::new(),
             partials: HashMap::new(),
         })
     }
 
-    /// Send one request without waiting; returns its correlation id.
-    /// Collect the reply later with [`NetClient::recv`] /
-    /// [`NetClient::recv_for`].
+    /// Queue one request without waiting; returns its correlation id.
+    /// The frame is encoded into the outgoing buffer and written together
+    /// with every other queued request when the client next blocks for a
+    /// reply ([`NetClient::recv`] / [`NetClient::recv_for`]), when the
+    /// buffer crosses its size threshold, or on [`NetClient::flush`]. A
+    /// frame that refuses to encode leaves the queue untouched.
     pub fn send(&mut self, req: &QueryRequest) -> Result<u64, ClientError> {
+        if self.outgoing.len() >= OUTGOING_FLUSH_THRESHOLD {
+            self.flush()?;
+        }
         let request_id = self.next_id;
-        self.next_id += 1;
         let frame = Frame::Request(RequestFrame::from_request(request_id, req)?);
-        self.stream.write_all(&encode_frame(&frame)?)?;
+        encode_frame_at_into(&frame, PROTO_VERSION, &mut self.outgoing)?;
+        self.next_id += 1;
         Ok(request_id)
+    }
+
+    /// Write every queued request to the socket in one batch. Called
+    /// implicitly before any blocking receive; explicit calls only matter
+    /// for fire-and-forget patterns that never read a reply.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
+        if !self.outgoing.is_empty() {
+            self.stream.write_all(&self.outgoing)?;
+            self.outgoing.clear();
+        }
+        Ok(())
     }
 
     /// Block for the next reply, in server completion order.
@@ -251,7 +283,10 @@ impl NetClient {
 
     /// Read frames off the socket until one complete reply decodes.
     /// Partial frames are not replies: they are stashed for their request
-    /// id and reading continues.
+    /// id and reading continues. Queued requests are flushed before the
+    /// first blocking read — the other half of the send-batching contract
+    /// (waiting for a reply to a request the socket never saw would
+    /// deadlock).
     fn read_reply(&mut self) -> Result<ServerReply, ClientError> {
         loop {
             if let Some(frame) = self.inbound.next_frame()? {
@@ -274,6 +309,7 @@ impl NetClient {
                     }
                 };
             }
+            self.flush()?;
             let mut chunk = [0u8; 16 * 1024];
             let n = self.stream.read(&mut chunk)?;
             if n == 0 {
@@ -284,5 +320,14 @@ impl NetClient {
             }
             self.inbound.push(&chunk[..n]);
         }
+    }
+}
+
+impl Drop for NetClient {
+    /// Best-effort flush of queued requests a fire-and-forget caller never
+    /// followed with a receive; errors are ignored (the connection is
+    /// going away either way).
+    fn drop(&mut self) {
+        let _ = self.flush();
     }
 }

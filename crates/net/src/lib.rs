@@ -14,17 +14,20 @@
 //!   error estimate; progressive requests stream refining partial frames;
 //!   errors are typed. Zero external dependencies; byte layout documented
 //!   in `docs/PROTOCOL.md` and pinned by doc-tests.
-//! - [`server`] — a non-blocking event loop (readiness `poll(2)` via
-//!   [`ps3_runtime::poll`], running as one detached
-//!   [`ThreadPool`](ps3_runtime::ThreadPool) task) that parses frames,
-//!   submits through per-connection [`Tenant`](ps3_core::router::Tenant)
-//!   handles — so the router's backpressure and quota semantics apply on
-//!   the wire — and writes responses back as tickets complete, woken by
+//! - [`server`] — a sharded non-blocking front door: `net_shards`
+//!   independent event loops (readiness `poll(2)` via
+//!   [`ps3_runtime::poll`], each a detached
+//!   [`ThreadPool`](ps3_runtime::ThreadPool) task owning a disjoint set of
+//!   connections, with accepted sockets handed round-robin from the
+//!   listener shard). Each loop parses frames, submits through
+//!   per-connection [`Tenant`](ps3_core::router::Tenant) handles — so the
+//!   router's backpressure and quota semantics apply on the wire — and
+//!   batches responses out through `writev` as tickets complete, woken by
 //!   each ticket's completion hook.
 //! - [`client`] — a blocking connection with a synchronous
 //!   [`request`](client::NetClient::request) path and a pipelined
 //!   [`send`](client::NetClient::send)/[`recv`](client::NetClient::recv)
-//!   pair.
+//!   pair; queued sends coalesce into one write.
 //!
 //! The determinism contract extends across the wire: the answer to
 //! `(table, query, method, planned frac, seed)` served over TCP is
@@ -65,6 +68,8 @@
 #![warn(missing_docs)]
 
 pub mod client;
+#[cfg(unix)]
+mod outbuf;
 pub mod proto;
 #[cfg(unix)]
 pub mod server;

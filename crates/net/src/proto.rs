@@ -432,9 +432,14 @@ pub struct ErrorFrame {
 /// value too large for its length field is an [`ProtoError::Invalid`]
 /// error, never a silent modular truncation (which would emit a frame
 /// that decodes to a *different* value).
-struct Writer(Vec<u8>);
+///
+/// Borrows the destination rather than owning it so encoders can append
+/// into a caller-reused buffer ([`encode_frame_at_into`]) — the serving
+/// hot path encodes thousands of frames per second and must not allocate
+/// one `Vec` each.
+struct Writer<'a>(&'a mut Vec<u8>);
 
-impl Writer {
+impl Writer<'_> {
     fn u8(&mut self, v: u8) {
         self.0.push(v);
     }
@@ -475,7 +480,7 @@ impl Writer {
     }
 }
 
-fn encode_scalar(w: &mut Writer, e: &ScalarExpr) {
+fn encode_scalar(w: &mut Writer<'_>, e: &ScalarExpr) {
     match e {
         ScalarExpr::Column(c) => {
             w.u8(1);
@@ -499,7 +504,7 @@ fn encode_scalar(w: &mut Writer, e: &ScalarExpr) {
     }
 }
 
-fn encode_predicate(w: &mut Writer, p: &Predicate) -> Result<(), ProtoError> {
+fn encode_predicate(w: &mut Writer<'_>, p: &Predicate) -> Result<(), ProtoError> {
     match p {
         Predicate::Clause(Clause::Cmp { col, op, value }) => {
             w.u8(1);
@@ -559,7 +564,7 @@ fn encode_predicate(w: &mut Writer, p: &Predicate) -> Result<(), ProtoError> {
     Ok(())
 }
 
-fn encode_query(w: &mut Writer, q: &Query) -> Result<(), ProtoError> {
+fn encode_query(w: &mut Writer<'_>, q: &Query) -> Result<(), ProtoError> {
     w.u16_len(q.aggregates.len(), "aggregate lists cap at 65535")?;
     for agg in &q.aggregates {
         w.u8(match agg.func {
@@ -601,7 +606,7 @@ fn method_byte(m: Method) -> u8 {
 
 /// The shared row-block grammar of response and partial frames:
 /// `[n_aggs: u16][n_rows: u32]` then per row `[key_words: u16][key…][values…]`.
-fn encode_rows(w: &mut Writer, rows: &[WireRow]) -> Result<(), ProtoError> {
+fn encode_rows(w: &mut Writer<'_>, rows: &[WireRow]) -> Result<(), ProtoError> {
     let n_aggs = rows.first().map_or(0, |r| r.values.len());
     w.u16_len(n_aggs, "aggregate lists cap at 65535")?;
     w.u32_len(rows.len(), "answers cap at 2^32-1 rows")?;
@@ -621,7 +626,7 @@ fn encode_rows(w: &mut Writer, rows: &[WireRow]) -> Result<(), ProtoError> {
 /// The v2 response meta block: `[planned_frac: f64][exact: u8]
 /// [rel_err: f64][n_aggs: u16]` then per aggregate
 /// `[ci_half_width: f64][rel_err: f64]`.
-fn encode_response_meta(w: &mut Writer, resp: &ResponseFrame) -> Result<(), ProtoError> {
+fn encode_response_meta(w: &mut Writer<'_>, resp: &ResponseFrame) -> Result<(), ProtoError> {
     w.f64(resp.planned_frac);
     w.u8(u8::from(resp.exact));
     w.f64(resp.error.rel_err);
@@ -648,10 +653,50 @@ pub fn encode_frame(frame: &Frame) -> Result<Vec<u8>, ProtoError> {
 /// content at v1: a declarative [`Budget`], a progressive request, or a
 /// [`PartialFrame`] refuse to downgrade.
 pub fn encode_frame_at(frame: &Frame, version: u8) -> Result<Vec<u8>, ProtoError> {
+    let mut wire = Vec::with_capacity(64);
+    encode_frame_at_into(frame, version, &mut wire)?;
+    Ok(wire)
+}
+
+/// [`encode_frame_at`] into a caller-owned buffer: appends the full wire
+/// form (`[body_len: u32 LE][body]`) to `out` without allocating.
+///
+/// On error `out` is restored to its original length — a refused frame
+/// leaves no partial bytes behind, so the buffer can hold a queue of
+/// already-encoded frames. This is the serving path's per-connection
+/// encode primitive; `encode_frame_at` is the convenience wrapper that
+/// pays one allocation for callers without a buffer to reuse.
+pub fn encode_frame_at_into(
+    frame: &Frame,
+    version: u8,
+    out: &mut Vec<u8>,
+) -> Result<(), ProtoError> {
+    let start = out.len();
+    match encode_frame_body(frame, version, out) {
+        Ok(()) => {
+            let body_len = out.len() - start - 4;
+            let Ok(body_len) = u32::try_from(body_len) else {
+                out.truncate(start);
+                return Err(ProtoError::Invalid("frame bodies cap at 2^32-1 bytes"));
+            };
+            out[start..start + 4].copy_from_slice(&body_len.to_le_bytes());
+            Ok(())
+        }
+        Err(e) => {
+            out.truncate(start);
+            Err(e)
+        }
+    }
+}
+
+/// Append `[len placeholder][body]` to `out`; the caller patches the
+/// length and rolls back on error.
+fn encode_frame_body(frame: &Frame, version: u8, out: &mut Vec<u8>) -> Result<(), ProtoError> {
     if !(MIN_PROTO_VERSION..=PROTO_VERSION).contains(&version) {
         return Err(ProtoError::BadVersion(version));
     }
-    let mut w = Writer(Vec::with_capacity(64));
+    out.extend_from_slice(&[0u8; 4]);
+    let mut w = Writer(out);
     w.u8(version);
     match frame {
         Frame::Request(req) => {
@@ -719,11 +764,7 @@ pub fn encode_frame_at(frame: &Frame, version: u8) -> Result<Vec<u8>, ProtoError
             w.str(&err.message)?;
         }
     }
-    let body = w.0;
-    let mut wire = Vec::with_capacity(4 + body.len());
-    wire.extend_from_slice(&(body.len() as u32).to_le_bytes());
-    wire.extend_from_slice(&body);
-    Ok(wire)
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------

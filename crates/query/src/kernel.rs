@@ -14,9 +14,12 @@
 //!   dictionaries, sorted codes otherwise) — membership is O(1)-ish per row
 //!   instead of a linear scan per row per partition, and `Contains` stops
 //!   re-scanning the dictionary on every partition.
-//! * Numeric comparisons run over fixed-size 64-row chunks
-//!   ([`ps3_storage::chunks64`]) writing one `u64` mask word per chunk, a
-//!   shape LLVM autovectorizes.
+//! * Numeric comparisons and membership probes run over fixed-size 64-row
+//!   chunks ([`ps3_storage::chunks64`]) writing one `u64` mask word per
+//!   chunk through an explicit 8-lane blocked shape (eight independent
+//!   bit-accumulator lanes, pairwise-combined — the `ps3_cluster::simd`
+//!   style), which LLVM vectorizes; lanes set disjoint bits, so the SIMD
+//!   shape is bit-identical to the sequential one by construction.
 //! * Fused predicate→aggregate kernels accumulate SUM/COUNT/AVG slots from
 //!   the column slices under the mask, fast-pathing all-true words and
 //!   skipping all-false ones.
@@ -254,29 +257,60 @@ impl CompiledPredicate {
     }
 }
 
-/// Comparison kernel: one mask word per 64-row chunk. The fixed-size chunk
-/// loop is written so LLVM unrolls and autovectorizes it (compare lanes,
-/// collect sign bits); the tail is handled scalar.
-fn cmp_kernel(data: &[f64], op: CmpOp, value: f64, out: &mut SelVec) {
+/// Lane width of the explicit SIMD-structured mask kernels — the same
+/// 8-lane blocked shape as `ps3_cluster::simd`, wide enough for one AVX-512
+/// double vector or two AVX2 ones.
+pub(crate) const MASK_LANES: usize = 8;
+
+/// One full 64-row chunk → one mask word, evaluated as eight independent
+/// bit-accumulator lanes over `chunks_exact(8)` octets. Lane `j` only ever
+/// sets bits `8g + j`, so the lanes are disjoint and the fixed pairwise
+/// OR-combine tree is *exactly* the sequential mask whatever order the
+/// hardware evaluates lanes in — bit-identity is structural here, unlike
+/// the float summation in `sum_col`, which stays strictly sequential. The
+/// shape hands LLVM eight independent compare-and-shift dependency chains
+/// to vectorize.
+#[inline(always)]
+fn mask_word64<T: Copy, F: Fn(T) -> bool>(chunk: &[T; 64], f: F) -> u64 {
+    let mut lanes = [0u64; MASK_LANES];
+    for (g, octet) in chunk.chunks_exact(MASK_LANES).enumerate() {
+        let base = g * MASK_LANES;
+        for j in 0..MASK_LANES {
+            lanes[j] |= u64::from(f(octet[j])) << (base + j);
+        }
+    }
+    // Pairwise combine tree (log2 depth), matching ps3_cluster::simd.
+    ((lanes[0] | lanes[4]) | (lanes[1] | lanes[5]))
+        | ((lanes[2] | lanes[6]) | (lanes[3] | lanes[7]))
+}
+
+/// Ragged-tail mask word: scalar, ascending bit order.
+#[inline(always)]
+fn mask_tail<T: Copy, F: Fn(T) -> bool>(tail: &[T], f: F) -> u64 {
+    let mut m = 0u64;
+    for (i, &x) in tail.iter().enumerate() {
+        m |= u64::from(f(x)) << i;
+    }
+    m
+}
+
+/// Comparison kernel: one mask word per 64-row chunk via the 8-lane
+/// [`mask_word64`] shape; the tail is handled scalar. NaN semantics are
+/// whatever the per-element comparison closure says (IEEE 754), identical
+/// in both shapes. `pub(crate)` so the oracle property suite can pin the
+/// kernel directly against the row-wise interpreter.
+pub(crate) fn cmp_kernel(data: &[f64], op: CmpOp, value: f64, out: &mut SelVec) {
     #[inline(always)]
     fn fill<F: Fn(f64, f64) -> bool>(data: &[f64], v: f64, out: &mut SelVec, f: F) {
         let words = out.words_mut();
         let (chunks, tail) = chunks64(data);
         let mut wi = 0;
         for chunk in chunks {
-            let mut m = 0u64;
-            for (i, &x) in chunk.iter().enumerate() {
-                m |= u64::from(f(x, v)) << i;
-            }
-            words[wi] = m;
+            words[wi] = mask_word64(chunk, |x| f(x, v));
             wi += 1;
         }
         if !tail.is_empty() {
-            let mut m = 0u64;
-            for (i, &x) in tail.iter().enumerate() {
-                m |= u64::from(f(x, v)) << i;
-            }
-            words[wi] = m;
+            words[wi] = mask_tail(tail, |x| f(x, v));
         }
     }
     match op {
@@ -289,25 +323,31 @@ fn cmp_kernel(data: &[f64], op: CmpOp, value: f64, out: &mut SelVec) {
     }
 }
 
-/// Membership kernel over dictionary codes.
-fn membership_kernel(codes: &[u32], set: &TargetSet, out: &mut SelVec) {
-    let words = out.words_mut();
-    let (chunks, tail) = chunks64(codes);
-    let mut wi = 0;
-    for chunk in chunks {
-        let mut m = 0u64;
-        for (i, &c) in chunk.iter().enumerate() {
-            m |= u64::from(set.contains(c)) << i;
+/// Membership kernel over dictionary codes, same 8-lane shape as
+/// [`cmp_kernel`]. The dense-bitset/sorted-codes dispatch is hoisted out
+/// of the row loop so each variant runs a branch-free per-element probe.
+pub(crate) fn membership_kernel(codes: &[u32], set: &TargetSet, out: &mut SelVec) {
+    #[inline(always)]
+    fn fill<F: Fn(u32) -> bool>(codes: &[u32], out: &mut SelVec, f: F) {
+        let words = out.words_mut();
+        let (chunks, tail) = chunks64(codes);
+        let mut wi = 0;
+        for chunk in chunks {
+            words[wi] = mask_word64(chunk, &f);
+            wi += 1;
         }
-        words[wi] = m;
-        wi += 1;
+        if !tail.is_empty() {
+            words[wi] = mask_tail(tail, &f);
+        }
     }
-    if !tail.is_empty() {
-        let mut m = 0u64;
-        for (i, &c) in tail.iter().enumerate() {
-            m |= u64::from(set.contains(c)) << i;
-        }
-        words[wi] = m;
+    match &set.bits {
+        // Codes come from the same dictionary the bitset was sized for, so
+        // they are in range.
+        Some(bits) => fill(codes, out, |c| {
+            let i = c as usize;
+            (bits[i / 64] >> (i % 64)) & 1 == 1
+        }),
+        None => fill(codes, out, |c| set.codes.binary_search(&c).is_ok()),
     }
 }
 
@@ -872,5 +912,110 @@ mod tests {
         assert_eq!(all.eval(&t, 0..10).count(), 10);
         let none = CompiledPredicate::Or(vec![]);
         assert_eq!(none.eval(&t, 0..10).count(), 0);
+    }
+
+    /// The scalar twin of [`cmp_kernel`]: one row at a time, no chunks, no
+    /// lanes — the reference the SIMD shape must match bit for bit.
+    fn scalar_cmp_mask(data: &[f64], op: CmpOp, v: f64) -> Vec<bool> {
+        data.iter()
+            .map(|&x| match op {
+                CmpOp::Eq => x == v,
+                CmpOp::Ne => x != v,
+                CmpOp::Lt => x < v,
+                CmpOp::Le => x <= v,
+                CmpOp::Gt => x > v,
+                CmpOp::Ge => x >= v,
+            })
+            .collect()
+    }
+
+    const ALL_OPS: [CmpOp; 6] = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
+
+    #[test]
+    fn simd_cmp_kernel_is_bit_identical_on_float_edge_data() {
+        // Every length class the lane structure can get wrong (empty, one
+        // octet, a lane-ragged chunk, exact words, ragged tails) × a value
+        // set where NaN, ±0.0 and infinities appear on both sides of the
+        // comparison. The kernel must equal the row-wise scalar twin
+        // everywhere — the SIMD shape is only admissible because it cannot
+        // change a single mask bit.
+        let edge_pool = [
+            f64::NAN,
+            -0.0,
+            0.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            1.0,
+            -1.0,
+            1e-300,
+            -1e308,
+            0.5,
+        ];
+        for len in [0usize, 1, 7, 8, 9, 63, 64, 65, 127, 128, 130, 200] {
+            let data: Vec<f64> = (0..len).map(|i| edge_pool[i % edge_pool.len()]).collect();
+            for op in ALL_OPS {
+                for v in [f64::NAN, -0.0, 0.0, 1.0, f64::INFINITY, -1e308] {
+                    let mut out = SelVec::none(len);
+                    cmp_kernel(&data, op, v, &mut out);
+                    assert_eq!(
+                        out.to_bools(),
+                        scalar_cmp_mask(&data, op, v),
+                        "len={len} op={op:?} v={v}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_cmp_kernel_handles_all_true_and_all_false_words() {
+        // Saturated mask words are the fused-scan fast paths downstream
+        // (sum_col branches on w == u64::MAX and w == 0); the lane combine
+        // must produce them exactly, including over a ragged tail.
+        for len in [64usize, 128, 130] {
+            let data = vec![5.0; len];
+            let mut out = SelVec::none(len);
+            cmp_kernel(&data, CmpOp::Lt, 10.0, &mut out);
+            assert_eq!(out.count(), len, "all-true at len {len}");
+            assert!(out.words()[..len / 64].iter().all(|&w| w == u64::MAX));
+            cmp_kernel(&data, CmpOp::Gt, 10.0, &mut out);
+            assert_eq!(out.count(), 0, "all-false at len {len}");
+            assert!(out.words().iter().all(|&w| w == 0));
+        }
+    }
+
+    #[test]
+    fn simd_membership_kernel_is_bit_identical_for_dense_and_sparse_sets() {
+        // Dictionary-code edge data: codes at word boundaries (0, 63, 64),
+        // octet boundaries (7, 8), and the top of the space, over every
+        // ragged length class. The dense-bitset and binary-search variants
+        // must agree with each other and with the naive scalar probe.
+        let target_codes = vec![0u32, 7, 8, 63, 64, 65, 255, 299];
+        let dense = TargetSet::build(target_codes.clone(), 300);
+        assert!(dense.bits.is_some(), "dict of 300 stays dense");
+        let sparse = TargetSet::build(target_codes.clone(), DENSE_DICT_LIMIT + 1);
+        assert!(sparse.bits.is_none(), "oversized dict falls back to search");
+
+        for len in [0usize, 1, 8, 63, 64, 65, 128, 130, 200] {
+            let codes: Vec<u32> = (0..len).map(|i| (i as u32 * 13) % 300).collect();
+            let naive: Vec<bool> = codes.iter().map(|c| target_codes.contains(c)).collect();
+            for set in [&dense, &sparse] {
+                let mut out = SelVec::none(len);
+                membership_kernel(&codes, set, &mut out);
+                assert_eq!(
+                    out.to_bools(),
+                    naive,
+                    "len={len} dense={}",
+                    set.bits.is_some()
+                );
+            }
+        }
     }
 }

@@ -14,8 +14,9 @@ use crate::exec::{
     execute_partitions, execute_partitions_compiled, fan_out_partitions, PartialAnswer,
     QueryAnswer, WeightedPart,
 };
-use crate::kernel::CompiledQuery;
+use crate::kernel::{cmp_kernel, membership_kernel, CompiledQuery, TargetSet, DENSE_DICT_LIMIT};
 use crate::oracle::execute_partition_oracle;
+use crate::selvec::SelVec;
 use ps3_storage::table::TableBuilder;
 use ps3_storage::{ColId, ColumnMeta, ColumnType, PartitionId, PartitionedTable, Schema};
 
@@ -421,6 +422,75 @@ proptest! {
             let mut flipped = query.clone();
             flipped.predicate = Some(Predicate::Or(ps.clone()));
             prop_assert!(fp != flipped.fingerprint(), "AND vs OR must change it");
+        }
+    }
+}
+
+/// Values dense in the IEEE-754 edges the comparison ops care about: NaN
+/// (every op must see it as false except `Ne`), ±0.0 (equal under `==`
+/// despite distinct bit patterns), both infinities, and ordinary finites.
+fn arb_edge_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(f64::NAN),
+        Just(0.0),
+        Just(-0.0),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        -100.0f64..100.0,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The blocked 8-lane comparison kernel is bit-identical to a
+    /// row-at-a-time scalar evaluation on NaN/±0.0/∞-dense data at
+    /// arbitrary lengths — including lengths that leave ragged tails
+    /// shorter than a 64-row mask word.
+    #[test]
+    fn simd_cmp_mask_matches_scalar_rows(
+        data in prop::collection::vec(arb_edge_f64(), 0..200),
+        op in prop_oneof![
+            Just(CmpOp::Lt),
+            Just(CmpOp::Le),
+            Just(CmpOp::Gt),
+            Just(CmpOp::Ge),
+            Just(CmpOp::Eq),
+            Just(CmpOp::Ne),
+        ],
+        value in arb_edge_f64(),
+    ) {
+        let mut out = SelVec::none(data.len());
+        cmp_kernel(&data, op, value, &mut out);
+        let scalar: Vec<bool> = data
+            .iter()
+            .map(|&x| match op {
+                CmpOp::Lt => x < value,
+                CmpOp::Le => x <= value,
+                CmpOp::Gt => x > value,
+                CmpOp::Ge => x >= value,
+                CmpOp::Eq => x == value,
+                CmpOp::Ne => x != value,
+            })
+            .collect();
+        prop_assert_eq!(out.to_bools(), scalar);
+    }
+
+    /// The blocked membership kernel agrees with a naive per-row probe for
+    /// both target-set representations: the dense bitset (small dictionary)
+    /// and the sorted binary-search fallback (dictionary past the dense
+    /// limit) — same codes, same mask, bit for bit.
+    #[test]
+    fn simd_membership_mask_matches_naive_probe(
+        codes in prop::collection::vec(0u32..300, 0..200),
+        targets in prop::collection::vec(0u32..300, 0..8),
+    ) {
+        let naive: Vec<bool> = codes.iter().map(|c| targets.contains(c)).collect();
+        for dict_len in [300usize, DENSE_DICT_LIMIT + 1] {
+            let set = TargetSet::build(targets.clone(), dict_len);
+            let mut out = SelVec::none(codes.len());
+            membership_kernel(&codes, &set, &mut out);
+            prop_assert_eq!(out.to_bools(), naive.clone());
         }
     }
 }

@@ -47,7 +47,7 @@ pub mod sync;
 
 pub use lru::{CacheStats, LruCache, SharedLru};
 #[cfg(unix)]
-pub use poll::{poll_fds, Interest, PollEntry, Waker};
+pub use poll::{poll_fds, readv_fd, writev_fd, Interest, PollEntry, Waker, IOV_BATCH};
 pub use pool::{fan_out, ThreadPool};
 pub use queue::{RequestQueue, SubmitError};
 pub use sync::{Flight, Mailbox, Permit, Semaphore, SingleFlight};

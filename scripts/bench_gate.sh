@@ -36,6 +36,11 @@
 #                    artifact must stay an order of magnitude under
 #                    retraining, or the persistence layer has lost its
 #                    reason to exist.
+#   PIPELINE_MIN_SPEEDUP minimum net/roundtrip_cold ÷
+#                    net/roundtrip_pipelined_x16 ratio before failing
+#                    (default 4): the pipelined row records *per-request*
+#                    cost of a 16-deep batch, which must amortize the
+#                    wire + wakeup overhead well under one cold roundtrip.
 #   CORES_OVERRIDE   pretend the runner has this many cores (makes the
 #                    scaling branch testable on any box; normally unset).
 set -euo pipefail
@@ -55,6 +60,7 @@ kernel/compile_query
 kernel/cmp_mask_partition
 kernel/in_mask_partition
 kernel/fused_partition_scan
+kernel/fused_partition_scan_simd
 query_time/execute_one_partition
 query_time/query_features
 query_time/kmeans_64x8
@@ -72,6 +78,7 @@ router/answer_cached
 router_fanin/fanin_8_tenants
 net/roundtrip_cold
 net/roundtrip_cached
+net/roundtrip_pipelined_x16
 planner/plan_cold
 planner/plan_warm
 planner/stream_roundtrip
@@ -163,6 +170,23 @@ awk -v c="$cold_ns" -v b="$boot_ns" -v min="$boot_min_speedup" 'BEGIN {
     printf "bench_gate: artifact boot %d ns vs cold train %d ns (%.1fx)\n", b, c, speedup;
     if (speedup < min) {
         printf "bench_gate: FAIL — persist/boot_from_artifact is under %.0fx faster than train/train_cold\n", min;
+        exit 1;
+    }
+}' || exit 1
+
+# Pipelining check: the pipelined row is per-request cost of a 16-deep
+# batch on a warm key; batching must amortize the syscall + event-loop
+# wakeup overhead well below one full cold roundtrip, or the vectored
+# batched-I/O path has stopped paying for itself. PIPELINE_MIN_SPEEDUP
+# adjusts the bar (default 4).
+pipeline_min_speedup="${PIPELINE_MIN_SPEEDUP:-4}"
+net_cold_ns=$(awk -F'\t' '$1 == "net/roundtrip_cold" {print $2; exit}' "$raw")
+piped_ns=$(awk -F'\t' '$1 == "net/roundtrip_pipelined_x16" {print $2; exit}' "$raw")
+awk -v c="$net_cold_ns" -v p="$piped_ns" -v min="$pipeline_min_speedup" 'BEGIN {
+    speedup = p > 0 ? c / p : 0;
+    printf "bench_gate: pipelined request %d ns vs cold roundtrip %d ns (%.1fx)\n", p, c, speedup;
+    if (speedup < min) {
+        printf "bench_gate: FAIL — net/roundtrip_pipelined_x16 is under %.0fx cheaper than net/roundtrip_cold per request\n", min;
         exit 1;
     }
 }' || exit 1

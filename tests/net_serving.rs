@@ -36,6 +36,16 @@ fn trained(kind: DatasetKind, seed: u64) -> (Dataset, Arc<Ps3System>) {
     (ds, system)
 }
 
+/// A server config pinned to an explicit shard count (ignoring the
+/// `PS3_NET_SHARDS` env override the default would read) so the sharded
+/// and single-loop paths are both exercised deterministically.
+fn shards(net_shards: usize) -> ServerConfig {
+    ServerConfig {
+        net_shards,
+        ..ServerConfig::default()
+    }
+}
+
 /// Canonical bit-exact view of an answer: sorted key words → value bits.
 fn answer_bits(answer: &QueryAnswer) -> BTreeMap<Vec<u64>, Vec<u64>> {
     answer
@@ -46,15 +56,16 @@ fn answer_bits(answer: &QueryAnswer) -> BTreeMap<Vec<u64>, Vec<u64>> {
 }
 
 /// (a) Eight concurrent clients, each firing every request twice, all
-/// bit-identical to direct cache-free execution.
-#[test]
-fn eight_concurrent_tcp_clients_match_direct_execution() {
+/// bit-identical to direct cache-free execution — run at both shard
+/// counts: answers must not depend on which event loop owns a socket.
+fn eight_concurrent_tcp_clients_match_direct_execution_at(net_shards: usize) {
     let (ds, system) = trained(DatasetKind::Aria, 51);
     let router = Router::builder()
         .table("aria", Arc::clone(&system))
         .queue_capacity(128)
         .build();
-    let server = NetServer::bind(Arc::clone(&router), "127.0.0.1:0").expect("bind");
+    let server =
+        NetServer::bind_with(Arc::clone(&router), "127.0.0.1:0", shards(net_shards)).expect("bind");
     let addr = server.addr();
 
     let reqs: Arc<Vec<QueryRequest>> = Arc::new(
@@ -112,17 +123,28 @@ fn eight_concurrent_tcp_clients_match_direct_execution() {
     router.shutdown();
 }
 
+#[test]
+fn eight_concurrent_tcp_clients_match_direct_execution() {
+    eight_concurrent_tcp_clients_match_direct_execution_at(1);
+}
+
+#[test]
+fn eight_concurrent_tcp_clients_match_direct_execution_sharded() {
+    eight_concurrent_tcp_clients_match_direct_execution_at(4);
+}
+
 /// (b) Eight clients stampede one never-seen key; the router executes it
 /// exactly once however the arrivals interleave (single-flight coalesces
-/// racers, the answer cache serves stragglers).
-#[test]
-fn cold_key_stampede_from_eight_clients_executes_once() {
+/// racers, the answer cache serves stragglers) — including when the
+/// racers arrive on four different event loops.
+fn cold_key_stampede_from_eight_clients_executes_once_at(net_shards: usize) {
     let (ds, system) = trained(DatasetKind::Aria, 52);
     let router = Router::builder()
         .table("aria", Arc::clone(&system))
         .queue_capacity(64)
         .build();
-    let server = NetServer::bind(Arc::clone(&router), "127.0.0.1:0").expect("bind");
+    let server =
+        NetServer::bind_with(Arc::clone(&router), "127.0.0.1:0", shards(net_shards)).expect("bind");
     let addr = server.addr();
 
     let req = QueryRequest::new(ds.sample_test_query(1), Method::Ps3, 0.2, 909).on_table("aria");
@@ -153,13 +175,23 @@ fn cold_key_stampede_from_eight_clients_executes_once() {
     router.shutdown();
 }
 
-/// (c) Disconnects — clean, mid-frame, and mid-request — never wedge the
-/// event loop or the router pumps.
 #[test]
-fn client_disconnects_do_not_wedge_the_server() {
+fn cold_key_stampede_from_eight_clients_executes_once() {
+    cold_key_stampede_from_eight_clients_executes_once_at(1);
+}
+
+#[test]
+fn cold_key_stampede_from_eight_clients_executes_once_sharded() {
+    cold_key_stampede_from_eight_clients_executes_once_at(4);
+}
+
+/// (c) Disconnects — clean, mid-frame, and mid-request — never wedge any
+/// event loop or the router pumps, whichever shard the victims landed on.
+fn client_disconnects_do_not_wedge_the_server_at(net_shards: usize) {
     let (ds, system) = trained(DatasetKind::Aria, 53);
     let router = Router::builder().table("aria", system).build();
-    let server = NetServer::bind(Arc::clone(&router), "127.0.0.1:0").expect("bind");
+    let server =
+        NetServer::bind_with(Arc::clone(&router), "127.0.0.1:0", shards(net_shards)).expect("bind");
     let addr = server.addr();
     // Query 3 groups by a categorical column: the answer provably has rows.
     let req = QueryRequest::new(ds.sample_test_query(3), Method::Ps3, 0.2, 7).on_table("aria");
@@ -190,12 +222,58 @@ fn client_disconnects_do_not_wedge_the_server() {
         "one key was ever requested; whether the quitter's copy was \
          admitted or discarded, it executed at most once"
     );
-    // Dead connections are reaped (give the event loop a moment to notice).
+    // Dead connections are reaped (give the event loops a moment to notice).
     let deadline = Instant::now() + Duration::from_secs(10);
     while server.stats().open_connections > 1 {
         assert!(Instant::now() < deadline, "disconnected conns never reaped");
         thread::sleep(Duration::from_millis(10));
     }
+    drop(server);
+    router.shutdown();
+}
+
+#[test]
+fn client_disconnects_do_not_wedge_the_server() {
+    client_disconnects_do_not_wedge_the_server_at(1);
+}
+
+#[test]
+fn client_disconnects_do_not_wedge_the_server_sharded() {
+    client_disconnects_do_not_wedge_the_server_at(4);
+}
+
+/// The round-robin deal actually spreads load: with four shards and eight
+/// concurrently-open connections, every shard ends up owning some of them
+/// (shard 0 accepts; the others receive theirs via waker handoff).
+#[test]
+fn connections_distribute_across_shards() {
+    let (ds, system) = trained(DatasetKind::Aria, 57);
+    let router = Router::builder().table("aria", system).build();
+    let server = NetServer::bind_with(Arc::clone(&router), "127.0.0.1:0", shards(4)).expect("bind");
+    let addr = server.addr();
+
+    let req = QueryRequest::new(ds.sample_test_query(0), Method::Ps3, 0.2, 3).on_table("aria");
+    // Hold all eight connections open at once; a served request proves the
+    // owning shard registered (handoffs drained) and polls the socket.
+    let mut clients: Vec<NetClient> = (0..8).map(|_| NetClient::connect(addr).unwrap()).collect();
+    for client in &mut clients {
+        client.request(&req).expect("served");
+    }
+    let per_shard = server.accepted_by_shard();
+    assert_eq!(per_shard.len(), 4);
+    assert_eq!(
+        per_shard.iter().sum::<u64>(),
+        8,
+        "all accepts accounted for"
+    );
+    for (shard, &n) in per_shard.iter().enumerate() {
+        assert!(
+            n >= 1,
+            "shard {shard} owns no connections: {per_shard:?} — the \
+             round-robin deal is not reaching every event loop"
+        );
+    }
+    drop(clients);
     drop(server);
     router.shutdown();
 }

@@ -77,6 +77,17 @@ impl Bencher {
         }
         self.elapsed = start.elapsed();
     }
+
+    /// The caller runs `iters` iterations itself and returns the duration to
+    /// charge for them. This is how a bench reports *amortised* cost: run a
+    /// pipelined batch of N requests inside one iteration and return
+    /// `elapsed / N`, so the recorded ns/iter is per-request, not per-batch.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        // Warm-up with a single iteration; the measurement pass is the
+        // caller's (its returned duration is taken at face value).
+        black_box(f(1));
+        self.elapsed = f(self.iters);
+    }
 }
 
 fn fmt_time(d: Duration) -> String {
