@@ -1,0 +1,69 @@
+//! Criterion microbenchmarks for the answer-sketch hot paths behind the
+//! sketch query classes: the fused predicate→sketch partition update
+//! kernels and the cross-partition merge that assembles the served
+//! answer. Their trajectories gate the per-partition cost a sketch query
+//! pays on every picked partition and the per-pick cost of merging.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ps3_data::{DatasetConfig, DatasetKind, ScaleProfile};
+use ps3_query::{Clause, CmpOp, CompiledSketchQuery, Predicate, SketchQuery};
+use ps3_sketch::AnswerSketch;
+use ps3_storage::{ColId, PartitionId};
+
+fn bench_sketch(c: &mut Criterion) {
+    let ds = DatasetConfig::new(DatasetKind::Kdd, ScaleProfile::Tiny).build(1);
+    let table = ds.pt.table();
+    let rows = ds.pt.rows(PartitionId(0));
+    let num_col = (0..table.schema().len())
+        .map(ColId)
+        .find(|&c| table.column(c).as_numeric().is_some())
+        .expect("numeric column");
+    let cat_col = (0..table.schema().len())
+        .map(ColId)
+        .find(|&c| table.column(c).as_categorical().is_some())
+        .expect("categorical column");
+
+    let mut g = c.benchmark_group("sketch");
+    g.sample_size(50);
+
+    // The fused 64-row chunked predicate→quantile update over one real
+    // partition — the cost a PERCENTILE query pays per picked partition.
+    let percentile =
+        SketchQuery::percentile(num_col, 0.5).filtered(Predicate::Clause(Clause::Cmp {
+            col: num_col,
+            op: CmpOp::Ge,
+            value: 1.0,
+        }));
+    let compiled_p = CompiledSketchQuery::compile(table, &percentile);
+    g.bench_function("quantile_update_fused", |b| {
+        b.iter(|| compiled_p.sketch_partition(table, rows.clone()))
+    });
+
+    // HLL register update over a categorical partition scan.
+    let distinct = SketchQuery::distinct(cat_col);
+    let compiled_d = CompiledSketchQuery::compile(table, &distinct);
+    g.bench_function("distinct_update", |b| {
+        b.iter(|| compiled_d.sketch_partition(table, rows.clone()))
+    });
+
+    // Merging 64 per-partition quantile sketches into the served answer —
+    // the per-pick assembly cost of a full-read PERCENTILE.
+    let parts: Vec<AnswerSketch> = (0..ds.pt.num_partitions().min(64))
+        .map(|p| compiled_p.sketch_partition(table, ds.pt.rows(PartitionId(p))))
+        .collect();
+    let parts: Vec<AnswerSketch> = parts.iter().cycle().take(64).cloned().collect();
+    g.bench_function("merge_64", |b| {
+        b.iter(|| {
+            let mut merged = compiled_p.empty_sketch();
+            for p in &parts {
+                merged.merge_from(p);
+            }
+            merged
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sketch);
+criterion_main!(benches);

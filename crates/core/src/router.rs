@@ -50,9 +50,11 @@ use ps3_runtime::{
     SubmitError as QueueError, ThreadPool,
 };
 
+use ps3_query::QuerySpec;
+
 use crate::planner::{plan_error_target, plan_latency_target, Budget, BudgetPlan, PlannerStats};
 use crate::serve::QueryRequest;
-use crate::system::{query_rng, AnswerOutcome, ProgressUpdate, Ps3System};
+use crate::system::{spec_rng, AnswerOutcome, ProgressUpdate, Ps3System};
 
 /// Index of a registered table within one router. Only meaningful for the
 /// router that issued it.
@@ -441,21 +443,24 @@ impl RouterCore {
             // entry locked (a retrain may swap the system mid-flight; this
             // request finishes on the system it resolved).
             let system = Arc::clone(&entry.system.read().unwrap());
-            let mut rng = query_rng(&req.query, req.seed);
+            let mut rng = spec_rng(&req.query, req.seed);
             let started = Instant::now();
             // The progressive leader streams refining updates into the
             // mailbox; both paths produce bit-identical final outcomes, so
-            // the cached value is path-independent.
-            let out = Arc::new(match progress {
-                Some(mailbox) => system.answer_progressive_on(
-                    &req.query,
+            // the cached value is path-independent. Sketch-class queries
+            // have no refining partials (a partial sketch merge is not a
+            // partial answer of the same shape) and always take the
+            // one-shot path.
+            let out = Arc::new(match (&req.query, progress) {
+                (QuerySpec::Scalar(q), Some(mailbox)) => system.answer_progressive_on(
+                    q,
                     req.method,
                     frac,
                     &mut rng,
                     &self.exec_pool,
                     |update| mailbox.push(update),
                 ),
-                None => system.answer_on(&req.query, req.method, frac, &mut rng, &self.exec_pool),
+                _ => system.answer_spec_on(&req.query, req.method, frac, &mut rng, &self.exec_pool),
             });
             entry.observe_cost(started.elapsed().as_secs_f64() * 1e3, out.selection.len());
             self.answers.insert(key, Arc::clone(&out));
@@ -1168,9 +1173,9 @@ mod tests {
         let table = router.table_id("default").unwrap();
 
         let direct = {
-            let mut rng = query_rng(&req.query, req.seed);
+            let mut rng = spec_rng(&req.query, req.seed);
             let frac = req.budget.as_fraction().unwrap();
-            sys.answer_on(&req.query, req.method, frac, &mut rng, router.pool())
+            sys.answer_spec_on(&req.query, req.method, frac, &mut rng, router.pool())
         };
         let first = router.answer_now(table, &req);
         assert_eq!(first.answer, direct.answer);
@@ -1363,9 +1368,9 @@ mod tests {
         let served = router.answer_now(a, &req);
         assert_eq!(router.stats().executions, before + 1);
         let direct = {
-            let mut rng = query_rng(&req.query, req.seed);
+            let mut rng = spec_rng(&req.query, req.seed);
             let frac = req.budget.as_fraction().unwrap();
-            replacement.answer_on(&req.query, req.method, frac, &mut rng, router.pool())
+            replacement.answer_spec_on(&req.query, req.method, frac, &mut rng, router.pool())
         };
         assert_eq!(
             served.answer, direct.answer,

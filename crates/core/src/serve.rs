@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use ps3_query::Query;
+use ps3_query::{Query, QuerySpec};
 use ps3_runtime::ThreadPool;
 
 use crate::planner::Budget;
@@ -31,8 +31,9 @@ use crate::system::{AnswerOutcome, Method, Ps3System};
 /// [`Self::with_latency_target`].
 #[derive(Debug, Clone)]
 pub struct QueryRequest {
-    /// The query.
-    pub query: Query,
+    /// The query — scalar ([`Query`]) or sketch-class
+    /// ([`ps3_query::SketchQuery`]); both convert into [`QuerySpec`].
+    pub query: QuerySpec,
     /// The sampling method.
     pub method: Method,
     /// What to spend or tolerate: a fraction, an error target, or a
@@ -52,9 +53,14 @@ pub struct QueryRequest {
 
 impl QueryRequest {
     /// A request under `method` with `budget`, routed to the default table.
-    pub fn new(query: Query, method: Method, budget: impl Into<Budget>, seed: u64) -> Self {
+    pub fn new(
+        query: impl Into<QuerySpec>,
+        method: Method,
+        budget: impl Into<Budget>,
+        seed: u64,
+    ) -> Self {
         Self {
-            query,
+            query: query.into(),
             method,
             budget: budget.into(),
             seed,
@@ -65,7 +71,7 @@ impl QueryRequest {
 
     /// A PS3 request with `budget` (a bare `f64` reads that fraction of
     /// the partitions).
-    pub fn ps3(query: Query, budget: impl Into<Budget>, seed: u64) -> Self {
+    pub fn ps3(query: impl Into<QuerySpec>, budget: impl Into<Budget>, seed: u64) -> Self {
         Self::new(query, Method::Ps3, budget, seed)
     }
 

@@ -21,16 +21,18 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use ps3_query::{
-    execute_partials_on, execute_partitions_compiled_totals_on, execute_table, AggFunc,
-    CompiledQuery, PartialAnswer, Query, QueryAnswer, WeightedPart,
+    execute_partials_on, execute_partitions_compiled_totals_on, execute_table, AggExpr, AggFunc,
+    CompiledQuery, CompiledSketchQuery, GroupKey, PartialAnswer, Query, QueryAnswer, QuerySpec,
+    SketchFunc, SketchQuery, WeightedPart,
 };
 use ps3_runtime::{CacheStats, SharedLru, ThreadPool};
+use ps3_sketch::{AnswerSketch, DistinctSketch};
 use ps3_stats::{QueryFeatures, TableStats};
 use ps3_storage::PartitionedTable;
 
 use crate::baselines::{random_filter_selection, random_selection, LssModel};
 use crate::config::Ps3Config;
-use crate::estimator::{estimate_from_totals, ErrorEstimate};
+use crate::estimator::{estimate_from_totals, AggError, ErrorEstimate};
 use crate::picker::{PickOutcome, Picker};
 use crate::train::{TrainedPs3, TrainingData};
 
@@ -95,6 +97,12 @@ pub struct AnswerOutcome {
     pub selection: Vec<WeightedPart>,
     /// Quality and cost metadata (shared shape with the wire client).
     pub meta: AnswerMeta,
+    /// For sketch-class queries, the *unweighted* merge of the picked
+    /// partitions' answer sketches — confluent, so bit-identical to a
+    /// single pass over the concatenated picked rows regardless of pick
+    /// order. `None` for scalar queries. The wire layer ships it so remote
+    /// clients can merge further or re-derive quantiles at other `p`.
+    pub sketch: Option<AnswerSketch>,
 }
 
 /// One refining answer from the progressive execution path: the weighted
@@ -122,6 +130,31 @@ pub struct ProgressUpdate {
 /// result.
 pub fn query_rng(query: &Query, seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed ^ query.fingerprint().rotate_left(17))
+}
+
+/// [`query_rng`] over a [`QuerySpec`] of either class: the same
+/// fingerprint-mixing scheme, so for a scalar spec this is exactly
+/// `query_rng(&q, seed)` and every pre-spec cache key and answer stays
+/// bit-identical.
+pub fn spec_rng(spec: &QuerySpec, seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ spec.fingerprint().rotate_left(17))
+}
+
+/// The scalar proxy a sketch query selects partitions through: `COUNT(*)`
+/// under the same predicate. Partition *relevance* is a property of the
+/// predicate alone, so the picker, feature cache, and exclusion machinery
+/// apply to sketch queries without modification — and two sketch queries
+/// sharing a predicate share one cached feature computation.
+fn sketch_proxy(query: &SketchQuery) -> Query {
+    Query::new(vec![AggExpr::count()], query.predicate.clone(), vec![])
+}
+
+/// A one-value global-group answer (the shape `PERCENTILE` / `DISTINCT`
+/// results take).
+fn global_answer(v: f64) -> QueryAnswer {
+    QueryAnswer {
+        groups: std::iter::once((GroupKey::global(), vec![v])).collect(),
+    }
 }
 
 /// Everything the serving path derives from one query shape, computed once
@@ -525,6 +558,7 @@ impl Ps3System {
             answer,
             selection,
             meta,
+            sketch: None,
         }
     }
 
@@ -599,7 +633,196 @@ impl Ps3System {
             answer,
             selection,
             meta,
+            sketch: None,
         }
+    }
+
+    /// [`Self::answer_on`] for a [`QuerySpec`] of either class — the
+    /// router's uncached execution path. Scalar specs take the weighted
+    /// combination path unchanged; sketch specs take
+    /// [`Self::answer_sketch_on`].
+    pub fn answer_spec_on(
+        &self,
+        spec: &QuerySpec,
+        method: Method,
+        frac: f64,
+        rng: &mut StdRng,
+        pool: &ThreadPool,
+    ) -> AnswerOutcome {
+        match spec {
+            QuerySpec::Scalar(q) => self.answer_on(q, method, frac, rng, pool),
+            QuerySpec::Sketch(q) => self.answer_sketch_on(q, method, frac, rng, pool),
+        }
+    }
+
+    /// Answer a sketch-class query (`PERCENTILE` / `COUNT(DISTINCT)` /
+    /// `TOP_K`) approximately: pick partitions exactly like a scalar query
+    /// (the picker sees a `COUNT(*)` proxy with the same predicate, so
+    /// every method, feature computation, and exclusion applies
+    /// unchanged), build one answer sketch per picked partition with the
+    /// fused kernels, and merge. The merged sketch is confluent:
+    /// bit-identical to a single pass over the concatenated picked rows,
+    /// whatever order the picker produced.
+    ///
+    /// Error semantics per class (see [`ErrorEstimate`]'s honesty rules):
+    ///
+    /// * `PERCENTILE` — rank-error CI: the sketch's own quantiles at
+    ///   `p ± 1.96·√(p(1−p)/n)` widened by the sketch's relative value
+    ///   error `alpha`; never exact (the sketch itself approximates).
+    /// * `COUNT(DISTINCT)` — the merged estimate is *unscaled* (distinct
+    ///   counts do not extrapolate linearly), so a partial selection
+    ///   honestly reports NaN; a covering selection reports the standard
+    ///   HLL error. Never exact.
+    /// * `TOP_K` — weighted per-key count estimates through the same
+    ///   estimator scalar `COUNT` uses; exact when the selection provably
+    ///   covers every qualifying partition at weight 1 (counts are exact).
+    pub fn answer_sketch_on(
+        &self,
+        query: &SketchQuery,
+        method: Method,
+        frac: f64,
+        rng: &mut StdRng,
+        pool: &ThreadPool,
+    ) -> AnswerOutcome {
+        let proxy = sketch_proxy(query);
+        let artifacts = self.artifacts_for(&proxy);
+        let (selection, picker_ms) = self.select_prepared(
+            &proxy,
+            &artifacts.features,
+            &artifacts.normalized,
+            method,
+            frac,
+            None,
+            rng,
+        );
+        let compiled = CompiledSketchQuery::compile(self.pt.table(), query);
+        let parts: Vec<AnswerSketch> = if selection.len() >= 8 && pool.workers() > 1 {
+            pool.map(&selection, |wp| {
+                compiled.sketch_partition(self.pt.table(), self.pt.rows(wp.partition))
+            })
+        } else {
+            selection
+                .iter()
+                .map(|wp| compiled.sketch_partition(self.pt.table(), self.pt.rows(wp.partition)))
+                .collect()
+        };
+        let mut merged = compiled.empty_sketch();
+        for p in &parts {
+            merged.merge_from(p);
+        }
+        let covering = self.selection_is_exact(&artifacts.features, frac, &selection);
+
+        let (answer, error_estimate, exact) = match (&merged, query.func) {
+            (AnswerSketch::Quantile(s), SketchFunc::Percentile(p)) => {
+                let v = s.quantile(p);
+                let n = s.ranked_count();
+                let est = if n == 0 {
+                    ErrorEstimate::no_signal(1)
+                } else {
+                    // Rank uncertainty of the p-th order statistic over n
+                    // observed values, read back through the sketch itself,
+                    // plus the sketch's own value error.
+                    let se = (p * (1.0 - p) / n as f64).sqrt();
+                    let (lo, hi) = (
+                        s.quantile((p - 1.96 * se).clamp(0.0, 1.0)),
+                        s.quantile((p + 1.96 * se).clamp(0.0, 1.0)),
+                    );
+                    let rank_hw = if covering {
+                        0.0
+                    } else {
+                        (v - lo).abs().max((hi - v).abs())
+                    };
+                    let hw = rank_hw + v.abs() * s.alpha();
+                    let rel = if v == 0.0 { f64::NAN } else { hw / v.abs() };
+                    ErrorEstimate {
+                        per_agg: vec![AggError {
+                            ci_half_width: hw,
+                            rel_err: rel,
+                        }],
+                        rel_err: rel,
+                    }
+                };
+                (global_answer(v), est, false)
+            }
+            (AnswerSketch::Distinct(s), SketchFunc::Distinct) => {
+                let v = s.estimate();
+                let est = if covering && v != 0.0 {
+                    let rel = 1.96 * DistinctSketch::standard_error();
+                    ErrorEstimate {
+                        per_agg: vec![AggError {
+                            ci_half_width: rel * v,
+                            rel_err: rel,
+                        }],
+                        rel_err: rel,
+                    }
+                } else {
+                    // A partial merge undercounts by an amount no sketch
+                    // statistic bounds — no signal, by design; the planner
+                    // escalates to a covering read.
+                    ErrorEstimate::no_signal(1)
+                };
+                (global_answer(v), est, false)
+            }
+            (AnswerSketch::TopK(_), SketchFunc::TopK(k)) => {
+                // Weighted per-key count estimates: Σ_j w_j · count_j(key),
+                // ranked by estimate (desc) with ascending key tie-break.
+                let mut weighted: std::collections::HashMap<u64, f64> = Default::default();
+                for (part, wp) in parts.iter().zip(&selection) {
+                    if let AnswerSketch::TopK(t) = part {
+                        for &(key, count) in t.entries() {
+                            *weighted.entry(key).or_insert(0.0) += wp.weight * count as f64;
+                        }
+                    }
+                }
+                let mut ranked: Vec<(u64, f64)> = weighted.into_iter().collect();
+                ranked.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+                ranked.truncate(k as usize);
+                let answer = QueryAnswer {
+                    groups: ranked
+                        .iter()
+                        .map(|&(key, est)| (GroupKey(Box::new([key])), vec![est]))
+                        .collect(),
+                };
+                let est = if covering {
+                    ErrorEstimate::exact_for(ranked.len())
+                } else {
+                    let funcs = vec![AggFunc::Count; ranked.len()];
+                    let totals: Vec<Vec<f64>> = parts
+                        .iter()
+                        .map(|part| match part {
+                            AnswerSketch::TopK(t) => ranked
+                                .iter()
+                                .map(|&(key, _)| t.count_of(key) as f64)
+                                .collect(),
+                            _ => unreachable!(),
+                        })
+                        .collect();
+                    let weights: Vec<f64> = selection.iter().map(|wp| wp.weight).collect();
+                    estimate_from_totals(&funcs, &totals, &weights, self.num_partitions())
+                };
+                (answer, est, covering)
+            }
+            _ => unreachable!("compiled sketch kind always matches the query func"),
+        };
+        AnswerOutcome {
+            answer,
+            selection,
+            meta: AnswerMeta {
+                partitions_read: parts.len() as u32,
+                picker_ms,
+                error_estimate,
+                planned_frac: frac,
+                exact,
+            },
+            sketch: Some(merged),
+        }
+    }
+
+    /// The single-pass whole-table answer sketch for `query` — the oracle
+    /// every covering merge must equal bit-for-bit (confluence).
+    pub fn exact_sketch(&self, query: &SketchQuery) -> AnswerSketch {
+        let table = self.pt.table();
+        CompiledSketchQuery::compile(table, query).sketch_partition(table, 0..table.num_rows())
     }
 
     /// [`Self::answer`] with the RNG derived from `(query, seed)` via
@@ -870,5 +1093,158 @@ mod tests {
             stats.misses, 1,
             "diagnostics and serving must share one feature computation"
         );
+    }
+
+    fn sample_sketch_queries() -> Vec<SketchQuery> {
+        vec![
+            SketchQuery::percentile(ps3_storage::ColId(0), 0.5),
+            SketchQuery::percentile(ps3_storage::ColId(0), 0.9).filtered(
+                ps3_query::Predicate::Clause(ps3_query::Clause::Cmp {
+                    col: ps3_storage::ColId(0),
+                    op: ps3_query::CmpOp::Lt,
+                    value: 120.0,
+                }),
+            ),
+            SketchQuery::distinct(ps3_storage::ColId(1)),
+            SketchQuery::distinct(ps3_storage::ColId(0)),
+            SketchQuery::top_k(ps3_storage::ColId(1), 2),
+        ]
+    }
+
+    /// The acceptance criterion: the merged sketch over the picked set is
+    /// bit-identical (via the codec) to a fresh merge of per-partition
+    /// sketches over the same selection in any order, across every picker
+    /// method × budget × seed; and a covering selection equals the
+    /// single-pass whole-table oracle.
+    #[test]
+    fn sketch_merges_are_order_invariant_and_covering_merges_match_the_oracle() {
+        let sys = tiny_system();
+        let pool = ThreadPool::new(2);
+        let bytes = ps3_sketch::codec::answer_sketch_to_bytes;
+        for query in &sample_sketch_queries() {
+            let oracle = sys.exact_sketch(query);
+            let compiled = CompiledSketchQuery::compile(sys.pt.table(), query);
+            for method in Method::ALL {
+                for frac in [0.25, 0.5, 1.0] {
+                    for seed in [1u64, 7] {
+                        let spec = QuerySpec::from(query.clone());
+                        let mut rng = spec_rng(&spec, seed);
+                        let out = sys.answer_spec_on(&spec, method, frac, &mut rng, &pool);
+                        let merged = out.sketch.as_ref().expect("sketch answers carry a sketch");
+
+                        // Re-merge the same selection in reverse order:
+                        // confluence makes the result bit-identical.
+                        let mut reversed = compiled.empty_sketch();
+                        for wp in out.selection.iter().rev() {
+                            reversed.merge_from(
+                                &compiled
+                                    .sketch_partition(sys.pt.table(), sys.pt.rows(wp.partition)),
+                            );
+                        }
+                        assert_eq!(
+                            bytes(merged),
+                            bytes(&reversed),
+                            "{method:?} frac {frac} seed {seed}: merge order leaked into bytes"
+                        );
+
+                        if frac >= 1.0 {
+                            assert_eq!(
+                                bytes(merged),
+                                bytes(&oracle),
+                                "{method:?} seed {seed}: covering merge != single-pass oracle"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sketch_answers_are_deterministic_functions_of_the_request() {
+        let sys = tiny_system();
+        let pool = ThreadPool::new(2);
+        for query in &sample_sketch_queries() {
+            let spec = QuerySpec::from(query.clone());
+            let mut rng_a = spec_rng(&spec, 42);
+            let mut rng_b = spec_rng(&spec, 42);
+            let a = sys.answer_spec_on(&spec, Method::Random, 0.25, &mut rng_a, &pool);
+            let b = sys.answer_spec_on(&spec, Method::Random, 0.25, &mut rng_b, &pool);
+            assert_eq!(a.answer, b.answer);
+            assert_eq!(a.sketch, b.sketch);
+            assert_eq!(a.meta.error_estimate, b.meta.error_estimate);
+        }
+    }
+
+    #[test]
+    fn covering_sketch_answers_report_honest_error_classes() {
+        let sys = tiny_system();
+        let pool = ThreadPool::new(2);
+
+        // PERCENTILE: finite CI at full coverage, never flagged exact
+        // (the sketch itself approximates). Value: median of 0..160.
+        let spec = QuerySpec::from(SketchQuery::percentile(ps3_storage::ColId(0), 0.5));
+        let mut rng = spec_rng(&spec, 3);
+        let out = sys.answer_spec_on(&spec, Method::Ps3, 1.0, &mut rng, &pool);
+        let v = out.answer.groups[&ps3_query::GroupKey::global()][0];
+        assert!((v - 79.5).abs() < 8.0, "median of 0..160 ≈ 79.5, got {v}");
+        assert!(!out.meta.exact);
+        assert!(out.meta.error_estimate.per_agg[0].ci_half_width.is_finite());
+
+        // DISTINCT: covering → the standard HLL relative error; partial →
+        // an honest NaN (unscalable), never a made-up number.
+        let spec = QuerySpec::from(SketchQuery::distinct(ps3_storage::ColId(1)));
+        let mut rng = spec_rng(&spec, 3);
+        let full = sys.answer_spec_on(&spec, Method::Ps3, 1.0, &mut rng, &pool);
+        let d = full.answer.groups[&ps3_query::GroupKey::global()][0];
+        assert!((d - 2.0).abs() < 0.5, "two categories, got {d}");
+        let rel = full.meta.error_estimate.rel_err;
+        assert!((rel - 1.96 * DistinctSketch::standard_error()).abs() < 1e-12);
+        let mut rng = spec_rng(&spec, 3);
+        let part = sys.answer_spec_on(&spec, Method::Random, 0.25, &mut rng, &pool);
+        assert!(
+            part.meta.error_estimate.rel_err.is_nan(),
+            "partial distinct coverage must report no signal"
+        );
+
+        // TOP_K: counts are exact in the sketch, so a covering read is an
+        // exact answer with the true per-key counts.
+        let spec = QuerySpec::from(SketchQuery::top_k(ps3_storage::ColId(1), 2));
+        let mut rng = spec_rng(&spec, 3);
+        let out = sys.answer_spec_on(&spec, Method::Ps3, 1.0, &mut rng, &pool);
+        assert!(out.meta.exact);
+        assert!(out.meta.error_estimate.is_exact());
+        // 160 rows split 80/80 over dictionary codes 0 and 1.
+        for code in [0u64, 1] {
+            let key = ps3_query::GroupKey(Box::new([code]));
+            assert_eq!(out.answer.groups[&key], vec![80.0], "code {code}");
+        }
+    }
+
+    #[test]
+    fn scalar_specs_answer_bit_identically_to_the_plain_query_path() {
+        let sys = tiny_system();
+        let pool = ThreadPool::new(2);
+        let q = Query::new(
+            vec![AggExpr::sum(ps3_query::ScalarExpr::col(
+                ps3_storage::ColId(0),
+            ))],
+            None,
+            vec![ps3_storage::ColId(1)],
+        );
+        let spec = QuerySpec::from(q.clone());
+        for method in Method::ALL {
+            for seed in [0u64, 9] {
+                // spec_rng must collapse to query_rng for scalar specs —
+                // the cached-answer key space did not move.
+                let mut rng_q = query_rng(&q, seed);
+                let mut rng_s = spec_rng(&spec, seed);
+                let a = sys.answer_on(&q, method, 0.25, &mut rng_q, &pool);
+                let b = sys.answer_spec_on(&spec, method, 0.25, &mut rng_s, &pool);
+                assert_eq!(a.answer, b.answer, "{method:?} seed {seed}");
+                assert_eq!(a.meta.error_estimate, b.meta.error_estimate);
+                assert!(b.sketch.is_none(), "scalar answers carry no sketch");
+            }
+        }
     }
 }

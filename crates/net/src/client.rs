@@ -79,6 +79,9 @@ pub struct RemoteAnswer {
     /// the same [`AnswerMeta`] the router reports locally. Answers from a
     /// v1 server carry the explicit "no signal" meta.
     pub meta: AnswerMeta,
+    /// The merged answer sketch behind a sketch-class answer (v3) —
+    /// `None` for scalar answers.
+    pub sketch: Option<ps3_sketch::AnswerSketch>,
 }
 
 impl RemoteAnswer {
@@ -87,6 +90,7 @@ impl RemoteAnswer {
             request_id: frame.request_id,
             answer: frame.to_answer(),
             meta: frame.to_meta(),
+            sketch: frame.sketch,
         }
     }
 }

@@ -189,6 +189,7 @@ mod tests {
             planned_frac: 0.5,
             exact: false,
             error: ErrorEstimate::no_signal(n_aggs),
+            sketch: None,
         }
     }
 

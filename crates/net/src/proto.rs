@@ -18,9 +18,9 @@
 //!
 //! ## Versions
 //!
-//! This build speaks **v2** and still decodes and emits **v1** frames
-//! ([`encode_frame_at`]); a v1 server sees from a v1 client exactly the
-//! bytes it always saw. v2 changes three things:
+//! This build speaks **v3** and still decodes and emits **v1** and **v2**
+//! frames ([`encode_frame_at`]); an older peer sees exactly the bytes it
+//! always saw. v2 changes three things:
 //!
 //! - Requests carry a typed [`Budget`] (tag + value) instead of a bare
 //!   fraction, plus a flags byte whose bit 0 requests progressive
@@ -30,7 +30,18 @@
 //!   downgrading.
 //! - Responses append the answer's error contract: the planned fraction,
 //!   an exactness flag, and per-aggregate confidence intervals.
-//! - The [`PartialFrame`] kind exists, and only at v2.
+//! - The [`PartialFrame`] kind exists, and only at v2+.
+//!
+//! v3 adds the sketch-answered query classes:
+//!
+//! - Requests carry a [`QuerySpec`] behind a **spec tag** byte: `0` is a
+//!   scalar [`Query`] in the v1/v2 grammar, `1` is a [`SketchQuery`]
+//!   (`PERCENTILE` / `COUNT(DISTINCT)` / `TOP_K`). A sketch query refuses
+//!   to encode at v1/v2.
+//! - Responses may append a serialized merged [`AnswerSketch`] behind a
+//!   presence byte, so a client can resume merging or re-derive the
+//!   scalar answer itself. A response carrying one refuses to encode at
+//!   v1/v2 — it answers a request those versions cannot say.
 //!
 //! ## Forward compatibility
 //!
@@ -48,14 +59,17 @@ use std::collections::HashMap;
 
 use ps3_core::{AggError, AnswerMeta, Budget, ErrorEstimate, Method, QueryRequest, TableRoute};
 use ps3_query::{
-    AggExpr, AggFunc, BinOp, Clause, CmpOp, GroupKey, Predicate, Query, QueryAnswer, ScalarExpr,
+    AggExpr, AggFunc, BinOp, Clause, CmpOp, GroupKey, Predicate, Query, QueryAnswer, QuerySpec,
+    ScalarExpr, SketchFunc, SketchQuery,
 };
+use ps3_sketch::codec::{answer_sketch_from_bytes, answer_sketch_to_bytes};
+use ps3_sketch::AnswerSketch;
 use ps3_storage::ColId;
 
 /// The protocol version this build speaks (the first body byte of every
-/// frame). Version 1 is still decoded and, via [`encode_frame_at`],
-/// emitted.
-pub const PROTO_VERSION: u8 = 2;
+/// frame). Versions 1 and 2 are still decoded and, via
+/// [`encode_frame_at`], emitted.
+pub const PROTO_VERSION: u8 = 3;
 
 /// The oldest protocol version this build still speaks.
 pub const MIN_PROTO_VERSION: u8 = 1;
@@ -87,6 +101,17 @@ const BUDGET_FRACTION: u8 = 0;
 const BUDGET_ERROR_TARGET: u8 = 1;
 /// Budget tag byte (v2): a latency target in milliseconds.
 const BUDGET_LATENCY_TARGET: u8 = 2;
+
+/// Query-spec tag byte (v3): a scalar [`Query`] in the v1/v2 grammar.
+const SPEC_SCALAR: u8 = 0;
+/// Query-spec tag byte (v3): a [`SketchQuery`].
+const SPEC_SKETCH: u8 = 1;
+/// Sketch-function tag byte (v3): `PERCENTILE(col, p)`.
+const SKETCH_PERCENTILE: u8 = 1;
+/// Sketch-function tag byte (v3): `COUNT(DISTINCT col)`.
+const SKETCH_DISTINCT: u8 = 2;
+/// Sketch-function tag byte (v3): `TOP_K(col, k)`.
+const SKETCH_TOPK: u8 = 3;
 
 /// Why a frame failed to decode (or a value refused to encode).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -223,8 +248,9 @@ pub struct RequestFrame {
     /// Stream refining partial answers before the final response (v2 only;
     /// served best-effort — cache hits answer in one frame).
     pub progressive: bool,
-    /// The query itself.
-    pub query: Query,
+    /// The query itself: a scalar aggregate query (any version) or a
+    /// sketch-class query (v3 only).
+    pub query: QuerySpec,
 }
 
 impl RequestFrame {
@@ -300,6 +326,9 @@ pub struct ResponseFrame {
     pub exact: bool,
     /// Per-aggregate confidence intervals and the summary relative error.
     pub error: ErrorEstimate,
+    /// The merged answer sketch behind a sketch-class answer (v3 only) —
+    /// `None` for scalar answers and on decodes from older peers.
+    pub sketch: Option<AnswerSketch>,
 }
 
 impl ResponseFrame {
@@ -323,6 +352,7 @@ impl ResponseFrame {
             planned_frac: outcome.meta.planned_frac,
             exact: outcome.meta.exact,
             error: outcome.meta.error_estimate.clone(),
+            sketch: outcome.sketch.clone(),
         }
     }
 
@@ -595,6 +625,55 @@ fn encode_query(w: &mut Writer<'_>, q: &Query) -> Result<(), ProtoError> {
     Ok(())
 }
 
+/// The v3 sketch-query grammar: `[func_tag: u8][params…][col: u32]
+/// [has_pred: u8][predicate]`. Percentile carries its fraction as `f64`
+/// bits; top-k carries `k` as a `u32`; distinct has no parameters.
+fn encode_sketch_query(w: &mut Writer<'_>, q: &SketchQuery) -> Result<(), ProtoError> {
+    match q.func {
+        SketchFunc::Percentile(p) => {
+            w.u8(SKETCH_PERCENTILE);
+            w.f64(p);
+        }
+        SketchFunc::Distinct => w.u8(SKETCH_DISTINCT),
+        SketchFunc::TopK(k) => {
+            w.u8(SKETCH_TOPK);
+            w.u32(k);
+        }
+    }
+    w.u32(q.col.index() as u32);
+    match &q.predicate {
+        None => w.u8(0),
+        Some(p) => {
+            w.u8(1);
+            encode_predicate(w, p)?;
+        }
+    }
+    Ok(())
+}
+
+/// The v3 query-spec dispatch: a tag byte then the scalar or sketch
+/// grammar. Before v3 only scalar queries exist and the tag byte does not
+/// travel; sketch queries refuse to encode there.
+fn encode_query_spec(w: &mut Writer<'_>, spec: &QuerySpec, version: u8) -> Result<(), ProtoError> {
+    if version >= 3 {
+        match spec {
+            QuerySpec::Scalar(q) => {
+                w.u8(SPEC_SCALAR);
+                encode_query(w, q)
+            }
+            QuerySpec::Sketch(q) => {
+                w.u8(SPEC_SKETCH);
+                encode_sketch_query(w, q)
+            }
+        }
+    } else {
+        match spec {
+            QuerySpec::Scalar(q) => encode_query(w, q),
+            QuerySpec::Sketch(_) => Err(ProtoError::Invalid("sketch queries need protocol v3")),
+        }
+    }
+}
+
 fn method_byte(m: Method) -> u8 {
     match m {
         Method::Random => 0,
@@ -733,7 +812,7 @@ fn encode_frame_body(frame: &Frame, version: u8, out: &mut Vec<u8>) -> Result<()
             if version >= 2 {
                 w.u8(if req.progressive { FLAG_PROGRESSIVE } else { 0 });
             }
-            encode_query(&mut w, &req.query)?;
+            encode_query_spec(&mut w, &req.query, version)?;
         }
         Frame::Response(resp) => {
             w.u8(KIND_RESPONSE);
@@ -743,6 +822,19 @@ fn encode_frame_body(frame: &Frame, version: u8, out: &mut Vec<u8>) -> Result<()
             w.f64(resp.picker_ms);
             if version >= 2 {
                 encode_response_meta(&mut w, resp)?;
+            }
+            if version >= 3 {
+                match &resp.sketch {
+                    None => w.u8(0),
+                    Some(s) => {
+                        w.u8(1);
+                        let blob = answer_sketch_to_bytes(s);
+                        w.u32_len(blob.len(), "answer sketches cap at 2^32-1 bytes")?;
+                        w.0.extend_from_slice(&blob);
+                    }
+                }
+            } else if resp.sketch.is_some() {
+                return Err(ProtoError::Invalid("sketch answers need protocol v3"));
             }
         }
         Frame::Partial(part) => {
@@ -971,6 +1063,65 @@ fn decode_query(r: &mut Reader) -> Result<Query, ProtoError> {
     })
 }
 
+fn decode_sketch_query(r: &mut Reader) -> Result<SketchQuery, ProtoError> {
+    let func = match r.u8()? {
+        SKETCH_PERCENTILE => {
+            let p = r.f64()?;
+            // Validate before construction: the builder asserts, and a
+            // hostile frame must never panic the decoder.
+            if !(0.0..=1.0).contains(&p) {
+                return Err(ProtoError::Invalid("percentile fraction must be in [0, 1]"));
+            }
+            SketchFunc::Percentile(p)
+        }
+        SKETCH_DISTINCT => SketchFunc::Distinct,
+        SKETCH_TOPK => {
+            let k = r.u32()?;
+            if k == 0 {
+                return Err(ProtoError::Invalid("TOP_K needs k >= 1"));
+            }
+            SketchFunc::TopK(k)
+        }
+        tag => {
+            return Err(ProtoError::BadTag {
+                what: "sketch function",
+                tag,
+            })
+        }
+    };
+    let col = ColId(r.u32()? as usize);
+    let predicate = match r.u8()? {
+        0 => None,
+        1 => Some(decode_predicate(r, 0)?),
+        tag => {
+            return Err(ProtoError::BadTag {
+                what: "predicate presence flag",
+                tag,
+            })
+        }
+    };
+    Ok(SketchQuery {
+        func,
+        col,
+        predicate,
+    })
+}
+
+fn decode_query_spec(r: &mut Reader, version: u8) -> Result<QuerySpec, ProtoError> {
+    if version >= 3 {
+        match r.u8()? {
+            SPEC_SCALAR => Ok(QuerySpec::Scalar(decode_query(r)?)),
+            SPEC_SKETCH => Ok(QuerySpec::Sketch(decode_sketch_query(r)?)),
+            tag => Err(ProtoError::BadTag {
+                what: "query spec",
+                tag,
+            }),
+        }
+    } else {
+        Ok(QuerySpec::Scalar(decode_query(r)?))
+    }
+}
+
 fn decode_rows(r: &mut Reader) -> Result<Vec<WireRow>, ProtoError> {
     let n_aggs = r.u16()? as usize;
     let n_rows = r.u32()? as usize;
@@ -1048,7 +1199,7 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, ProtoError> {
             } else {
                 false
             };
-            let query = decode_query(&mut r)?;
+            let query = decode_query_spec(&mut r, version)?;
             Ok(Frame::Request(RequestFrame {
                 request_id,
                 table,
@@ -1089,6 +1240,27 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, ProtoError> {
             } else {
                 (0.0, false, ErrorEstimate::no_signal(0))
             };
+            let sketch = if version >= 3 {
+                match r.u8()? {
+                    0 => None,
+                    1 => {
+                        let len = r.u32()? as usize;
+                        let blob = r.take(len)?;
+                        Some(
+                            answer_sketch_from_bytes(blob)
+                                .map_err(|_| ProtoError::Invalid("undecodable answer sketch"))?,
+                        )
+                    }
+                    tag => {
+                        return Err(ProtoError::BadTag {
+                            what: "sketch presence flag",
+                            tag,
+                        })
+                    }
+                }
+            } else {
+                None
+            };
             Ok(Frame::Response(ResponseFrame {
                 request_id,
                 rows,
@@ -1097,6 +1269,7 @@ pub fn decode_body(body: &[u8]) -> Result<Frame, ProtoError> {
                 planned_frac,
                 exact,
                 error,
+                sketch,
             }))
         }
         KIND_PARTIAL => {
@@ -1254,7 +1427,7 @@ mod tests {
             budget: Budget::Fraction(0.125),
             seed: 42,
             progressive: true,
-            query: sample_query(),
+            query: sample_query().into(),
         });
         let wire = encode_frame(&frame).expect("encodes");
         let decoded = decode_body(&wire[4..]).expect("decode");
@@ -1278,7 +1451,7 @@ mod tests {
                 budget,
                 seed: 3,
                 progressive: false,
-                query: sample_query(),
+                query: sample_query().into(),
             });
             let wire = encode_frame(&frame).expect("encodes");
             assert_eq!(decode_body(&wire[4..]).expect("decode"), frame);
@@ -1294,7 +1467,7 @@ mod tests {
             budget: Budget::Fraction(0.25),
             seed: 9,
             progressive: false,
-            query: sample_query(),
+            query: sample_query().into(),
         });
         let v1 = encode_frame_at(&frame, 1).expect("fraction budgets encode at v1");
         assert_eq!(v1[4], 1, "version byte");
@@ -1314,7 +1487,7 @@ mod tests {
             budget: Budget::ErrorTarget { rel_err: 0.05 },
             seed: 1,
             progressive: false,
-            query: sample_query(),
+            query: sample_query().into(),
         };
         assert!(matches!(
             encode_frame_at(&Frame::Request(req.clone()), 1),
@@ -1339,7 +1512,188 @@ mod tests {
             Err(ProtoError::Invalid(_)),
         ));
         // And nobody can ask for a version this build does not speak.
-        assert_eq!(encode_frame_at(&partial, 3), Err(ProtoError::BadVersion(3)),);
+        assert_eq!(encode_frame_at(&partial, 4), Err(ProtoError::BadVersion(4)),);
+    }
+
+    fn sample_sketch_queries() -> Vec<SketchQuery> {
+        let pred = Predicate::Clause(Clause::Cmp {
+            col: ColId(1),
+            op: CmpOp::Lt,
+            value: 9.5,
+        });
+        vec![
+            SketchQuery::percentile(ColId(0), 0.5),
+            SketchQuery::percentile(ColId(0), 1.0).filtered(pred.clone()),
+            SketchQuery::distinct(ColId(2)),
+            SketchQuery::top_k(ColId(2), 5).filtered(pred),
+        ]
+    }
+
+    #[test]
+    fn sketch_requests_roundtrip_at_v3_and_refuse_older_versions() {
+        for (i, sq) in sample_sketch_queries().into_iter().enumerate() {
+            let frame = Frame::Request(RequestFrame {
+                request_id: i as u64,
+                table: Some("t".into()),
+                method: Method::Ps3,
+                budget: Budget::Fraction(0.25),
+                seed: 7,
+                progressive: false,
+                query: sq.into(),
+            });
+            let wire = encode_frame(&frame).expect("encodes at v3");
+            assert_eq!(wire[4], 3, "version byte");
+            assert_eq!(decode_body(&wire[4..]).expect("decode"), frame);
+            // A sketch query cannot be said in the v1/v2 grammar.
+            for version in [1, 2] {
+                assert_eq!(
+                    encode_frame_at(&frame, version),
+                    Err(ProtoError::Invalid("sketch queries need protocol v3")),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_requests_at_v3_cost_one_spec_tag_byte_over_v2() {
+        let frame = Frame::Request(RequestFrame {
+            request_id: 4,
+            table: None,
+            method: Method::Lss,
+            budget: Budget::Fraction(0.5),
+            seed: 2,
+            progressive: false,
+            query: sample_query().into(),
+        });
+        let v2 = encode_frame_at(&frame, 2).expect("encodes at v2");
+        let v3 = encode_frame_at(&frame, 3).expect("encodes at v3");
+        assert_eq!(v3.len(), v2.len() + 1);
+        assert_eq!(decode_body(&v2[4..]).expect("decode v2"), frame);
+        assert_eq!(decode_body(&v3[4..]).expect("decode v3"), frame);
+    }
+
+    #[test]
+    fn sketch_answers_roundtrip_at_v3_and_refuse_older_versions() {
+        let mut q = ps3_sketch::QuantileSketch::new();
+        for i in 0..200 {
+            q.insert(f64::from(i) * 0.5);
+        }
+        let frame = ResponseFrame {
+            request_id: 9,
+            rows: vec![WireRow {
+                key: vec![],
+                values: vec![49.75],
+            }],
+            partitions_read: 4,
+            picker_ms: 0.0,
+            planned_frac: 1.0,
+            exact: false,
+            error: ErrorEstimate::no_signal(1),
+            sketch: Some(AnswerSketch::Quantile(q)),
+        };
+        let wire = encode_frame(&Frame::Response(frame.clone())).expect("encodes");
+        let Frame::Response(decoded) = decode_body(&wire[4..]).expect("decode") else {
+            panic!("wrong kind");
+        };
+        // The merged sketch survives the wire bit-exactly.
+        assert_eq!(decoded, frame);
+        for version in [1, 2] {
+            assert_eq!(
+                encode_frame_at(&Frame::Response(frame.clone()), version),
+                Err(ProtoError::Invalid("sketch answers need protocol v3")),
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_sketch_params_are_rejected_not_panics() {
+        let frame = Frame::Request(RequestFrame {
+            request_id: 1,
+            table: None,
+            method: Method::Ps3,
+            budget: Budget::Fraction(0.25),
+            seed: 1,
+            progressive: false,
+            query: SketchQuery::percentile(ColId(0), 0.5).into(),
+        });
+        let wire = encode_frame(&frame).expect("encodes");
+        // Body: version kind id(8) route method budget(1+8) seed(8) flags
+        // → spec tag at body offset 30, func tag at 31, p bits at 32..40.
+        let p_off = 4 + 32;
+        let mut bad_p = wire.clone();
+        bad_p[p_off..p_off + 8].copy_from_slice(&2.0f64.to_bits().to_le_bytes());
+        assert_eq!(
+            decode_body(&bad_p[4..]),
+            Err(ProtoError::Invalid("percentile fraction must be in [0, 1]")),
+        );
+        let mut nan_p = wire.clone();
+        nan_p[p_off..p_off + 8].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(decode_body(&nan_p[4..]).is_err(), "NaN fraction rejected");
+
+        // A zero k in a TOP_K request is rejected, never asserted on.
+        let topk = Frame::Request(RequestFrame {
+            request_id: 1,
+            table: None,
+            method: Method::Ps3,
+            budget: Budget::Fraction(0.25),
+            seed: 1,
+            progressive: false,
+            query: SketchQuery::top_k(ColId(0), 3).into(),
+        });
+        let wire = encode_frame(&topk).expect("encodes");
+        let k_off = 4 + 32;
+        let mut bad_k = wire.clone();
+        bad_k[k_off..k_off + 4].copy_from_slice(&0u32.to_le_bytes());
+        assert_eq!(
+            decode_body(&bad_k[4..]),
+            Err(ProtoError::Invalid("TOP_K needs k >= 1")),
+        );
+
+        // Unknown sketch-function and spec tags are closed-grammar errors.
+        let mut bad_func = wire.clone();
+        bad_func[4 + 31] = 9;
+        assert_eq!(
+            decode_body(&bad_func[4..]),
+            Err(ProtoError::BadTag {
+                what: "sketch function",
+                tag: 9
+            }),
+        );
+        let mut bad_spec = wire;
+        bad_spec[4 + 30] = 7;
+        assert_eq!(
+            decode_body(&bad_spec[4..]),
+            Err(ProtoError::BadTag {
+                what: "query spec",
+                tag: 7
+            }),
+        );
+    }
+
+    #[test]
+    fn corrupt_sketch_blobs_are_invalid_not_panics() {
+        let frame = ResponseFrame {
+            request_id: 2,
+            rows: vec![],
+            partitions_read: 1,
+            picker_ms: 0.0,
+            planned_frac: 1.0,
+            exact: true,
+            error: ErrorEstimate::exact_for(0),
+            sketch: Some(AnswerSketch::Distinct(ps3_sketch::DistinctSketch::new())),
+        };
+        let wire = encode_frame(&Frame::Response(frame)).expect("encodes");
+        // Flip every byte of the body once; each decode errors or succeeds,
+        // never panics, and a poisoned blob tag is a typed Invalid.
+        for pos in 4..wire.len() {
+            let mut bad = wire.clone();
+            bad[pos] ^= 0xFF;
+            let _ = decode_body(&bad[4..]);
+        }
+        // Truncating inside the blob is Truncated, not a panic.
+        for cut in 4..wire.len() {
+            let _ = decode_body(&wire[4..cut]);
+        }
     }
 
     #[test]
@@ -1405,6 +1759,7 @@ mod tests {
                 ],
                 rel_err: 0.1,
             },
+            sketch: None,
         };
         let wire = encode_frame(&Frame::Response(frame.clone())).expect("encodes");
         let Frame::Response(decoded) = decode_body(&wire[4..]).expect("decode") else {
@@ -1434,6 +1789,7 @@ mod tests {
             planned_frac: 0.25,
             exact: true,
             error: ErrorEstimate::exact_for(1),
+            sketch: None,
         };
         let v1 = encode_frame_at(&Frame::Response(frame.clone()), 1).expect("encodes");
         let v2 = encode_frame_at(&Frame::Response(frame.clone()), 2).expect("encodes");
@@ -1463,6 +1819,7 @@ mod tests {
             planned_frac: 0.1,
             exact: false,
             error: ErrorEstimate::no_signal(2),
+            sketch: None,
         });
         let wire = encode_frame(&frame).expect("encodes");
         let Frame::Response(decoded) = decode_body(&wire[4..]).unwrap() else {
@@ -1507,7 +1864,7 @@ mod tests {
             budget: Budget::Fraction(0.5),
             seed: 1,
             progressive: false,
-            query: sample_query(),
+            query: sample_query().into(),
         });
         let wire = encode_frame(&frame).expect("encodes");
         // Every proper prefix of the body either truncates or (rarely, if a
@@ -1533,7 +1890,7 @@ mod tests {
                 budget: Budget::Fraction(0.1),
                 seed: 2,
                 progressive: false,
-                query: sample_query(),
+                query: sample_query().into(),
             }),
             Frame::Error(ErrorFrame {
                 request_id: 2,
@@ -1577,7 +1934,8 @@ mod tests {
                     negated: false,
                 })),
                 vec![],
-            ),
+            )
+            .into(),
         });
         assert!(matches!(encode_frame(&huge), Err(ProtoError::Invalid(_))));
 
@@ -1596,7 +1954,8 @@ mod tests {
                     negated: false,
                 })),
                 vec![],
-            ),
+            )
+            .into(),
         });
         assert!(matches!(
             encode_frame(&wide_in),
@@ -1676,7 +2035,7 @@ mod tests {
             budget: Budget::Fraction(0.5),
             seed: 1,
             progressive: false,
-            query: Query::new(vec![AggExpr::count()], None, vec![]),
+            query: Query::new(vec![AggExpr::count()], None, vec![]).into(),
         });
         let wire = encode_frame(&frame).expect("encodes");
         // Body layout: version, kind, id(8), table tag, method → budget tag

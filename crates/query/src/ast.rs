@@ -412,28 +412,30 @@ impl Query {
 
 /// Accumulator for [`Query::fingerprint`]: FNV-1a over a tagged pre-order
 /// walk of the AST, finished with a SplitMix64-style avalanche so nearby
-/// structures land far apart in the cache's hash space.
-struct Fingerprint(u64);
+/// structures land far apart in the cache's hash space. `pub(crate)` so
+/// the sketch-query AST ([`crate::sketch`]) fingerprints with the same
+/// scheme (and a distinct leading tag) into the same cache key space.
+pub(crate) struct Fingerprint(u64);
 
 impl Fingerprint {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Fingerprint(0xcbf2_9ce4_8422_2325)
     }
 
-    fn word(&mut self, v: u64) {
+    pub(crate) fn word(&mut self, v: u64) {
         for byte in v.to_le_bytes() {
             self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01B3);
         }
     }
 
-    fn text(&mut self, s: &str) {
+    pub(crate) fn text(&mut self, s: &str) {
         self.word(s.len() as u64);
         for byte in s.bytes() {
             self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01B3);
         }
     }
 
-    fn scalar(&mut self, e: &ScalarExpr) {
+    pub(crate) fn scalar(&mut self, e: &ScalarExpr) {
         match e {
             ScalarExpr::Column(c) => {
                 self.word(0x10);
@@ -451,7 +453,7 @@ impl Fingerprint {
         }
     }
 
-    fn predicate(&mut self, p: &Predicate) {
+    pub(crate) fn predicate(&mut self, p: &Predicate) {
         match p {
             Predicate::Clause(Clause::Cmp { col, op, value }) => {
                 self.word(0x20 + *op as u64);
@@ -500,7 +502,7 @@ impl Fingerprint {
         }
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

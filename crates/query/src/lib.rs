@@ -28,6 +28,7 @@ pub mod predicate;
 #[cfg(test)]
 mod proptests;
 pub mod selvec;
+pub mod sketch;
 
 pub use ast::{AggExpr, AggFunc, BinOp, Clause, CmpOp, Predicate, Query, ScalarExpr};
 pub use exec::{
@@ -37,3 +38,4 @@ pub use exec::{
 };
 pub use kernel::{CompiledPredicate, CompiledQuery, TargetSet};
 pub use selvec::SelVec;
+pub use sketch::{CompiledSketchQuery, QuerySpec, SketchFunc, SketchQuery};

@@ -13,10 +13,14 @@
 //! width keeps the codec trivially auditable.
 
 use crate::akmv::Akmv;
+use crate::answer::AnswerSketch;
+use crate::distinct::DistinctSketch;
 use crate::exact_dict::ExactDict;
 use crate::heavy_hitter::HeavyHitter;
 use crate::histogram::EquiDepthHistogram;
 use crate::measures::Measures;
+use crate::quantile::QuantileSketch;
+use crate::topk::TopKSketch;
 
 /// Errors from decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -63,6 +67,12 @@ pub mod tags {
     pub const HEAVY_HITTERS: u8 = 0x04;
     /// [`super::ExactDict`]
     pub const EXACT_DICT: u8 = 0x05;
+    /// [`super::QuantileSketch`]
+    pub const QUANTILE: u8 = 0x06;
+    /// [`super::DistinctSketch`]
+    pub const DISTINCT: u8 = 0x07;
+    /// [`super::TopKSketch`]
+    pub const TOPK: u8 = 0x08;
 }
 
 /// A little-endian byte reader.
@@ -80,6 +90,14 @@ impl<'a> Reader<'a> {
     /// Bytes not yet consumed.
     pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
+    }
+
+    /// The next byte without consuming it (tag dispatch for unions).
+    pub fn peek_u8(&self) -> Result<u8, DecodeError> {
+        self.buf
+            .get(self.pos)
+            .copied()
+            .ok_or(DecodeError::Truncated)
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
@@ -113,6 +131,11 @@ impl<'a> Reader<'a> {
     /// Read a little-endian f64.
     pub fn f64(&mut self) -> Result<f64, DecodeError> {
         Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read `n` raw bytes (bulk payloads like register arrays).
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        self.take(n)
     }
 
     fn expect_tag(&mut self, expected: u8) -> Result<(), DecodeError> {
@@ -159,6 +182,11 @@ impl Writer {
     /// Append a little-endian f64.
     pub fn f64(&mut self, x: f64) {
         self.u64(x.to_bits());
+    }
+
+    /// Append raw bytes (bulk payloads like register arrays).
+    pub fn bytes(&mut self, x: &[u8]) {
+        self.buf.extend_from_slice(x);
     }
 }
 
@@ -385,6 +413,171 @@ impl ExactDict {
         }
         Ok(ExactDict::from_raw_parts(entries, rows))
     }
+}
+
+impl QuantileSketch {
+    /// Encode to bytes. The sketch's state is a pure function of its
+    /// inserted multiset (see the module docs), so these bytes are too —
+    /// the wire's bit-identity checks rely on that.
+    pub fn encode(&self, w: &mut Writer) {
+        w.u8(tags::QUANTILE);
+        let (level, zeros, nans, pos_inf, neg_inf, neg, pos) = self.raw_parts();
+        w.u32(level);
+        w.u64(zeros);
+        w.u64(nans);
+        w.u64(pos_inf);
+        w.u64(neg_inf);
+        w.u32(neg.len() as u32);
+        w.u32(pos.len() as u32);
+        for &(idx, c) in neg.iter().chain(pos.iter()) {
+            w.u64(idx as u64);
+            w.u64(c);
+        }
+    }
+
+    /// Decode from bytes into an identical sketch.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.expect_tag(tags::QUANTILE)?;
+        let level = r.u32()?;
+        if level > 64 {
+            return Err(DecodeError::Corrupt("quantile: implausible level"));
+        }
+        let zeros = r.u64()?;
+        let nans = r.u64()?;
+        let pos_inf = r.u64()?;
+        let neg_inf = r.u64()?;
+        let n_neg = r.u32()? as usize;
+        let n_pos = r.u32()? as usize;
+        if n_neg + n_pos > QuantileSketch::MAX_BUCKETS {
+            return Err(DecodeError::Corrupt("quantile: bucket budget exceeded"));
+        }
+        let mut read_buckets = |n: usize| -> Result<Vec<(i64, u64)>, DecodeError> {
+            let mut out = Vec::with_capacity(n);
+            let mut last: Option<i64> = None;
+            for _ in 0..n {
+                let idx = r.u64()? as i64;
+                let c = r.u64()?;
+                if c == 0 {
+                    return Err(DecodeError::Corrupt("quantile: zero bucket count"));
+                }
+                if last.is_some_and(|prev| idx <= prev) {
+                    return Err(DecodeError::Corrupt("quantile: buckets not ascending"));
+                }
+                last = Some(idx);
+                out.push((idx, c));
+            }
+            Ok(out)
+        };
+        let neg = read_buckets(n_neg)?;
+        let pos = read_buckets(n_pos)?;
+        Ok(QuantileSketch::from_raw_parts(
+            level, zeros, nans, pos_inf, neg_inf, neg, pos,
+        ))
+    }
+}
+
+impl DistinctSketch {
+    /// Encode to bytes.
+    pub fn encode(&self, w: &mut Writer) {
+        w.u8(tags::DISTINCT);
+        w.u8(Self::PRECISION as u8);
+        w.bytes(self.registers());
+    }
+
+    /// Decode from bytes into an identical sketch.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.expect_tag(tags::DISTINCT)?;
+        let p = r.u8()?;
+        if u32::from(p) != Self::PRECISION {
+            return Err(DecodeError::Corrupt("distinct: unsupported precision"));
+        }
+        let raw = r.bytes(Self::REGISTERS)?;
+        if raw.iter().any(|&v| u32::from(v) > 64 - Self::PRECISION + 1) {
+            return Err(DecodeError::Corrupt("distinct: register rank too large"));
+        }
+        Ok(DistinctSketch::from_registers(
+            raw.to_vec().into_boxed_slice(),
+        ))
+    }
+}
+
+impl TopKSketch {
+    /// Encode to bytes.
+    pub fn encode(&self, w: &mut Writer) {
+        w.u8(tags::TOPK);
+        let entries = self.entries();
+        w.u32(entries.len() as u32);
+        for &(k, c) in entries {
+            w.u64(k);
+            w.u64(c);
+        }
+    }
+
+    /// Decode from bytes into an identical sketch.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        r.expect_tag(tags::TOPK)?;
+        let n = r.u32()? as usize;
+        // Bound the allocation by the bytes actually present: a corrupt
+        // length must fail typed, not OOM.
+        if r.remaining() < n * 16 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut entries = Vec::with_capacity(n);
+        let mut last: Option<u64> = None;
+        for _ in 0..n {
+            let k = r.u64()?;
+            let c = r.u64()?;
+            if c == 0 {
+                return Err(DecodeError::Corrupt("topk: zero count"));
+            }
+            if last.is_some_and(|prev| k <= prev) {
+                return Err(DecodeError::Corrupt("topk: keys not ascending"));
+            }
+            last = Some(k);
+            entries.push((k, c));
+        }
+        Ok(TopKSketch::from_entries(entries))
+    }
+}
+
+/// Encode an [`AnswerSketch`]: the inner sketch's tag discriminates the
+/// kind, so the union adds no bytes of its own.
+pub fn encode_answer_sketch(s: &AnswerSketch, w: &mut Writer) {
+    match s {
+        AnswerSketch::Quantile(q) => q.encode(w),
+        AnswerSketch::Distinct(d) => d.encode(w),
+        AnswerSketch::TopK(t) => t.encode(w),
+    }
+}
+
+/// Decode an [`AnswerSketch`] by peeking the kind tag.
+pub fn decode_answer_sketch(r: &mut Reader<'_>) -> Result<AnswerSketch, DecodeError> {
+    match r.peek_u8()? {
+        tags::QUANTILE => Ok(AnswerSketch::Quantile(QuantileSketch::decode(r)?)),
+        tags::DISTINCT => Ok(AnswerSketch::Distinct(DistinctSketch::decode(r)?)),
+        tags::TOPK => Ok(AnswerSketch::TopK(TopKSketch::decode(r)?)),
+        found => Err(DecodeError::WrongTag {
+            expected: tags::QUANTILE,
+            found,
+        }),
+    }
+}
+
+/// [`AnswerSketch`] to standalone bytes (persistence blobs, wire frames).
+pub fn answer_sketch_to_bytes(s: &AnswerSketch) -> Vec<u8> {
+    let mut w = Writer::new();
+    encode_answer_sketch(s, &mut w);
+    w.into_bytes()
+}
+
+/// [`AnswerSketch`] from standalone bytes, requiring full consumption.
+pub fn answer_sketch_from_bytes(bytes: &[u8]) -> Result<AnswerSketch, DecodeError> {
+    let mut r = Reader::new(bytes);
+    let s = decode_answer_sketch(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(DecodeError::Corrupt("answer sketch: trailing bytes"));
+    }
+    Ok(s)
 }
 
 #[cfg(test)]

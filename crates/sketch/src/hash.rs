@@ -37,6 +37,22 @@ pub fn hash_f64(x: f64) -> u64 {
     mix64(canonical)
 }
 
+/// Canonical bit pattern of an `f64` *value*: `-0.0` collapses to `0.0`
+/// and every NaN payload to the one canonical NaN, so equal values always
+/// map to one key. This is the key scheme [`crate::topk::TopKSketch`]
+/// expects for numeric columns (dictionary codes are already canonical),
+/// and it matches the engine's group-key canonicalization.
+#[inline]
+pub fn canon_f64_bits(x: f64) -> u64 {
+    if x == 0.0 {
+        0.0f64.to_bits()
+    } else if x.is_nan() {
+        f64::NAN.to_bits()
+    } else {
+        x.to_bits()
+    }
+}
+
 /// Hash a string: FNV-1a over the bytes, then a splitmix64 finalizer to fix
 /// FNV's weak high bits.
 #[inline]

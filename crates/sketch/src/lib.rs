@@ -11,19 +11,43 @@
 //! Plus the [`ExactDict`], the paper's special case for string columns with
 //! few distinct values (stored exactly; enables regex-style filters).
 //!
+//! Beyond the paper's statistics, the crate hosts the *answer sketches* —
+//! mergeable summaries that carry whole query answers for the sketch query
+//! classes (`PERCENTILE`, `DISTINCT`, `TOP_K`) across picked partitions:
+//!
+//! | Sketch | Answers | Merge law |
+//! |---|---|---|
+//! | [`QuantileSketch`] | `PERCENTILE(col, p)` | confluent log buckets |
+//! | [`DistinctSketch`] | `DISTINCT(col)` | register-wise max (HLL) |
+//! | [`TopKSketch`] | `TOP_K(col, k)` | exact sorted count merge |
+//!
+//! All three are **confluent**: the state (and its serialized bytes) is a
+//! pure function of the inserted multiset, so merging per-partition
+//! sketches in any pick order is bit-identical to one pass over the
+//! concatenated rows — the invariant budgeted answering is built on.
+//! `tests/merge_laws.rs` pins the laws against exact oracles.
+//!
 //! Every sketch reports its serialized footprint via `serialized_size()` so
 //! the Table-4 storage-overhead experiment can account bytes precisely.
 
 pub mod akmv;
+pub mod answer;
 pub mod codec;
+pub mod distinct;
 pub mod exact_dict;
 pub mod hash;
 pub mod heavy_hitter;
 pub mod histogram;
 pub mod measures;
+pub mod quantile;
+pub mod topk;
 
 pub use akmv::Akmv;
+pub use answer::AnswerSketch;
+pub use distinct::DistinctSketch;
 pub use exact_dict::ExactDict;
 pub use heavy_hitter::{HeavyHitter, HeavyHitters};
 pub use histogram::EquiDepthHistogram;
 pub use measures::{Measures, MeasuresRaw};
+pub use quantile::QuantileSketch;
+pub use topk::TopKSketch;

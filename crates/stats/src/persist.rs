@@ -13,7 +13,10 @@
 //! work; malformed bytes surface as [`FormatError`], never a panic.
 
 use ps3_sketch::codec::{decode_heavy_hitters, encode_heavy_hitters, DecodeError, Reader, Writer};
-use ps3_sketch::{Akmv, EquiDepthHistogram, ExactDict, Measures, MeasuresRaw};
+use ps3_sketch::{
+    Akmv, DistinctSketch, EquiDepthHistogram, ExactDict, Measures, MeasuresRaw, QuantileSketch,
+    TopKSketch,
+};
 use ps3_storage::format::{Cursor, Enc, FormatError};
 use ps3_storage::ColId;
 
@@ -30,6 +33,9 @@ const MAX_COLS: usize = 1 << 16;
 const FLAG_MEASURES: u8 = 1;
 const FLAG_HISTOGRAM: u8 = 1 << 1;
 const FLAG_EXACT: u8 = 1 << 2;
+const FLAG_QUANTILE: u8 = 1 << 3;
+const FLAG_TOPK: u8 = 1 << 4;
+const KNOWN_FLAGS: u8 = FLAG_MEASURES | FLAG_HISTOGRAM | FLAG_EXACT | FLAG_QUANTILE | FLAG_TOPK;
 
 /// Encode a full statistics catalog into one byte vector (the `STATS`
 /// section payload).
@@ -79,6 +85,12 @@ fn encode_column_stats(e: &mut Enc, col: &ColumnStats) {
     if col.exact.is_some() {
         flags |= FLAG_EXACT;
     }
+    if col.quantile.is_some() {
+        flags |= FLAG_QUANTILE;
+    }
+    if col.topk.is_some() {
+        flags |= FLAG_TOPK;
+    }
     e.u8(flags);
     e.u64(col.rows);
     if let Some(m) = &col.measures {
@@ -108,6 +120,19 @@ fn encode_column_stats(e: &mut Enc, col: &ColumnStats) {
     if let Some(x) = &col.exact {
         let mut w = Writer::new();
         x.encode(&mut w);
+        e.blob(&w.into_bytes());
+    }
+    if let Some(q) = &col.quantile {
+        let mut w = Writer::new();
+        q.encode(&mut w);
+        e.blob(&w.into_bytes());
+    }
+    let mut w = Writer::new();
+    col.hll.encode(&mut w);
+    e.blob(&w.into_bytes());
+    if let Some(t) = &col.topk {
+        let mut w = Writer::new();
+        t.encode(&mut w);
         e.blob(&w.into_bytes());
     }
 }
@@ -188,7 +213,7 @@ pub fn decode_table_stats(bytes: &[u8]) -> Result<TableStats, FormatError> {
 
 fn decode_column_stats(c: &mut Cursor<'_>) -> Result<ColumnStats, FormatError> {
     let flags = c.u8("column stats flags")?;
-    if flags & !(FLAG_MEASURES | FLAG_HISTOGRAM | FLAG_EXACT) != 0 {
+    if flags & !KNOWN_FLAGS != 0 {
         return Err(FormatError::Corrupt("column stats: unknown flag bits"));
     }
     let rows = c.u64("column stats rows")?;
@@ -226,12 +251,26 @@ fn decode_column_stats(c: &mut Cursor<'_>) -> Result<ColumnStats, FormatError> {
     } else {
         None
     };
+    let quantile = if flags & FLAG_QUANTILE != 0 {
+        Some(read_sketch(c, "quantile sketch", QuantileSketch::decode)?)
+    } else {
+        None
+    };
+    let hll = read_sketch(c, "distinct sketch", DistinctSketch::decode)?;
+    let topk = if flags & FLAG_TOPK != 0 {
+        Some(read_sketch(c, "top-k sketch", TopKSketch::decode)?)
+    } else {
+        None
+    };
     Ok(ColumnStats {
         measures,
         histogram,
         akmv,
         heavy_hitters,
         exact,
+        quantile,
+        hll,
+        topk,
         rows,
     })
 }
@@ -311,6 +350,11 @@ mod tests {
                     _ => panic!("measures presence diverged"),
                 }
                 assert_eq!(dc.exact.is_some(), sc.exact.is_some());
+                // Answer sketches round-trip to equal state — merges of the
+                // thawed copies must stay bit-identical to the originals.
+                assert_eq!(dc.quantile, sc.quantile);
+                assert_eq!(dc.hll, sc.hll);
+                assert_eq!(dc.topk, sc.topk);
             }
         }
     }

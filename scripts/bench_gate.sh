@@ -85,6 +85,9 @@ planner/stream_roundtrip
 persist/freeze
 persist/thaw_cold
 persist/boot_from_artifact
+sketch/quantile_update_fused
+sketch/distinct_update
+sketch/merge_64
 "
 
 if [ ! -s "$raw" ]; then

@@ -21,11 +21,13 @@ use std::sync::{Arc, Barrier};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use ps3::core::{query_rng, Method, Ps3Config, Ps3System, QueryRequest, Router};
+use ps3::core::{spec_rng, Method, Ps3Config, Ps3System, QueryRequest, Router};
 use ps3::data::{Dataset, DatasetConfig, DatasetKind, ScaleProfile};
 use ps3::net::proto::{ErrorCode, Frame, FrameBuffer, DEFAULT_MAX_FRAME};
 use ps3::net::{ClientError, NetClient, NetServer, ServerConfig};
-use ps3::query::QueryAnswer;
+use ps3::query::{Clause, CmpOp, Predicate, QueryAnswer, QuerySpec, SketchQuery};
+use ps3::sketch::codec::answer_sketch_to_bytes;
+use ps3::storage::ColId;
 
 fn trained(kind: DatasetKind, seed: u64) -> (Dataset, Arc<Ps3System>) {
     let ds = DatasetConfig::new(kind, ScaleProfile::Tiny).build(seed);
@@ -80,9 +82,9 @@ fn eight_concurrent_tcp_clients_match_direct_execution_at(net_shards: usize) {
     let direct: Arc<Vec<(QueryAnswer, usize)>> = Arc::new(
         reqs.iter()
             .map(|r| {
-                let mut rng = query_rng(&r.query, r.seed);
+                let mut rng = spec_rng(&r.query, r.seed);
                 let frac = r.budget.as_fraction().expect("explicit fraction");
-                let out = system.answer_on(&r.query, r.method, frac, &mut rng, router.pool());
+                let out = system.answer_spec_on(&r.query, r.method, frac, &mut rng, router.pool());
                 (out.answer, out.selection.len())
             })
             .collect(),
@@ -131,6 +133,70 @@ fn eight_concurrent_tcp_clients_match_direct_execution() {
 #[test]
 fn eight_concurrent_tcp_clients_match_direct_execution_sharded() {
     eight_concurrent_tcp_clients_match_direct_execution_at(4);
+}
+
+/// (a) for the sketch classes: PERCENTILE / COUNT(DISTINCT) / TOP_K
+/// requests travel the same wire (protocol v3 spec tag + answer-sketch
+/// blob) and come back bit-identical to direct in-process execution —
+/// the answer, the deterministic metadata, and the merged answer sketch
+/// itself, compared through the codec — at both shard counts.
+fn sketch_queries_over_the_wire_match_direct_execution_at(net_shards: usize) {
+    let (_ds, system) = trained(DatasetKind::Aria, 58);
+    let router = Router::builder().table("aria", Arc::clone(&system)).build();
+    let server =
+        NetServer::bind_with(Arc::clone(&router), "127.0.0.1:0", shards(net_shards)).expect("bind");
+
+    // Aria (appendix A): cols 0..=6 numeric, 7..=10 categorical.
+    let specs: Vec<QuerySpec> = vec![
+        SketchQuery::percentile(ColId(0), 0.5).into(),
+        SketchQuery::percentile(ColId(3), 0.9)
+            .filtered(Predicate::Clause(Clause::Cmp {
+                col: ColId(0),
+                op: CmpOp::Ge,
+                value: 1.0,
+            }))
+            .into(),
+        SketchQuery::distinct(ColId(7)).into(),
+        SketchQuery::top_k(ColId(7), 3).into(),
+    ];
+
+    let mut client = NetClient::connect(server.addr()).expect("connect");
+    for (i, spec) in specs.iter().enumerate() {
+        for method in [Method::Random, Method::Ps3] {
+            let req = QueryRequest::new(spec.clone(), method, 0.25, 70 + i as u64).on_table("aria");
+            let mut rng = spec_rng(&req.query, req.seed);
+            let direct = system.answer_spec_on(&req.query, method, 0.25, &mut rng, router.pool());
+            let remote = client.request(&req).expect("served");
+
+            assert_eq!(
+                answer_bits(&remote.answer),
+                answer_bits(&direct.answer),
+                "spec {i} {method:?}: wire answer diverged from answer_spec_on"
+            );
+            assert_eq!(remote.meta.partitions_read, direct.meta.partitions_read);
+            assert_eq!(remote.meta.error_estimate, direct.meta.error_estimate);
+            assert_eq!(remote.meta.exact, direct.meta.exact);
+            let served = remote.sketch.expect("sketch answers carry their sketch");
+            assert_eq!(
+                answer_sketch_to_bytes(&served),
+                answer_sketch_to_bytes(direct.sketch.as_ref().expect("direct sketch")),
+                "spec {i} {method:?}: the sketch blob must survive the wire bit-for-bit"
+            );
+        }
+    }
+    assert_eq!(server.stats().errors, 0);
+    drop(server);
+    router.shutdown();
+}
+
+#[test]
+fn sketch_queries_over_the_wire_match_direct_execution() {
+    sketch_queries_over_the_wire_match_direct_execution_at(1);
+}
+
+#[test]
+fn sketch_queries_over_the_wire_match_direct_execution_sharded() {
+    sketch_queries_over_the_wire_match_direct_execution_at(4);
 }
 
 /// (b) Eight clients stampede one never-seen key; the router executes it

@@ -15,10 +15,11 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use ps3::core::{query_rng, Method, Ps3Config, QueryRequest, Router};
+use ps3::core::{query_rng, Method, Ps3Config, QueryRequest, Router, PLAN_GRID};
 use ps3::data::{DatasetConfig, DatasetKind, ScaleProfile};
 use ps3::net::{NetClient, NetServer};
-use ps3::query::{Query, QueryAnswer};
+use ps3::query::{Query, QueryAnswer, QuerySpec, SketchFunc, SketchQuery};
+use ps3::storage::ColId;
 
 /// Canonical bit-exact view of an answer: sorted key words → value bits.
 fn answer_bits(answer: &QueryAnswer) -> BTreeMap<Vec<u64>, Vec<u64>> {
@@ -115,6 +116,98 @@ fn error_targets_are_met_against_ground_truth_on_the_held_out_grid() {
     let stats = router.stats().planner;
     assert_eq!(stats.plans as u32, planned, "one plan per planned answer");
     assert!(stats.probes >= stats.plans, "plans spend probe executions");
+}
+
+/// (a) for the sketch classes: `with_error_target` plans PERCENTILE /
+/// COUNT(DISTINCT) / TOP_K through the same probe search, the planned
+/// answers land within the target of the covering-read ground truth, and
+/// DISTINCT — whose partial merges honestly report NaN (undercounts have
+/// no bounded error) — escalates to the covering rung instead of
+/// pretending a partial merge extrapolates.
+#[test]
+fn sketch_error_targets_plan_and_answer_honestly() {
+    const TARGET: f64 = 0.25;
+    let ds = DatasetConfig::new(DatasetKind::Aria, ScaleProfile::Tiny).build(11);
+    let mut cfg = Ps3Config::default().with_seed(11);
+    cfg.gbdt.n_trees = 6;
+    cfg.feature_selection = false;
+    let system = Arc::new(ds.train_system(cfg));
+    let router = Router::single(Arc::clone(&system));
+    let table = router.table_id("default").expect("single-table router");
+
+    // Aria (appendix A): cols 0..=6 numeric, 7..=10 categorical.
+    let specs: Vec<QuerySpec> = vec![
+        // Col 6 (IngestionTime) would be adversarial here: timestamps
+        // correlate with partition order, so a small random partition
+        // sample biases the median in a way no within-sample rank CI can
+        // see. The count/size columns mix across partitions.
+        SketchQuery::percentile(ColId(0), 0.5).into(),
+        SketchQuery::percentile(ColId(3), 0.9).into(),
+        SketchQuery::distinct(ColId(7)).into(),
+        SketchQuery::distinct(ColId(9)).into(),
+        SketchQuery::top_k(ColId(7), 3).into(),
+        SketchQuery::top_k(ColId(10), 2).into(),
+    ];
+
+    let mut judged = 0u32;
+    let mut met = 0u32;
+    for (i, spec) in specs.iter().enumerate() {
+        let seed = 60 + i as u64;
+        let req =
+            QueryRequest::new(spec.clone(), Method::Random, 1.0, seed).with_error_target(TARGET);
+        let (out, plan) = router.answer_planned(table, &req);
+        assert_eq!(out.meta.planned_frac, plan.frac);
+        assert!(plan.frac > 0.0 && plan.frac <= 1.0);
+        assert!(
+            plan.planned,
+            "sketch class found no planner signal: {spec:?}"
+        );
+        assert!(plan.probes >= 1, "a planned budget spent probes");
+
+        if matches!(spec, QuerySpec::Sketch(q) if q.func == SketchFunc::Distinct) {
+            assert_eq!(
+                plan.frac,
+                *PLAN_GRID.last().unwrap(),
+                "partial DISTINCT merges report NaN, so the planner must \
+                 escalate to the covering rung"
+            );
+        }
+
+        // Ground truth: the covering read. (For PERCENTILE and DISTINCT
+        // this is the single-pass whole-table sketch — the oracle the
+        // approximation is judged against; for TOP_K it is exact.)
+        let truth_req = QueryRequest::new(spec.clone(), Method::Random, 1.0, seed);
+        let truth = router.answer_now(table, &truth_req);
+
+        // Judge every group the truth ranks that the planned answer also
+        // produced (TOP_K at a partial budget may rank a different tail).
+        for (key, tv) in &truth.answer.groups {
+            let (Some(est), truth_v) = (out.answer.groups.get(key).map(|v| v[0]), tv[0]) else {
+                continue;
+            };
+            if !truth_v.is_finite() || truth_v == 0.0 || !est.is_finite() {
+                continue;
+            }
+            judged += 1;
+            if (est - truth_v).abs() / truth_v.abs() <= TARGET {
+                met += 1;
+            }
+        }
+    }
+
+    assert!(
+        judged >= specs.len() as u32,
+        "ground truth judged at least one group per query (judged {judged})"
+    );
+    assert!(
+        met * 10 >= judged * 9,
+        "sketch error targets held on {met}/{judged} judged groups (< 90%)"
+    );
+
+    let stats = router.stats().planner;
+    assert_eq!(stats.plans as u32, specs.len() as u32);
+    assert!(stats.probes >= stats.plans);
+    router.shutdown();
 }
 
 #[test]

@@ -16,7 +16,8 @@ use std::thread;
 use std::time::Duration;
 
 use ps3::core::{
-    query_rng, Method, Ps3Config, Ps3System, QueryRequest, RouteError, Router, ServeHandle, Ticket,
+    query_rng, spec_rng, Method, Ps3Config, Ps3System, QueryRequest, RouteError, Router,
+    ServeHandle, Ticket,
 };
 use ps3::data::{Dataset, DatasetConfig, DatasetKind, ScaleProfile};
 
@@ -58,9 +59,9 @@ fn eight_concurrent_tenants_through_the_queue_match_direct_execution() {
     let direct: Arc<Vec<_>> = Arc::new(
         reqs.iter()
             .map(|r| {
-                let mut rng = query_rng(&r.query, r.seed);
+                let mut rng = spec_rng(&r.query, r.seed);
                 let frac = r.budget.as_fraction().expect("explicit fraction");
-                system.answer_on(&r.query, r.method, frac, &mut rng, router.pool())
+                system.answer_spec_on(&r.query, r.method, frac, &mut rng, router.pool())
             })
             .collect(),
     );
